@@ -1,0 +1,298 @@
+// Benchmarks regenerating the paper's evaluation, one benchmark family per
+// table or figure (see DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for recorded shapes). Sizes are laptop-scale; run
+// `cmd/adlbench` / `cmd/ssbbench` for the full report generators.
+package jsonpark_test
+
+import (
+	"fmt"
+	"testing"
+
+	"jsonpark/internal/adl"
+	"jsonpark/internal/core"
+	"jsonpark/internal/engine"
+	"jsonpark/internal/hepdata"
+	"jsonpark/internal/iterplan"
+	"jsonpark/internal/jsoniq"
+	"jsonpark/internal/runtime"
+	"jsonpark/internal/snowpark"
+	"jsonpark/internal/ssb"
+	"jsonpark/internal/variant"
+)
+
+const benchEvents = 4000 // ADL events for the fixed-size benchmarks
+
+func setupADL(b *testing.B, events int) (*snowpark.Session, []variant.Value) {
+	b.Helper()
+	eng := engine.New()
+	docs, err := hepdata.Load(eng, "adl", 42, events)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return snowpark.NewSession(eng), docs
+}
+
+// BenchmarkTable2IteratorCensus regenerates Table II: the iterator count of
+// each ADL query, reported as metrics.
+func BenchmarkTable2IteratorCensus(b *testing.B) {
+	for _, q := range adl.Queries() {
+		q := q
+		b.Run(q.ID, func(b *testing.B) {
+			var c iterplan.CensusResult
+			for i := 0; i < b.N; i++ {
+				expr, err := jsoniq.Parse(q.JSONiq)
+				if err != nil {
+					b.Fatal(err)
+				}
+				it, err := iterplan.Build(jsoniq.Rewrite(expr))
+				if err != nil {
+					b.Fatal(err)
+				}
+				c = iterplan.Census(it)
+			}
+			b.ReportMetric(float64(c.FLWOR), "flwor-iters")
+			b.ReportMetric(float64(c.Other), "other-iters")
+			b.ReportMetric(float64(c.Total()), "total-iters")
+		})
+	}
+}
+
+// BenchmarkFig6TranslationTime measures JSONiq→SQL translation per query.
+func BenchmarkFig6TranslationTime(b *testing.B) {
+	sess, _ := setupADL(b, 16)
+	for _, q := range adl.Queries() {
+		q := q
+		b.Run(q.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Translate(sess, q.JSONiq, core.Options{Strategy: q.Strategy}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7CompileTime measures engine compilation of the generated and
+// handwritten SQL.
+func BenchmarkFig7CompileTime(b *testing.B) {
+	sess, _ := setupADL(b, 16)
+	for _, q := range adl.Queries() {
+		res, err := core.Translate(sess, q.JSONiq, core.Options{Strategy: q.Strategy})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range []struct{ name, sql string }{
+			{"generated", res.SQL}, {"handwritten", q.SQL},
+		} {
+			v := v
+			b.Run(q.ID+"/"+v.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := sess.Engine().Prepare(v.sql); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig8ExecutionTime measures end-to-end engine time of the
+// generated vs handwritten SQL on loaded data.
+func BenchmarkFig8ExecutionTime(b *testing.B) {
+	sess, _ := setupADL(b, benchEvents)
+	for _, q := range adl.Queries() {
+		res, err := core.Translate(sess, q.JSONiq, core.Options{Strategy: q.Strategy})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range []struct{ name, sql string }{
+			{"generated", res.SQL}, {"handwritten", q.SQL},
+		} {
+			v := v
+			b.Run(q.ID+"/"+v.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := sess.Engine().Query(v.sql); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig9EndToEnd compares the four systems per query (smaller data:
+// the interpreted baselines are orders of magnitude slower).
+func BenchmarkFig9EndToEnd(b *testing.B) {
+	const events = 1000
+	sess, docs := setupADL(b, events)
+	rtSpark := runtime.New(runtime.ProfileRumbleSpark)
+	rtSpark.LoadCollection("adl", docs)
+	rtAst := runtime.New(runtime.ProfileAsterix)
+	rtAst.LoadCollection("adl", docs)
+	systems := []struct {
+		name string
+		run  func(q adl.Query) error
+	}{
+		{"rumbledb-spark", func(q adl.Query) error { _, err := adl.RunInterpreted(rtSpark, q); return err }},
+		{"asterixdb", func(q adl.Query) error { _, err := adl.RunInterpreted(rtAst, q); return err }},
+		{"generated", func(q adl.Query) error { _, _, err := adl.RunTranslated(sess, q, nil); return err }},
+		{"handwritten", func(q adl.Query) error { _, _, err := adl.RunHandwritten(sess.Engine(), q); return err }},
+	}
+	for _, q := range adl.Queries() {
+		q := q
+		for _, sys := range systems {
+			sys := sys
+			b.Run(q.ID+"/"+sys.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := sys.run(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkScannedBytes reports the §V-E measurement as metrics: bytes
+// scanned by the generated vs handwritten queries.
+func BenchmarkScannedBytes(b *testing.B) {
+	sess, _ := setupADL(b, benchEvents)
+	for _, q := range adl.Queries() {
+		q := q
+		b.Run(q.ID, func(b *testing.B) {
+			var gen, hand int64
+			for i := 0; i < b.N; i++ {
+				_, g, err := adl.RunTranslated(sess, q, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, h, err := adl.RunHandwritten(sess.Engine(), q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gen, hand = g.Metrics.BytesScanned, h.Metrics.BytesScanned
+			}
+			b.ReportMetric(float64(gen), "generated-bytes")
+			b.ReportMetric(float64(hand), "handwritten-bytes")
+			b.ReportMetric(float64(gen)/float64(hand), "ratio")
+		})
+	}
+}
+
+// BenchmarkFig10Scalability sweeps dataset sizes for the two SQL paths
+// (the full four-system sweep with cutoffs lives in cmd/adlbench -fig10).
+func BenchmarkFig10Scalability(b *testing.B) {
+	for _, events := range []int{500, 2000, 8000} {
+		sess, _ := setupADL(b, events)
+		for _, id := range []string{"q1", "q5", "q6", "q8"} {
+			q, _ := adl.ByID(id)
+			res, err := core.Translate(sess, q.JSONiq, core.Options{Strategy: q.Strategy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, v := range []struct{ name, sql string }{
+				{"generated", res.SQL}, {"handwritten", q.SQL},
+			} {
+				v := v
+				b.Run(fmt.Sprintf("%s/%s/events=%d", id, v.name, events), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := sess.Engine().Query(v.sql); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func setupSSB(b *testing.B, sf float64) *snowpark.Session {
+	b.Helper()
+	eng := engine.New()
+	tabs := ssb.Generate(7, ssb.SizesForScaleFactor(sf))
+	if err := tabs.Load(eng); err != nil {
+		b.Fatal(err)
+	}
+	return snowpark.NewSession(eng)
+}
+
+// BenchmarkFig11aSSB measures all thirteen SSB queries, generated vs
+// handwritten, at one scale factor.
+func BenchmarkFig11aSSB(b *testing.B) {
+	sess := setupSSB(b, 1)
+	for _, q := range ssb.Queries() {
+		q := q
+		sql, err := ssb.TranslateSQL(sess, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, v := range []struct{ name, sql string }{
+			{"generated", sql}, {"handwritten", q.SQL},
+		} {
+			v := v
+			b.Run(q.ID+"/"+v.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := sess.Engine().Query(v.sql); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig11bSSBScaling sweeps scale factors for one query per flight.
+func BenchmarkFig11bSSBScaling(b *testing.B) {
+	for _, sf := range []float64{0.5, 1, 2} {
+		sess := setupSSB(b, sf)
+		for _, id := range ssb.Fig11bQueries {
+			q, _ := ssb.ByID(id)
+			sql, err := ssb.TranslateSQL(sess, q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, v := range []struct{ name, sql string }{
+				{"generated", sql}, {"handwritten", q.SQL},
+			} {
+				v := v
+				b.Run(fmt.Sprintf("%s/%s/sf=%g", id, v.name, sf), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := sess.Engine().Query(v.sql); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkAblationElimination compares the two nested-query strategies
+// (§IV-C) on the ADL queries that contain nested queries.
+func BenchmarkAblationElimination(b *testing.B) {
+	sess, _ := setupADL(b, benchEvents)
+	strategies := []struct {
+		name  string
+		strat core.Strategy
+	}{
+		{"keep-flag", core.StrategyKeepFlag},
+		{"join", core.StrategyJoin},
+	}
+	for _, id := range []string{"q4", "q5", "q6", "q7", "q8"} {
+		q, _ := adl.ByID(id)
+		for _, s := range strategies {
+			s := s
+			res, err := core.Translate(sess, q.JSONiq, core.Options{Strategy: s.strat})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(id+"/"+s.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := sess.Engine().Query(res.SQL); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Command adlbench regenerates the paper's ADL evaluation tables and
+// figures (Table II, Figures 6–10, the §V-E scanned-bytes measurement, and
+// the §IV-C strategy ablation) on laptop-scale synthetic data.
+//
+// Usage:
+//
+//	adlbench [-events N] [-seed S] [-runs R] [-cutoff D] [-experiments list]
+//
+// Experiments: table2, fig6, fig7, fig8, fig9, fig10, scanned, ablation,
+// or "all" (fig10 is the slowest; shrink -events or -powers for quick runs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"jsonpark/internal/adl"
+)
+
+func main() {
+	events := flag.Int("events", 20000, "events at scale factor 1")
+	seed := flag.Int64("seed", 42, "generator seed")
+	runs := flag.Int("runs", 3, "measured runs per data point")
+	warmups := flag.Int("warmups", 1, "warmup runs per data point")
+	cutoff := flag.Duration("cutoff", 15*time.Second, "per-run cutoff (paper: 10 minutes)")
+	powers := flag.String("powers", "-7,-6,-5,-4,-3,-2,-1,0", "fig10 scale factors as powers of two")
+	experiments := flag.String("experiments", "all", "comma-separated experiment list")
+	flag.Parse()
+
+	cfg := adl.DefaultConfig(os.Stdout)
+	cfg.Events = *events
+	cfg.Seed = *seed
+	cfg.Runs = *runs
+	cfg.Warmups = *warmups
+	cfg.Cutoff = *cutoff
+	cfg.ScalePowers = nil
+	for _, p := range strings.Split(*powers, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			fatal(fmt.Errorf("bad -powers entry %q: %w", p, err))
+		}
+		cfg.ScalePowers = append(cfg.ScalePowers, v)
+	}
+
+	all := map[string]func(adl.ReportConfig) error{
+		"table2":   adl.ReportTable2,
+		"fig6":     adl.ReportFig6,
+		"fig7":     adl.ReportFig7,
+		"fig8":     adl.ReportFig8,
+		"fig9":     adl.ReportFig9,
+		"fig10":    adl.ReportFig10,
+		"scanned":  adl.ReportScanned,
+		"ablation": adl.ReportAblation,
+	}
+	order := []string{"table2", "fig6", "fig7", "fig8", "fig9", "scanned", "ablation", "fig10"}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*experiments, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	for _, name := range order {
+		if !want["all"] && !want[name] {
+			continue
+		}
+		if err := all[name](cfg); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "adlbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,63 @@
+// Command datagen emits the synthetic benchmark datasets as JSON lines, for
+// inspection or for loading through jsq.
+//
+// Usage:
+//
+//	datagen -kind adl -n 1000 -seed 42 > events.jsonl
+//	datagen -kind ssb -table lineorder -sf 0.1 > lineorder.jsonl
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"jsonpark/internal/hepdata"
+	"jsonpark/internal/ssb"
+	"jsonpark/internal/variant"
+)
+
+func main() {
+	kind := flag.String("kind", "adl", "adl | ssb")
+	n := flag.Int("n", 1000, "number of ADL events")
+	sf := flag.Float64("sf", 0.1, "SSB scale factor")
+	table := flag.String("table", "lineorder", "SSB table: lineorder|customer|supplier|part|date")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	var docs []variant.Value
+	switch *kind {
+	case "adl":
+		docs = hepdata.Events(*seed, *n)
+	case "ssb":
+		tabs := ssb.Generate(*seed, ssb.SizesForScaleFactor(*sf))
+		switch *table {
+		case "lineorder":
+			docs = tabs.Lineorder
+		case "customer":
+			docs = tabs.Customer
+		case "supplier":
+			docs = tabs.Supplier
+		case "part":
+			docs = tabs.Part
+		case "date":
+			docs = tabs.Date
+		default:
+			fatal(fmt.Errorf("unknown -table %q", *table))
+		}
+	default:
+		fatal(fmt.Errorf("unknown -kind %q", *kind))
+	}
+	for _, d := range docs {
+		fmt.Fprintln(out, d.JSON())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,246 @@
+// Command jsq runs JSONiq queries against JSON-lines data, mirroring the
+// paper's client workflow: the query is translated into one native SQL
+// string and executed by the embedded columnar engine, or interpreted by
+// the baseline runtime for comparison.
+//
+// Usage:
+//
+//	jsq -data events.jsonl -collection adl [-columns EVENT,MET,...] 'for $e in ...'
+//	jsq -data events.jsonl -sql-only 'for $e in ...'      # print generated SQL
+//	jsq -data events.jsonl -explain '...'                 # print engine plan
+//	jsq -demo '...'                                       # tiny built-in dataset
+//	echo 'for $e in ...' | jsq -data events.jsonl         # query from stdin
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"jsonpark"
+)
+
+func main() {
+	data := flag.String("data", "", "JSON-lines input file (one object per line)")
+	collection := flag.String("collection", "data", "collection name for the input")
+	columns := flag.String("columns", "", "staged columns (default: union of top-level fields)")
+	backend := flag.String("backend", "translate", "translate | interp")
+	strategy := flag.String("strategy", "keep-flag", "nested-query strategy: keep-flag | join")
+	sqlOnly := flag.Bool("sql-only", false, "print the generated SQL and exit")
+	explain := flag.Bool("explain", false, "print the optimized engine plan and exit")
+	metrics := flag.Bool("metrics", false, "print execution metrics")
+	demo := flag.Bool("demo", false, "load a tiny built-in orders dataset")
+	repl := flag.Bool("repl", false, "interactive mode: queries end with a ';' line")
+	flag.Parse()
+
+	w := jsonpark.Open()
+	switch {
+	case *demo:
+		loadDemo(w)
+	case *data != "":
+		if err := loadJSONL(w, *collection, *data, *columns); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("provide -data FILE or -demo"))
+	}
+
+	strat := jsonpark.StrategyKeepFlag
+	switch *strategy {
+	case "join":
+		strat = jsonpark.StrategyJoin
+	case "auto":
+		strat = jsonpark.StrategyAuto
+	case "keep-flag":
+	default:
+		fatal(fmt.Errorf("unknown -strategy %q", *strategy))
+	}
+
+	if *repl {
+		runREPL(w, strat)
+		return
+	}
+
+	query := strings.Join(flag.Args(), " ")
+	if strings.TrimSpace(query) == "" {
+		raw, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		query = string(raw)
+	}
+	if strings.TrimSpace(query) == "" {
+		fatal(fmt.Errorf("no query given (argument or stdin)"))
+	}
+
+	if *backend == "interp" {
+		items, err := w.QueryInterpreted(query)
+		if err != nil {
+			fatal(err)
+		}
+		for _, it := range items {
+			fmt.Println(it.JSON())
+		}
+		return
+	}
+	if *backend != "translate" {
+		fatal(fmt.Errorf("unknown -backend %q", *backend))
+	}
+
+	sql, err := w.Translate(query, jsonpark.WithStrategy(strat))
+	if err != nil {
+		fatal(err)
+	}
+	if *sqlOnly {
+		fmt.Println(sql)
+		return
+	}
+	if *explain {
+		plan, err := w.ExplainSQL(sql)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(plan)
+		return
+	}
+	res, err := w.Query(query, jsonpark.WithStrategy(strat))
+	if err != nil {
+		fatal(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Println(row[0].JSON())
+	}
+	if *metrics {
+		m := res.Metrics
+		fmt.Fprintf(os.Stderr, "compile=%s exec=%s scanned=%d bytes partitions=%d/%d pruned rows=%d\n",
+			m.CompileTime, m.ExecTime, m.BytesScanned,
+			m.PartitionsPruned, m.PartitionsTotal, m.RowsReturned)
+	}
+}
+
+// runREPL reads queries interactively — the REPL client of the paper's
+// §III-A1 interface list. A query is submitted with a line containing only
+// ";"; special commands: ".sql" toggles SQL echo, ".quit" exits.
+func runREPL(w *jsonpark.Warehouse, strat jsonpark.Strategy) {
+	fmt.Println("jsonpark REPL — end queries with a ';' line, .sql toggles SQL echo, .quit exits")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var buf strings.Builder
+	showSQL := false
+	prompt := func() { fmt.Print("jsq> ") }
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		switch strings.TrimSpace(line) {
+		case ".quit", ".exit":
+			return
+		case ".sql":
+			showSQL = !showSQL
+			fmt.Printf("sql echo: %v\n", showSQL)
+			prompt()
+			continue
+		case ";":
+			query := buf.String()
+			buf.Reset()
+			if strings.TrimSpace(query) == "" {
+				prompt()
+				continue
+			}
+			if showSQL {
+				if sql, err := w.Translate(query, jsonpark.WithStrategy(strat)); err == nil {
+					fmt.Println("--", sql)
+				}
+			}
+			res, err := w.Query(query, jsonpark.WithStrategy(strat))
+			if err != nil {
+				fmt.Println("error:", err)
+				prompt()
+				continue
+			}
+			for _, row := range res.Rows {
+				fmt.Println(row[0].JSON())
+			}
+			fmt.Printf("(%d rows, compile %v, exec %v)\n",
+				len(res.Rows), res.Metrics.CompileTime, res.Metrics.ExecTime)
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+	}
+}
+
+// loadJSONL stages a JSON-lines file. Without -columns, a first pass
+// collects the union of top-level field names (schema inference on load,
+// keeping the engine itself schema-oblivious).
+func loadJSONL(w *jsonpark.Warehouse, collection, path, columns string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var docs []jsonpark.Value
+	sc := bufio.NewScanner(strings.NewReader(string(raw)))
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		v, err := jsonpark.ParseJSON(line)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		docs = append(docs, v)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	var cols []string
+	if columns != "" {
+		cols = strings.Split(columns, ",")
+	} else {
+		seen := map[string]bool{}
+		for _, d := range docs {
+			for _, k := range d.AsObject().Keys() {
+				if !seen[k] {
+					seen[k] = true
+					cols = append(cols, k)
+				}
+			}
+		}
+		sort.Strings(cols)
+	}
+	if err := w.CreateCollection(collection, cols); err != nil {
+		return err
+	}
+	for _, d := range docs {
+		if err := w.LoadObject(collection, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadDemo(w *jsonpark.Warehouse) {
+	if err := w.CreateCollection("orders", []string{"id", "customer", "items"}); err != nil {
+		fatal(err)
+	}
+	for _, d := range []string{
+		`{"id": 1, "customer": "ada", "items": [{"sku": "apple", "qty": 2, "price": 1.5}]}`,
+		`{"id": 2, "customer": "bob", "items": []}`,
+		`{"id": 3, "customer": "ada", "items": [{"sku": "plum", "qty": 5, "price": 0.5}, {"sku": "fig", "qty": 1, "price": 3.0}]}`,
+	} {
+		if err := w.LoadJSON("orders", d); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "jsq:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,87 @@
+// Command jsqd serves a warehouse over HTTP — the REST interface of the
+// paper's system architecture (§III-A1).
+//
+// Usage:
+//
+//	jsqd [-addr :8080] [-data events.jsonl -collection adl]
+//
+// Then:
+//
+//	curl -s localhost:8080/query -d '{"query": "for $e in collection(\"adl\") return $e.EVENT"}'
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+
+	"jsonpark"
+
+	"jsonpark/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	data := flag.String("data", "", "optional JSON-lines file to preload")
+	collection := flag.String("collection", "data", "collection name for -data")
+	flag.Parse()
+
+	w := jsonpark.Open()
+	if *data != "" {
+		if err := preload(w, *collection, *data); err != nil {
+			log.Fatal(err)
+		}
+	}
+	log.Printf("jsqd listening on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, server.New(w)))
+}
+
+func preload(w *jsonpark.Warehouse, collection, path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var docs []jsonpark.Value
+	sc := bufio.NewScanner(strings.NewReader(string(raw)))
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		v, err := jsonpark.ParseJSON(line)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		docs = append(docs, v)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	seen := map[string]bool{}
+	var cols []string
+	for _, d := range docs {
+		for _, k := range d.AsObject().Keys() {
+			if !seen[k] {
+				seen[k] = true
+				cols = append(cols, k)
+			}
+		}
+	}
+	sort.Strings(cols)
+	if err := w.CreateCollection(collection, cols); err != nil {
+		return err
+	}
+	for _, d := range docs {
+		if err := w.LoadObject(collection, d); err != nil {
+			return err
+		}
+	}
+	log.Printf("loaded %d documents into %q (columns: %v)", len(docs), collection, cols)
+	return nil
+}

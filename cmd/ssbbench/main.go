@@ -1,0 +1,62 @@
+// Command ssbbench regenerates the paper's SSB evaluation (Figure 11a/11b):
+// total time of the thirteen relational queries expressed in JSONiq versus
+// the handwritten SQL references, on laptop-scale synthetic data.
+//
+// Usage:
+//
+//	ssbbench [-sf F] [-sfs list] [-seed S] [-runs R] [-experiments fig11a,fig11b]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"jsonpark/internal/ssb"
+)
+
+func main() {
+	sf := flag.Float64("sf", 4, "scale factor for fig11a (SF1 = 6000 lineorders)")
+	sfs := flag.String("sfs", "0.5,1,2,4", "scale factors for fig11b")
+	seed := flag.Int64("seed", 7, "generator seed")
+	runs := flag.Int("runs", 3, "measured runs per data point")
+	warmups := flag.Int("warmups", 1, "warmup runs per data point")
+	experiments := flag.String("experiments", "all", "fig11a, fig11b or all")
+	flag.Parse()
+
+	cfg := ssb.DefaultConfig(os.Stdout)
+	cfg.ScaleFactor = *sf
+	cfg.Seed = *seed
+	cfg.Runs = *runs
+	cfg.Warmups = *warmups
+	cfg.ScaleFactors = nil
+	for _, s := range strings.Split(*sfs, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -sfs entry %q: %w", s, err))
+		}
+		cfg.ScaleFactors = append(cfg.ScaleFactors, v)
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*experiments, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	if want["all"] || want["fig11a"] {
+		if err := ssb.ReportFig11a(cfg); err != nil {
+			fatal(err)
+		}
+	}
+	if want["all"] || want["fig11b"] {
+		if err := ssb.ReportFig11b(cfg); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ssbbench:", err)
+	os.Exit(1)
+}

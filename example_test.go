@@ -1,0 +1,77 @@
+package jsonpark_test
+
+import (
+	"fmt"
+	"log"
+
+	"jsonpark"
+)
+
+// Example shows the end-to-end flow: stage nested JSON, translate a JSONiq
+// query to a single SQL string, and execute it.
+func Example() {
+	w := jsonpark.Open()
+	if err := w.CreateCollection("orders", []string{"id", "items"}); err != nil {
+		log.Fatal(err)
+	}
+	docs := []string{
+		`{"id": 1, "items": [{"sku": "apple", "qty": 2}, {"sku": "pear", "qty": 1}]}`,
+		`{"id": 2, "items": []}`,
+	}
+	for _, d := range docs {
+		if err := w.LoadJSON("orders", d); err != nil {
+			log.Fatal(err)
+		}
+	}
+	items, err := w.QueryItems(`
+		for $o in collection("orders")
+		for $i in $o.items[]
+		where $i.qty gt 1
+		return {"order": $o.id, "sku": $i.sku}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, it := range items {
+		fmt.Println(it.JSON())
+	}
+	// Output:
+	// {"order":1,"sku":"apple"}
+}
+
+// ExampleWarehouse_Query_nested demonstrates the nested-query semantics of
+// §IV-B/C: order 2 has no items but still appears with an empty result.
+func ExampleWarehouse_Query_nested() {
+	w := jsonpark.Open()
+	_ = w.CreateCollection("orders", []string{"id", "items"})
+	_ = w.LoadJSON("orders", `{"id": 1, "items": [{"qty": 5}]}`)
+	_ = w.LoadJSON("orders", `{"id": 2, "items": []}`)
+	items, err := w.QueryItems(`
+		for $o in collection("orders")
+		let $big := (for $i in $o.items[] where $i.qty gt 1 return $i.qty)
+		order by $o.id
+		return {"id": $o.id, "big": $big}`,
+		jsonpark.WithStrategy(jsonpark.StrategyAuto))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, it := range items {
+		fmt.Println(it.JSON())
+	}
+	// Output:
+	// {"id":1,"big":[5]}
+	// {"id":2,"big":[]}
+}
+
+// ExampleWarehouse_Translate shows that a JSONiq query becomes one native
+// SQL query.
+func ExampleWarehouse_Translate() {
+	w := jsonpark.Open()
+	_ = w.CreateCollection("t", []string{"a"})
+	sql, err := w.Translate(`for $x in collection("t") where $x.a gt 1 return $x.a`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sql[:6])
+	// Output:
+	// SELECT
+}

@@ -1,0 +1,57 @@
+// Quickstart: load nested JSON into an in-memory warehouse, run a JSONiq
+// query, and inspect the single SQL query it translates to.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"jsonpark"
+)
+
+func main() {
+	w := jsonpark.Open()
+
+	// Collections are staged with one column per top-level field (the
+	// multi-column VARIANT staging); no schema is required for the nested
+	// parts.
+	if err := w.CreateCollection("orders", []string{"id", "customer", "items"}); err != nil {
+		log.Fatal(err)
+	}
+	docs := []string{
+		`{"id": 1, "customer": "ada",  "items": [{"sku": "apple", "qty": 2, "price": 1.5}, {"sku": "pear", "qty": 1, "price": 2.0}]}`,
+		`{"id": 2, "customer": "bob",  "items": []}`,
+		`{"id": 3, "customer": "ada",  "items": [{"sku": "plum", "qty": 5, "price": 0.5}]}`,
+	}
+	for _, d := range docs {
+		if err := w.LoadJSON("orders", d); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	query := `
+		for $o in collection("orders")
+		for $i in $o.items[]
+		where $i.qty gt 1
+		return {"order": $o.id, "sku": $i.sku, "value": $i.qty * $i.price}`
+
+	// The query translates to one native SQL string...
+	sql, err := w.Translate(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("generated SQL:")
+	fmt.Println(" ", sql)
+
+	// ...which the embedded columnar engine executes.
+	res, err := w.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nresults:")
+	for _, row := range res.Rows {
+		fmt.Println(" ", row[0].JSON())
+	}
+	fmt.Printf("\ncompile=%v exec=%v scanned=%d bytes\n",
+		res.Metrics.CompileTime, res.Metrics.ExecTime, res.Metrics.BytesScanned)
+}

@@ -1,0 +1,3 @@
+module jsonpark
+
+go 1.22

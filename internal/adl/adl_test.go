@@ -1,0 +1,263 @@
+package adl
+
+import (
+	"jsonpark/internal/jsoniq"
+	"testing"
+
+	"jsonpark/internal/core"
+	"jsonpark/internal/engine"
+	"jsonpark/internal/hepdata"
+	"jsonpark/internal/runtime"
+	"jsonpark/internal/snowpark"
+	"jsonpark/internal/variant"
+)
+
+const testEvents = 600
+
+func testSetup(t *testing.T) (*snowpark.Session, *runtime.Engine) {
+	t.Helper()
+	eng := engine.New()
+	docs, err := hepdata.Load(eng, "adl", 42, testEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := runtime.New(runtime.ProfileDefault)
+	rt.LoadCollection("adl", docs)
+	return snowpark.NewSession(eng), rt
+}
+
+// TestAllBackendsAgree is the central differential test: for every ADL
+// query, the automatic translation (both elimination strategies), the
+// handwritten SQL reference and the interpreted runtime must produce the
+// same histogram on the same data.
+func TestAllBackendsAgree(t *testing.T) {
+	sess, rt := testSetup(t)
+	for _, q := range Queries() {
+		q := q
+		t.Run(q.ID, func(t *testing.T) {
+			want, err := RunInterpreted(rt, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.TotalCount() == 0 {
+				t.Fatalf("query %s matches no events at all; test data too sparse", q.ID)
+			}
+			hand, _, err := RunHandwritten(sess.Engine(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !hand.Equal(want) {
+				t.Errorf("handwritten mismatch\nhand: %v\nwant: %v", hand, want)
+			}
+			for _, strat := range []core.Strategy{core.StrategyKeepFlag, core.StrategyJoin} {
+				strat := strat
+				got, _, err := RunTranslated(sess, q, &strat)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want) {
+					t.Errorf("translated (%v) mismatch\ngot:  %v\nwant: %v", strat, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestInterpretedProfilesAgreeOnADL(t *testing.T) {
+	_, rt := testSetup(t)
+	docs := hepdata.Events(42, 120)
+	rtSpark := runtime.New(runtime.ProfileRumbleSpark)
+	rtSpark.LoadCollection("adl", docs)
+	rtAst := runtime.New(runtime.ProfileAsterix)
+	rtAst.LoadCollection("adl", docs)
+	rtDef := runtime.New(runtime.ProfileDefault)
+	rtDef.LoadCollection("adl", docs)
+	_ = rt
+	for _, q := range Queries() {
+		want, err := RunInterpreted(rtDef, q)
+		if err != nil {
+			t.Fatalf("%s: %v", q.ID, err)
+		}
+		for name, e := range map[string]*runtime.Engine{"spark": rtSpark, "asterix": rtAst} {
+			got, err := RunInterpreted(e, q)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", q.ID, name, err)
+			}
+			if !got.Equal(want) {
+				t.Errorf("%s/%s: %v != %v", q.ID, name, got, want)
+			}
+		}
+	}
+}
+
+// TestScannedBytesQ6JoinRescans checks the §V-E observation: the JOIN-based
+// translation of Q6 roughly doubles the scanned bytes versus handwritten.
+func TestScannedBytesQ6JoinRescans(t *testing.T) {
+	sess, _ := testSetup(t)
+	q, _ := ByID("q6")
+	join := core.StrategyJoin
+	_, tRes, err := RunTranslated(sess, q, &join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hRes, err := RunHandwritten(sess.Engine(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(tRes.Metrics.BytesScanned) / float64(hRes.Metrics.BytesScanned)
+	if ratio < 1.3 {
+		t.Errorf("JOIN strategy should scan noticeably more than handwritten, ratio = %.2f", ratio)
+	}
+	if ratio > 4 {
+		t.Errorf("JOIN strategy scan ratio implausibly high: %.2f", ratio)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := hepdata.Events(7, 50)
+	b := hepdata.Events(7, 50)
+	for i := range a {
+		if !variant.Equal(a[i], b[i]) {
+			t.Fatalf("event %d differs between runs", i)
+		}
+	}
+	c := hepdata.Events(8, 50)
+	same := 0
+	for i := range a {
+		if variant.Equal(a[i], c[i]) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestGeneratorStructure(t *testing.T) {
+	docs := hepdata.Events(1, 500)
+	emptyMuon, multiJet := 0, 0
+	for _, d := range docs {
+		if d.Field("EVENT").Kind() != variant.KindInt {
+			t.Fatal("EVENT must be an integer")
+		}
+		if d.Field("MET").Field("pt").Kind() != variant.KindFloat {
+			t.Fatal("MET.pt must be a double")
+		}
+		if d.Field("Muon").Len() == 0 {
+			emptyMuon++
+		}
+		if d.Field("Jet").Len() >= 3 {
+			multiJet++
+		}
+		for _, m := range d.Field("Muon").AsArray() {
+			ch := m.Field("charge").AsInt()
+			if ch != 1 && ch != -1 {
+				t.Fatalf("bad charge %d", ch)
+			}
+		}
+	}
+	if emptyMuon == 0 {
+		t.Error("generator must produce events with empty Muon arrays (exercises §IV-C)")
+	}
+	if multiJet == 0 {
+		t.Error("generator must produce events with >= 3 jets (exercises Q6)")
+	}
+}
+
+func TestEventsForScaleFactor(t *testing.T) {
+	if hepdata.EventsForScaleFactor(1) != hepdata.EventsPerSF {
+		t.Error("SF1 wrong")
+	}
+	if got := hepdata.EventsForScaleFactor(0.0000001); got != 8 {
+		t.Errorf("tiny SF = %d, want floor 8", got)
+	}
+	if got := hepdata.EventsForScaleFactor(0.5); got != hepdata.EventsPerSF/2 {
+		t.Errorf("SF0.5 = %d", got)
+	}
+}
+
+func TestQueryLookup(t *testing.T) {
+	if len(Queries()) != 8 {
+		t.Fatal("expected 8 queries")
+	}
+	q, ok := ByID("q6")
+	if !ok || q.Strategy != core.StrategyJoin {
+		t.Error("q6 must default to the JOIN strategy (§V-A)")
+	}
+	if _, ok := ByID("q99"); ok {
+		t.Error("unknown id should not resolve")
+	}
+}
+
+func TestStrategyAutoSelectionOnADLQueries(t *testing.T) {
+	// The automatic optimizer must pick JOIN for q4–q7 and KEEP for q8,
+	// matching the per-query winners measured in the ablation.
+	want := map[string]core.Strategy{
+		"q4": core.StrategyJoin, "q5": core.StrategyJoin,
+		"q6": core.StrategyJoin, "q7": core.StrategyJoin,
+		"q8": core.StrategyKeepFlag,
+	}
+	for id, expect := range want {
+		q, _ := ByID(id)
+		expr, err := jsoniq.Parse(q.JSONiq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := core.ChooseStrategy(core.StrategyAuto, jsoniq.Rewrite(expr)); got != expect {
+			t.Errorf("%s auto strategy = %v, want %v", id, got, expect)
+		}
+	}
+}
+
+func TestStrategyAutoResultsCorrect(t *testing.T) {
+	sess, rt := testSetup(t)
+	auto := core.StrategyAuto
+	for _, id := range []string{"q5", "q8"} {
+		q, _ := ByID(id)
+		want, err := RunInterpreted(rt, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := RunTranslated(sess, q, &auto)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("%s auto strategy mismatch:\ngot %v\nwant %v", id, got, want)
+		}
+	}
+}
+
+// TestBackendsAgreeAcrossSeeds re-runs the differential check on several
+// independently generated datasets, catching data-shape-dependent bugs
+// (e.g. partitions where every array is empty, or no event passes a
+// filter).
+func TestBackendsAgreeAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{1, 99, 2026} {
+		eng := engine.New()
+		docs, err := hepdata.Load(eng, "adl", seed, 250)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := runtime.New(runtime.ProfileDefault)
+		rt.LoadCollection("adl", docs)
+		sess := snowpark.NewSession(eng)
+		for _, id := range []string{"q4", "q5", "q7", "q8"} {
+			q, _ := ByID(id)
+			want, err := RunInterpreted(rt, q)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, id, err)
+			}
+			for _, strat := range []core.Strategy{core.StrategyKeepFlag, core.StrategyJoin} {
+				strat := strat
+				got, _, err := RunTranslated(sess, q, &strat)
+				if err != nil {
+					t.Fatalf("seed %d %s (%v): %v", seed, id, strat, err)
+				}
+				if !got.Equal(want) {
+					t.Errorf("seed %d %s (%v): %v != %v", seed, id, strat, got, want)
+				}
+			}
+		}
+	}
+}

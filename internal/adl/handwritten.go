@@ -1,0 +1,163 @@
+package adl
+
+// Handwritten SQL references. Q1–Q5 follow the straightforward flatten +
+// group style; Q6 enumerates trijets with three lateral flattens; Q7 uses
+// the four-unboxing / two-reaggregation + BOOLAND_AGG formulation the paper
+// credits with beating the automatic translation (§V-D); Q8 uses the
+// UNION ALL two-table formulation the paper credits with LOSING to the
+// automatic translation at scale (§V-D, §V-F). Events are keyed by their
+// unique "EVENT" id rather than injected row IDs.
+
+const q1SQL = `
+SELECT FLOOR(GET("MET", 'pt') / 5.0) * 5.0 AS "bin", COUNT(*) AS "count"
+FROM "adl"
+GROUP BY FLOOR(GET("MET", 'pt') / 5.0) * 5.0
+ORDER BY "bin" ASC
+`
+
+const q2SQL = `
+SELECT FLOOR(GET("j".VALUE, 'pt') / 5.0) * 5.0 AS "bin", COUNT(*) AS "count"
+FROM "adl", LATERAL FLATTEN(INPUT => "Jet") AS "j"
+GROUP BY FLOOR(GET("j".VALUE, 'pt') / 5.0) * 5.0
+ORDER BY "bin" ASC
+`
+
+const q3SQL = `
+SELECT FLOOR(GET("j".VALUE, 'pt') / 5.0) * 5.0 AS "bin", COUNT(*) AS "count"
+FROM "adl", LATERAL FLATTEN(INPUT => "Jet") AS "j"
+WHERE ABS(GET("j".VALUE, 'eta')) < 1
+GROUP BY FLOOR(GET("j".VALUE, 'pt') / 5.0) * 5.0
+ORDER BY "bin" ASC
+`
+
+const q4SQL = `
+SELECT FLOOR("met" / 5.0) * 5.0 AS "bin", COUNT(*) AS "count"
+FROM (
+  SELECT ANY_VALUE(GET("MET", 'pt')) AS "met"
+  FROM "adl", LATERAL FLATTEN(INPUT => "Jet") AS "j"
+  WHERE GET("j".VALUE, 'pt') > 40
+  GROUP BY "EVENT"
+  HAVING COUNT(*) >= 2
+)
+GROUP BY FLOOR("met" / 5.0) * 5.0
+ORDER BY "bin" ASC
+`
+
+const q5SQL = `
+SELECT FLOOR("met" / 5.0) * 5.0 AS "bin", COUNT(*) AS "count"
+FROM (
+  SELECT ANY_VALUE(GET("MET", 'pt')) AS "met"
+  FROM "adl",
+    LATERAL FLATTEN(INPUT => "Muon") AS "m1",
+    LATERAL FLATTEN(INPUT => "Muon") AS "m2"
+  WHERE "m1".INDEX < "m2".INDEX
+    AND GET("m1".VALUE, 'charge') * GET("m2".VALUE, 'charge') < 0
+    AND SQRT(2 * GET("m1".VALUE, 'pt') * GET("m2".VALUE, 'pt') * (COSH(GET("m1".VALUE, 'eta') - GET("m2".VALUE, 'eta')) - COS(GET("m1".VALUE, 'phi') - GET("m2".VALUE, 'phi')))) > 60
+    AND SQRT(2 * GET("m1".VALUE, 'pt') * GET("m2".VALUE, 'pt') * (COSH(GET("m1".VALUE, 'eta') - GET("m2".VALUE, 'eta')) - COS(GET("m1".VALUE, 'phi') - GET("m2".VALUE, 'phi')))) < 120
+  GROUP BY "EVENT"
+)
+GROUP BY FLOOR("met" / 5.0) * 5.0
+ORDER BY "bin" ASC
+`
+
+const q6SQL = `
+SELECT FLOOR(GET("best", 'pt') / 5.0) * 5.0 AS "bin", COUNT(*) AS "count"
+FROM (
+  SELECT GET(ARRAY_AGG(OBJECT_CONSTRUCT('pt', "tpt", 'maxbtag', "mb")) WITHIN GROUP (ORDER BY "dm" ASC), 0) AS "best"
+  FROM (
+    SELECT "ev",
+      SQRT(("px1" + "px2" + "px3") * ("px1" + "px2" + "px3") + ("py1" + "py2" + "py3") * ("py1" + "py2" + "py3")) AS "tpt",
+      GREATEST("b1", "b2", "b3") AS "mb",
+      ABS(SQRT(("e1" + "e2" + "e3") * ("e1" + "e2" + "e3") - ("px1" + "px2" + "px3") * ("px1" + "px2" + "px3") - ("py1" + "py2" + "py3") * ("py1" + "py2" + "py3") - ("pz1" + "pz2" + "pz3") * ("pz1" + "pz2" + "pz3")) - 172.5) AS "dm"
+    FROM (
+      SELECT "EVENT" AS "ev",
+        GET("j1".VALUE, 'pt') * COS(GET("j1".VALUE, 'phi')) AS "px1",
+        GET("j1".VALUE, 'pt') * SIN(GET("j1".VALUE, 'phi')) AS "py1",
+        GET("j1".VALUE, 'pt') * SINH(GET("j1".VALUE, 'eta')) AS "pz1",
+        SQRT(GET("j1".VALUE, 'pt') * GET("j1".VALUE, 'pt') + (GET("j1".VALUE, 'pt') * SINH(GET("j1".VALUE, 'eta'))) * (GET("j1".VALUE, 'pt') * SINH(GET("j1".VALUE, 'eta'))) + GET("j1".VALUE, 'mass') * GET("j1".VALUE, 'mass')) AS "e1",
+        GET("j1".VALUE, 'btag') AS "b1",
+        GET("j2".VALUE, 'pt') * COS(GET("j2".VALUE, 'phi')) AS "px2",
+        GET("j2".VALUE, 'pt') * SIN(GET("j2".VALUE, 'phi')) AS "py2",
+        GET("j2".VALUE, 'pt') * SINH(GET("j2".VALUE, 'eta')) AS "pz2",
+        SQRT(GET("j2".VALUE, 'pt') * GET("j2".VALUE, 'pt') + (GET("j2".VALUE, 'pt') * SINH(GET("j2".VALUE, 'eta'))) * (GET("j2".VALUE, 'pt') * SINH(GET("j2".VALUE, 'eta'))) + GET("j2".VALUE, 'mass') * GET("j2".VALUE, 'mass')) AS "e2",
+        GET("j2".VALUE, 'btag') AS "b2",
+        GET("j3".VALUE, 'pt') * COS(GET("j3".VALUE, 'phi')) AS "px3",
+        GET("j3".VALUE, 'pt') * SIN(GET("j3".VALUE, 'phi')) AS "py3",
+        GET("j3".VALUE, 'pt') * SINH(GET("j3".VALUE, 'eta')) AS "pz3",
+        SQRT(GET("j3".VALUE, 'pt') * GET("j3".VALUE, 'pt') + (GET("j3".VALUE, 'pt') * SINH(GET("j3".VALUE, 'eta'))) * (GET("j3".VALUE, 'pt') * SINH(GET("j3".VALUE, 'eta'))) + GET("j3".VALUE, 'mass') * GET("j3".VALUE, 'mass')) AS "e3",
+        GET("j3".VALUE, 'btag') AS "b3"
+      FROM "adl",
+        LATERAL FLATTEN(INPUT => "Jet") AS "j1",
+        LATERAL FLATTEN(INPUT => "Jet") AS "j2",
+        LATERAL FLATTEN(INPUT => "Jet") AS "j3"
+      WHERE "j1".INDEX < "j2".INDEX AND "j2".INDEX < "j3".INDEX
+    )
+  )
+  GROUP BY "ev"
+)
+GROUP BY FLOOR(GET("best", 'pt') / 5.0) * 5.0
+ORDER BY "bin" ASC
+`
+
+const q7SQL = `
+SELECT FLOOR("s" / 5.0) * 5.0 AS "bin", COUNT(*) AS "count"
+FROM (
+  SELECT COALESCE(SUM(CASE WHEN "jok" AND "okm" AND "oke" THEN "jpt" END), 0) AS "s"
+  FROM (
+    SELECT ANY_VALUE("ev") AS "ev2", ANY_VALUE("jok") AS "jok", ANY_VALUE("jpt") AS "jpt",
+      BOOLAND_AGG(CASE WHEN "m".VALUE IS NULL OR GET("m".VALUE, 'pt') <= 10 THEN TRUE ELSE SQRT(("jeta" - GET("m".VALUE, 'eta')) * ("jeta" - GET("m".VALUE, 'eta')) + ATAN2(SIN("jphi" - GET("m".VALUE, 'phi')), COS("jphi" - GET("m".VALUE, 'phi'))) * ATAN2(SIN("jphi" - GET("m".VALUE, 'phi')), COS("jphi" - GET("m".VALUE, 'phi')))) >= 0.4 END) AS "okm",
+      BOOLAND_AGG(CASE WHEN "el".VALUE IS NULL OR GET("el".VALUE, 'pt') <= 10 THEN TRUE ELSE SQRT(("jeta" - GET("el".VALUE, 'eta')) * ("jeta" - GET("el".VALUE, 'eta')) + ATAN2(SIN("jphi" - GET("el".VALUE, 'phi')), COS("jphi" - GET("el".VALUE, 'phi'))) * ATAN2(SIN("jphi" - GET("el".VALUE, 'phi')), COS("jphi" - GET("el".VALUE, 'phi')))) >= 0.4 END) AS "oke"
+    FROM (
+      SELECT "EVENT" AS "ev", SEQ8() AS "jid", "Muon" AS "mu", "Electron" AS "ele",
+        "j".VALUE IS NOT NULL AND GET("j".VALUE, 'pt') > 30 AS "jok",
+        GET("j".VALUE, 'pt') AS "jpt", GET("j".VALUE, 'eta') AS "jeta", GET("j".VALUE, 'phi') AS "jphi"
+      FROM "adl", LATERAL FLATTEN(INPUT => "Jet", OUTER => TRUE) AS "j"
+    ),
+    LATERAL FLATTEN(INPUT => "mu", OUTER => TRUE) AS "m",
+    LATERAL FLATTEN(INPUT => "ele", OUTER => TRUE) AS "el"
+    GROUP BY "jid"
+  )
+  GROUP BY "ev2"
+)
+GROUP BY FLOOR("s" / 5.0) * 5.0
+ORDER BY "bin" ASC
+`
+
+const q8SQL = `
+SELECT FLOOR("mt" / 5.0) * 5.0 AS "bin", COUNT(*) AS "count"
+FROM (
+  SELECT SQRT(2 * GET("other", 'pt') * "metpt2" * (1 - COS("metphi2" - GET("other", 'phi')))) AS "mt"
+  FROM (
+    SELECT "rid3", ANY_VALUE("metpt") AS "metpt2", ANY_VALUE("metphi") AS "metphi2",
+      GET(ARRAY_AGG(CASE WHEN "l3".INDEX + 1 <> GET("best", 'i') AND "l3".INDEX + 1 <> GET("best", 'j') THEN "l3".VALUE END) WITHIN GROUP (ORDER BY GET("l3".VALUE, 'pt') DESC), 0) AS "other"
+    FROM (
+      SELECT "rid2" AS "rid3", ANY_VALUE("leps") AS "leps", ANY_VALUE("metpt") AS "metpt", ANY_VALUE("metphi") AS "metphi",
+        GET(ARRAY_AGG(OBJECT_CONSTRUCT('i', "l1".INDEX + 1, 'j', "l2".INDEX + 1)) WITHIN GROUP (ORDER BY ABS(SQRT(2 * GET("l1".VALUE, 'pt') * GET("l2".VALUE, 'pt') * (COSH(GET("l1".VALUE, 'eta') - GET("l2".VALUE, 'eta')) - COS(GET("l1".VALUE, 'phi') - GET("l2".VALUE, 'phi')))) - 91.2) ASC), 0) AS "best"
+      FROM (
+        SELECT "rid" AS "rid2", ANY_VALUE("metpt") AS "metpt", ANY_VALUE("metphi") AS "metphi", ARRAY_AGG("lep") AS "leps"
+        FROM (
+          (SELECT "EVENT" AS "rid", GET("MET", 'pt') AS "metpt", GET("MET", 'phi') AS "metphi",
+             OBJECT_CONSTRUCT('pt', GET("m".VALUE, 'pt'), 'eta', GET("m".VALUE, 'eta'), 'phi', GET("m".VALUE, 'phi'), 'charge', GET("m".VALUE, 'charge'), 'flavor', 1) AS "lep"
+           FROM "adl", LATERAL FLATTEN(INPUT => "Muon") AS "m")
+          UNION ALL
+          (SELECT "EVENT" AS "rid", GET("MET", 'pt') AS "metpt", GET("MET", 'phi') AS "metphi",
+             OBJECT_CONSTRUCT('pt', GET("e".VALUE, 'pt'), 'eta', GET("e".VALUE, 'eta'), 'phi', GET("e".VALUE, 'phi'), 'charge', GET("e".VALUE, 'charge'), 'flavor', 2) AS "lep"
+           FROM "adl", LATERAL FLATTEN(INPUT => "Electron") AS "e")
+        )
+        GROUP BY "rid"
+        HAVING COUNT(*) >= 3
+      ),
+      LATERAL FLATTEN(INPUT => "leps") AS "l1",
+      LATERAL FLATTEN(INPUT => "leps") AS "l2"
+      WHERE "l1".INDEX < "l2".INDEX
+        AND GET("l1".VALUE, 'flavor') = GET("l2".VALUE, 'flavor')
+        AND GET("l1".VALUE, 'charge') * GET("l2".VALUE, 'charge') < 0
+      GROUP BY "rid2"
+    ),
+    LATERAL FLATTEN(INPUT => "leps") AS "l3"
+    GROUP BY "rid3"
+  )
+)
+GROUP BY FLOOR("mt" / 5.0) * 5.0
+ORDER BY "bin" ASC
+`

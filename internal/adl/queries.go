@@ -1,0 +1,190 @@
+// Package adl contains the IRIS HEP ADL benchmark workload (§II-C of the
+// paper): the eight reference queries expressed in JSONiq, their
+// handwritten-SQL counterparts in the engine dialect (written in the
+// flatten/re-aggregate style of the benchmark's relational implementations,
+// including the UNION ALL formulation of Q8 the paper discusses in §V-D),
+// and helpers to execute and compare all back-ends.
+//
+// Every query ends in a histogram: `group by bin / order by bin /
+// return {bin, count}`. Bin width is 5 GeV throughout.
+package adl
+
+import "jsonpark/internal/core"
+
+// BinWidth is the histogram bin width in GeV.
+const BinWidth = 5.0
+
+// Query is one benchmark query in both languages.
+type Query struct {
+	ID          string
+	Description string
+	JSONiq      string
+	SQL         string
+	// Strategy is the nested-query elimination strategy the paper selects
+	// for this query (§V-A): JOIN-based for Q6, flag-column otherwise.
+	Strategy core.Strategy
+}
+
+// Queries returns the eight ADL queries in order.
+func Queries() []Query {
+	return []Query{
+		{ID: "q1", Description: "MET histogram", JSONiq: q1JSONiq, SQL: q1SQL},
+		{ID: "q2", Description: "jet pT histogram", JSONiq: q2JSONiq, SQL: q2SQL},
+		{ID: "q3", Description: "pT of jets with |eta| < 1", JSONiq: q3JSONiq, SQL: q3SQL},
+		{ID: "q4", Description: "MET of events with >= 2 jets with pT > 40", JSONiq: q4JSONiq, SQL: q4SQL},
+		{ID: "q5", Description: "MET of events with an opposite-charge dimuon with 60 < m < 120", JSONiq: q5JSONiq, SQL: q5SQL},
+		{ID: "q6", Description: "pT of the trijet system with mass closest to 172.5", JSONiq: q6JSONiq, SQL: q6SQL, Strategy: core.StrategyJoin},
+		{ID: "q7", Description: "scalar sum of pT of jets (pT > 30) isolated from light leptons (pT > 10)", JSONiq: q7JSONiq, SQL: q7SQL},
+		{ID: "q8", Description: "transverse mass of MET and leading lepton outside the best SFOS pair", JSONiq: q8JSONiq, SQL: q8SQL},
+	}
+}
+
+// ByID returns one query.
+func ByID(id string) (Query, bool) {
+	for _, q := range Queries() {
+		if q.ID == id {
+			return q, true
+		}
+	}
+	return Query{}, false
+}
+
+const q1JSONiq = `
+for $e in collection("adl")
+group by $bin := floor($e.MET.pt div 5.0) * 5.0
+order by $bin
+return {"bin": $bin, "count": count($e)}
+`
+
+const q2JSONiq = `
+for $e in collection("adl")
+for $j in $e.Jet[]
+group by $bin := floor($j.pt div 5.0) * 5.0
+order by $bin
+return {"bin": $bin, "count": count($j)}
+`
+
+const q3JSONiq = `
+for $e in collection("adl")
+for $j in $e.Jet[]
+where abs($j.eta) lt 1
+group by $bin := floor($j.pt div 5.0) * 5.0
+order by $bin
+return {"bin": $bin, "count": count($j)}
+`
+
+const q4JSONiq = `
+for $e in collection("adl")
+where count(
+  for $j in $e.Jet[]
+  where $j.pt gt 40
+  return $j
+) ge 2
+group by $bin := floor($e.MET.pt div 5.0) * 5.0
+order by $bin
+return {"bin": $bin, "count": count($e)}
+`
+
+const q5JSONiq = `
+for $e in collection("adl")
+where exists(
+  for $i in 1 to size($e.Muon)
+  for $j in 1 to size($e.Muon)
+  where $i lt $j
+  let $m1 := $e.Muon[[$i]]
+  let $m2 := $e.Muon[[$j]]
+  where $m1.charge * $m2.charge lt 0
+  let $mass := sqrt(2 * $m1.pt * $m2.pt * (cosh($m1.eta - $m2.eta) - cos($m1.phi - $m2.phi)))
+  where $mass gt 60 and $mass lt 120
+  return 1
+)
+group by $bin := floor($e.MET.pt div 5.0) * 5.0
+order by $bin
+return {"bin": $bin, "count": count($e)}
+`
+
+const q6JSONiq = `
+for $e in collection("adl")
+where size($e.Jet) ge 3
+let $best := (
+  for $i in 1 to size($e.Jet)
+  for $j in 1 to size($e.Jet)
+  for $k in 1 to size($e.Jet)
+  where $i lt $j and $j lt $k
+  let $j1 := $e.Jet[[$i]]
+  let $j2 := $e.Jet[[$j]]
+  let $j3 := $e.Jet[[$k]]
+  let $px := $j1.pt * cos($j1.phi) + $j2.pt * cos($j2.phi) + $j3.pt * cos($j3.phi)
+  let $py := $j1.pt * sin($j1.phi) + $j2.pt * sin($j2.phi) + $j3.pt * sin($j3.phi)
+  let $pz := $j1.pt * sinh($j1.eta) + $j2.pt * sinh($j2.eta) + $j3.pt * sinh($j3.eta)
+  let $en := sqrt($j1.pt * $j1.pt + ($j1.pt * sinh($j1.eta)) * ($j1.pt * sinh($j1.eta)) + $j1.mass * $j1.mass)
+           + sqrt($j2.pt * $j2.pt + ($j2.pt * sinh($j2.eta)) * ($j2.pt * sinh($j2.eta)) + $j2.mass * $j2.mass)
+           + sqrt($j3.pt * $j3.pt + ($j3.pt * sinh($j3.eta)) * ($j3.pt * sinh($j3.eta)) + $j3.mass * $j3.mass)
+  let $mass := sqrt($en * $en - $px * $px - $py * $py - $pz * $pz)
+  let $tpt := sqrt($px * $px + $py * $py)
+  let $mb := max([$j1.btag, $j2.btag, $j3.btag])
+  order by abs($mass - 172.5)
+  return {"pt": $tpt, "maxbtag": $mb}
+)[[1]]
+group by $bin := floor($best.pt div 5.0) * 5.0
+order by $bin
+return {"bin": $bin, "count": count($e)}
+`
+
+const q7JSONiq = `
+for $e in collection("adl")
+let $s := sum(
+  for $j in $e.Jet[]
+  where $j.pt gt 30
+  where empty(
+    for $m in $e.Muon[]
+    where $m.pt gt 10
+    let $dphi := atan2(sin($j.phi - $m.phi), cos($j.phi - $m.phi))
+    where sqrt(($j.eta - $m.eta) * ($j.eta - $m.eta) + $dphi * $dphi) lt 0.4
+    return 1
+  )
+  where empty(
+    for $l in $e.Electron[]
+    where $l.pt gt 10
+    let $dphi := atan2(sin($j.phi - $l.phi), cos($j.phi - $l.phi))
+    where sqrt(($j.eta - $l.eta) * ($j.eta - $l.eta) + $dphi * $dphi) lt 0.4
+    return 1
+  )
+  return $j.pt
+)
+group by $bin := floor($s div 5.0) * 5.0
+order by $bin
+return {"bin": $bin, "count": count($e)}
+`
+
+const q8JSONiq = `
+for $e in collection("adl")
+let $mu := (for $m in $e.Muon[]
+            return {"pt": $m.pt, "eta": $m.eta, "phi": $m.phi, "charge": $m.charge, "flavor": 1})
+let $el := (for $l in $e.Electron[]
+            return {"pt": $l.pt, "eta": $l.eta, "phi": $l.phi, "charge": $l.charge, "flavor": 2})
+let $leptons := concat($mu, $el)
+where size($leptons) ge 3
+let $best := (
+  for $i in 1 to size($leptons)
+  for $j in 1 to size($leptons)
+  where $i lt $j
+  let $l1 := $leptons[[$i]]
+  let $l2 := $leptons[[$j]]
+  where $l1.flavor eq $l2.flavor and $l1.charge * $l2.charge lt 0
+  let $mass := sqrt(2 * $l1.pt * $l2.pt * (cosh($l1.eta - $l2.eta) - cos($l1.phi - $l2.phi)))
+  order by abs($mass - 91.2)
+  return {"i": $i, "j": $j}
+)[[1]]
+where exists($best)
+let $other := (
+  for $k in 1 to size($leptons)
+  where $k ne $best.i and $k ne $best.j
+  order by $leptons[[$k]].pt descending
+  return $leptons[[$k]]
+)[[1]]
+let $mt := sqrt(2 * $other.pt * $e.MET.pt * (1 - cos($e.MET.phi - $other.phi)))
+group by $bin := floor($mt div 5.0) * 5.0
+order by $bin
+return {"bin": $bin, "count": count($e)}
+`

@@ -1,0 +1,387 @@
+package adl
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"jsonpark/internal/bench"
+	"jsonpark/internal/core"
+	"jsonpark/internal/engine"
+	"jsonpark/internal/hepdata"
+	"jsonpark/internal/iterplan"
+	"jsonpark/internal/jsoniq"
+	"jsonpark/internal/runtime"
+	"jsonpark/internal/snowpark"
+	"jsonpark/internal/variant"
+)
+
+// ReportConfig parameterizes the figure/table regeneration.
+type ReportConfig struct {
+	Seed    int64
+	Events  int // dataset size for the fixed-size experiments ("SF1")
+	Warmups int
+	Runs    int
+	Cutoff  time.Duration
+	// ScalePowers are the scale factors of the Fig 10 sweep expressed as
+	// powers of two relative to Events (the paper uses 2^-16 … 2^6).
+	ScalePowers []int
+	Out         io.Writer
+}
+
+// DefaultConfig returns laptop-scale defaults.
+func DefaultConfig(out io.Writer) ReportConfig {
+	return ReportConfig{
+		Seed:        42,
+		Events:      20000,
+		Warmups:     1,
+		Runs:        3,
+		Cutoff:      15 * time.Second,
+		ScalePowers: []int{-7, -6, -5, -4, -3, -2, -1, 0},
+		Out:         out,
+	}
+}
+
+// Setup loads one dataset into a fresh engine and returns the session plus
+// the documents (for the interpreted baselines).
+func Setup(seed int64, events int) (*snowpark.Session, []variant.Value, error) {
+	eng := engine.New()
+	docs, err := hepdata.Load(eng, "adl", seed, events)
+	if err != nil {
+		return nil, nil, err
+	}
+	return snowpark.NewSession(eng), docs, nil
+}
+
+// ReportTable2 regenerates Table II: the per-query iterator census.
+func ReportTable2(cfg ReportConfig) error {
+	t := bench.NewTable("Table II analogue: runtime iterators per ADL query",
+		"Type", "Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8")
+	var flwor, other, total []string
+	for _, q := range Queries() {
+		expr, err := jsoniq.Parse(q.JSONiq)
+		if err != nil {
+			return err
+		}
+		it, err := iterplan.Build(jsoniq.Rewrite(expr))
+		if err != nil {
+			return err
+		}
+		c := iterplan.Census(it)
+		flwor = append(flwor, fmt.Sprint(c.FLWOR))
+		other = append(other, fmt.Sprint(c.Other))
+		total = append(total, fmt.Sprint(c.Total()))
+	}
+	t.AddRow(append([]string{"FLWOR Iterators"}, flwor...)...)
+	t.AddRow(append([]string{"Other Iterators"}, other...)...)
+	t.AddRow(append([]string{"Total Iterators"}, total...)...)
+	t.Render(cfg.Out)
+	return nil
+}
+
+// ReportFig6 regenerates Figure 6: JSONiq→SQL translation time per query
+// (data independent; only the table schema is consulted).
+func ReportFig6(cfg ReportConfig) error {
+	sess, _, err := Setup(cfg.Seed, 16)
+	if err != nil {
+		return err
+	}
+	t := bench.NewTable("Fig 6 analogue: query translation time (JSONiq to SQL)",
+		"Query", "Translation")
+	runs := cfg.Runs * 20
+	if runs < 20 {
+		runs = 20
+	}
+	for _, q := range Queries() {
+		q := q
+		m, err := bench.Measure(cfg.Warmups*5, runs, func() error {
+			_, err := core.Translate(sess, q.JSONiq, core.Options{Strategy: q.Strategy})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		t.AddRow(q.ID, bench.FormatDuration(m.Mean))
+	}
+	t.Render(cfg.Out)
+	return nil
+}
+
+// ReportFig7 regenerates Figure 7: SQL compilation time in the engine,
+// automatically generated vs handwritten.
+func ReportFig7(cfg ReportConfig) error {
+	sess, _, err := Setup(cfg.Seed, 64)
+	if err != nil {
+		return err
+	}
+	t := bench.NewTable("Fig 7 analogue: engine compilation time",
+		"Query", "Generated", "Handwritten")
+	for _, q := range Queries() {
+		res, err := core.Translate(sess, q.JSONiq, core.Options{Strategy: q.Strategy})
+		if err != nil {
+			return err
+		}
+		gen, err := measureCompile(sess.Engine(), res.SQL, cfg)
+		if err != nil {
+			return err
+		}
+		hand, err := measureCompile(sess.Engine(), q.SQL, cfg)
+		if err != nil {
+			return err
+		}
+		t.AddRow(q.ID, bench.FormatDuration(gen), bench.FormatDuration(hand))
+	}
+	t.Render(cfg.Out)
+	return nil
+}
+
+func measureCompile(eng *engine.Engine, sql string, cfg ReportConfig) (time.Duration, error) {
+	runs := cfg.Runs * 5
+	if runs < 5 {
+		runs = 5
+	}
+	m, err := bench.Measure(cfg.Warmups, runs, func() error {
+		_, err := eng.Prepare(sql)
+		return err
+	})
+	return m.Mean, err
+}
+
+// ReportFig8 regenerates Figure 8: execution time at the configured dataset
+// size, generated vs handwritten (compile excluded).
+func ReportFig8(cfg ReportConfig) error {
+	sess, _, err := Setup(cfg.Seed, cfg.Events)
+	if err != nil {
+		return err
+	}
+	t := bench.NewTable(
+		fmt.Sprintf("Fig 8 analogue: execution time (%d events)", cfg.Events),
+		"Query", "Generated", "Handwritten")
+	for _, q := range Queries() {
+		res, err := core.Translate(sess, q.JSONiq, core.Options{Strategy: q.Strategy})
+		if err != nil {
+			return err
+		}
+		gen, err := measureExec(sess.Engine(), res.SQL, cfg)
+		if err != nil {
+			return err
+		}
+		hand, err := measureExec(sess.Engine(), q.SQL, cfg)
+		if err != nil {
+			return err
+		}
+		t.AddRow(q.ID, bench.FormatDuration(gen), bench.FormatDuration(hand))
+	}
+	t.Render(cfg.Out)
+	return nil
+}
+
+func measureExec(eng *engine.Engine, sql string, cfg ReportConfig) (time.Duration, error) {
+	var execTotal time.Duration
+	m, err := bench.Measure(cfg.Warmups, cfg.Runs, func() error {
+		res, err := eng.Query(sql)
+		if err != nil {
+			return err
+		}
+		execTotal += res.Metrics.ExecTime
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	_ = m
+	return execTotal / time.Duration(cfg.Runs+cfg.Warmups), nil
+}
+
+// systemRunners builds the four evaluated systems for one dataset.
+func systemRunners(sess *snowpark.Session, docs []variant.Value) map[string]func(q Query) error {
+	rtSpark := runtime.New(runtime.ProfileRumbleSpark)
+	rtSpark.LoadCollection("adl", docs)
+	rtAst := runtime.New(runtime.ProfileAsterix)
+	rtAst.LoadCollection("adl", docs)
+	return map[string]func(q Query) error{
+		"Generated": func(q Query) error {
+			_, _, err := RunTranslated(sess, q, nil)
+			return err
+		},
+		"Handwritten": func(q Query) error {
+			_, _, err := RunHandwritten(sess.Engine(), q)
+			return err
+		},
+		"RumbleDB+Spark": func(q Query) error {
+			_, err := RunInterpreted(rtSpark, q)
+			return err
+		},
+		"AsterixDB": func(q Query) error {
+			_, err := RunInterpreted(rtAst, q)
+			return err
+		},
+	}
+}
+
+var systemOrder = []string{"RumbleDB+Spark", "AsterixDB", "Generated", "Handwritten"}
+
+// ReportFig9 regenerates Figure 9: end-to-end time per query across the
+// four systems, with the cutoff applied to the DSQL baselines.
+func ReportFig9(cfg ReportConfig) error {
+	sess, docs, err := Setup(cfg.Seed, cfg.Events)
+	if err != nil {
+		return err
+	}
+	runners := systemRunners(sess, docs)
+	t := bench.NewTable(
+		fmt.Sprintf("Fig 9 analogue: end-to-end time (%d events, cutoff %s)", cfg.Events, cfg.Cutoff),
+		append([]string{"Query"}, systemOrder...)...)
+	for _, q := range Queries() {
+		row := []string{q.ID}
+		for _, sys := range systemOrder {
+			m, err := bench.MeasureWithCutoff(cfg.Warmups, cfg.Runs, cfg.Cutoff, func() error {
+				return runners[sys](q)
+			})
+			if err != nil {
+				return fmt.Errorf("%s on %s: %w", q.ID, sys, err)
+			}
+			cell := bench.FormatDuration(m.Mean)
+			if m.TimedOut {
+				cell = ">" + bench.FormatDuration(cfg.Cutoff)
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	t.Render(cfg.Out)
+	return nil
+}
+
+// ReportScanned regenerates the §V-E measurement: bytes scanned per query,
+// generated vs handwritten.
+func ReportScanned(cfg ReportConfig) error {
+	sess, _, err := Setup(cfg.Seed, cfg.Events)
+	if err != nil {
+		return err
+	}
+	t := bench.NewTable(
+		fmt.Sprintf("Scanned bytes (§V-E analogue, %d events)", cfg.Events),
+		"Query", "Generated", "Handwritten", "Ratio")
+	for _, q := range Queries() {
+		_, gen, err := RunTranslated(sess, q, nil)
+		if err != nil {
+			return err
+		}
+		_, hand, err := RunHandwritten(sess.Engine(), q)
+		if err != nil {
+			return err
+		}
+		ratio := float64(gen.Metrics.BytesScanned) / float64(hand.Metrics.BytesScanned)
+		t.AddRow(q.ID, bench.FormatBytes(gen.Metrics.BytesScanned),
+			bench.FormatBytes(hand.Metrics.BytesScanned), fmt.Sprintf("%.2fx", ratio))
+	}
+	t.Render(cfg.Out)
+	return nil
+}
+
+// ReportFig10 regenerates Figure 10: end-to-end time versus scale factor
+// for every query and system, with cutoff.
+func ReportFig10(cfg ReportConfig) error {
+	for _, q := range Queries() {
+		set := bench.NewSeriesSet(
+			fmt.Sprintf("Fig 10 analogue (%s): total time vs scale factor (SF1 = %d events)", q.ID, cfg.Events),
+			"SF(2^k)")
+		series := map[string]*bench.Series{}
+		for _, sys := range systemOrder {
+			series[sys] = set.Add(sys)
+		}
+		// Baselines stop being measured at larger scales once they time out.
+		dead := map[string]bool{}
+		for _, p := range cfg.ScalePowers {
+			events := int(math.Round(float64(cfg.Events) * math.Pow(2, float64(p))))
+			if events < 8 {
+				events = 8
+			}
+			sess, docs, err := Setup(cfg.Seed, events)
+			if err != nil {
+				return err
+			}
+			runners := systemRunners(sess, docs)
+			for _, sys := range systemOrder {
+				if dead[sys] {
+					series[sys].Points[float64(p)] = "cutoff"
+					continue
+				}
+				m, err := bench.MeasureWithCutoff(0, 1, cfg.Cutoff, func() error {
+					return runners[sys](q)
+				})
+				if err != nil {
+					return fmt.Errorf("%s on %s at 2^%d: %w", q.ID, sys, p, err)
+				}
+				if m.TimedOut {
+					series[sys].Points[float64(p)] = "cutoff"
+					dead[sys] = true
+				} else {
+					series[sys].Points[float64(p)] = bench.FormatDuration(m.Mean)
+				}
+			}
+		}
+		set.Render(cfg.Out)
+	}
+	return nil
+}
+
+// ReportAblation regenerates the §IV-C strategy comparison: KEEP-flag vs
+// JOIN-based nested-query handling on the queries with nested queries.
+func ReportAblation(cfg ReportConfig) error {
+	sess, _, err := Setup(cfg.Seed, cfg.Events)
+	if err != nil {
+		return err
+	}
+	t := bench.NewTable(
+		fmt.Sprintf("Ablation (§IV-C): nested-query strategy, %d events", cfg.Events),
+		"Query", "KeepFlag", "Join", "Auto", "AutoPick", "KeepBytes", "JoinBytes")
+	keep := core.StrategyKeepFlag
+	join := core.StrategyJoin
+	auto := core.StrategyAuto
+	for _, q := range Queries() {
+		if q.ID == "q1" || q.ID == "q2" || q.ID == "q3" {
+			continue // no nested queries
+		}
+		var keepBytes, joinBytes int64
+		mk, err := bench.Measure(cfg.Warmups, cfg.Runs, func() error {
+			_, res, err := RunTranslated(sess, q, &keep)
+			if res != nil {
+				keepBytes = res.Metrics.BytesScanned
+			}
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		mj, err := bench.Measure(cfg.Warmups, cfg.Runs, func() error {
+			_, res, err := RunTranslated(sess, q, &join)
+			if res != nil {
+				joinBytes = res.Metrics.BytesScanned
+			}
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		ma, err := bench.Measure(cfg.Warmups, cfg.Runs, func() error {
+			_, _, err := RunTranslated(sess, q, &auto)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		expr, err := jsoniq.Parse(q.JSONiq)
+		if err != nil {
+			return err
+		}
+		pick := core.ChooseStrategy(core.StrategyAuto, jsoniq.Rewrite(expr))
+		t.AddRow(q.ID, bench.FormatDuration(mk.Mean), bench.FormatDuration(mj.Mean),
+			bench.FormatDuration(ma.Mean), pick.String(),
+			bench.FormatBytes(keepBytes), bench.FormatBytes(joinBytes))
+	}
+	t.Render(cfg.Out)
+	return nil
+}

@@ -1,0 +1,108 @@
+package adl
+
+import (
+	"jsonpark/internal/iterplan"
+	"jsonpark/internal/jsoniq"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyConfig keeps report smoke tests fast.
+func tinyConfig(sb *strings.Builder) ReportConfig {
+	return ReportConfig{
+		Seed:        3,
+		Events:      150,
+		Warmups:     0,
+		Runs:        1,
+		Cutoff:      30 * time.Second,
+		ScalePowers: []int{-1, 0},
+		Out:         sb,
+	}
+}
+
+func TestReportsProduceTables(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(ReportConfig) error
+		want []string
+	}{
+		{"table2", ReportTable2, []string{"FLWOR Iterators", "Q8"}},
+		{"fig6", ReportFig6, []string{"Translation", "q8"}},
+		{"fig7", ReportFig7, []string{"Generated", "Handwritten"}},
+		{"fig8", ReportFig8, []string{"Generated", "Handwritten", "q6"}},
+		{"scanned", ReportScanned, []string{"Ratio", "q6"}},
+		{"ablation", ReportAblation, []string{"KeepFlag", "Join", "q5"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := c.run(tinyConfig(&sb)); err != nil {
+				t.Fatal(err)
+			}
+			out := sb.String()
+			for _, frag := range c.want {
+				if !strings.Contains(out, frag) {
+					t.Errorf("missing %q in output:\n%s", frag, out)
+				}
+			}
+		})
+	}
+}
+
+func TestReportFig9IncludesAllSystems(t *testing.T) {
+	var sb strings.Builder
+	cfg := tinyConfig(&sb)
+	if err := ReportFig9(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, sys := range []string{"RumbleDB+Spark", "AsterixDB", "Generated", "Handwritten"} {
+		if !strings.Contains(out, sys) {
+			t.Errorf("missing system %q:\n%s", sys, out)
+		}
+	}
+}
+
+func TestReportFig10SweepsScaleFactors(t *testing.T) {
+	var sb strings.Builder
+	cfg := tinyConfig(&sb)
+	if err := ReportFig10(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "Fig 10 analogue") != 8 {
+		t.Errorf("expected one plot per query:\n%s", out)
+	}
+	if !strings.Contains(out, "-1") || !strings.Contains(out, "0") {
+		t.Errorf("missing scale factor rows:\n%s", out)
+	}
+}
+
+func TestTable2ShapeMatchesPaper(t *testing.T) {
+	// The paper's Table II shape: totals grow from Q1 to Q8 overall, Q6 and
+	// Q8 dominate, and FLWOR iterators are a small fraction of the total.
+	totals := map[string]int{}
+	for _, q := range Queries() {
+		expr, err := jsoniq.Parse(q.JSONiq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		it, err := iterplan.Build(jsoniq.Rewrite(expr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := iterplan.Census(it)
+		totals[q.ID] = c.Total()
+		if c.FLWOR*2 >= c.Total() {
+			t.Errorf("%s: FLWOR iterators (%d) should be a minority of %d", q.ID, c.FLWOR, c.Total())
+		}
+	}
+	if totals["q1"] >= totals["q5"] || totals["q5"] >= totals["q6"] {
+		t.Errorf("totals not growing: %v", totals)
+	}
+	if totals["q6"] < 2*totals["q4"] || totals["q8"] < 2*totals["q4"] {
+		t.Errorf("q6/q8 should dominate: %v", totals)
+	}
+}

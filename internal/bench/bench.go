@@ -1,0 +1,211 @@
+// Package bench provides the measurement harness for regenerating the
+// paper's tables and figures: warmup-then-average timing (the paper
+// averages 3 runs after 3 warmups for engine experiments and 100 runs for
+// translation timing, §V-A), cutoff handling for the scalability sweeps,
+// and text renderers for table- and series-shaped results.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Measurement is one averaged timing.
+type Measurement struct {
+	Mean     time.Duration
+	Runs     int
+	TimedOut bool
+}
+
+// Measure runs fn warmups times unmeasured, then runs times measured, and
+// returns the mean duration.
+func Measure(warmups, runs int, fn func() error) (Measurement, error) {
+	for i := 0; i < warmups; i++ {
+		if err := fn(); err != nil {
+			return Measurement{}, err
+		}
+	}
+	var total time.Duration
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		if err := fn(); err != nil {
+			return Measurement{}, err
+		}
+		total += time.Since(start)
+	}
+	return Measurement{Mean: total / time.Duration(runs), Runs: runs}, nil
+}
+
+// MeasureWithCutoff is Measure with a per-run time limit (the paper's
+// 10-minute cap, re-based). A run exceeding the cutoff marks the
+// measurement as timed out; no further runs execute.
+func MeasureWithCutoff(warmups, runs int, cutoff time.Duration, fn func() error) (Measurement, error) {
+	probe := func() (time.Duration, error) {
+		start := time.Now()
+		err := fn()
+		return time.Since(start), err
+	}
+	for i := 0; i < warmups; i++ {
+		d, err := probe()
+		if err != nil {
+			return Measurement{}, err
+		}
+		if d > cutoff {
+			return Measurement{Mean: d, Runs: 1, TimedOut: true}, nil
+		}
+	}
+	var total time.Duration
+	for i := 0; i < runs; i++ {
+		d, err := probe()
+		if err != nil {
+			return Measurement{}, err
+		}
+		if d > cutoff {
+			return Measurement{Mean: d, Runs: i + 1, TimedOut: true}, nil
+		}
+		total += d
+	}
+	return Measurement{Mean: total / time.Duration(runs), Runs: runs}, nil
+}
+
+// Table is a labeled grid of cells for figure-style text output.
+type Table struct {
+	Title   string
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row of formatted cells.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// Render writes an aligned text table.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	fmt.Fprintf(w, "## %s\n", t.Title)
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is one labeled line of (x, y) points for scalability plots.
+type Series struct {
+	Label  string
+	Points map[float64]string
+}
+
+// SeriesSet renders several series against a shared x axis, mirroring the
+// paper's per-query scalability plots.
+type SeriesSet struct {
+	Title  string
+	XLabel string
+	series []*Series
+}
+
+// NewSeriesSet creates an empty plot.
+func NewSeriesSet(title, xlabel string) *SeriesSet {
+	return &SeriesSet{Title: title, XLabel: xlabel}
+}
+
+// Add registers a series.
+func (s *SeriesSet) Add(label string) *Series {
+	ser := &Series{Label: label, Points: make(map[float64]string)}
+	s.series = append(s.series, ser)
+	return ser
+}
+
+// Render writes the series as a grid: one row per x value, one column per
+// series.
+func (s *SeriesSet) Render(w io.Writer) {
+	xs := map[float64]bool{}
+	for _, ser := range s.series {
+		for x := range ser.Points {
+			xs[x] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+
+	cols := []string{s.XLabel}
+	for _, ser := range s.series {
+		cols = append(cols, ser.Label)
+	}
+	t := NewTable(s.Title, cols...)
+	for _, x := range sorted {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, ser := range s.series {
+			v, ok := ser.Points[x]
+			if !ok {
+				v = "-"
+			}
+			row = append(row, v)
+		}
+		t.AddRow(row...)
+	}
+	t.Render(w)
+}
+
+// FormatDuration renders a duration with fixed precision for tables.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	}
+	return fmt.Sprintf("%dµs", d.Microseconds())
+}
+
+// FormatBytes renders a byte count in binary units.
+func FormatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

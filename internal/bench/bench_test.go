@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMeasureAveragesAndWarmups(t *testing.T) {
+	calls := 0
+	m, err := Measure(2, 3, func() error {
+		calls++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 5 {
+		t.Errorf("calls = %d, want 5 (2 warmups + 3 runs)", calls)
+	}
+	if m.Runs != 3 {
+		t.Errorf("runs = %d", m.Runs)
+	}
+}
+
+func TestMeasurePropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	if _, err := Measure(0, 1, func() error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMeasureWithCutoff(t *testing.T) {
+	m, err := MeasureWithCutoff(0, 3, time.Nanosecond, func() error {
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.TimedOut {
+		t.Error("expected timeout")
+	}
+	m, err = MeasureWithCutoff(1, 2, time.Minute, func() error { return nil })
+	if err != nil || m.TimedOut {
+		t.Errorf("fast fn should not time out: %+v %v", m, err)
+	}
+}
+
+func TestTableRenderAligned(t *testing.T) {
+	tb := NewTable("demo", "Query", "Time")
+	tb.AddRow("q1", "5ms")
+	tb.AddRow("q10", "123.45ms")
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "## demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[3], "q1 ") {
+		t.Errorf("row not aligned: %q", lines[3])
+	}
+}
+
+func TestSeriesSetRender(t *testing.T) {
+	set := NewSeriesSet("scaling", "SF")
+	a := set.Add("gen")
+	b := set.Add("hand")
+	a.Points[1] = "10ms"
+	a.Points[2] = "20ms"
+	b.Points[2] = "15ms"
+	var sb strings.Builder
+	set.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "gen") || !strings.Contains(out, "hand") {
+		t.Errorf("missing series labels:\n%s", out)
+	}
+	// Missing point renders as "-".
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing placeholder:\n%s", out)
+	}
+	// X values sorted: line for SF 1 precedes SF 2.
+	if strings.Index(out, "\n1 ") > strings.Index(out, "\n2 ") {
+		t.Errorf("x values unsorted:\n%s", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := FormatDuration(1500 * time.Millisecond); got != "1.500s" {
+		t.Errorf("duration = %q", got)
+	}
+	if got := FormatDuration(2500 * time.Microsecond); got != "2.50ms" {
+		t.Errorf("duration = %q", got)
+	}
+	if got := FormatDuration(900 * time.Nanosecond); got != "0µs" {
+		t.Errorf("duration = %q", got)
+	}
+	if got := FormatBytes(3 << 20); got != "3.00MiB" {
+		t.Errorf("bytes = %q", got)
+	}
+	if got := FormatBytes(512); got != "512B" {
+		t.Errorf("bytes = %q", got)
+	}
+	if got := FormatBytes(2 << 30); got != "2.00GiB" {
+		t.Errorf("bytes = %q", got)
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"jsonpark/internal/jsoniq"
+)
+
+// groupAggRewriter performs aggregate detection after a group by clause:
+// occurrences of count/sum/avg/min/max applied to a non-grouping variable
+// (or a path rooted at one) are replaced by synthetic variables that the
+// translation backs with native SQL aggregates, instead of materializing
+// ARRAY_AGG arrays and re-aggregating them client-side.
+type groupAggRewriter struct {
+	tr          *translator
+	nonGrouping map[string]bool
+	// nonNull marks variables that can never be NULL (for-bound without
+	// `allowing empty`); count() over them becomes COUNT(*), which keeps
+	// the scan prunable instead of forcing the full object column.
+	nonNull map[string]bool
+	specs   []groupAggSpec
+}
+
+// groupAggSpec is one detected aggregate: the SQL aggregate name, the
+// per-tuple argument expression, and the synthetic column name.
+type groupAggSpec struct {
+	agg  string
+	arg  jsoniq.Expr // nil when star is set
+	star bool        // COUNT(*)
+	name string
+}
+
+var jsoniqAggregates = map[string]string{
+	"count": "COUNT", "sum": "SUM", "avg": "AVG", "min": "MIN", "max": "MAX",
+}
+
+// rootVar returns the variable a pure path expression is rooted at, if any.
+func rootVar(e jsoniq.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *jsoniq.VarRef:
+		return x.Name, true
+	case *jsoniq.FieldAccess:
+		return rootVar(x.Base)
+	case *jsoniq.ArrayUnbox:
+		return rootVar(x.Base)
+	}
+	return "", false
+}
+
+func (rw *groupAggRewriter) rewriteExpr(e jsoniq.Expr) (jsoniq.Expr, error) {
+	switch x := e.(type) {
+	case nil:
+		return nil, nil
+	case *jsoniq.Literal, *jsoniq.Collection:
+		return e, nil
+	case *jsoniq.VarRef:
+		return e, nil
+	case *jsoniq.FunctionCall:
+		if agg, ok := jsoniqAggregates[x.Name]; ok && len(x.Args) == 1 {
+			if v, rooted := rootVar(x.Args[0]); rooted && rw.nonGrouping[v] {
+				spec := groupAggSpec{agg: agg, arg: x.Args[0]}
+				if agg == "COUNT" {
+					if vr, plain := x.Args[0].(*jsoniq.VarRef); plain && rw.nonNull[vr.Name] {
+						spec.arg = nil
+						spec.star = true
+					}
+				}
+				// Identical aggregates (e.g. the same sum in both order by
+				// and return) share one output column.
+				key := spec.agg
+				if spec.arg != nil {
+					key += " " + jsoniq.Format(spec.arg)
+				}
+				for _, existing := range rw.specs {
+					ek := existing.agg
+					if existing.arg != nil {
+						ek += " " + jsoniq.Format(existing.arg)
+					}
+					if ek == key {
+						return &jsoniq.VarRef{Name: existing.name}, nil
+					}
+				}
+				spec.name = rw.tr.fresh("gagg")
+				rw.specs = append(rw.specs, spec)
+				return &jsoniq.VarRef{Name: spec.name}, nil
+			}
+		}
+		out := &jsoniq.FunctionCall{Name: x.Name}
+		for _, a := range x.Args {
+			na, err := rw.rewriteExpr(a)
+			if err != nil {
+				return nil, err
+			}
+			out.Args = append(out.Args, na)
+		}
+		return out, nil
+	case *jsoniq.FieldAccess:
+		base, err := rw.rewriteExpr(x.Base)
+		if err != nil {
+			return nil, err
+		}
+		return &jsoniq.FieldAccess{Base: base, Field: x.Field}, nil
+	case *jsoniq.ArrayUnbox:
+		base, err := rw.rewriteExpr(x.Base)
+		if err != nil {
+			return nil, err
+		}
+		return &jsoniq.ArrayUnbox{Base: base}, nil
+	case *jsoniq.ArrayIndex:
+		base, err := rw.rewriteExpr(x.Base)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := rw.rewriteExpr(x.Index)
+		if err != nil {
+			return nil, err
+		}
+		return &jsoniq.ArrayIndex{Base: base, Index: idx}, nil
+	case *jsoniq.ObjectCtor:
+		out := &jsoniq.ObjectCtor{Keys: x.Keys}
+		for _, v := range x.Values {
+			nv, err := rw.rewriteExpr(v)
+			if err != nil {
+				return nil, err
+			}
+			out.Values = append(out.Values, nv)
+		}
+		return out, nil
+	case *jsoniq.ArrayCtor:
+		out := &jsoniq.ArrayCtor{}
+		for _, v := range x.Items {
+			nv, err := rw.rewriteExpr(v)
+			if err != nil {
+				return nil, err
+			}
+			out.Items = append(out.Items, nv)
+		}
+		return out, nil
+	case *jsoniq.Binary:
+		l, err := rw.rewriteExpr(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rw.rewriteExpr(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &jsoniq.Binary{Op: x.Op, Left: l, Right: r}, nil
+	case *jsoniq.Unary:
+		o, err := rw.rewriteExpr(x.Operand)
+		if err != nil {
+			return nil, err
+		}
+		return &jsoniq.Unary{Op: x.Op, Operand: o}, nil
+	case *jsoniq.If:
+		cond, err := rw.rewriteExpr(x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		then, err := rw.rewriteExpr(x.Then)
+		if err != nil {
+			return nil, err
+		}
+		els, err := rw.rewriteExpr(x.Else)
+		if err != nil {
+			return nil, err
+		}
+		return &jsoniq.If{Cond: cond, Then: then, Else: els}, nil
+	case *jsoniq.FLWOR:
+		// Nested FLWORs see the grouped bindings; aggregate calls inside
+		// them operate on already-aggregated arrays, so only rewrite
+		// occurrences that still refer to non-grouping variables directly.
+		out := &jsoniq.FLWOR{}
+		for _, c := range x.Clauses {
+			nc, err := rw.rewriteClause(c)
+			if err != nil {
+				return nil, err
+			}
+			out.Clauses = append(out.Clauses, nc)
+		}
+		ret, err := rw.rewriteExpr(x.Return)
+		if err != nil {
+			return nil, err
+		}
+		out.Return = ret
+		return out, nil
+	}
+	return e, nil
+}
+
+func (rw *groupAggRewriter) rewriteClause(c jsoniq.Clause) (jsoniq.Clause, error) {
+	switch cl := c.(type) {
+	case *jsoniq.ForClause:
+		in, err := rw.rewriteExpr(cl.In)
+		if err != nil {
+			return nil, err
+		}
+		out := *cl
+		out.In = in
+		return &out, nil
+	case *jsoniq.LetClause:
+		e, err := rw.rewriteExpr(cl.Expr)
+		if err != nil {
+			return nil, err
+		}
+		out := *cl
+		out.Expr = e
+		return &out, nil
+	case *jsoniq.WhereClause:
+		e, err := rw.rewriteExpr(cl.Cond)
+		if err != nil {
+			return nil, err
+		}
+		out := *cl
+		out.Cond = e
+		return &out, nil
+	case *jsoniq.GroupByClause:
+		out := &jsoniq.GroupByClause{}
+		for _, k := range cl.Keys {
+			nk := k
+			if k.Expr != nil {
+				e, err := rw.rewriteExpr(k.Expr)
+				if err != nil {
+					return nil, err
+				}
+				nk.Expr = e
+			}
+			out.Keys = append(out.Keys, nk)
+		}
+		return out, nil
+	case *jsoniq.OrderByClause:
+		out := &jsoniq.OrderByClause{}
+		for _, k := range cl.Keys {
+			e, err := rw.rewriteExpr(k.Expr)
+			if err != nil {
+				return nil, err
+			}
+			out.Keys = append(out.Keys, jsoniq.OrderKey{Expr: e, Descending: k.Descending})
+		}
+		return out, nil
+	}
+	return c, nil
+}

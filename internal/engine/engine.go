@@ -1,0 +1,167 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"jsonpark/internal/sqlast"
+	"jsonpark/internal/sqlparse"
+	"jsonpark/internal/storage"
+	"jsonpark/internal/variant"
+)
+
+// Engine is one embedded database instance: a catalog of micro-partitioned
+// tables plus the query pipeline (parse → plan → optimize → execute).
+type Engine struct {
+	catalog *storage.Catalog
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	return &Engine{catalog: storage.NewCatalog()}
+}
+
+// Catalog exposes the engine's table catalog for loading data.
+func (e *Engine) Catalog() *storage.Catalog { return e.catalog }
+
+// Metrics reports per-query costs, mirroring the measurements of §V:
+// compile time (parse + plan + optimize + operator preparation), execution
+// time, bytes scanned (per touched column chunk), and partition pruning.
+type Metrics struct {
+	CompileTime      time.Duration
+	ExecTime         time.Duration
+	BytesScanned     int64
+	PartitionsTotal  int
+	PartitionsPruned int
+	RowsReturned     int64
+}
+
+// Total returns compile + execution time (the paper's "total time").
+func (m Metrics) Total() time.Duration { return m.CompileTime + m.ExecTime }
+
+// Result is a completed query: column names, rows, and metrics.
+type Result struct {
+	Columns []string
+	Rows    [][]variant.Value
+	Metrics Metrics
+}
+
+// Prepared is a compiled query ready to execute once.
+type Prepared struct {
+	plan    Node
+	iter    rowIter
+	ctx     *execContext
+	columns []string
+	metrics Metrics
+}
+
+// Prepare compiles SQL text into an executable plan, reporting compile time.
+func (e *Engine) Prepare(sql string) (*Prepared, error) {
+	start := time.Now()
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	pl := &planner{catalog: e.catalog}
+	plan, err := pl.Build(q)
+	if err != nil {
+		return nil, err
+	}
+	plan = optimize(plan)
+	ctx := &execContext{metrics: &Metrics{}}
+	iter, err := prepare(plan, ctx)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{plan: plan, iter: iter, ctx: ctx, columns: plan.Schema().Names}
+	p.metrics.CompileTime = time.Since(start)
+	return p, nil
+}
+
+// Run executes the prepared query to completion. A Prepared is single-use.
+func (p *Prepared) Run() (*Result, error) {
+	start := time.Now()
+	rows, err := drain(p.iter)
+	if err != nil {
+		return nil, err
+	}
+	m := *p.ctx.metrics
+	m.CompileTime = p.metrics.CompileTime
+	m.ExecTime = time.Since(start)
+	m.RowsReturned = int64(len(rows))
+	return &Result{Columns: p.columns, Rows: rows, Metrics: m}, nil
+}
+
+// Query compiles and executes SQL text in one call.
+func (e *Engine) Query(sql string) (*Result, error) {
+	p, err := e.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run()
+}
+
+// Explain returns a textual rendering of the optimized plan.
+func (e *Engine) Explain(sql string) (string, error) {
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	pl := &planner{catalog: e.catalog}
+	plan, err := pl.Build(q)
+	if err != nil {
+		return "", err
+	}
+	plan = optimize(plan)
+	var b strings.Builder
+	explainNode(&b, plan, 0)
+	return b.String(), nil
+}
+
+func explainNode(b *strings.Builder, n Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch x := n.(type) {
+	case *ScanNode:
+		fmt.Fprintf(b, "%sScan %s cols=%v", indent, x.Table.Name, x.Columns)
+		if x.Filter != nil {
+			fmt.Fprintf(b, " filter=%s", sqlast.RenderExpr(x.Filter))
+		}
+		if len(x.Prunes) > 0 {
+			fmt.Fprintf(b, " prunes=%d", len(x.Prunes))
+		}
+		b.WriteByte('\n')
+	case *FilterNode:
+		fmt.Fprintf(b, "%sFilter %s\n", indent, sqlast.RenderExpr(x.Cond))
+		explainNode(b, x.Input, depth+1)
+	case *ProjectNode:
+		fmt.Fprintf(b, "%sProject %v\n", indent, x.Names)
+		explainNode(b, x.Input, depth+1)
+	case *FlattenNode:
+		outer := ""
+		if x.Outer {
+			outer = " outer"
+		}
+		fmt.Fprintf(b, "%sFlatten%s %s as %s\n", indent, outer, sqlast.RenderExpr(x.Expr), x.Alias)
+		explainNode(b, x.Input, depth+1)
+	case *AggregateNode:
+		fmt.Fprintf(b, "%sAggregate groups=%d aggs=%d\n", indent, len(x.GroupBy), len(x.Aggs))
+		explainNode(b, x.Input, depth+1)
+	case *JoinNode:
+		fmt.Fprintf(b, "%s%s Join keys=%d\n", indent, x.Kind, len(x.LeftKeys))
+		explainNode(b, x.Left, depth+1)
+		explainNode(b, x.Right, depth+1)
+	case *SortNode:
+		fmt.Fprintf(b, "%sSort keys=%d\n", indent, len(x.Keys))
+		explainNode(b, x.Input, depth+1)
+	case *LimitNode:
+		fmt.Fprintf(b, "%sLimit %d\n", indent, x.N)
+		explainNode(b, x.Input, depth+1)
+	case *UnionNode:
+		fmt.Fprintf(b, "%sUnionAll\n", indent)
+		explainNode(b, x.Left, depth+1)
+		explainNode(b, x.Right, depth+1)
+	default:
+		fmt.Fprintf(b, "%s%T\n", indent, n)
+	}
+}

@@ -1,0 +1,757 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"jsonpark/internal/variant"
+)
+
+// execContext carries per-query runtime state shared by all operators.
+type execContext struct {
+	metrics *Metrics
+}
+
+// rowIter produces rows; a nil row signals end of stream.
+type rowIter interface {
+	Next() ([]variant.Value, error)
+}
+
+// prepare compiles a logical plan into an executable iterator tree. All
+// expression compilation happens here, so preparation cost is part of the
+// measured compile phase.
+func prepare(n Node, ctx *execContext) (rowIter, error) {
+	switch x := n.(type) {
+	case *ScanNode:
+		return prepareScan(x, ctx)
+	case *FilterNode:
+		in, err := prepare(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		cond, err := compileExpr(x.Input.Schema(), x.Cond)
+		if err != nil {
+			return nil, err
+		}
+		return &filterIter{in: in, cond: cond}, nil
+	case *ProjectNode:
+		in, err := prepare(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		fns := make([]evalFn, len(x.Exprs))
+		for i, e := range x.Exprs {
+			fn, err := compileExpr(x.Input.Schema(), e)
+			if err != nil {
+				return nil, err
+			}
+			fns[i] = fn
+		}
+		return &projectIter{in: in, fns: fns}, nil
+	case *FlattenNode:
+		in, err := prepare(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		input, err := compileExpr(x.Input.Schema(), x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		return &flattenIter{in: in, input: input, outer: x.Outer}, nil
+	case *AggregateNode:
+		return prepareAggregate(x, ctx)
+	case *JoinNode:
+		return prepareJoin(x, ctx)
+	case *SortNode:
+		in, err := prepare(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]evalFn, len(x.Keys))
+		descs := make([]bool, len(x.Keys))
+		for i, k := range x.Keys {
+			fn, err := compileExpr(x.Input.Schema(), k.Expr)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = fn
+			descs[i] = k.Desc
+		}
+		return &sortIter{in: in, keys: keys, descs: descs}, nil
+	case *LimitNode:
+		in, err := prepare(x.Input, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &limitIter{in: in, remaining: x.N}, nil
+	case *UnionNode:
+		left, err := prepare(x.Left, ctx)
+		if err != nil {
+			return nil, err
+		}
+		right, err := prepare(x.Right, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &unionIter{iters: []rowIter{left, right}}, nil
+	}
+	return nil, fmt.Errorf("engine: cannot prepare node %T", n)
+}
+
+// drain pulls every row from an iterator.
+func drain(it rowIter) ([][]variant.Value, error) {
+	var out [][]variant.Value
+	for {
+		row, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
+// --- scan -------------------------------------------------------------------
+
+type scanIter struct {
+	node    *ScanNode
+	ctx     *execContext
+	filter  evalFn // may be nil
+	colIdx  []int
+	parts   int // next partition to open
+	current [][]variant.Value
+	pos     int
+	started bool
+}
+
+func prepareScan(x *ScanNode, ctx *execContext) (rowIter, error) {
+	colIdx := make([]int, len(x.Columns))
+	for i, c := range x.Columns {
+		idx := x.Table.ColumnIndex(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: table %q has no column %q", x.Table.Name, c)
+		}
+		colIdx[i] = idx
+	}
+	var filter evalFn
+	if x.Filter != nil {
+		fn, err := compileExpr(x.Schema(), x.Filter)
+		if err != nil {
+			return nil, err
+		}
+		filter = fn
+	}
+	return &scanIter{node: x, ctx: ctx, filter: filter, colIdx: colIdx}, nil
+}
+
+func (s *scanIter) Next() ([]variant.Value, error) {
+	for {
+		if s.pos < len(s.current) {
+			row := s.current[s.pos]
+			s.pos++
+			if s.filter != nil {
+				keep, err := s.filter(row)
+				if err != nil {
+					return nil, err
+				}
+				if keep.IsNull() || !truthySQL(keep) {
+					continue
+				}
+			}
+			return row, nil
+		}
+		if !s.loadNextPartition() {
+			return nil, nil
+		}
+	}
+}
+
+// loadNextPartition advances to the next unpruned partition and materializes
+// its projected rows, updating scan metrics.
+func (s *scanIter) loadNextPartition() bool {
+	parts := s.node.Table.Partitions()
+	if !s.started {
+		s.started = true
+		s.ctx.metrics.PartitionsTotal += len(parts)
+	}
+	for s.parts < len(parts) {
+		p := parts[s.parts]
+		s.parts++
+		pruned := false
+		for _, pred := range s.node.Prunes {
+			idx := s.node.Table.ColumnIndex(pred.Column)
+			if idx < 0 {
+				continue
+			}
+			if !p.MayMatch(idx, pred) {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			s.ctx.metrics.PartitionsPruned++
+			continue
+		}
+		rows := p.NumRows()
+		s.current = make([][]variant.Value, rows)
+		cols := make([][]variant.Value, len(s.colIdx))
+		for i, idx := range s.colIdx {
+			chunk := p.Column(idx)
+			cols[i] = chunk.Values()
+			s.ctx.metrics.BytesScanned += chunk.Bytes()
+		}
+		for r := 0; r < rows; r++ {
+			row := make([]variant.Value, len(cols))
+			for c := range cols {
+				row[c] = cols[c][r]
+			}
+			s.current[r] = row
+		}
+		s.pos = 0
+		if rows > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// --- filter / project / flatten ---------------------------------------------
+
+type filterIter struct {
+	in   rowIter
+	cond evalFn
+}
+
+func (f *filterIter) Next() ([]variant.Value, error) {
+	for {
+		row, err := f.in.Next()
+		if err != nil || row == nil {
+			return row, err
+		}
+		keep, err := f.cond(row)
+		if err != nil {
+			return nil, err
+		}
+		if !keep.IsNull() && truthySQL(keep) {
+			return row, nil
+		}
+	}
+}
+
+type projectIter struct {
+	in  rowIter
+	fns []evalFn
+}
+
+func (p *projectIter) Next() ([]variant.Value, error) {
+	row, err := p.in.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	out := make([]variant.Value, len(p.fns))
+	for i, fn := range p.fns {
+		v, err := fn(row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+type flattenIter struct {
+	in      rowIter
+	input   evalFn
+	outer   bool
+	baseRow []variant.Value
+	elems   []variant.Value
+	pos     int
+}
+
+func (f *flattenIter) Next() ([]variant.Value, error) {
+	for {
+		if f.baseRow != nil && f.pos < len(f.elems) {
+			out := make([]variant.Value, len(f.baseRow)+2)
+			copy(out, f.baseRow)
+			out[len(f.baseRow)] = f.elems[f.pos]
+			out[len(f.baseRow)+1] = variant.Int(int64(f.pos))
+			f.pos++
+			return out, nil
+		}
+		row, err := f.in.Next()
+		if err != nil || row == nil {
+			return nil, err
+		}
+		v, err := f.input(row)
+		if err != nil {
+			return nil, err
+		}
+		var elems []variant.Value
+		if v.Kind() == variant.KindArray {
+			elems = v.AsArray()
+		}
+		if len(elems) == 0 {
+			if f.outer {
+				// OUTER flatten keeps the row with NULL VALUE/INDEX.
+				out := make([]variant.Value, len(row)+2)
+				copy(out, row)
+				out[len(row)] = variant.Null
+				out[len(row)+1] = variant.Null
+				return out, nil
+			}
+			continue
+		}
+		f.baseRow = row
+		f.elems = elems
+		f.pos = 0
+	}
+}
+
+// --- aggregation --------------------------------------------------------------
+
+type aggIter struct {
+	rows [][]variant.Value
+	pos  int
+}
+
+func (a *aggIter) Next() ([]variant.Value, error) {
+	if a.pos >= len(a.rows) {
+		return nil, nil
+	}
+	row := a.rows[a.pos]
+	a.pos++
+	return row, nil
+}
+
+func prepareAggregate(x *AggregateNode, ctx *execContext) (rowIter, error) {
+	in, err := prepare(x.Input, ctx)
+	if err != nil {
+		return nil, err
+	}
+	inSchema := x.Input.Schema()
+	groupFns := make([]evalFn, len(x.GroupBy))
+	for i, g := range x.GroupBy {
+		fn, err := compileExpr(inSchema, g)
+		if err != nil {
+			return nil, err
+		}
+		groupFns[i] = fn
+	}
+	type compiledAgg struct {
+		spec     AggSpec
+		arg      evalFn // nil for COUNT(*)
+		orderFns []evalFn
+		descs    []bool
+	}
+	aggs := make([]compiledAgg, len(x.Aggs))
+	for i, spec := range x.Aggs {
+		ca := compiledAgg{spec: spec}
+		if spec.Arg != nil {
+			fn, err := compileExpr(inSchema, spec.Arg)
+			if err != nil {
+				return nil, err
+			}
+			ca.arg = fn
+		}
+		for _, o := range spec.OrderBy {
+			fn, err := compileExpr(inSchema, o.Expr)
+			if err != nil {
+				return nil, err
+			}
+			ca.orderFns = append(ca.orderFns, fn)
+			ca.descs = append(ca.descs, o.Desc)
+		}
+		aggs[i] = ca
+	}
+
+	return &deferredAgg{
+		run: func() ([][]variant.Value, error) {
+			type group struct {
+				keys []variant.Value
+				accs []accumulator
+			}
+			groups := make(map[string]*group)
+			var order []string
+
+			newGroup := func(keys []variant.Value) *group {
+				g := &group{keys: keys, accs: make([]accumulator, len(aggs))}
+				for i, ca := range aggs {
+					g.accs[i] = newAccumulator(ca.spec)
+				}
+				return g
+			}
+
+			for {
+				row, err := in.Next()
+				if err != nil {
+					return nil, err
+				}
+				if row == nil {
+					break
+				}
+				keys := make([]variant.Value, len(groupFns))
+				var kb strings.Builder
+				for i, fn := range groupFns {
+					v, err := fn(row)
+					if err != nil {
+						return nil, err
+					}
+					keys[i] = v
+					kb.WriteString(v.HashKey())
+					kb.WriteByte('|')
+				}
+				hk := kb.String()
+				g, ok := groups[hk]
+				if !ok {
+					g = newGroup(keys)
+					groups[hk] = g
+					order = append(order, hk)
+				}
+				for i, ca := range aggs {
+					var v variant.Value
+					if ca.arg != nil {
+						v, err = ca.arg(row)
+						if err != nil {
+							return nil, err
+						}
+					}
+					var ord []variant.Value
+					if len(ca.orderFns) > 0 {
+						ord = make([]variant.Value, len(ca.orderFns))
+						for j, fn := range ca.orderFns {
+							ov, err := fn(row)
+							if err != nil {
+								return nil, err
+							}
+							ord[j] = ov
+						}
+					}
+					if err := g.accs[i].add(v, ord); err != nil {
+						return nil, err
+					}
+				}
+			}
+
+			// Global aggregation over an empty input yields one row.
+			if len(groupFns) == 0 && len(groups) == 0 {
+				g := newGroup(nil)
+				groups[""] = g
+				order = append(order, "")
+			}
+
+			out := make([][]variant.Value, 0, len(order))
+			for _, hk := range order {
+				g := groups[hk]
+				row := make([]variant.Value, 0, len(g.keys)+len(g.accs))
+				row = append(row, g.keys...)
+				for i, acc := range g.accs {
+					row = append(row, acc.result(aggs[i].descs))
+				}
+				out = append(out, row)
+			}
+			return out, nil
+		},
+	}, nil
+}
+
+// deferredAgg materializes its groups on first Next.
+type deferredAgg struct {
+	run  func() ([][]variant.Value, error)
+	iter *aggIter
+}
+
+func (d *deferredAgg) Next() ([]variant.Value, error) {
+	if d.iter == nil {
+		rows, err := d.run()
+		if err != nil {
+			return nil, err
+		}
+		d.iter = &aggIter{rows: rows}
+	}
+	return d.iter.Next()
+}
+
+// --- joins -------------------------------------------------------------------
+
+func prepareJoin(x *JoinNode, ctx *execContext) (rowIter, error) {
+	left, err := prepare(x.Left, ctx)
+	if err != nil {
+		return nil, err
+	}
+	right, err := prepare(x.Right, ctx)
+	if err != nil {
+		return nil, err
+	}
+	combined := x.Schema()
+	var residual evalFn
+	if x.Residual != nil {
+		residual, err = compileExpr(combined, x.Residual)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var onFn evalFn
+	if x.On != nil {
+		onFn, err = compileExpr(combined, x.On)
+		if err != nil {
+			return nil, err
+		}
+	}
+	leftKeys := make([]evalFn, len(x.LeftKeys))
+	for i, k := range x.LeftKeys {
+		leftKeys[i], err = compileExpr(x.Left.Schema(), k)
+		if err != nil {
+			return nil, err
+		}
+	}
+	rightKeys := make([]evalFn, len(x.RightKeys))
+	for i, k := range x.RightKeys {
+		rightKeys[i], err = compileExpr(x.Right.Schema(), k)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &joinIter{
+		kind: x.Kind, left: left, right: right,
+		leftKeys: leftKeys, rightKeys: rightKeys,
+		residual: residual, on: onFn,
+		rightWidth: len(x.Right.Schema().Names),
+	}, nil
+}
+
+type joinIter struct {
+	kind       string
+	left       rowIter
+	right      rowIter
+	leftKeys   []evalFn
+	rightKeys  []evalFn
+	residual   evalFn
+	on         evalFn
+	rightWidth int
+
+	built      bool
+	hash       map[string][][]variant.Value
+	rightRows  [][]variant.Value // CROSS mode
+	leftRow    []variant.Value
+	candidates [][]variant.Value
+	candPos    int
+	emitted    bool // LEFT OUTER: matched at least one candidate
+}
+
+func (j *joinIter) build() error {
+	rows, err := drain(j.right)
+	if err != nil {
+		return err
+	}
+	if len(j.rightKeys) == 0 {
+		j.rightRows = rows
+	} else {
+		j.hash = make(map[string][][]variant.Value)
+		for _, row := range rows {
+			var kb strings.Builder
+			skip := false
+			for _, fn := range j.rightKeys {
+				v, err := fn(row)
+				if err != nil {
+					return err
+				}
+				if v.IsNull() {
+					skip = true // NULL keys never match in equi-joins
+					break
+				}
+				kb.WriteString(v.HashKey())
+				kb.WriteByte('|')
+			}
+			if skip {
+				continue
+			}
+			k := kb.String()
+			j.hash[k] = append(j.hash[k], row)
+		}
+	}
+	j.built = true
+	return nil
+}
+
+func (j *joinIter) Next() ([]variant.Value, error) {
+	if !j.built {
+		if err := j.build(); err != nil {
+			return nil, err
+		}
+	}
+	for {
+		// Emit pending candidates for the current left row.
+		for j.leftRow != nil && j.candPos < len(j.candidates) {
+			rightRow := j.candidates[j.candPos]
+			j.candPos++
+			out := make([]variant.Value, 0, len(j.leftRow)+j.rightWidth)
+			out = append(out, j.leftRow...)
+			out = append(out, rightRow...)
+			ok, err := j.matches(out)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				j.emitted = true
+				return out, nil
+			}
+		}
+		if j.leftRow != nil && j.kind == "LEFT OUTER" && !j.emitted {
+			out := make([]variant.Value, 0, len(j.leftRow)+j.rightWidth)
+			out = append(out, j.leftRow...)
+			for i := 0; i < j.rightWidth; i++ {
+				out = append(out, variant.Null)
+			}
+			j.leftRow = nil
+			return out, nil
+		}
+		// Advance to the next left row.
+		row, err := j.left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if row == nil {
+			return nil, nil
+		}
+		j.leftRow = row
+		j.emitted = false
+		j.candPos = 0
+		if j.hash != nil {
+			var kb strings.Builder
+			nullKey := false
+			for _, fn := range j.leftKeys {
+				v, err := fn(row)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() {
+					nullKey = true
+					break
+				}
+				kb.WriteString(v.HashKey())
+				kb.WriteByte('|')
+			}
+			if nullKey {
+				j.candidates = nil
+			} else {
+				j.candidates = j.hash[kb.String()]
+			}
+		} else {
+			j.candidates = j.rightRows
+		}
+	}
+}
+
+func (j *joinIter) matches(combined []variant.Value) (bool, error) {
+	for _, cond := range []evalFn{j.residual, j.on} {
+		if cond == nil {
+			continue
+		}
+		v, err := cond(combined)
+		if err != nil {
+			return false, err
+		}
+		if v.IsNull() || !truthySQL(v) {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// --- sort / limit / union -----------------------------------------------------
+
+type sortIter struct {
+	in     rowIter
+	keys   []evalFn
+	descs  []bool
+	sorted [][]variant.Value
+	pos    int
+	done   bool
+}
+
+func (s *sortIter) Next() ([]variant.Value, error) {
+	if !s.done {
+		rows, err := drain(s.in)
+		if err != nil {
+			return nil, err
+		}
+		type keyed struct {
+			row  []variant.Value
+			keys []variant.Value
+		}
+		ks := make([]keyed, len(rows))
+		for i, row := range rows {
+			kv := make([]variant.Value, len(s.keys))
+			for k, fn := range s.keys {
+				v, err := fn(row)
+				if err != nil {
+					return nil, err
+				}
+				kv[k] = v
+			}
+			ks[i] = keyed{row: row, keys: kv}
+		}
+		sort.SliceStable(ks, func(a, b int) bool {
+			for k := range s.keys {
+				c := variant.Compare(ks[a].keys[k], ks[b].keys[k])
+				if s.descs[k] {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+		s.sorted = make([][]variant.Value, len(ks))
+		for i := range ks {
+			s.sorted[i] = ks[i].row
+		}
+		s.done = true
+	}
+	if s.pos >= len(s.sorted) {
+		return nil, nil
+	}
+	row := s.sorted[s.pos]
+	s.pos++
+	return row, nil
+}
+
+type limitIter struct {
+	in        rowIter
+	remaining int64
+}
+
+func (l *limitIter) Next() ([]variant.Value, error) {
+	if l.remaining <= 0 {
+		return nil, nil
+	}
+	row, err := l.in.Next()
+	if err != nil || row == nil {
+		return nil, err
+	}
+	l.remaining--
+	return row, nil
+}
+
+type unionIter struct {
+	iters []rowIter
+	idx   int
+}
+
+func (u *unionIter) Next() ([]variant.Value, error) {
+	for u.idx < len(u.iters) {
+		row, err := u.iters[u.idx].Next()
+		if err != nil {
+			return nil, err
+		}
+		if row != nil {
+			return row, nil
+		}
+		u.idx++
+	}
+	return nil, nil
+}

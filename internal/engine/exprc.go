@@ -1,0 +1,348 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"jsonpark/internal/sqlast"
+	"jsonpark/internal/variant"
+)
+
+// Schema names the columns of a row stream. Later duplicates shadow earlier
+// ones, matching SELECT-list alias behaviour.
+type Schema struct {
+	Names []string
+	index map[string]int
+}
+
+// NewSchema builds a schema from column names.
+func NewSchema(names []string) *Schema {
+	s := &Schema{Names: append([]string(nil), names...), index: make(map[string]int, len(names))}
+	for i, n := range names {
+		s.index[n] = i
+	}
+	return s
+}
+
+// Lookup returns the position of a column.
+func (s *Schema) Lookup(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Extend returns a new schema with extra columns appended.
+func (s *Schema) Extend(names ...string) *Schema {
+	return NewSchema(append(append([]string(nil), s.Names...), names...))
+}
+
+// evalFn evaluates one compiled expression against a row.
+type evalFn func(row []variant.Value) (variant.Value, error)
+
+// compileExpr binds a SQL expression to a schema, producing an evaluator.
+// Flatten pseudo-columns resolve as "<alias>.VALUE" / "<alias>.INDEX".
+func compileExpr(sc *Schema, e sqlast.Expr) (evalFn, error) {
+	switch x := e.(type) {
+	case *sqlast.Lit:
+		v := x.Value
+		return func([]variant.Value) (variant.Value, error) { return v, nil }, nil
+	case *sqlast.ColRef:
+		name := x.Name
+		if x.Table != "" {
+			name = x.Table + "." + x.Name
+		}
+		i, ok := sc.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("engine: unknown column %q (have %v)", name, sc.Names)
+		}
+		return func(row []variant.Value) (variant.Value, error) { return row[i], nil }, nil
+	case *sqlast.Star:
+		return nil, fmt.Errorf("engine: '*' is only valid in COUNT(*) or a select list")
+	case *sqlast.FuncCall:
+		return compileFuncCall(sc, x)
+	case *sqlast.Binary:
+		return compileBinary(sc, x)
+	case *sqlast.Unary:
+		operand, err := compileExpr(sc, x.Operand)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "-":
+			return func(row []variant.Value) (variant.Value, error) {
+				v, err := operand(row)
+				if err != nil {
+					return variant.Null, err
+				}
+				return variant.Neg(v)
+			}, nil
+		case "NOT":
+			return func(row []variant.Value) (variant.Value, error) {
+				v, err := operand(row)
+				if err != nil {
+					return variant.Null, err
+				}
+				if v.IsNull() {
+					return variant.Null, nil
+				}
+				return variant.Bool(!truthySQL(v)), nil
+			}, nil
+		}
+		return nil, fmt.Errorf("engine: unknown unary operator %q", x.Op)
+	case *sqlast.IsNull:
+		operand, err := compileExpr(sc, x.Operand)
+		if err != nil {
+			return nil, err
+		}
+		negate := x.Negate
+		return func(row []variant.Value) (variant.Value, error) {
+			v, err := operand(row)
+			if err != nil {
+				return variant.Null, err
+			}
+			return variant.Bool(v.IsNull() != negate), nil
+		}, nil
+	case *sqlast.CaseWhen:
+		type arm struct{ cond, result evalFn }
+		arms := make([]arm, len(x.Whens))
+		for i, w := range x.Whens {
+			c, err := compileExpr(sc, w.Cond)
+			if err != nil {
+				return nil, err
+			}
+			r, err := compileExpr(sc, w.Result)
+			if err != nil {
+				return nil, err
+			}
+			arms[i] = arm{c, r}
+		}
+		var els evalFn
+		if x.Else != nil {
+			var err error
+			els, err = compileExpr(sc, x.Else)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return func(row []variant.Value) (variant.Value, error) {
+			for _, a := range arms {
+				c, err := a.cond(row)
+				if err != nil {
+					return variant.Null, err
+				}
+				if !c.IsNull() && truthySQL(c) {
+					return a.result(row)
+				}
+			}
+			if els != nil {
+				return els(row)
+			}
+			return variant.Null, nil
+		}, nil
+	case *sqlast.Cast:
+		operand, err := compileExpr(sc, x.Operand)
+		if err != nil {
+			return nil, err
+		}
+		typ := strings.ToUpper(x.Type)
+		return func(row []variant.Value) (variant.Value, error) {
+			v, err := operand(row)
+			if err != nil || v.IsNull() {
+				return v, err
+			}
+			switch typ {
+			case "INT", "INTEGER", "NUMBER", "BIGINT":
+				i, err := variant.ToInt(v)
+				if err != nil {
+					return variant.Null, err
+				}
+				return variant.Int(i), nil
+			case "DOUBLE", "FLOAT", "REAL":
+				f, err := variant.ToFloat(v)
+				if err != nil {
+					return variant.Null, err
+				}
+				return variant.Float(f), nil
+			case "VARCHAR", "STRING", "TEXT":
+				if v.Kind() == variant.KindString {
+					return v, nil
+				}
+				return variant.String(v.JSON()), nil
+			case "BOOLEAN":
+				return variant.Bool(truthySQL(v)), nil
+			case "VARIANT":
+				return v, nil
+			}
+			return variant.Null, fmt.Errorf("engine: unsupported cast type %q", typ)
+		}, nil
+	}
+	return nil, fmt.Errorf("engine: cannot compile expression %T", e)
+}
+
+func compileFuncCall(sc *Schema, x *sqlast.FuncCall) (evalFn, error) {
+	name := strings.ToUpper(x.Name)
+	if isAggregateName(name) {
+		return nil, fmt.Errorf("engine: aggregate %s outside GROUP BY context", name)
+	}
+	if name == "SEQ8" || name == "SEQ4" {
+		// Monotone per-operator sequence, used for row-ID injection (§IV-B).
+		var counter int64
+		return func([]variant.Value) (variant.Value, error) {
+			v := variant.Int(counter)
+			counter++
+			return v, nil
+		}, nil
+	}
+	fn, ok := scalarFuncs[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown function %s", name)
+	}
+	args := make([]evalFn, len(x.Args))
+	for i, a := range x.Args {
+		c, err := compileExpr(sc, a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = c
+	}
+	return func(row []variant.Value) (variant.Value, error) {
+		vals := make([]variant.Value, len(args))
+		for i, a := range args {
+			v, err := a(row)
+			if err != nil {
+				return variant.Null, err
+			}
+			vals[i] = v
+		}
+		return fn(vals)
+	}, nil
+}
+
+func compileBinary(sc *Schema, x *sqlast.Binary) (evalFn, error) {
+	left, err := compileExpr(sc, x.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := compileExpr(sc, x.Right)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "AND":
+		return func(row []variant.Value) (variant.Value, error) {
+			l, err := left(row)
+			if err != nil {
+				return variant.Null, err
+			}
+			if !l.IsNull() && !truthySQL(l) {
+				return variant.Bool(false), nil
+			}
+			r, err := right(row)
+			if err != nil {
+				return variant.Null, err
+			}
+			if !r.IsNull() && !truthySQL(r) {
+				return variant.Bool(false), nil
+			}
+			if l.IsNull() || r.IsNull() {
+				return variant.Null, nil
+			}
+			return variant.Bool(true), nil
+		}, nil
+	case "OR":
+		return func(row []variant.Value) (variant.Value, error) {
+			l, err := left(row)
+			if err != nil {
+				return variant.Null, err
+			}
+			if !l.IsNull() && truthySQL(l) {
+				return variant.Bool(true), nil
+			}
+			r, err := right(row)
+			if err != nil {
+				return variant.Null, err
+			}
+			if !r.IsNull() && truthySQL(r) {
+				return variant.Bool(true), nil
+			}
+			if l.IsNull() || r.IsNull() {
+				return variant.Null, nil
+			}
+			return variant.Bool(false), nil
+		}, nil
+	}
+	var fn func(l, r variant.Value) (variant.Value, error)
+	switch x.Op {
+	case "+":
+		fn = variant.Add
+	case "-":
+		fn = variant.Sub
+	case "*":
+		fn = variant.Mul
+	case "/":
+		fn = variant.Div
+	case "%":
+		fn = variant.Mod
+	case "||":
+		fn = func(l, r variant.Value) (variant.Value, error) {
+			if l.IsNull() || r.IsNull() {
+				return variant.Null, nil
+			}
+			ls, rs := l, r
+			if ls.Kind() != variant.KindString {
+				ls = variant.String(ls.JSON())
+			}
+			if rs.Kind() != variant.KindString {
+				rs = variant.String(rs.JSON())
+			}
+			return variant.String(ls.AsString() + rs.AsString()), nil
+		}
+	case "=", "<>", "<", "<=", ">", ">=":
+		op := x.Op
+		fn = func(l, r variant.Value) (variant.Value, error) {
+			if l.IsNull() || r.IsNull() {
+				return variant.Null, nil
+			}
+			c := variant.Compare(l, r)
+			switch op {
+			case "=":
+				return variant.Bool(c == 0), nil
+			case "<>":
+				return variant.Bool(c != 0), nil
+			case "<":
+				return variant.Bool(c < 0), nil
+			case "<=":
+				return variant.Bool(c <= 0), nil
+			case ">":
+				return variant.Bool(c > 0), nil
+			case ">=":
+				return variant.Bool(c >= 0), nil
+			}
+			return variant.Null, nil
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown binary operator %q", x.Op)
+	}
+	return func(row []variant.Value) (variant.Value, error) {
+		l, err := left(row)
+		if err != nil {
+			return variant.Null, err
+		}
+		r, err := right(row)
+		if err != nil {
+			return variant.Null, err
+		}
+		return fn(l, r)
+	}, nil
+}
+
+// truthySQL reports SQL boolean truth: only boolean TRUE is true; numbers
+// are true when non-zero (Snowflake-style implicit boolean coercion).
+func truthySQL(v variant.Value) bool {
+	switch v.Kind() {
+	case variant.KindBool:
+		return v.AsBool()
+	case variant.KindInt, variant.KindFloat:
+		return v.AsFloat() != 0
+	}
+	return false
+}

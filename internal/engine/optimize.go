@@ -1,0 +1,934 @@
+package engine
+
+import (
+	"strings"
+
+	"jsonpark/internal/sqlast"
+	"jsonpark/internal/storage"
+	"jsonpark/internal/variant"
+)
+
+// optimize runs the engine's rewrite pipeline: expression simplification
+// (including struct-field pushdown through OBJECT_CONSTRUCT), predicate
+// pushdown with equi-join detection, projection pruning down to the scans,
+// and zone-map prune-predicate derivation.
+func optimize(n Node) Node {
+	n = simplifyNode(n)
+	n = mergeProjects(n)
+	n = pushDown(n)
+	// Pushdown substitutes projection definitions into predicates, exposing
+	// fresh GET(OBJECT_CONSTRUCT(...)) folding opportunities that projection
+	// pruning depends on — simplify again, and re-merge projection pairs
+	// that pushdown separated.
+	n = simplifyNode(n)
+	n = mergeProjects(n)
+	n = pruneNode(n, nil)
+	deriveScanPrunes(n)
+	return n
+}
+
+// mergeProjects collapses Project-over-Project chains — the data-frame
+// layer emits one SELECT level per transformation, and executing each level
+// copies every row. A definition is inlined into the outer project when it
+// is free (a column reference or literal), or used at most once (including
+// volatile SEQ8 definitions, whose single use keeps the value sequence
+// intact).
+func mergeProjects(n Node) Node {
+	switch x := n.(type) {
+	case *FilterNode:
+		x.Input = mergeProjects(x.Input)
+	case *ProjectNode:
+		x.Input = mergeProjects(x.Input)
+		for {
+			inner, ok := x.Input.(*ProjectNode)
+			if !ok {
+				break
+			}
+			counts := make(map[string]int)
+			for _, e := range x.Exprs {
+				countRefs(e, counts)
+			}
+			mergeable := true
+			for i, name := range inner.Names {
+				c := counts[name]
+				if c == 0 {
+					continue
+				}
+				def := inner.Exprs[i]
+				if isFreeExpr(def) {
+					continue
+				}
+				if c > 1 {
+					mergeable = false
+					break
+				}
+			}
+			if !mergeable {
+				break
+			}
+			defs := make(map[string]sqlast.Expr, len(inner.Names))
+			for i, name := range inner.Names {
+				defs[name] = inner.Exprs[i]
+			}
+			for i := range x.Exprs {
+				x.Exprs[i] = substituteDefs(x.Exprs[i], defs)
+			}
+			x.Input = inner.Input
+		}
+	case *FlattenNode:
+		x.Input = mergeProjects(x.Input)
+	case *AggregateNode:
+		x.Input = mergeProjects(x.Input)
+	case *JoinNode:
+		x.Left = mergeProjects(x.Left)
+		x.Right = mergeProjects(x.Right)
+	case *SortNode:
+		x.Input = mergeProjects(x.Input)
+	case *LimitNode:
+		x.Input = mergeProjects(x.Input)
+	case *UnionNode:
+		x.Left = mergeProjects(x.Left)
+		x.Right = mergeProjects(x.Right)
+	}
+	return n
+}
+
+func countRefs(e sqlast.Expr, into map[string]int) {
+	walkExpr(e, func(n sqlast.Expr) bool {
+		if cr, ok := n.(*sqlast.ColRef); ok {
+			name := cr.Name
+			if cr.Table != "" {
+				name = cr.Table + "." + cr.Name
+			}
+			into[name]++
+		}
+		return true
+	})
+}
+
+func isFreeExpr(e sqlast.Expr) bool {
+	switch e.(type) {
+	case *sqlast.ColRef, *sqlast.Lit:
+		return true
+	}
+	return false
+}
+
+// substituteDefs replaces column references with their defining expressions.
+func substituteDefs(e sqlast.Expr, defs map[string]sqlast.Expr) sqlast.Expr {
+	switch x := e.(type) {
+	case *sqlast.ColRef:
+		name := x.Name
+		if x.Table != "" {
+			name = x.Table + "." + x.Name
+		}
+		if def, ok := defs[name]; ok {
+			return def
+		}
+		return x
+	case *sqlast.Lit, *sqlast.Star:
+		return e
+	case *sqlast.FuncCall:
+		args := make([]sqlast.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = substituteDefs(a, defs)
+		}
+		out := &sqlast.FuncCall{Name: x.Name, Args: args, Distinct: x.Distinct}
+		for _, o := range x.WithinOrder {
+			out.WithinOrder = append(out.WithinOrder, sqlast.OrderItem{Expr: substituteDefs(o.Expr, defs), Desc: o.Desc})
+		}
+		return out
+	case *sqlast.Binary:
+		return &sqlast.Binary{Op: x.Op, Left: substituteDefs(x.Left, defs), Right: substituteDefs(x.Right, defs)}
+	case *sqlast.Unary:
+		return &sqlast.Unary{Op: x.Op, Operand: substituteDefs(x.Operand, defs)}
+	case *sqlast.IsNull:
+		return &sqlast.IsNull{Operand: substituteDefs(x.Operand, defs), Negate: x.Negate}
+	case *sqlast.CaseWhen:
+		out := &sqlast.CaseWhen{}
+		for _, w := range x.Whens {
+			out.Whens = append(out.Whens, sqlast.WhenClause{
+				Cond:   substituteDefs(w.Cond, defs),
+				Result: substituteDefs(w.Result, defs),
+			})
+		}
+		if x.Else != nil {
+			out.Else = substituteDefs(x.Else, defs)
+		}
+		return out
+	case *sqlast.Cast:
+		return &sqlast.Cast{Operand: substituteDefs(x.Operand, defs), Type: x.Type}
+	}
+	return e
+}
+
+// --- expression simplification -------------------------------------------
+
+func simplifyNode(n Node) Node {
+	switch x := n.(type) {
+	case *ScanNode:
+		x.Filter = simplifyExpr(x.Filter)
+	case *FilterNode:
+		x.Input = simplifyNode(x.Input)
+		x.Cond = simplifyExpr(x.Cond)
+	case *ProjectNode:
+		x.Input = simplifyNode(x.Input)
+		for i := range x.Exprs {
+			x.Exprs[i] = simplifyExpr(x.Exprs[i])
+		}
+	case *FlattenNode:
+		x.Input = simplifyNode(x.Input)
+		x.Expr = simplifyExpr(x.Expr)
+	case *AggregateNode:
+		x.Input = simplifyNode(x.Input)
+		for i := range x.GroupBy {
+			x.GroupBy[i] = simplifyExpr(x.GroupBy[i])
+		}
+		for i := range x.Aggs {
+			if x.Aggs[i].Arg != nil {
+				x.Aggs[i].Arg = simplifyExpr(x.Aggs[i].Arg)
+			}
+			for j := range x.Aggs[i].OrderBy {
+				x.Aggs[i].OrderBy[j].Expr = simplifyExpr(x.Aggs[i].OrderBy[j].Expr)
+			}
+		}
+	case *JoinNode:
+		x.Left = simplifyNode(x.Left)
+		x.Right = simplifyNode(x.Right)
+		x.On = simplifyExpr(x.On)
+	case *SortNode:
+		x.Input = simplifyNode(x.Input)
+		for i := range x.Keys {
+			x.Keys[i].Expr = simplifyExpr(x.Keys[i].Expr)
+		}
+	case *LimitNode:
+		x.Input = simplifyNode(x.Input)
+	case *UnionNode:
+		x.Left = simplifyNode(x.Left)
+		x.Right = simplifyNode(x.Right)
+	}
+	return n
+}
+
+// simplifyExpr folds constants and performs the struct-field pushdown
+// rewrite GET(OBJECT_CONSTRUCT('a', x, ...), 'a') → x, which restores
+// column-level prunability after the translator wraps table columns into
+// per-variable objects.
+func simplifyExpr(e sqlast.Expr) sqlast.Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *sqlast.Lit, *sqlast.ColRef, *sqlast.Star:
+		return e
+	case *sqlast.FuncCall:
+		args := make([]sqlast.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = simplifyExpr(a)
+		}
+		out := &sqlast.FuncCall{Name: x.Name, Args: args, Distinct: x.Distinct, WithinOrder: x.WithinOrder}
+		if folded := foldGet(out); folded != nil {
+			return folded
+		}
+		if lit := foldLiteralCall(out); lit != nil {
+			return lit
+		}
+		return out
+	case *sqlast.Binary:
+		l := simplifyExpr(x.Left)
+		r := simplifyExpr(x.Right)
+		out := &sqlast.Binary{Op: x.Op, Left: l, Right: r}
+		if ll, lok := l.(*sqlast.Lit); lok {
+			if rl, rok := r.(*sqlast.Lit); rok {
+				if v, ok := evalConst(out); ok {
+					return &sqlast.Lit{Value: v}
+				}
+				_ = ll
+				_ = rl
+			}
+			// Short circuits.
+			if x.Op == "AND" && ll.Value.Kind() == variant.KindBool {
+				if !ll.Value.AsBool() {
+					return &sqlast.Lit{Value: variant.Bool(false)}
+				}
+				return r
+			}
+			if x.Op == "OR" && ll.Value.Kind() == variant.KindBool {
+				if ll.Value.AsBool() {
+					return &sqlast.Lit{Value: variant.Bool(true)}
+				}
+				return r
+			}
+		}
+		if rl, rok := r.(*sqlast.Lit); rok && rl.Value.Kind() == variant.KindBool {
+			if x.Op == "AND" {
+				if !rl.Value.AsBool() {
+					return &sqlast.Lit{Value: variant.Bool(false)}
+				}
+				return l
+			}
+			if x.Op == "OR" {
+				if rl.Value.AsBool() {
+					return &sqlast.Lit{Value: variant.Bool(true)}
+				}
+				return l
+			}
+		}
+		return out
+	case *sqlast.Unary:
+		o := simplifyExpr(x.Operand)
+		out := &sqlast.Unary{Op: x.Op, Operand: o}
+		if _, ok := o.(*sqlast.Lit); ok {
+			if v, folded := evalConst(out); folded {
+				return &sqlast.Lit{Value: v}
+			}
+		}
+		return out
+	case *sqlast.IsNull:
+		o := simplifyExpr(x.Operand)
+		if lit, ok := o.(*sqlast.Lit); ok {
+			return &sqlast.Lit{Value: variant.Bool(lit.Value.IsNull() != x.Negate)}
+		}
+		return &sqlast.IsNull{Operand: o, Negate: x.Negate}
+	case *sqlast.CaseWhen:
+		out := &sqlast.CaseWhen{}
+		for _, w := range x.Whens {
+			out.Whens = append(out.Whens, sqlast.WhenClause{
+				Cond:   simplifyExpr(w.Cond),
+				Result: simplifyExpr(w.Result),
+			})
+		}
+		out.Else = simplifyExpr(x.Else)
+		// Fold a leading constant condition.
+		for len(out.Whens) > 0 {
+			lit, ok := out.Whens[0].Cond.(*sqlast.Lit)
+			if !ok {
+				break
+			}
+			if !lit.Value.IsNull() && truthySQL(lit.Value) {
+				return out.Whens[0].Result
+			}
+			out.Whens = out.Whens[1:]
+		}
+		if len(out.Whens) == 0 {
+			if out.Else != nil {
+				return out.Else
+			}
+			return &sqlast.Lit{Value: variant.Null}
+		}
+		return out
+	case *sqlast.Cast:
+		o := simplifyExpr(x.Operand)
+		out := &sqlast.Cast{Operand: o, Type: x.Type}
+		if _, ok := o.(*sqlast.Lit); ok {
+			if v, folded := evalConst(out); folded {
+				return &sqlast.Lit{Value: v}
+			}
+		}
+		return out
+	}
+	return e
+}
+
+// foldGet rewrites GET over constructor calls: struct-field pushdown.
+func foldGet(call *sqlast.FuncCall) sqlast.Expr {
+	name := strings.ToUpper(call.Name)
+	if name != "GET" || len(call.Args) != 2 {
+		return nil
+	}
+	key, ok := call.Args[1].(*sqlast.Lit)
+	if !ok {
+		return nil
+	}
+	base, ok := call.Args[0].(*sqlast.FuncCall)
+	if !ok {
+		return nil
+	}
+	switch strings.ToUpper(base.Name) {
+	case "OBJECT_CONSTRUCT":
+		if key.Value.Kind() != variant.KindString || len(base.Args)%2 != 0 {
+			return nil
+		}
+		for i := 0; i < len(base.Args); i += 2 {
+			k, ok := base.Args[i].(*sqlast.Lit)
+			if !ok || k.Value.Kind() != variant.KindString {
+				return nil // non-literal key: cannot fold safely
+			}
+			if k.Value.AsString() == key.Value.AsString() {
+				return base.Args[i+1]
+			}
+		}
+		return &sqlast.Lit{Value: variant.Null}
+	case "ARRAY_CONSTRUCT":
+		if key.Value.Kind() != variant.KindInt {
+			return nil
+		}
+		i := key.Value.AsInt()
+		if i < 0 || i >= int64(len(base.Args)) {
+			return &sqlast.Lit{Value: variant.Null}
+		}
+		return base.Args[i]
+	}
+	return nil
+}
+
+// foldLiteralCall evaluates a pure scalar call whose arguments are all
+// literals. Volatile functions (SEQ8) are excluded.
+func foldLiteralCall(call *sqlast.FuncCall) sqlast.Expr {
+	name := strings.ToUpper(call.Name)
+	if name == "SEQ8" || name == "SEQ4" || isAggregateName(name) {
+		return nil
+	}
+	if _, ok := scalarFuncs[name]; !ok {
+		return nil
+	}
+	for _, a := range call.Args {
+		if _, ok := a.(*sqlast.Lit); !ok {
+			return nil
+		}
+	}
+	if v, ok := evalConst(call); ok {
+		return &sqlast.Lit{Value: v}
+	}
+	return nil
+}
+
+// evalConst evaluates an expression with no column references.
+func evalConst(e sqlast.Expr) (variant.Value, bool) {
+	fn, err := compileExpr(NewSchema(nil), e)
+	if err != nil {
+		return variant.Null, false
+	}
+	v, err := fn(nil)
+	if err != nil {
+		return variant.Null, false
+	}
+	return v, true
+}
+
+// --- predicate pushdown ---------------------------------------------------
+
+func splitConjuncts(e sqlast.Expr) []sqlast.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*sqlast.Binary); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.Left), splitConjuncts(b.Right)...)
+	}
+	return []sqlast.Expr{e}
+}
+
+func andAll(conjuncts []sqlast.Expr) sqlast.Expr {
+	var out sqlast.Expr
+	for _, c := range conjuncts {
+		if out == nil {
+			out = c
+		} else {
+			out = &sqlast.Binary{Op: "AND", Left: out, Right: c}
+		}
+	}
+	return out
+}
+
+// pushDown recursively pushes filter conjuncts toward the scans and converts
+// qualifying joins into hash equi-joins.
+func pushDown(n Node) Node {
+	return pushFilter(n, nil)
+}
+
+// pushFilter pushes the given conjuncts into n. Conjuncts that cannot sink
+// remain in a FilterNode above the result.
+func pushFilter(n Node, conjuncts []sqlast.Expr) Node {
+	switch x := n.(type) {
+	case *ScanNode:
+		all := append(splitConjuncts(x.Filter), conjuncts...)
+		x.Filter = andAll(all)
+		return x
+	case *FilterNode:
+		return pushFilter(x.Input, append(conjuncts, splitConjuncts(x.Cond)...))
+	case *ProjectNode:
+		var below, above []sqlast.Expr
+		for _, c := range conjuncts {
+			if sub, ok := substituteThroughProject(c, x); ok {
+				below = append(below, sub)
+			} else {
+				above = append(above, c)
+			}
+		}
+		x.Input = pushFilter(x.Input, below)
+		return wrapFilter(x, above)
+	case *FlattenNode:
+		inputSchema := x.Input.Schema()
+		var below, above []sqlast.Expr
+		for _, c := range conjuncts {
+			if exprResolves(inputSchema, c) {
+				below = append(below, c)
+			} else {
+				above = append(above, c)
+			}
+		}
+		x.Input = pushFilter(x.Input, below)
+		return wrapFilter(x, above)
+	case *JoinNode:
+		return pushFilterJoin(x, conjuncts)
+	case *AggregateNode:
+		x.Input = pushFilter(x.Input, nil)
+		return wrapFilter(x, conjuncts)
+	case *SortNode:
+		x.Input = pushFilter(x.Input, conjuncts)
+		return x
+	case *LimitNode:
+		x.Input = pushFilter(x.Input, nil)
+		return wrapFilter(x, conjuncts)
+	case *UnionNode:
+		// Conjuncts push into both branches only when they resolve by name
+		// on each side; otherwise they stay above.
+		var pushable, above []sqlast.Expr
+		for _, c := range conjuncts {
+			if exprResolves(x.Left.Schema(), c) && exprResolves(x.Right.Schema(), c) {
+				pushable = append(pushable, c)
+			} else {
+				above = append(above, c)
+			}
+		}
+		x.Left = pushFilter(x.Left, pushable)
+		x.Right = pushFilter(x.Right, pushable)
+		return wrapFilter(x, above)
+	}
+	return wrapFilter(n, conjuncts)
+}
+
+func wrapFilter(n Node, conjuncts []sqlast.Expr) Node {
+	if len(conjuncts) == 0 {
+		return n
+	}
+	return &FilterNode{Input: n, Cond: andAll(conjuncts)}
+}
+
+func pushFilterJoin(j *JoinNode, conjuncts []sqlast.Expr) Node {
+	leftSchema := j.Left.Schema()
+	rightSchema := j.Right.Schema()
+
+	var leftConj, rightConj, above []sqlast.Expr
+	var residual []sqlast.Expr
+
+	classify := func(cs []sqlast.Expr, allowSidePush bool) {
+		for _, c := range cs {
+			onLeft := exprResolves(leftSchema, c)
+			onRight := exprResolves(rightSchema, c)
+			switch {
+			case onLeft && allowSidePush:
+				leftConj = append(leftConj, c)
+			case onRight && allowSidePush:
+				rightConj = append(rightConj, c)
+			default:
+				if eq, l, r := equiKey(c, leftSchema, rightSchema); eq {
+					j.LeftKeys = append(j.LeftKeys, l)
+					j.RightKeys = append(j.RightKeys, r)
+				} else {
+					residual = append(residual, c)
+				}
+			}
+		}
+	}
+
+	switch j.Kind {
+	case "CROSS", "INNER":
+		// For inner semantics, ON conjuncts and WHERE conjuncts are
+		// interchangeable.
+		classify(splitConjuncts(j.On), true)
+		classify(conjuncts, true)
+		j.On = nil
+		if len(j.LeftKeys) > 0 {
+			j.Kind = "INNER"
+		}
+		j.Residual = andAll(residual)
+	case "LEFT OUTER":
+		// ON conjuncts keep join semantics; WHERE conjuncts referencing only
+		// the left side can push, the rest stay above.
+		classify(splitConjuncts(j.On), false)
+		j.On = nil
+		j.Residual = andAll(residual)
+		for _, c := range conjuncts {
+			if exprResolves(leftSchema, c) {
+				leftConj = append(leftConj, c)
+			} else {
+				above = append(above, c)
+			}
+		}
+	default:
+		above = append(above, conjuncts...)
+	}
+
+	j.Left = pushFilter(j.Left, leftConj)
+	j.Right = pushFilter(j.Right, rightConj)
+	return wrapFilter(j, above)
+}
+
+// equiKey recognizes `l = r` with one side resolving on the left schema and
+// the other on the right, returning the per-side key expressions.
+func equiKey(c sqlast.Expr, left, right *Schema) (ok bool, l, r sqlast.Expr) {
+	b, isBin := c.(*sqlast.Binary)
+	if !isBin || b.Op != "=" {
+		return false, nil, nil
+	}
+	if exprResolves(left, b.Left) && exprResolves(right, b.Right) {
+		return true, b.Left, b.Right
+	}
+	if exprResolves(left, b.Right) && exprResolves(right, b.Left) {
+		return true, b.Right, b.Left
+	}
+	return false, nil, nil
+}
+
+// --- projection pruning ---------------------------------------------------
+
+type nameSet map[string]bool
+
+func refsOf(e sqlast.Expr, into nameSet) {
+	walkExpr(e, func(n sqlast.Expr) bool {
+		if cr, ok := n.(*sqlast.ColRef); ok {
+			name := cr.Name
+			if cr.Table != "" {
+				name = cr.Table + "." + cr.Name
+			}
+			into[name] = true
+		}
+		return true
+	})
+}
+
+// pruneNode trims unused columns. needed == nil means "keep every output"
+// (used at the root and through union branches).
+func pruneNode(n Node, needed nameSet) Node {
+	switch x := n.(type) {
+	case *ScanNode:
+		if needed == nil {
+			return x
+		}
+		req := make(nameSet)
+		for k := range needed {
+			req[k] = true
+		}
+		refsOf(x.Filter, req)
+		var cols []string
+		for _, c := range x.Columns {
+			if req[c] {
+				cols = append(cols, c)
+			}
+		}
+		if len(cols) == 0 && len(x.Columns) > 0 {
+			cols = x.Columns[:1] // keep one column to preserve row count
+		}
+		x.Columns = cols
+		x.schema = nil
+		return x
+	case *FilterNode:
+		var childNeeded nameSet
+		if needed != nil {
+			childNeeded = make(nameSet)
+			for k := range needed {
+				childNeeded[k] = true
+			}
+			refsOf(x.Cond, childNeeded)
+		}
+		x.Input = pruneNode(x.Input, childNeeded)
+		return x
+	case *ProjectNode:
+		if needed != nil {
+			var exprs []sqlast.Expr
+			var names []string
+			for i, name := range x.Names {
+				if needed[name] {
+					exprs = append(exprs, x.Exprs[i])
+					names = append(names, name)
+				}
+			}
+			if len(exprs) == 0 {
+				// Keep one cheap column to preserve cardinality.
+				exprs = x.Exprs[:1]
+				names = x.Names[:1]
+			}
+			x.Exprs = exprs
+			x.Names = names
+			x.schema = nil
+		}
+		childNeeded := make(nameSet)
+		for _, e := range x.Exprs {
+			refsOf(e, childNeeded)
+		}
+		x.Input = pruneNode(x.Input, childNeeded)
+		return x
+	case *FlattenNode:
+		childNeeded := nameSet(nil)
+		if needed != nil {
+			childNeeded = make(nameSet)
+			for k := range needed {
+				if k != x.Alias+".VALUE" && k != x.Alias+".INDEX" {
+					childNeeded[k] = true
+				}
+			}
+			refsOf(x.Expr, childNeeded)
+		}
+		x.Input = pruneNode(x.Input, childNeeded)
+		x.schema = nil
+		return x
+	case *AggregateNode:
+		// Drop aggregates whose output is never consumed (e.g. ANY_VALUE
+		// carry-alongs from nested-query re-aggregation); group keys always
+		// stay since they define the output cardinality.
+		if needed != nil {
+			var aggs []AggSpec
+			var names []string
+			for i, name := range x.AggNames {
+				if needed[name] {
+					aggs = append(aggs, x.Aggs[i])
+					names = append(names, name)
+				}
+			}
+			x.Aggs = aggs
+			x.AggNames = names
+			x.schema = nil
+		}
+		childNeeded := make(nameSet)
+		for _, g := range x.GroupBy {
+			refsOf(g, childNeeded)
+		}
+		for _, a := range x.Aggs {
+			if a.Arg != nil {
+				refsOf(a.Arg, childNeeded)
+			}
+			for _, o := range a.OrderBy {
+				refsOf(o.Expr, childNeeded)
+			}
+		}
+		if len(childNeeded) == 0 {
+			childNeeded = nil // COUNT(*) only: any column will do
+		}
+		x.Input = pruneNode(x.Input, childNeeded)
+		return x
+	case *JoinNode:
+		leftNeeded, rightNeeded := nameSet(nil), nameSet(nil)
+		if needed != nil {
+			leftNeeded, rightNeeded = make(nameSet), make(nameSet)
+			collect := make(nameSet)
+			for k := range needed {
+				collect[k] = true
+			}
+			refsOf(x.On, collect)
+			refsOf(x.Residual, collect)
+			for _, k := range x.LeftKeys {
+				refsOf(k, collect)
+			}
+			for _, k := range x.RightKeys {
+				refsOf(k, collect)
+			}
+			for name := range collect {
+				if _, ok := x.Left.Schema().Lookup(name); ok {
+					leftNeeded[name] = true
+				}
+				if _, ok := x.Right.Schema().Lookup(name); ok {
+					rightNeeded[name] = true
+				}
+			}
+		}
+		x.Left = pruneNode(x.Left, leftNeeded)
+		x.Right = pruneNode(x.Right, rightNeeded)
+		x.schema = nil
+		return x
+	case *SortNode:
+		var childNeeded nameSet
+		if needed != nil {
+			childNeeded = make(nameSet)
+			for k := range needed {
+				childNeeded[k] = true
+			}
+			for _, key := range x.Keys {
+				refsOf(key.Expr, childNeeded)
+			}
+		}
+		x.Input = pruneNode(x.Input, childNeeded)
+		return x
+	case *LimitNode:
+		x.Input = pruneNode(x.Input, needed)
+		return x
+	case *UnionNode:
+		// Positional semantics: pruning either side would misalign columns,
+		// so both branches keep their full output.
+		x.Left = pruneNode(x.Left, nil)
+		x.Right = pruneNode(x.Right, nil)
+		return x
+	}
+	return n
+}
+
+// substituteThroughProject rewrites a conjunct over a project's output
+// schema into one over its input schema by inlining the defining
+// expressions. Volatile definitions (containing SEQ8) block substitution.
+func substituteThroughProject(c sqlast.Expr, p *ProjectNode) (sqlast.Expr, bool) {
+	defs := make(map[string]sqlast.Expr, len(p.Names))
+	for i, name := range p.Names {
+		defs[name] = p.Exprs[i]
+	}
+	ok := true
+	var subst func(e sqlast.Expr) sqlast.Expr
+	subst = func(e sqlast.Expr) sqlast.Expr {
+		switch x := e.(type) {
+		case *sqlast.ColRef:
+			name := x.Name
+			if x.Table != "" {
+				name = x.Table + "." + x.Name
+			}
+			def, found := defs[name]
+			if !found || isVolatile(def) {
+				ok = false
+				return e
+			}
+			return def
+		case *sqlast.Lit, *sqlast.Star:
+			return e
+		case *sqlast.FuncCall:
+			args := make([]sqlast.Expr, len(x.Args))
+			for i, a := range x.Args {
+				args[i] = subst(a)
+			}
+			return &sqlast.FuncCall{Name: x.Name, Args: args, Distinct: x.Distinct, WithinOrder: x.WithinOrder}
+		case *sqlast.Binary:
+			return &sqlast.Binary{Op: x.Op, Left: subst(x.Left), Right: subst(x.Right)}
+		case *sqlast.Unary:
+			return &sqlast.Unary{Op: x.Op, Operand: subst(x.Operand)}
+		case *sqlast.IsNull:
+			return &sqlast.IsNull{Operand: subst(x.Operand), Negate: x.Negate}
+		case *sqlast.CaseWhen:
+			out := &sqlast.CaseWhen{}
+			for _, w := range x.Whens {
+				out.Whens = append(out.Whens, sqlast.WhenClause{Cond: subst(w.Cond), Result: subst(w.Result)})
+			}
+			if x.Else != nil {
+				out.Else = subst(x.Else)
+			}
+			return out
+		case *sqlast.Cast:
+			return &sqlast.Cast{Operand: subst(x.Operand), Type: x.Type}
+		}
+		ok = false
+		return e
+	}
+	out := subst(c)
+	return out, ok
+}
+
+func isVolatile(e sqlast.Expr) bool {
+	vol := false
+	walkExpr(e, func(n sqlast.Expr) bool {
+		if fc, ok := n.(*sqlast.FuncCall); ok {
+			name := strings.ToUpper(fc.Name)
+			if name == "SEQ8" || name == "SEQ4" {
+				vol = true
+				return false
+			}
+		}
+		return true
+	})
+	return vol
+}
+
+// --- zone-map prune derivation --------------------------------------------
+
+func deriveScanPrunes(n Node) {
+	switch x := n.(type) {
+	case *ScanNode:
+		for _, c := range splitConjuncts(x.Filter) {
+			if pred, ok := toPrunePredicate(c); ok {
+				x.Prunes = append(x.Prunes, pred)
+			}
+		}
+	case *FilterNode:
+		deriveScanPrunes(x.Input)
+	case *ProjectNode:
+		deriveScanPrunes(x.Input)
+	case *FlattenNode:
+		deriveScanPrunes(x.Input)
+	case *AggregateNode:
+		deriveScanPrunes(x.Input)
+	case *JoinNode:
+		deriveScanPrunes(x.Left)
+		deriveScanPrunes(x.Right)
+	case *SortNode:
+		deriveScanPrunes(x.Input)
+	case *LimitNode:
+		deriveScanPrunes(x.Input)
+	case *UnionNode:
+		deriveScanPrunes(x.Left)
+		deriveScanPrunes(x.Right)
+	}
+}
+
+// toPrunePredicate recognizes `path-expr op literal` (or flipped) where
+// path-expr is a column or a GET chain with constant string keys.
+func toPrunePredicate(c sqlast.Expr) (storage.PrunePredicate, bool) {
+	b, ok := c.(*sqlast.Binary)
+	if !ok {
+		return storage.PrunePredicate{}, false
+	}
+	var op storage.PruneOp
+	flipped := map[storage.PruneOp]storage.PruneOp{
+		storage.PruneEq: storage.PruneEq,
+		storage.PruneLt: storage.PruneGt,
+		storage.PruneLe: storage.PruneGe,
+		storage.PruneGt: storage.PruneLt,
+		storage.PruneGe: storage.PruneLe,
+	}
+	switch b.Op {
+	case "=":
+		op = storage.PruneEq
+	case "<":
+		op = storage.PruneLt
+	case "<=":
+		op = storage.PruneLe
+	case ">":
+		op = storage.PruneGt
+	case ">=":
+		op = storage.PruneGe
+	default:
+		return storage.PrunePredicate{}, false
+	}
+	if col, path, ok := pathOf(b.Left); ok {
+		if lit, isLit := b.Right.(*sqlast.Lit); isLit && !lit.Value.IsNull() {
+			return storage.PrunePredicate{Column: col, Path: path, Op: op, Value: lit.Value}, true
+		}
+	}
+	if col, path, ok := pathOf(b.Right); ok {
+		if lit, isLit := b.Left.(*sqlast.Lit); isLit && !lit.Value.IsNull() {
+			return storage.PrunePredicate{Column: col, Path: path, Op: flipped[op], Value: lit.Value}, true
+		}
+	}
+	return storage.PrunePredicate{}, false
+}
+
+func pathOf(e sqlast.Expr) (col, path string, ok bool) {
+	switch x := e.(type) {
+	case *sqlast.ColRef:
+		if x.Table != "" {
+			return "", "", false
+		}
+		return x.Name, "", true
+	case *sqlast.FuncCall:
+		if strings.ToUpper(x.Name) != "GET" || len(x.Args) != 2 {
+			return "", "", false
+		}
+		key, isLit := x.Args[1].(*sqlast.Lit)
+		if !isLit || key.Value.Kind() != variant.KindString {
+			return "", "", false
+		}
+		baseCol, basePath, baseOK := pathOf(x.Args[0])
+		if !baseOK {
+			return "", "", false
+		}
+		if basePath == "" {
+			return baseCol, key.Value.AsString(), true
+		}
+		return baseCol, basePath + "." + key.Value.AsString(), true
+	}
+	return "", "", false
+}

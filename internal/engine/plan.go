@@ -1,0 +1,605 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"jsonpark/internal/sqlast"
+	"jsonpark/internal/storage"
+)
+
+// Node is a logical plan operator. Schemas are resolved at build time.
+type Node interface {
+	Schema() *Schema
+}
+
+// ScanNode reads a table's micro-partitions. Columns is the projected subset
+// (projection pruning rewrites it); Filter is the pushed-down residual
+// predicate; Prunes are zone-map predicates for partition pruning.
+type ScanNode struct {
+	Table   *storage.Table
+	Columns []string
+	Filter  sqlast.Expr
+	Prunes  []storage.PrunePredicate
+	schema  *Schema
+}
+
+// FilterNode keeps rows whose condition is TRUE.
+type FilterNode struct {
+	Input Node
+	Cond  sqlast.Expr
+}
+
+// ProjectNode computes one output column per expression.
+type ProjectNode struct {
+	Input  Node
+	Exprs  []sqlast.Expr
+	Names  []string
+	schema *Schema
+}
+
+// FlattenNode is LATERAL FLATTEN: per input row it emits one row per element
+// of the array-valued Expr, appending columns "<Alias>.VALUE" and
+// "<Alias>.INDEX". With Outer, rows whose input is empty or not an array
+// still emit one row with NULLs.
+type FlattenNode struct {
+	Input  Node
+	Expr   sqlast.Expr
+	Outer  bool
+	Alias  string
+	schema *Schema
+}
+
+// AggSpec is one aggregate computation.
+type AggSpec struct {
+	Name     string // upper-case function name
+	Arg      sqlast.Expr
+	Star     bool // COUNT(*)
+	Distinct bool
+	OrderBy  []sqlast.OrderItem // ARRAY_AGG ... WITHIN GROUP
+}
+
+// AggregateNode hash-groups by the GroupBy expressions and computes Aggs.
+// Output schema: GroupNames then AggNames.
+type AggregateNode struct {
+	Input      Node
+	GroupBy    []sqlast.Expr
+	GroupNames []string
+	Aggs       []AggSpec
+	AggNames   []string
+	schema     *Schema
+}
+
+// JoinNode joins two inputs. The optimizer may extract hash keys from an
+// INNER/CROSS join's conjuncts (LeftKeys/RightKeys) leaving Residual; a
+// LEFT OUTER join always requires keys (the translation only emits
+// equi-joins on row IDs).
+type JoinNode struct {
+	Kind      string // INNER, LEFT OUTER, CROSS
+	Left      Node
+	Right     Node
+	On        sqlast.Expr
+	LeftKeys  []sqlast.Expr
+	RightKeys []sqlast.Expr
+	Residual  sqlast.Expr
+	schema    *Schema
+}
+
+// SortNode orders rows by its keys using the variant total order.
+type SortNode struct {
+	Input Node
+	Keys  []sqlast.OrderItem
+}
+
+// LimitNode truncates the stream.
+type LimitNode struct {
+	Input Node
+	N     int64
+}
+
+// UnionNode concatenates two inputs (UNION ALL); schemas align by position.
+type UnionNode struct {
+	Left  Node
+	Right Node
+}
+
+func (n *ScanNode) Schema() *Schema {
+	if n.schema == nil {
+		n.schema = NewSchema(n.Columns)
+	}
+	return n.schema
+}
+func (n *FilterNode) Schema() *Schema { return n.Input.Schema() }
+func (n *ProjectNode) Schema() *Schema {
+	if n.schema == nil {
+		n.schema = NewSchema(n.Names)
+	}
+	return n.schema
+}
+func (n *FlattenNode) Schema() *Schema {
+	if n.schema == nil {
+		n.schema = n.Input.Schema().Extend(n.Alias+".VALUE", n.Alias+".INDEX")
+	}
+	return n.schema
+}
+func (n *AggregateNode) Schema() *Schema {
+	if n.schema == nil {
+		n.schema = NewSchema(append(append([]string(nil), n.GroupNames...), n.AggNames...))
+	}
+	return n.schema
+}
+func (n *JoinNode) Schema() *Schema {
+	if n.schema == nil {
+		n.schema = NewSchema(append(append([]string(nil), n.Left.Schema().Names...), n.Right.Schema().Names...))
+	}
+	return n.schema
+}
+func (n *SortNode) Schema() *Schema  { return n.Input.Schema() }
+func (n *LimitNode) Schema() *Schema { return n.Input.Schema() }
+func (n *UnionNode) Schema() *Schema { return n.Left.Schema() }
+
+// planner builds logical plans from parsed SQL.
+type planner struct {
+	catalog *storage.Catalog
+}
+
+// Build converts a parsed query into an unoptimized logical plan.
+func (p *planner) Build(q sqlast.Query) (Node, error) {
+	switch x := q.(type) {
+	case *sqlast.Select:
+		return p.buildSelect(x)
+	case *sqlast.SetOp:
+		left, err := p.Build(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := p.Build(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		if len(left.Schema().Names) != len(right.Schema().Names) {
+			return nil, fmt.Errorf("engine: UNION ALL arity mismatch: %d vs %d columns",
+				len(left.Schema().Names), len(right.Schema().Names))
+		}
+		return &UnionNode{Left: left, Right: right}, nil
+	}
+	return nil, fmt.Errorf("engine: unknown query node %T", q)
+}
+
+func (p *planner) buildSelect(s *sqlast.Select) (Node, error) {
+	var node Node
+	if s.From == nil {
+		return nil, fmt.Errorf("engine: SELECT without FROM is not supported")
+	}
+	node, err := p.buildFrom(s.From)
+	if err != nil {
+		return nil, err
+	}
+	if s.Where != nil {
+		node = &FilterNode{Input: node, Cond: s.Where}
+	}
+
+	// Expand stars in the select list against the pre-aggregate schema.
+	items, err := expandStars(s.Items, node.Schema())
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate detection: GROUP BY present, or any aggregate call in the
+	// select list / HAVING / ORDER BY.
+	hasAgg := len(s.GroupBy) > 0 || s.Having != nil
+	for _, it := range items {
+		if containsAggregate(it.Expr) {
+			hasAgg = true
+		}
+	}
+	for _, o := range s.OrderBy {
+		if containsAggregate(o.Expr) {
+			hasAgg = true
+		}
+	}
+
+	having := s.Having
+	orderBy := append([]sqlast.OrderItem(nil), s.OrderBy...)
+
+	// Output names are needed up front so ORDER BY can resolve select-list
+	// aliases without being rewritten through the aggregate.
+	names := make([]string, len(items))
+	for i, it := range items {
+		names[i] = it.Alias
+		if names[i] == "" {
+			if cr, ok := it.Expr.(*sqlast.ColRef); ok && cr.Table == "" {
+				names[i] = cr.Name
+			} else {
+				names[i] = sqlast.RenderExpr(it.Expr)
+			}
+		}
+	}
+
+	if hasAgg {
+		agg := &AggregateNode{Input: node, GroupBy: append([]sqlast.Expr(nil), s.GroupBy...)}
+		for i := range agg.GroupBy {
+			agg.GroupNames = append(agg.GroupNames, fmt.Sprintf("__g%d", i))
+		}
+		// Select-list aliases may appear in ORDER BY; remember the original
+		// defining expressions so ORDER BY "alias" and ORDER BY SUM(x) both
+		// resolve against the aggregate output.
+		aliasDefs := make(map[string]sqlast.Expr, len(items))
+		for i, it := range items {
+			aliasDefs[names[i]] = it.Expr
+		}
+		rw := &aggRewriter{agg: agg}
+		for i := range items {
+			items[i].Expr, err = rw.rewrite(items[i].Expr)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if having != nil {
+			having, err = rw.rewrite(having)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for i := range orderBy {
+			key := substituteAliases(orderBy[i].Expr, aliasDefs)
+			orderBy[i].Expr, err = rw.rewrite(key)
+			if err != nil {
+				return nil, fmt.Errorf("engine: ORDER BY key %s: %w", sqlast.RenderExpr(orderBy[i].Expr), err)
+			}
+		}
+		node = agg
+		if having != nil {
+			node = &FilterNode{Input: node, Cond: having}
+		}
+		// Sort on the aggregate output, before projection (which preserves
+		// row order).
+		if len(orderBy) > 0 {
+			node = &SortNode{Input: node, Keys: orderBy}
+			orderBy = nil
+		}
+	}
+
+	exprs := make([]sqlast.Expr, len(items))
+	for i, it := range items {
+		exprs[i] = it.Expr
+	}
+	proj := &ProjectNode{Input: node, Exprs: exprs, Names: names}
+
+	var out Node = proj
+	if len(orderBy) > 0 {
+		// ORDER BY may reference select aliases (post-projection schema) or
+		// input columns (pre-projection). Prefer the projected schema.
+		if exprsResolve(proj.Schema(), orderBy) {
+			out = &SortNode{Input: proj, Keys: orderBy}
+		} else if exprsResolve(node.Schema(), orderBy) {
+			proj.Input = &SortNode{Input: node, Keys: orderBy}
+			out = proj
+		} else {
+			return nil, fmt.Errorf("engine: ORDER BY references unknown columns")
+		}
+	}
+	if s.Limit != nil {
+		out = &LimitNode{Input: out, N: *s.Limit}
+	}
+	return out, nil
+}
+
+func (p *planner) buildFrom(f sqlast.FromItem) (Node, error) {
+	switch x := f.(type) {
+	case *sqlast.TableRef:
+		t, err := p.catalog.Table(x.Name)
+		if err != nil {
+			return nil, err
+		}
+		return &ScanNode{Table: t, Columns: append([]string(nil), t.Columns...)}, nil
+	case *sqlast.SubqueryRef:
+		return p.Build(x.Query)
+	case *sqlast.Join:
+		left, err := p.buildFrom(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		right, err := p.buildFrom(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &JoinNode{Kind: x.Kind, Left: left, Right: right, On: x.On}, nil
+	case *sqlast.Flatten:
+		src, err := p.buildFrom(x.Source)
+		if err != nil {
+			return nil, err
+		}
+		return &FlattenNode{Input: src, Expr: x.Input, Outer: x.Outer, Alias: x.Alias}, nil
+	}
+	return nil, fmt.Errorf("engine: unknown from node %T", f)
+}
+
+func expandStars(items []sqlast.SelectItem, sc *Schema) ([]sqlast.SelectItem, error) {
+	out := make([]sqlast.SelectItem, 0, len(items))
+	for _, it := range items {
+		if !it.Star {
+			out = append(out, it)
+			continue
+		}
+		for _, name := range sc.Names {
+			ref := colRefFor(name)
+			out = append(out, sqlast.SelectItem{Expr: ref, Alias: name})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("engine: empty select list")
+	}
+	return out, nil
+}
+
+// colRefFor rebuilds a ColRef from a schema name, restoring the
+// "alias.VALUE" qualification of flatten pseudo-columns.
+func colRefFor(name string) *sqlast.ColRef {
+	if i := strings.LastIndex(name, "."); i > 0 {
+		suffix := name[i+1:]
+		if suffix == "VALUE" || suffix == "INDEX" {
+			return &sqlast.ColRef{Table: name[:i], Name: suffix}
+		}
+	}
+	return &sqlast.ColRef{Name: name}
+}
+
+func containsAggregate(e sqlast.Expr) bool {
+	found := false
+	walkExpr(e, func(n sqlast.Expr) bool {
+		if fc, ok := n.(*sqlast.FuncCall); ok && isAggregateName(fc.Name) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// walkExpr visits an expression tree pre-order while fn returns true.
+func walkExpr(e sqlast.Expr, fn func(sqlast.Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *sqlast.FuncCall:
+		for _, a := range x.Args {
+			walkExpr(a, fn)
+		}
+		for _, o := range x.WithinOrder {
+			walkExpr(o.Expr, fn)
+		}
+	case *sqlast.Binary:
+		walkExpr(x.Left, fn)
+		walkExpr(x.Right, fn)
+	case *sqlast.Unary:
+		walkExpr(x.Operand, fn)
+	case *sqlast.IsNull:
+		walkExpr(x.Operand, fn)
+	case *sqlast.CaseWhen:
+		for _, w := range x.Whens {
+			walkExpr(w.Cond, fn)
+			walkExpr(w.Result, fn)
+		}
+		walkExpr(x.Else, fn)
+	case *sqlast.Cast:
+		walkExpr(x.Operand, fn)
+	}
+}
+
+// substituteAliases replaces unqualified column references that name a
+// select-list alias with the alias's defining expression, leaving everything
+// else untouched.
+func substituteAliases(e sqlast.Expr, defs map[string]sqlast.Expr) sqlast.Expr {
+	switch x := e.(type) {
+	case *sqlast.ColRef:
+		if x.Table == "" {
+			if def, ok := defs[x.Name]; ok {
+				return def
+			}
+		}
+		return x
+	case *sqlast.FuncCall:
+		args := make([]sqlast.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = substituteAliases(a, defs)
+		}
+		return &sqlast.FuncCall{Name: x.Name, Args: args, Distinct: x.Distinct, WithinOrder: x.WithinOrder}
+	case *sqlast.Binary:
+		return &sqlast.Binary{Op: x.Op, Left: substituteAliases(x.Left, defs), Right: substituteAliases(x.Right, defs)}
+	case *sqlast.Unary:
+		return &sqlast.Unary{Op: x.Op, Operand: substituteAliases(x.Operand, defs)}
+	case *sqlast.IsNull:
+		return &sqlast.IsNull{Operand: substituteAliases(x.Operand, defs), Negate: x.Negate}
+	case *sqlast.CaseWhen:
+		out := &sqlast.CaseWhen{}
+		for _, w := range x.Whens {
+			out.Whens = append(out.Whens, sqlast.WhenClause{
+				Cond:   substituteAliases(w.Cond, defs),
+				Result: substituteAliases(w.Result, defs),
+			})
+		}
+		if x.Else != nil {
+			out.Else = substituteAliases(x.Else, defs)
+		}
+		return out
+	case *sqlast.Cast:
+		return &sqlast.Cast{Operand: substituteAliases(x.Operand, defs), Type: x.Type}
+	}
+	return e
+}
+
+// aggRewriter replaces aggregate calls and group-by expressions inside
+// post-aggregation expressions with references to the AggregateNode's output
+// columns, registering each distinct aggregate once.
+type aggRewriter struct {
+	agg *AggregateNode
+}
+
+func (rw *aggRewriter) rewrite(e sqlast.Expr) (sqlast.Expr, error) {
+	// Whole-expression match against a GROUP BY key.
+	for i, g := range rw.agg.GroupBy {
+		if exprEqual(e, g) {
+			return sqlast.C(rw.agg.GroupNames[i]), nil
+		}
+	}
+	switch x := e.(type) {
+	case *sqlast.FuncCall:
+		if isAggregateName(x.Name) {
+			return rw.registerAgg(x)
+		}
+		args := make([]sqlast.Expr, len(x.Args))
+		for i, a := range x.Args {
+			na, err := rw.rewrite(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = na
+		}
+		return &sqlast.FuncCall{Name: x.Name, Args: args, Distinct: x.Distinct, WithinOrder: x.WithinOrder}, nil
+	case *sqlast.Binary:
+		l, err := rw.rewrite(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rw.rewrite(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Binary{Op: x.Op, Left: l, Right: r}, nil
+	case *sqlast.Unary:
+		o, err := rw.rewrite(x.Operand)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Unary{Op: x.Op, Operand: o}, nil
+	case *sqlast.IsNull:
+		o, err := rw.rewrite(x.Operand)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.IsNull{Operand: o, Negate: x.Negate}, nil
+	case *sqlast.CaseWhen:
+		out := &sqlast.CaseWhen{}
+		for _, w := range x.Whens {
+			c, err := rw.rewrite(w.Cond)
+			if err != nil {
+				return nil, err
+			}
+			r, err := rw.rewrite(w.Result)
+			if err != nil {
+				return nil, err
+			}
+			out.Whens = append(out.Whens, sqlast.WhenClause{Cond: c, Result: r})
+		}
+		if x.Else != nil {
+			e2, err := rw.rewrite(x.Else)
+			if err != nil {
+				return nil, err
+			}
+			out.Else = e2
+		}
+		return out, nil
+	case *sqlast.Cast:
+		o, err := rw.rewrite(x.Operand)
+		if err != nil {
+			return nil, err
+		}
+		return &sqlast.Cast{Operand: o, Type: x.Type}, nil
+	case *sqlast.Lit:
+		return x, nil
+	case *sqlast.ColRef:
+		return nil, fmt.Errorf("engine: column %q must appear in GROUP BY or inside an aggregate", sqlast.RenderExpr(x))
+	}
+	return e, nil
+}
+
+func (rw *aggRewriter) registerAgg(call *sqlast.FuncCall) (sqlast.Expr, error) {
+	spec := AggSpec{Name: strings.ToUpper(call.Name), Distinct: call.Distinct, OrderBy: call.WithinOrder}
+	switch len(call.Args) {
+	case 0:
+		return nil, fmt.Errorf("engine: %s requires an argument", spec.Name)
+	case 1:
+		if _, ok := call.Args[0].(*sqlast.Star); ok {
+			if spec.Name != "COUNT" {
+				return nil, fmt.Errorf("engine: only COUNT accepts '*'")
+			}
+			spec.Star = true
+		} else {
+			spec.Arg = call.Args[0]
+		}
+	default:
+		return nil, fmt.Errorf("engine: %s accepts exactly one argument", spec.Name)
+	}
+	// Reuse identical aggregates.
+	key := renderAggSpec(spec)
+	for i, existing := range rw.agg.Aggs {
+		if renderAggSpec(existing) == key {
+			return sqlast.C(rw.agg.AggNames[i]), nil
+		}
+	}
+	name := fmt.Sprintf("__a%d", len(rw.agg.Aggs))
+	rw.agg.Aggs = append(rw.agg.Aggs, spec)
+	rw.agg.AggNames = append(rw.agg.AggNames, name)
+	return sqlast.C(name), nil
+}
+
+func renderAggSpec(s AggSpec) string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	if s.Distinct {
+		b.WriteString(" DISTINCT")
+	}
+	if s.Star {
+		b.WriteString(" *")
+	}
+	if s.Arg != nil {
+		b.WriteString(" ")
+		b.WriteString(sqlast.RenderExpr(s.Arg))
+	}
+	for _, o := range s.OrderBy {
+		b.WriteString(" O:")
+		b.WriteString(sqlast.RenderExpr(o.Expr))
+		if o.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	return b.String()
+}
+
+// exprEqual compares expressions structurally via their rendering.
+func exprEqual(a, b sqlast.Expr) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return sqlast.RenderExpr(a) == sqlast.RenderExpr(b)
+}
+
+// exprsResolve reports whether every order key compiles against the schema.
+func exprsResolve(sc *Schema, keys []sqlast.OrderItem) bool {
+	for _, k := range keys {
+		if !exprResolves(sc, k.Expr) {
+			return false
+		}
+	}
+	return true
+}
+
+func exprResolves(sc *Schema, e sqlast.Expr) bool {
+	ok := true
+	walkExpr(e, func(n sqlast.Expr) bool {
+		if cr, isRef := n.(*sqlast.ColRef); isRef {
+			name := cr.Name
+			if cr.Table != "" {
+				name = cr.Table + "." + cr.Name
+			}
+			if _, found := sc.Lookup(name); !found {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}

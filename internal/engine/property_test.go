@@ -1,0 +1,219 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"jsonpark/internal/variant"
+)
+
+// Property: ORDER BY produces exactly the variant total order over random
+// integer datasets, across partition boundaries.
+func TestOrderByMatchesReferenceSortProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		e := New()
+		tab, err := e.Catalog().CreateTable("t", []string{"v"})
+		if err != nil {
+			return false
+		}
+		tab.SetTargetPartitionBytes(64)
+		for _, v := range vals {
+			if err := tab.Append([]variant.Value{variant.Int(v)}); err != nil {
+				return false
+			}
+		}
+		res, err := e.Query(`SELECT "v" FROM "t" ORDER BY "v" ASC`)
+		if err != nil {
+			return false
+		}
+		if len(res.Rows) != len(vals) {
+			return false
+		}
+		prev := res.Rows[0][0]
+		for _, row := range res.Rows[1:] {
+			if variant.Compare(prev, row[0]) > 0 {
+				return false
+			}
+			prev = row[0]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: GROUP BY sums agree with a map-based reference implementation
+// for random (key, value) pairs.
+func TestGroupBySumMatchesReferenceProperty(t *testing.T) {
+	f := func(keys []uint8, vals []int64) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		if n == 0 {
+			return true
+		}
+		e := New()
+		tab, err := e.Catalog().CreateTable("t", []string{"k", "v"})
+		if err != nil {
+			return false
+		}
+		want := map[int64]int64{}
+		for i := 0; i < n; i++ {
+			k := int64(keys[i] % 7)
+			if err := tab.Append([]variant.Value{variant.Int(k), variant.Int(vals[i])}); err != nil {
+				return false
+			}
+			want[k] += vals[i]
+		}
+		res, err := e.Query(`SELECT "k", SUM("v") AS "s" FROM "t" GROUP BY "k"`)
+		if err != nil {
+			return false
+		}
+		if len(res.Rows) != len(want) {
+			return false
+		}
+		for _, row := range res.Rows {
+			if want[row[0].AsInt()] != row[1].AsInt() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LATERAL FLATTEN then ARRAY_AGG by row id reconstructs the
+// original arrays (the §IV-B round trip) for random array shapes.
+func TestFlattenRegroupRoundTripProperty(t *testing.T) {
+	f := func(lens []uint8) bool {
+		if len(lens) == 0 || len(lens) > 40 {
+			return true
+		}
+		e := New()
+		tab, err := e.Catalog().CreateTable("t", []string{"id", "arr"})
+		if err != nil {
+			return false
+		}
+		original := make([]variant.Value, len(lens))
+		for i, l := range lens {
+			elems := make([]variant.Value, int(l)%5)
+			for j := range elems {
+				elems[j] = variant.Int(int64(i*10 + j))
+			}
+			original[i] = variant.ArrayOf(elems)
+			if err := tab.Append([]variant.Value{variant.Int(int64(i)), original[i]}); err != nil {
+				return false
+			}
+		}
+		res, err := e.Query(`SELECT "id", ARRAY_AGG("f".VALUE) WITHIN GROUP (ORDER BY "f".INDEX ASC) AS "r"
+			FROM (SELECT * FROM "t"), LATERAL FLATTEN(INPUT => "arr", OUTER => TRUE) AS "f"
+			GROUP BY "id" ORDER BY "id" ASC`)
+		if err != nil {
+			return false
+		}
+		if len(res.Rows) != len(lens) {
+			return false
+		}
+		for i, row := range res.Rows {
+			if !variant.Equal(row[1], original[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Failure injection: runtime errors inside operators surface as errors, not
+// panics or silent wrong answers.
+func TestRuntimeErrorsSurfaceFromOperators(t *testing.T) {
+	e := testEngine(t)
+	cases := []string{
+		`SELECT "o_id" + "o_clerk" FROM "orders"`,       // string arithmetic in project
+		`SELECT * FROM "orders" WHERE "o_id" % 0 = 1`,   // mod by zero in filter
+		`SELECT SUM("o_clerk") FROM "orders"`,           // SUM over strings
+		`SELECT AVG("Muon") FROM "adl"`,                 // AVG over arrays
+		`SELECT ARRAY_RANGE(0, 99999999) FROM "orders"`, // range guard
+	}
+	for _, sql := range cases {
+		if _, err := e.Query(sql); err == nil {
+			t.Errorf("Query(%q) should fail at runtime", sql)
+		}
+	}
+}
+
+func TestNullHandlingInAggregates(t *testing.T) {
+	e := New()
+	tab, err := e.Catalog().CreateTable("t", []string{"v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []variant.Value{variant.Int(1), variant.Null, variant.Int(3), variant.Null} {
+		if err := tab.Append([]variant.Value{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := e.Query(`SELECT COUNT(*), COUNT("v"), SUM("v"), AVG("v"), MIN("v"), ARRAY_AGG("v") FROM "t"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := res.Rows[0]
+	checks := []struct {
+		i    int
+		want string
+	}{
+		{0, "4"}, {1, "2"}, {2, "4"}, {3, "2.0"}, {4, "1"}, {5, "[1,3]"},
+	}
+	for _, c := range checks {
+		if got := row[c.i].JSON(); got != c.want {
+			t.Errorf("col %d = %s, want %s", c.i, got, c.want)
+		}
+	}
+}
+
+func TestLargeMultiPartitionAggregation(t *testing.T) {
+	e := New()
+	tab, err := e.Catalog().CreateTable("t", []string{"k", "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.SetTargetPartitionBytes(1 << 10)
+	const n = 5000
+	var want int64
+	for i := 0; i < n; i++ {
+		if err := tab.Append([]variant.Value{variant.Int(int64(i % 10)), variant.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+		want += int64(i)
+	}
+	if parts := len(tab.Partitions()); parts < 10 {
+		t.Fatalf("expected many partitions, got %d", parts)
+	}
+	res, err := e.Query(`SELECT SUM("v") FROM "t"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() != want {
+		t.Errorf("sum = %v, want %d", res.Rows[0][0], want)
+	}
+	res, err = e.Query(fmt.Sprintf(`SELECT COUNT(*) FROM "t" WHERE "v" >= %d`, n-100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].AsInt() != 100 {
+		t.Errorf("count = %v", res.Rows[0][0])
+	}
+	if res.Metrics.PartitionsPruned == 0 {
+		t.Error("selective predicate should prune partitions")
+	}
+}

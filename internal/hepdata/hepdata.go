@@ -1,0 +1,178 @@
+// Package hepdata generates a deterministic synthetic stand-in for the IRIS
+// HEP ADL benchmark dataset (§II-C of the paper): collision events with
+// event metadata (EVENT, HLT, MET) and nested particle arrays (Muon,
+// Electron, Jet, Photon, Tau). The paper's dataset stems from the 2012 CMS
+// open data (54 M events at SF1 ≈ 17 GiB); this generator reproduces its
+// structural properties — multiplicities, empty arrays, kinematic ranges,
+// charge balance — which are what the ADL queries exercise. Scale factors
+// are re-based to laptop scale: SF1 ≡ 54 000 events by default.
+package hepdata
+
+import (
+	"math"
+	"math/rand"
+
+	"jsonpark/internal/engine"
+	"jsonpark/internal/runtime"
+	"jsonpark/internal/variant"
+)
+
+// EventsPerSF is the number of events at scale factor 1 (the paper's 54 M
+// divided by 1000).
+const EventsPerSF = 54000
+
+// EventsForScaleFactor converts a (possibly fractional) ADL scale factor to
+// an event count, with a floor of 8 events.
+func EventsForScaleFactor(sf float64) int {
+	n := int(math.Round(sf * EventsPerSF))
+	if n < 8 {
+		n = 8
+	}
+	return n
+}
+
+// Columns is the multi-column staging schema used for the ADL evaluations
+// (§III-C): one column per top-level entry.
+func Columns() []string {
+	return []string{"EVENT", "HLT", "MET", "Muon", "Electron", "Jet", "Photon", "Tau"}
+}
+
+// Generator produces events deterministically from a seed.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// NewGenerator returns a seeded generator.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// poisson draws a small Poisson-distributed multiplicity via Knuth's method.
+func (g *Generator) poisson(mean float64) int {
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= g.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 24 {
+			return 24
+		}
+	}
+}
+
+// falling draws a falling-spectrum transverse momentum in GeV.
+func (g *Generator) falling(base, scale float64) float64 {
+	return base + g.rng.ExpFloat64()*scale
+}
+
+func (g *Generator) eta() float64 { return g.rng.NormFloat64() * 1.6 }
+
+func (g *Generator) phi() float64 { return (g.rng.Float64()*2 - 1) * math.Pi }
+
+func (g *Generator) charge() int64 {
+	if g.rng.Intn(2) == 0 {
+		return 1
+	}
+	return -1
+}
+
+func round3(f float64) float64 { return math.Round(f*1000) / 1000 }
+
+func (g *Generator) lepton(mass float64) variant.Value {
+	o := variant.NewObject()
+	o.Set("pt", variant.Float(round3(g.falling(3, 18))))
+	o.Set("eta", variant.Float(round3(g.eta())))
+	o.Set("phi", variant.Float(round3(g.phi())))
+	o.Set("mass", variant.Float(mass))
+	o.Set("charge", variant.Int(g.charge()))
+	o.Set("iso", variant.Float(round3(g.rng.Float64()*3)))
+	return variant.ObjectValue(o)
+}
+
+func (g *Generator) jet() variant.Value {
+	o := variant.NewObject()
+	o.Set("pt", variant.Float(round3(g.falling(15, 28))))
+	o.Set("eta", variant.Float(round3(g.eta())))
+	o.Set("phi", variant.Float(round3(g.phi())))
+	o.Set("mass", variant.Float(round3(4+g.rng.ExpFloat64()*7)))
+	o.Set("btag", variant.Float(round3(g.rng.Float64())))
+	return variant.ObjectValue(o)
+}
+
+func (g *Generator) photon() variant.Value {
+	o := variant.NewObject()
+	o.Set("pt", variant.Float(round3(g.falling(2, 12))))
+	o.Set("eta", variant.Float(round3(g.eta())))
+	o.Set("phi", variant.Float(round3(g.phi())))
+	return variant.ObjectValue(o)
+}
+
+func (g *Generator) particles(mean float64, mk func() variant.Value) variant.Value {
+	n := g.poisson(mean)
+	arr := make([]variant.Value, n)
+	for i := range arr {
+		arr[i] = mk()
+	}
+	return variant.ArrayOf(arr)
+}
+
+// Event generates one event with the given id.
+func (g *Generator) Event(id int64) variant.Value {
+	hlt := variant.NewObject()
+	hlt.Set("IsoMu24", variant.Bool(g.rng.Float64() < 0.3))
+	hlt.Set("IsoMu17_eta2p1", variant.Bool(g.rng.Float64() < 0.2))
+
+	met := variant.NewObject()
+	met.Set("pt", variant.Float(round3(g.falling(2, 22))))
+	met.Set("phi", variant.Float(round3(g.phi())))
+	met.Set("sumet", variant.Float(round3(g.falling(80, 220))))
+
+	e := variant.NewObject()
+	e.Set("EVENT", variant.Int(id))
+	e.Set("HLT", variant.ObjectValue(hlt))
+	e.Set("MET", variant.ObjectValue(met))
+	e.Set("Muon", g.particles(0.8, func() variant.Value { return g.lepton(0.10566) }))
+	e.Set("Electron", g.particles(0.7, func() variant.Value { return g.lepton(0.000511) }))
+	e.Set("Jet", g.particles(2.6, g.jet))
+	e.Set("Photon", g.particles(0.9, g.photon))
+	e.Set("Tau", g.particles(0.3, func() variant.Value { return g.lepton(1.77686) }))
+	return variant.ObjectValue(e)
+}
+
+// Events generates n deterministic events.
+func Events(seed int64, n int) []variant.Value {
+	g := NewGenerator(seed)
+	out := make([]variant.Value, n)
+	for i := range out {
+		out[i] = g.Event(int64(100000 + i))
+	}
+	return out
+}
+
+// Load creates the ADL table in an engine and stages n events with the
+// multi-column schema. It returns the generated events for reuse by the
+// interpreted baselines, ensuring every system sees identical data.
+func Load(eng *engine.Engine, table string, seed int64, n int) ([]variant.Value, error) {
+	t, err := eng.Catalog().CreateTable(table, Columns())
+	if err != nil {
+		return nil, err
+	}
+	docs := Events(seed, n)
+	for _, d := range docs {
+		if err := t.AppendObject(d); err != nil {
+			return nil, err
+		}
+	}
+	t.Seal()
+	return docs, nil
+}
+
+// LoadRuntime stages events into an interpreted engine under the same
+// collection name.
+func LoadRuntime(rt *runtime.Engine, collection string, docs []variant.Value) {
+	rt.LoadCollection(collection, docs)
+}

@@ -1,0 +1,94 @@
+package hepdata
+
+import (
+	"testing"
+
+	"jsonpark/internal/engine"
+	"jsonpark/internal/variant"
+)
+
+func TestLoadStagesMultiColumn(t *testing.T) {
+	eng := engine.New()
+	docs, err := Load(eng, "adl", 3, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 200 {
+		t.Fatalf("docs = %d", len(docs))
+	}
+	tab, err := eng.Catalog().Table("adl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.NumRows() != 200 {
+		t.Fatalf("rows = %d", tab.NumRows())
+	}
+	if len(tab.Columns) != len(Columns()) {
+		t.Fatalf("columns = %v", tab.Columns)
+	}
+	// Staged column contents must equal the returned documents' fields.
+	res, err := eng.Query(`SELECT "EVENT" FROM "adl" LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !variant.Equal(res.Rows[0][0], docs[0].Field("EVENT")) {
+		t.Errorf("staged EVENT %v != doc %v", res.Rows[0][0], docs[0].Field("EVENT"))
+	}
+}
+
+func TestLoadDuplicateTableFails(t *testing.T) {
+	eng := engine.New()
+	if _, err := Load(eng, "adl", 1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(eng, "adl", 1, 10); err == nil {
+		t.Error("second load into same table should fail")
+	}
+}
+
+func TestKinematicDomains(t *testing.T) {
+	docs := Events(9, 1000)
+	var jets, muons int
+	for _, d := range docs {
+		for _, j := range d.Field("Jet").AsArray() {
+			jets++
+			pt := j.Field("pt").AsFloat()
+			if pt < 15 {
+				t.Fatalf("jet pt %v below threshold", pt)
+			}
+			btag := j.Field("btag").AsFloat()
+			if btag < 0 || btag > 1 {
+				t.Fatalf("btag %v outside [0,1]", btag)
+			}
+			if j.Field("mass").AsFloat() < 4 {
+				t.Fatalf("jet mass %v below floor", j.Field("mass"))
+			}
+		}
+		for _, m := range d.Field("Muon").AsArray() {
+			muons++
+			phi := m.Field("phi").AsFloat()
+			if phi < -3.15 || phi > 3.15 {
+				t.Fatalf("phi %v outside [-pi,pi]", phi)
+			}
+			if m.Field("mass").AsFloat() != 0.10566 {
+				t.Fatalf("muon mass %v", m.Field("mass"))
+			}
+		}
+	}
+	// Mean multiplicities near the configured Poisson means.
+	if f := float64(jets) / 1000; f < 2.0 || f > 3.2 {
+		t.Errorf("mean jets/event = %.2f, want ~2.6", f)
+	}
+	if f := float64(muons) / 1000; f < 0.5 || f > 1.1 {
+		t.Errorf("mean muons/event = %.2f, want ~0.8", f)
+	}
+}
+
+func TestEventIDsUniqueAndOrdered(t *testing.T) {
+	docs := Events(1, 100)
+	for i, d := range docs {
+		if d.Field("EVENT").AsInt() != int64(100000+i) {
+			t.Fatalf("event %d id = %v", i, d.Field("EVENT"))
+		}
+	}
+}

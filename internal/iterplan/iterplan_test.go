@@ -1,0 +1,131 @@
+package iterplan
+
+import (
+	"testing"
+
+	"jsonpark/internal/jsoniq"
+)
+
+func build(t *testing.T, src string) *Iterator {
+	t.Helper()
+	it, err := Build(jsoniq.MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return it
+}
+
+func TestListing1IteratorStructure(t *testing.T) {
+	// Figure 3 of the paper: the where clause has a left child (the for
+	// iterator) and a right child (its comparison subexpression).
+	root := build(t, `for $jet in collection("adl").Jet[]
+		where abs($jet.eta) lt 1
+		return $jet.pt`)
+	if root.Kind != KindReturn || !root.IsFLWOR {
+		t.Fatalf("root = %v", root.Kind)
+	}
+	where := root.Left
+	if where == nil || where.Kind != KindWhere {
+		t.Fatalf("return.left = %+v", where)
+	}
+	if where.Left == nil || where.Left.Kind != KindFor {
+		t.Fatalf("where.left = %+v", where.Left)
+	}
+	if len(where.Right) != 1 || where.Right[0].Kind != KindComparison {
+		t.Fatalf("where.right = %+v", where.Right)
+	}
+	cmp := where.Right[0]
+	if len(cmp.Children) != 2 {
+		t.Fatalf("comparison children = %d", len(cmp.Children))
+	}
+	if cmp.Children[0].Kind != KindFunction {
+		t.Errorf("comparison left child = %v, want function-call (abs)", cmp.Children[0].Kind)
+	}
+	if cmp.Children[1].Kind != KindLiteral {
+		t.Errorf("comparison right child = %v, want literal", cmp.Children[1].Kind)
+	}
+}
+
+func TestCensusCountsEachIteratorOnce(t *testing.T) {
+	root := build(t, `for $jet in collection("adl").Jet[]
+		where abs($jet.eta) lt 1
+		return $jet.pt`)
+	c := Census(root)
+	// FLWOR: for, where, return = 3.
+	if c.FLWOR != 3 {
+		t.Errorf("FLWOR = %d, want 3", c.FLWOR)
+	}
+	// Other: collection, field-access(Jet), unbox, abs-call, var($jet),
+	// field(eta), literal(1), comparison, field(pt), var($jet) = 10.
+	if c.Other != 10 {
+		t.Errorf("Other = %d, want 10", c.Other)
+	}
+	if c.Total() != 13 {
+		t.Errorf("Total = %d", c.Total())
+	}
+}
+
+func TestCensusGrowsWithComplexity(t *testing.T) {
+	simple := Census(build(t, `for $e in collection("c") return $e.a`))
+	complex := Census(build(t, `for $e in collection("c")
+		let $x := (for $m in $e.ms[] where $m.v gt 1 return $m)
+		group by $k := $e.a
+		order by $k
+		return {"k": $k, "n": count($e)}`))
+	if complex.Total() <= simple.Total() {
+		t.Errorf("complex (%d) should exceed simple (%d)", complex.Total(), simple.Total())
+	}
+	if complex.FLWOR <= simple.FLWOR {
+		t.Errorf("complex FLWOR (%d) should exceed simple (%d)", complex.FLWOR, simple.FLWOR)
+	}
+}
+
+func TestNestedFLWORChained(t *testing.T) {
+	root := build(t, `for $e in collection("c")
+		let $f := (for $m in $e.ms[] return $m)
+		return $f`)
+	let := root.Left
+	if let.Kind != KindLet {
+		t.Fatalf("clause = %v", let.Kind)
+	}
+	if len(let.Right) != 1 || let.Right[0].Kind != KindReturn {
+		t.Fatalf("let subexpression should be a nested FLWOR return iterator, got %+v", let.Right)
+	}
+}
+
+func TestAllExpressionKinds(t *testing.T) {
+	root := build(t, `for $e in collection("c")
+		count $c
+		return {"a": [1, 2], "b": -$e.x, "c": if ($e.y) then 1 else 2,
+		        "d": $e.arr[[1]], "e": 1 to 3, "f": "x" || "y", "g": $e.p and true}`)
+	kinds := map[Kind]bool{}
+	var walk func(*Iterator)
+	walk = func(it *Iterator) {
+		kinds[it.Kind] = true
+		for _, ch := range it.Children {
+			walk(ch)
+		}
+	}
+	walk(root)
+	for _, want := range []Kind{KindCount, KindObjectCtor, KindArrayCtor, KindUnary,
+		KindConditional, KindIndex, KindRange, KindConcat, KindLogical, KindLiteral} {
+		if !kinds[want] {
+			t.Errorf("missing iterator kind %s", want)
+		}
+	}
+}
+
+func TestBuildGroupOrderRights(t *testing.T) {
+	root := build(t, `for $e in collection("c")
+		group by $k := $e.a, $j := $e.b
+		order by $k descending, $j
+		return $k`)
+	order := root.Left
+	if order.Kind != KindOrderBy || len(order.Right) != 2 {
+		t.Fatalf("order by = %+v", order)
+	}
+	group := order.Left
+	if group.Kind != KindGroupBy || len(group.Right) != 2 {
+		t.Fatalf("group by = %+v", group)
+	}
+}

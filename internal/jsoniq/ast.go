@@ -1,0 +1,375 @@
+package jsoniq
+
+import (
+	"fmt"
+	"strings"
+
+	"jsonpark/internal/variant"
+)
+
+// Expr is a node of the JSONiq expression tree. After parsing and rewriting,
+// virtually every node corresponds to one JSONiq operation in the query text
+// (§III-A2 of the paper).
+type Expr interface {
+	// Pos returns the source position of the expression.
+	Pos() (line, col int)
+	exprNode()
+}
+
+type pos struct{ Line, Col int }
+
+func (p pos) Pos() (int, int) { return p.Line, p.Col }
+
+// Literal is a constant value (number, string, boolean, null).
+type Literal struct {
+	pos
+	Value variant.Value
+}
+
+// VarRef references a FLWOR-bound variable, e.g. `$jet`.
+type VarRef struct {
+	pos
+	Name string
+}
+
+// Collection reads a named dataset: `collection("adl")`.
+type Collection struct {
+	pos
+	Name string
+}
+
+// FieldAccess is object navigation: `$jet.pt`.
+type FieldAccess struct {
+	pos
+	Base  Expr
+	Field string
+}
+
+// ArrayUnbox is `$event.Jet[]`: yields each element of the array. In clause
+// position (for $x in e[]) it drives iteration; in expression position it is
+// the identity on the array (all members).
+type ArrayUnbox struct {
+	pos
+	Base Expr
+}
+
+// ArrayIndex is positional lookup `$a[[$i]]` (1-based, JSONiq convention).
+type ArrayIndex struct {
+	pos
+	Base  Expr
+	Index Expr
+}
+
+// ObjectCtor constructs an object: `{"pt": $jet.pt, "eta": $jet.eta}`.
+type ObjectCtor struct {
+	pos
+	Keys   []string
+	Values []Expr
+}
+
+// ArrayCtor constructs an array: `[$x, $y]`.
+type ArrayCtor struct {
+	pos
+	Items []Expr
+}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp int
+
+// Binary operators. Value and general comparisons are unified (the data
+// model is item-based, not sequence-based; see DESIGN.md §5).
+const (
+	OpAdd BinaryOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpIDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpTo     // integer range a to b
+	OpConcat // string concatenation ||
+)
+
+var binaryOpNames = map[BinaryOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "div", OpIDiv: "idiv",
+	OpMod: "mod", OpEq: "eq", OpNe: "ne", OpLt: "lt", OpLe: "le",
+	OpGt: "gt", OpGe: "ge", OpAnd: "and", OpOr: "or", OpTo: "to",
+	OpConcat: "||",
+}
+
+// String returns the JSONiq spelling of the operator.
+func (op BinaryOp) String() string { return binaryOpNames[op] }
+
+// Binary applies a binary operator.
+type Binary struct {
+	pos
+	Op    BinaryOp
+	Left  Expr
+	Right Expr
+}
+
+// Unary is arithmetic negation or logical not.
+type Unary struct {
+	pos
+	Op      string // "-" or "not"
+	Operand Expr
+}
+
+// If is the conditional expression `if (c) then a else b`.
+type If struct {
+	pos
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+// FunctionCall invokes a built-in function, e.g. `abs($jet.eta)`.
+type FunctionCall struct {
+	pos
+	Name string
+	Args []Expr
+}
+
+// FLWOR is the FLWOR expression: a chain of clauses ending in return.
+// In expression position a FLWOR produces an array of the returned items
+// (the transparent re-aggregation of nested queries, §IV-B).
+type FLWOR struct {
+	pos
+	Clauses []Clause
+	Return  Expr
+}
+
+// Clause is one FLWOR clause.
+type Clause interface {
+	Pos() (line, col int)
+	clauseNode()
+	// Kind returns the clause keyword for diagnostics and iterator naming.
+	Kind() string
+}
+
+// ForClause binds each item of In to Var; PosVar optionally receives the
+// 1-based position (`for $x at $i in ...`). AllowEmpty corresponds to
+// `allowing empty` (outer-flatten semantics).
+type ForClause struct {
+	pos
+	Var        string
+	PosVar     string
+	In         Expr
+	AllowEmpty bool
+}
+
+// LetClause binds Var to the value of Expr for each incoming tuple.
+type LetClause struct {
+	pos
+	Var  string
+	Expr Expr
+}
+
+// WhereClause filters tuples.
+type WhereClause struct {
+	pos
+	Cond Expr
+}
+
+// GroupKey is one grouping binding: `group by $k := expr` or `group by $k`.
+type GroupKey struct {
+	Var  string
+	Expr Expr // nil means group by the existing variable $Var
+}
+
+// GroupByClause groups tuples by its keys. Non-grouping variables become
+// arrays of their per-tuple values.
+type GroupByClause struct {
+	pos
+	Keys []GroupKey
+}
+
+// OrderKey is one ordering criterion.
+type OrderKey struct {
+	Expr       Expr
+	Descending bool
+}
+
+// OrderByClause orders the tuple stream.
+type OrderByClause struct {
+	pos
+	Keys []OrderKey
+}
+
+// CountClause binds the 1-based tuple position to Var.
+type CountClause struct {
+	pos
+	Var string
+}
+
+func (*Literal) exprNode()      {}
+func (*VarRef) exprNode()       {}
+func (*Collection) exprNode()   {}
+func (*FieldAccess) exprNode()  {}
+func (*ArrayUnbox) exprNode()   {}
+func (*ArrayIndex) exprNode()   {}
+func (*ObjectCtor) exprNode()   {}
+func (*ArrayCtor) exprNode()    {}
+func (*Binary) exprNode()       {}
+func (*Unary) exprNode()        {}
+func (*If) exprNode()           {}
+func (*FunctionCall) exprNode() {}
+func (*FLWOR) exprNode()        {}
+
+func (*ForClause) clauseNode()     {}
+func (*LetClause) clauseNode()     {}
+func (*WhereClause) clauseNode()   {}
+func (*GroupByClause) clauseNode() {}
+func (*OrderByClause) clauseNode() {}
+func (*CountClause) clauseNode()   {}
+
+func (*ForClause) Kind() string     { return "for" }
+func (*LetClause) Kind() string     { return "let" }
+func (*WhereClause) Kind() string   { return "where" }
+func (*GroupByClause) Kind() string { return "group by" }
+func (*OrderByClause) Kind() string { return "order by" }
+func (*CountClause) Kind() string   { return "count" }
+
+// Format renders the expression back to JSONiq-like source, for debugging
+// and golden tests.
+func Format(e Expr) string {
+	var b strings.Builder
+	formatExpr(&b, e)
+	return b.String()
+}
+
+func formatExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case *Literal:
+		b.WriteString(x.Value.JSON())
+	case *VarRef:
+		b.WriteByte('$')
+		b.WriteString(x.Name)
+	case *Collection:
+		fmt.Fprintf(b, "collection(%q)", x.Name)
+	case *FieldAccess:
+		formatExpr(b, x.Base)
+		b.WriteByte('.')
+		b.WriteString(x.Field)
+	case *ArrayUnbox:
+		formatExpr(b, x.Base)
+		b.WriteString("[]")
+	case *ArrayIndex:
+		formatExpr(b, x.Base)
+		b.WriteString("[[")
+		formatExpr(b, x.Index)
+		b.WriteString("]]")
+	case *ObjectCtor:
+		b.WriteByte('{')
+		for i, k := range x.Keys {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(b, "%q: ", k)
+			formatExpr(b, x.Values[i])
+		}
+		b.WriteByte('}')
+	case *ArrayCtor:
+		b.WriteByte('[')
+		for i, it := range x.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, it)
+		}
+		b.WriteByte(']')
+	case *Binary:
+		b.WriteByte('(')
+		formatExpr(b, x.Left)
+		b.WriteByte(' ')
+		b.WriteString(x.Op.String())
+		b.WriteByte(' ')
+		formatExpr(b, x.Right)
+		b.WriteByte(')')
+	case *Unary:
+		b.WriteString(x.Op)
+		b.WriteByte('(')
+		formatExpr(b, x.Operand)
+		b.WriteByte(')')
+	case *If:
+		b.WriteString("if (")
+		formatExpr(b, x.Cond)
+		b.WriteString(") then ")
+		formatExpr(b, x.Then)
+		b.WriteString(" else ")
+		formatExpr(b, x.Else)
+	case *FunctionCall:
+		b.WriteString(x.Name)
+		b.WriteByte('(')
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, a)
+		}
+		b.WriteByte(')')
+	case *FLWOR:
+		b.WriteByte('(')
+		for i, c := range x.Clauses {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			formatClause(b, c)
+		}
+		b.WriteString(" return ")
+		formatExpr(b, x.Return)
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "<%T>", e)
+	}
+}
+
+func formatClause(b *strings.Builder, c Clause) {
+	switch x := c.(type) {
+	case *ForClause:
+		fmt.Fprintf(b, "for $%s", x.Var)
+		if x.PosVar != "" {
+			fmt.Fprintf(b, " at $%s", x.PosVar)
+		}
+		b.WriteString(" in ")
+		formatExpr(b, x.In)
+	case *LetClause:
+		fmt.Fprintf(b, "let $%s := ", x.Var)
+		formatExpr(b, x.Expr)
+	case *WhereClause:
+		b.WriteString("where ")
+		formatExpr(b, x.Cond)
+	case *GroupByClause:
+		b.WriteString("group by ")
+		for i, k := range x.Keys {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(b, "$%s", k.Var)
+			if k.Expr != nil {
+				b.WriteString(" := ")
+				formatExpr(b, k.Expr)
+			}
+		}
+	case *OrderByClause:
+		b.WriteString("order by ")
+		for i, k := range x.Keys {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, k.Expr)
+			if k.Descending {
+				b.WriteString(" descending")
+			}
+		}
+	case *CountClause:
+		fmt.Fprintf(b, "count $%s", x.Var)
+	}
+}

@@ -1,0 +1,437 @@
+package jsoniq
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// FunctionDecl is one user-declared function from the query prolog:
+//
+//	declare function local:name($a, $b) { expr };
+type FunctionDecl struct {
+	Name   string // without the local: prefix
+	Params []string
+	Body   Expr
+}
+
+// Module is a parsed query: prolog function declarations plus the main
+// expression. Inline() folds the declarations away, mirroring RumbleDB's
+// function-inlining rewrite (§III-A2 of the paper); recursive functions are
+// rejected, the paper's stated limitation (§IV-E).
+type Module struct {
+	Functions []FunctionDecl
+	Body      Expr
+}
+
+// ParseModule parses a query with an optional prolog.
+func ParseModule(src string) (*Module, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	m := &Module{}
+	for p.isKeyword("declare") {
+		decl, err := p.parseFunctionDecl()
+		if err != nil {
+			return nil, err
+		}
+		m.Functions = append(m.Functions, decl)
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, p.errf("unexpected %s after end of query", p.peek().Kind)
+	}
+	m.Body = e
+	return m, nil
+}
+
+func (p *parser) parseFunctionDecl() (FunctionDecl, error) {
+	p.advance() // declare
+	if err := p.expectKeyword("function"); err != nil {
+		return FunctionDecl{}, err
+	}
+	// Accept `local:name` or a bare name.
+	nameTok, err := p.expect(TokName)
+	if err != nil {
+		return FunctionDecl{}, err
+	}
+	name := nameTok.Text
+	if name == "local" && p.peek().Kind == TokColon {
+		p.advance()
+		nt, err := p.expect(TokName)
+		if err != nil {
+			return FunctionDecl{}, err
+		}
+		name = nt.Text
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return FunctionDecl{}, err
+	}
+	var params []string
+	if p.peek().Kind != TokRParen {
+		for {
+			vt, err := p.expect(TokVariable)
+			if err != nil {
+				return FunctionDecl{}, err
+			}
+			params = append(params, vt.Text)
+			if p.peek().Kind == TokComma {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return FunctionDecl{}, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return FunctionDecl{}, err
+	}
+	body, err := p.parseExprSingle()
+	if err != nil {
+		return FunctionDecl{}, err
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return FunctionDecl{}, err
+	}
+	// Optional trailing ';' is not a token in this lexer; declarations are
+	// brace-delimited instead.
+	return FunctionDecl{Name: name, Params: params, Body: body}, nil
+}
+
+// Inline substitutes every user-function call with its body (arguments
+// replacing parameters, bound variables freshly renamed to avoid capture)
+// and returns the closed main expression. Recursive or unknown-arity calls
+// are errors.
+func (m *Module) Inline() (Expr, error) {
+	decls := make(map[string]FunctionDecl, len(m.Functions))
+	for _, d := range m.Functions {
+		if _, dup := decls[d.Name]; dup {
+			return nil, fmt.Errorf("jsoniq: function %s declared twice", d.Name)
+		}
+		decls[d.Name] = d
+	}
+	in := &inliner{decls: decls}
+	return in.expr(m.Body, nil)
+}
+
+type inliner struct {
+	decls  map[string]FunctionDecl
+	fresh  int
+	active []string // call stack for recursion detection
+}
+
+func (in *inliner) expr(e Expr, subst map[string]Expr) (Expr, error) {
+	switch x := e.(type) {
+	case nil:
+		return nil, nil
+	case *Literal, *Collection:
+		return e, nil
+	case *VarRef:
+		if subst != nil {
+			if repl, ok := subst[x.Name]; ok {
+				return repl, nil
+			}
+		}
+		return e, nil
+	case *FieldAccess:
+		base, err := in.expr(x.Base, subst)
+		if err != nil {
+			return nil, err
+		}
+		return &FieldAccess{pos: x.pos, Base: base, Field: x.Field}, nil
+	case *ArrayUnbox:
+		base, err := in.expr(x.Base, subst)
+		if err != nil {
+			return nil, err
+		}
+		return &ArrayUnbox{pos: x.pos, Base: base}, nil
+	case *ArrayIndex:
+		base, err := in.expr(x.Base, subst)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := in.expr(x.Index, subst)
+		if err != nil {
+			return nil, err
+		}
+		return &ArrayIndex{pos: x.pos, Base: base, Index: idx}, nil
+	case *ObjectCtor:
+		out := &ObjectCtor{pos: x.pos, Keys: x.Keys}
+		for _, v := range x.Values {
+			nv, err := in.expr(v, subst)
+			if err != nil {
+				return nil, err
+			}
+			out.Values = append(out.Values, nv)
+		}
+		return out, nil
+	case *ArrayCtor:
+		out := &ArrayCtor{pos: x.pos}
+		for _, v := range x.Items {
+			nv, err := in.expr(v, subst)
+			if err != nil {
+				return nil, err
+			}
+			out.Items = append(out.Items, nv)
+		}
+		return out, nil
+	case *Binary:
+		l, err := in.expr(x.Left, subst)
+		if err != nil {
+			return nil, err
+		}
+		r, err := in.expr(x.Right, subst)
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{pos: x.pos, Op: x.Op, Left: l, Right: r}, nil
+	case *Unary:
+		o, err := in.expr(x.Operand, subst)
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{pos: x.pos, Op: x.Op, Operand: o}, nil
+	case *If:
+		cond, err := in.expr(x.Cond, subst)
+		if err != nil {
+			return nil, err
+		}
+		then, err := in.expr(x.Then, subst)
+		if err != nil {
+			return nil, err
+		}
+		els, err := in.expr(x.Else, subst)
+		if err != nil {
+			return nil, err
+		}
+		return &If{pos: x.pos, Cond: cond, Then: then, Else: els}, nil
+	case *FunctionCall:
+		args := make([]Expr, len(x.Args))
+		for i, a := range x.Args {
+			na, err := in.expr(a, subst)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = na
+		}
+		decl, isUser := in.decls[x.Name]
+		if !isUser {
+			return &FunctionCall{pos: x.pos, Name: x.Name, Args: args}, nil
+		}
+		for _, active := range in.active {
+			if active == x.Name {
+				return nil, fmt.Errorf("jsoniq: recursive functions are not supported (cycle through %s)", x.Name)
+			}
+		}
+		if len(args) != len(decl.Params) {
+			return nil, fmt.Errorf("jsoniq: %s expects %d arguments, got %d", x.Name, len(decl.Params), len(args))
+		}
+		// Alpha-rename the body's bound variables, bind parameters to the
+		// (already inlined) argument expressions, then inline the body
+		// itself so nested user-function calls resolve too.
+		body := in.renameBound(decl.Body)
+		paramSubst := make(map[string]Expr, len(args))
+		for i, p := range decl.Params {
+			paramSubst[p] = args[i]
+		}
+		in.active = append(in.active, x.Name)
+		out, err := in.expr(body, paramSubst)
+		in.active = in.active[:len(in.active)-1]
+		return out, err
+	case *FLWOR:
+		out := &FLWOR{pos: x.pos}
+		for _, c := range x.Clauses {
+			nc, err := in.clause(c, subst)
+			if err != nil {
+				return nil, err
+			}
+			out.Clauses = append(out.Clauses, nc)
+		}
+		ret, err := in.expr(x.Return, subst)
+		if err != nil {
+			return nil, err
+		}
+		out.Return = ret
+		return out, nil
+	}
+	return nil, fmt.Errorf("jsoniq: cannot inline through %T", e)
+}
+
+func (in *inliner) clause(c Clause, subst map[string]Expr) (Clause, error) {
+	switch cl := c.(type) {
+	case *ForClause:
+		e, err := in.expr(cl.In, subst)
+		if err != nil {
+			return nil, err
+		}
+		out := *cl
+		out.In = e
+		return &out, nil
+	case *LetClause:
+		e, err := in.expr(cl.Expr, subst)
+		if err != nil {
+			return nil, err
+		}
+		out := *cl
+		out.Expr = e
+		return &out, nil
+	case *WhereClause:
+		e, err := in.expr(cl.Cond, subst)
+		if err != nil {
+			return nil, err
+		}
+		out := *cl
+		out.Cond = e
+		return &out, nil
+	case *GroupByClause:
+		out := &GroupByClause{pos: cl.pos}
+		for _, k := range cl.Keys {
+			nk := k
+			if k.Expr != nil {
+				e, err := in.expr(k.Expr, subst)
+				if err != nil {
+					return nil, err
+				}
+				nk.Expr = e
+			}
+			out.Keys = append(out.Keys, nk)
+		}
+		return out, nil
+	case *OrderByClause:
+		out := &OrderByClause{pos: cl.pos}
+		for _, k := range cl.Keys {
+			e, err := in.expr(k.Expr, subst)
+			if err != nil {
+				return nil, err
+			}
+			out.Keys = append(out.Keys, OrderKey{Expr: e, Descending: k.Descending})
+		}
+		return out, nil
+	case *CountClause:
+		out := *cl
+		return &out, nil
+	}
+	return nil, fmt.Errorf("jsoniq: cannot inline through clause %T", c)
+}
+
+// renameBound rewrites every variable bound inside the body (by for, let,
+// group by or count clauses) to a fresh name, preventing capture of caller
+// variables passed in argument expressions.
+func (in *inliner) renameBound(e Expr) Expr {
+	renames := map[string]string{}
+	var walkE func(Expr) Expr
+	var walkC func(Clause) Clause
+	rename := func(name string) string {
+		if nn, ok := renames[name]; ok {
+			return nn
+		}
+		in.fresh++
+		nn := name + "#inl" + strconv.Itoa(in.fresh)
+		renames[name] = nn
+		return nn
+	}
+	ref := func(name string) string {
+		if nn, ok := renames[name]; ok {
+			return nn
+		}
+		return name
+	}
+	walkC = func(c Clause) Clause {
+		switch cl := c.(type) {
+		case *ForClause:
+			out := *cl
+			out.In = walkE(cl.In) // bindings scope over later clauses only
+			out.Var = rename(cl.Var)
+			if cl.PosVar != "" {
+				out.PosVar = rename(cl.PosVar)
+			}
+			return &out
+		case *LetClause:
+			out := *cl
+			out.Expr = walkE(cl.Expr)
+			out.Var = rename(cl.Var)
+			return &out
+		case *WhereClause:
+			out := *cl
+			out.Cond = walkE(cl.Cond)
+			return &out
+		case *GroupByClause:
+			out := &GroupByClause{pos: cl.pos}
+			for _, k := range cl.Keys {
+				nk := k
+				if k.Expr != nil {
+					nk.Expr = walkE(k.Expr)
+				}
+				nk.Var = rename(k.Var)
+				out.Keys = append(out.Keys, nk)
+			}
+			return out
+		case *OrderByClause:
+			out := &OrderByClause{pos: cl.pos}
+			for _, k := range cl.Keys {
+				out.Keys = append(out.Keys, OrderKey{Expr: walkE(k.Expr), Descending: k.Descending})
+			}
+			return out
+		case *CountClause:
+			out := *cl
+			out.Var = rename(cl.Var)
+			return &out
+		}
+		return c
+	}
+	walkE = func(e Expr) Expr {
+		switch x := e.(type) {
+		case nil:
+			return nil
+		case *Literal, *Collection:
+			return e
+		case *VarRef:
+			return &VarRef{pos: x.pos, Name: ref(x.Name)}
+		case *FieldAccess:
+			return &FieldAccess{pos: x.pos, Base: walkE(x.Base), Field: x.Field}
+		case *ArrayUnbox:
+			return &ArrayUnbox{pos: x.pos, Base: walkE(x.Base)}
+		case *ArrayIndex:
+			return &ArrayIndex{pos: x.pos, Base: walkE(x.Base), Index: walkE(x.Index)}
+		case *ObjectCtor:
+			out := &ObjectCtor{pos: x.pos, Keys: x.Keys}
+			for _, v := range x.Values {
+				out.Values = append(out.Values, walkE(v))
+			}
+			return out
+		case *ArrayCtor:
+			out := &ArrayCtor{pos: x.pos}
+			for _, v := range x.Items {
+				out.Items = append(out.Items, walkE(v))
+			}
+			return out
+		case *Binary:
+			return &Binary{pos: x.pos, Op: x.Op, Left: walkE(x.Left), Right: walkE(x.Right)}
+		case *Unary:
+			return &Unary{pos: x.pos, Op: x.Op, Operand: walkE(x.Operand)}
+		case *If:
+			return &If{pos: x.pos, Cond: walkE(x.Cond), Then: walkE(x.Then), Else: walkE(x.Else)}
+		case *FunctionCall:
+			out := &FunctionCall{pos: x.pos, Name: x.Name}
+			for _, a := range x.Args {
+				out.Args = append(out.Args, walkE(a))
+			}
+			return out
+		case *FLWOR:
+			out := &FLWOR{pos: x.pos}
+			for _, c := range x.Clauses {
+				out.Clauses = append(out.Clauses, walkC(c))
+			}
+			out.Return = walkE(x.Return)
+			return out
+		}
+		return e
+	}
+	return walkE(e)
+}

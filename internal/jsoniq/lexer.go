@@ -1,0 +1,302 @@
+package jsoniq
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// lexer converts JSONiq source text into a token stream. Comments use the
+// XQuery style `(: ... :)` and nest.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+// Lex tokenizes the whole input, appending a TokEOF.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var out []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
+		if tok.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return &SyntaxError{Line: lx.line, Col: lx.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peekByteAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.advance()
+		case c == '(' && lx.peekByteAt(1) == ':':
+			depth := 0
+			for lx.pos < len(lx.src) {
+				if lx.peekByte() == '(' && lx.peekByteAt(1) == ':' {
+					depth++
+					lx.advance()
+					lx.advance()
+					continue
+				}
+				if lx.peekByte() == ':' && lx.peekByteAt(1) == ')' {
+					depth--
+					lx.advance()
+					lx.advance()
+					if depth == 0 {
+						break
+					}
+					continue
+				}
+				lx.advance()
+			}
+			if depth != 0 {
+				return lx.errf("unterminated comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isNameStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isNamePart(r rune) bool {
+	return r == '_' || r == '-' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	startLine, startCol := lx.line, lx.col
+	mk := func(k TokenKind, text string) Token {
+		return Token{Kind: k, Text: text, Line: startLine, Col: startCol}
+	}
+	if lx.pos >= len(lx.src) {
+		return mk(TokEOF, ""), nil
+	}
+	c := lx.peekByte()
+	switch {
+	case c == '$':
+		lx.advance()
+		name, err := lx.lexName()
+		if err != nil {
+			return Token{}, lx.errf("expected variable name after '$'")
+		}
+		return mk(TokVariable, name), nil
+	case c == '"' || c == '\'':
+		s, err := lx.lexString(c)
+		if err != nil {
+			return Token{}, err
+		}
+		return mk(TokString, s), nil
+	case c >= '0' && c <= '9':
+		text, isDec := lx.lexNumber()
+		if isDec {
+			return mk(TokDecimal, text), nil
+		}
+		return mk(TokInteger, text), nil
+	}
+	r, _ := utf8.DecodeRuneInString(lx.src[lx.pos:])
+	if isNameStart(r) {
+		name, _ := lx.lexName()
+		return mk(TokName, name), nil
+	}
+	lx.advance()
+	switch c {
+	case '{':
+		return mk(TokLBrace, "{"), nil
+	case '}':
+		return mk(TokRBrace, "}"), nil
+	case '[':
+		if lx.peekByte() == '[' {
+			lx.advance()
+			return mk(TokLLBracket, "[["), nil
+		}
+		return mk(TokLBracket, "["), nil
+	case ']':
+		if lx.peekByte() == ']' {
+			lx.advance()
+			return mk(TokRRBracket, "]]"), nil
+		}
+		return mk(TokRBracket, "]"), nil
+	case '(':
+		return mk(TokLParen, "("), nil
+	case ')':
+		return mk(TokRParen, ")"), nil
+	case ',':
+		return mk(TokComma, ","), nil
+	case ':':
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return mk(TokBind, ":="), nil
+		}
+		return mk(TokColon, ":"), nil
+	case '.':
+		return mk(TokDot, "."), nil
+	case '+':
+		return mk(TokPlus, "+"), nil
+	case '-':
+		return mk(TokMinus, "-"), nil
+	case '*':
+		return mk(TokStar, "*"), nil
+	case '=':
+		return mk(TokEq, "="), nil
+	case '!':
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return mk(TokNe, "!="), nil
+		}
+		return Token{}, lx.errf("unexpected '!'")
+	case '<':
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return mk(TokLe, "<="), nil
+		}
+		return mk(TokLt, "<"), nil
+	case '>':
+		if lx.peekByte() == '=' {
+			lx.advance()
+			return mk(TokGe, ">="), nil
+		}
+		return mk(TokGt, ">"), nil
+	case '|':
+		if lx.peekByte() == '|' {
+			lx.advance()
+			return mk(TokConcat, "||"), nil
+		}
+		return Token{}, lx.errf("unexpected '|'")
+	}
+	return Token{}, lx.errf("unexpected character %q", string(c))
+}
+
+func (lx *lexer) lexName() (string, error) {
+	start := lx.pos
+	r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+	if !isNameStart(r) {
+		return "", lx.errf("expected name")
+	}
+	for i := 0; i < size; i++ {
+		lx.advance()
+	}
+	for lx.pos < len(lx.src) {
+		r, size = utf8.DecodeRuneInString(lx.src[lx.pos:])
+		if !isNamePart(r) {
+			break
+		}
+		for i := 0; i < size; i++ {
+			lx.advance()
+		}
+	}
+	return lx.src[start:lx.pos], nil
+}
+
+func (lx *lexer) lexString(quote byte) (string, error) {
+	lx.advance() // opening quote
+	var b strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.advance()
+		switch c {
+		case quote:
+			return b.String(), nil
+		case '\\':
+			if lx.pos >= len(lx.src) {
+				return "", lx.errf("unterminated string escape")
+			}
+			e := lx.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\', '"', '\'', '/':
+				b.WriteByte(e)
+			default:
+				return "", lx.errf("unsupported escape \\%c", e)
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", lx.errf("unterminated string literal")
+}
+
+// lexNumber consumes digits with optional fraction and exponent. It returns
+// the text and whether it is a decimal (non-integer) literal.
+func (lx *lexer) lexNumber() (string, bool) {
+	start := lx.pos
+	isDec := false
+	for lx.pos < len(lx.src) && lx.peekByte() >= '0' && lx.peekByte() <= '9' {
+		lx.advance()
+	}
+	// A '.' only starts a fraction if followed by a digit; otherwise it is
+	// field access (e.g. `1 .x` never occurs, but `$v.f` requires TokDot).
+	if lx.peekByte() == '.' && lx.peekByteAt(1) >= '0' && lx.peekByteAt(1) <= '9' {
+		isDec = true
+		lx.advance()
+		for lx.pos < len(lx.src) && lx.peekByte() >= '0' && lx.peekByte() <= '9' {
+			lx.advance()
+		}
+	}
+	if c := lx.peekByte(); c == 'e' || c == 'E' {
+		next := lx.peekByteAt(1)
+		nn := lx.peekByteAt(2)
+		if next >= '0' && next <= '9' || ((next == '+' || next == '-') && nn >= '0' && nn <= '9') {
+			isDec = true
+			lx.advance()
+			if c := lx.peekByte(); c == '+' || c == '-' {
+				lx.advance()
+			}
+			for lx.pos < len(lx.src) && lx.peekByte() >= '0' && lx.peekByte() <= '9' {
+				lx.advance()
+			}
+		}
+	}
+	return lx.src[start:lx.pos], isDec
+}

@@ -1,0 +1,697 @@
+package jsoniq
+
+import (
+	"fmt"
+	"strconv"
+
+	"jsonpark/internal/variant"
+)
+
+// Parse parses a JSONiq query — an optional prolog of function declarations
+// followed by the main expression — and returns the expression tree with
+// every user-function call inlined.
+func Parse(src string) (Expr, error) {
+	m, err := ParseModule(src)
+	if err != nil {
+		return nil, err
+	}
+	return m.Inline()
+}
+
+// MustParse is Parse that panics on error; for tests and embedded queries.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) peekAt(n int) Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+func (p *parser) advance() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.peek()
+	return &SyntaxError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k TokenKind) (Token, error) {
+	if p.peek().Kind != k {
+		return Token{}, p.errf("expected %s, found %s %q", k, p.peek().Kind, p.peek().Text)
+	}
+	return p.advance(), nil
+}
+
+// isKeyword reports whether the current token is the given bare name.
+func (p *parser) isKeyword(kw string) bool {
+	t := p.peek()
+	return t.Kind == TokName && t.Text == kw
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %q, found %s %q", kw, p.peek().Kind, p.peek().Text)
+	}
+	return nil
+}
+
+func at(t Token) pos { return pos{Line: t.Line, Col: t.Col} }
+
+// parseExpr parses either a FLWOR expression or an operator expression.
+func (p *parser) parseExpr() (Expr, error) {
+	if p.isKeyword("for") || p.isKeyword("let") {
+		return p.parseFLWOR()
+	}
+	if p.isKeyword("if") && p.peekAt(1).Kind == TokLParen {
+		return p.parseIf()
+	}
+	return p.parseOr()
+}
+
+func (p *parser) parseFLWOR() (Expr, error) {
+	start := p.peek()
+	var clauses []Clause
+	for {
+		switch {
+		case p.isKeyword("for"):
+			p.advance()
+			for {
+				cl, err := p.parseForBinding()
+				if err != nil {
+					return nil, err
+				}
+				clauses = append(clauses, cl)
+				if p.peek().Kind == TokComma {
+					p.advance()
+					continue
+				}
+				break
+			}
+		case p.isKeyword("let"):
+			p.advance()
+			for {
+				cl, err := p.parseLetBinding()
+				if err != nil {
+					return nil, err
+				}
+				clauses = append(clauses, cl)
+				if p.peek().Kind == TokComma {
+					p.advance()
+					continue
+				}
+				break
+			}
+		case p.isKeyword("where"):
+			tok := p.advance()
+			cond, err := p.parseExprSingle()
+			if err != nil {
+				return nil, err
+			}
+			clauses = append(clauses, &WhereClause{pos: at(tok), Cond: cond})
+		case p.isKeyword("group"):
+			tok := p.advance()
+			if err := p.expectKeyword("by"); err != nil {
+				return nil, err
+			}
+			gb := &GroupByClause{pos: at(tok)}
+			for {
+				vt, err := p.expect(TokVariable)
+				if err != nil {
+					return nil, err
+				}
+				key := GroupKey{Var: vt.Text}
+				if p.peek().Kind == TokBind {
+					p.advance()
+					key.Expr, err = p.parseExprSingle()
+					if err != nil {
+						return nil, err
+					}
+				}
+				gb.Keys = append(gb.Keys, key)
+				if p.peek().Kind == TokComma {
+					p.advance()
+					continue
+				}
+				break
+			}
+			clauses = append(clauses, gb)
+		case p.isKeyword("order"):
+			tok := p.advance()
+			if err := p.expectKeyword("by"); err != nil {
+				return nil, err
+			}
+			ob := &OrderByClause{pos: at(tok)}
+			for {
+				e, err := p.parseExprSingle()
+				if err != nil {
+					return nil, err
+				}
+				key := OrderKey{Expr: e}
+				if p.acceptKeyword("descending") {
+					key.Descending = true
+				} else {
+					p.acceptKeyword("ascending")
+				}
+				ob.Keys = append(ob.Keys, key)
+				if p.peek().Kind == TokComma {
+					p.advance()
+					continue
+				}
+				break
+			}
+			clauses = append(clauses, ob)
+		case p.isKeyword("count"):
+			// `count` is also a function name; only treat it as a clause when
+			// followed by a variable.
+			if p.peekAt(1).Kind != TokVariable {
+				return nil, p.errf("expected clause keyword")
+			}
+			tok := p.advance()
+			vt, _ := p.expect(TokVariable)
+			clauses = append(clauses, &CountClause{pos: at(tok), Var: vt.Text})
+		case p.isKeyword("return"):
+			p.advance()
+			ret, err := p.parseExprSingle()
+			if err != nil {
+				return nil, err
+			}
+			return &FLWOR{pos: at(start), Clauses: clauses, Return: ret}, nil
+		default:
+			return nil, p.errf("expected FLWOR clause or 'return', found %s %q", p.peek().Kind, p.peek().Text)
+		}
+	}
+}
+
+func (p *parser) parseForBinding() (Clause, error) {
+	vt, err := p.expect(TokVariable)
+	if err != nil {
+		return nil, err
+	}
+	cl := &ForClause{pos: at(vt), Var: vt.Text}
+	if p.acceptKeyword("allowing") {
+		if err := p.expectKeyword("empty"); err != nil {
+			return nil, err
+		}
+		cl.AllowEmpty = true
+	}
+	if p.acceptKeyword("at") {
+		pt, err := p.expect(TokVariable)
+		if err != nil {
+			return nil, err
+		}
+		cl.PosVar = pt.Text
+	}
+	if err := p.expectKeyword("in"); err != nil {
+		return nil, err
+	}
+	cl.In, err = p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	return cl, nil
+}
+
+func (p *parser) parseLetBinding() (Clause, error) {
+	vt, err := p.expect(TokVariable)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokBind); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	return &LetClause{pos: at(vt), Var: vt.Text, Expr: e}, nil
+}
+
+// parseExprSingle parses one expression without top-level comma sequencing
+// (commas separate clause bindings and constructor members).
+func (p *parser) parseExprSingle() (Expr, error) {
+	if p.isKeyword("for") || p.isKeyword("let") {
+		return p.parseFLWOR()
+	}
+	if p.isKeyword("if") && p.peekAt(1).Kind == TokLParen {
+		return p.parseIf()
+	}
+	return p.parseOr()
+}
+
+func (p *parser) parseIf() (Expr, error) {
+	tok := p.advance() // if
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("then"); err != nil {
+		return nil, err
+	}
+	then, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("else"); err != nil {
+		return nil, err
+	}
+	els, err := p.parseExprSingle()
+	if err != nil {
+		return nil, err
+	}
+	return &If{pos: at(tok), Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("or") {
+		tok := p.advance()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{pos: at(tok), Op: OpOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("and") {
+		tok := p.advance()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{pos: at(tok), Op: OpAnd, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	// `not` followed by '(' is the fn:not call handled by parsePostfix; the
+	// keyword form `not expr` is also accepted.
+	if p.isKeyword("not") && p.peekAt(1).Kind != TokLParen {
+		tok := p.advance()
+		operand, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{pos: at(tok), Op: "not", Operand: operand}, nil
+	}
+	return p.parseComparison()
+}
+
+var comparisonOps = map[string]BinaryOp{
+	"eq": OpEq, "ne": OpNe, "lt": OpLt, "le": OpLe, "gt": OpGt, "ge": OpGe,
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	var op BinaryOp
+	found := false
+	t := p.peek()
+	switch t.Kind {
+	case TokEq:
+		op, found = OpEq, true
+	case TokNe:
+		op, found = OpNe, true
+	case TokLt:
+		op, found = OpLt, true
+	case TokLe:
+		op, found = OpLe, true
+	case TokGt:
+		op, found = OpGt, true
+	case TokGe:
+		op, found = OpGe, true
+	case TokName:
+		if o, ok := comparisonOps[t.Text]; ok {
+			op, found = o, true
+		}
+	}
+	if !found {
+		return left, nil
+	}
+	tok := p.advance()
+	right, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	return &Binary{pos: at(tok), Op: op, Left: left, Right: right}, nil
+}
+
+func (p *parser) parseConcat() (Expr, error) {
+	left, err := p.parseRange()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().Kind == TokConcat {
+		tok := p.advance()
+		right, err := p.parseRange()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{pos: at(tok), Op: OpConcat, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseRange() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if p.isKeyword("to") {
+		tok := p.advance()
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{pos: at(tok), Op: OpTo, Left: left, Right: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch p.peek().Kind {
+		case TokPlus:
+			op = OpAdd
+		case TokMinus:
+			op = OpSub
+		default:
+			return left, nil
+		}
+		tok := p.advance()
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{pos: at(tok), Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.peek().Kind == TokStar:
+			op = OpMul
+		case p.isKeyword("div"):
+			op = OpDiv
+		case p.isKeyword("idiv"):
+			op = OpIDiv
+		case p.isKeyword("mod"):
+			op = OpMod
+		default:
+			return left, nil
+		}
+		tok := p.advance()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{pos: at(tok), Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.peek().Kind {
+	case TokMinus:
+		tok := p.advance()
+		operand, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{pos: at(tok), Op: "-", Operand: operand}, nil
+	case TokPlus:
+		p.advance()
+		return p.parseUnary()
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().Kind {
+		case TokDot:
+			p.advance()
+			t := p.peek()
+			var field string
+			switch t.Kind {
+			case TokName:
+				field = p.advance().Text
+			case TokString:
+				field = p.advance().Text
+			default:
+				return nil, p.errf("expected field name after '.'")
+			}
+			e = &FieldAccess{pos: at(t), Base: e, Field: field}
+		case TokLBracket:
+			tok := p.advance()
+			if p.peek().Kind == TokRBracket {
+				p.advance()
+				e = &ArrayUnbox{pos: at(tok), Base: e}
+				continue
+			}
+			return nil, p.errf("sequence predicates '[expr]' are not supported; use a nested FLWOR or '[[i]]' positional lookup")
+		case TokLLBracket:
+			tok := p.advance()
+			idx, err := p.parseExprSingle()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRRBracket); err != nil {
+				return nil, err
+			}
+			e = &ArrayIndex{pos: at(tok), Base: e, Index: idx}
+		default:
+			return e, nil
+		}
+	}
+}
+
+// reservedAfterExpr lists keywords that must never be parsed as a function
+// call or literal when they appear where a clause keyword is expected.
+var reservedNames = map[string]bool{
+	"for": true, "let": true, "where": true, "group": true, "order": true,
+	"return": true, "in": true, "at": true, "if": true, "then": true,
+	"else": true, "and": true, "or": true, "to": true, "div": true,
+	"idiv": true, "mod": true, "ascending": true, "descending": true,
+	"by": true, "allowing": true, "empty": true,
+	"eq": true, "ne": true, "lt": true, "le": true, "gt": true, "ge": true,
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokInteger:
+		p.advance()
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer literal %q", t.Text)
+		}
+		return &Literal{pos: at(t), Value: variant.Int(i)}, nil
+	case TokDecimal:
+		p.advance()
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf("bad decimal literal %q", t.Text)
+		}
+		return &Literal{pos: at(t), Value: variant.Float(f)}, nil
+	case TokString:
+		p.advance()
+		return &Literal{pos: at(t), Value: variant.String(t.Text)}, nil
+	case TokVariable:
+		p.advance()
+		return &VarRef{pos: at(t), Name: t.Text}, nil
+	case TokLParen:
+		p.advance()
+		if p.peek().Kind == TokRParen {
+			// Empty sequence: the item model maps it to an empty array.
+			p.advance()
+			return &ArrayCtor{pos: at(t)}, nil
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokLBrace:
+		return p.parseObjectCtor()
+	case TokLBracket:
+		return p.parseArrayCtor()
+	case TokName:
+		switch t.Text {
+		case "true":
+			p.advance()
+			return &Literal{pos: at(t), Value: variant.Bool(true)}, nil
+		case "false":
+			p.advance()
+			return &Literal{pos: at(t), Value: variant.Bool(false)}, nil
+		case "null":
+			p.advance()
+			return &Literal{pos: at(t), Value: variant.Null}, nil
+		}
+		if t.Text == "local" && p.peekAt(1).Kind == TokColon &&
+			p.peekAt(2).Kind == TokName && p.peekAt(3).Kind == TokLParen {
+			p.advance() // local
+			p.advance() // :
+			return p.parseFunctionCall()
+		}
+		if p.peekAt(1).Kind == TokLParen && (!reservedNames[t.Text] || t.Text == "empty") {
+			return p.parseFunctionCall()
+		}
+		return nil, p.errf("unexpected name %q", t.Text)
+	}
+	return nil, p.errf("unexpected %s %q", t.Kind, t.Text)
+}
+
+func (p *parser) parseFunctionCall() (Expr, error) {
+	nameTok := p.advance()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	call := &FunctionCall{pos: at(nameTok), Name: nameTok.Text}
+	if p.peek().Kind != TokRParen {
+		for {
+			a, err := p.parseExprSingle()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, a)
+			if p.peek().Kind == TokComma {
+				p.advance()
+				continue
+			}
+			break
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if call.Name == "collection" {
+		if len(call.Args) != 1 {
+			return nil, p.errf("collection() takes exactly one string argument")
+		}
+		lit, ok := call.Args[0].(*Literal)
+		if !ok || lit.Value.Kind() != variant.KindString {
+			return nil, p.errf("collection() requires a string literal argument")
+		}
+		return &Collection{pos: at(nameTok), Name: lit.Value.AsString()}, nil
+	}
+	return call, nil
+}
+
+func (p *parser) parseObjectCtor() (Expr, error) {
+	start, _ := p.expect(TokLBrace)
+	o := &ObjectCtor{pos: at(start)}
+	if p.peek().Kind == TokRBrace {
+		p.advance()
+		return o, nil
+	}
+	for {
+		t := p.peek()
+		var key string
+		switch t.Kind {
+		case TokString:
+			key = p.advance().Text
+		case TokName:
+			key = p.advance().Text
+		default:
+			return nil, p.errf("expected object key, found %s", t.Kind)
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		v, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		o.Keys = append(o.Keys, key)
+		o.Values = append(o.Values, v)
+		if p.peek().Kind == TokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+func (p *parser) parseArrayCtor() (Expr, error) {
+	start, _ := p.expect(TokLBracket)
+	a := &ArrayCtor{pos: at(start)}
+	if p.peek().Kind == TokRBracket {
+		p.advance()
+		return a, nil
+	}
+	for {
+		it, err := p.parseExprSingle()
+		if err != nil {
+			return nil, err
+		}
+		a.Items = append(a.Items, it)
+		if p.peek().Kind == TokComma {
+			p.advance()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(TokRBracket); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

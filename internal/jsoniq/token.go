@@ -1,0 +1,85 @@
+// Package jsoniq implements the JSONiq frontend: a lexer, a recursive-descent
+// parser producing an AST, and expression-tree rewrites. The supported subset
+// covers the FLWOR expression set (for, let, where, group by, order by,
+// count, return), object/array constructors, nested-data navigation
+// (field access, array unboxing, positional lookup), arithmetic, value
+// comparisons, logic, conditionals, ranges and built-in function calls —
+// the constructs exercised by the ADL and SSB workloads and by the paper's
+// translation patterns (§II-E, §IV).
+package jsoniq
+
+import "fmt"
+
+// TokenKind enumerates lexical token classes.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF       TokenKind = iota
+	TokName                // identifier or keyword
+	TokVariable            // $name
+	TokString              // "..."
+	TokInteger             // 123
+	TokDecimal             // 1.5, 1e3
+	TokLBrace              // {
+	TokRBrace              // }
+	TokLBracket            // [
+	TokRBracket            // ]
+	TokLLBracket           // [[
+	TokRRBracket           // ]]
+	TokLParen              // (
+	TokRParen              // )
+	TokComma               // ,
+	TokColon               // :
+	TokBind                // :=
+	TokDot                 // .
+	TokPlus                // +
+	TokMinus               // -
+	TokStar                // *
+	TokBang                // ! (only as part of !=)
+	TokEq                  // =
+	TokNe                  // !=
+	TokLt                  // <
+	TokLe                  // <=
+	TokGt                  // >
+	TokGe                  // >=
+	TokConcat              // ||
+)
+
+var tokenNames = map[TokenKind]string{
+	TokEOF: "end of input", TokName: "name", TokVariable: "variable",
+	TokString: "string literal", TokInteger: "integer literal",
+	TokDecimal: "decimal literal", TokLBrace: "'{'", TokRBrace: "'}'",
+	TokLBracket: "'['", TokRBracket: "']'", TokLLBracket: "'[['",
+	TokRRBracket: "']]'", TokLParen: "'('", TokRParen: "')'",
+	TokComma: "','", TokColon: "':'", TokBind: "':='", TokDot: "'.'",
+	TokPlus: "'+'", TokMinus: "'-'", TokStar: "'*'", TokBang: "'!'",
+	TokEq: "'='", TokNe: "'!='", TokLt: "'<'", TokLe: "'<='",
+	TokGt: "'>'", TokGe: "'>='", TokConcat: "'||'",
+}
+
+// String returns a human-readable token-kind name for error messages.
+func (k TokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Token is one lexical token with its source position (1-based line/column).
+type Token struct {
+	Kind TokenKind
+	Text string // name text, variable name (without $), string value, number text
+	Line int
+	Col  int
+}
+
+// SyntaxError reports a lexing or parsing failure with source position.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("jsoniq: syntax error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}

@@ -1,0 +1,475 @@
+package runtime
+
+import (
+	"fmt"
+	"math"
+
+	"jsonpark/internal/jsoniq"
+	"jsonpark/internal/variant"
+)
+
+// eval computes an expression against one tuple. Nested FLWOR expressions
+// evaluate to arrays of their returned items (the item-based sequence model,
+// matching the translation's transparent re-aggregation of §IV-B).
+func (e *Engine) eval(expr jsoniq.Expr, t tuple) (variant.Value, error) {
+	switch x := expr.(type) {
+	case *jsoniq.Literal:
+		return x.Value, nil
+	case *jsoniq.VarRef:
+		v, ok := t[x.Name]
+		if !ok {
+			return variant.Null, fmt.Errorf("runtime: unbound variable $%s", x.Name)
+		}
+		return v, nil
+	case *jsoniq.Collection:
+		docs, err := e.scanCollection(x.Name)
+		if err != nil {
+			return variant.Null, err
+		}
+		return variant.ArrayOf(docs), nil
+	case *jsoniq.FieldAccess:
+		base, err := e.eval(x.Base, t)
+		if err != nil {
+			return variant.Null, err
+		}
+		// Field access maps over arrays, mirroring JSONiq's sequence-mapped
+		// object lookup: group by binds non-grouping variables to sequences
+		// (modeled as arrays here), and $l.lo_revenue must yield the
+		// sequence of member fields.
+		if base.Kind() == variant.KindArray {
+			out := make([]variant.Value, 0, base.Len())
+			for _, el := range base.AsArray() {
+				if el.Kind() == variant.KindObject {
+					out = append(out, el.Field(x.Field))
+				}
+			}
+			return variant.ArrayOf(out), nil
+		}
+		return base.Field(x.Field), nil
+	case *jsoniq.ArrayUnbox:
+		// In expression position the unboxed members behave as the array.
+		return e.eval(x.Base, t)
+	case *jsoniq.ArrayIndex:
+		base, err := e.eval(x.Base, t)
+		if err != nil {
+			return variant.Null, err
+		}
+		idx, err := e.eval(x.Index, t)
+		if err != nil {
+			return variant.Null, err
+		}
+		if idx.IsNull() || !idx.IsNumber() {
+			return variant.Null, nil
+		}
+		i, err := variant.ToInt(idx)
+		if err != nil {
+			return variant.Null, err
+		}
+		return base.Index(int(i - 1)), nil // JSONiq positions are 1-based
+	case *jsoniq.ObjectCtor:
+		o := variant.NewObject()
+		for i, k := range x.Keys {
+			v, err := e.eval(x.Values[i], t)
+			if err != nil {
+				return variant.Null, err
+			}
+			o.Set(k, v)
+		}
+		return variant.ObjectValue(o), nil
+	case *jsoniq.ArrayCtor:
+		items := make([]variant.Value, len(x.Items))
+		for i, it := range x.Items {
+			v, err := e.eval(it, t)
+			if err != nil {
+				return variant.Null, err
+			}
+			items[i] = v
+		}
+		return variant.ArrayOf(items), nil
+	case *jsoniq.Binary:
+		return e.evalBinary(x, t)
+	case *jsoniq.Unary:
+		o, err := e.eval(x.Operand, t)
+		if err != nil {
+			return variant.Null, err
+		}
+		if x.Op == "not" {
+			return variant.Bool(!o.Truthy()), nil
+		}
+		return variant.Neg(o)
+	case *jsoniq.If:
+		cond, err := e.eval(x.Cond, t)
+		if err != nil {
+			return variant.Null, err
+		}
+		if cond.Truthy() {
+			return e.eval(x.Then, t)
+		}
+		return e.eval(x.Else, t)
+	case *jsoniq.FunctionCall:
+		return e.evalFunction(x, t)
+	case *jsoniq.FLWOR:
+		items, err := e.runFLWOR(x, t)
+		if err != nil {
+			return variant.Null, err
+		}
+		return variant.ArrayOf(items), nil
+	}
+	return variant.Null, fmt.Errorf("runtime: unsupported expression %T", expr)
+}
+
+func (e *Engine) evalBinary(x *jsoniq.Binary, t tuple) (variant.Value, error) {
+	// Short-circuit logic first.
+	switch x.Op {
+	case jsoniq.OpAnd:
+		l, err := e.eval(x.Left, t)
+		if err != nil {
+			return variant.Null, err
+		}
+		if !l.Truthy() {
+			return variant.Bool(false), nil
+		}
+		r, err := e.eval(x.Right, t)
+		if err != nil {
+			return variant.Null, err
+		}
+		return variant.Bool(r.Truthy()), nil
+	case jsoniq.OpOr:
+		l, err := e.eval(x.Left, t)
+		if err != nil {
+			return variant.Null, err
+		}
+		if l.Truthy() {
+			return variant.Bool(true), nil
+		}
+		r, err := e.eval(x.Right, t)
+		if err != nil {
+			return variant.Null, err
+		}
+		return variant.Bool(r.Truthy()), nil
+	}
+	l, err := e.eval(x.Left, t)
+	if err != nil {
+		return variant.Null, err
+	}
+	r, err := e.eval(x.Right, t)
+	if err != nil {
+		return variant.Null, err
+	}
+	switch x.Op {
+	case jsoniq.OpAdd:
+		return variant.Add(l, r)
+	case jsoniq.OpSub:
+		return variant.Sub(l, r)
+	case jsoniq.OpMul:
+		return variant.Mul(l, r)
+	case jsoniq.OpDiv:
+		return variant.Div(l, r)
+	case jsoniq.OpIDiv:
+		return variant.IDiv(l, r)
+	case jsoniq.OpMod:
+		return variant.Mod(l, r)
+	case jsoniq.OpConcat:
+		ls, rs := l, r
+		if ls.Kind() != variant.KindString {
+			ls = variant.String(ls.JSON())
+		}
+		if rs.Kind() != variant.KindString {
+			rs = variant.String(rs.JSON())
+		}
+		return variant.String(ls.AsString() + rs.AsString()), nil
+	case jsoniq.OpTo:
+		if l.IsNull() || r.IsNull() {
+			return variant.ArrayOf(nil), nil
+		}
+		lo, err := variant.ToInt(l)
+		if err != nil {
+			return variant.Null, err
+		}
+		hi, err := variant.ToInt(r)
+		if err != nil {
+			return variant.Null, err
+		}
+		if hi < lo {
+			return variant.ArrayOf(nil), nil
+		}
+		if hi-lo > 1<<22 {
+			return variant.Null, fmt.Errorf("runtime: range too large (%d)", hi-lo)
+		}
+		out := make([]variant.Value, 0, hi-lo+1)
+		for i := lo; i <= hi; i++ {
+			out = append(out, variant.Int(i))
+		}
+		return variant.ArrayOf(out), nil
+	case jsoniq.OpEq, jsoniq.OpNe, jsoniq.OpLt, jsoniq.OpLe, jsoniq.OpGt, jsoniq.OpGe:
+		// Comparisons with NULL are false, matching the SQL translation's
+		// three-valued logic once a WHERE filters non-TRUE values.
+		if l.IsNull() || r.IsNull() {
+			return variant.Bool(false), nil
+		}
+		c := variant.Compare(l, r)
+		switch x.Op {
+		case jsoniq.OpEq:
+			return variant.Bool(c == 0), nil
+		case jsoniq.OpNe:
+			return variant.Bool(c != 0), nil
+		case jsoniq.OpLt:
+			return variant.Bool(c < 0), nil
+		case jsoniq.OpLe:
+			return variant.Bool(c <= 0), nil
+		case jsoniq.OpGt:
+			return variant.Bool(c > 0), nil
+		case jsoniq.OpGe:
+			return variant.Bool(c >= 0), nil
+		}
+	}
+	return variant.Null, fmt.Errorf("runtime: unsupported operator %s", x.Op)
+}
+
+// itemsOf flattens a function argument into a sequence for aggregates:
+// arrays spread, null is empty, scalars are singletons.
+func itemsOf(v variant.Value) []variant.Value {
+	switch v.Kind() {
+	case variant.KindArray:
+		return v.AsArray()
+	case variant.KindNull:
+		return nil
+	}
+	return []variant.Value{v}
+}
+
+func (e *Engine) evalFunction(x *jsoniq.FunctionCall, t tuple) (variant.Value, error) {
+	args := make([]variant.Value, len(x.Args))
+	for i, a := range x.Args {
+		v, err := e.eval(a, t)
+		if err != nil {
+			return variant.Null, err
+		}
+		args[i] = v
+	}
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("runtime: %s expects %d arguments, got %d", x.Name, n, len(args))
+		}
+		return nil
+	}
+	one := func() (float64, error) {
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		return variant.ToFloat(args[0])
+	}
+	switch x.Name {
+	case "abs":
+		f, err := one()
+		return variant.Float(math.Abs(f)), err
+	case "sqrt":
+		f, err := one()
+		return variant.Float(math.Sqrt(f)), err
+	case "exp":
+		f, err := one()
+		return variant.Float(math.Exp(f)), err
+	case "log":
+		f, err := one()
+		return variant.Float(math.Log(f)), err
+	case "sin":
+		f, err := one()
+		return variant.Float(math.Sin(f)), err
+	case "cos":
+		f, err := one()
+		return variant.Float(math.Cos(f)), err
+	case "tan":
+		f, err := one()
+		return variant.Float(math.Tan(f)), err
+	case "asin":
+		f, err := one()
+		return variant.Float(math.Asin(f)), err
+	case "acos":
+		f, err := one()
+		return variant.Float(math.Acos(f)), err
+	case "atan":
+		f, err := one()
+		return variant.Float(math.Atan(f)), err
+	case "sinh":
+		f, err := one()
+		return variant.Float(math.Sinh(f)), err
+	case "cosh":
+		f, err := one()
+		return variant.Float(math.Cosh(f)), err
+	case "tanh":
+		f, err := one()
+		return variant.Float(math.Tanh(f)), err
+	case "floor":
+		f, err := one()
+		return variant.Float(math.Floor(f)), err
+	case "ceiling":
+		f, err := one()
+		return variant.Float(math.Ceil(f)), err
+	case "round":
+		f, err := one()
+		return variant.Float(math.Round(f)), err
+	case "atan2":
+		if err := need(2); err != nil {
+			return variant.Null, err
+		}
+		y, err := variant.ToFloat(args[0])
+		if err != nil {
+			return variant.Null, err
+		}
+		xv, err := variant.ToFloat(args[1])
+		if err != nil {
+			return variant.Null, err
+		}
+		return variant.Float(math.Atan2(y, xv)), nil
+	case "pow", "power":
+		if err := need(2); err != nil {
+			return variant.Null, err
+		}
+		b, err := variant.ToFloat(args[0])
+		if err != nil {
+			return variant.Null, err
+		}
+		p, err := variant.ToFloat(args[1])
+		if err != nil {
+			return variant.Null, err
+		}
+		return variant.Float(math.Pow(b, p)), nil
+	case "pi":
+		if err := need(0); err != nil {
+			return variant.Null, err
+		}
+		return variant.Float(math.Pi), nil
+	case "count":
+		if err := need(1); err != nil {
+			return variant.Null, err
+		}
+		return variant.Int(int64(len(itemsOf(args[0])))), nil
+	case "sum":
+		if err := need(1); err != nil {
+			return variant.Null, err
+		}
+		items := itemsOf(args[0])
+		acc := variant.Int(0)
+		for _, it := range items {
+			if it.IsNull() {
+				continue
+			}
+			var err error
+			acc, err = variant.Add(acc, it)
+			if err != nil {
+				return variant.Null, err
+			}
+		}
+		return acc, nil
+	case "avg":
+		if err := need(1); err != nil {
+			return variant.Null, err
+		}
+		items := itemsOf(args[0])
+		var sum float64
+		var n int
+		for _, it := range items {
+			if it.IsNull() {
+				continue
+			}
+			f, err := variant.ToFloat(it)
+			if err != nil {
+				return variant.Null, err
+			}
+			sum += f
+			n++
+		}
+		if n == 0 {
+			return variant.Null, nil
+		}
+		return variant.Float(sum / float64(n)), nil
+	case "min", "max":
+		if err := need(1); err != nil {
+			return variant.Null, err
+		}
+		dir := 1
+		if x.Name == "min" {
+			dir = -1
+		}
+		best := variant.Null
+		for _, it := range itemsOf(args[0]) {
+			if it.IsNull() {
+				continue
+			}
+			if best.IsNull() || dir*variant.Compare(it, best) > 0 {
+				best = it
+			}
+		}
+		return best, nil
+	case "size":
+		if err := need(1); err != nil {
+			return variant.Null, err
+		}
+		if args[0].Kind() != variant.KindArray {
+			return variant.Null, nil
+		}
+		return variant.Int(int64(args[0].Len())), nil
+	case "exists":
+		if err := need(1); err != nil {
+			return variant.Null, err
+		}
+		return variant.Bool(len(itemsOf(args[0])) > 0), nil
+	case "empty":
+		if err := need(1); err != nil {
+			return variant.Null, err
+		}
+		return variant.Bool(len(itemsOf(args[0])) == 0), nil
+	case "not":
+		if err := need(1); err != nil {
+			return variant.Null, err
+		}
+		return variant.Bool(!args[0].Truthy()), nil
+	case "boolean":
+		if err := need(1); err != nil {
+			return variant.Null, err
+		}
+		return variant.Bool(args[0].Truthy()), nil
+	case "string":
+		if err := need(1); err != nil {
+			return variant.Null, err
+		}
+		if args[0].Kind() == variant.KindString {
+			return args[0], nil
+		}
+		return variant.String(args[0].JSON()), nil
+	case "number", "double":
+		f, err := one()
+		return variant.Float(f), err
+	case "integer":
+		if err := need(1); err != nil {
+			return variant.Null, err
+		}
+		i, err := variant.ToInt(args[0])
+		if err != nil {
+			return variant.Null, err
+		}
+		return variant.Int(i), nil
+	case "concat":
+		// Array concatenation (used e.g. to merge particle collections).
+		if err := need(2); err != nil {
+			return variant.Null, err
+		}
+		if args[0].Kind() != variant.KindArray || args[1].Kind() != variant.KindArray {
+			return variant.Null, fmt.Errorf("runtime: concat() expects two arrays")
+		}
+		out := make([]variant.Value, 0, args[0].Len()+args[1].Len())
+		out = append(out, args[0].AsArray()...)
+		out = append(out, args[1].AsArray()...)
+		return variant.ArrayOf(out), nil
+	case "head":
+		if err := need(1); err != nil {
+			return variant.Null, err
+		}
+		items := itemsOf(args[0])
+		if len(items) == 0 {
+			return variant.Null, nil
+		}
+		return items[0], nil
+	}
+	return variant.Null, fmt.Errorf("runtime: unknown function %s()", x.Name)
+}

@@ -1,0 +1,127 @@
+package runtime
+
+import (
+	"testing"
+
+	"jsonpark/internal/jsoniq"
+	"jsonpark/internal/variant"
+)
+
+func TestConcatFunction(t *testing.T) {
+	e := newTestEngine(ProfileDefault)
+	out := run(t, e, `for $e in collection("adl")
+		where $e.EVENT eq 1
+		let $a := (for $m in $e.Muon[] return $m.pt)
+		return concat($a, [99.0])`)
+	arr := out[0]
+	if arr.Len() != 3 || arr.Index(2).AsFloat() != 99 {
+		t.Errorf("concat = %v", arr)
+	}
+	if _, err := e.Run(jsoniq.MustParse(`for $e in collection("adl") return concat($e.EVENT, [1])`)); err == nil {
+		t.Error("concat over non-arrays should error")
+	}
+}
+
+func TestHeadFunction(t *testing.T) {
+	e := newTestEngine(ProfileDefault)
+	out := run(t, e, `for $e in collection("adl")
+		where $e.EVENT eq 1
+		return head(for $m in $e.Muon[] return $m.pt)`)
+	if out[0].AsFloat() != 30 {
+		t.Errorf("head = %v", out[0])
+	}
+	out = run(t, e, `for $e in collection("adl")
+		where $e.EVENT eq 2
+		return head($e.Muon[])`)
+	if !out[0].IsNull() {
+		t.Errorf("head of empty = %v", out[0])
+	}
+}
+
+func TestFieldAccessMapsOverArrays(t *testing.T) {
+	// Post-group-by variables are arrays; field access maps over them,
+	// mirroring JSONiq sequence semantics.
+	e := newTestEngine(ProfileDefault)
+	out := run(t, e, `for $e in collection("adl")
+		group by $k := 1
+		return sum($e.MET.pt)`)
+	if got := out[0].AsFloat(); got != 106.0 {
+		t.Errorf("sum over mapped field = %v", got)
+	}
+}
+
+func TestAsterixProfileParsesAtScan(t *testing.T) {
+	e := New(ProfileAsterix)
+	e.LoadCollection("adl", adlDocs())
+	// Two scans must both parse fresh values and agree.
+	a := run(t, e, `for $e in collection("adl") return $e.EVENT`)
+	b := run(t, e, `for $e in collection("adl") return $e.EVENT`)
+	if len(a) != len(b) {
+		t.Fatal("scan results differ")
+	}
+	for i := range a {
+		if !variant.Equal(a[i], b[i]) {
+			t.Errorf("row %d differs", i)
+		}
+	}
+}
+
+func TestRumbleSparkBoundarySerializationPreservesValues(t *testing.T) {
+	e := New(ProfileRumbleSpark)
+	e.LoadCollection("adl", adlDocs())
+	out := run(t, e, `for $e in collection("adl")
+		for $m in $e.Muon[]
+		where $m.pt gt 10
+		return {"pt": $m.pt}`)
+	want := run(t, newTestEngine(ProfileDefault), `for $e in collection("adl")
+		for $m in $e.Muon[]
+		where $m.pt gt 10
+		return {"pt": $m.pt}`)
+	if len(out) != len(want) {
+		t.Fatalf("rows = %d vs %d", len(out), len(want))
+	}
+	for i := range out {
+		if !variant.Equal(out[i], want[i]) {
+			t.Errorf("row %d: %v vs %v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestGroupByMultipleKeysRuntime(t *testing.T) {
+	e := newTestEngine(ProfileDefault)
+	out := run(t, e, `for $e in collection("adl")
+		for $m in $e.Muon[]
+		group by $q := $m.charge, $hi := $m.pt gt 20
+		order by $q, $hi
+		return {"q": $q, "hi": $hi, "n": count($m)}`)
+	var total int64
+	for _, o := range out {
+		total += o.Field("n").AsInt()
+	}
+	if total != 6 { // all muons across events
+		t.Errorf("total muons = %d, want 6 (%v)", total, out)
+	}
+}
+
+func TestOrderByStableOnTies(t *testing.T) {
+	e := newTestEngine(ProfileDefault)
+	// All keys equal: order must preserve input order (stable sort).
+	out := run(t, e, `for $e in collection("adl") order by 1 return $e.EVENT`)
+	for i, v := range out {
+		if v.AsInt() != int64(i+1) {
+			t.Fatalf("stable order broken: %v", out)
+		}
+	}
+}
+
+func TestLetShadowingLaterClauses(t *testing.T) {
+	e := newTestEngine(ProfileDefault)
+	out := run(t, e, `for $e in collection("adl")
+		let $x := 1
+		let $x := $x + 1
+		where $e.EVENT eq 1
+		return $x`)
+	if out[0].AsInt() != 2 {
+		t.Errorf("rebinding let = %v", out[0])
+	}
+}

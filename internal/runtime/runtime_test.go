@@ -1,0 +1,277 @@
+package runtime
+
+import (
+	"testing"
+
+	"jsonpark/internal/jsoniq"
+	"jsonpark/internal/variant"
+)
+
+func adlDocs() []variant.Value {
+	rows := []string{
+		`{"EVENT": 1, "MET": {"pt": 10.5}, "Muon": [{"pt": 30.0, "charge": 1}, {"pt": 5.0, "charge": -1}]}`,
+		`{"EVENT": 2, "MET": {"pt": 20.0}, "Muon": []}`,
+		`{"EVENT": 3, "MET": {"pt": 35.5}, "Muon": [{"pt": 50.0, "charge": -1}]}`,
+		`{"EVENT": 4, "MET": {"pt": 40.0}, "Muon": [{"pt": 8.0, "charge": 1}, {"pt": 9.0, "charge": 1}, {"pt": 60.0, "charge": -1}]}`,
+	}
+	docs := make([]variant.Value, len(rows))
+	for i, r := range rows {
+		docs[i] = variant.MustParseJSON(r)
+	}
+	return docs
+}
+
+func newTestEngine(p Profile) *Engine {
+	e := New(p)
+	e.LoadCollection("adl", adlDocs())
+	return e
+}
+
+func run(t *testing.T, e *Engine, src string) []variant.Value {
+	t.Helper()
+	out, err := e.Run(jsoniq.MustParse(src))
+	if err != nil {
+		t.Fatalf("Run(%s): %v", src, err)
+	}
+	return out
+}
+
+func TestSimpleForReturn(t *testing.T) {
+	e := newTestEngine(ProfileDefault)
+	out := run(t, e, `for $e in collection("adl") return $e.EVENT`)
+	if len(out) != 4 {
+		t.Fatalf("items = %d", len(out))
+	}
+	if out[0].AsInt() != 1 || out[3].AsInt() != 4 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestWhereFilters(t *testing.T) {
+	e := newTestEngine(ProfileDefault)
+	out := run(t, e, `for $e in collection("adl") where $e.MET.pt gt 20 return $e.EVENT`)
+	if len(out) != 2 {
+		t.Fatalf("items = %v", out)
+	}
+}
+
+func TestListing1Unboxing(t *testing.T) {
+	e := newTestEngine(ProfileDefault)
+	out := run(t, e, `for $e in collection("adl")
+		for $m in $e.Muon[]
+		where abs($m.pt) lt 10
+		return $m.pt`)
+	if len(out) != 3 { // 5.0, 8.0, 9.0
+		t.Fatalf("items = %v", out)
+	}
+}
+
+func TestNestedQueryKeepsAllObjects(t *testing.T) {
+	// The Listing-4 semantics: a nested query never removes parent objects.
+	e := newTestEngine(ProfileDefault)
+	out := run(t, e, `for $e in collection("adl")
+		let $filtered := (
+			for $m in $e.Muon[]
+			where $m.pt gt 10
+			return $m
+		)
+		return {"ev": $e.EVENT, "n": size($filtered)}`)
+	if len(out) != 4 {
+		t.Fatalf("items = %d, want 4 (no object elimination)", len(out))
+	}
+	want := map[int64]int64{1: 1, 2: 0, 3: 1, 4: 1}
+	for _, o := range out {
+		ev := o.Field("ev").AsInt()
+		if o.Field("n").AsInt() != want[ev] {
+			t.Errorf("event %d n = %v, want %d", ev, o.Field("n"), want[ev])
+		}
+	}
+}
+
+func TestGroupByWithCount(t *testing.T) {
+	e := newTestEngine(ProfileDefault)
+	out := run(t, e, `for $e in collection("adl")
+		group by $bin := floor($e.MET.pt div 20)
+		order by $bin
+		return {"bin": $bin, "n": count($e)}`)
+	if len(out) != 3 {
+		t.Fatalf("groups = %v", out)
+	}
+	if out[0].Field("bin").AsFloat() != 0 || out[0].Field("n").AsInt() != 1 {
+		t.Errorf("bin0 = %v", out[0])
+	}
+	if out[1].Field("n").AsInt() != 2 { // 20.0 and 35.5
+		t.Errorf("bin1 = %v", out[1])
+	}
+}
+
+func TestGroupByNonGroupingVarsBecomeArrays(t *testing.T) {
+	e := newTestEngine(ProfileDefault)
+	out := run(t, e, `for $e in collection("adl")
+		let $pt := $e.MET.pt
+		group by $k := 1
+		return sum($pt)`)
+	if len(out) != 1 {
+		t.Fatalf("groups = %v", out)
+	}
+	if got := out[0].AsFloat(); got != 106.0 {
+		t.Errorf("sum = %v", got)
+	}
+}
+
+func TestOrderByDescending(t *testing.T) {
+	e := newTestEngine(ProfileDefault)
+	out := run(t, e, `for $e in collection("adl") order by $e.MET.pt descending return $e.EVENT`)
+	if out[0].AsInt() != 4 || out[3].AsInt() != 1 {
+		t.Errorf("order = %v", out)
+	}
+}
+
+func TestCountClause(t *testing.T) {
+	e := newTestEngine(ProfileDefault)
+	out := run(t, e, `for $e in collection("adl") count $c where $c le 2 return $c`)
+	if len(out) != 2 || out[1].AsInt() != 2 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestRangeAndPositional(t *testing.T) {
+	e := newTestEngine(ProfileDefault)
+	out := run(t, e, `for $i in 1 to 3 return $i * 10`)
+	if len(out) != 3 || out[2].AsInt() != 30 {
+		t.Fatalf("out = %v", out)
+	}
+	out = run(t, e, `for $e in collection("adl")
+		where $e.EVENT eq 4
+		return $e.Muon[[2]].pt`)
+	if len(out) != 1 || out[0].AsFloat() != 9.0 {
+		t.Errorf("positional = %v", out)
+	}
+}
+
+func TestForAtPositionVariable(t *testing.T) {
+	e := newTestEngine(ProfileDefault)
+	out := run(t, e, `for $e in collection("adl")
+		where $e.EVENT eq 1
+		return (for $m at $i in $e.Muon[] return $i)`)
+	if len(out) != 1 {
+		t.Fatalf("out = %v", out)
+	}
+	arr := out[0]
+	if arr.Len() != 2 || arr.Index(0).AsInt() != 1 || arr.Index(1).AsInt() != 2 {
+		t.Errorf("positions = %v", arr)
+	}
+}
+
+func TestAllowingEmpty(t *testing.T) {
+	e := newTestEngine(ProfileDefault)
+	out := run(t, e, `for $e in collection("adl")
+		for $m allowing empty in $e.Muon[]
+		return $e.EVENT`)
+	if len(out) != 7 { // 6 muons + 1 empty binding for event 2
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestExistsAndEmpty(t *testing.T) {
+	e := newTestEngine(ProfileDefault)
+	out := run(t, e, `for $e in collection("adl")
+		where exists(for $m in $e.Muon[] where $m.pt gt 40 return $m)
+		return $e.EVENT`)
+	if len(out) != 2 { // events 3 and 4
+		t.Fatalf("exists out = %v", out)
+	}
+	out = run(t, e, `for $e in collection("adl")
+		where empty($e.Muon[])
+		return $e.EVENT`)
+	if len(out) != 1 || out[0].AsInt() != 2 {
+		t.Fatalf("empty out = %v", out)
+	}
+}
+
+func TestAggregateFunctions(t *testing.T) {
+	e := newTestEngine(ProfileDefault)
+	out := run(t, e, `for $e in collection("adl")
+		where $e.EVENT eq 4
+		let $pts := (for $m in $e.Muon[] return $m.pt)
+		return {"n": count($pts), "s": sum($pts), "mn": min($pts), "mx": max($pts), "av": avg($pts)}`)
+	o := out[0]
+	if o.Field("n").AsInt() != 3 || o.Field("s").AsFloat() != 77 ||
+		o.Field("mn").AsFloat() != 8 || o.Field("mx").AsFloat() != 60 {
+		t.Errorf("aggregates = %v", o)
+	}
+	if av := o.Field("av").AsFloat(); av < 25.6 || av > 25.7 {
+		t.Errorf("avg = %v", av)
+	}
+}
+
+func TestIfExpression(t *testing.T) {
+	e := newTestEngine(ProfileDefault)
+	out := run(t, e, `for $e in collection("adl")
+		return if ($e.MET.pt gt 20) then "high" else "low"`)
+	if out[0].AsString() != "low" || out[3].AsString() != "high" {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestScalarTopLevelQuery(t *testing.T) {
+	e := newTestEngine(ProfileDefault)
+	out := run(t, e, `1 + 2`)
+	if len(out) != 1 || out[0].AsInt() != 3 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestProfilesAgree(t *testing.T) {
+	src := `for $e in collection("adl")
+		let $filtered := (for $m in $e.Muon[] where $m.pt gt 10 return $m.pt)
+		order by $e.EVENT
+		return {"ev": $e.EVENT, "f": $filtered}`
+	var results [][]variant.Value
+	for _, p := range []Profile{ProfileDefault, ProfileRumbleSpark, ProfileAsterix} {
+		e := newTestEngine(p)
+		results = append(results, run(t, e, src))
+	}
+	for i := 1; i < len(results); i++ {
+		if len(results[i]) != len(results[0]) {
+			t.Fatalf("profile %d row count %d vs %d", i, len(results[i]), len(results[0]))
+		}
+		for j := range results[0] {
+			if !variant.Equal(results[i][j], results[0][j]) {
+				t.Errorf("profile %d row %d = %v, want %v", i, j, results[i][j], results[0][j])
+			}
+		}
+	}
+}
+
+func TestErrorUnboundVariable(t *testing.T) {
+	e := newTestEngine(ProfileDefault)
+	if _, err := e.Run(jsoniq.MustParse(`for $e in collection("adl") return $missing`)); err == nil {
+		t.Error("unbound variable should error")
+	}
+}
+
+func TestErrorUnknownCollection(t *testing.T) {
+	e := newTestEngine(ProfileDefault)
+	if _, err := e.Run(jsoniq.MustParse(`for $e in collection("nope") return $e`)); err == nil {
+		t.Error("unknown collection should error")
+	}
+}
+
+func TestErrorUnknownFunction(t *testing.T) {
+	e := newTestEngine(ProfileDefault)
+	if _, err := e.Run(jsoniq.MustParse(`for $e in collection("adl") return frobnicate($e)`)); err == nil {
+		t.Error("unknown function should error")
+	}
+}
+
+func TestMathFunctions(t *testing.T) {
+	e := newTestEngine(ProfileDefault)
+	out := run(t, e, `for $i in 1 to 1
+		return {"s": sqrt(16.0), "h": sinh(0.0), "a": atan2(0.0, 1.0), "p": pow(2, 10)}`)
+	o := out[0]
+	if o.Field("s").AsFloat() != 4 || o.Field("h").AsFloat() != 0 ||
+		o.Field("a").AsFloat() != 0 || o.Field("p").AsFloat() != 1024 {
+		t.Errorf("math = %v", o)
+	}
+}

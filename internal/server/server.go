@@ -1,0 +1,191 @@
+// Package server exposes a warehouse over HTTP, mirroring the client
+// interfaces of the paper's system architecture (§III-A1: REPL client,
+// command line client, or REST server). Endpoints:
+//
+//	POST /query      {"query": "...", "strategy": "keep-flag"|"join"}
+//	                 → {"items": [...], "sql": "...", "metrics": {...}}
+//	POST /translate  {"query": "..."} → {"sql": "..."}
+//	POST /load       {"collection": "c", "documents": [{...}, ...]}
+//	POST /collections {"name": "c", "columns": ["a","b"]}
+//	GET  /collections → {"collections": ["c", ...]}
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"jsonpark"
+
+	"jsonpark/internal/variant"
+)
+
+// Server wraps a warehouse with HTTP handlers.
+type Server struct {
+	w   *jsonpark.Warehouse
+	mux *http.ServeMux
+}
+
+// New builds a server over an existing warehouse.
+func New(w *jsonpark.Warehouse) *Server {
+	s := &Server{w: w, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/translate", s.handleTranslate)
+	s.mux.HandleFunc("/load", s.handleLoad)
+	s.mux.HandleFunc("/collections", s.handleCollections)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+type queryRequest struct {
+	Query    string `json:"query"`
+	Strategy string `json:"strategy"`
+}
+
+type metricsJSON struct {
+	CompileMicros    int64 `json:"compile_us"`
+	ExecMicros       int64 `json:"exec_us"`
+	BytesScanned     int64 `json:"bytes_scanned"`
+	PartitionsTotal  int   `json:"partitions_total"`
+	PartitionsPruned int   `json:"partitions_pruned"`
+	Rows             int64 `json:"rows"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var opts []jsonpark.QueryOption
+	switch req.Strategy {
+	case "", "keep-flag":
+	case "join":
+		opts = append(opts, jsonpark.WithStrategy(jsonpark.StrategyJoin))
+	case "auto":
+		opts = append(opts, jsonpark.WithStrategy(jsonpark.StrategyAuto))
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown strategy %q", req.Strategy))
+		return
+	}
+	sql, err := s.w.Translate(req.Query, opts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.w.Query(req.Query, opts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	items := make([]json.RawMessage, len(res.Rows))
+	for i, row := range res.Rows {
+		items[i] = json.RawMessage(row[0].JSON())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"items": items,
+		"sql":   sql,
+		"metrics": metricsJSON{
+			CompileMicros:    res.Metrics.CompileTime.Microseconds(),
+			ExecMicros:       res.Metrics.ExecTime.Microseconds(),
+			BytesScanned:     res.Metrics.BytesScanned,
+			PartitionsTotal:  res.Metrics.PartitionsTotal,
+			PartitionsPruned: res.Metrics.PartitionsPruned,
+			Rows:             res.Metrics.RowsReturned,
+		},
+	})
+}
+
+func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var opts []jsonpark.QueryOption
+	if req.Strategy == "join" {
+		opts = append(opts, jsonpark.WithStrategy(jsonpark.StrategyJoin))
+	}
+	sql, err := s.w.Translate(req.Query, opts...)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"sql": sql})
+}
+
+type loadRequest struct {
+	Collection string            `json:"collection"`
+	Documents  []json.RawMessage `json:"documents"`
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req loadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	for i, raw := range req.Documents {
+		v, err := variant.ParseJSON(raw)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("document %d: %w", i, err))
+			return
+		}
+		if err := s.w.LoadObject(req.Collection, v); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"loaded": len(req.Documents)})
+}
+
+type createRequest struct {
+	Name    string   `json:"name"`
+	Columns []string `json:"columns"`
+}
+
+func (s *Server) handleCollections(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"collections": s.w.Engine().Catalog().TableNames(),
+		})
+	case http.MethodPost:
+		var req createRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := s.w.CreateCollection(req.Name, req.Columns); err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"created": req.Name})
+	default:
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or POST required"))
+	}
+}

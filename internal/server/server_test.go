@@ -1,0 +1,133 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"jsonpark"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	w := jsonpark.Open()
+	srv := httptest.NewServer(New(w))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func post(t *testing.T, srv *httptest.Server, path, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestEndToEndHTTPFlow(t *testing.T) {
+	srv := testServer(t)
+
+	code, out := post(t, srv, "/collections", `{"name": "orders", "columns": ["id", "items"]}`)
+	if code != http.StatusOK {
+		t.Fatalf("create: %d %v", code, out)
+	}
+
+	code, out = post(t, srv, "/load", `{"collection": "orders", "documents": [
+		{"id": 1, "items": [{"qty": 2}]},
+		{"id": 2, "items": []}
+	]}`)
+	if code != http.StatusOK || out["loaded"].(float64) != 2 {
+		t.Fatalf("load: %d %v", code, out)
+	}
+
+	code, out = post(t, srv, "/query", `{"query": "for $o in collection(\"orders\") let $n := count(for $i in $o.items[] return $i) order by $o.id return {\"id\": $o.id, \"n\": $n}"}`)
+	if code != http.StatusOK {
+		t.Fatalf("query: %d %v", code, out)
+	}
+	items := out["items"].([]any)
+	if len(items) != 2 {
+		t.Fatalf("items = %v", items)
+	}
+	first := items[0].(map[string]any)
+	if first["n"].(float64) != 1 {
+		t.Errorf("first = %v", first)
+	}
+	if !strings.HasPrefix(out["sql"].(string), "SELECT") {
+		t.Errorf("sql = %v", out["sql"])
+	}
+	metrics := out["metrics"].(map[string]any)
+	if metrics["rows"].(float64) != 2 {
+		t.Errorf("metrics = %v", metrics)
+	}
+
+	// GET /collections lists the created one.
+	resp, err := http.Get(srv.URL + "/collections")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var listing map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	cols := listing["collections"].([]any)
+	if len(cols) != 1 || cols[0] != "orders" {
+		t.Errorf("collections = %v", cols)
+	}
+}
+
+func TestQueryStrategySelection(t *testing.T) {
+	srv := testServer(t)
+	post(t, srv, "/collections", `{"name": "c", "columns": ["id", "a"]}`)
+	post(t, srv, "/load", `{"collection": "c", "documents": [{"id": 1, "a": [1, 2]}]}`)
+	q := `{"query": "for $x in collection(\"c\") let $f := (for $v in $x.a[] where $v gt 1 return $v) return size($f)", "strategy": "join"}`
+	code, out := post(t, srv, "/query", q)
+	if code != http.StatusOK {
+		t.Fatalf("join strategy: %d %v", code, out)
+	}
+	if !strings.Contains(out["sql"].(string), "LEFT OUTER JOIN") {
+		t.Errorf("join strategy SQL missing join: %v", out["sql"])
+	}
+	code, out = post(t, srv, "/query", strings.Replace(q, `"join"`, `"bogus"`, 1))
+	if code != http.StatusBadRequest {
+		t.Errorf("bogus strategy: %d %v", code, out)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	srv := testServer(t)
+	code, _ := post(t, srv, "/query", `{"query": "for $x in"}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("syntax error code = %d", code)
+	}
+	code, _ = post(t, srv, "/load", `{"collection": "missing", "documents": [{}]}`)
+	if code != http.StatusBadRequest {
+		t.Errorf("missing collection code = %d", code)
+	}
+	code, _ = post(t, srv, "/collections", `{bad json`)
+	if code != http.StatusBadRequest {
+		t.Errorf("bad json code = %d", code)
+	}
+	resp, err := http.Get(srv.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /query code = %d", resp.StatusCode)
+	}
+	// Duplicate collection returns conflict.
+	post(t, srv, "/collections", `{"name": "dup", "columns": ["x"]}`)
+	code, _ = post(t, srv, "/collections", `{"name": "dup", "columns": ["x"]}`)
+	if code != http.StatusConflict {
+		t.Errorf("duplicate code = %d", code)
+	}
+}

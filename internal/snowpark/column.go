@@ -1,0 +1,105 @@
+// Package snowpark is a data-frame client library for the embedded engine,
+// modeled on the Snowpark API (§II-D of the paper): DataFrame objects
+// lazily encapsulate a fully executable SQL query, Column objects represent
+// partial query logic (subexpressions), and the Functions constructors
+// compose Columns. No execution happens until Collect; the composed query
+// renders to a single native SQL string.
+package snowpark
+
+import (
+	"jsonpark/internal/sqlast"
+	"jsonpark/internal/variant"
+)
+
+// Column is a lazily composed SQL subexpression, optionally aliased.
+// Column values are immutable: every method returns a new Column.
+type Column struct {
+	expr  sqlast.Expr
+	alias string
+}
+
+// Expr exposes the underlying SQL expression.
+func (c Column) Expr() sqlast.Expr { return c.expr }
+
+// Name returns the column's alias ("" if unaliased).
+func (c Column) Name() string { return c.alias }
+
+// As returns the column with an output alias.
+func (c Column) As(alias string) Column { return Column{expr: c.expr, alias: alias} }
+
+// Col references a column of the enclosing DataFrame by name.
+func Col(name string) Column { return Column{expr: sqlast.C(name)} }
+
+// Lit embeds a constant.
+func Lit(v variant.Value) Column { return Column{expr: sqlast.L(v)} }
+
+// LitInt, LitFloat, LitString and LitBool are convenience literals.
+func LitInt(i int64) Column     { return Lit(variant.Int(i)) }
+func LitFloat(f float64) Column { return Lit(variant.Float(f)) }
+func LitString(s string) Column { return Lit(variant.String(s)) }
+func LitBool(b bool) Column     { return Lit(variant.Bool(b)) }
+func LitNull() Column           { return Lit(variant.Null) }
+
+// FlattenValue references the VALUE pseudo-column of a FLATTEN alias.
+func FlattenValue(alias string) Column {
+	return Column{expr: &sqlast.ColRef{Table: alias, Name: "VALUE"}}
+}
+
+// FlattenIndex references the INDEX pseudo-column of a FLATTEN alias.
+func FlattenIndex(alias string) Column {
+	return Column{expr: &sqlast.ColRef{Table: alias, Name: "INDEX"}}
+}
+
+func bin(op string, l, r Column) Column {
+	return Column{expr: sqlast.B(op, l.expr, r.expr)}
+}
+
+// Arithmetic composition.
+func (c Column) Add(o Column) Column { return bin("+", c, o) }
+func (c Column) Sub(o Column) Column { return bin("-", c, o) }
+func (c Column) Mul(o Column) Column { return bin("*", c, o) }
+func (c Column) Div(o Column) Column { return bin("/", c, o) }
+func (c Column) Mod(o Column) Column { return bin("%", c, o) }
+
+// Comparisons.
+func (c Column) Eq(o Column) Column { return bin("=", c, o) }
+func (c Column) Ne(o Column) Column { return bin("<>", c, o) }
+func (c Column) Lt(o Column) Column { return bin("<", c, o) }
+func (c Column) Le(o Column) Column { return bin("<=", c, o) }
+func (c Column) Gt(o Column) Column { return bin(">", c, o) }
+func (c Column) Ge(o Column) Column { return bin(">=", c, o) }
+
+// Between is lower <= c AND c <= upper.
+func (c Column) Between(lower, upper Column) Column {
+	return c.Ge(lower).And(c.Le(upper))
+}
+
+// Logic.
+func (c Column) And(o Column) Column { return bin("AND", c, o) }
+func (c Column) Or(o Column) Column  { return bin("OR", c, o) }
+func (c Column) Not() Column         { return Column{expr: &sqlast.Unary{Op: "NOT", Operand: c.expr}} }
+func (c Column) Neg() Column         { return Column{expr: &sqlast.Unary{Op: "-", Operand: c.expr}} }
+
+// NULL tests.
+func (c Column) IsNull() Column { return Column{expr: &sqlast.IsNull{Operand: c.expr}} }
+func (c Column) IsNotNull() Column {
+	return Column{expr: &sqlast.IsNull{Operand: c.expr, Negate: true}}
+}
+
+// SubField accesses a VARIANT object field: GET(c, 'name').
+func (c Column) SubField(name string) Column {
+	return Column{expr: sqlast.F("GET", c.expr, sqlast.L(variant.String(name)))}
+}
+
+// Index accesses a VARIANT array element (0-based): GET(c, i).
+func (c Column) Index(i Column) Column {
+	return Column{expr: sqlast.F("GET", c.expr, i.expr)}
+}
+
+// Cast renders `c :: type`.
+func (c Column) Cast(sqlType string) Column {
+	return Column{expr: &sqlast.Cast{Operand: c.expr, Type: sqlType}}
+}
+
+// Concat is string concatenation `||`.
+func (c Column) Concat(o Column) Column { return bin("||", c, o) }

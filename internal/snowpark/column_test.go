@@ -1,0 +1,103 @@
+package snowpark
+
+import (
+	"strings"
+	"testing"
+
+	"jsonpark/internal/sqlast"
+	"jsonpark/internal/variant"
+)
+
+func exprText(c Column) string { return sqlast.RenderExpr(c.Expr()) }
+
+func TestColumnComposition(t *testing.T) {
+	cases := []struct {
+		col  Column
+		want string
+	}{
+		{Col("a").Add(LitInt(1)), `("a" + 1)`},
+		{Col("a").Sub(Col("b")).Mul(LitFloat(2)), `(("a" - "b") * 2.0)`},
+		{Col("a").Eq(LitString("x")), `("a" = 'x')`},
+		{Col("a").Ne(LitNull()), `("a" <> NULL)`},
+		{Col("a").Between(LitInt(1), LitInt(5)), `(("a" >= 1) AND ("a" <= 5))`},
+		{Col("a").And(Col("b").Not()), `("a" AND (NOT "b"))`},
+		{Col("a").IsNull(), `("a" IS NULL)`},
+		{Col("a").IsNotNull(), `("a" IS NOT NULL)`},
+		{Col("v").SubField("pt"), `GET("v", 'pt')`},
+		{Col("v").Index(LitInt(0)), `GET("v", 0)`},
+		{Col("a").Cast("DOUBLE"), `("a" :: DOUBLE)`},
+		{Col("a").Concat(LitString("!")), `("a" || '!')`},
+		{Col("a").Neg(), `(- "a")`},
+		{FlattenValue("f"), `"f".VALUE`},
+		{FlattenIndex("f"), `"f".INDEX`},
+	}
+	for _, c := range cases {
+		if got := exprText(c.col); got != c.want {
+			t.Errorf("rendered %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestFunctionConstructors(t *testing.T) {
+	cases := []struct {
+		col  Column
+		want string
+	}{
+		{Abs(Col("x")), `ABS("x")`},
+		{Atan2(Col("y"), Col("x")), `ATAN2("y", "x")`},
+		{Power(LitInt(2), LitInt(10)), `POWER(2, 10)`},
+		{Iff(Col("c"), LitInt(1), LitInt(0)), `IFF("c", 1, 0)`},
+		{Coalesce(Col("a"), LitInt(0)), `COALESCE("a", 0)`},
+		{ObjectConstruct("k", Col("v")), `OBJECT_CONSTRUCT('k', "v")`},
+		{ArrayConstruct(LitInt(1), LitInt(2)), `ARRAY_CONSTRUCT(1, 2)`},
+		{ArrayRange(LitInt(1), LitInt(4)), `ARRAY_RANGE(1, 4)`},
+		{CountStar(), `COUNT(*)`},
+		{CountDistinct(Col("a")), `COUNT(DISTINCT "a")`},
+		{Seq8(), `SEQ8()`},
+		{BoolAndAgg(Col("p")), `BOOLAND_AGG("p")`},
+	}
+	for _, c := range cases {
+		if got := exprText(c.col); got != c.want {
+			t.Errorf("rendered %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestObjectConstructPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("odd pair count should panic")
+		}
+	}()
+	ObjectConstruct("only-key")
+}
+
+func TestLitKinds(t *testing.T) {
+	if exprText(Lit(variant.Array(variant.Int(1)))) != "ARRAY_CONSTRUCT(1)" {
+		t.Error("array literal")
+	}
+	if exprText(LitBool(true)) != "TRUE" {
+		t.Error("bool literal")
+	}
+}
+
+func TestAliasCarriesThrough(t *testing.T) {
+	c := Col("a").Add(LitInt(1)).As("b")
+	if c.Name() != "b" {
+		t.Errorf("alias = %q", c.Name())
+	}
+	// As does not mutate the receiver.
+	base := Col("a")
+	_ = base.As("x")
+	if base.Name() != "" {
+		t.Error("As must not mutate")
+	}
+}
+
+func TestCaseBuilderReusable(t *testing.T) {
+	b := CaseWhen(Col("a").Gt(LitInt(0)), LitString("pos"))
+	withElse := b.Else(LitString("neg"))
+	if !strings.Contains(exprText(withElse), "ELSE") {
+		t.Errorf("else missing: %s", exprText(withElse))
+	}
+}

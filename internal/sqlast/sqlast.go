@@ -1,0 +1,457 @@
+// Package sqlast defines the abstract syntax tree of the SQL dialect emitted
+// by the Snowpark layer and consumed by the engine, together with a
+// deterministic textual renderer. The dialect is the subset of Snowflake SQL
+// the paper's translation relies on: nested SELECTs, LATERAL FLATTEN with
+// OUTER, INNER/LEFT OUTER/CROSS joins, GROUP BY with ARRAY_AGG/ANY_VALUE,
+// ORDER BY, LIMIT, UNION ALL, CASE, `::` casts and scalar function calls.
+package sqlast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"jsonpark/internal/variant"
+)
+
+// Expr is a scalar SQL expression.
+type Expr interface{ exprNode() }
+
+// Lit is a literal value.
+type Lit struct{ Value variant.Value }
+
+// ColRef references a column, optionally qualified by a FLATTEN alias
+// (e.g. "f".VALUE).
+type ColRef struct {
+	Table string // optional qualifier
+	Name  string
+}
+
+// Star is `*` in a select list or COUNT(*).
+type Star struct{}
+
+// FuncCall invokes a scalar or aggregate function. Distinct applies to
+// aggregates (COUNT(DISTINCT x)); WithinOrder carries the
+// `WITHIN GROUP (ORDER BY ...)` clause of ordered ARRAY_AGG.
+type FuncCall struct {
+	Name        string
+	Args        []Expr
+	Distinct    bool
+	WithinOrder []OrderItem
+}
+
+// Binary applies a binary operator: + - * / % = <> < <= > >= AND OR ||.
+type Binary struct {
+	Op    string
+	Left  Expr
+	Right Expr
+}
+
+// Unary applies - or NOT.
+type Unary struct {
+	Op      string
+	Operand Expr
+}
+
+// IsNull is `expr IS [NOT] NULL`.
+type IsNull struct {
+	Operand Expr
+	Negate  bool
+}
+
+// CaseWhen is a searched CASE expression.
+type CaseWhen struct {
+	Whens []WhenClause
+	Else  Expr // may be nil → NULL
+}
+
+// WhenClause is one WHEN cond THEN result arm.
+type WhenClause struct {
+	Cond   Expr
+	Result Expr
+}
+
+// Cast renders as `expr :: TYPE`.
+type Cast struct {
+	Operand Expr
+	Type    string
+}
+
+func (*Lit) exprNode()      {}
+func (*ColRef) exprNode()   {}
+func (*Star) exprNode()     {}
+func (*FuncCall) exprNode() {}
+func (*Binary) exprNode()   {}
+func (*Unary) exprNode()    {}
+func (*IsNull) exprNode()   {}
+func (*CaseWhen) exprNode() {}
+func (*Cast) exprNode()     {}
+
+// Query is a full query: a Select or a set operation over queries.
+type Query interface{ queryNode() }
+
+// Select is one SELECT block.
+type Select struct {
+	Items   []SelectItem
+	From    FromItem // may be nil for constant selects
+	Where   Expr
+	GroupBy []Expr
+	Having  Expr
+	OrderBy []OrderItem
+	Limit   *int64
+}
+
+// SetOp is `left UNION ALL right`.
+type SetOp struct {
+	Op    string // only "UNION ALL"
+	Left  Query
+	Right Query
+}
+
+func (*Select) queryNode() {}
+func (*SetOp) queryNode()  {}
+
+// SelectItem is one projection: `*`, or expr [AS alias].
+type SelectItem struct {
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+// OrderItem is one ordering criterion.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+	// NullsLast forces NULL ordering; the engine defaults to NULLs first
+	// ascending / last descending, matching the variant total order.
+}
+
+// FromItem is a table expression.
+type FromItem interface{ fromNode() }
+
+// TableRef names a stored table.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// SubqueryRef is a parenthesized query with an optional alias.
+type SubqueryRef struct {
+	Query Query
+	Alias string
+}
+
+// Join combines two from-items. Kind is INNER, LEFT OUTER or CROSS.
+type Join struct {
+	Kind  string
+	Left  FromItem
+	Right FromItem
+	On    Expr // nil for CROSS
+}
+
+// Flatten is `<src>, LATERAL FLATTEN(INPUT => expr, OUTER => bool) AS alias`:
+// for each source row it unboxes the array-valued Input into one output row
+// per element, exposing alias.VALUE and alias.INDEX. With OUTER => TRUE a
+// source row with an empty or non-array input still emits one row with NULL
+// VALUE/INDEX (§IV-C1 of the paper).
+type Flatten struct {
+	Source FromItem
+	Input  Expr
+	Outer  bool
+	Alias  string
+}
+
+func (*TableRef) fromNode()    {}
+func (*SubqueryRef) fromNode() {}
+func (*Join) fromNode()        {}
+func (*Flatten) fromNode()     {}
+
+// Render produces the SQL text of a query. The output round-trips through
+// sqlparse.Parse.
+func Render(q Query) string {
+	var b strings.Builder
+	renderQuery(&b, q)
+	return b.String()
+}
+
+// RenderExpr produces the SQL text of one expression.
+func RenderExpr(e Expr) string {
+	var b strings.Builder
+	renderExpr(&b, e)
+	return b.String()
+}
+
+func renderQuery(b *strings.Builder, q Query) {
+	switch x := q.(type) {
+	case *Select:
+		renderSelect(b, x)
+	case *SetOp:
+		b.WriteByte('(')
+		renderQuery(b, x.Left)
+		b.WriteString(") ")
+		b.WriteString(x.Op)
+		b.WriteString(" (")
+		renderQuery(b, x.Right)
+		b.WriteByte(')')
+	default:
+		panic(fmt.Sprintf("sqlast: unknown query node %T", q))
+	}
+}
+
+func renderSelect(b *strings.Builder, s *Select) {
+	b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if it.Star {
+			b.WriteByte('*')
+			continue
+		}
+		renderExpr(b, it.Expr)
+		if it.Alias != "" {
+			b.WriteString(" AS ")
+			writeIdent(b, it.Alias)
+		}
+	}
+	if s.From != nil {
+		b.WriteString(" FROM ")
+		renderFrom(b, s.From)
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		renderExpr(b, s.Where)
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderExpr(b, e)
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		renderExpr(b, s.Having)
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		renderOrderItems(b, s.OrderBy)
+	}
+	if s.Limit != nil {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.FormatInt(*s.Limit, 10))
+	}
+}
+
+func renderOrderItems(b *strings.Builder, items []OrderItem) {
+	for i, o := range items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		renderExpr(b, o.Expr)
+		if o.Desc {
+			b.WriteString(" DESC")
+		} else {
+			b.WriteString(" ASC")
+		}
+	}
+}
+
+func renderFrom(b *strings.Builder, f FromItem) {
+	switch x := f.(type) {
+	case *TableRef:
+		writeIdent(b, x.Name)
+		if x.Alias != "" {
+			b.WriteString(" AS ")
+			writeIdent(b, x.Alias)
+		}
+	case *SubqueryRef:
+		b.WriteByte('(')
+		renderQuery(b, x.Query)
+		b.WriteByte(')')
+		if x.Alias != "" {
+			b.WriteString(" AS ")
+			writeIdent(b, x.Alias)
+		}
+	case *Join:
+		renderFrom(b, x.Left)
+		switch x.Kind {
+		case "CROSS":
+			b.WriteString(" CROSS JOIN ")
+		case "LEFT OUTER":
+			b.WriteString(" LEFT OUTER JOIN ")
+		default:
+			b.WriteString(" INNER JOIN ")
+		}
+		renderFrom(b, x.Right)
+		if x.On != nil {
+			b.WriteString(" ON ")
+			renderExpr(b, x.On)
+		}
+	case *Flatten:
+		renderFrom(b, x.Source)
+		b.WriteString(", LATERAL FLATTEN(INPUT => ")
+		renderExpr(b, x.Input)
+		if x.Outer {
+			b.WriteString(", OUTER => TRUE")
+		}
+		b.WriteString(") AS ")
+		writeIdent(b, x.Alias)
+	default:
+		panic(fmt.Sprintf("sqlast: unknown from node %T", f))
+	}
+}
+
+// binaryPrec orders operators for minimal-parenthesis rendering; we render
+// conservatively with parens around every binary expression instead, which
+// keeps the renderer and parser trivially consistent.
+func renderExpr(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case *Lit:
+		renderLit(b, x.Value)
+	case *ColRef:
+		if x.Table != "" {
+			writeIdent(b, x.Table)
+			b.WriteByte('.')
+			b.WriteString(x.Name) // VALUE / INDEX pseudo-columns
+			return
+		}
+		writeIdent(b, x.Name)
+	case *Star:
+		b.WriteByte('*')
+	case *FuncCall:
+		b.WriteString(strings.ToUpper(x.Name))
+		b.WriteByte('(')
+		if x.Distinct {
+			b.WriteString("DISTINCT ")
+		}
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderExpr(b, a)
+		}
+		b.WriteByte(')')
+		if len(x.WithinOrder) > 0 {
+			b.WriteString(" WITHIN GROUP (ORDER BY ")
+			renderOrderItems(b, x.WithinOrder)
+			b.WriteByte(')')
+		}
+	case *Binary:
+		b.WriteByte('(')
+		renderExpr(b, x.Left)
+		b.WriteByte(' ')
+		b.WriteString(x.Op)
+		b.WriteByte(' ')
+		renderExpr(b, x.Right)
+		b.WriteByte(')')
+	case *Unary:
+		b.WriteByte('(')
+		b.WriteString(x.Op)
+		b.WriteByte(' ')
+		renderExpr(b, x.Operand)
+		b.WriteByte(')')
+	case *IsNull:
+		b.WriteByte('(')
+		renderExpr(b, x.Operand)
+		if x.Negate {
+			b.WriteString(" IS NOT NULL")
+		} else {
+			b.WriteString(" IS NULL")
+		}
+		b.WriteByte(')')
+	case *CaseWhen:
+		b.WriteString("CASE")
+		for _, w := range x.Whens {
+			b.WriteString(" WHEN ")
+			renderExpr(b, w.Cond)
+			b.WriteString(" THEN ")
+			renderExpr(b, w.Result)
+		}
+		if x.Else != nil {
+			b.WriteString(" ELSE ")
+			renderExpr(b, x.Else)
+		}
+		b.WriteString(" END")
+	case *Cast:
+		b.WriteByte('(')
+		renderExpr(b, x.Operand)
+		b.WriteString(" :: ")
+		b.WriteString(strings.ToUpper(x.Type))
+		b.WriteByte(')')
+	default:
+		panic(fmt.Sprintf("sqlast: unknown expr node %T", e))
+	}
+}
+
+func renderLit(b *strings.Builder, v variant.Value) {
+	switch v.Kind() {
+	case variant.KindNull:
+		b.WriteString("NULL")
+	case variant.KindBool:
+		if v.AsBool() {
+			b.WriteString("TRUE")
+		} else {
+			b.WriteString("FALSE")
+		}
+	case variant.KindInt:
+		b.WriteString(strconv.FormatInt(v.AsInt(), 10))
+	case variant.KindFloat:
+		s := strconv.FormatFloat(v.AsFloat(), 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		b.WriteString(s)
+	case variant.KindString:
+		b.WriteByte('\'')
+		b.WriteString(strings.ReplaceAll(v.AsString(), "'", "''"))
+		b.WriteByte('\'')
+	case variant.KindArray:
+		// Array literals render via ARRAY_CONSTRUCT for parse round-tripping.
+		b.WriteString("ARRAY_CONSTRUCT(")
+		for i, e := range v.AsArray() {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderLit(b, e)
+		}
+		b.WriteByte(')')
+	case variant.KindObject:
+		b.WriteString("OBJECT_CONSTRUCT(")
+		o := v.AsObject()
+		for i, k := range o.Keys() {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			renderLit(b, variant.String(k))
+			b.WriteString(", ")
+			renderLit(b, o.ValueAt(i))
+		}
+		b.WriteByte(')')
+	}
+}
+
+func writeIdent(b *strings.Builder, name string) {
+	b.WriteByte('"')
+	b.WriteString(strings.ReplaceAll(name, `"`, `""`))
+	b.WriteByte('"')
+}
+
+// Helper constructors used heavily by the Snowpark layer and tests.
+
+// L wraps a variant value as a literal expression.
+func L(v variant.Value) *Lit { return &Lit{Value: v} }
+
+// C references an unqualified column.
+func C(name string) *ColRef { return &ColRef{Name: name} }
+
+// F builds a function call.
+func F(name string, args ...Expr) *FuncCall { return &FuncCall{Name: name, Args: args} }
+
+// B builds a binary expression.
+func B(op string, l, r Expr) *Binary { return &Binary{Op: op, Left: l, Right: r} }
+
+// IntP returns a pointer to v, for Select.Limit.
+func IntP(v int64) *int64 { return &v }

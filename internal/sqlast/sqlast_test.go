@@ -1,0 +1,125 @@
+package sqlast
+
+import (
+	"strings"
+	"testing"
+
+	"jsonpark/internal/variant"
+)
+
+func TestRenderLiterals(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{L(variant.Null), "NULL"},
+		{L(variant.Bool(true)), "TRUE"},
+		{L(variant.Bool(false)), "FALSE"},
+		{L(variant.Int(42)), "42"},
+		{L(variant.Float(2.5)), "2.5"},
+		{L(variant.Float(40)), "40.0"},
+		{L(variant.String("it's")), "'it''s'"},
+		{L(variant.Array(variant.Int(1), variant.Int(2))), "ARRAY_CONSTRUCT(1, 2)"},
+		{L(variant.ObjectFromPairs("a", variant.Int(1))), "OBJECT_CONSTRUCT('a', 1)"},
+	}
+	for _, c := range cases {
+		if got := RenderExpr(c.e); got != c.want {
+			t.Errorf("RenderExpr = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRenderIdentQuoting(t *testing.T) {
+	if got := RenderExpr(C(`weird"name`)); got != `"weird""name"` {
+		t.Errorf("quoted ident = %q", got)
+	}
+	if got := RenderExpr(&ColRef{Table: "f", Name: "VALUE"}); got != `"f".VALUE` {
+		t.Errorf("qualified ref = %q", got)
+	}
+}
+
+func TestRenderOperatorsParenthesized(t *testing.T) {
+	e := B("AND", B(">", C("a"), L(variant.Int(1))), &Unary{Op: "NOT", Operand: C("b")})
+	got := RenderExpr(e)
+	want := `(("a" > 1) AND (NOT "b"))`
+	if got != want {
+		t.Errorf("render = %q, want %q", got, want)
+	}
+}
+
+func TestRenderSelectClauses(t *testing.T) {
+	q := &Select{
+		Items:   []SelectItem{{Expr: C("a"), Alias: "x"}, {Star: true}},
+		From:    &TableRef{Name: "t"},
+		Where:   B("=", C("a"), L(variant.Int(1))),
+		GroupBy: []Expr{C("a")},
+		Having:  B(">", F("COUNT", &Star{}), L(variant.Int(2))),
+		OrderBy: []OrderItem{{Expr: C("x"), Desc: true}},
+		Limit:   IntP(3),
+	}
+	got := Render(q)
+	for _, frag := range []string{"SELECT ", `"a" AS "x"`, "*", `FROM "t"`,
+		"WHERE", "GROUP BY", "HAVING", "ORDER BY", "DESC", "LIMIT 3"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("rendered SQL missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestRenderFlattenAndJoin(t *testing.T) {
+	q := &Select{
+		Items: []SelectItem{{Star: true}},
+		From: &Join{
+			Kind: "LEFT OUTER",
+			Left: &Flatten{
+				Source: &TableRef{Name: "t"},
+				Input:  C("arr"),
+				Outer:  true,
+				Alias:  "f",
+			},
+			Right: &SubqueryRef{Query: &Select{Items: []SelectItem{{Star: true}}, From: &TableRef{Name: "u"}}, Alias: "s"},
+			On:    B("=", C("id"), C("uid")),
+		},
+	}
+	got := Render(q)
+	for _, frag := range []string{"LATERAL FLATTEN(INPUT => \"arr\", OUTER => TRUE) AS \"f\"",
+		"LEFT OUTER JOIN", `AS "s"`, "ON"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("missing %q in:\n%s", frag, got)
+		}
+	}
+}
+
+func TestRenderSetOp(t *testing.T) {
+	q := &SetOp{
+		Op:    "UNION ALL",
+		Left:  &Select{Items: []SelectItem{{Expr: C("a")}}, From: &TableRef{Name: "x"}},
+		Right: &Select{Items: []SelectItem{{Expr: C("a")}}, From: &TableRef{Name: "y"}},
+	}
+	got := Render(q)
+	if !strings.Contains(got, ") UNION ALL (") {
+		t.Errorf("set op render = %s", got)
+	}
+}
+
+func TestRenderWithinGroup(t *testing.T) {
+	e := &FuncCall{Name: "ARRAY_AGG", Args: []Expr{C("v")},
+		WithinOrder: []OrderItem{{Expr: C("k")}, {Expr: C("j"), Desc: true}}}
+	got := RenderExpr(e)
+	want := `ARRAY_AGG("v") WITHIN GROUP (ORDER BY "k" ASC, "j" DESC)`
+	if got != want {
+		t.Errorf("render = %q", got)
+	}
+}
+
+func TestRenderCaseAndCast(t *testing.T) {
+	e := &CaseWhen{
+		Whens: []WhenClause{{Cond: &IsNull{Operand: C("v")}, Result: L(variant.Int(0))}},
+		Else:  &Cast{Operand: C("v"), Type: "double"},
+	}
+	got := RenderExpr(e)
+	want := `CASE WHEN ("v" IS NULL) THEN 0 ELSE ("v" :: DOUBLE) END`
+	if got != want {
+		t.Errorf("render = %q", got)
+	}
+}

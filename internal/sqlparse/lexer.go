@@ -1,0 +1,172 @@
+// Package sqlparse parses the SQL dialect defined in package sqlast. The
+// engine accepts only SQL text, so the translation layer really does produce
+// a single native query string whose compilation is independently measurable.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind int
+
+const (
+	tEOF         tokenKind = iota
+	tIdent                 // bare identifier (uppercased keywords compared case-insensitively)
+	tQuotedIdent           // "name"
+	tString                // 'text'
+	tNumber                // 123 or 1.5
+	tPunct                 // operators and punctuation, Text holds the symbol
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// Error reports a SQL parse failure with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("sql: parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func lexSQL(src string) ([]token, error) {
+	var out []token
+	line, col := 1, 1
+	i := 0
+	adv := func(n int) {
+		for k := 0; k < n; k++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			adv(1)
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				adv(1)
+			}
+		case c == '"':
+			startL, startC := line, col
+			adv(1)
+			var b strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '"' {
+					if i+1 < len(src) && src[i+1] == '"' {
+						b.WriteByte('"')
+						adv(2)
+						continue
+					}
+					adv(1)
+					closed = true
+					break
+				}
+				b.WriteByte(src[i])
+				adv(1)
+			}
+			if !closed {
+				return nil, &Error{Line: startL, Col: startC, Msg: "unterminated quoted identifier"}
+			}
+			out = append(out, token{tQuotedIdent, b.String(), startL, startC})
+		case c == '\'':
+			startL, startC := line, col
+			adv(1)
+			var b strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '\'' {
+					if i+1 < len(src) && src[i+1] == '\'' {
+						b.WriteByte('\'')
+						adv(2)
+						continue
+					}
+					adv(1)
+					closed = true
+					break
+				}
+				b.WriteByte(src[i])
+				adv(1)
+			}
+			if !closed {
+				return nil, &Error{Line: startL, Col: startC, Msg: "unterminated string literal"}
+			}
+			out = append(out, token{tString, b.String(), startL, startC})
+		case c >= '0' && c <= '9':
+			startL, startC := line, col
+			start := i
+			for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+				adv(1)
+			}
+			if i < len(src) && src[i] == '.' && i+1 < len(src) && src[i+1] >= '0' && src[i+1] <= '9' {
+				adv(1)
+				for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+					adv(1)
+				}
+			}
+			if i < len(src) && (src[i] == 'e' || src[i] == 'E') {
+				j := i + 1
+				if j < len(src) && (src[j] == '+' || src[j] == '-') {
+					j++
+				}
+				if j < len(src) && src[j] >= '0' && src[j] <= '9' {
+					adv(j - i)
+					for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+						adv(1)
+					}
+				}
+			}
+			out = append(out, token{tNumber, src[start:i], startL, startC})
+		case isIdentStart(c):
+			startL, startC := line, col
+			start := i
+			for i < len(src) && isIdentPart(src[i]) {
+				adv(1)
+			}
+			out = append(out, token{tIdent, src[start:i], startL, startC})
+		default:
+			startL, startC := line, col
+			two := ""
+			if i+1 < len(src) {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "::", "=>", "<>", "!=", "<=", ">=", "||":
+				adv(2)
+				out = append(out, token{tPunct, two, startL, startC})
+				continue
+			}
+			switch c {
+			case '(', ')', ',', '.', '*', '+', '-', '/', '%', '=', '<', '>':
+				adv(1)
+				out = append(out, token{tPunct, string(c), startL, startC})
+			default:
+				return nil, &Error{Line: startL, Col: startC, Msg: fmt.Sprintf("unexpected character %q", string(c))}
+			}
+		}
+	}
+	out = append(out, token{tEOF, "", line, col})
+	return out, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9' || c == '$'
+}

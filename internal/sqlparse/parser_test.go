@@ -1,0 +1,250 @@
+package sqlparse
+
+import (
+	"testing"
+
+	"jsonpark/internal/sqlast"
+	"jsonpark/internal/variant"
+)
+
+func mustParse(t *testing.T, src string) sqlast.Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%s): %v", src, err)
+	}
+	return q
+}
+
+func TestParseFig2Query(t *testing.T) {
+	// The generated SQL of Fig. 2b in the paper.
+	src := `SELECT COUNT(DISTINCT "o_clerk") FROM (
+		SELECT * FROM (SELECT * FROM "orders")
+		WHERE (("o_totalprice" >= 90000 :: INT) AND ("o_totalprice" <= 120000 :: INT)))`
+	q := mustParse(t, src)
+	s, ok := q.(*sqlast.Select)
+	if !ok {
+		t.Fatalf("top = %T", q)
+	}
+	fc, ok := s.Items[0].Expr.(*sqlast.FuncCall)
+	if !ok || fc.Name != "COUNT" || !fc.Distinct {
+		t.Fatalf("item0 = %#v", s.Items[0].Expr)
+	}
+	sub, ok := s.From.(*sqlast.SubqueryRef)
+	if !ok {
+		t.Fatalf("from = %T", s.From)
+	}
+	inner := sub.Query.(*sqlast.Select)
+	if inner.Where == nil {
+		t.Fatal("inner WHERE missing")
+	}
+}
+
+func TestParseFlatten(t *testing.T) {
+	src := `SELECT "f".VALUE AS "jet" FROM (SELECT * FROM "adl"), LATERAL FLATTEN(INPUT => "JET", OUTER => TRUE) AS "f" WHERE "f".INDEX >= 0`
+	q := mustParse(t, src)
+	s := q.(*sqlast.Select)
+	fl, ok := s.From.(*sqlast.Flatten)
+	if !ok {
+		t.Fatalf("from = %T", s.From)
+	}
+	if !fl.Outer || fl.Alias != "f" {
+		t.Fatalf("flatten = %+v", fl)
+	}
+	cr, ok := s.Items[0].Expr.(*sqlast.ColRef)
+	if !ok || cr.Table != "f" || cr.Name != "VALUE" {
+		t.Fatalf("item = %#v", s.Items[0].Expr)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	src := `SELECT * FROM "a" LEFT OUTER JOIN (SELECT * FROM "b") AS "s" ON "a_id" = "b_id" CROSS JOIN "c"`
+	q := mustParse(t, src)
+	s := q.(*sqlast.Select)
+	outer, ok := s.From.(*sqlast.Join)
+	if !ok || outer.Kind != "CROSS" {
+		t.Fatalf("from = %#v", s.From)
+	}
+	left, ok := outer.Left.(*sqlast.Join)
+	if !ok || left.Kind != "LEFT OUTER" || left.On == nil {
+		t.Fatalf("left = %#v", outer.Left)
+	}
+}
+
+func TestParseUnionAll(t *testing.T) {
+	q := mustParse(t, `(SELECT "a" FROM "t1") UNION ALL (SELECT "a" FROM "t2")`)
+	so, ok := q.(*sqlast.SetOp)
+	if !ok || so.Op != "UNION ALL" {
+		t.Fatalf("top = %#v", q)
+	}
+}
+
+func TestParseGroupOrderLimit(t *testing.T) {
+	src := `SELECT "k", SUM("v") AS "s" FROM "t" GROUP BY "k" HAVING SUM("v") > 10 ORDER BY "s" DESC, "k" ASC LIMIT 5`
+	s := mustParse(t, src).(*sqlast.Select)
+	if len(s.GroupBy) != 1 || s.Having == nil || len(s.OrderBy) != 2 || s.Limit == nil || *s.Limit != 5 {
+		t.Fatalf("select = %+v", s)
+	}
+	if !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Fatal("order direction wrong")
+	}
+}
+
+func TestParseArrayAggWithinGroup(t *testing.T) {
+	src := `SELECT ARRAY_AGG("m") WITHIN GROUP (ORDER BY "d" ASC) AS "r" FROM "t" GROUP BY "id"`
+	s := mustParse(t, src).(*sqlast.Select)
+	fc := s.Items[0].Expr.(*sqlast.FuncCall)
+	if fc.Name != "ARRAY_AGG" || len(fc.WithinOrder) != 1 {
+		t.Fatalf("call = %#v", fc)
+	}
+}
+
+func TestParseCaseIsNullBetween(t *testing.T) {
+	src := `SELECT CASE WHEN "x" IS NULL THEN 0 WHEN "x" BETWEEN 1 AND 5 THEN 1 ELSE 2 END FROM "t"`
+	s := mustParse(t, src).(*sqlast.Select)
+	c, ok := s.Items[0].Expr.(*sqlast.CaseWhen)
+	if !ok || len(c.Whens) != 2 || c.Else == nil {
+		t.Fatalf("case = %#v", s.Items[0].Expr)
+	}
+	if _, ok := c.Whens[0].Cond.(*sqlast.IsNull); !ok {
+		t.Fatalf("when0 = %#v", c.Whens[0].Cond)
+	}
+}
+
+func TestParseBareIdentsLowercased(t *testing.T) {
+	s := mustParse(t, `SELECT Foo FROM Bar WHERE foo > 1`).(*sqlast.Select)
+	if cr := s.Items[0].Expr.(*sqlast.ColRef); cr.Name != "foo" {
+		t.Errorf("bare ident = %q", cr.Name)
+	}
+	if tr := s.From.(*sqlast.TableRef); tr.Name != "bar" {
+		t.Errorf("table = %q", tr.Name)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	s := mustParse(t, `SELECT 1, 2.5, 'it''s', TRUE, NULL, -3 FROM "t"`).(*sqlast.Select)
+	if lit := s.Items[0].Expr.(*sqlast.Lit); lit.Value.AsInt() != 1 {
+		t.Error("int literal")
+	}
+	if lit := s.Items[1].Expr.(*sqlast.Lit); lit.Value.AsFloat() != 2.5 {
+		t.Error("float literal")
+	}
+	if lit := s.Items[2].Expr.(*sqlast.Lit); lit.Value.AsString() != "it's" {
+		t.Errorf("string literal = %q", lit.Value.AsString())
+	}
+	if lit := s.Items[3].Expr.(*sqlast.Lit); !lit.Value.AsBool() {
+		t.Error("bool literal")
+	}
+	if lit := s.Items[4].Expr.(*sqlast.Lit); !lit.Value.IsNull() {
+		t.Error("null literal")
+	}
+	if u, ok := s.Items[5].Expr.(*sqlast.Unary); !ok || u.Op != "-" {
+		t.Error("negation")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`SELECT`,
+		`SELECT * FROM`,
+		`SELECT * FROM t WHERE`,
+		`SELECT * FROM (SELECT * FROM t`,
+		`SELECT 'unterminated FROM t`,
+		`SELECT * FROM t LIMIT x`,
+		`SELECT CASE END FROM t`,
+		`SELECT * FROM t, u`, // plain comma join unsupported
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestRenderParseRoundTrip(t *testing.T) {
+	queries := []sqlast.Query{
+		&sqlast.Select{
+			Items: []sqlast.SelectItem{{Star: true}},
+			From:  &sqlast.TableRef{Name: "adl"},
+			Where: sqlast.B(">", sqlast.F("GET", sqlast.C("MET"), sqlast.L(variant.String("pt"))), sqlast.L(variant.Int(10))),
+		},
+		&sqlast.Select{
+			Items: []sqlast.SelectItem{
+				{Expr: &sqlast.ColRef{Table: "f", Name: "VALUE"}, Alias: "m"},
+				{Expr: &sqlast.FuncCall{Name: "ARRAY_AGG", Args: []sqlast.Expr{sqlast.C("m")}, WithinOrder: []sqlast.OrderItem{{Expr: sqlast.C("d"), Desc: true}}}, Alias: "agg"},
+			},
+			From: &sqlast.Flatten{
+				Source: &sqlast.SubqueryRef{Query: &sqlast.Select{Items: []sqlast.SelectItem{{Star: true}}, From: &sqlast.TableRef{Name: "t"}}},
+				Input:  sqlast.C("Muon"),
+				Outer:  true,
+				Alias:  "f",
+			},
+			GroupBy: []sqlast.Expr{sqlast.C("rowid")},
+			OrderBy: []sqlast.OrderItem{{Expr: sqlast.C("rowid")}},
+			Limit:   sqlast.IntP(10),
+		},
+		&sqlast.SetOp{
+			Op:    "UNION ALL",
+			Left:  &sqlast.Select{Items: []sqlast.SelectItem{{Expr: sqlast.C("a")}}, From: &sqlast.TableRef{Name: "x"}},
+			Right: &sqlast.Select{Items: []sqlast.SelectItem{{Expr: sqlast.C("a")}}, From: &sqlast.TableRef{Name: "y"}},
+		},
+		&sqlast.Select{
+			Items: []sqlast.SelectItem{{Expr: &sqlast.CaseWhen{
+				Whens: []sqlast.WhenClause{{Cond: &sqlast.IsNull{Operand: sqlast.C("v")}, Result: sqlast.L(variant.Int(0))}},
+				Else:  &sqlast.Cast{Operand: sqlast.C("v"), Type: "DOUBLE"},
+			}, Alias: "out"}},
+			From: &sqlast.TableRef{Name: "t"},
+		},
+	}
+	for _, q := range queries {
+		text := sqlast.Render(q)
+		q2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("reparse failed for %s: %v", text, err)
+		}
+		text2 := sqlast.Render(q2)
+		if text != text2 {
+			t.Errorf("round trip unstable:\n%s\n%s", text, text2)
+		}
+	}
+}
+
+func TestLineCommentsSkipped(t *testing.T) {
+	s := mustParse(t, `SELECT "a" -- trailing comment
+		FROM "t" -- another
+		WHERE "a" > 1`).(*sqlast.Select)
+	if s.Where == nil {
+		t.Fatal("comment swallowed the WHERE clause")
+	}
+}
+
+func TestScientificNumbers(t *testing.T) {
+	s := mustParse(t, `SELECT 1.5e3, 2E-2 FROM "t"`).(*sqlast.Select)
+	if lit := s.Items[0].Expr.(*sqlast.Lit); lit.Value.AsFloat() != 1500 {
+		t.Errorf("1.5e3 = %v", lit.Value)
+	}
+	if lit := s.Items[1].Expr.(*sqlast.Lit); lit.Value.AsFloat() != 0.02 {
+		t.Errorf("2E-2 = %v", lit.Value)
+	}
+}
+
+func TestQuotedIdentEscapes(t *testing.T) {
+	s := mustParse(t, `SELECT "we""ird" FROM "t"`).(*sqlast.Select)
+	if cr := s.Items[0].Expr.(*sqlast.ColRef); cr.Name != `we"ird` {
+		t.Errorf("ident = %q", cr.Name)
+	}
+}
+
+func TestLexErrorsPositioned(t *testing.T) {
+	_, err := Parse("SELECT &\nFROM t")
+	if err == nil {
+		t.Fatal("expected lex error")
+	}
+	perr, ok := err.(*Error)
+	if !ok || perr.Line != 1 {
+		t.Errorf("err = %#v", err)
+	}
+	if _, err := Parse(`SELECT "unterminated`); err == nil {
+		t.Error("unterminated ident should fail")
+	}
+}

@@ -1,0 +1,219 @@
+// Package ssb implements the Star Schema Benchmark workload (§V-G of the
+// paper): a deterministic generator for the lineorder fact table and the
+// customer/supplier/part/date dimensions with the standard value domains,
+// the thirteen queries (Q1.1–Q4.3) expressed both in JSONiq and as
+// handwritten SQL, and execution helpers. Scale factors are re-based to
+// laptop scale: SF1 ≡ 6 000 lineorders (the official 6 M divided by 1000).
+package ssb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"jsonpark/internal/engine"
+	"jsonpark/internal/runtime"
+	"jsonpark/internal/variant"
+)
+
+// LineordersPerSF is the fact-table cardinality at scale factor 1.
+const LineordersPerSF = 6000
+
+// Sizes describes a generated database.
+type Sizes struct {
+	Lineorders int
+	Customers  int
+	Suppliers  int
+	Parts      int
+	Dates      int
+}
+
+// SizesForScaleFactor derives laptop-scale table sizes from an SSB scale
+// factor, preserving the official ratios (customer 30 k·SF, supplier
+// 2 k·SF, part ~200 k, date fixed at 7 years).
+func SizesForScaleFactor(sf float64) Sizes {
+	lo := int(sf * LineordersPerSF)
+	if lo < 64 {
+		lo = 64
+	}
+	c := int(sf * 300)
+	if c < 40 {
+		c = 40
+	}
+	s := int(sf * 100)
+	if s < 15 {
+		s = 15
+	}
+	p := int(sf * 400)
+	if p < 80 {
+		p = 80
+	}
+	return Sizes{Lineorders: lo, Customers: c, Suppliers: s, Parts: p, Dates: 7 * 365}
+}
+
+var regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var nationsByRegion = map[string][]string{
+	"AFRICA":      {"ALGERIA", "ETHIOPIA", "KENYA", "MOROCCO", "MOZAMBIQUE"},
+	"AMERICA":     {"ARGENTINA", "BRAZIL", "CANADA", "PERU", "UNITED STATES"},
+	"ASIA":        {"CHINA", "INDIA", "INDONESIA", "JAPAN", "VIETNAM"},
+	"EUROPE":      {"FRANCE", "GERMANY", "ROMANIA", "RUSSIA", "UNITED KINGDOM"},
+	"MIDDLE EAST": {"EGYPT", "IRAN", "IRAQ", "JORDAN", "SAUDI ARABIA"},
+}
+
+var mktSegments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+
+var monthNames = []string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+
+// city derives an SSB-style city name: nation prefix plus a digit.
+func city(nation string, i int) string {
+	p := nation
+	if len(p) > 9 {
+		p = p[:9]
+	}
+	return fmt.Sprintf("%s%d", p, i%10)
+}
+
+// Tables holds a generated database as in-memory rows, loadable into both
+// the columnar engine and the interpreted runtime.
+type Tables struct {
+	Lineorder []variant.Value
+	Customer  []variant.Value
+	Supplier  []variant.Value
+	Part      []variant.Value
+	Date      []variant.Value
+}
+
+// Generate builds a deterministic SSB database.
+func Generate(seed int64, sz Sizes) *Tables {
+	rng := rand.New(rand.NewSource(seed))
+	t := &Tables{}
+
+	// Date dimension: 7 years starting 1992, 365 days each (SSB convention).
+	// Smaller date tables spread evenly across the full range so every year
+	// remains represented.
+	nd := sz.Dates
+	span := 7 * 365
+	for i := 0; i < nd; i++ {
+		idx := i
+		if nd < span {
+			idx = i * span / nd
+		}
+		year := 1992 + idx/365
+		dayOfYear := idx % 365
+		month := dayOfYear / 31
+		if month > 11 {
+			month = 11
+		}
+		day := dayOfYear - month*31 + 1
+		key := year*10000 + (month+1)*100 + day
+		o := variant.NewObject()
+		o.Set("d_datekey", variant.Int(int64(key)))
+		o.Set("d_date", variant.String(fmt.Sprintf("%04d-%02d-%02d", year, month+1, day)))
+		o.Set("d_year", variant.Int(int64(year)))
+		o.Set("d_month", variant.String(monthNames[month]))
+		o.Set("d_yearmonthnum", variant.Int(int64(year*100+month+1)))
+		o.Set("d_yearmonth", variant.String(fmt.Sprintf("%s%d", monthNames[month], year)))
+		o.Set("d_weeknuminyear", variant.Int(int64(dayOfYear/7+1)))
+		o.Set("d_daynuminweek", variant.Int(int64(i%7+1)))
+		t.Date = append(t.Date, variant.ObjectValue(o))
+	}
+
+	for i := 0; i < sz.Customers; i++ {
+		region := regions[rng.Intn(len(regions))]
+		nation := nationsByRegion[region][rng.Intn(5)]
+		o := variant.NewObject()
+		o.Set("c_custkey", variant.Int(int64(i+1)))
+		o.Set("c_name", variant.String(fmt.Sprintf("Customer#%09d", i+1)))
+		o.Set("c_city", variant.String(city(nation, rng.Intn(10))))
+		o.Set("c_nation", variant.String(nation))
+		o.Set("c_region", variant.String(region))
+		o.Set("c_mktsegment", variant.String(mktSegments[rng.Intn(len(mktSegments))]))
+		t.Customer = append(t.Customer, variant.ObjectValue(o))
+	}
+
+	for i := 0; i < sz.Suppliers; i++ {
+		region := regions[rng.Intn(len(regions))]
+		nation := nationsByRegion[region][rng.Intn(5)]
+		o := variant.NewObject()
+		o.Set("s_suppkey", variant.Int(int64(i+1)))
+		o.Set("s_name", variant.String(fmt.Sprintf("Supplier#%09d", i+1)))
+		o.Set("s_city", variant.String(city(nation, rng.Intn(10))))
+		o.Set("s_nation", variant.String(nation))
+		o.Set("s_region", variant.String(region))
+		t.Supplier = append(t.Supplier, variant.ObjectValue(o))
+	}
+
+	for i := 0; i < sz.Parts; i++ {
+		mfgr := rng.Intn(5) + 1
+		cat := rng.Intn(5) + 1
+		brand := rng.Intn(40) + 1
+		o := variant.NewObject()
+		o.Set("p_partkey", variant.Int(int64(i+1)))
+		o.Set("p_name", variant.String(fmt.Sprintf("part %d", i+1)))
+		o.Set("p_mfgr", variant.String(fmt.Sprintf("MFGR#%d", mfgr)))
+		o.Set("p_category", variant.String(fmt.Sprintf("MFGR#%d%d", mfgr, cat)))
+		o.Set("p_brand1", variant.String(fmt.Sprintf("MFGR#%d%d%02d", mfgr, cat, brand)))
+		o.Set("p_size", variant.Int(int64(rng.Intn(50)+1)))
+		t.Part = append(t.Part, variant.ObjectValue(o))
+	}
+
+	for i := 0; i < sz.Lineorders; i++ {
+		quantity := int64(rng.Intn(50) + 1)
+		discount := int64(rng.Intn(11))
+		extended := int64(rng.Intn(550000) + 90000)
+		revenue := extended * (100 - discount) / 100
+		o := variant.NewObject()
+		o.Set("lo_orderkey", variant.Int(int64(i/4+1)))
+		o.Set("lo_linenumber", variant.Int(int64(i%4+1)))
+		o.Set("lo_custkey", variant.Int(int64(rng.Intn(sz.Customers)+1)))
+		o.Set("lo_partkey", variant.Int(int64(rng.Intn(sz.Parts)+1)))
+		o.Set("lo_suppkey", variant.Int(int64(rng.Intn(sz.Suppliers)+1)))
+		o.Set("lo_orderdate", t.Date[rng.Intn(len(t.Date))].Field("d_datekey"))
+		o.Set("lo_quantity", variant.Int(quantity))
+		o.Set("lo_extendedprice", variant.Int(extended))
+		o.Set("lo_discount", variant.Int(discount))
+		o.Set("lo_revenue", variant.Int(revenue))
+		o.Set("lo_supplycost", variant.Int(extended*6/10))
+		o.Set("lo_tax", variant.Int(int64(rng.Intn(9))))
+		t.Lineorder = append(t.Lineorder, variant.ObjectValue(o))
+	}
+	return t
+}
+
+// tableColumns lists each table's staging schema in order.
+var tableColumns = map[string][]string{
+	"lineorder": {"lo_orderkey", "lo_linenumber", "lo_custkey", "lo_partkey", "lo_suppkey", "lo_orderdate", "lo_quantity", "lo_extendedprice", "lo_discount", "lo_revenue", "lo_supplycost", "lo_tax"},
+	"customer":  {"c_custkey", "c_name", "c_city", "c_nation", "c_region", "c_mktsegment"},
+	"supplier":  {"s_suppkey", "s_name", "s_city", "s_nation", "s_region"},
+	"part":      {"p_partkey", "p_name", "p_mfgr", "p_category", "p_brand1", "p_size"},
+	"date":      {"d_datekey", "d_date", "d_year", "d_month", "d_yearmonthnum", "d_yearmonth", "d_weeknuminyear", "d_daynuminweek"},
+}
+
+// Load stages the generated tables into a columnar engine.
+func (t *Tables) Load(eng *engine.Engine) error {
+	for name, docs := range map[string][]variant.Value{
+		"lineorder": t.Lineorder, "customer": t.Customer,
+		"supplier": t.Supplier, "part": t.Part, "date": t.Date,
+	} {
+		tab, err := eng.Catalog().CreateTable(name, tableColumns[name])
+		if err != nil {
+			return err
+		}
+		for _, d := range docs {
+			if err := tab.AppendObject(d); err != nil {
+				return err
+			}
+		}
+		tab.Seal()
+	}
+	return nil
+}
+
+// LoadRuntime stages the tables into an interpreted engine.
+func (t *Tables) LoadRuntime(rt *runtime.Engine) {
+	rt.LoadCollection("lineorder", t.Lineorder)
+	rt.LoadCollection("customer", t.Customer)
+	rt.LoadCollection("supplier", t.Supplier)
+	rt.LoadCollection("part", t.Part)
+	rt.LoadCollection("date", t.Date)
+}

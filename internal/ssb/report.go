@@ -1,0 +1,138 @@
+package ssb
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"jsonpark/internal/bench"
+	"jsonpark/internal/engine"
+	"jsonpark/internal/snowpark"
+)
+
+// ReportConfig parameterizes the SSB figure regeneration.
+type ReportConfig struct {
+	Seed         int64
+	ScaleFactor  float64   // Fig 11a dataset size
+	ScaleFactors []float64 // Fig 11b sweep
+	Warmups      int
+	Runs         int
+	Out          io.Writer
+}
+
+// DefaultConfig returns laptop-scale defaults (the paper uses SF 1000 for
+// Fig 11a and {1,10,100,1000} for Fig 11b; re-based per DESIGN.md).
+func DefaultConfig(out io.Writer) ReportConfig {
+	return ReportConfig{
+		Seed:         7,
+		ScaleFactor:  4,
+		ScaleFactors: []float64{0.5, 1, 2, 4},
+		Warmups:      1,
+		Runs:         3,
+		Out:          out,
+	}
+}
+
+// SetupSF loads one SSB database at the given scale factor.
+func SetupSF(seed int64, sf float64) (*snowpark.Session, error) {
+	eng := engine.New()
+	tabs := Generate(seed, SizesForScaleFactor(sf))
+	if err := tabs.Load(eng); err != nil {
+		return nil, err
+	}
+	return snowpark.NewSession(eng), nil
+}
+
+func measureTotal(fn func() (*engine.Result, error), cfg ReportConfig) (time.Duration, error) {
+	var total time.Duration
+	var n int
+	_, err := bench.Measure(cfg.Warmups, cfg.Runs, func() error {
+		res, err := fn()
+		if err != nil {
+			return err
+		}
+		total += res.Metrics.Total()
+		n++
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total / time.Duration(n), nil
+}
+
+// ReportFig11a regenerates Figure 11a: total (compile + execution) time for
+// all thirteen SSB queries, generated vs handwritten, at one scale factor.
+func ReportFig11a(cfg ReportConfig) error {
+	sess, err := SetupSF(cfg.Seed, cfg.ScaleFactor)
+	if err != nil {
+		return err
+	}
+	t := bench.NewTable(
+		fmt.Sprintf("Fig 11a analogue: SSB total time at SF %g", cfg.ScaleFactor),
+		"Query", "Generated", "Handwritten")
+	for _, q := range Queries() {
+		q := q
+		gen, err := measureTotal(func() (*engine.Result, error) {
+			_, res, err := RunTranslated(sess, q)
+			return res, err
+		}, cfg)
+		if err != nil {
+			return err
+		}
+		hand, err := measureTotal(func() (*engine.Result, error) {
+			_, res, err := RunHandwritten(sess.Engine(), q)
+			return res, err
+		}, cfg)
+		if err != nil {
+			return err
+		}
+		t.AddRow(q.ID, bench.FormatDuration(gen), bench.FormatDuration(hand))
+	}
+	t.Render(cfg.Out)
+	return nil
+}
+
+// Fig11bQueries is the subset the paper plots across scale factors.
+var Fig11bQueries = []string{"q1.1", "q2.1", "q3.1", "q4.1"}
+
+// ReportFig11b regenerates Figure 11b: runtime vs scale factor for the
+// representative query of each flight.
+func ReportFig11b(cfg ReportConfig) error {
+	set := bench.NewSeriesSet("Fig 11b analogue: SSB runtime vs scale factor", "SF")
+	series := map[string]*bench.Series{}
+	for _, id := range Fig11bQueries {
+		series[id+" gen"] = set.Add(id + " gen")
+		series[id+" hand"] = set.Add(id + " hand")
+	}
+	for _, sf := range cfg.ScaleFactors {
+		sess, err := SetupSF(cfg.Seed, sf)
+		if err != nil {
+			return err
+		}
+		for _, id := range Fig11bQueries {
+			q, ok := ByID(id)
+			if !ok {
+				return fmt.Errorf("ssb: unknown query %s", id)
+			}
+			gen, err := measureTotal(func() (*engine.Result, error) {
+				_, res, err := RunTranslated(sess, q)
+				return res, err
+			}, cfg)
+			if err != nil {
+				return err
+			}
+			hand, err := measureTotal(func() (*engine.Result, error) {
+				_, res, err := RunHandwritten(sess.Engine(), q)
+				return res, err
+			}, cfg)
+			if err != nil {
+				return err
+			}
+			series[id+" gen"].Points[sf] = bench.FormatDuration(gen)
+			series[id+" hand"].Points[sf] = bench.FormatDuration(hand)
+		}
+	}
+	set.Render(cfg.Out)
+	return nil
+}

@@ -1,0 +1,40 @@
+package ssb
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReportFig11aSmoke(t *testing.T) {
+	var sb strings.Builder
+	cfg := DefaultConfig(&sb)
+	cfg.ScaleFactor = 0.02
+	cfg.Warmups = 0
+	cfg.Runs = 1
+	if err := ReportFig11a(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"Fig 11a", "q1.1", "q4.3", "Generated", "Handwritten"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestReportFig11bSmoke(t *testing.T) {
+	var sb strings.Builder
+	cfg := DefaultConfig(&sb)
+	cfg.ScaleFactors = []float64{0.02, 0.04}
+	cfg.Warmups = 0
+	cfg.Runs = 1
+	if err := ReportFig11b(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, frag := range []string{"Fig 11b", "q1.1 gen", "q4.1 hand", "0.02", "0.04"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q:\n%s", frag, out)
+		}
+	}
+}

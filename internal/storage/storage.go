@@ -1,0 +1,381 @@
+// Package storage implements the physical layer of the embedded engine,
+// modeled on Snowflake's storage design (§II-B of the paper): tables are
+// split into horizontal micro-partitions; within a partition data is stored
+// per column; VARIANT values are transparently shredded into typed leaf-path
+// subcolumns with per-path statistics (zone maps, null counts, byte sizes).
+// The engine uses those statistics for partition pruning and for
+// bytes-scanned accounting, and never requires a user-declared schema.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"jsonpark/internal/variant"
+)
+
+// DefaultPartitionBytes is the target uncompressed size of one
+// micro-partition. Snowflake targets 50–500 MB; the embedded engine defaults
+// to a laptop-scale 4 MiB so that multi-partition behaviour (pruning,
+// per-partition zone maps) is exercised even on small datasets.
+const DefaultPartitionBytes = 4 << 20
+
+// Catalog is the collection of tables known to one engine instance.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// CreateTable registers a new table with the given top-level column names.
+// Column order is the staging order; every row holds one value per column.
+func (c *Catalog) CreateTable(name string, columns []string) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.tables[name]; exists {
+		return nil, fmt.Errorf("storage: table %q already exists", name)
+	}
+	t := NewTable(name, columns)
+	c.tables[name] = t
+	return t, nil
+}
+
+// DropTable removes a table if present.
+func (c *Catalog) DropTable(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.tables, name)
+}
+
+// Table returns the named table.
+func (c *Catalog) Table(name string) (*Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: table %q does not exist", name)
+	}
+	return t, nil
+}
+
+// TableNames lists the catalog's tables in sorted order.
+func (c *Catalog) TableNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Table is a stored table: an ordered list of sealed micro-partitions plus
+// one open partition receiving appends.
+type Table struct {
+	Name    string
+	Columns []string
+
+	mu          sync.RWMutex
+	partitions  []*Partition
+	open        *Partition
+	targetBytes int64
+	colIndex    map[string]int
+}
+
+// NewTable constructs a standalone table (outside any catalog); used by
+// tests and loaders.
+func NewTable(name string, columns []string) *Table {
+	t := &Table{
+		Name:        name,
+		Columns:     append([]string(nil), columns...),
+		targetBytes: DefaultPartitionBytes,
+		colIndex:    make(map[string]int, len(columns)),
+	}
+	for i, c := range columns {
+		t.colIndex[c] = i
+	}
+	t.open = newPartition(t.Columns)
+	return t
+}
+
+// SetTargetPartitionBytes overrides the micro-partition size target. It only
+// affects subsequent appends.
+func (t *Table) SetTargetPartitionBytes(n int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n > 0 {
+		t.targetBytes = n
+	}
+}
+
+// ColumnIndex returns the position of a column, or -1.
+func (t *Table) ColumnIndex(name string) int {
+	if i, ok := t.colIndex[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Append adds one row. The row must have exactly one value per column, in
+// column order. The open partition is sealed when it reaches the size target.
+func (t *Table) Append(row []variant.Value) error {
+	if len(row) != len(t.Columns) {
+		return fmt.Errorf("storage: table %q expects %d columns, got %d", t.Name, len(t.Columns), len(row))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.open.append(row)
+	if t.open.bytes >= t.targetBytes {
+		t.sealLocked()
+	}
+	return nil
+}
+
+// AppendObject adds one row from an object value: each table column is taken
+// from the object's same-named field (missing fields become NULL). This is
+// the schema-oblivious multi-column staging of §III-C.
+func (t *Table) AppendObject(obj variant.Value) error {
+	row := make([]variant.Value, len(t.Columns))
+	for i, c := range t.Columns {
+		row[i] = obj.Field(c)
+	}
+	return t.Append(row)
+}
+
+func (t *Table) sealLocked() {
+	if t.open.rows == 0 {
+		return
+	}
+	t.open.finalize()
+	t.partitions = append(t.partitions, t.open)
+	t.open = newPartition(t.Columns)
+}
+
+// Seal closes the open partition so that all data is visible to scans with
+// final statistics. Appending after Seal opens a new partition.
+func (t *Table) Seal() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sealLocked()
+}
+
+// Partitions returns the sealed micro-partitions, sealing the open partition
+// first so scans always observe every appended row. Callers must not mutate
+// the result.
+func (t *Table) Partitions() []*Partition {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.open.rows > 0 {
+		t.sealLocked()
+	}
+	return t.partitions
+}
+
+// NumRows returns the total row count.
+func (t *Table) NumRows() int64 {
+	var n int64
+	for _, p := range t.Partitions() {
+		n += int64(p.rows)
+	}
+	return n
+}
+
+// TotalBytes returns the total uncompressed byte size across partitions.
+func (t *Table) TotalBytes() int64 {
+	var n int64
+	for _, p := range t.Partitions() {
+		n += p.bytes
+	}
+	return n
+}
+
+// Partition is one horizontal micro-partition holding columnar data and
+// per-leaf-path statistics.
+type Partition struct {
+	columns []string
+	chunks  []*ColumnChunk
+	rows    int
+	bytes   int64
+}
+
+func newPartition(columns []string) *Partition {
+	p := &Partition{columns: columns, chunks: make([]*ColumnChunk, len(columns))}
+	for i := range p.chunks {
+		p.chunks[i] = &ColumnChunk{stats: make(map[string]*PathStats)}
+	}
+	return p
+}
+
+func (p *Partition) append(row []variant.Value) {
+	for i, v := range row {
+		p.chunks[i].append(v)
+		p.bytes += v.DeepSizeBytes()
+	}
+	p.rows++
+}
+
+func (p *Partition) finalize() {}
+
+// NumRows returns the partition's row count.
+func (p *Partition) NumRows() int { return p.rows }
+
+// Bytes returns the partition's total uncompressed size.
+func (p *Partition) Bytes() int64 { return p.bytes }
+
+// Column returns the chunk for column index i.
+func (p *Partition) Column(i int) *ColumnChunk { return p.chunks[i] }
+
+// ColumnChunk stores one column of one partition: the row-major values plus
+// the shredded leaf-path statistics that make VARIANT data behave like
+// relational columns for pruning and scan accounting.
+type ColumnChunk struct {
+	values []variant.Value
+	bytes  int64
+	stats  map[string]*PathStats
+}
+
+// PathStats is the zone map of one leaf path inside a column chunk:
+// min/max over non-null scalar values, the null count, and the byte volume
+// attributable to that path.
+type PathStats struct {
+	Min, Max  variant.Value
+	NonNull   int
+	NullCount int
+	Bytes     int64
+}
+
+func (cc *ColumnChunk) append(v variant.Value) {
+	cc.values = append(cc.values, v)
+	cc.bytes += v.DeepSizeBytes()
+	cc.shred("", v)
+}
+
+// shred records statistics for every leaf path of v. Array elements share
+// the path of their array with an "[]" marker, matching Dremel-style
+// repeated-field columns.
+func (cc *ColumnChunk) shred(path string, v variant.Value) {
+	switch v.Kind() {
+	case variant.KindObject:
+		o := v.AsObject()
+		for i, k := range o.Keys() {
+			sub := k
+			if path != "" {
+				sub = path + "." + k
+			}
+			cc.shred(sub, o.ValueAt(i))
+		}
+	case variant.KindArray:
+		sub := path + "[]"
+		for _, e := range v.AsArray() {
+			cc.shred(sub, e)
+		}
+		if len(v.AsArray()) == 0 {
+			cc.stat(sub).Bytes += 8
+		}
+	default:
+		st := cc.stat(path)
+		st.Bytes += v.DeepSizeBytes()
+		if v.IsNull() {
+			st.NullCount++
+			return
+		}
+		if st.NonNull == 0 {
+			st.Min, st.Max = v, v
+		} else {
+			if variant.Compare(v, st.Min) < 0 {
+				st.Min = v
+			}
+			if variant.Compare(v, st.Max) > 0 {
+				st.Max = v
+			}
+		}
+		st.NonNull++
+	}
+}
+
+func (cc *ColumnChunk) stat(path string) *PathStats {
+	st, ok := cc.stats[path]
+	if !ok {
+		st = &PathStats{}
+		cc.stats[path] = st
+	}
+	return st
+}
+
+// Values returns the chunk's row-major values. Callers must not mutate.
+func (cc *ColumnChunk) Values() []variant.Value { return cc.values }
+
+// Bytes returns the chunk's uncompressed size.
+func (cc *ColumnChunk) Bytes() int64 { return cc.bytes }
+
+// PathStat returns the statistics for a leaf path ("" for a scalar column,
+// "pt" for field pt, "[]" or "[].pt" inside arrays), or nil if the path
+// never occurred.
+func (cc *ColumnChunk) PathStat(path string) *PathStats { return cc.stats[path] }
+
+// Paths lists the chunk's leaf paths in sorted order.
+func (cc *ColumnChunk) Paths() []string {
+	out := make([]string, 0, len(cc.stats))
+	for p := range cc.stats {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PruneOp is a comparison usable against zone maps.
+type PruneOp int
+
+// Prune operators.
+const (
+	PruneEq PruneOp = iota
+	PruneLt
+	PruneLe
+	PruneGt
+	PruneGe
+)
+
+// PrunePredicate describes one scan-level conjunct `column.path op literal`
+// derived by the optimizer from a pushed-down filter.
+type PrunePredicate struct {
+	Column string
+	Path   string // leaf path within the column ("" for scalar columns)
+	Op     PruneOp
+	Value  variant.Value
+}
+
+// MayMatch reports whether the partition could contain rows satisfying the
+// predicate, based on the path's zone map. Missing statistics return true
+// (cannot prune).
+func (p *Partition) MayMatch(colIndex int, pred PrunePredicate) bool {
+	if colIndex < 0 || colIndex >= len(p.chunks) {
+		return true
+	}
+	st := p.chunks[colIndex].PathStat(pred.Path)
+	if st == nil || st.NonNull == 0 {
+		// The path never occurred (or held only NULLs) in this partition,
+		// so every access yields NULL and the comparison can never be true:
+		// the partition is safely pruneable.
+		return false
+	}
+	min, max := st.Min, st.Max
+	switch pred.Op {
+	case PruneEq:
+		return variant.Compare(pred.Value, min) >= 0 && variant.Compare(pred.Value, max) <= 0
+	case PruneLt:
+		return variant.Compare(min, pred.Value) < 0
+	case PruneLe:
+		return variant.Compare(min, pred.Value) <= 0
+	case PruneGt:
+		return variant.Compare(max, pred.Value) > 0
+	case PruneGe:
+		return variant.Compare(max, pred.Value) >= 0
+	}
+	return true
+}

@@ -1,0 +1,189 @@
+// Package jsonpark is an embedded analytical engine that executes JSONiq —
+// a query language designed for nested data — by translating each query
+// into a single native SQL query over a columnar, micro-partitioned storage
+// engine, through a lazy data-frame API.
+//
+// It is a from-scratch reproduction of "Addressing the Nested Data
+// Processing Gap: JSONiq Queries on Snowflake Through Snowpark" (ICDE 2024):
+// the JSONiq frontend lowers a query to an expression tree and an iterator
+// tree; the translator maps FLWOR iterators to DataFrame operations and
+// non-FLWOR iterators to Column expressions; nested queries re-aggregate via
+// row-ID injection, LATERAL FLATTEN and ARRAY_AGG, with both published
+// strategies against erroneous object elimination (a KEEP flag column, or a
+// copy + left outer join). An interpreted back-end executes the same
+// iterator tree directly and stands in for the paper's DSQL baselines.
+//
+// Quick start:
+//
+//	w := jsonpark.Open()
+//	w.CreateCollection("orders", []string{"id", "items"})
+//	w.LoadJSON("orders", `{"id": 1, "items": [{"sku": "a", "qty": 2}]}`)
+//	res, err := w.Query(`
+//	    for $o in collection("orders")
+//	    for $i in $o.items[]
+//	    return {"id": $o.id, "sku": $i.sku}`)
+package jsonpark
+
+import (
+	"fmt"
+
+	"jsonpark/internal/core"
+	"jsonpark/internal/engine"
+	"jsonpark/internal/jsoniq"
+	"jsonpark/internal/runtime"
+	"jsonpark/internal/snowpark"
+	"jsonpark/internal/variant"
+)
+
+// Value is the dynamically typed value model (the VARIANT analogue): null,
+// boolean, integer, double, string, array or object.
+type Value = variant.Value
+
+// Result is a completed query with column names, rows and execution metrics.
+type Result = engine.Result
+
+// Metrics reports per-query compile time, execution time, bytes scanned and
+// partition-pruning counts.
+type Metrics = engine.Metrics
+
+// Strategy selects the nested-query object-elimination handling.
+type Strategy = core.Strategy
+
+// Strategies: the flag-column approach (default), the JOIN-based approach,
+// and the automatic per-query chooser (the paper's §IV-E future work).
+const (
+	StrategyKeepFlag = core.StrategyKeepFlag
+	StrategyJoin     = core.StrategyJoin
+	StrategyAuto     = core.StrategyAuto
+)
+
+// ParseJSON decodes one JSON document into a Value.
+func ParseJSON(data string) (Value, error) { return variant.ParseJSON([]byte(data)) }
+
+// Warehouse is one embedded database: a catalog of collections plus the
+// translation and execution pipeline.
+type Warehouse struct {
+	eng  *engine.Engine
+	sess *snowpark.Session
+	docs map[string][]Value
+}
+
+// Open creates an empty in-memory warehouse.
+func Open() *Warehouse {
+	eng := engine.New()
+	return &Warehouse{
+		eng:  eng,
+		sess: snowpark.NewSession(eng),
+		docs: make(map[string][]Value),
+	}
+}
+
+// CreateCollection registers a collection staged with one column per listed
+// top-level field (the multi-column VARIANT staging of the paper's §III-C).
+func (w *Warehouse) CreateCollection(name string, columns []string) error {
+	_, err := w.eng.Catalog().CreateTable(name, columns)
+	return err
+}
+
+// LoadObject appends one object; each staged column takes the same-named
+// top-level field (missing fields become NULL).
+func (w *Warehouse) LoadObject(collection string, v Value) error {
+	t, err := w.eng.Catalog().Table(collection)
+	if err != nil {
+		return err
+	}
+	if err := t.AppendObject(v); err != nil {
+		return err
+	}
+	w.docs[collection] = append(w.docs[collection], v)
+	return nil
+}
+
+// LoadJSON appends one JSON document.
+func (w *Warehouse) LoadJSON(collection, doc string) error {
+	v, err := ParseJSON(doc)
+	if err != nil {
+		return err
+	}
+	return w.LoadObject(collection, v)
+}
+
+// QueryOption customizes translation.
+type QueryOption func(*core.Options)
+
+// WithStrategy selects the nested-query elimination strategy.
+func WithStrategy(s Strategy) QueryOption {
+	return func(o *core.Options) { o.Strategy = s }
+}
+
+// Translate compiles a JSONiq query to its single native SQL string without
+// executing it.
+func (w *Warehouse) Translate(jsoniqSrc string, opts ...QueryOption) (string, error) {
+	var o core.Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	res, err := core.Translate(w.sess, jsoniqSrc, o)
+	if err != nil {
+		return "", err
+	}
+	return res.SQL, nil
+}
+
+// Query translates and executes a JSONiq query. The result has one column,
+// "result", holding the returned items.
+func (w *Warehouse) Query(jsoniqSrc string, opts ...QueryOption) (*Result, error) {
+	var o core.Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	res, err := core.Translate(w.sess, jsoniqSrc, o)
+	if err != nil {
+		return nil, err
+	}
+	return res.DataFrame.Collect()
+}
+
+// QueryItems is Query returning the bare result items.
+func (w *Warehouse) QueryItems(jsoniqSrc string, opts ...QueryOption) ([]Value, error) {
+	res, err := w.Query(jsoniqSrc, opts...)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]Value, len(res.Rows))
+	for i, row := range res.Rows {
+		if len(row) != 1 {
+			return nil, fmt.Errorf("jsonpark: unexpected row arity %d", len(row))
+		}
+		items[i] = row[0]
+	}
+	return items, nil
+}
+
+// SQL executes a raw SQL query against the engine directly.
+func (w *Warehouse) SQL(sql string) (*Result, error) { return w.eng.Query(sql) }
+
+// ExplainSQL renders the optimized plan of a SQL query.
+func (w *Warehouse) ExplainSQL(sql string) (string, error) { return w.eng.Explain(sql) }
+
+// QueryInterpreted executes the JSONiq query on the interpreted iterator
+// back-end (the DSQL-engine baseline) over the same loaded documents.
+func (w *Warehouse) QueryInterpreted(jsoniqSrc string) ([]Value, error) {
+	expr, err := jsoniq.Parse(jsoniqSrc)
+	if err != nil {
+		return nil, err
+	}
+	rt := runtime.New(runtime.ProfileDefault)
+	for name, docs := range w.docs {
+		rt.LoadCollection(name, docs)
+	}
+	return rt.Run(jsoniq.Rewrite(expr))
+}
+
+// Engine exposes the underlying SQL engine (advanced use: catalog access,
+// custom staging, metrics inspection).
+func (w *Warehouse) Engine() *engine.Engine { return w.eng }
+
+// Session exposes the data-frame session for programmatic query building
+// with the snowpark-style API.
+func (w *Warehouse) Session() *snowpark.Session { return w.sess }
