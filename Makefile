@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test vet race check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The observability substrate (internal/obsv) is shared by concurrent server
+# queries; the race detector run is the gate that keeps it race-clean.
+race:
+	$(GO) test -race ./...
+
+check: build vet test race
+
+bench:
+	$(GO) run ./cmd/adlbench -events 2000 -runs 1 -json BENCH_ADL.json
+	$(GO) run ./cmd/ssbbench -sf 1 -sfs 0.5,1 -runs 1 -json BENCH_SSB.json
+
+clean:
+	rm -f BENCH_ADL.json BENCH_SSB.json

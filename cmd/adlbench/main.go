@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"jsonpark/internal/adl"
+	"jsonpark/internal/bench"
 )
 
 func main() {
@@ -29,9 +30,13 @@ func main() {
 	cutoff := flag.Duration("cutoff", 15*time.Second, "per-run cutoff (paper: 10 minutes)")
 	powers := flag.String("powers", "-7,-6,-5,-4,-3,-2,-1,0", "fig10 scale factors as powers of two")
 	experiments := flag.String("experiments", "all", "comma-separated experiment list")
+	jsonOut := flag.String("json", "", "also write machine-readable run results to this path (e.g. BENCH_ADL.json)")
 	flag.Parse()
 
 	cfg := adl.DefaultConfig(os.Stdout)
+	if *jsonOut != "" {
+		cfg.Recorder = bench.NewRecorder("adlbench")
+	}
 	cfg.Events = *events
 	cfg.Seed = *seed
 	cfg.Runs = *runs
@@ -69,6 +74,12 @@ func main() {
 		if err := all[name](cfg); err != nil {
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
+	}
+	if *jsonOut != "" {
+		if err := cfg.Recorder.WriteFile(*jsonOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "adlbench: wrote %d records to %s\n", len(cfg.Recorder.Records()), *jsonOut)
 	}
 }
 

@@ -8,6 +8,7 @@
 //	jsq -data events.jsonl -collection adl [-columns EVENT,MET,...] 'for $e in ...'
 //	jsq -data events.jsonl -sql-only 'for $e in ...'      # print generated SQL
 //	jsq -data events.jsonl -explain '...'                 # print engine plan
+//	jsq -data events.jsonl -explain-analyze '...'         # run + per-operator stats
 //	jsq -demo '...'                                       # tiny built-in dataset
 //	echo 'for $e in ...' | jsq -data events.jsonl         # query from stdin
 package main
@@ -32,6 +33,7 @@ func main() {
 	strategy := flag.String("strategy", "keep-flag", "nested-query strategy: keep-flag | join")
 	sqlOnly := flag.Bool("sql-only", false, "print the generated SQL and exit")
 	explain := flag.Bool("explain", false, "print the optimized engine plan and exit")
+	explainAnalyze := flag.Bool("explain-analyze", false, "execute and print the plan annotated with per-operator rows, wall time and scan stats")
 	metrics := flag.Bool("metrics", false, "print execution metrics")
 	demo := flag.Bool("demo", false, "load a tiny built-in orders dataset")
 	repl := flag.Bool("repl", false, "interactive mode: queries end with a ';' line")
@@ -105,6 +107,19 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(plan)
+		return
+	}
+	if *explainAnalyze {
+		rep, err := w.QueryTraced(query, jsonpark.WithStrategy(strat), jsonpark.WithAnalyze())
+		if err != nil {
+			fatal(err)
+		}
+		m := rep.Result.Metrics
+		fmt.Printf("-- trace %s strategy=%s rows=%d compile=%s exec=%s\n",
+			rep.TraceID, rep.Strategy, m.RowsReturned, m.CompileTime, m.ExecTime)
+		fmt.Print(rep.RenderAnalyze())
+		fmt.Println("-- stages")
+		fmt.Print(rep.Trace.Root.Render())
 		return
 	}
 	res, err := w.Query(query, jsonpark.WithStrategy(strat))

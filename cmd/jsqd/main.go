@@ -12,18 +12,26 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
+	"time"
 
 	"jsonpark"
 
 	"jsonpark/internal/server"
 )
+
+// shutdownGrace bounds how long in-flight requests may run after a signal.
+const shutdownGrace = 10 * time.Second
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -37,8 +45,37 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	log.Printf("jsqd listening on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, server.New(w)))
+
+	srv := &http.Server{Addr: *addr, Handler: server.New(w)}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("jsqd listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("jsqd shutting down (grace %s)", shutdownGrace)
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("jsqd shutdown: %v", err)
+	}
+	logFinalMetrics(w)
+}
+
+// logFinalMetrics writes the lifetime metrics snapshot so a scrape gap at
+// shutdown loses nothing.
+func logFinalMetrics(w *jsonpark.Warehouse) {
+	var sb strings.Builder
+	w.Observer().Registry.Expose(&sb)
+	log.Printf("jsqd final metrics snapshot:\n%s", sb.String())
 }
 
 func preload(w *jsonpark.Warehouse, collection, path string) error {

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 
+	"jsonpark/internal/bench"
 	"jsonpark/internal/ssb"
 )
 
@@ -24,9 +25,13 @@ func main() {
 	runs := flag.Int("runs", 3, "measured runs per data point")
 	warmups := flag.Int("warmups", 1, "warmup runs per data point")
 	experiments := flag.String("experiments", "all", "fig11a, fig11b or all")
+	jsonOut := flag.String("json", "", "also write machine-readable run results to this path (e.g. BENCH_SSB.json)")
 	flag.Parse()
 
 	cfg := ssb.DefaultConfig(os.Stdout)
+	if *jsonOut != "" {
+		cfg.Recorder = bench.NewRecorder("ssbbench")
+	}
 	cfg.ScaleFactor = *sf
 	cfg.Seed = *seed
 	cfg.Runs = *runs
@@ -53,6 +58,12 @@ func main() {
 		if err := ssb.ReportFig11b(cfg); err != nil {
 			fatal(err)
 		}
+	}
+	if *jsonOut != "" {
+		if err := cfg.Recorder.WriteFile(*jsonOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ssbbench: wrote %d records to %s\n", len(cfg.Recorder.Records()), *jsonOut)
 	}
 }
 

@@ -28,6 +28,9 @@ type ReportConfig struct {
 	// powers of two relative to Events (the paper uses 2^-16 … 2^6).
 	ScalePowers []int
 	Out         io.Writer
+	// Recorder, when non-nil, accumulates every data point in machine-
+	// readable form alongside the text tables (adlbench -json).
+	Recorder *bench.Recorder
 }
 
 // DefaultConfig returns laptop-scale defaults.
@@ -102,6 +105,7 @@ func ReportFig6(cfg ReportConfig) error {
 		if err != nil {
 			return err
 		}
+		cfg.Recorder.AddMeasurement("fig6", q.ID, "translate", m)
 		t.AddRow(q.ID, bench.FormatDuration(m.Mean))
 	}
 	t.Render(cfg.Out)
@@ -130,6 +134,8 @@ func ReportFig7(cfg ReportConfig) error {
 		if err != nil {
 			return err
 		}
+		cfg.Recorder.Add(bench.Record{Experiment: "fig7", Query: q.ID, System: "generated", MeanMicros: gen.Microseconds()})
+		cfg.Recorder.Add(bench.Record{Experiment: "fig7", Query: q.ID, System: "handwritten", MeanMicros: hand.Microseconds()})
 		t.AddRow(q.ID, bench.FormatDuration(gen), bench.FormatDuration(hand))
 	}
 	t.Render(cfg.Out)
@@ -171,6 +177,8 @@ func ReportFig8(cfg ReportConfig) error {
 		if err != nil {
 			return err
 		}
+		cfg.Recorder.Add(bench.Record{Experiment: "fig8", Query: q.ID, System: "generated", MeanMicros: gen.Microseconds()})
+		cfg.Recorder.Add(bench.Record{Experiment: "fig8", Query: q.ID, System: "handwritten", MeanMicros: hand.Microseconds()})
 		t.AddRow(q.ID, bench.FormatDuration(gen), bench.FormatDuration(hand))
 	}
 	t.Render(cfg.Out)
@@ -242,6 +250,7 @@ func ReportFig9(cfg ReportConfig) error {
 			if err != nil {
 				return fmt.Errorf("%s on %s: %w", q.ID, sys, err)
 			}
+			cfg.Recorder.AddMeasurement("fig9", q.ID, sys, m)
 			cell := bench.FormatDuration(m.Mean)
 			if m.TimedOut {
 				cell = ">" + bench.FormatDuration(cfg.Cutoff)
@@ -274,6 +283,8 @@ func ReportScanned(cfg ReportConfig) error {
 			return err
 		}
 		ratio := float64(gen.Metrics.BytesScanned) / float64(hand.Metrics.BytesScanned)
+		cfg.Recorder.Add(bench.Record{Experiment: "scanned", Query: q.ID, System: "generated", BytesScanned: gen.Metrics.BytesScanned})
+		cfg.Recorder.Add(bench.Record{Experiment: "scanned", Query: q.ID, System: "handwritten", BytesScanned: hand.Metrics.BytesScanned})
 		t.AddRow(q.ID, bench.FormatBytes(gen.Metrics.BytesScanned),
 			bench.FormatBytes(hand.Metrics.BytesScanned), fmt.Sprintf("%.2fx", ratio))
 	}
@@ -315,6 +326,10 @@ func ReportFig10(cfg ReportConfig) error {
 				if err != nil {
 					return fmt.Errorf("%s on %s at 2^%d: %w", q.ID, sys, p, err)
 				}
+				cfg.Recorder.Add(bench.Record{
+					Experiment: "fig10", Query: q.ID, System: sys, Scale: float64(p),
+					MeanMicros: m.Mean.Microseconds(), Runs: m.Runs, TimedOut: m.TimedOut,
+				})
 				if m.TimedOut {
 					series[sys].Points[float64(p)] = "cutoff"
 					dead[sys] = true
@@ -378,6 +393,9 @@ func ReportAblation(cfg ReportConfig) error {
 			return err
 		}
 		pick := core.ChooseStrategy(core.StrategyAuto, jsoniq.Rewrite(expr))
+		cfg.Recorder.Add(bench.Record{Experiment: "ablation", Query: q.ID, System: "keep-flag", MeanMicros: mk.Mean.Microseconds(), Runs: mk.Runs, BytesScanned: keepBytes})
+		cfg.Recorder.Add(bench.Record{Experiment: "ablation", Query: q.ID, System: "join", MeanMicros: mj.Mean.Microseconds(), Runs: mj.Runs, BytesScanned: joinBytes})
+		cfg.Recorder.Add(bench.Record{Experiment: "ablation", Query: q.ID, System: "auto:" + pick.String(), MeanMicros: ma.Mean.Microseconds(), Runs: ma.Runs})
 		t.AddRow(q.ID, bench.FormatDuration(mk.Mean), bench.FormatDuration(mj.Mean),
 			bench.FormatDuration(ma.Mean), pick.String(),
 			bench.FormatBytes(keepBytes), bench.FormatBytes(joinBytes))

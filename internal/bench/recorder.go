@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+)
+
+// Record is one measured data point of a benchmark run, machine-readable so
+// runs can be diffed and plotted without re-parsing the text tables.
+type Record struct {
+	Experiment   string  `json:"experiment"`
+	Query        string  `json:"query"`
+	System       string  `json:"system,omitempty"`
+	Scale        float64 `json:"scale,omitempty"`
+	MeanMicros   int64   `json:"mean_us"`
+	Runs         int     `json:"runs,omitempty"`
+	TimedOut     bool    `json:"timed_out,omitempty"`
+	BytesScanned int64   `json:"bytes_scanned,omitempty"`
+}
+
+// Recorder accumulates Records alongside the text report. A nil *Recorder is
+// valid and drops everything, so report code records unconditionally.
+type Recorder struct {
+	Label   string
+	records []Record
+}
+
+// NewRecorder creates an empty recorder labeled with the benchmark name.
+func NewRecorder(label string) *Recorder { return &Recorder{Label: label} }
+
+// Add appends one record; no-op on a nil receiver.
+func (r *Recorder) Add(rec Record) {
+	if r == nil {
+		return
+	}
+	r.records = append(r.records, rec)
+}
+
+// AddMeasurement records a Measurement under an experiment/query/system key.
+func (r *Recorder) AddMeasurement(experiment, query, system string, m Measurement) {
+	r.Add(Record{
+		Experiment: experiment,
+		Query:      query,
+		System:     system,
+		MeanMicros: m.Mean.Microseconds(),
+		Runs:       m.Runs,
+		TimedOut:   m.TimedOut,
+	})
+}
+
+// Records returns the accumulated records (nil-safe).
+func (r *Recorder) Records() []Record {
+	if r == nil {
+		return nil
+	}
+	return r.records
+}
+
+// runFile is the serialized shape of one benchmark run.
+type runFile struct {
+	Label       string   `json:"label"`
+	GeneratedAt string   `json:"generated_at"`
+	Records     []Record `json:"records"`
+}
+
+// WriteFile writes the run as indented JSON; no-op on a nil receiver.
+func (r *Recorder) WriteFile(path string) error {
+	if r == nil {
+		return nil
+	}
+	data, err := json.MarshalIndent(runFile{
+		Label:       r.Label,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Records:     r.records,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

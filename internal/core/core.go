@@ -14,6 +14,7 @@ import (
 
 	"jsonpark/internal/iterplan"
 	"jsonpark/internal/jsoniq"
+	"jsonpark/internal/obsv"
 	"jsonpark/internal/snowpark"
 )
 
@@ -78,6 +79,11 @@ func countNestedQueries(e jsoniq.Expr) int {
 // Options configures one translation.
 type Options struct {
 	Strategy Strategy
+	// Span, when non-nil, receives one child span per lowering stage
+	// (jsoniq.lex/parse/rewrite, iterplan.build, core.translate,
+	// snowpark.render) so translation-layer overheads are individually
+	// timed, per the paper's §V breakdown.
+	Span *obsv.Span
 }
 
 // Result is a completed translation.
@@ -88,30 +94,49 @@ type Result struct {
 	SQL string
 	// Census counts the iterators the translation visited (Table II).
 	Census iterplan.CensusResult
+	// Strategy is the resolved nested-query strategy (Auto decided).
+	Strategy Strategy
 }
 
 // Translate parses, rewrites and translates a JSONiq query into a single
 // SQL query bound to the session's engine. Every translated query produces
 // one column named "result" holding the returned items in row order.
 func Translate(sess *snowpark.Session, src string, opts Options) (*Result, error) {
-	expr, err := jsoniq.Parse(src)
+	sp := opts.Span
+	expr, err := jsoniq.ParseTraced(src, sp)
 	if err != nil {
 		return nil, err
 	}
+	rwsp := sp.Child("jsoniq.rewrite")
 	expr = jsoniq.Rewrite(expr)
+	rwsp.End()
+	bsp := sp.Child("iterplan.build")
 	iters, err := iterplan.Build(expr)
 	if err != nil {
+		bsp.End()
 		return nil, err
 	}
+	census := iterplan.Census(iters)
+	bsp.SetAttr("iterators", census.Total())
+	bsp.SetAttr("flwor-iterators", census.FLWOR)
+	bsp.End()
 	opts.Strategy = ChooseStrategy(opts.Strategy, expr)
+	tsp := sp.Child("core.translate")
+	tsp.SetAttr("strategy", opts.Strategy.String())
 	df, err := TranslateExpr(sess, expr, opts)
+	tsp.End()
 	if err != nil {
 		return nil, err
 	}
+	rsp := sp.Child("snowpark.render")
+	sql := df.SQL()
+	rsp.SetAttr("sql-bytes", len(sql))
+	rsp.End()
 	return &Result{
 		DataFrame: df,
-		SQL:       df.SQL(),
-		Census:    iterplan.Census(iters),
+		SQL:       sql,
+		Census:    census,
+		Strategy:  opts.Strategy,
 	}, nil
 }
 

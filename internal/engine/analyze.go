@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"jsonpark/internal/sqlast"
+	"jsonpark/internal/variant"
+)
+
+// OpStats accumulates one operator's runtime statistics when a query is
+// prepared with Analyze. Scan-only fields (bytes, partitions, batches) stay
+// zero on other operators. Stats belong to a single query execution and are
+// written by its one goroutine; snapshots for reporting are taken after Run.
+type OpStats struct {
+	RowsOut          int64         // rows emitted by this operator
+	Calls            int64         // Next() invocations (rows + the final EOF)
+	WallTime         time.Duration // inclusive: covers all children
+	BytesScanned     int64         // scan: column-chunk bytes materialized
+	PartitionsTotal  int           // scan: partitions considered
+	PartitionsPruned int           // scan: partitions skipped via zone maps
+	Batches          int64         // scan: partitions actually materialized
+}
+
+// statIter wraps an operator's iterator, metering rows out and inclusive
+// wall time. Children are wrapped too, so self time is recoverable as
+// inclusive minus the children's inclusive times.
+type statIter struct {
+	in rowIter
+	st *OpStats
+}
+
+func (s *statIter) Next() ([]variant.Value, error) {
+	start := time.Now()
+	row, err := s.in.Next()
+	s.st.WallTime += time.Since(start)
+	s.st.Calls++
+	if row != nil {
+		s.st.RowsOut++
+	}
+	return row, err
+}
+
+// statsFor returns the stats slot for a plan node, or nil when the query is
+// not being analyzed.
+func (c *execContext) statsFor(n Node) *OpStats {
+	if c.stats == nil {
+		return nil
+	}
+	st, ok := c.stats[n]
+	if !ok {
+		st = &OpStats{}
+		c.stats[n] = st
+	}
+	return st
+}
+
+// PlanStats is the annotated plan tree of an analyzed query: one node per
+// operator carrying its description and runtime statistics. RowsIn is the
+// sum of the children's RowsOut; SelfTime subtracts the children's inclusive
+// times from this operator's.
+type PlanStats struct {
+	Op               string       `json:"op"`
+	Detail           string       `json:"detail,omitempty"`
+	RowsIn           int64        `json:"rows_in"`
+	RowsOut          int64        `json:"rows_out"`
+	TimeUS           int64        `json:"time_us"`
+	SelfTimeUS       int64        `json:"self_time_us"`
+	BytesScanned     int64        `json:"bytes_scanned,omitempty"`
+	PartitionsTotal  int          `json:"partitions_total,omitempty"`
+	PartitionsPruned int          `json:"partitions_pruned,omitempty"`
+	Batches          int64        `json:"batches,omitempty"`
+	Children         []*PlanStats `json:"children,omitempty"`
+}
+
+// Time returns the operator's inclusive wall time.
+func (ps *PlanStats) Time() time.Duration { return time.Duration(ps.TimeUS) * time.Microsecond }
+
+// SelfTime returns the operator's exclusive wall time.
+func (ps *PlanStats) SelfTime() time.Duration { return time.Duration(ps.SelfTimeUS) * time.Microsecond }
+
+// Walk visits the node and every descendant pre-order.
+func (ps *PlanStats) Walk(fn func(depth int, n *PlanStats)) { ps.walk(0, fn) }
+
+func (ps *PlanStats) walk(depth int, fn func(int, *PlanStats)) {
+	fn(depth, ps)
+	for _, c := range ps.Children {
+		c.walk(depth+1, fn)
+	}
+}
+
+// buildPlanStats assembles the annotated tree from the executed plan and the
+// per-node stats recorded during Run.
+func buildPlanStats(n Node, stats map[Node]*OpStats) *PlanStats {
+	op, detail := describeNode(n)
+	st := stats[n]
+	if st == nil {
+		st = &OpStats{}
+	}
+	out := &PlanStats{
+		Op:               op,
+		Detail:           detail,
+		RowsOut:          st.RowsOut,
+		TimeUS:           st.WallTime.Microseconds(),
+		BytesScanned:     st.BytesScanned,
+		PartitionsTotal:  st.PartitionsTotal,
+		PartitionsPruned: st.PartitionsPruned,
+		Batches:          st.Batches,
+	}
+	childTime := time.Duration(0)
+	for _, c := range planChildren(n) {
+		cs := buildPlanStats(c, stats)
+		out.Children = append(out.Children, cs)
+		out.RowsIn += cs.RowsOut
+		childTime += cs.Time()
+	}
+	self := st.WallTime - childTime
+	if self < 0 {
+		self = 0
+	}
+	out.SelfTimeUS = self.Microseconds()
+	return out
+}
+
+// Render formats the annotated tree, one operator per line with its stats —
+// the EXPLAIN ANALYZE output of cmd/jsq.
+func (ps *PlanStats) Render() string {
+	var b strings.Builder
+	ps.Walk(func(depth int, n *PlanStats) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.Op)
+		if n.Detail != "" {
+			b.WriteByte(' ')
+			b.WriteString(n.Detail)
+		}
+		fmt.Fprintf(&b, "  (in=%d out=%d time=%s self=%s", n.RowsIn, n.RowsOut, n.Time(), n.SelfTime())
+		if n.Op == "Scan" {
+			fmt.Fprintf(&b, " bytes=%d partitions=%d/%d pruned=%d batches=%d",
+				n.BytesScanned, n.PartitionsTotal-n.PartitionsPruned, n.PartitionsTotal,
+				n.PartitionsPruned, n.Batches)
+		}
+		b.WriteString(")\n")
+	})
+	return b.String()
+}
+
+// describeNode renders an operator's name and detail string, shared by
+// EXPLAIN and EXPLAIN ANALYZE.
+func describeNode(n Node) (op, detail string) {
+	switch x := n.(type) {
+	case *ScanNode:
+		d := fmt.Sprintf("%s cols=%v", x.Table.Name, x.Columns)
+		if x.Filter != nil {
+			d += " filter=" + sqlast.RenderExpr(x.Filter)
+		}
+		if len(x.Prunes) > 0 {
+			d += fmt.Sprintf(" prunes=%d", len(x.Prunes))
+		}
+		return "Scan", d
+	case *FilterNode:
+		return "Filter", sqlast.RenderExpr(x.Cond)
+	case *ProjectNode:
+		return "Project", fmt.Sprintf("%v", x.Names)
+	case *FlattenNode:
+		outer := ""
+		if x.Outer {
+			outer = "outer "
+		}
+		return "Flatten", fmt.Sprintf("%s%s as %s", outer, sqlast.RenderExpr(x.Expr), x.Alias)
+	case *AggregateNode:
+		return "Aggregate", fmt.Sprintf("groups=%d aggs=%d", len(x.GroupBy), len(x.Aggs))
+	case *JoinNode:
+		return x.Kind + " Join", fmt.Sprintf("keys=%d", len(x.LeftKeys))
+	case *SortNode:
+		return "Sort", fmt.Sprintf("keys=%d", len(x.Keys))
+	case *LimitNode:
+		return "Limit", fmt.Sprint(x.N)
+	case *UnionNode:
+		return "UnionAll", ""
+	}
+	return fmt.Sprintf("%T", n), ""
+}
+
+// planChildren lists an operator's inputs in execution order.
+func planChildren(n Node) []Node {
+	switch x := n.(type) {
+	case *FilterNode:
+		return []Node{x.Input}
+	case *ProjectNode:
+		return []Node{x.Input}
+	case *FlattenNode:
+		return []Node{x.Input}
+	case *AggregateNode:
+		return []Node{x.Input}
+	case *JoinNode:
+		return []Node{x.Left, x.Right}
+	case *SortNode:
+		return []Node{x.Input}
+	case *LimitNode:
+		return []Node{x.Input}
+	case *UnionNode:
+		return []Node{x.Left, x.Right}
+	}
+	return nil
+}

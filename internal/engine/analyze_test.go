@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func mustAnalyze(t *testing.T, e *Engine, sql string) (*Result, *PlanStats) {
+	t.Helper()
+	res, plan, err := e.QueryAnalyze(sql)
+	if err != nil {
+		t.Fatalf("QueryAnalyze(%s): %v", sql, err)
+	}
+	if plan == nil {
+		t.Fatalf("QueryAnalyze(%s): nil plan", sql)
+	}
+	return res, plan
+}
+
+func TestAnalyzeRootRowsMatchResult(t *testing.T) {
+	e := testEngine(t)
+	for _, sql := range []string{
+		`SELECT "EVENT" FROM "adl" WHERE GET("MET", 'pt') > 20`,
+		`SELECT "o_clerk", SUM("o_totalprice") AS t FROM "orders" GROUP BY "o_clerk"`,
+		`SELECT * FROM "orders" ORDER BY "o_totalprice" DESC LIMIT 2`,
+	} {
+		res, plan := mustAnalyze(t, e, sql)
+		if plan.RowsOut != int64(len(res.Rows)) {
+			t.Errorf("%s: root rows_out=%d, result rows=%d", sql, plan.RowsOut, len(res.Rows))
+		}
+	}
+}
+
+func TestAnalyzeRowFlowIsConsistent(t *testing.T) {
+	e := testEngine(t)
+	_, plan := mustAnalyze(t, e,
+		`SELECT "o_clerk", COUNT(*) AS n FROM "orders" WHERE "o_totalprice" > 60000 GROUP BY "o_clerk"`)
+	plan.Walk(func(depth int, n *PlanStats) {
+		var childSum int64
+		for _, c := range n.Children {
+			childSum += c.RowsOut
+		}
+		if n.RowsIn != childSum {
+			t.Errorf("%s: rows_in=%d, sum(children rows_out)=%d", n.Op, n.RowsIn, childSum)
+		}
+		// Filter and Aggregate can only shrink their input.
+		if (n.Op == "Filter" || n.Op == "Aggregate") && n.RowsOut > n.RowsIn {
+			t.Errorf("%s: rows_out=%d > rows_in=%d", n.Op, n.RowsOut, n.RowsIn)
+		}
+	})
+}
+
+func TestAnalyzeSelfTimesSumWithinExecTime(t *testing.T) {
+	e := testEngine(t)
+	res, plan := mustAnalyze(t, e, `SELECT "EVENT" FROM "adl" WHERE GET("MET", 'pt') > 20`)
+	var selfSum time.Duration
+	plan.Walk(func(depth int, n *PlanStats) { selfSum += n.SelfTime() })
+	// Self times partition the root's inclusive time (modulo µs truncation),
+	// and the root iterator runs inside the measured execution window.
+	if selfSum > plan.Time()+time.Millisecond {
+		t.Errorf("sum(self)=%v exceeds root inclusive %v", selfSum, plan.Time())
+	}
+	if plan.Time() > res.Metrics.ExecTime+time.Millisecond {
+		t.Errorf("root inclusive %v exceeds ExecTime %v", plan.Time(), res.Metrics.ExecTime)
+	}
+}
+
+func TestAnalyzeScanAccounting(t *testing.T) {
+	e := testEngine(t)
+	_, plan := mustAnalyze(t, e, `SELECT "EVENT" FROM "adl"`)
+	var scans int
+	plan.Walk(func(depth int, n *PlanStats) {
+		if n.Op != "Scan" {
+			return
+		}
+		scans++
+		if n.BytesScanned <= 0 {
+			t.Errorf("scan bytes=%d", n.BytesScanned)
+		}
+		if n.PartitionsTotal <= 0 || n.Batches <= 0 {
+			t.Errorf("scan partitions=%d batches=%d", n.PartitionsTotal, n.Batches)
+		}
+		if n.PartitionsPruned > n.PartitionsTotal {
+			t.Errorf("pruned=%d > total=%d", n.PartitionsPruned, n.PartitionsTotal)
+		}
+	})
+	if scans == 0 {
+		t.Fatal("no Scan node in plan")
+	}
+}
+
+func TestAnalyzeRenderShowsStats(t *testing.T) {
+	e := testEngine(t)
+	_, plan := mustAnalyze(t, e, `SELECT "EVENT" FROM "adl" WHERE GET("MET", 'pt') > 20`)
+	out := plan.Render()
+	for _, want := range []string{"Scan", "in=", "out=", "time=", "self=", "bytes=", "partitions="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAnalyzeOffHasNoPlan pins that the default path never pays for metering.
+func TestAnalyzeOffHasNoPlan(t *testing.T) {
+	e := testEngine(t)
+	p, err := e.Prepare(`SELECT * FROM "orders"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if p.PlanStats() != nil {
+		t.Error("unanalyzed query returned plan stats")
+	}
+}

@@ -1,11 +1,10 @@
 package engine
 
 import (
-	"fmt"
 	"strings"
 	"time"
 
-	"jsonpark/internal/sqlast"
+	"jsonpark/internal/obsv"
 	"jsonpark/internal/sqlparse"
 	"jsonpark/internal/storage"
 	"jsonpark/internal/variant"
@@ -56,21 +55,46 @@ type Prepared struct {
 	metrics Metrics
 }
 
+// PrepareOptions customizes compilation: an optional parent span that
+// receives one child per compile stage (sql.parse, plan.build,
+// engine.optimize with one grandchild per rule, engine.prepare), and Analyze
+// to meter every operator (rows, wall time, scan bytes) during execution.
+type PrepareOptions struct {
+	Span    *obsv.Span
+	Analyze bool
+}
+
 // Prepare compiles SQL text into an executable plan, reporting compile time.
 func (e *Engine) Prepare(sql string) (*Prepared, error) {
+	return e.PrepareOpts(sql, PrepareOptions{})
+}
+
+// PrepareOpts is Prepare with tracing and per-operator analysis.
+func (e *Engine) PrepareOpts(sql string, po PrepareOptions) (*Prepared, error) {
 	start := time.Now()
+	psp := po.Span.Child("sql.parse")
 	q, err := sqlparse.Parse(sql)
+	psp.End()
 	if err != nil {
 		return nil, err
 	}
+	bsp := po.Span.Child("plan.build")
 	pl := &planner{catalog: e.catalog}
 	plan, err := pl.Build(q)
+	bsp.End()
 	if err != nil {
 		return nil, err
 	}
-	plan = optimize(plan)
+	osp := po.Span.Child("engine.optimize")
+	plan = optimizeTraced(plan, osp)
+	osp.End()
 	ctx := &execContext{metrics: &Metrics{}}
+	if po.Analyze {
+		ctx.stats = make(map[Node]*OpStats)
+	}
+	prsp := po.Span.Child("engine.prepare")
 	iter, err := prepare(plan, ctx)
+	prsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -91,6 +115,30 @@ func (p *Prepared) Run() (*Result, error) {
 	m.ExecTime = time.Since(start)
 	m.RowsReturned = int64(len(rows))
 	return &Result{Columns: p.columns, Rows: rows, Metrics: m}, nil
+}
+
+// PlanStats returns the annotated operator tree of a query prepared with
+// Analyze and executed with Run; nil otherwise. Stats reflect execution so
+// far, so call it after Run completes.
+func (p *Prepared) PlanStats() *PlanStats {
+	if p.ctx.stats == nil {
+		return nil
+	}
+	return buildPlanStats(p.plan, p.ctx.stats)
+}
+
+// QueryAnalyze compiles with per-operator metering, executes, and returns
+// the result together with the annotated plan tree (EXPLAIN ANALYZE).
+func (e *Engine) QueryAnalyze(sql string) (*Result, *PlanStats, error) {
+	p, err := e.PrepareOpts(sql, PrepareOptions{Analyze: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := p.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, p.PlanStats(), nil
 }
 
 // Query compiles and executes SQL text in one call.
@@ -120,48 +168,15 @@ func (e *Engine) Explain(sql string) (string, error) {
 }
 
 func explainNode(b *strings.Builder, n Node, depth int) {
-	indent := strings.Repeat("  ", depth)
-	switch x := n.(type) {
-	case *ScanNode:
-		fmt.Fprintf(b, "%sScan %s cols=%v", indent, x.Table.Name, x.Columns)
-		if x.Filter != nil {
-			fmt.Fprintf(b, " filter=%s", sqlast.RenderExpr(x.Filter))
-		}
-		if len(x.Prunes) > 0 {
-			fmt.Fprintf(b, " prunes=%d", len(x.Prunes))
-		}
-		b.WriteByte('\n')
-	case *FilterNode:
-		fmt.Fprintf(b, "%sFilter %s\n", indent, sqlast.RenderExpr(x.Cond))
-		explainNode(b, x.Input, depth+1)
-	case *ProjectNode:
-		fmt.Fprintf(b, "%sProject %v\n", indent, x.Names)
-		explainNode(b, x.Input, depth+1)
-	case *FlattenNode:
-		outer := ""
-		if x.Outer {
-			outer = " outer"
-		}
-		fmt.Fprintf(b, "%sFlatten%s %s as %s\n", indent, outer, sqlast.RenderExpr(x.Expr), x.Alias)
-		explainNode(b, x.Input, depth+1)
-	case *AggregateNode:
-		fmt.Fprintf(b, "%sAggregate groups=%d aggs=%d\n", indent, len(x.GroupBy), len(x.Aggs))
-		explainNode(b, x.Input, depth+1)
-	case *JoinNode:
-		fmt.Fprintf(b, "%s%s Join keys=%d\n", indent, x.Kind, len(x.LeftKeys))
-		explainNode(b, x.Left, depth+1)
-		explainNode(b, x.Right, depth+1)
-	case *SortNode:
-		fmt.Fprintf(b, "%sSort keys=%d\n", indent, len(x.Keys))
-		explainNode(b, x.Input, depth+1)
-	case *LimitNode:
-		fmt.Fprintf(b, "%sLimit %d\n", indent, x.N)
-		explainNode(b, x.Input, depth+1)
-	case *UnionNode:
-		fmt.Fprintf(b, "%sUnionAll\n", indent)
-		explainNode(b, x.Left, depth+1)
-		explainNode(b, x.Right, depth+1)
-	default:
-		fmt.Fprintf(b, "%s%T\n", indent, n)
+	op, detail := describeNode(n)
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(op)
+	if detail != "" {
+		b.WriteByte(' ')
+		b.WriteString(detail)
+	}
+	b.WriteByte('\n')
+	for _, c := range planChildren(n) {
+		explainNode(b, c, depth+1)
 	}
 }

@@ -11,6 +11,9 @@ import (
 // execContext carries per-query runtime state shared by all operators.
 type execContext struct {
 	metrics *Metrics
+	// stats, when non-nil, enables per-operator metering (EXPLAIN ANALYZE):
+	// prepare wraps every operator in a statIter writing into its node's slot.
+	stats map[Node]*OpStats
 }
 
 // rowIter produces rows; a nil row signals end of stream.
@@ -18,10 +21,21 @@ type rowIter interface {
 	Next() ([]variant.Value, error)
 }
 
-// prepare compiles a logical plan into an executable iterator tree. All
+// prepare compiles a logical plan into an executable iterator tree, wrapping
+// each operator with a metering iterator when the query is analyzed. All
 // expression compilation happens here, so preparation cost is part of the
 // measured compile phase.
 func prepare(n Node, ctx *execContext) (rowIter, error) {
+	it, err := prepareNode(n, ctx)
+	if err != nil || ctx.stats == nil {
+		return it, err
+	}
+	return &statIter{in: it, st: ctx.statsFor(n)}, nil
+}
+
+// prepareNode builds the operator for one plan node; children are built via
+// prepare so they get metered too.
+func prepareNode(n Node, ctx *execContext) (rowIter, error) {
 	switch x := n.(type) {
 	case *ScanNode:
 		return prepareScan(x, ctx)
@@ -119,7 +133,8 @@ func drain(it rowIter) ([][]variant.Value, error) {
 type scanIter struct {
 	node    *ScanNode
 	ctx     *execContext
-	filter  evalFn // may be nil
+	st      *OpStats // per-operator scan accounting; nil unless analyzed
+	filter  evalFn   // may be nil
 	colIdx  []int
 	parts   int // next partition to open
 	current [][]variant.Value
@@ -144,7 +159,7 @@ func prepareScan(x *ScanNode, ctx *execContext) (rowIter, error) {
 		}
 		filter = fn
 	}
-	return &scanIter{node: x, ctx: ctx, filter: filter, colIdx: colIdx}, nil
+	return &scanIter{node: x, ctx: ctx, st: ctx.statsFor(x), filter: filter, colIdx: colIdx}, nil
 }
 
 func (s *scanIter) Next() ([]variant.Value, error) {
@@ -176,6 +191,9 @@ func (s *scanIter) loadNextPartition() bool {
 	if !s.started {
 		s.started = true
 		s.ctx.metrics.PartitionsTotal += len(parts)
+		if s.st != nil {
+			s.st.PartitionsTotal += len(parts)
+		}
 	}
 	for s.parts < len(parts) {
 		p := parts[s.parts]
@@ -193,15 +211,24 @@ func (s *scanIter) loadNextPartition() bool {
 		}
 		if pruned {
 			s.ctx.metrics.PartitionsPruned++
+			if s.st != nil {
+				s.st.PartitionsPruned++
+			}
 			continue
 		}
 		rows := p.NumRows()
+		if s.st != nil {
+			s.st.Batches++
+		}
 		s.current = make([][]variant.Value, rows)
 		cols := make([][]variant.Value, len(s.colIdx))
 		for i, idx := range s.colIdx {
 			chunk := p.Column(idx)
 			cols[i] = chunk.Values()
 			s.ctx.metrics.BytesScanned += chunk.Bytes()
+			if s.st != nil {
+				s.st.BytesScanned += chunk.Bytes()
+			}
 		}
 		for r := 0; r < rows; r++ {
 			row := make([]variant.Value, len(cols))

@@ -1,8 +1,10 @@
 package engine
 
 import (
+	"fmt"
 	"strings"
 
+	"jsonpark/internal/obsv"
 	"jsonpark/internal/sqlast"
 	"jsonpark/internal/storage"
 	"jsonpark/internal/variant"
@@ -13,18 +15,88 @@ import (
 // pushdown with equi-join detection, projection pruning down to the scans,
 // and zone-map prune-predicate derivation.
 func optimize(n Node) Node {
-	n = simplifyNode(n)
-	n = mergeProjects(n)
-	n = pushDown(n)
+	return optimizeTraced(n, nil)
+}
+
+// optimizeTraced is optimize with one child span per rewrite rule, each
+// annotated with what the rule achieved (projects collapsed, predicates
+// sunk into scans, columns pruned, zone-map predicates derived) so a trace
+// shows which rules fired on a given query.
+func optimizeTraced(n Node, sp *obsv.Span) Node {
+	rule := func(name string, fn func(Node) Node, attr func(s *obsv.Span)) {
+		s := sp.Child("rule." + name)
+		n = fn(n)
+		if s != nil && attr != nil {
+			attr(s)
+		}
+		s.End()
+	}
+	projectAttr := func(before int) func(*obsv.Span) {
+		return func(s *obsv.Span) {
+			s.SetAttr("projects", fmt.Sprintf("%d->%d", before, countProjects(n)))
+		}
+	}
+	before := 0
+	if sp != nil {
+		before = countProjects(n)
+	}
+	rule("simplify", simplifyNode, nil)
+	rule("merge-projects", mergeProjects, projectAttr(before))
 	// Pushdown substitutes projection definitions into predicates, exposing
 	// fresh GET(OBJECT_CONSTRUCT(...)) folding opportunities that projection
 	// pruning depends on — simplify again, and re-merge projection pairs
 	// that pushdown separated.
-	n = simplifyNode(n)
-	n = mergeProjects(n)
-	n = pruneNode(n, nil)
-	deriveScanPrunes(n)
+	if sp != nil {
+		before = countProjects(n)
+	}
+	rule("pushdown", pushDown, nil)
+	rule("simplify", simplifyNode, nil)
+	rule("merge-projects", mergeProjects, projectAttr(before))
+	rule("prune-columns", func(x Node) Node { return pruneNode(x, nil) }, func(s *obsv.Span) {
+		s.SetAttr("scan-columns", countScanColumns(n))
+	})
+	rule("derive-prunes", func(x Node) Node { deriveScanPrunes(x); return x }, func(s *obsv.Span) {
+		s.SetAttr("prune-predicates", countScanPrunes(n))
+	})
 	return n
+}
+
+// countNodesOf counts plan nodes matching the predicate.
+func countNodesOf(n Node, match func(Node) bool) int {
+	total := 0
+	if match(n) {
+		total++
+	}
+	for _, c := range planChildren(n) {
+		total += countNodesOf(c, match)
+	}
+	return total
+}
+
+func countProjects(n Node) int {
+	return countNodesOf(n, func(x Node) bool { _, ok := x.(*ProjectNode); return ok })
+}
+
+func countScanPrunes(n Node) int {
+	total := 0
+	countNodesOf(n, func(x Node) bool {
+		if s, ok := x.(*ScanNode); ok {
+			total += len(s.Prunes)
+		}
+		return false
+	})
+	return total
+}
+
+func countScanColumns(n Node) int {
+	total := 0
+	countNodesOf(n, func(x Node) bool {
+		if s, ok := x.(*ScanNode); ok {
+			total += len(s.Columns)
+		}
+		return false
+	})
+	return total
 }
 
 // mergeProjects collapses Project-over-Project chains — the data-frame

@@ -3,6 +3,8 @@ package jsoniq
 import (
 	"fmt"
 	"strconv"
+
+	"jsonpark/internal/obsv"
 )
 
 // FunctionDecl is one user-declared function from the query prolog:
@@ -25,10 +27,20 @@ type Module struct {
 
 // ParseModule parses a query with an optional prolog.
 func ParseModule(src string) (*Module, error) {
+	return ParseModuleTraced(src, nil)
+}
+
+// ParseModuleTraced is ParseModule with lex and parse stage spans.
+func ParseModuleTraced(src string, sp *obsv.Span) (*Module, error) {
+	lsp := sp.Child("jsoniq.lex")
 	toks, err := Lex(src)
+	lsp.SetAttr("tokens", len(toks))
+	lsp.End()
 	if err != nil {
 		return nil, err
 	}
+	psp := sp.Child("jsoniq.parse")
+	defer psp.End()
 	p := &parser{toks: toks}
 	m := &Module{}
 	for p.isKeyword("declare") {

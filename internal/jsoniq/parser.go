@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"jsonpark/internal/obsv"
 	"jsonpark/internal/variant"
 )
 
@@ -11,10 +12,19 @@ import (
 // followed by the main expression — and returns the expression tree with
 // every user-function call inlined.
 func Parse(src string) (Expr, error) {
-	m, err := ParseModule(src)
+	return ParseTraced(src, nil)
+}
+
+// ParseTraced is Parse reporting into a span tree: children jsoniq.lex
+// (with a token-count attribute), jsoniq.parse and jsoniq.inline hang off
+// the given parent. A nil span disables tracing at zero cost.
+func ParseTraced(src string, sp *obsv.Span) (Expr, error) {
+	m, err := ParseModuleTraced(src, sp)
 	if err != nil {
 		return nil, err
 	}
+	isp := sp.Child("jsoniq.inline")
+	defer isp.End()
 	return m.Inline()
 }
 

@@ -1,0 +1,384 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics and renders them in the Prometheus text
+// exposition format (version 0.0.4). All operations are safe for concurrent
+// use; Expose takes a consistent point-in-time snapshot per metric.
+type Registry struct {
+	mu      sync.Mutex
+	order   []string
+	metrics map[string]exposable
+}
+
+type exposable interface {
+	expose(w io.Writer)
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]exposable)}
+}
+
+func (r *Registry) register(name string, m exposable) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.metrics[name]; dup {
+		panic(fmt.Sprintf("obsv: metric %q registered twice", name))
+	}
+	r.metrics[name] = m
+	r.order = append(r.order, name)
+}
+
+// Expose writes every registered metric in Prometheus text format.
+func (r *Registry) Expose(w io.Writer) {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	metrics := make([]exposable, len(names))
+	for i, n := range names {
+		metrics[i] = r.metrics[n]
+	}
+	r.mu.Unlock()
+	for _, m := range metrics {
+		m.expose(w)
+	}
+}
+
+func writeHeader(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	parts := make([]string, len(names))
+	for i := range names {
+		parts[i] = fmt.Sprintf("%s=%q", names[i], values[i])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// --- counter ----------------------------------------------------------------
+
+// Counter is a monotonically increasing float64.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter; negative deltas are ignored.
+func (c *Counter) Add(delta float64) {
+	if c == nil || delta < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current total.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+type namedCounter struct {
+	name, help string
+	c          Counter
+}
+
+func (n *namedCounter) expose(w io.Writer) {
+	writeHeader(w, n.name, n.help, "counter")
+	fmt.Fprintf(w, "%s %s\n", n.name, formatValue(n.c.Value()))
+}
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	n := &namedCounter{name: name, help: help}
+	r.register(name, n)
+	return &n.c
+}
+
+// --- gauge ------------------------------------------------------------------
+
+// Gauge is a float64 that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the current value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the current value by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+type namedGauge struct {
+	name, help string
+	g          Gauge
+}
+
+func (n *namedGauge) expose(w io.Writer) {
+	writeHeader(w, n.name, n.help, "gauge")
+	fmt.Fprintf(w, "%s %s\n", n.name, formatValue(n.g.Value()))
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	n := &namedGauge{name: name, help: help}
+	r.register(name, n)
+	return &n.g
+}
+
+// --- histogram --------------------------------------------------------------
+
+// Histogram observes float64 samples into cumulative buckets.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets []float64 // upper bounds, ascending; +Inf implicit
+	counts  []uint64  // len(buckets)+1, non-cumulative
+	sum     float64
+	count   uint64
+}
+
+// DefaultDurationBuckets spans 10µs..10s in decade-and-half steps, covering
+// both sub-millisecond lowering stages and multi-second executions.
+var DefaultDurationBuckets = []float64{
+	1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1, 5, 10,
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.buckets, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+func (h *Histogram) exposeAs(w io.Writer, name string, labelNames, labelValues []string) {
+	h.mu.Lock()
+	buckets := append([]float64(nil), h.buckets...)
+	counts := append([]uint64(nil), h.counts...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+
+	cum := uint64(0)
+	for i, ub := range buckets {
+		cum += counts[i]
+		lns := append(append([]string(nil), labelNames...), "le")
+		lvs := append(append([]string(nil), labelValues...), strconv.FormatFloat(ub, 'g', -1, 64))
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, formatLabels(lns, lvs), cum)
+	}
+	cum += counts[len(buckets)]
+	lns := append(append([]string(nil), labelNames...), "le")
+	lvs := append(append([]string(nil), labelValues...), "+Inf")
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name, formatLabels(lns, lvs), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, formatLabels(labelNames, labelValues), formatValue(sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, formatLabels(labelNames, labelValues), count)
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefaultDurationBuckets
+	}
+	bs := append([]float64(nil), buckets...)
+	sort.Float64s(bs)
+	return &Histogram{buckets: bs, counts: make([]uint64, len(bs)+1)}
+}
+
+type namedHistogram struct {
+	name, help string
+	h          *Histogram
+}
+
+func (n *namedHistogram) expose(w io.Writer) {
+	writeHeader(w, n.name, n.help, "histogram")
+	n.h.exposeAs(w, n.name, nil, nil)
+}
+
+// Histogram registers a histogram with the given upper bounds
+// (DefaultDurationBuckets when nil).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	n := &namedHistogram{name: name, help: help, h: newHistogram(buckets)}
+	r.register(name, n)
+	return n.h
+}
+
+// --- labeled vectors --------------------------------------------------------
+
+// CounterVec is a family of counters keyed by label values.
+type CounterVec struct {
+	name, help string
+	labels     []string
+	mu         sync.Mutex
+	children   map[string]*Counter
+	order      []string
+}
+
+// With returns (creating on first use) the counter for the label values.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obsv: %s expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.children[key]
+	if !ok {
+		c = &Counter{}
+		v.children[key] = c
+		v.order = append(v.order, key)
+	}
+	return c
+}
+
+func (v *CounterVec) expose(w io.Writer) {
+	writeHeader(w, v.name, v.help, "counter")
+	v.mu.Lock()
+	keys := append([]string(nil), v.order...)
+	children := make([]*Counter, len(keys))
+	for i, k := range keys {
+		children[i] = v.children[k]
+	}
+	v.mu.Unlock()
+	for i, k := range keys {
+		fmt.Fprintf(w, "%s%s %s\n", v.name,
+			formatLabels(v.labels, strings.Split(k, "\x00")), formatValue(children[i].Value()))
+	}
+}
+
+// CounterVec registers a counter family with the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	v := &CounterVec{name: name, help: help, labels: labels, children: make(map[string]*Counter)}
+	r.register(name, v)
+	return v
+}
+
+// HistogramVec is a family of histograms keyed by label values.
+type HistogramVec struct {
+	name, help string
+	labels     []string
+	buckets    []float64
+	mu         sync.Mutex
+	children   map[string]*Histogram
+	order      []string
+}
+
+// With returns (creating on first use) the histogram for the label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obsv: %s expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.children[key]
+	if !ok {
+		h = newHistogram(v.buckets)
+		v.children[key] = h
+		v.order = append(v.order, key)
+	}
+	return h
+}
+
+func (v *HistogramVec) expose(w io.Writer) {
+	writeHeader(w, v.name, v.help, "histogram")
+	v.mu.Lock()
+	keys := append([]string(nil), v.order...)
+	children := make([]*Histogram, len(keys))
+	for i, k := range keys {
+		children[i] = v.children[k]
+	}
+	v.mu.Unlock()
+	for i, k := range keys {
+		children[i].exposeAs(w, v.name, v.labels, strings.Split(k, "\x00"))
+	}
+}
+
+// HistogramVec registers a histogram family with the given label names and
+// bucket bounds (DefaultDurationBuckets when nil).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	v := &HistogramVec{name: name, help: help, labels: labels, buckets: buckets,
+		children: make(map[string]*Histogram)}
+	r.register(name, v)
+	return v
+}

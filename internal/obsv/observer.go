@@ -1,0 +1,83 @@
+package obsv
+
+import "time"
+
+// Observer bundles the tracer and registry one warehouse (or server) shares
+// across queries, pre-registering the standard query-lifecycle metrics:
+// query counts by status, per-stage latency histograms (fed from the span
+// tree, so the §V translation/compile/execution breakdown is a /metrics
+// scrape away), and cumulative scan accounting.
+type Observer struct {
+	Tracer   *Tracer
+	Registry *Registry
+
+	queriesTotal     *CounterVec
+	stageSeconds     *HistogramVec
+	querySeconds     *Histogram
+	bytesScanned     *Counter
+	rowsReturned     *Counter
+	partitionsTotal  *Counter
+	partitionsPruned *Counter
+}
+
+// QueryObservation is one finished query's measurements, reported by the
+// warehouse façade after the trace ends.
+type QueryObservation struct {
+	Trace            *TraceData
+	Errored          bool
+	BytesScanned     int64
+	RowsReturned     int64
+	PartitionsTotal  int64
+	PartitionsPruned int64
+}
+
+// NewObserver builds an observer with the standard metric set registered.
+func NewObserver() *Observer {
+	r := NewRegistry()
+	return &Observer{
+		Tracer:   NewTracer(0),
+		Registry: r,
+		queriesTotal: r.CounterVec("jsonpark_queries_total",
+			"Queries processed, by final status.", "status"),
+		stageSeconds: r.HistogramVec("jsonpark_query_stage_seconds",
+			"Per-stage latency of the query lifecycle, from span durations.", nil, "stage"),
+		querySeconds: r.Histogram("jsonpark_query_seconds",
+			"End-to-end query latency (translate + compile + execute).", nil),
+		bytesScanned: r.Counter("jsonpark_bytes_scanned_total",
+			"Cumulative bytes scanned across all queries."),
+		rowsReturned: r.Counter("jsonpark_rows_returned_total",
+			"Cumulative result rows returned across all queries."),
+		partitionsTotal: r.Counter("jsonpark_partitions_considered_total",
+			"Cumulative micro-partitions considered by scans."),
+		partitionsPruned: r.Counter("jsonpark_partitions_pruned_total",
+			"Cumulative micro-partitions pruned via zone maps."),
+	}
+}
+
+// ObserveQuery folds one finished query into the registry: status count,
+// end-to-end latency, per-span stage histograms and scan totals.
+func (o *Observer) ObserveQuery(q QueryObservation) {
+	if o == nil {
+		return
+	}
+	status := "ok"
+	if q.Errored {
+		status = "error"
+	}
+	o.queriesTotal.With(status).Inc()
+	o.bytesScanned.Add(float64(q.BytesScanned))
+	o.rowsReturned.Add(float64(q.RowsReturned))
+	o.partitionsTotal.Add(float64(q.PartitionsTotal))
+	o.partitionsPruned.Add(float64(q.PartitionsPruned))
+	if q.Trace == nil {
+		return
+	}
+	o.querySeconds.Observe(q.Trace.Duration().Seconds())
+	q.Trace.Root.Walk(func(depth int, sd SpanData) {
+		if depth == 0 {
+			return // the root duplicates jsonpark_query_seconds
+		}
+		o.stageSeconds.With(sd.Name).Observe(
+			(time.Duration(sd.DurationUS) * time.Microsecond).Seconds())
+	})
+}

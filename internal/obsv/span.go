@@ -1,0 +1,265 @@
+// Package obsv is the in-process observability substrate: a hierarchical
+// span tracer with a ring buffer of recent query traces, and a
+// counter/gauge/histogram metrics registry with Prometheus-style text
+// exposition. Every layer of the query pipeline (jsoniq, iterplan, core,
+// snowpark, sqlparse/engine, storage accounting) reports into it, so the
+// paper's §V breakdown — where time and bytes go between translation, SQL
+// compilation and execution — is observable on every query, not only in the
+// benchmark harness. The package has no dependencies on the rest of the
+// repository so any layer may import it.
+package obsv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed stage of a query's lifecycle. Spans form a tree: the
+// root covers the whole query and children cover lowering stages
+// (jsoniq.parse, core.translate, engine.optimize, ...). All methods are
+// nil-safe so call sites can thread an optional *Span without guarding —
+// a nil span makes every operation a no-op, keeping the untraced fast path
+// allocation-free.
+//
+// A span tree is built and finished by a single goroutine (the one running
+// the query); only the immutable SpanData snapshot taken at Trace.Finish is
+// shared across goroutines.
+type Span struct {
+	name     string
+	start    time.Time
+	duration time.Duration
+	attrs    []Attr
+	children []*Span
+	ended    bool
+}
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Child starts a nested span. Returns nil when the receiver is nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.children = append(s.children, c)
+	return c
+}
+
+// End stops the span's clock. Calling End twice keeps the first duration.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.duration = time.Since(s.start)
+}
+
+// SetAttr annotates the span; values are rendered with %v.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: fmt.Sprint(value)})
+}
+
+// Timed runs fn inside a child span, for stages that are a single call.
+func (s *Span) Timed(name string, fn func()) {
+	c := s.Child(name)
+	fn()
+	c.End()
+}
+
+// SpanData is the immutable snapshot of a finished span.
+type SpanData struct {
+	Name       string     `json:"name"`
+	DurationUS int64      `json:"duration_us"`
+	Attrs      []Attr     `json:"attrs,omitempty"`
+	Children   []SpanData `json:"children,omitempty"`
+}
+
+// Duration returns the span's wall time.
+func (d SpanData) Duration() time.Duration { return time.Duration(d.DurationUS) * time.Microsecond }
+
+func (s *Span) snapshot() SpanData {
+	d := s.duration
+	if !s.ended {
+		d = time.Since(s.start)
+	}
+	out := SpanData{
+		Name:       s.name,
+		DurationUS: d.Microseconds(),
+		Attrs:      append([]Attr(nil), s.attrs...),
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, c.snapshot())
+	}
+	return out
+}
+
+// Walk visits the span and every descendant pre-order.
+func (d SpanData) Walk(fn func(depth int, sd SpanData)) { d.walk(0, fn) }
+
+func (d SpanData) walk(depth int, fn func(int, SpanData)) {
+	fn(depth, d)
+	for _, c := range d.Children {
+		c.walk(depth+1, fn)
+	}
+}
+
+// Render formats the span tree as an indented text block.
+func (d SpanData) Render() string {
+	var b strings.Builder
+	d.Walk(func(depth int, sd SpanData) {
+		b.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&b, "%s %s", sd.Name, time.Duration(sd.DurationUS)*time.Microsecond)
+		for _, a := range sd.Attrs {
+			fmt.Fprintf(&b, " %s=%s", a.Key, a.Value)
+		}
+		b.WriteByte('\n')
+	})
+	return b.String()
+}
+
+// TraceData is the immutable record of one finished query trace, as stored
+// in the tracer's ring buffer and served by /debug/queries.
+type TraceData struct {
+	ID       string            `json:"trace_id"`
+	Start    time.Time         `json:"start"`
+	DurUS    int64             `json:"duration_us"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Root     SpanData          `json:"spans"`
+	Errored  bool              `json:"errored,omitempty"`
+	ErrorMsg string            `json:"error,omitempty"`
+}
+
+// Duration returns the trace's total wall time.
+func (t *TraceData) Duration() time.Duration { return time.Duration(t.DurUS) * time.Microsecond }
+
+// Trace is one in-flight query trace. Obtain via Tracer.Start, attach spans
+// under Root, then Finish to snapshot it into the ring buffer.
+type Trace struct {
+	ID     string
+	Root   *Span
+	start  time.Time
+	attrs  map[string]string
+	err    error
+	tracer *Tracer
+}
+
+// SetAttr annotates the whole trace (query text, SQL, strategy, ...).
+func (t *Trace) SetAttr(key, value string) {
+	if t == nil {
+		return
+	}
+	t.attrs[key] = value
+}
+
+// SetError marks the trace failed.
+func (t *Trace) SetError(err error) {
+	if t == nil || err == nil {
+		return
+	}
+	t.err = err
+}
+
+// Finish ends the root span, snapshots the trace into the tracer's ring
+// buffer and returns the immutable record. Safe to call once per trace.
+func (t *Trace) Finish() *TraceData {
+	if t == nil {
+		return nil
+	}
+	t.Root.End()
+	td := &TraceData{
+		ID:    t.ID,
+		Start: t.start,
+		DurUS: t.Root.duration.Microseconds(),
+		Attrs: t.attrs,
+		Root:  t.Root.snapshot(),
+	}
+	if t.err != nil {
+		td.Errored = true
+		td.ErrorMsg = t.err.Error()
+	}
+	if t.tracer != nil {
+		t.tracer.record(td)
+	}
+	return td
+}
+
+// Tracer issues trace IDs and keeps a bounded ring of recent finished
+// traces. Safe for concurrent use.
+type Tracer struct {
+	mu     sync.Mutex
+	ring   []*TraceData
+	next   int
+	filled bool
+	seq    atomic.Uint64
+	epoch  int64
+}
+
+// DefaultRingSize bounds the recent-trace buffer of NewTracer(0).
+const DefaultRingSize = 128
+
+// NewTracer returns a tracer retaining the last capacity finished traces
+// (DefaultRingSize when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultRingSize
+	}
+	return &Tracer{ring: make([]*TraceData, capacity), epoch: time.Now().UnixNano()}
+}
+
+// Start begins a new trace whose root span carries the given name.
+func (t *Tracer) Start(name string) *Trace {
+	now := time.Now()
+	id := fmt.Sprintf("%08x-%06x", uint32(t.epoch), t.seq.Add(1)&0xffffff)
+	return &Trace{
+		ID:     id,
+		Root:   &Span{name: name, start: now},
+		start:  now,
+		attrs:  make(map[string]string),
+		tracer: t,
+	}
+}
+
+func (t *Tracer) record(td *TraceData) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring[t.next] = td
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.filled = true
+	}
+}
+
+// Recent returns up to n finished traces, newest first (all retained traces
+// when n <= 0).
+func (t *Tracer) Recent(n int) []*TraceData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*TraceData
+	for _, td := range t.ring {
+		if td != nil {
+			out = append(out, td)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start.Equal(out[j].Start) {
+			return out[i].ID > out[j].ID
+		}
+		return out[i].Start.After(out[j].Start)
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

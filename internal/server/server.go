@@ -2,18 +2,29 @@
 // interfaces of the paper's system architecture (§III-A1: REPL client,
 // command line client, or REST server). Endpoints:
 //
-//	POST /query      {"query": "...", "strategy": "keep-flag"|"join"}
-//	                 → {"items": [...], "sql": "...", "metrics": {...}}
+//	POST /query      {"query": "...", "strategy": "keep-flag"|"join"|"auto",
+//	                  "analyze": true}
+//	                 → {"items": [...], "sql": "...", "trace_id": "...",
+//	                    "metrics": {...}, "plan": {...}}
 //	POST /translate  {"query": "..."} → {"sql": "..."}
 //	POST /load       {"collection": "c", "documents": [{...}, ...]}
 //	POST /collections {"name": "c", "columns": ["a","b"]}
 //	GET  /collections → {"collections": ["c", ...]}
+//	GET  /metrics    Prometheus text exposition (query counts, stage
+//	                 latency histograms, cumulative scan accounting)
+//	GET  /debug/queries[?n=20] recent queries: trace ID, SQL, span tree,
+//	                 metrics, newest first
+//
+// Every /query request is logged with its trace ID, so a log line, the
+// /debug/queries entry and the metrics it contributed to are joinable.
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
+	"strconv"
 
 	"jsonpark"
 
@@ -22,19 +33,25 @@ import (
 
 // Server wraps a warehouse with HTTP handlers.
 type Server struct {
-	w   *jsonpark.Warehouse
-	mux *http.ServeMux
+	w      *jsonpark.Warehouse
+	mux    *http.ServeMux
+	logger *log.Logger
 }
 
 // New builds a server over an existing warehouse.
 func New(w *jsonpark.Warehouse) *Server {
-	s := &Server{w: w, mux: http.NewServeMux()}
+	s := &Server{w: w, mux: http.NewServeMux(), logger: log.Default()}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/translate", s.handleTranslate)
 	s.mux.HandleFunc("/load", s.handleLoad)
 	s.mux.HandleFunc("/collections", s.handleCollections)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 	return s
 }
+
+// SetLogger replaces the request logger (default log.Default()).
+func (s *Server) SetLogger(l *log.Logger) { s.logger = l }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -42,6 +59,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 type queryRequest struct {
 	Query    string `json:"query"`
 	Strategy string `json:"strategy"`
+	Analyze  bool   `json:"analyze"`
 }
 
 type metricsJSON struct {
@@ -51,6 +69,17 @@ type metricsJSON struct {
 	PartitionsTotal  int   `json:"partitions_total"`
 	PartitionsPruned int   `json:"partitions_pruned"`
 	Rows             int64 `json:"rows"`
+}
+
+func metricsOf(res *jsonpark.Result) metricsJSON {
+	return metricsJSON{
+		CompileMicros:    res.Metrics.CompileTime.Microseconds(),
+		ExecMicros:       res.Metrics.ExecTime.Microseconds(),
+		BytesScanned:     res.Metrics.BytesScanned,
+		PartitionsTotal:  res.Metrics.PartitionsTotal,
+		PartitionsPruned: res.Metrics.PartitionsPruned,
+		Rows:             res.Metrics.RowsReturned,
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -63,68 +92,105 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// requireMethod rejects other HTTP methods with 405, a JSON error body and
+// an Allow header listing the accepted methods.
+func requireMethod(w http.ResponseWriter, r *http.Request, methods ...string) bool {
+	for _, m := range methods {
+		if r.Method == m {
+			return true
+		}
+	}
+	allow := ""
+	for i, m := range methods {
+		if i > 0 {
+			allow += ", "
+		}
+		allow += m
+	}
+	w.Header().Set("Allow", allow)
+	writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed; use %s", r.Method, allow))
+	return false
+}
+
+// decodeJSON parses a request body, mapping malformed JSON to a 400 with a
+// structured error body.
+func decodeJSON(w http.ResponseWriter, r *http.Request, into any) bool {
+	if err := json.NewDecoder(r.Body).Decode(into); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed request JSON: %w", err))
+		return false
+	}
+	return true
+}
+
+func strategyOptions(name string) ([]jsonpark.QueryOption, error) {
+	switch name {
+	case "", "keep-flag":
+		return nil, nil
+	case "join":
+		return []jsonpark.QueryOption{jsonpark.WithStrategy(jsonpark.StrategyJoin)}, nil
+	case "auto":
+		return []jsonpark.QueryOption{jsonpark.WithStrategy(jsonpark.StrategyAuto)}, nil
+	}
+	return nil, fmt.Errorf("unknown strategy %q", name)
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
-	var opts []jsonpark.QueryOption
-	switch req.Strategy {
-	case "", "keep-flag":
-	case "join":
-		opts = append(opts, jsonpark.WithStrategy(jsonpark.StrategyJoin))
-	case "auto":
-		opts = append(opts, jsonpark.WithStrategy(jsonpark.StrategyAuto))
-	default:
-		writeError(w, http.StatusBadRequest, fmt.Errorf("unknown strategy %q", req.Strategy))
-		return
-	}
-	sql, err := s.w.Translate(req.Query, opts...)
+	opts, err := strategyOptions(req.Strategy)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.w.Query(req.Query, opts...)
+	if req.Analyze {
+		opts = append(opts, jsonpark.WithAnalyze())
+	}
+	rep, err := s.w.QueryTraced(req.Query, opts...)
 	if err != nil {
+		s.logger.Printf("query error=%q query=%q", err, req.Query)
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	res := rep.Result
+	s.logger.Printf("query trace=%s rows=%d compile=%s exec=%s scanned=%dB pruned=%d/%d strategy=%s",
+		rep.TraceID, res.Metrics.RowsReturned, res.Metrics.CompileTime, res.Metrics.ExecTime,
+		res.Metrics.BytesScanned, res.Metrics.PartitionsPruned, res.Metrics.PartitionsTotal,
+		rep.Strategy)
 	items := make([]json.RawMessage, len(res.Rows))
 	for i, row := range res.Rows {
 		items[i] = json.RawMessage(row[0].JSON())
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"items": items,
-		"sql":   sql,
-		"metrics": metricsJSON{
-			CompileMicros:    res.Metrics.CompileTime.Microseconds(),
-			ExecMicros:       res.Metrics.ExecTime.Microseconds(),
-			BytesScanned:     res.Metrics.BytesScanned,
-			PartitionsTotal:  res.Metrics.PartitionsTotal,
-			PartitionsPruned: res.Metrics.PartitionsPruned,
-			Rows:             res.Metrics.RowsReturned,
-		},
-	})
+	out := map[string]any{
+		"items":    items,
+		"sql":      rep.SQL,
+		"trace_id": rep.TraceID,
+		"strategy": rep.Strategy,
+		"metrics":  metricsOf(res),
+	}
+	if rep.Plan != nil {
+		out["plan"] = rep.Plan
+		out["plan_text"] = rep.RenderAnalyze()
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
-	var opts []jsonpark.QueryOption
-	if req.Strategy == "join" {
-		opts = append(opts, jsonpark.WithStrategy(jsonpark.StrategyJoin))
+	opts, err := strategyOptions(req.Strategy)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
 	sql, err := s.w.Translate(req.Query, opts...)
 	if err != nil {
@@ -140,13 +206,11 @@ type loadRequest struct {
 }
 
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+	if !requireMethod(w, r, http.MethodPost) {
 		return
 	}
 	var req loadRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	for i, raw := range req.Documents {
@@ -169,23 +233,51 @@ type createRequest struct {
 }
 
 func (s *Server) handleCollections(w http.ResponseWriter, r *http.Request) {
-	switch r.Method {
-	case http.MethodGet:
+	if !requireMethod(w, r, http.MethodGet, http.MethodPost) {
+		return
+	}
+	if r.Method == http.MethodGet {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"collections": s.w.Engine().Catalog().TableNames(),
 		})
-	case http.MethodPost:
-		var req createRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-		if err := s.w.CreateCollection(req.Name, req.Columns); err != nil {
-			writeError(w, http.StatusConflict, err)
-			return
-		}
-		writeJSON(w, http.StatusOK, map[string]string{"created": req.Name})
-	default:
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("GET or POST required"))
+		return
 	}
+	var req createRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if err := s.w.CreateCollection(req.Name, req.Columns); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"created": req.Name})
+}
+
+// handleMetrics serves the Prometheus text exposition of the warehouse's
+// metrics registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.w.Observer().Registry.Expose(w)
+}
+
+// handleDebugQueries serves the recent-query ring: per query the trace ID,
+// attributes (JSONiq text, SQL, strategy, rows) and the full span tree.
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad n %q", q))
+			return
+		}
+		n = v
+	}
+	traces := s.w.Observer().Tracer.Recent(n)
+	writeJSON(w, http.StatusOK, map[string]any{"queries": traces})
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"jsonpark/internal/engine"
+	"jsonpark/internal/obsv"
 	"jsonpark/internal/sqlast"
 )
 
@@ -284,5 +285,24 @@ func (df *DataFrame) Limit(n int64) *DataFrame {
 // Collect triggers execution of the composed SQL query in the engine and
 // returns the full result with metrics.
 func (df *DataFrame) Collect() (*engine.Result, error) {
-	return df.session.eng.Query(df.SQL())
+	res, _, err := df.CollectTraced(nil, false)
+	return res, err
+}
+
+// CollectTraced is Collect with observability: the span (may be nil)
+// receives the engine's compile-stage children plus an engine.execute span,
+// and analyze enables per-operator metering, returning the annotated plan
+// tree alongside the result (nil when analyze is false).
+func (df *DataFrame) CollectTraced(sp *obsv.Span, analyze bool) (*engine.Result, *engine.PlanStats, error) {
+	p, err := df.session.eng.PrepareOpts(df.SQL(), engine.PrepareOptions{Span: sp, Analyze: analyze})
+	if err != nil {
+		return nil, nil, err
+	}
+	esp := sp.Child("engine.execute")
+	res, err := p.Run()
+	esp.End()
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, p.PlanStats(), nil
 }

@@ -18,6 +18,9 @@ type ReportConfig struct {
 	Warmups      int
 	Runs         int
 	Out          io.Writer
+	// Recorder, when non-nil, accumulates every data point in machine-
+	// readable form alongside the text tables (ssbbench -json).
+	Recorder *bench.Recorder
 }
 
 // DefaultConfig returns laptop-scale defaults (the paper uses SF 1000 for
@@ -43,22 +46,24 @@ func SetupSF(seed int64, sf float64) (*snowpark.Session, error) {
 	return snowpark.NewSession(eng), nil
 }
 
-func measureTotal(fn func() (*engine.Result, error), cfg ReportConfig) (time.Duration, error) {
+func measureTotal(fn func() (*engine.Result, error), cfg ReportConfig) (time.Duration, int64, error) {
 	var total time.Duration
 	var n int
+	var scanned int64
 	_, err := bench.Measure(cfg.Warmups, cfg.Runs, func() error {
 		res, err := fn()
 		if err != nil {
 			return err
 		}
 		total += res.Metrics.Total()
+		scanned = res.Metrics.BytesScanned
 		n++
 		return nil
 	})
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return total / time.Duration(n), nil
+	return total / time.Duration(n), scanned, nil
 }
 
 // ReportFig11a regenerates Figure 11a: total (compile + execution) time for
@@ -73,20 +78,22 @@ func ReportFig11a(cfg ReportConfig) error {
 		"Query", "Generated", "Handwritten")
 	for _, q := range Queries() {
 		q := q
-		gen, err := measureTotal(func() (*engine.Result, error) {
+		gen, genBytes, err := measureTotal(func() (*engine.Result, error) {
 			_, res, err := RunTranslated(sess, q)
 			return res, err
 		}, cfg)
 		if err != nil {
 			return err
 		}
-		hand, err := measureTotal(func() (*engine.Result, error) {
+		hand, handBytes, err := measureTotal(func() (*engine.Result, error) {
 			_, res, err := RunHandwritten(sess.Engine(), q)
 			return res, err
 		}, cfg)
 		if err != nil {
 			return err
 		}
+		cfg.Recorder.Add(bench.Record{Experiment: "fig11a", Query: q.ID, System: "generated", Scale: cfg.ScaleFactor, MeanMicros: gen.Microseconds(), Runs: cfg.Runs, BytesScanned: genBytes})
+		cfg.Recorder.Add(bench.Record{Experiment: "fig11a", Query: q.ID, System: "handwritten", Scale: cfg.ScaleFactor, MeanMicros: hand.Microseconds(), Runs: cfg.Runs, BytesScanned: handBytes})
 		t.AddRow(q.ID, bench.FormatDuration(gen), bench.FormatDuration(hand))
 	}
 	t.Render(cfg.Out)
@@ -115,20 +122,22 @@ func ReportFig11b(cfg ReportConfig) error {
 			if !ok {
 				return fmt.Errorf("ssb: unknown query %s", id)
 			}
-			gen, err := measureTotal(func() (*engine.Result, error) {
+			gen, genBytes, err := measureTotal(func() (*engine.Result, error) {
 				_, res, err := RunTranslated(sess, q)
 				return res, err
 			}, cfg)
 			if err != nil {
 				return err
 			}
-			hand, err := measureTotal(func() (*engine.Result, error) {
+			hand, handBytes, err := measureTotal(func() (*engine.Result, error) {
 				_, res, err := RunHandwritten(sess.Engine(), q)
 				return res, err
 			}, cfg)
 			if err != nil {
 				return err
 			}
+			cfg.Recorder.Add(bench.Record{Experiment: "fig11b", Query: id, System: "generated", Scale: sf, MeanMicros: gen.Microseconds(), Runs: cfg.Runs, BytesScanned: genBytes})
+			cfg.Recorder.Add(bench.Record{Experiment: "fig11b", Query: id, System: "handwritten", Scale: sf, MeanMicros: hand.Microseconds(), Runs: cfg.Runs, BytesScanned: handBytes})
 			series[id+" gen"].Points[sf] = bench.FormatDuration(gen)
 			series[id+" hand"].Points[sf] = bench.FormatDuration(hand)
 		}

@@ -29,7 +29,9 @@ import (
 
 	"jsonpark/internal/core"
 	"jsonpark/internal/engine"
+	"jsonpark/internal/iterplan"
 	"jsonpark/internal/jsoniq"
+	"jsonpark/internal/obsv"
 	"jsonpark/internal/runtime"
 	"jsonpark/internal/snowpark"
 	"jsonpark/internal/variant"
@@ -65,6 +67,7 @@ func ParseJSON(data string) (Value, error) { return variant.ParseJSON([]byte(dat
 type Warehouse struct {
 	eng  *engine.Engine
 	sess *snowpark.Session
+	obs  *obsv.Observer
 	docs map[string][]Value
 }
 
@@ -74,6 +77,7 @@ func Open() *Warehouse {
 	return &Warehouse{
 		eng:  eng,
 		sess: snowpark.NewSession(eng),
+		obs:  obsv.NewObserver(),
 		docs: make(map[string][]Value),
 	}
 }
@@ -108,40 +112,127 @@ func (w *Warehouse) LoadJSON(collection, doc string) error {
 	return w.LoadObject(collection, v)
 }
 
-// QueryOption customizes translation.
-type QueryOption func(*core.Options)
+// QueryOption customizes translation and execution.
+type QueryOption func(*queryConfig)
+
+type queryConfig struct {
+	opts    core.Options
+	analyze bool
+}
 
 // WithStrategy selects the nested-query elimination strategy.
 func WithStrategy(s Strategy) QueryOption {
-	return func(o *core.Options) { o.Strategy = s }
+	return func(c *queryConfig) { c.opts.Strategy = s }
+}
+
+// WithAnalyze enables per-operator execution metering (EXPLAIN ANALYZE):
+// the QueryReport's Plan carries rows in/out, wall time and scan accounting
+// for every operator. Costs two clock reads per operator per row, so it is
+// off by default.
+func WithAnalyze() QueryOption {
+	return func(c *queryConfig) { c.analyze = true }
 }
 
 // Translate compiles a JSONiq query to its single native SQL string without
 // executing it.
 func (w *Warehouse) Translate(jsoniqSrc string, opts ...QueryOption) (string, error) {
-	var o core.Options
+	var c queryConfig
 	for _, fn := range opts {
-		fn(&o)
+		fn(&c)
 	}
-	res, err := core.Translate(w.sess, jsoniqSrc, o)
+	res, err := core.Translate(w.sess, jsoniqSrc, c.opts)
 	if err != nil {
 		return "", err
 	}
 	return res.SQL, nil
 }
 
+// QueryReport is one fully observed query: the result plus everything the
+// lifecycle recorded — trace ID, generated SQL, resolved strategy, iterator
+// census, the span tree, and (with WithAnalyze) the annotated plan.
+type QueryReport struct {
+	TraceID  string
+	Query    string
+	SQL      string
+	Strategy string
+	Census   iterplan.CensusResult
+	Result   *Result
+	// Plan is the per-operator stats tree; nil unless WithAnalyze was given.
+	Plan *engine.PlanStats
+	// Trace is the finished span tree covering every lowering stage.
+	Trace *obsv.TraceData
+}
+
+// RenderAnalyze formats the annotated plan tree (EXPLAIN ANALYZE output);
+// empty when the query ran without WithAnalyze.
+func (r *QueryReport) RenderAnalyze() string {
+	if r.Plan == nil {
+		return ""
+	}
+	return r.Plan.Render()
+}
+
 // Query translates and executes a JSONiq query. The result has one column,
 // "result", holding the returned items.
 func (w *Warehouse) Query(jsoniqSrc string, opts ...QueryOption) (*Result, error) {
-	var o core.Options
-	for _, fn := range opts {
-		fn(&o)
-	}
-	res, err := core.Translate(w.sess, jsoniqSrc, o)
+	rep, err := w.QueryTraced(jsoniqSrc, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return res.DataFrame.Collect()
+	return rep.Result, nil
+}
+
+// QueryTraced runs a query with full lifecycle observability: a trace is
+// recorded into the warehouse observer's ring buffer (span per stage), the
+// standard metrics are updated, and the report carries trace ID, SQL,
+// census and — with WithAnalyze — the per-operator plan statistics.
+func (w *Warehouse) QueryTraced(jsoniqSrc string, opts ...QueryOption) (*QueryReport, error) {
+	var c queryConfig
+	for _, fn := range opts {
+		fn(&c)
+	}
+	tr := w.obs.Tracer.Start("query")
+	tr.SetAttr("query", jsoniqSrc)
+	c.opts.Span = tr.Root
+
+	finish := func(res *Result, err error) *obsv.TraceData {
+		tr.SetError(err)
+		td := tr.Finish()
+		ob := obsv.QueryObservation{Trace: td, Errored: err != nil}
+		if res != nil {
+			ob.BytesScanned = res.Metrics.BytesScanned
+			ob.RowsReturned = res.Metrics.RowsReturned
+			ob.PartitionsTotal = int64(res.Metrics.PartitionsTotal)
+			ob.PartitionsPruned = int64(res.Metrics.PartitionsPruned)
+		}
+		w.obs.ObserveQuery(ob)
+		return td
+	}
+
+	tres, err := core.Translate(w.sess, jsoniqSrc, c.opts)
+	if err != nil {
+		finish(nil, err)
+		return nil, err
+	}
+	tr.SetAttr("sql", tres.SQL)
+	tr.SetAttr("strategy", tres.Strategy.String())
+	result, plan, err := tres.DataFrame.CollectTraced(tr.Root, c.analyze)
+	if err != nil {
+		finish(nil, err)
+		return nil, err
+	}
+	tr.SetAttr("rows", fmt.Sprint(result.Metrics.RowsReturned))
+	td := finish(result, nil)
+	return &QueryReport{
+		TraceID:  tr.ID,
+		Query:    jsoniqSrc,
+		SQL:      tres.SQL,
+		Strategy: tres.Strategy.String(),
+		Census:   tres.Census,
+		Result:   result,
+		Plan:     plan,
+		Trace:    td,
+	}, nil
 }
 
 // QueryItems is Query returning the bare result items.
@@ -183,6 +274,10 @@ func (w *Warehouse) QueryInterpreted(jsoniqSrc string) ([]Value, error) {
 // Engine exposes the underlying SQL engine (advanced use: catalog access,
 // custom staging, metrics inspection).
 func (w *Warehouse) Engine() *engine.Engine { return w.eng }
+
+// Observer exposes the warehouse's observability substrate: the metrics
+// registry (Prometheus exposition) and the recent-query trace ring.
+func (w *Warehouse) Observer() *obsv.Observer { return w.obs }
 
 // Session exposes the data-frame session for programmatic query building
 // with the snowpark-style API.
