@@ -31,6 +31,8 @@ func main() {
 	powers := flag.String("powers", "-7,-6,-5,-4,-3,-2,-1,0", "fig10 scale factors as powers of two")
 	experiments := flag.String("experiments", "all", "comma-separated experiment list")
 	jsonOut := flag.String("json", "", "also write machine-readable run results to this path (e.g. BENCH_ADL.json)")
+	batchSize := flag.Int("batch-size", 0, "rows per vector batch (0 = engine default, 1024)")
+	parallelism := flag.Int("parallelism", 0, "morsel scan workers (0 = NumCPU, 1 = sequential)")
 	flag.Parse()
 
 	cfg := adl.DefaultConfig(os.Stdout)
@@ -42,6 +44,8 @@ func main() {
 	cfg.Runs = *runs
 	cfg.Warmups = *warmups
 	cfg.Cutoff = *cutoff
+	cfg.BatchSize = *batchSize
+	cfg.Parallelism = *parallelism
 	cfg.ScalePowers = nil
 	for _, p := range strings.Split(*powers, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(p))

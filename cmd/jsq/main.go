@@ -37,9 +37,11 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print execution metrics")
 	demo := flag.Bool("demo", false, "load a tiny built-in orders dataset")
 	repl := flag.Bool("repl", false, "interactive mode: queries end with a ';' line")
+	batchSize := flag.Int("batch-size", 0, "rows per vector batch (0 = engine default, 1024)")
+	parallelism := flag.Int("parallelism", 0, "morsel scan workers (0 = NumCPU, 1 = sequential)")
 	flag.Parse()
 
-	w := jsonpark.Open()
+	w := jsonpark.Open(jsonpark.WithBatchSize(*batchSize), jsonpark.WithParallelism(*parallelism))
 	switch {
 	case *demo:
 		loadDemo(w)

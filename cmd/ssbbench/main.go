@@ -26,6 +26,8 @@ func main() {
 	warmups := flag.Int("warmups", 1, "warmup runs per data point")
 	experiments := flag.String("experiments", "all", "fig11a, fig11b or all")
 	jsonOut := flag.String("json", "", "also write machine-readable run results to this path (e.g. BENCH_SSB.json)")
+	batchSize := flag.Int("batch-size", 0, "rows per vector batch (0 = engine default, 1024)")
+	parallelism := flag.Int("parallelism", 0, "morsel scan workers (0 = NumCPU, 1 = sequential)")
 	flag.Parse()
 
 	cfg := ssb.DefaultConfig(os.Stdout)
@@ -36,6 +38,8 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Runs = *runs
 	cfg.Warmups = *warmups
+	cfg.BatchSize = *batchSize
+	cfg.Parallelism = *parallelism
 	cfg.ScaleFactors = nil
 	for _, s := range strings.Split(*sfs, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)

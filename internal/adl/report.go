@@ -31,6 +31,10 @@ type ReportConfig struct {
 	// Recorder, when non-nil, accumulates every data point in machine-
 	// readable form alongside the text tables (adlbench -json).
 	Recorder *bench.Recorder
+	// BatchSize and Parallelism configure the vectorized executor; zero
+	// values take the engine defaults (1024 rows, NumCPU workers).
+	BatchSize   int
+	Parallelism int
 }
 
 // DefaultConfig returns laptop-scale defaults.
@@ -49,7 +53,13 @@ func DefaultConfig(out io.Writer) ReportConfig {
 // Setup loads one dataset into a fresh engine and returns the session plus
 // the documents (for the interpreted baselines).
 func Setup(seed int64, events int) (*snowpark.Session, []variant.Value, error) {
-	eng := engine.New()
+	return SetupOpts(seed, events, 0, 0)
+}
+
+// SetupOpts is Setup with explicit executor settings; zero values take the
+// engine defaults.
+func SetupOpts(seed int64, events, batchSize, parallelism int) (*snowpark.Session, []variant.Value, error) {
+	eng := engine.New(engine.WithBatchSize(batchSize), engine.WithParallelism(parallelism))
 	docs, err := hepdata.Load(eng, "adl", seed, events)
 	if err != nil {
 		return nil, nil, err
@@ -86,7 +96,7 @@ func ReportTable2(cfg ReportConfig) error {
 // ReportFig6 regenerates Figure 6: JSONiq→SQL translation time per query
 // (data independent; only the table schema is consulted).
 func ReportFig6(cfg ReportConfig) error {
-	sess, _, err := Setup(cfg.Seed, 16)
+	sess, _, err := SetupOpts(cfg.Seed, 16, cfg.BatchSize, cfg.Parallelism)
 	if err != nil {
 		return err
 	}
@@ -115,7 +125,7 @@ func ReportFig6(cfg ReportConfig) error {
 // ReportFig7 regenerates Figure 7: SQL compilation time in the engine,
 // automatically generated vs handwritten.
 func ReportFig7(cfg ReportConfig) error {
-	sess, _, err := Setup(cfg.Seed, 64)
+	sess, _, err := SetupOpts(cfg.Seed, 64, cfg.BatchSize, cfg.Parallelism)
 	if err != nil {
 		return err
 	}
@@ -157,7 +167,7 @@ func measureCompile(eng *engine.Engine, sql string, cfg ReportConfig) (time.Dura
 // ReportFig8 regenerates Figure 8: execution time at the configured dataset
 // size, generated vs handwritten (compile excluded).
 func ReportFig8(cfg ReportConfig) error {
-	sess, _, err := Setup(cfg.Seed, cfg.Events)
+	sess, _, err := SetupOpts(cfg.Seed, cfg.Events, cfg.BatchSize, cfg.Parallelism)
 	if err != nil {
 		return err
 	}
@@ -233,7 +243,7 @@ var systemOrder = []string{"RumbleDB+Spark", "AsterixDB", "Generated", "Handwrit
 // ReportFig9 regenerates Figure 9: end-to-end time per query across the
 // four systems, with the cutoff applied to the DSQL baselines.
 func ReportFig9(cfg ReportConfig) error {
-	sess, docs, err := Setup(cfg.Seed, cfg.Events)
+	sess, docs, err := SetupOpts(cfg.Seed, cfg.Events, cfg.BatchSize, cfg.Parallelism)
 	if err != nil {
 		return err
 	}
@@ -266,7 +276,7 @@ func ReportFig9(cfg ReportConfig) error {
 // ReportScanned regenerates the §V-E measurement: bytes scanned per query,
 // generated vs handwritten.
 func ReportScanned(cfg ReportConfig) error {
-	sess, _, err := Setup(cfg.Seed, cfg.Events)
+	sess, _, err := SetupOpts(cfg.Seed, cfg.Events, cfg.BatchSize, cfg.Parallelism)
 	if err != nil {
 		return err
 	}
@@ -310,7 +320,7 @@ func ReportFig10(cfg ReportConfig) error {
 			if events < 8 {
 				events = 8
 			}
-			sess, docs, err := Setup(cfg.Seed, events)
+			sess, docs, err := SetupOpts(cfg.Seed, events, cfg.BatchSize, cfg.Parallelism)
 			if err != nil {
 				return err
 			}
@@ -346,7 +356,7 @@ func ReportFig10(cfg ReportConfig) error {
 // ReportAblation regenerates the §IV-C strategy comparison: KEEP-flag vs
 // JOIN-based nested-query handling on the queries with nested queries.
 func ReportAblation(cfg ReportConfig) error {
-	sess, _, err := Setup(cfg.Seed, cfg.Events)
+	sess, _, err := SetupOpts(cfg.Seed, cfg.Events, cfg.BatchSize, cfg.Parallelism)
 	if err != nil {
 		return err
 	}

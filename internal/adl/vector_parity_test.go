@@ -1,0 +1,70 @@
+package adl
+
+import (
+	"strings"
+	"testing"
+
+	"jsonpark/internal/engine"
+)
+
+const parityEvents = 400
+
+func renderResult(res *engine.Result) string {
+	var b strings.Builder
+	for _, row := range res.Rows {
+		for _, v := range row {
+			b.WriteString(v.JSON())
+			b.WriteByte('\t')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestADLBatchSizeParity runs every ADL query — translated (per-query
+// strategy) and handwritten — under several executor configurations and
+// requires the raw result rows to be byte-identical to the batch-size-1
+// sequential reference, which reproduces the row-at-a-time executor's
+// behaviour exactly.
+func TestADLBatchSizeParity(t *testing.T) {
+	configs := []struct {
+		name                   string
+		batchSize, parallelism int
+	}{
+		{"bs1-seq", 1, 1},
+		{"bs1024-seq", 1024, 1},
+		{"bs1024-par", 1024, 0}, // 0 = NumCPU workers
+	}
+	type ref struct{ translated, handwritten string }
+	var want map[string]ref
+	for _, cfg := range configs {
+		sess, _, err := SetupOpts(42, parityEvents, cfg.batchSize, cfg.parallelism)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[string]ref)
+		for _, q := range Queries() {
+			_, tres, err := RunTranslated(sess, q, nil)
+			if err != nil {
+				t.Fatalf("%s [%s]: %v", q.ID, cfg.name, err)
+			}
+			_, hres, err := RunHandwritten(sess.Engine(), q)
+			if err != nil {
+				t.Fatalf("%s [%s]: %v", q.ID, cfg.name, err)
+			}
+			got[q.ID] = ref{renderResult(tres), renderResult(hres)}
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for _, q := range Queries() {
+			if got[q.ID].translated != want[q.ID].translated {
+				t.Errorf("%s translated: %s diverges from %s", q.ID, cfg.name, configs[0].name)
+			}
+			if got[q.ID].handwritten != want[q.ID].handwritten {
+				t.Errorf("%s handwritten: %s diverges from %s", q.ID, cfg.name, configs[0].name)
+			}
+		}
+	}
+}

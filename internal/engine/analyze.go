@@ -6,41 +6,46 @@ import (
 	"time"
 
 	"jsonpark/internal/sqlast"
-	"jsonpark/internal/variant"
+	"jsonpark/internal/vector"
 )
 
 // OpStats accumulates one operator's runtime statistics when a query is
-// prepared with Analyze. Scan-only fields (bytes, partitions, batches) stay
-// zero on other operators. Stats belong to a single query execution and are
-// written by its one goroutine; snapshots for reporting are taken after Run.
+// prepared with Analyze. Scan-only fields (bytes, partitions) stay zero on
+// other operators. Stats are written by the driving goroutine (the scan
+// operators' partition accounting arrives from morsel workers through the
+// execContext mutex); snapshots for reporting are taken after Run.
 type OpStats struct {
-	RowsOut          int64         // rows emitted by this operator
-	Calls            int64         // Next() invocations (rows + the final EOF)
+	RowsOut          int64         // active rows emitted by this operator
+	Calls            int64         // NextBatch() invocations (batches + the final EOF)
 	WallTime         time.Duration // inclusive: covers all children
 	BytesScanned     int64         // scan: column-chunk bytes materialized
 	PartitionsTotal  int           // scan: partitions considered
 	PartitionsPruned int           // scan: partitions skipped via zone maps
-	Batches          int64         // scan: partitions actually materialized
+	Batches          int64         // vector batches emitted by this operator
 }
 
-// statIter wraps an operator's iterator, metering rows out and inclusive
-// wall time. Children are wrapped too, so self time is recoverable as
-// inclusive minus the children's inclusive times.
+// statIter wraps an operator's iterator, metering emitted batches, rows and
+// inclusive wall time. Children are wrapped too, so self time is recoverable
+// as inclusive minus the children's inclusive times. statIter is the sole
+// Batches counter: operators never count their own output.
 type statIter struct {
-	in rowIter
+	in batchIter
 	st *OpStats
 }
 
-func (s *statIter) Next() ([]variant.Value, error) {
+func (s *statIter) NextBatch() (*vector.Batch, error) {
 	start := time.Now()
-	row, err := s.in.Next()
+	b, err := s.in.NextBatch()
 	s.st.WallTime += time.Since(start)
 	s.st.Calls++
-	if row != nil {
-		s.st.RowsOut++
+	if b != nil {
+		s.st.Batches++
+		s.st.RowsOut += int64(b.NumRows())
 	}
-	return row, err
+	return b, err
 }
+
+func (s *statIter) Close() { s.in.Close() }
 
 // statsFor returns the stats slot for a plan node, or nil when the query is
 // not being analyzed.
@@ -139,6 +144,8 @@ func (ps *PlanStats) Render() string {
 			fmt.Fprintf(&b, " bytes=%d partitions=%d/%d pruned=%d batches=%d",
 				n.BytesScanned, n.PartitionsTotal-n.PartitionsPruned, n.PartitionsTotal,
 				n.PartitionsPruned, n.Batches)
+		} else {
+			fmt.Fprintf(&b, " batches=%d", n.Batches)
 		}
 		b.WriteString(")\n")
 	})

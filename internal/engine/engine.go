@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"runtime"
 	"strings"
 	"time"
 
@@ -8,18 +9,58 @@ import (
 	"jsonpark/internal/sqlparse"
 	"jsonpark/internal/storage"
 	"jsonpark/internal/variant"
+	"jsonpark/internal/vector"
 )
 
 // Engine is one embedded database instance: a catalog of micro-partitioned
 // tables plus the query pipeline (parse → plan → optimize → execute).
 type Engine struct {
-	catalog *storage.Catalog
+	catalog     *storage.Catalog
+	batchSize   int
+	parallelism int
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithBatchSize sets the number of rows per vector batch flowing between
+// operators. Values < 1 fall back to vector.DefaultBatchSize.
+func WithBatchSize(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.batchSize = n
+		}
+	}
+}
+
+// WithParallelism caps the morsel worker pool of each table scan. 1 disables
+// parallel scans; values < 1 fall back to runtime.NumCPU().
+func WithParallelism(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.parallelism = n
+		}
+	}
 }
 
 // New returns an empty engine.
-func New() *Engine {
-	return &Engine{catalog: storage.NewCatalog()}
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		catalog:     storage.NewCatalog(),
+		batchSize:   vector.DefaultBatchSize,
+		parallelism: runtime.NumCPU(),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
 }
+
+// BatchSize reports the configured rows-per-batch.
+func (e *Engine) BatchSize() int { return e.batchSize }
+
+// Parallelism reports the configured scan worker cap.
+func (e *Engine) Parallelism() int { return e.parallelism }
 
 // Catalog exposes the engine's table catalog for loading data.
 func (e *Engine) Catalog() *storage.Catalog { return e.catalog }
@@ -49,7 +90,7 @@ type Result struct {
 // Prepared is a compiled query ready to execute once.
 type Prepared struct {
 	plan    Node
-	iter    rowIter
+	iter    batchIter
 	ctx     *execContext
 	columns []string
 	metrics Metrics
@@ -88,7 +129,20 @@ func (e *Engine) PrepareOpts(sql string, po PrepareOptions) (*Prepared, error) {
 	osp := po.Span.Child("engine.optimize")
 	plan = optimizeTraced(plan, osp)
 	osp.End()
-	ctx := &execContext{metrics: &Metrics{}}
+	ctx := &execContext{
+		metrics:     &Metrics{},
+		batchSize:   e.batchSize,
+		parallelism: e.parallelism,
+	}
+	if ctx.batchSize <= 0 {
+		ctx.batchSize = vector.DefaultBatchSize
+	}
+	if ctx.parallelism <= 0 {
+		ctx.parallelism = runtime.NumCPU()
+	}
+	if ctx.parallelism > 1 {
+		ctx.unorderedScans = collectUnorderedScans(plan)
+	}
 	if po.Analyze {
 		ctx.stats = make(map[Node]*OpStats)
 	}
@@ -106,7 +160,8 @@ func (e *Engine) PrepareOpts(sql string, po PrepareOptions) (*Prepared, error) {
 // Run executes the prepared query to completion. A Prepared is single-use.
 func (p *Prepared) Run() (*Result, error) {
 	start := time.Now()
-	rows, err := drain(p.iter)
+	rows, err := drainRows(p.iter)
+	p.iter.Close()
 	if err != nil {
 		return nil, err
 	}

@@ -4,28 +4,61 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
+	"jsonpark/internal/sqlast"
 	"jsonpark/internal/variant"
+	"jsonpark/internal/vector"
 )
 
 // execContext carries per-query runtime state shared by all operators.
+// Scan workers run on multiple goroutines, so the shared metrics (and the
+// scan operators' stats slots) are updated under mu.
 type execContext struct {
 	metrics *Metrics
+	mu      sync.Mutex
 	// stats, when non-nil, enables per-operator metering (EXPLAIN ANALYZE):
 	// prepare wraps every operator in a statIter writing into its node's slot.
 	stats map[Node]*OpStats
+	// batchSize is the target row count of one vector.Batch.
+	batchSize int
+	// parallelism caps the morsel worker pool of each scan.
+	parallelism int
+	// unorderedScans marks scans whose consumers are provably insensitive to
+	// row order; their morsel workers emit batches as they complete instead
+	// of merging in partition order.
+	unorderedScans map[Node]bool
 }
 
-// rowIter produces rows; a nil row signals end of stream.
-type rowIter interface {
-	Next() ([]variant.Value, error)
+// addScanCounts merges one partition's accounting into the shared metrics
+// and the scan's stats slot. Called concurrently by morsel workers.
+func (c *execContext) addScanCounts(st *OpStats, totalParts, pruned int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics.PartitionsTotal += totalParts
+	c.metrics.PartitionsPruned += pruned
+	c.metrics.BytesScanned += bytes
+	if st != nil {
+		st.PartitionsTotal += totalParts
+		st.PartitionsPruned += pruned
+		st.BytesScanned += bytes
+	}
 }
 
-// prepare compiles a logical plan into an executable iterator tree, wrapping
+// batchIter is the vectorized executor interface: operators exchange
+// columnar batches instead of single rows. A nil batch signals end of
+// stream. Close releases operator resources (morsel worker pools); it must
+// be safe to call more than once and after EOF.
+type batchIter interface {
+	NextBatch() (*vector.Batch, error)
+	Close()
+}
+
+// prepare compiles a logical plan into an executable operator tree, wrapping
 // each operator with a metering iterator when the query is analyzed. All
 // expression compilation happens here, so preparation cost is part of the
 // measured compile phase.
-func prepare(n Node, ctx *execContext) (rowIter, error) {
+func prepare(n Node, ctx *execContext) (batchIter, error) {
 	it, err := prepareNode(n, ctx)
 	if err != nil || ctx.stats == nil {
 		return it, err
@@ -35,7 +68,7 @@ func prepare(n Node, ctx *execContext) (rowIter, error) {
 
 // prepareNode builds the operator for one plan node; children are built via
 // prepare so they get metered too.
-func prepareNode(n Node, ctx *execContext) (rowIter, error) {
+func prepareNode(n Node, ctx *execContext) (batchIter, error) {
 	switch x := n.(type) {
 	case *ScanNode:
 		return prepareScan(x, ctx)
@@ -44,7 +77,7 @@ func prepareNode(n Node, ctx *execContext) (rowIter, error) {
 		if err != nil {
 			return nil, err
 		}
-		cond, err := compileExpr(x.Input.Schema(), x.Cond)
+		cond, err := compileVec(x.Input.Schema(), x.Cond)
 		if err != nil {
 			return nil, err
 		}
@@ -54,25 +87,32 @@ func prepareNode(n Node, ctx *execContext) (rowIter, error) {
 		if err != nil {
 			return nil, err
 		}
-		fns := make([]evalFn, len(x.Exprs))
-		for i, e := range x.Exprs {
-			fn, err := compileExpr(x.Input.Schema(), e)
-			if err != nil {
-				return nil, err
-			}
-			fns[i] = fn
+		fns, err := compileVecs(x.Input.Schema(), x.Exprs)
+		if err != nil {
+			return nil, err
 		}
-		return &projectIter{in: in, fns: fns}, nil
+		// Plain column references alias the (stable) input column; computed
+		// expressions return closure-owned buffers and must be copied into the
+		// output batch, which downstream operators may retain.
+		alias := make([]bool, len(x.Exprs))
+		for i, e := range x.Exprs {
+			_, alias[i] = e.(*sqlast.ColRef)
+		}
+		return &projectIter{in: in, fns: fns, alias: alias}, nil
 	case *FlattenNode:
 		in, err := prepare(x.Input, ctx)
 		if err != nil {
 			return nil, err
 		}
-		input, err := compileExpr(x.Input.Schema(), x.Expr)
+		input, err := compileVec(x.Input.Schema(), x.Expr)
 		if err != nil {
 			return nil, err
 		}
-		return &flattenIter{in: in, input: input, outer: x.Outer}, nil
+		width := len(x.Input.Schema().Names)
+		return &flattenIter{
+			in: in, input: input, outer: x.Outer, width: width,
+			bld: vector.NewBuilder(width+2, ctx.batchSize),
+		}, nil
 	case *AggregateNode:
 		return prepareAggregate(x, ctx)
 	case *JoinNode:
@@ -82,17 +122,20 @@ func prepareNode(n Node, ctx *execContext) (rowIter, error) {
 		if err != nil {
 			return nil, err
 		}
-		keys := make([]evalFn, len(x.Keys))
+		keys := make([]vecFn, len(x.Keys))
 		descs := make([]bool, len(x.Keys))
 		for i, k := range x.Keys {
-			fn, err := compileExpr(x.Input.Schema(), k.Expr)
+			fn, err := compileVec(x.Input.Schema(), k.Expr)
 			if err != nil {
 				return nil, err
 			}
 			keys[i] = fn
 			descs[i] = k.Desc
 		}
-		return &sortIter{in: in, keys: keys, descs: descs}, nil
+		return &sortIter{
+			in: in, keys: keys, descs: descs,
+			width: len(x.Input.Schema().Names), bsize: ctx.batchSize,
+		}, nil
 	case *LimitNode:
 		in, err := prepare(x.Input, ctx)
 		if err != nil {
@@ -108,283 +151,224 @@ func prepareNode(n Node, ctx *execContext) (rowIter, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &unionIter{iters: []rowIter{left, right}}, nil
+		return &unionIter{iters: []batchIter{left, right}}, nil
 	}
 	return nil, fmt.Errorf("engine: cannot prepare node %T", n)
 }
 
-// drain pulls every row from an iterator.
-func drain(it rowIter) ([][]variant.Value, error) {
+// drainRows pulls every batch from an iterator and materializes the active
+// rows.
+func drainRows(it batchIter) ([][]variant.Value, error) {
 	var out [][]variant.Value
 	for {
-		row, err := it.Next()
+		b, err := it.NextBatch()
 		if err != nil {
 			return nil, err
 		}
-		if row == nil {
+		if b == nil {
 			return out, nil
 		}
-		out = append(out, row)
+		out = b.AppendRows(out)
 	}
 }
 
-// --- scan -------------------------------------------------------------------
-
-type scanIter struct {
-	node    *ScanNode
-	ctx     *execContext
-	st      *OpStats // per-operator scan accounting; nil unless analyzed
-	filter  evalFn   // may be nil
-	colIdx  []int
-	parts   int // next partition to open
-	current [][]variant.Value
-	pos     int
-	started bool
-}
-
-func prepareScan(x *ScanNode, ctx *execContext) (rowIter, error) {
-	colIdx := make([]int, len(x.Columns))
-	for i, c := range x.Columns {
-		idx := x.Table.ColumnIndex(c)
-		if idx < 0 {
-			return nil, fmt.Errorf("engine: table %q has no column %q", x.Table.Name, c)
+// selTruthy returns the physical indices of the active rows whose value is
+// non-NULL and SQL-true.
+func selTruthy(b *vector.Batch, vals []variant.Value) []int {
+	var sel []int
+	b.ForEach(func(i int) {
+		if !vals[i].IsNull() && truthySQL(vals[i]) {
+			sel = append(sel, i)
 		}
-		colIdx[i] = idx
-	}
-	var filter evalFn
-	if x.Filter != nil {
-		fn, err := compileExpr(x.Schema(), x.Filter)
-		if err != nil {
-			return nil, err
-		}
-		filter = fn
-	}
-	return &scanIter{node: x, ctx: ctx, st: ctx.statsFor(x), filter: filter, colIdx: colIdx}, nil
-}
-
-func (s *scanIter) Next() ([]variant.Value, error) {
-	for {
-		if s.pos < len(s.current) {
-			row := s.current[s.pos]
-			s.pos++
-			if s.filter != nil {
-				keep, err := s.filter(row)
-				if err != nil {
-					return nil, err
-				}
-				if keep.IsNull() || !truthySQL(keep) {
-					continue
-				}
-			}
-			return row, nil
-		}
-		if !s.loadNextPartition() {
-			return nil, nil
-		}
-	}
-}
-
-// loadNextPartition advances to the next unpruned partition and materializes
-// its projected rows, updating scan metrics.
-func (s *scanIter) loadNextPartition() bool {
-	parts := s.node.Table.Partitions()
-	if !s.started {
-		s.started = true
-		s.ctx.metrics.PartitionsTotal += len(parts)
-		if s.st != nil {
-			s.st.PartitionsTotal += len(parts)
-		}
-	}
-	for s.parts < len(parts) {
-		p := parts[s.parts]
-		s.parts++
-		pruned := false
-		for _, pred := range s.node.Prunes {
-			idx := s.node.Table.ColumnIndex(pred.Column)
-			if idx < 0 {
-				continue
-			}
-			if !p.MayMatch(idx, pred) {
-				pruned = true
-				break
-			}
-		}
-		if pruned {
-			s.ctx.metrics.PartitionsPruned++
-			if s.st != nil {
-				s.st.PartitionsPruned++
-			}
-			continue
-		}
-		rows := p.NumRows()
-		if s.st != nil {
-			s.st.Batches++
-		}
-		s.current = make([][]variant.Value, rows)
-		cols := make([][]variant.Value, len(s.colIdx))
-		for i, idx := range s.colIdx {
-			chunk := p.Column(idx)
-			cols[i] = chunk.Values()
-			s.ctx.metrics.BytesScanned += chunk.Bytes()
-			if s.st != nil {
-				s.st.BytesScanned += chunk.Bytes()
-			}
-		}
-		for r := 0; r < rows; r++ {
-			row := make([]variant.Value, len(cols))
-			for c := range cols {
-				row[c] = cols[c][r]
-			}
-			s.current[r] = row
-		}
-		s.pos = 0
-		if rows > 0 {
-			return true
-		}
-	}
-	return false
+	})
+	return sel
 }
 
 // --- filter / project / flatten ---------------------------------------------
 
 type filterIter struct {
-	in   rowIter
-	cond evalFn
+	in   batchIter
+	cond vecFn
 }
 
-func (f *filterIter) Next() ([]variant.Value, error) {
+func (f *filterIter) NextBatch() (*vector.Batch, error) {
 	for {
-		row, err := f.in.Next()
-		if err != nil || row == nil {
-			return row, err
+		b, err := f.in.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
 		}
-		keep, err := f.cond(row)
+		keep, err := f.cond(b)
 		if err != nil {
 			return nil, err
 		}
-		if !keep.IsNull() && truthySQL(keep) {
-			return row, nil
-		}
-	}
-}
-
-type projectIter struct {
-	in  rowIter
-	fns []evalFn
-}
-
-func (p *projectIter) Next() ([]variant.Value, error) {
-	row, err := p.in.Next()
-	if err != nil || row == nil {
-		return nil, err
-	}
-	out := make([]variant.Value, len(p.fns))
-	for i, fn := range p.fns {
-		v, err := fn(row)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = v
-	}
-	return out, nil
-}
-
-type flattenIter struct {
-	in      rowIter
-	input   evalFn
-	outer   bool
-	baseRow []variant.Value
-	elems   []variant.Value
-	pos     int
-}
-
-func (f *flattenIter) Next() ([]variant.Value, error) {
-	for {
-		if f.baseRow != nil && f.pos < len(f.elems) {
-			out := make([]variant.Value, len(f.baseRow)+2)
-			copy(out, f.baseRow)
-			out[len(f.baseRow)] = f.elems[f.pos]
-			out[len(f.baseRow)+1] = variant.Int(int64(f.pos))
-			f.pos++
-			return out, nil
-		}
-		row, err := f.in.Next()
-		if err != nil || row == nil {
-			return nil, err
-		}
-		v, err := f.input(row)
-		if err != nil {
-			return nil, err
-		}
-		var elems []variant.Value
-		if v.Kind() == variant.KindArray {
-			elems = v.AsArray()
-		}
-		if len(elems) == 0 {
-			if f.outer {
-				// OUTER flatten keeps the row with NULL VALUE/INDEX.
-				out := make([]variant.Value, len(row)+2)
-				copy(out, row)
-				out[len(row)] = variant.Null
-				out[len(row)+1] = variant.Null
-				return out, nil
-			}
+		sel := selTruthy(b, keep)
+		if len(sel) == 0 {
 			continue
 		}
-		f.baseRow = row
-		f.elems = elems
-		f.pos = 0
+		return b.WithSel(sel), nil
 	}
 }
+
+func (f *filterIter) Close() { f.in.Close() }
+
+type projectIter struct {
+	in    batchIter
+	fns   []vecFn
+	alias []bool
+}
+
+func (p *projectIter) NextBatch() (*vector.Batch, error) {
+	b, err := p.in.NextBatch()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	cols := make([][]variant.Value, len(p.fns))
+	for i, fn := range p.fns {
+		vals, err := fn(b)
+		if err != nil {
+			return nil, err
+		}
+		if p.alias[i] {
+			cols[i] = vals
+		} else {
+			// Copy out of the expression's reusable buffer: the emitted batch
+			// must stay valid until Close (sort and join retain batches).
+			c := make([]variant.Value, len(vals))
+			copy(c, vals)
+			cols[i] = c
+		}
+	}
+	// The projected vectors are aligned with the input's physical rows, so
+	// the selection carries over unchanged.
+	return &vector.Batch{Cols: cols, Sel: b.Sel}, nil
+}
+
+func (p *projectIter) Close() { p.in.Close() }
+
+type flattenIter struct {
+	in     batchIter
+	input  vecFn
+	outer  bool
+	width  int // input width; output adds VALUE and INDEX
+	bld    *vector.Builder
+	inDone bool
+}
+
+func (f *flattenIter) NextBatch() (*vector.Batch, error) {
+	for {
+		if b := f.bld.Pop(); b != nil {
+			return b, nil
+		}
+		if f.inDone {
+			return f.bld.Flush(), nil
+		}
+		b, err := f.in.NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			f.inDone = true
+			continue
+		}
+		vals, err := f.input(b)
+		if err != nil {
+			return nil, err
+		}
+		b.ForEach(func(i int) {
+			v := vals[i]
+			var elems []variant.Value
+			if v.Kind() == variant.KindArray {
+				elems = v.AsArray()
+			}
+			if len(elems) == 0 {
+				if f.outer {
+					// OUTER flatten keeps the row with NULL VALUE/INDEX.
+					row := make([]variant.Value, f.width+2)
+					for c := range b.Cols {
+						row[c] = b.Cols[c][i]
+					}
+					row[f.width] = variant.Null
+					row[f.width+1] = variant.Null
+					f.bld.Append(row)
+				}
+				return
+			}
+			for k, e := range elems {
+				row := make([]variant.Value, f.width+2)
+				for c := range b.Cols {
+					row[c] = b.Cols[c][i]
+				}
+				row[f.width] = e
+				row[f.width+1] = variant.Int(int64(k))
+				f.bld.Append(row)
+			}
+		})
+	}
+}
+
+func (f *flattenIter) Close() { f.in.Close() }
 
 // --- aggregation --------------------------------------------------------------
 
-type aggIter struct {
-	rows [][]variant.Value
-	pos  int
+// rowsIter emits pre-materialized rows as dense batches (aggregate and sort
+// outputs).
+type rowsIter struct {
+	rows  [][]variant.Value
+	width int
+	size  int
+	pos   int
 }
 
-func (a *aggIter) Next() ([]variant.Value, error) {
-	if a.pos >= len(a.rows) {
+func (r *rowsIter) NextBatch() (*vector.Batch, error) {
+	if r.pos >= len(r.rows) {
 		return nil, nil
 	}
-	row := a.rows[a.pos]
-	a.pos++
-	return row, nil
+	hi := r.pos + r.size
+	if hi > len(r.rows) {
+		hi = len(r.rows)
+	}
+	cols := make([][]variant.Value, r.width)
+	for c := range cols {
+		col := make([]variant.Value, hi-r.pos)
+		for k := range col {
+			col[k] = r.rows[r.pos+k][c]
+		}
+		cols[c] = col
+	}
+	r.pos = hi
+	return &vector.Batch{Cols: cols}, nil
 }
 
-func prepareAggregate(x *AggregateNode, ctx *execContext) (rowIter, error) {
+func (r *rowsIter) Close() {}
+
+func prepareAggregate(x *AggregateNode, ctx *execContext) (batchIter, error) {
 	in, err := prepare(x.Input, ctx)
 	if err != nil {
 		return nil, err
 	}
 	inSchema := x.Input.Schema()
-	groupFns := make([]evalFn, len(x.GroupBy))
-	for i, g := range x.GroupBy {
-		fn, err := compileExpr(inSchema, g)
-		if err != nil {
-			return nil, err
-		}
-		groupFns[i] = fn
+	groupFns, err := compileVecs(inSchema, x.GroupBy)
+	if err != nil {
+		return nil, err
 	}
 	type compiledAgg struct {
 		spec     AggSpec
-		arg      evalFn // nil for COUNT(*)
-		orderFns []evalFn
+		arg      vecFn // nil for COUNT(*)
+		orderFns []vecFn
 		descs    []bool
 	}
 	aggs := make([]compiledAgg, len(x.Aggs))
 	for i, spec := range x.Aggs {
 		ca := compiledAgg{spec: spec}
 		if spec.Arg != nil {
-			fn, err := compileExpr(inSchema, spec.Arg)
+			fn, err := compileVec(inSchema, spec.Arg)
 			if err != nil {
 				return nil, err
 			}
 			ca.arg = fn
 		}
 		for _, o := range spec.OrderBy {
-			fn, err := compileExpr(inSchema, o.Expr)
+			fn, err := compileVec(inSchema, o.Expr)
 			if err != nil {
 				return nil, err
 			}
@@ -393,42 +377,76 @@ func prepareAggregate(x *AggregateNode, ctx *execContext) (rowIter, error) {
 		}
 		aggs[i] = ca
 	}
+	width := len(x.Schema().Names)
 
-	return &deferredAgg{
-		run: func() ([][]variant.Value, error) {
-			type group struct {
-				keys []variant.Value
-				accs []accumulator
+	run := func() ([][]variant.Value, error) {
+		defer in.Close()
+		type group struct {
+			keys []variant.Value
+			accs []accumulator
+		}
+		groups := make(map[string]*group)
+		var order []string
+
+		newGroup := func(keys []variant.Value) *group {
+			g := &group{keys: keys, accs: make([]accumulator, len(aggs))}
+			for i, ca := range aggs {
+				g.accs[i] = newAccumulator(ca.spec)
 			}
-			groups := make(map[string]*group)
-			var order []string
+			return g
+		}
 
-			newGroup := func(keys []variant.Value) *group {
-				g := &group{keys: keys, accs: make([]accumulator, len(aggs))}
-				for i, ca := range aggs {
-					g.accs[i] = newAccumulator(ca.spec)
-				}
-				return g
+		var kb strings.Builder
+		for {
+			b, err := in.NextBatch()
+			if err != nil {
+				return nil, err
 			}
-
-			for {
-				row, err := in.Next()
+			if b == nil {
+				break
+			}
+			// Evaluate the group keys, aggregate arguments and order keys
+			// once per batch, then fold row-wise into the accumulators.
+			gvals := make([][]variant.Value, len(groupFns))
+			for i, fn := range groupFns {
+				gvals[i], err = fn(b)
 				if err != nil {
 					return nil, err
 				}
-				if row == nil {
-					break
-				}
-				keys := make([]variant.Value, len(groupFns))
-				var kb strings.Builder
-				for i, fn := range groupFns {
-					v, err := fn(row)
+			}
+			avals := make([][]variant.Value, len(aggs))
+			ovals := make([][][]variant.Value, len(aggs))
+			for i, ca := range aggs {
+				if ca.arg != nil {
+					avals[i], err = ca.arg(b)
 					if err != nil {
 						return nil, err
 					}
-					keys[i] = v
-					kb.WriteString(v.HashKey())
-					kb.WriteByte('|')
+				}
+				if len(ca.orderFns) > 0 {
+					ovals[i] = make([][]variant.Value, len(ca.orderFns))
+					for j, fn := range ca.orderFns {
+						ovals[i][j], err = fn(b)
+						if err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+			var rowErr error
+			b.ForEach(func(i int) {
+				if rowErr != nil {
+					return
+				}
+				kb.Reset()
+				var keys []variant.Value
+				if len(groupFns) > 0 {
+					keys = make([]variant.Value, len(groupFns))
+					for k := range groupFns {
+						keys[k] = gvals[k][i]
+						kb.WriteString(keys[k].HashKey())
+						kb.WriteByte('|')
+					}
 				}
 				hk := kb.String()
 				g, ok := groups[hk]
@@ -437,73 +455,77 @@ func prepareAggregate(x *AggregateNode, ctx *execContext) (rowIter, error) {
 					groups[hk] = g
 					order = append(order, hk)
 				}
-				for i, ca := range aggs {
+				for a := range aggs {
 					var v variant.Value
-					if ca.arg != nil {
-						v, err = ca.arg(row)
-						if err != nil {
-							return nil, err
-						}
+					if avals[a] != nil {
+						v = avals[a][i]
 					}
 					var ord []variant.Value
-					if len(ca.orderFns) > 0 {
-						ord = make([]variant.Value, len(ca.orderFns))
-						for j, fn := range ca.orderFns {
-							ov, err := fn(row)
-							if err != nil {
-								return nil, err
-							}
-							ord[j] = ov
+					if ovals[a] != nil {
+						ord = make([]variant.Value, len(ovals[a]))
+						for j := range ovals[a] {
+							ord[j] = ovals[a][j][i]
 						}
 					}
-					if err := g.accs[i].add(v, ord); err != nil {
-						return nil, err
+					if err := g.accs[a].add(v, ord); err != nil {
+						rowErr = err
+						return
 					}
 				}
+			})
+			if rowErr != nil {
+				return nil, rowErr
 			}
+		}
 
-			// Global aggregation over an empty input yields one row.
-			if len(groupFns) == 0 && len(groups) == 0 {
-				g := newGroup(nil)
-				groups[""] = g
-				order = append(order, "")
-			}
+		// Global aggregation over an empty input yields one row.
+		if len(groupFns) == 0 && len(groups) == 0 {
+			g := newGroup(nil)
+			groups[""] = g
+			order = append(order, "")
+		}
 
-			out := make([][]variant.Value, 0, len(order))
-			for _, hk := range order {
-				g := groups[hk]
-				row := make([]variant.Value, 0, len(g.keys)+len(g.accs))
-				row = append(row, g.keys...)
-				for i, acc := range g.accs {
-					row = append(row, acc.result(aggs[i].descs))
-				}
-				out = append(out, row)
+		out := make([][]variant.Value, 0, len(order))
+		for _, hk := range order {
+			g := groups[hk]
+			row := make([]variant.Value, 0, len(g.keys)+len(g.accs))
+			row = append(row, g.keys...)
+			for i, acc := range g.accs {
+				row = append(row, acc.result(aggs[i].descs))
 			}
-			return out, nil
-		},
-	}, nil
+			out = append(out, row)
+		}
+		return out, nil
+	}
+
+	return &aggIter{run: run, in: in, width: width, bsize: ctx.batchSize}, nil
 }
 
-// deferredAgg materializes its groups on first Next.
-type deferredAgg struct {
-	run  func() ([][]variant.Value, error)
-	iter *aggIter
+// aggIter materializes its groups on first NextBatch.
+type aggIter struct {
+	run   func() ([][]variant.Value, error)
+	in    batchIter
+	width int
+	bsize int
+	out   *rowsIter
 }
 
-func (d *deferredAgg) Next() ([]variant.Value, error) {
-	if d.iter == nil {
-		rows, err := d.run()
+func (a *aggIter) NextBatch() (*vector.Batch, error) {
+	if a.out == nil {
+		rows, err := a.run()
 		if err != nil {
 			return nil, err
 		}
-		d.iter = &aggIter{rows: rows}
+		a.out = &rowsIter{rows: rows, width: a.width, size: a.bsize}
 	}
-	return d.iter.Next()
+	return a.out.NextBatch()
 }
+
+func (a *aggIter) Close() { a.in.Close() }
 
 // --- joins -------------------------------------------------------------------
 
-func prepareJoin(x *JoinNode, ctx *execContext) (rowIter, error) {
+func prepareJoin(x *JoinNode, ctx *execContext) (batchIter, error) {
 	left, err := prepare(x.Left, ctx)
 	if err != nil {
 		return nil, err
@@ -527,9 +549,11 @@ func prepareJoin(x *JoinNode, ctx *execContext) (rowIter, error) {
 			return nil, err
 		}
 	}
-	leftKeys := make([]evalFn, len(x.LeftKeys))
+	// Probe keys evaluate vectorized over the streamed left batches; build
+	// keys evaluate row-wise over the materialized right side.
+	leftKeys := make([]vecFn, len(x.LeftKeys))
 	for i, k := range x.LeftKeys {
-		leftKeys[i], err = compileExpr(x.Left.Schema(), k)
+		leftKeys[i], err = compileVec(x.Left.Schema(), k)
 		if err != nil {
 			return nil, err
 		}
@@ -541,35 +565,38 @@ func prepareJoin(x *JoinNode, ctx *execContext) (rowIter, error) {
 			return nil, err
 		}
 	}
+	leftWidth := len(x.Left.Schema().Names)
+	rightWidth := len(x.Right.Schema().Names)
 	return &joinIter{
 		kind: x.Kind, left: left, right: right,
 		leftKeys: leftKeys, rightKeys: rightKeys,
 		residual: residual, on: onFn,
-		rightWidth: len(x.Right.Schema().Names),
+		leftWidth: leftWidth, rightWidth: rightWidth,
+		bld: vector.NewBuilder(leftWidth+rightWidth, ctx.batchSize),
 	}, nil
 }
 
 type joinIter struct {
 	kind       string
-	left       rowIter
-	right      rowIter
-	leftKeys   []evalFn
+	left       batchIter
+	right      batchIter
+	leftKeys   []vecFn
 	rightKeys  []evalFn
 	residual   evalFn
 	on         evalFn
+	leftWidth  int
 	rightWidth int
+	bld        *vector.Builder
 
-	built      bool
-	hash       map[string][][]variant.Value
-	rightRows  [][]variant.Value // CROSS mode
-	leftRow    []variant.Value
-	candidates [][]variant.Value
-	candPos    int
-	emitted    bool // LEFT OUTER: matched at least one candidate
+	built     bool
+	hash      map[string][][]variant.Value
+	rightRows [][]variant.Value // CROSS mode
+	inDone    bool
 }
 
 func (j *joinIter) build() error {
-	rows, err := drain(j.right)
+	rows, err := drainRows(j.right)
+	j.right.Close()
 	if err != nil {
 		return err
 	}
@@ -577,8 +604,9 @@ func (j *joinIter) build() error {
 		j.rightRows = rows
 	} else {
 		j.hash = make(map[string][][]variant.Value)
+		var kb strings.Builder
 		for _, row := range rows {
-			var kb strings.Builder
+			kb.Reset()
 			skip := false
 			for _, fn := range j.rightKeys {
 				v, err := fn(row)
@@ -603,57 +631,60 @@ func (j *joinIter) build() error {
 	return nil
 }
 
-func (j *joinIter) Next() ([]variant.Value, error) {
+func (j *joinIter) NextBatch() (*vector.Batch, error) {
 	if !j.built {
 		if err := j.build(); err != nil {
 			return nil, err
 		}
 	}
 	for {
-		// Emit pending candidates for the current left row.
-		for j.leftRow != nil && j.candPos < len(j.candidates) {
-			rightRow := j.candidates[j.candPos]
-			j.candPos++
-			out := make([]variant.Value, 0, len(j.leftRow)+j.rightWidth)
-			out = append(out, j.leftRow...)
-			out = append(out, rightRow...)
-			ok, err := j.matches(out)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				j.emitted = true
-				return out, nil
-			}
+		if b := j.bld.Pop(); b != nil {
+			return b, nil
 		}
-		if j.leftRow != nil && j.kind == "LEFT OUTER" && !j.emitted {
-			out := make([]variant.Value, 0, len(j.leftRow)+j.rightWidth)
-			out = append(out, j.leftRow...)
-			for i := 0; i < j.rightWidth; i++ {
-				out = append(out, variant.Null)
-			}
-			j.leftRow = nil
-			return out, nil
+		if j.inDone {
+			return j.bld.Flush(), nil
 		}
-		// Advance to the next left row.
-		row, err := j.left.Next()
+		b, err := j.left.NextBatch()
 		if err != nil {
 			return nil, err
 		}
-		if row == nil {
-			return nil, nil
+		if b == nil {
+			j.inDone = true
+			continue
 		}
-		j.leftRow = row
-		j.emitted = false
-		j.candPos = 0
+		if err := j.probeBatch(b); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// probeBatch joins every active left row of one batch against the built
+// right side, appending output rows to the builder.
+func (j *joinIter) probeBatch(b *vector.Batch) error {
+	var kcols [][]variant.Value
+	if j.hash != nil {
+		kcols = make([][]variant.Value, len(j.leftKeys))
+		for i, fn := range j.leftKeys {
+			vals, err := fn(b)
+			if err != nil {
+				return err
+			}
+			kcols[i] = vals
+		}
+	}
+	combined := make([]variant.Value, j.leftWidth+j.rightWidth)
+	var kb strings.Builder
+	var rowErr error
+	b.ForEach(func(i int) {
+		if rowErr != nil {
+			return
+		}
+		candidates := j.rightRows
 		if j.hash != nil {
-			var kb strings.Builder
+			kb.Reset()
 			nullKey := false
-			for _, fn := range j.leftKeys {
-				v, err := fn(row)
-				if err != nil {
-					return nil, err
-				}
+			for k := range kcols {
+				v := kcols[k][i]
 				if v.IsNull() {
 					nullKey = true
 					break
@@ -662,14 +693,35 @@ func (j *joinIter) Next() ([]variant.Value, error) {
 				kb.WriteByte('|')
 			}
 			if nullKey {
-				j.candidates = nil
+				candidates = nil
 			} else {
-				j.candidates = j.hash[kb.String()]
+				candidates = j.hash[kb.String()]
 			}
-		} else {
-			j.candidates = j.rightRows
 		}
-	}
+		for c := range b.Cols {
+			combined[c] = b.Cols[c][i]
+		}
+		emitted := false
+		for _, rightRow := range candidates {
+			copy(combined[j.leftWidth:], rightRow)
+			ok, err := j.matches(combined)
+			if err != nil {
+				rowErr = err
+				return
+			}
+			if ok {
+				emitted = true
+				j.bld.Append(append([]variant.Value(nil), combined...))
+			}
+		}
+		if !emitted && j.kind == "LEFT OUTER" {
+			for c := j.leftWidth; c < len(combined); c++ {
+				combined[c] = variant.Null
+			}
+			j.bld.Append(append([]variant.Value(nil), combined...))
+		}
+	})
+	return rowErr
 }
 
 func (j *joinIter) matches(combined []variant.Value) (bool, error) {
@@ -688,97 +740,138 @@ func (j *joinIter) matches(combined []variant.Value) (bool, error) {
 	return true, nil
 }
 
+func (j *joinIter) Close() {
+	j.left.Close()
+	j.right.Close()
+}
+
 // --- sort / limit / union -----------------------------------------------------
 
 type sortIter struct {
-	in     rowIter
-	keys   []evalFn
-	descs  []bool
-	sorted [][]variant.Value
-	pos    int
-	done   bool
+	in    batchIter
+	keys  []vecFn
+	descs []bool
+	width int
+	bsize int
+	out   *rowsIter
 }
 
-func (s *sortIter) Next() ([]variant.Value, error) {
-	if !s.done {
-		rows, err := drain(s.in)
-		if err != nil {
+func (s *sortIter) NextBatch() (*vector.Batch, error) {
+	if s.out == nil {
+		if err := s.materialize(); err != nil {
 			return nil, err
 		}
-		type keyed struct {
-			row  []variant.Value
-			keys []variant.Value
-		}
-		ks := make([]keyed, len(rows))
-		for i, row := range rows {
-			kv := make([]variant.Value, len(s.keys))
-			for k, fn := range s.keys {
-				v, err := fn(row)
-				if err != nil {
-					return nil, err
-				}
-				kv[k] = v
-			}
-			ks[i] = keyed{row: row, keys: kv}
-		}
-		sort.SliceStable(ks, func(a, b int) bool {
-			for k := range s.keys {
-				c := variant.Compare(ks[a].keys[k], ks[b].keys[k])
-				if s.descs[k] {
-					c = -c
-				}
-				if c != 0 {
-					return c < 0
-				}
-			}
-			return false
-		})
-		s.sorted = make([][]variant.Value, len(ks))
-		for i := range ks {
-			s.sorted[i] = ks[i].row
-		}
-		s.done = true
 	}
-	if s.pos >= len(s.sorted) {
-		return nil, nil
-	}
-	row := s.sorted[s.pos]
-	s.pos++
-	return row, nil
+	return s.out.NextBatch()
 }
 
+// materialize drains the input, evaluates the sort keys batch-wise, and
+// stably sorts the global row index — ties keep their input order even when
+// the rows arrived from a parallel scan's ordered merge.
+func (s *sortIter) materialize() error {
+	defer s.in.Close()
+	var batches []*vector.Batch
+	var keyCols [][][]variant.Value // [batch][key] -> physical-aligned values
+	type ref struct{ b, i int }
+	var refs []ref
+	for {
+		b, err := s.in.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		kc := make([][]variant.Value, len(s.keys))
+		for k, fn := range s.keys {
+			vals, err := fn(b)
+			if err != nil {
+				return err
+			}
+			// Key vectors outlive the batch loop (the global sort reads them
+			// at the end), so detach them from the expressions' reusable
+			// buffers.
+			kc[k] = append([]variant.Value(nil), vals...)
+		}
+		bi := len(batches)
+		batches = append(batches, b)
+		keyCols = append(keyCols, kc)
+		b.ForEach(func(i int) {
+			refs = append(refs, ref{b: bi, i: i})
+		})
+	}
+	sort.SliceStable(refs, func(a, b int) bool {
+		ra, rb := refs[a], refs[b]
+		for k := range s.keys {
+			c := variant.Compare(keyCols[ra.b][k][ra.i], keyCols[rb.b][k][rb.i])
+			if s.descs[k] {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	rows := make([][]variant.Value, len(refs))
+	for n, r := range refs {
+		row := make([]variant.Value, s.width)
+		for c := 0; c < s.width; c++ {
+			row[c] = batches[r.b].Cols[c][r.i]
+		}
+		rows[n] = row
+	}
+	s.out = &rowsIter{rows: rows, width: s.width, size: s.bsize}
+	return nil
+}
+
+func (s *sortIter) Close() { s.in.Close() }
+
 type limitIter struct {
-	in        rowIter
+	in        batchIter
 	remaining int64
 }
 
-func (l *limitIter) Next() ([]variant.Value, error) {
+func (l *limitIter) NextBatch() (*vector.Batch, error) {
 	if l.remaining <= 0 {
 		return nil, nil
 	}
-	row, err := l.in.Next()
-	if err != nil || row == nil {
+	b, err := l.in.NextBatch()
+	if err != nil || b == nil {
 		return nil, err
 	}
-	l.remaining--
-	return row, nil
+	n := int64(b.NumRows())
+	if n > l.remaining {
+		b.Truncate(int(l.remaining))
+		n = l.remaining
+	}
+	l.remaining -= n
+	return b, nil
 }
 
+func (l *limitIter) Close() { l.in.Close() }
+
 type unionIter struct {
-	iters []rowIter
+	iters []batchIter
 	idx   int
 }
 
-func (u *unionIter) Next() ([]variant.Value, error) {
+func (u *unionIter) NextBatch() (*vector.Batch, error) {
 	for u.idx < len(u.iters) {
-		row, err := u.iters[u.idx].Next()
+		b, err := u.iters[u.idx].NextBatch()
 		if err != nil {
 			return nil, err
 		}
-		if row != nil {
-			return row, nil
+		if b != nil {
+			return b, nil
 		}
 		u.idx++
 	}
 	return nil, nil
+}
+
+func (u *unionIter) Close() {
+	for _, it := range u.iters {
+		it.Close()
+	}
 }

@@ -149,30 +149,7 @@ func compileExpr(sc *Schema, e sqlast.Expr) (evalFn, error) {
 			if err != nil || v.IsNull() {
 				return v, err
 			}
-			switch typ {
-			case "INT", "INTEGER", "NUMBER", "BIGINT":
-				i, err := variant.ToInt(v)
-				if err != nil {
-					return variant.Null, err
-				}
-				return variant.Int(i), nil
-			case "DOUBLE", "FLOAT", "REAL":
-				f, err := variant.ToFloat(v)
-				if err != nil {
-					return variant.Null, err
-				}
-				return variant.Float(f), nil
-			case "VARCHAR", "STRING", "TEXT":
-				if v.Kind() == variant.KindString {
-					return v, nil
-				}
-				return variant.String(v.JSON()), nil
-			case "BOOLEAN":
-				return variant.Bool(truthySQL(v)), nil
-			case "VARIANT":
-				return v, nil
-			}
-			return variant.Null, fmt.Errorf("engine: unsupported cast type %q", typ)
+			return castValue(typ, v)
 		}, nil
 	}
 	return nil, fmt.Errorf("engine: cannot compile expression %T", e)
@@ -270,20 +247,39 @@ func compileBinary(sc *Schema, x *sqlast.Binary) (evalFn, error) {
 			return variant.Bool(false), nil
 		}, nil
 	}
-	var fn func(l, r variant.Value) (variant.Value, error)
-	switch x.Op {
+	fn, err := scalarBinOp(x.Op)
+	if err != nil {
+		return nil, err
+	}
+	return func(row []variant.Value) (variant.Value, error) {
+		l, err := left(row)
+		if err != nil {
+			return variant.Null, err
+		}
+		r, err := right(row)
+		if err != nil {
+			return variant.Null, err
+		}
+		return fn(l, r)
+	}, nil
+}
+
+// scalarBinOp returns the elementwise kernel of a non-logical binary
+// operator, shared by the row and batch expression compilers.
+func scalarBinOp(op string) (func(l, r variant.Value) (variant.Value, error), error) {
+	switch op {
 	case "+":
-		fn = variant.Add
+		return variant.Add, nil
 	case "-":
-		fn = variant.Sub
+		return variant.Sub, nil
 	case "*":
-		fn = variant.Mul
+		return variant.Mul, nil
 	case "/":
-		fn = variant.Div
+		return variant.Div, nil
 	case "%":
-		fn = variant.Mod
+		return variant.Mod, nil
 	case "||":
-		fn = func(l, r variant.Value) (variant.Value, error) {
+		return func(l, r variant.Value) (variant.Value, error) {
 			if l.IsNull() || r.IsNull() {
 				return variant.Null, nil
 			}
@@ -295,10 +291,9 @@ func compileBinary(sc *Schema, x *sqlast.Binary) (evalFn, error) {
 				rs = variant.String(rs.JSON())
 			}
 			return variant.String(ls.AsString() + rs.AsString()), nil
-		}
+		}, nil
 	case "=", "<>", "<", "<=", ">", ">=":
-		op := x.Op
-		fn = func(l, r variant.Value) (variant.Value, error) {
+		return func(l, r variant.Value) (variant.Value, error) {
 			if l.IsNull() || r.IsNull() {
 				return variant.Null, nil
 			}
@@ -314,25 +309,40 @@ func compileBinary(sc *Schema, x *sqlast.Binary) (evalFn, error) {
 				return variant.Bool(c <= 0), nil
 			case ">":
 				return variant.Bool(c > 0), nil
-			case ">=":
-				return variant.Bool(c >= 0), nil
 			}
-			return variant.Null, nil
-		}
-	default:
-		return nil, fmt.Errorf("engine: unknown binary operator %q", x.Op)
+			return variant.Bool(c >= 0), nil
+		}, nil
 	}
-	return func(row []variant.Value) (variant.Value, error) {
-		l, err := left(row)
+	return nil, fmt.Errorf("engine: unknown binary operator %q", op)
+}
+
+// castValue applies a CAST to a non-NULL value; typ is already upper-cased.
+// Shared by the row and batch expression compilers.
+func castValue(typ string, v variant.Value) (variant.Value, error) {
+	switch typ {
+	case "INT", "INTEGER", "NUMBER", "BIGINT":
+		i, err := variant.ToInt(v)
 		if err != nil {
 			return variant.Null, err
 		}
-		r, err := right(row)
+		return variant.Int(i), nil
+	case "DOUBLE", "FLOAT", "REAL":
+		f, err := variant.ToFloat(v)
 		if err != nil {
 			return variant.Null, err
 		}
-		return fn(l, r)
-	}, nil
+		return variant.Float(f), nil
+	case "VARCHAR", "STRING", "TEXT":
+		if v.Kind() == variant.KindString {
+			return v, nil
+		}
+		return variant.String(v.JSON()), nil
+	case "BOOLEAN":
+		return variant.Bool(truthySQL(v)), nil
+	case "VARIANT":
+		return v, nil
+	}
+	return variant.Null, fmt.Errorf("engine: unsupported cast type %q", typ)
 }
 
 // truthySQL reports SQL boolean truth: only boolean TRUE is true; numbers

@@ -21,6 +21,10 @@ type ReportConfig struct {
 	// Recorder, when non-nil, accumulates every data point in machine-
 	// readable form alongside the text tables (ssbbench -json).
 	Recorder *bench.Recorder
+	// BatchSize and Parallelism configure the vectorized executor; zero
+	// values take the engine defaults (1024 rows, NumCPU workers).
+	BatchSize   int
+	Parallelism int
 }
 
 // DefaultConfig returns laptop-scale defaults (the paper uses SF 1000 for
@@ -38,7 +42,13 @@ func DefaultConfig(out io.Writer) ReportConfig {
 
 // SetupSF loads one SSB database at the given scale factor.
 func SetupSF(seed int64, sf float64) (*snowpark.Session, error) {
-	eng := engine.New()
+	return SetupSFOpts(seed, sf, 0, 0)
+}
+
+// SetupSFOpts is SetupSF with explicit executor settings; zero values take
+// the engine defaults.
+func SetupSFOpts(seed int64, sf float64, batchSize, parallelism int) (*snowpark.Session, error) {
+	eng := engine.New(engine.WithBatchSize(batchSize), engine.WithParallelism(parallelism))
 	tabs := Generate(seed, SizesForScaleFactor(sf))
 	if err := tabs.Load(eng); err != nil {
 		return nil, err
@@ -69,7 +79,7 @@ func measureTotal(fn func() (*engine.Result, error), cfg ReportConfig) (time.Dur
 // ReportFig11a regenerates Figure 11a: total (compile + execution) time for
 // all thirteen SSB queries, generated vs handwritten, at one scale factor.
 func ReportFig11a(cfg ReportConfig) error {
-	sess, err := SetupSF(cfg.Seed, cfg.ScaleFactor)
+	sess, err := SetupSFOpts(cfg.Seed, cfg.ScaleFactor, cfg.BatchSize, cfg.Parallelism)
 	if err != nil {
 		return err
 	}
@@ -113,7 +123,7 @@ func ReportFig11b(cfg ReportConfig) error {
 		series[id+" hand"] = set.Add(id + " hand")
 	}
 	for _, sf := range cfg.ScaleFactors {
-		sess, err := SetupSF(cfg.Seed, sf)
+		sess, err := SetupSFOpts(cfg.Seed, sf, cfg.BatchSize, cfg.Parallelism)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,66 @@
+package ssb
+
+import (
+	"strings"
+	"testing"
+
+	"jsonpark/internal/engine"
+)
+
+func renderResult(res *engine.Result) string {
+	var b strings.Builder
+	for _, row := range res.Rows {
+		for _, v := range row {
+			b.WriteString(v.JSON())
+			b.WriteByte('\t')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestSSBBatchSizeParity runs all thirteen SSB queries under several
+// executor configurations and requires raw result rows byte-identical to
+// the batch-size-1 sequential reference.
+func TestSSBBatchSizeParity(t *testing.T) {
+	configs := []struct {
+		name                   string
+		batchSize, parallelism int
+	}{
+		{"bs1-seq", 1, 1},
+		{"bs1024-seq", 1024, 1},
+		{"bs1024-par", 1024, 0}, // 0 = NumCPU workers
+	}
+	type ref struct{ translated, handwritten string }
+	var want map[string]ref
+	for _, cfg := range configs {
+		sess, err := SetupSFOpts(7, 0.5, cfg.batchSize, cfg.parallelism)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[string]ref)
+		for _, q := range Queries() {
+			_, tres, err := RunTranslated(sess, q)
+			if err != nil {
+				t.Fatalf("%s [%s]: %v", q.ID, cfg.name, err)
+			}
+			_, hres, err := RunHandwritten(sess.Engine(), q)
+			if err != nil {
+				t.Fatalf("%s [%s]: %v", q.ID, cfg.name, err)
+			}
+			got[q.ID] = ref{renderResult(tres), renderResult(hres)}
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		for _, q := range Queries() {
+			if got[q.ID].translated != want[q.ID].translated {
+				t.Errorf("%s translated: %s diverges from %s", q.ID, cfg.name, configs[0].name)
+			}
+			if got[q.ID].handwritten != want[q.ID].handwritten {
+				t.Errorf("%s handwritten: %s diverges from %s", q.ID, cfg.name, configs[0].name)
+			}
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package vector defines the columnar batch that flows between the engine's
+// executor operators. A Batch is a fixed-capacity slice of column vectors of
+// variant values plus an optional selection vector: filters shrink the
+// selection instead of copying survivors, and scans hand out zero-copy views
+// of the micro-partitions' column chunks. The layout follows the vectorized
+// execution model of MonetDB/X100 and DuckDB, scaled to the embedded engine.
+package vector
+
+import "jsonpark/internal/variant"
+
+// DefaultBatchSize is the number of rows one batch targets. 1024 keeps a
+// batch's column vectors comfortably inside the L2 cache for typical variant
+// widths while amortizing per-batch operator overhead over ~1000 rows.
+const DefaultBatchSize = 1024
+
+// Batch is one unit of columnar data flow. Cols holds the column vectors,
+// all of equal length (the physical row count). Sel, when non-nil, lists the
+// physical indices of the active (surviving) rows in increasing order;
+// a nil Sel means every physical row is active.
+//
+// Column vectors may alias storage owned by others (scan batches alias the
+// micro-partition chunks; projections alias their inputs), so consumers must
+// never mutate Cols in place — operators produce new vectors instead.
+type Batch struct {
+	Cols [][]variant.Value
+	Sel  []int
+}
+
+// Width returns the number of columns.
+func (b *Batch) Width() int { return len(b.Cols) }
+
+// Len returns the physical row count (including filtered-out rows).
+func (b *Batch) Len() int {
+	if len(b.Cols) == 0 {
+		return 0
+	}
+	return len(b.Cols[0])
+}
+
+// NumRows returns the active row count.
+func (b *Batch) NumRows() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.Len()
+}
+
+// WithSel returns a view of the batch restricted to the given physical
+// indices. The column vectors are shared, so the view is free to construct.
+func (b *Batch) WithSel(sel []int) *Batch { return &Batch{Cols: b.Cols, Sel: sel} }
+
+// ForEach calls fn with the physical index of every active row, in order.
+func (b *Batch) ForEach(fn func(phys int)) {
+	if b.Sel != nil {
+		for _, i := range b.Sel {
+			fn(i)
+		}
+		return
+	}
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// ActiveSel returns the active physical indices as a slice. When Sel is nil
+// a fresh dense selection is allocated, otherwise Sel itself is returned;
+// callers must treat the result as read-only.
+func (b *Batch) ActiveSel() []int {
+	if b.Sel != nil {
+		return b.Sel
+	}
+	n := b.Len()
+	sel := make([]int, n)
+	for i := range sel {
+		sel[i] = i
+	}
+	return sel
+}
+
+// Row gathers the physical row i into buf (grown as needed) and returns it.
+func (b *Batch) Row(i int, buf []variant.Value) []variant.Value {
+	if cap(buf) < len(b.Cols) {
+		buf = make([]variant.Value, len(b.Cols))
+	}
+	buf = buf[:len(b.Cols)]
+	for c := range b.Cols {
+		buf[c] = b.Cols[c][i]
+	}
+	return buf
+}
+
+// AppendRows materializes every active row and appends them to rows.
+func (b *Batch) AppendRows(rows [][]variant.Value) [][]variant.Value {
+	b.ForEach(func(i int) {
+		row := make([]variant.Value, len(b.Cols))
+		for c := range b.Cols {
+			row[c] = b.Cols[c][i]
+		}
+		rows = append(rows, row)
+	})
+	return rows
+}
+
+// Truncate drops all but the first n active rows.
+func (b *Batch) Truncate(n int) {
+	if n >= b.NumRows() {
+		return
+	}
+	if b.Sel == nil {
+		b.Sel = b.ActiveSel()
+	}
+	b.Sel = b.Sel[:n]
+}
+
+// Builder accumulates rows into fixed-size batches. Operators that expand or
+// recombine rows (flatten, join, aggregate, sort) feed it row-wise and emit
+// dense batches of the configured size.
+type Builder struct {
+	width int
+	size  int
+	cols  [][]variant.Value
+	ready []*Batch
+}
+
+// NewBuilder returns a builder producing batches of the given width and row
+// capacity.
+func NewBuilder(width, size int) *Builder {
+	if size <= 0 {
+		size = DefaultBatchSize
+	}
+	return &Builder{width: width, size: size}
+}
+
+// Append adds one row (len must equal the builder width).
+func (bu *Builder) Append(row []variant.Value) {
+	if bu.cols == nil {
+		bu.cols = make([][]variant.Value, bu.width)
+		for i := range bu.cols {
+			bu.cols[i] = make([]variant.Value, 0, bu.size)
+		}
+	}
+	for i, v := range row {
+		bu.cols[i] = append(bu.cols[i], v)
+	}
+	if bu.width > 0 && len(bu.cols[0]) >= bu.size {
+		bu.ready = append(bu.ready, &Batch{Cols: bu.cols})
+		bu.cols = nil
+	}
+}
+
+// Pop returns the next completed batch, or nil if none is full yet.
+func (bu *Builder) Pop() *Batch {
+	if len(bu.ready) == 0 {
+		return nil
+	}
+	b := bu.ready[0]
+	bu.ready = bu.ready[1:]
+	return b
+}
+
+// Flush returns any buffered partial batch (nil when empty). Call after the
+// input is exhausted and Pop returned nil.
+func (bu *Builder) Flush() *Batch {
+	if bu.cols == nil || (bu.width > 0 && len(bu.cols[0]) == 0) {
+		return nil
+	}
+	b := &Batch{Cols: bu.cols}
+	bu.cols = nil
+	return b
+}

@@ -71,9 +71,33 @@ type Warehouse struct {
 	docs map[string][]Value
 }
 
+// OpenOption configures a Warehouse.
+type OpenOption func(*openConfig)
+
+type openConfig struct {
+	batchSize   int
+	parallelism int
+}
+
+// WithBatchSize sets the rows-per-batch of the vectorized executor (default
+// 1024). Mostly useful for testing and benchmarking batch-size sensitivity.
+func WithBatchSize(n int) OpenOption {
+	return func(c *openConfig) { c.batchSize = n }
+}
+
+// WithParallelism caps the per-scan morsel worker pool (default: the number
+// of CPUs). 1 forces sequential scans.
+func WithParallelism(n int) OpenOption {
+	return func(c *openConfig) { c.parallelism = n }
+}
+
 // Open creates an empty in-memory warehouse.
-func Open() *Warehouse {
-	eng := engine.New()
+func Open(opts ...OpenOption) *Warehouse {
+	var c openConfig
+	for _, fn := range opts {
+		fn(&c)
+	}
+	eng := engine.New(engine.WithBatchSize(c.batchSize), engine.WithParallelism(c.parallelism))
 	return &Warehouse{
 		eng:  eng,
 		sess: snowpark.NewSession(eng),
