@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench clean
+.PHONY: all build test vet lint race check bench clean
 
 all: check
 
@@ -13,12 +13,20 @@ test:
 vet:
 	$(GO) vet ./...
 
+# jsqlint (cmd/jsqlint, internal/lint) machine-checks the executor's
+# invariants that vet and the type system cannot: kernel-output aliasing,
+# operator Close lifecycle, span lifecycle, selection-vector access
+# discipline, locks held across NextBatch, and discarded load-bearing
+# errors. `jsqlint -list` names the analyzers; see DESIGN.md "Invariants".
+lint:
+	$(GO) run ./cmd/jsqlint ./...
+
 # The observability substrate (internal/obsv) is shared by concurrent server
 # queries; the race detector run is the gate that keeps it race-clean.
 race:
 	$(GO) test -race ./...
 
-check: build vet test race
+check: build vet lint test race
 
 bench:
 	$(GO) run ./cmd/adlbench -events 2000 -runs 1 -json BENCH_ADL.json

@@ -27,7 +27,6 @@ func main() {
 	flag.Parse()
 
 	out := bufio.NewWriter(os.Stdout)
-	defer out.Flush()
 
 	var docs []variant.Value
 	switch *kind {
@@ -54,6 +53,11 @@ func main() {
 	}
 	for _, d := range docs {
 		fmt.Fprintln(out, d.JSON())
+	}
+	// A short write to a full disk or closed pipe surfaces here, not as a
+	// silently truncated dataset.
+	if err := out.Flush(); err != nil {
+		fatal(err)
 	}
 }
 

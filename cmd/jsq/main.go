@@ -39,9 +39,10 @@ func main() {
 	repl := flag.Bool("repl", false, "interactive mode: queries end with a ';' line")
 	batchSize := flag.Int("batch-size", 0, "rows per vector batch (0 = engine default, 1024)")
 	parallelism := flag.Int("parallelism", 0, "morsel scan workers (0 = NumCPU, 1 = sequential)")
+	planCheck := flag.Bool("plancheck", false, "enable the planck debug pass (plan cross-checks + per-batch validation)")
 	flag.Parse()
 
-	w := jsonpark.Open(jsonpark.WithBatchSize(*batchSize), jsonpark.WithParallelism(*parallelism))
+	w := jsonpark.Open(jsonpark.WithBatchSize(*batchSize), jsonpark.WithParallelism(*parallelism), jsonpark.WithPlanCheck(*planCheck))
 	switch {
 	case *demo:
 		loadDemo(w)
@@ -188,6 +189,11 @@ func runREPL(w *jsonpark.Warehouse, strat jsonpark.Strategy) {
 		}
 		buf.WriteString(line)
 		buf.WriteByte('\n')
+	}
+	// A read error on stdin (as opposed to clean EOF) should not look like a
+	// normal .quit.
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "jsq: reading input:", err)
 	}
 }
 

@@ -1,0 +1,72 @@
+// Command jsqlint runs jsonpark's static-analysis suite (internal/lint)
+// over the module. It is the multichecker behind `make lint` and the CI
+// lint gate: every analyzer checks one executor invariant that the type
+// system cannot express — kernel output aliasing, operator Close lifecycle,
+// span lifecycle, selection-vector access discipline, lock scope across
+// NextBatch, and discarded load-bearing errors.
+//
+// Usage:
+//
+//	jsqlint [-checks kernelalias,execclose,...] [packages]
+//
+// With no packages, ./... is linted. Exit status is 1 when any finding
+// survives suppression, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jsonpark/internal/lint"
+)
+
+func main() {
+	fs := flag.NewFlagSet("jsqlint", flag.ContinueOnError)
+	checks := fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: jsqlint [-checks a,b,...] [-list] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := lint.ByName(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.LoadPackages(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	diags, err := lint.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "jsqlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -18,6 +18,7 @@ type Engine struct {
 	catalog     *storage.Catalog
 	batchSize   int
 	parallelism int
+	planCheck   bool
 }
 
 // Option configures an Engine.
@@ -41,6 +42,15 @@ func WithParallelism(n int) Option {
 			e.parallelism = n
 		}
 	}
+}
+
+// WithPlanCheck enables the planck debug pass: every prepared plan is
+// cross-checked for unordered-exchange eligibility and declared
+// selection-vector contracts, and every operator is wrapped to validate the
+// batches it emits (see planck.go). Intended for tests and debugging — the
+// per-batch validation costs a scan over each selection vector.
+func WithPlanCheck(on bool) Option {
+	return func(e *Engine) { e.planCheck = on }
 }
 
 // New returns an empty engine.
@@ -142,6 +152,16 @@ func (e *Engine) PrepareOpts(sql string, po PrepareOptions) (*Prepared, error) {
 	}
 	if ctx.parallelism > 1 {
 		ctx.unorderedScans = collectUnorderedScans(plan)
+	}
+	if e.planCheck {
+		ctx.planCheck = true
+		unordered := ctx.unorderedScans
+		if unordered == nil {
+			unordered = collectUnorderedScans(plan)
+		}
+		if err := checkPlan(plan, unordered); err != nil {
+			return nil, err
+		}
 	}
 	if po.Analyze {
 		ctx.stats = make(map[Node]*OpStats)

@@ -28,6 +28,9 @@ type execContext struct {
 	// row order; their morsel workers emit batches as they complete instead
 	// of merging in partition order.
 	unorderedScans map[Node]bool
+	// planCheck wraps every operator in a checkIter validating the batch
+	// contract at run time (the planck debug pass).
+	planCheck bool
 }
 
 // addScanCounts merges one partition's accounting into the shared metrics
@@ -60,8 +63,15 @@ type batchIter interface {
 // measured compile phase.
 func prepare(n Node, ctx *execContext) (batchIter, error) {
 	it, err := prepareNode(n, ctx)
-	if err != nil || ctx.stats == nil {
+	if err != nil {
 		return it, err
+	}
+	if ctx.planCheck {
+		op, _ := describeNode(n)
+		it = &checkIter{in: it, op: op}
+	}
+	if ctx.stats == nil {
+		return it, nil
 	}
 	return &statIter{in: it, st: ctx.statsFor(n)}, nil
 }
@@ -79,6 +89,7 @@ func prepareNode(n Node, ctx *execContext) (batchIter, error) {
 		}
 		cond, err := compileVec(x.Input.Schema(), x.Cond)
 		if err != nil {
+			in.Close()
 			return nil, err
 		}
 		return &filterIter{in: in, cond: cond}, nil
@@ -89,6 +100,7 @@ func prepareNode(n Node, ctx *execContext) (batchIter, error) {
 		}
 		fns, err := compileVecs(x.Input.Schema(), x.Exprs)
 		if err != nil {
+			in.Close()
 			return nil, err
 		}
 		// Plain column references alias the (stable) input column; computed
@@ -106,6 +118,7 @@ func prepareNode(n Node, ctx *execContext) (batchIter, error) {
 		}
 		input, err := compileVec(x.Input.Schema(), x.Expr)
 		if err != nil {
+			in.Close()
 			return nil, err
 		}
 		width := len(x.Input.Schema().Names)
@@ -127,6 +140,7 @@ func prepareNode(n Node, ctx *execContext) (batchIter, error) {
 		for i, k := range x.Keys {
 			fn, err := compileVec(x.Input.Schema(), k.Expr)
 			if err != nil {
+				in.Close()
 				return nil, err
 			}
 			keys[i] = fn
@@ -149,6 +163,7 @@ func prepareNode(n Node, ctx *execContext) (batchIter, error) {
 		}
 		right, err := prepare(x.Right, ctx)
 		if err != nil {
+			left.Close()
 			return nil, err
 		}
 		return &unionIter{iters: []batchIter{left, right}}, nil
@@ -240,6 +255,7 @@ func (p *projectIter) NextBatch() (*vector.Batch, error) {
 	}
 	// The projected vectors are aligned with the input's physical rows, so
 	// the selection carries over unchanged.
+	//jsqlint:ignore kernelalias alias[i] columns are stable input vectors, not reused kernel buffers; the rest are copied above
 	return &vector.Batch{Cols: cols, Sel: b.Sel}, nil
 }
 
@@ -349,6 +365,7 @@ func prepareAggregate(x *AggregateNode, ctx *execContext) (batchIter, error) {
 	inSchema := x.Input.Schema()
 	groupFns, err := compileVecs(inSchema, x.GroupBy)
 	if err != nil {
+		in.Close()
 		return nil, err
 	}
 	type compiledAgg struct {
@@ -363,6 +380,7 @@ func prepareAggregate(x *AggregateNode, ctx *execContext) (batchIter, error) {
 		if spec.Arg != nil {
 			fn, err := compileVec(inSchema, spec.Arg)
 			if err != nil {
+				in.Close()
 				return nil, err
 			}
 			ca.arg = fn
@@ -370,6 +388,7 @@ func prepareAggregate(x *AggregateNode, ctx *execContext) (batchIter, error) {
 		for _, o := range spec.OrderBy {
 			fn, err := compileVec(inSchema, o.Expr)
 			if err != nil {
+				in.Close()
 				return nil, err
 			}
 			ca.orderFns = append(ca.orderFns, fn)
@@ -532,6 +551,14 @@ func prepareJoin(x *JoinNode, ctx *execContext) (batchIter, error) {
 	}
 	right, err := prepare(x.Right, ctx)
 	if err != nil {
+		left.Close()
+		return nil, err
+	}
+	// Both children are live from here on; every compile failure below must
+	// release them before bailing out.
+	fail := func(err error) (batchIter, error) {
+		left.Close()
+		right.Close()
 		return nil, err
 	}
 	combined := x.Schema()
@@ -539,14 +566,14 @@ func prepareJoin(x *JoinNode, ctx *execContext) (batchIter, error) {
 	if x.Residual != nil {
 		residual, err = compileExpr(combined, x.Residual)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 	var onFn evalFn
 	if x.On != nil {
 		onFn, err = compileExpr(combined, x.On)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 	// Probe keys evaluate vectorized over the streamed left batches; build
@@ -555,14 +582,14 @@ func prepareJoin(x *JoinNode, ctx *execContext) (batchIter, error) {
 	for i, k := range x.LeftKeys {
 		leftKeys[i], err = compileVec(x.Left.Schema(), k)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 	rightKeys := make([]evalFn, len(x.RightKeys))
 	for i, k := range x.RightKeys {
 		rightKeys[i], err = compileExpr(x.Right.Schema(), k)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 	}
 	leftWidth := len(x.Left.Schema().Names)

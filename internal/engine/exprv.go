@@ -169,7 +169,9 @@ func compileVecFuncCall(sc *Schema, x *sqlast.FuncCall) (vecFn, error) {
 			if err != nil {
 				return nil, err
 			}
-			cols[i] = vals
+			// The argument buffers are fully consumed by fn within this call,
+			// before any argument kernel runs again.
+			cols[i] = vals //jsqlint:ignore kernelalias cols is scratch; read out below before the kernels' next call
 		}
 		out = growBuf(out, b.Len())
 		var ferr error

@@ -1,0 +1,195 @@
+package engine
+
+// planck is the plan-check pass: a debug mode (engine.WithPlanCheck) that
+// re-verifies, at plan build time and again at run time, the two invariants
+// the parallel scan work of PR 2 rests on.
+//
+//  1. Unordered-exchange eligibility. collectUnorderedScans decides
+//     top-down which scans may skip the ordered morsel merge. planck
+//     re-derives the same property bottom-up — a scan is eligible exactly
+//     when the path from it to the nearest order-erasing aggregate (global,
+//     order-insensitive, stateless arguments) consists only of operators
+//     that preserve the row multiset independent of order — and fails
+//     preparation if the two analyses ever disagree, in either direction. A
+//     scan marked unordered but not eligible is a wrong-results bug; a scan
+//     eligible but not marked is a silent performance regression.
+//
+//  2. Selection-vector monotonicity. Every operator's contract is to emit
+//     batches whose selection vector is strictly increasing and in bounds
+//     (the merge in morselScan and Batch.ForEach both rely on it).
+//     checkSelContract asserts statically that every plan node is one whose
+//     emitted selection class is known — an unfamiliar node type is an
+//     error, forcing new operators to declare their contract here — and the
+//     checkIter wrapper verifies each emitted batch dynamically.
+//
+// Both checks are pure assertions: a passing plan executes identically with
+// and without planck, modulo the per-batch validation cost.
+
+import (
+	"fmt"
+
+	"jsonpark/internal/vector"
+)
+
+// checkPlan runs the build-time half of planck against the marking that the
+// executor will actually use.
+func checkPlan(root Node, unordered map[Node]bool) error {
+	if err := checkUnorderedScans(root, nil, unordered); err != nil {
+		return err
+	}
+	return checkSelContract(root)
+}
+
+// checkUnorderedScans walks to every scan carrying the ancestor path and
+// diffs bottom-up eligibility against the top-down marking.
+func checkUnorderedScans(n Node, path []Node, unordered map[Node]bool) error {
+	if s, ok := n.(*ScanNode); ok {
+		eligible := unorderedEligible(path, s)
+		switch {
+		case unordered[s] && !eligible:
+			return fmt.Errorf("planck: scan of %s is marked for unordered exchange but an order-sensitive consumer observes it", s.Table.Name)
+		case eligible && !unordered[s]:
+			return fmt.Errorf("planck: scan of %s is eligible for unordered exchange but not marked (ordered merge forced needlessly)", s.Table.Name)
+		}
+		return nil
+	}
+	path = append(path, n)
+	for _, c := range planChildren(n) {
+		if err := checkUnorderedScans(c, path, unordered); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// unorderedEligible derives order-insensitivity bottom-up, independently of
+// markOrdered's top-down flag propagation: walking from the scan towards
+// the root, each operator either passes the row multiset through
+// order-independently (continue), erases order entirely (eligible), or
+// observes order (ineligible).
+func unorderedEligible(path []Node, s *ScanNode) bool {
+	// A stateful pushed-down filter (SEQ8/SEQ4) makes the scan's own output
+	// depend on evaluation order.
+	if exprStateful(s.Filter) {
+		return false
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		switch x := path[i].(type) {
+		case *FilterNode:
+			// A stateless filter keeps the same rows under any order; a
+			// stateful one keeps different rows.
+			if exprStateful(x.Cond) {
+				return false
+			}
+		case *ProjectNode:
+			for _, e := range x.Exprs {
+				if exprStateful(e) {
+					return false
+				}
+			}
+		case *FlattenNode:
+			if exprStateful(x.Expr) {
+				return false
+			}
+		case *SortNode:
+			// A sort re-orders but never changes the row multiset; stateful
+			// sort keys alter only the order, which nothing below an erasing
+			// aggregate can observe.
+		case *UnionNode:
+			// Concatenation passes each side through.
+		case *AggregateNode:
+			// The first aggregate on the path decides: a global aggregate
+			// over order-insensitive accumulators with stateless arguments
+			// erases its input order; any other aggregate observes it
+			// (grouped output order is first-seen, float SUM folds in input
+			// order).
+			if len(x.GroupBy) > 0 || !aggsOrderInsensitive(x.Aggs) {
+				return false
+			}
+			for _, spec := range x.Aggs {
+				if exprStateful(spec.Arg) {
+					return false
+				}
+			}
+			return true
+		case *JoinNode:
+			// Probe order fixes output order, build order fixes match order.
+			return false
+		case *LimitNode:
+			// LIMIT keeps a prefix: which rows survive depends on order.
+			return false
+		default:
+			return false
+		}
+	}
+	// Reached the root: result rows come back in stream order.
+	return false
+}
+
+// checkSelContract asserts that every plan node is an operator whose
+// selection-vector contract is declared below. All current operators emit
+// batches whose Sel is nil (dense) or strictly increasing: filters build
+// selections via Batch.ForEach in physical order, projections carry their
+// input's selection through unchanged, and every materializing operator
+// (aggregate, join, sort, flatten, scan merge) emits dense batches. A node
+// type this switch does not know cannot be certified and fails the check —
+// adding an operator means deciding its contract here.
+func checkSelContract(n Node) error {
+	switch n.(type) {
+	case *ScanNode, *FilterNode, *ProjectNode, *FlattenNode,
+		*AggregateNode, *JoinNode, *SortNode, *LimitNode, *UnionNode:
+	default:
+		return fmt.Errorf("planck: unknown plan node %T — declare its order and selection-vector contracts in planck.go", n)
+	}
+	for _, c := range planChildren(n) {
+		if err := checkSelContract(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- run-time half -----------------------------------------------------------
+
+// checkIter enforces the batch contract on every vector an operator emits:
+// equal-length columns and a strictly increasing, in-bounds selection.
+type checkIter struct {
+	in batchIter
+	op string
+}
+
+func (c *checkIter) NextBatch() (*vector.Batch, error) {
+	b, err := c.in.NextBatch()
+	if err != nil || b == nil {
+		return b, err
+	}
+	if verr := validateBatch(b); verr != nil {
+		return nil, fmt.Errorf("planck: %s emitted an invalid batch: %w", c.op, verr)
+	}
+	return b, nil
+}
+
+func (c *checkIter) Close() { c.in.Close() }
+
+func validateBatch(b *vector.Batch) error {
+	rows := 0
+	for i, col := range b.Cols {
+		if i == 0 {
+			rows = len(col)
+		} else if len(col) != rows {
+			return fmt.Errorf("ragged columns: column %d has %d rows, column 0 has %d", i, len(col), rows)
+		}
+	}
+	prev := -1
+	//jsqlint:ignore selbounds planck validates the raw selection vector itself; helpers would mask the defects it checks for
+	for _, s := range b.Sel {
+		if s <= prev {
+			return fmt.Errorf("selection vector not strictly increasing: %d after %d", s, prev)
+		}
+		if s >= rows {
+			return fmt.Errorf("selection index %d out of range for %d rows", s, rows)
+		}
+		prev = s
+	}
+	return nil
+}

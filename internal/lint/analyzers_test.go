@@ -1,0 +1,29 @@
+package lint_test
+
+import (
+	"testing"
+
+	"jsonpark/internal/lint"
+	"jsonpark/internal/lint/linttest"
+)
+
+func TestKernelAlias(t *testing.T) { linttest.Run(t, lint.KernelAlias, "kernelalias") }
+func TestExecClose(t *testing.T)   { linttest.Run(t, lint.ExecClose, "execclose") }
+func TestSpanEnd(t *testing.T)     { linttest.Run(t, lint.SpanEnd, "spanend") }
+func TestSelBounds(t *testing.T)   { linttest.Run(t, lint.SelBounds, "selbounds") }
+func TestLockedBatch(t *testing.T) { linttest.Run(t, lint.LockedBatch, "lockedbatch") }
+func TestErrSink(t *testing.T)     { linttest.Run(t, lint.ErrSink, "errsink") }
+
+func TestByName(t *testing.T) {
+	all, err := lint.ByName("")
+	if err != nil || len(all) != len(lint.All()) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite", len(all), err)
+	}
+	two, err := lint.ByName("execclose, spanend")
+	if err != nil || len(two) != 2 || two[0].Name != "execclose" || two[1].Name != "spanend" {
+		t.Fatalf("ByName(\"execclose, spanend\") = %v, err %v", two, err)
+	}
+	if _, err := lint.ByName("nosuch"); err == nil {
+		t.Fatal("ByName(\"nosuch\") should fail")
+	}
+}

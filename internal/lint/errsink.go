@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrSink flags silently discarded error returns from calls whose failure
+// is load-bearing: Close (data may be lost on flush), Flush, Sync, Encode
+// (a broken pipe otherwise passes as success), and flag-set Parse. The
+// check is deny-list based rather than blanket errcheck: only statement-
+// level calls (ExprStmt and defer) with an unconsumed error result are
+// flagged, and only for the listed method names. Explicit discards
+// (`_ = f.Close()`) acknowledge the error and are exempt, as are receivers
+// whose method cannot fail by contract (strings.Builder, bytes.Buffer).
+var ErrSink = &Analyzer{
+	Name: "errsink",
+	Doc:  "Close/Flush/Sync/Encode/Parse errors must be checked or explicitly discarded",
+	Run:  runErrSink,
+}
+
+// errSinkMethods are the method names whose error results must not be
+// dropped at statement level.
+var errSinkMethods = map[string]bool{
+	"Close":  true,
+	"Flush":  true,
+	"Sync":   true,
+	"Encode": true,
+	"Parse":  true,
+}
+
+// errSinkExemptRecv lists receiver types whose listed methods are
+// documented to always return nil.
+func errSinkExemptRecv(t types.Type) bool {
+	return namedIn(t, "strings", "Builder") || namedIn(t, "bytes", "Buffer")
+}
+
+func runErrSink(pass *Pass) error {
+	check := func(call *ast.CallExpr, deferred bool) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !errSinkMethods[sel.Sel.Name] {
+			return
+		}
+		tv, ok := pass.Info.Types[call.Fun]
+		if !ok || tv.Type == nil || tv.IsType() {
+			return
+		}
+		sig, ok := tv.Type.Underlying().(*types.Signature)
+		if !ok {
+			return
+		}
+		// Only calls whose sole result is an error (or whose last result is
+		// an error and the statement drops the whole tuple) are sinks.
+		res := sig.Results()
+		if res.Len() == 0 || !isErrorType(res.At(res.Len()-1).Type()) {
+			return
+		}
+		if rtv, ok := pass.Info.Types[sel.X]; ok && errSinkExemptRecv(rtv.Type) {
+			return
+		}
+		how := "check its error"
+		if deferred {
+			how = "capture and check its error in a wrapper or named return"
+		}
+		pass.Reportf(call.Pos(), "error from %s.%s discarded; %s or assign to _ explicitly", exprString(sel.X), sel.Sel.Name, how)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+					check(call, false)
+				}
+			case *ast.DeferStmt:
+				check(x.Call, true)
+			case *ast.GoStmt:
+				check(x.Call, false)
+			}
+			return true
+		})
+	}
+	return nil
+}

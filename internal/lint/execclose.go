@@ -1,0 +1,32 @@
+package lint
+
+import "go/types"
+
+// ExecClose enforces the executor's lifecycle invariant: every value
+// implementing the batch-iterator interface (NextBatch() (*vector.Batch,
+// error) + Close()) acquired from a constructor must have Close called on
+// all paths — including the error returns between acquiring a child and
+// handing it to the parent operator. A leaked morsel scan leaks its worker
+// goroutines; under the server's concurrent traffic that is an unbounded
+// goroutine leak. Ownership transfers discharge the obligation: returning
+// the iterator, storing it into a struct or slice, passing it to another
+// call (wrapping constructors adopt their children), or capturing it in a
+// closure.
+var ExecClose = &Analyzer{
+	Name: "execclose",
+	Doc:  "operators acquired from constructors must be Closed on all paths, including error returns",
+	Run: func(pass *Pass) error {
+		runLifecycle(pass, &resourceSpec{
+			analyzer: "execclose",
+			resourceRelease: func(t types.Type) string {
+				if isBatchIterType(t) {
+					return "Close"
+				}
+				return ""
+			},
+			argTransfer: true,
+			verb:        "closed",
+		})
+		return nil
+	},
+}

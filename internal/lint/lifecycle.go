@@ -1,0 +1,413 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// resourceSpec parameterizes the lifecycle walker shared by execclose
+// (operators must be Closed) and spanend (spans must be Ended, traces
+// Finished). A resource is acquired by a call whose result carries the
+// resource type; it is discharged by calling its release method, deferring
+// it, or transferring ownership (returning it, storing it into a struct or
+// slice, or capturing it in a closure — the new owner is then responsible).
+type resourceSpec struct {
+	analyzer string
+	// resourceRelease returns the release method ("Close", "End", ...) when
+	// t is a tracked resource type, or "" otherwise.
+	resourceRelease func(t types.Type) string
+	// argTransfer: passing the resource as a plain call argument hands
+	// ownership to the callee (true for operators — wrapping constructors
+	// take over their children; false for spans — helpers annotate a span
+	// but the creator still ends it).
+	argTransfer bool
+	// verb for messages: "closed", "ended".
+	verb string
+}
+
+// trackedVar is one live resource variable inside a function body.
+type trackedVar struct {
+	obj     types.Object
+	name    string
+	release string
+	pos     token.Pos
+	errObj  types.Object // error result of the acquiring call, while paired
+	done    bool         // released, transferred, or already reported
+}
+
+type lifecycleWalker struct {
+	pass *Pass
+	spec *resourceSpec
+	body *ast.BlockStmt
+	vars map[types.Object]*trackedVar
+}
+
+// runLifecycle applies the spec to every function body in the pass.
+func runLifecycle(pass *Pass, spec *resourceSpec) {
+	for _, f := range pass.Files {
+		for _, unit := range funcUnits(f) {
+			w := &lifecycleWalker{pass: pass, spec: spec, body: unit.body, vars: map[types.Object]*trackedVar{}}
+			w.walkStmts(unit.body.List, nil)
+			for _, v := range w.vars {
+				if !v.done {
+					pass.Reportf(v.pos, "%s is never %s in %s (add defer %s.%s())",
+						v.name, spec.verb, unit.name, v.name, v.release)
+				}
+			}
+		}
+	}
+}
+
+// acquisition describes one call result that produces a resource.
+type acquisition struct {
+	resIdx  int // index of the resource in the call's result tuple
+	errIdx  int // index of an error result, or -1
+	release string
+}
+
+// acquires inspects a call's result types.
+func (w *lifecycleWalker) acquires(call *ast.CallExpr) (acquisition, bool) {
+	tv, ok := w.pass.Info.Types[call]
+	if !ok {
+		return acquisition{}, false
+	}
+	acq := acquisition{resIdx: -1, errIdx: -1}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			it := t.At(i).Type()
+			if rel := w.spec.resourceRelease(it); rel != "" && acq.resIdx < 0 {
+				acq.resIdx, acq.release = i, rel
+			} else if isErrorType(it) {
+				acq.errIdx = i
+			}
+		}
+	default:
+		if rel := w.spec.resourceRelease(tv.Type); rel != "" {
+			acq.resIdx, acq.release = 0, rel
+		}
+	}
+	return acq, acq.resIdx >= 0
+}
+
+func (w *lifecycleWalker) register(id *ast.Ident, release string, errObj types.Object) {
+	if id == nil || id.Name == "_" {
+		return
+	}
+	obj := w.pass.Info.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	w.vars[obj] = &trackedVar{obj: obj, name: id.Name, release: release, pos: id.Pos(), errObj: errObj}
+}
+
+func (w *lifecycleWalker) tracked(e ast.Expr) *trackedVar {
+	obj := objOf(w.pass.Info, e)
+	if obj == nil {
+		return nil
+	}
+	v := w.vars[obj]
+	if v == nil || v.done {
+		return nil
+	}
+	return v
+}
+
+// markTransfer discharges e if it is (or contains) a live resource being
+// stored, returned, or passed on.
+func (w *lifecycleWalker) markTransfer(e ast.Expr) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if v := w.tracked(x); v != nil {
+			v.done = true
+		}
+	case *ast.ParenExpr:
+		w.markTransfer(x.X)
+	case *ast.UnaryExpr:
+		w.markTransfer(x.X)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				w.markTransfer(kv.Value)
+			} else {
+				w.markTransfer(el)
+			}
+		}
+	default:
+		w.scanValue(e)
+	}
+}
+
+// scanValue walks an expression for release calls, closure captures and
+// (when the spec says so) argument transfers. Bare identifier reads — a nil
+// check, a comparison — do not discharge the obligation.
+func (w *lifecycleWalker) scanValue(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		if obj, name := receiverObj(w.pass.Info, x); obj != nil {
+			if v := w.vars[obj]; v != nil && !v.done && name == v.release {
+				v.done = true
+			}
+		}
+		if fun, ok := x.Fun.(*ast.SelectorExpr); ok {
+			w.scanValue(fun.X)
+		}
+		for _, arg := range x.Args {
+			if w.spec.argTransfer {
+				w.markTransfer(arg)
+			} else {
+				w.scanValue(arg)
+			}
+		}
+	case *ast.FuncLit:
+		// The closure takes over any resource it captures (the usual shape is
+		// a cleanup func or a worker that releases on its own path).
+		ast.Inspect(x.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v := w.tracked(id); v != nil {
+					v.done = true
+				}
+			}
+			return true
+		})
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				w.markTransfer(kv.Value)
+			} else {
+				w.markTransfer(el)
+			}
+		}
+	case *ast.ParenExpr:
+		w.scanValue(x.X)
+	case *ast.UnaryExpr:
+		w.scanValue(x.X)
+	case *ast.BinaryExpr:
+		w.scanValue(x.X)
+		w.scanValue(x.Y)
+	case *ast.StarExpr:
+		w.scanValue(x.X)
+	case *ast.IndexExpr:
+		w.scanValue(x.X)
+		w.scanValue(x.Index)
+	case *ast.SliceExpr:
+		w.scanValue(x.X)
+	case *ast.TypeAssertExpr:
+		w.scanValue(x.X)
+	case *ast.SelectorExpr:
+		w.scanValue(x.X)
+	case *ast.KeyValueExpr:
+		w.scanValue(x.Value)
+	}
+}
+
+// errObjsIn collects error-typed identifiers referenced by a condition;
+// returns inside an `if err != nil` block are the acquisition's own failure
+// path for resources still paired with that err.
+func (w *lifecycleWalker) errObjsIn(cond ast.Expr, exempt map[types.Object]bool) map[types.Object]bool {
+	out := exempt
+	ast.Inspect(cond, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := w.pass.Info.ObjectOf(id)
+		if obj != nil && isErrorType(obj.Type()) {
+			if out == nil || len(exempt) == len(out) { // copy-on-write
+				cp := make(map[types.Object]bool, len(exempt)+1)
+				for k := range exempt {
+					cp[k] = true
+				}
+				out = cp
+			}
+			out[obj] = true
+		}
+		return true
+	})
+	return out
+}
+
+// dissociate breaks the acquisition/err pairing when the error variable is
+// reassigned by a later call: from then on `if err != nil { return }` is no
+// longer the resource's own failure path and must release it.
+func (w *lifecycleWalker) dissociate(lhs []ast.Expr) {
+	for _, l := range lhs {
+		obj := objOf(w.pass.Info, l)
+		if obj == nil {
+			continue
+		}
+		for _, v := range w.vars {
+			if v.errObj == obj {
+				v.errObj = nil
+			}
+		}
+	}
+}
+
+func (w *lifecycleWalker) assign(lhs, rhs []ast.Expr) {
+	w.dissociate(lhs)
+	if len(rhs) == 1 && len(lhs) >= 1 {
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok {
+			w.scanValue(call) // arg transfers happen even on acquiring calls
+			if acq, ok := w.acquires(call); ok && acq.resIdx < len(lhs) {
+				var errObj types.Object
+				if acq.errIdx >= 0 && acq.errIdx < len(lhs) {
+					errObj = objOf(w.pass.Info, lhs[acq.errIdx])
+				}
+				if id, ok := lhs[acq.resIdx].(*ast.Ident); ok {
+					if id.Name == "_" {
+						w.pass.Reportf(call.Pos(), "result of %s must be %s but is discarded",
+							exprString(call.Fun), w.spec.verb)
+					} else {
+						w.register(id, acq.release, errObj)
+					}
+				}
+				return
+			}
+			return
+		}
+	}
+	if len(lhs) == len(rhs) {
+		for i := range rhs {
+			if call, ok := ast.Unparen(rhs[i]).(*ast.CallExpr); ok {
+				w.scanValue(call)
+				if acq, ok := w.acquires(call); ok && acq.resIdx == 0 {
+					if id, ok := lhs[i].(*ast.Ident); ok && id.Name != "_" {
+						w.register(id, acq.release, nil)
+						continue
+					}
+					if id, ok := lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						w.pass.Reportf(call.Pos(), "result of %s must be %s but is discarded",
+							exprString(call.Fun), w.spec.verb)
+						continue
+					}
+				}
+				continue
+			}
+			w.markTransfer(rhs[i])
+		}
+		return
+	}
+	for _, r := range rhs {
+		w.markTransfer(r)
+	}
+}
+
+func (w *lifecycleWalker) walkStmts(stmts []ast.Stmt, exempt map[types.Object]bool) {
+	for _, s := range stmts {
+		w.walkStmt(s, exempt)
+	}
+}
+
+func (w *lifecycleWalker) walkStmt(s ast.Stmt, exempt map[types.Object]bool) {
+	switch x := s.(type) {
+	case *ast.AssignStmt:
+		w.assign(x.Lhs, x.Rhs)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) == 0 {
+					continue
+				}
+				lhs := make([]ast.Expr, len(vs.Names))
+				for i, n := range vs.Names {
+					lhs[i] = n
+				}
+				w.assign(lhs, vs.Values)
+			}
+		}
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+			if _, ok := w.acquires(call); ok {
+				w.pass.Reportf(call.Pos(), "result of %s must be %s but is discarded",
+					exprString(call.Fun), w.spec.verb)
+				w.scanValue(call)
+				return
+			}
+		}
+		w.scanValue(x.X)
+	case *ast.DeferStmt:
+		w.scanValue(x.Call)
+	case *ast.GoStmt:
+		w.scanValue(x.Call)
+	case *ast.SendStmt:
+		w.markTransfer(x.Value)
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			w.markTransfer(r)
+		}
+		for _, v := range w.vars {
+			if v.done {
+				continue
+			}
+			if v.errObj != nil && exempt[v.errObj] {
+				continue // the acquisition's own failure path
+			}
+			w.pass.Reportf(x.Pos(), "%s may not be %s on this return path (%s.%s() missing; prefer defer)",
+				v.name, w.spec.verb, v.name, v.release)
+			v.done = true
+		}
+	case *ast.IfStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init, exempt)
+		}
+		inner := w.errObjsIn(x.Cond, exempt)
+		w.scanValue(x.Cond)
+		w.walkStmts(x.Body.List, inner)
+		if x.Else != nil {
+			w.walkStmt(x.Else, inner)
+		}
+	case *ast.BlockStmt:
+		w.walkStmts(x.List, exempt)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init, exempt)
+		}
+		w.scanValue(x.Cond)
+		w.walkStmts(x.Body.List, exempt)
+		if x.Post != nil {
+			w.walkStmt(x.Post, exempt)
+		}
+	case *ast.RangeStmt:
+		w.scanValue(x.X)
+		w.walkStmts(x.Body.List, exempt)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init, exempt)
+		}
+		w.scanValue(x.Tag)
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					w.scanValue(e)
+				}
+				w.walkStmts(cc.Body, exempt)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init, exempt)
+		}
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, exempt)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					w.walkStmt(cc.Comm, exempt)
+				}
+				w.walkStmts(cc.Body, exempt)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(x.Stmt, exempt)
+	}
+}

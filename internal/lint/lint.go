@@ -1,0 +1,179 @@
+// Package lint is jsonpark's static-analysis suite: a small
+// go/analysis-style framework (built on the standard library's go/ast and
+// go/types only — the sandbox has no golang.org/x/tools) plus the analyzers
+// that machine-check the executor's load-bearing invariants. PR 2's
+// vectorized executor bought its speed with conventions that previously
+// lived in comments: expression kernels reuse per-closure output buffers,
+// every operator acquired from a constructor must be Closed on all paths,
+// obsv spans must be ended, selection vectors are accessed through the
+// vector.Batch helpers, and no mutex may be held across a NextBatch call.
+// cmd/jsqlint runs every analyzer over the module and is wired into
+// `make lint` and CI, turning those conventions into a compile-time gate.
+//
+// A finding can be suppressed — when the aliasing or retention is
+// intentional and documented — with a directive comment on the reported
+// line or the line above it:
+//
+//	cols[i] = vals //jsqlint:ignore kernelalias reason for the aliasing
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// All returns the full jsqlint suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		KernelAlias,
+		ExecClose,
+		SpanEnd,
+		SelBounds,
+		LockedBatch,
+		ErrSink,
+	}
+}
+
+// ByName resolves a comma-separated analyzer list ("" means all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// ignoreDirective is the suppression marker: it must be followed by the
+// analyzer name and should carry a reason.
+const ignoreDirective = "//jsqlint:ignore"
+
+// suppressions maps filename -> line -> analyzer names suppressed there. A
+// directive suppresses findings on its own line and on the line below it
+// (so it can sit above a long statement).
+func suppressions(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	sup := make(map[string]map[int]map[string]bool)
+	add := func(pos token.Position, name string) {
+		byLine := sup[pos.Filename]
+		if byLine == nil {
+			byLine = make(map[int]map[string]bool)
+			sup[pos.Filename] = byLine
+		}
+		for _, line := range []int{pos.Line, pos.Line + 1} {
+			if byLine[line] == nil {
+				byLine[line] = make(map[string]bool)
+			}
+			byLine[line][name] = true
+		}
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignoreDirective)
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				add(fset.Position(c.Pos()), fields[0])
+			}
+		}
+	}
+	return sup
+}
+
+// Run applies the analyzers to every loaded package and returns the
+// surviving (non-suppressed) diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		sup := suppressions(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				report: func(d Diagnostic) {
+					if names := sup[d.Pos.Filename][d.Pos.Line]; names[d.Analyzer] {
+						return
+					}
+					diags = append(diags, d)
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

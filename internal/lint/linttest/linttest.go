@@ -1,0 +1,93 @@
+// Package linttest is the golden-file harness for the jsqlint analyzers,
+// modelled on golang.org/x/tools' analysistest (which the sandbox does not
+// have). A fixture is one package under internal/lint/testdata/src/<name>;
+// its files import the real jsonpark packages, and every line where the
+// analyzer must fire carries a marker comment:
+//
+//	o.out = vals // want `stored in field`
+//
+// The backquoted pattern is a regexp matched against the diagnostic
+// message. Run fails the test for every unmatched want and every
+// diagnostic with no want — so safe idioms and //jsqlint:ignore'd lines in
+// a fixture double as guarded false-positive cases: if the analyzer ever
+// starts firing on them, the test breaks.
+package linttest
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"jsonpark/internal/lint"
+)
+
+// wantRe extracts the backquoted patterns after a "want " marker.
+var wantRe = regexp.MustCompile("`([^`]*)`")
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<fixture> (relative to the test's working
+// directory), applies the analyzer, and diffs the diagnostics against the
+// fixture's want comments.
+func Run(t *testing.T, a *lint.Analyzer, fixture string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := lint.LoadDir(dir, fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := make(map[string]map[int][]*expectation)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					if wants[pos.Filename] == nil {
+						wants[pos.Filename] = make(map[int][]*expectation)
+					}
+					wants[pos.Filename][pos.Line] = append(wants[pos.Filename][pos.Line], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		found := false
+		for _, e := range wants[d.Pos.Filename][d.Pos.Line] {
+			if !e.matched && e.re.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+		}
+	}
+	for file, byLine := range wants {
+		for line, exps := range byLine {
+			for _, e := range exps {
+				if !e.matched {
+					t.Errorf("%s:%d: no %s diagnostic matching %q", file, line, a.Name, e.re)
+				}
+			}
+		}
+	}
+}

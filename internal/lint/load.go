@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json` for the patterns and decodes
+// the JSON stream. -export populates each package's export-data file from
+// the build cache, which is what lets the loader type-check source against
+// compiled dependency signatures without golang.org/x/tools.
+func goList(dir string, patterns ...string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,GoFiles,CgoFiles,Export,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listedPackage
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: go list: %s", lp.Error.Err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// exportLookup returns a gc export-data lookup function over the listed
+// packages' Export files.
+func exportLookup(pkgs []*listedPackage) func(path string) (io.ReadCloser, error) {
+	exports := make(map[string]string)
+	for _, lp := range pkgs {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	return func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+}
+
+// newInfo allocates the types.Info maps every analyzer relies on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// typeCheck parses and checks one package's files against imp.
+func typeCheck(fset *token.FileSet, pkgPath string, filenames []string, src map[string][]byte, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		var f *ast.File
+		var err error
+		if body, ok := src[fn]; ok {
+			f, err = parser.ParseFile(fset, fn, body, parser.ParseComments|parser.SkipObjectResolution)
+		} else {
+			f, err = parser.ParseFile(fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		}
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", "amd64")}
+	info := newInfo()
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{PkgPath: pkgPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// LoadDir parses and type-checks the single fixture package made of the .go
+// files directly inside dir, resolving its imports (the real jsonpark
+// packages and the stdlib) through the module's compiled export data. It
+// exists for the analyzer tests: testdata packages are invisible to go
+// list, so they are checked from source against the module they sit in.
+func LoadDir(dir, pkgPath string) (*Package, error) {
+	listed, err := goList(dir, "jsonpark/...")
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(filenames) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(listed))
+	return typeCheck(fset, pkgPath, filenames, nil, imp)
+}
+
+// LoadPackages loads and type-checks the packages matched by the patterns
+// (relative to dir), using export data for all dependencies. Test files are
+// not loaded: the analyzers gate the shipped source.
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(listed))
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("lint: %s uses cgo; jsqlint only supports pure Go packages", lp.ImportPath)
+		}
+		var filenames []string
+		for _, f := range lp.GoFiles {
+			filenames = append(filenames, filepath.Join(lp.Dir, f))
+		}
+		if len(filenames) == 0 {
+			continue
+		}
+		pkg, err := typeCheck(fset, lp.ImportPath, filenames, nil, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}

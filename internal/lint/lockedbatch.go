@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// LockedBatch forbids holding a sync.Mutex/RWMutex across a NextBatch call.
+// NextBatch on a morsel scan blocks on the worker results channel; workers
+// in turn report partition accounting through the shared execContext mutex.
+// A consumer that calls NextBatch while holding any mutex the workers (or
+// another consumer goroutine) need closes that loop into a deadlock under
+// backpressure. The analysis is intra-procedural: between recv.Lock() and
+// recv.Unlock() on the same receiver expression — or for the rest of the
+// function after defer recv.Unlock() — any call to a NextBatch method on a
+// value satisfying the executor interface is flagged.
+var LockedBatch = &Analyzer{
+	Name: "lockedbatch",
+	Doc:  "no mutex may be held across a NextBatch call (morsel-pool deadlock under backpressure)",
+	Run:  runLockedBatch,
+}
+
+func runLockedBatch(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, unit := range funcUnits(f) {
+			w := &lockWalker{pass: pass, held: map[string]bool{}}
+			w.walkStmts(unit.body.List)
+		}
+	}
+	return nil
+}
+
+type lockWalker struct {
+	pass *Pass
+	held map[string]bool // rendered receiver expr -> currently locked
+}
+
+// mutexCall classifies recv.Lock/Unlock/RLock/RUnlock calls on sync mutex
+// receivers, returning the rendered receiver and whether it locks.
+func (w *lockWalker) mutexCall(call *ast.CallExpr) (recv string, lock, unlock bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		lock = true
+	case "Unlock", "RUnlock":
+		unlock = true
+	default:
+		return "", false, false
+	}
+	tv, ok := w.pass.Info.Types[sel.X]
+	if !ok {
+		return "", false, false
+	}
+	if !namedIn(tv.Type, "sync", "Mutex") && !namedIn(tv.Type, "sync", "RWMutex") {
+		return "", false, false
+	}
+	return exprString(sel.X), lock, unlock
+}
+
+// checkCalls flags NextBatch calls in e while any mutex is held.
+func (w *lockWalker) checkCalls(e ast.Node) {
+	if e == nil || len(w.held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // separate goroutine/scope; analyzed as its own unit
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "NextBatch" {
+			return true
+		}
+		tv, ok := w.pass.Info.Types[sel.X]
+		if !ok || !isBatchIterType(tv.Type) {
+			return true
+		}
+		for m := range w.held {
+			w.pass.Reportf(call.Pos(), "NextBatch called while holding %s; a blocked morsel pool deadlocks under backpressure — release the lock first", m)
+			break
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.walkStmt(s)
+	}
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(x.X).(*ast.CallExpr); ok {
+			if recv, lock, unlock := w.mutexCall(call); recv != "" {
+				if lock {
+					w.held[recv] = true
+				} else if unlock {
+					delete(w.held, recv)
+				}
+				return
+			}
+		}
+		w.checkCalls(x.X)
+	case *ast.DeferStmt:
+		if recv, _, unlock := w.mutexCall(x.Call); recv != "" && unlock {
+			// Deferred unlock: the lock is held for the remainder of the
+			// function, so leave it in the held set.
+			return
+		}
+		w.checkCalls(x.Call)
+	case *ast.AssignStmt:
+		for _, r := range x.Rhs {
+			w.checkCalls(r)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			w.checkCalls(r)
+		}
+	case *ast.IfStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init)
+		}
+		w.checkCalls(x.Cond)
+		w.walkStmts(x.Body.List)
+		if x.Else != nil {
+			w.walkStmt(x.Else)
+		}
+	case *ast.BlockStmt:
+		w.walkStmts(x.List)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init)
+		}
+		w.checkCalls(x.Cond)
+		w.walkStmts(x.Body.List)
+		if x.Post != nil {
+			w.walkStmt(x.Post)
+		}
+	case *ast.RangeStmt:
+		w.checkCalls(x.X)
+		w.walkStmts(x.Body.List)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init)
+		}
+		w.checkCalls(x.Tag)
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init)
+		}
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					w.walkStmt(cc.Comm)
+				}
+				w.walkStmts(cc.Body)
+			}
+		}
+	case *ast.GoStmt:
+		// The goroutine body is analyzed as its own unit; lock state does
+		// not flow into it.
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.checkCalls(v)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(x.Stmt)
+	}
+}

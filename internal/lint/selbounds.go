@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SelBounds confines raw selection-vector element access to the vector
+// package itself. Outside internal/vector, code must go through the Batch
+// helpers (ForEach, ActiveSel, NumRows, Row, WithSel, Truncate): indexing
+// b.Sel[i] directly is wrong whenever Sel is nil (every physical row
+// active) and bypasses the monotonicity contract the parallel scan's merge
+// relies on. Nil checks, len(b.Sel), and passing b.Sel wholesale when
+// constructing a view remain allowed — only element access (indexing,
+// slicing, ranging) is flagged.
+var SelBounds = &Analyzer{
+	Name: "selbounds",
+	Doc:  "Batch.Sel element access must use the vector.Batch helpers outside internal/vector",
+	Run:  runSelBounds,
+}
+
+func runSelBounds(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if path == "internal/vector" || strings.HasSuffix(path, "/internal/vector") {
+		return nil
+	}
+	isBatchSel := func(e ast.Expr) bool {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Sel" {
+			return false
+		}
+		tv, ok := pass.Info.Types[sel.X]
+		return ok && isBatchType(tv.Type)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.IndexExpr:
+				if isBatchSel(x.X) {
+					pass.Reportf(x.Pos(), "raw Batch.Sel indexing outside internal/vector; use the Batch helpers (ForEach, ActiveSel, Row)")
+				}
+			case *ast.SliceExpr:
+				if isBatchSel(x.X) {
+					pass.Reportf(x.Pos(), "raw Batch.Sel slicing outside internal/vector; use the Batch helpers (ForEach, ActiveSel, Truncate)")
+				}
+			case *ast.RangeStmt:
+				if isBatchSel(x.X) {
+					pass.Reportf(x.X.Pos(), "ranging over Batch.Sel outside internal/vector misses the nil-Sel (all rows active) case; use Batch.ForEach")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

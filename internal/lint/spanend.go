@@ -1,0 +1,32 @@
+package lint
+
+import "go/types"
+
+// SpanEnd enforces the observability lifecycle: every obsv span started
+// (Span.Child) must be ended, and every trace started (Tracer.Start) must
+// be finished, on all paths — `defer sp.End()` preferred. An un-ended span
+// freezes a stage's clock open and an unfinished trace never reaches the
+// ring buffer, so /debug/queries silently loses the query. Passing a span
+// to a helper does not discharge the obligation (helpers annotate spans,
+// creators end them); capturing it in a closure or storing it does.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "obsv spans must be Ended and traces Finished on all paths; prefer defer sp.End()",
+	Run: func(pass *Pass) error {
+		runLifecycle(pass, &resourceSpec{
+			analyzer: "spanend",
+			resourceRelease: func(t types.Type) string {
+				switch {
+				case namedIn(t, "internal/obsv", "Span"):
+					return "End"
+				case namedIn(t, "internal/obsv", "Trace"):
+					return "Finish"
+				}
+				return ""
+			},
+			argTransfer: false,
+			verb:        "ended",
+		})
+		return nil
+	},
+}

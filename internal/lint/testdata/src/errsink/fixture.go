@@ -1,0 +1,44 @@
+// Fixture for the errsink analyzer: statement-level calls that drop a
+// load-bearing error (Close, Flush, Sync, Encode, Parse) are flagged;
+// explicit `_ =` discards acknowledge the error and pass.
+package errsink
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"strings"
+)
+
+// True positive: a failed Close can mean the last write never hit disk.
+func closeFile(f *os.File) {
+	f.Close() // want `error from f\.Close discarded`
+}
+
+// True positive: a deferred Flush failure silently truncates output.
+func flushWriter(w *bufio.Writer) {
+	defer w.Flush() // want `error from w\.Flush discarded`
+}
+
+// True positive: a broken pipe otherwise reads as success.
+func encode(enc *json.Encoder, v any) {
+	enc.Encode(v) // want `error from enc\.Encode discarded`
+}
+
+// Guarded false positive: checking the error is the fix.
+func checked(f *os.File) error {
+	return f.Close()
+}
+
+// Guarded false positive: an explicit discard is a documented decision.
+func acknowledged(enc *json.Encoder, v any) {
+	_ = enc.Encode(v)
+}
+
+// Guarded false positive: methods that return no error are not sinks, and
+// strings.Builder writes are documented to never fail.
+func harmless(sb *strings.Builder) string {
+	sb.WriteString("x")
+	sb.Reset()
+	return sb.String()
+}

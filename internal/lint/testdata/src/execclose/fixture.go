@@ -1,0 +1,97 @@
+// Fixture for the execclose analyzer: operators acquired from constructors
+// must be Closed on every path, including the error returns between
+// acquiring a child and handing it to a parent.
+package execclose
+
+import "jsonpark/internal/vector"
+
+type iter struct{}
+
+func (i *iter) NextBatch() (*vector.Batch, error) { return nil, nil }
+func (i *iter) Close()                            {}
+
+func newIter() (*iter, error) { return &iter{}, nil }
+func compile() error          { return nil }
+
+type parent struct{ in *iter }
+
+func (p *parent) NextBatch() (*vector.Batch, error) { return p.in.NextBatch() }
+func (p *parent) Close()                            { p.in.Close() }
+
+// True positive: the compile failure path leaks the child (and its morsel
+// workers).
+func leakOnError() (*iter, error) {
+	in, err := newIter()
+	if err != nil {
+		return nil, err
+	}
+	if err := compile(); err != nil {
+		return nil, err // want `in may not be closed on this return path`
+	}
+	return in, nil
+}
+
+// True positive: the iterator is acquired and dropped on the floor.
+func discarded() {
+	newIter() // want `result of newIter must be closed but is discarded`
+}
+
+// True positive: acquired, used, never closed on any path.
+func neverClosed() {
+	in, _ := newIter() // want `in is never closed in neverClosed`
+	_, _ = in.NextBatch()
+}
+
+// True positive: a later error return that is NOT the acquisition's own
+// failure path must close first.
+func leakOnUse() error {
+	in, err := newIter()
+	if err != nil {
+		return err
+	}
+	_, err = in.NextBatch()
+	return err // want `in may not be closed on this return path`
+}
+
+// Guarded false positive: the acquisition's own failure path returns nil
+// resources; nothing to close.
+func ownFailurePath() (*iter, error) {
+	in, err := newIter()
+	if err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// Guarded false positive: deferred Close covers every path.
+func deferred() error {
+	in, err := newIter()
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	return compile()
+}
+
+// Guarded false positive: explicit Close before the error return.
+func closedOnError() (*iter, error) {
+	in, err := newIter()
+	if err != nil {
+		return nil, err
+	}
+	if err := compile(); err != nil {
+		in.Close()
+		return nil, err
+	}
+	return in, nil
+}
+
+// Guarded false positive: ownership transfers to the wrapping operator,
+// whose Close releases the child.
+func wrapped() (*parent, error) {
+	in, err := newIter()
+	if err != nil {
+		return nil, err
+	}
+	return &parent{in: in}, nil
+}

@@ -1,0 +1,91 @@
+// Fixture for the kernelalias analyzer. The kernel type mirrors the
+// engine's vecFn: its result may alias a closure-owned buffer that the next
+// call overwrites.
+package kernelalias
+
+import (
+	"jsonpark/internal/variant"
+	"jsonpark/internal/vector"
+)
+
+type kernel = func(*vector.Batch) ([]variant.Value, error)
+
+type op struct {
+	fn  kernel
+	out []variant.Value
+}
+
+// True positive: the buffer escapes into a struct field.
+func (o *op) storeField(b *vector.Batch) error {
+	vals, err := o.fn(b)
+	if err != nil {
+		return err
+	}
+	o.out = vals // want `kernel output vector stored in field o\.out`
+	return nil
+}
+
+// True positive: returning the kernel's result hands the caller a vector
+// that the next NextBatch invalidates.
+func (o *op) returnDirect(b *vector.Batch) ([]variant.Value, error) {
+	return o.fn(b) // want `kernel output vector returned without a copy`
+}
+
+// True positive: the taint flows through a local into a returned batch.
+func (o *op) returnViaBatch(b *vector.Batch) (*vector.Batch, error) {
+	cols := make([][]variant.Value, 1)
+	vals, err := o.fn(b)
+	if err != nil {
+		return nil, err
+	}
+	cols[0] = vals
+	return &vector.Batch{Cols: cols}, nil // want `kernel output vector returned without a copy`
+}
+
+// True positive: a closure stores the buffer in a variable that outlives
+// the call.
+func capture(fn kernel) func(*vector.Batch) error {
+	var last []variant.Value
+	return func(b *vector.Batch) error {
+		vals, err := fn(b)
+		if err != nil {
+			return err
+		}
+		last = vals // want `kernel output vector stored in captured variable last`
+		_ = last
+		return nil
+	}
+}
+
+// Guarded false positive: an ellipsis append copies the elements out of the
+// buffer, so the retained slice is detached.
+func (o *op) copyOut(b *vector.Batch) error {
+	vals, err := o.fn(b)
+	if err != nil {
+		return err
+	}
+	o.out = append(o.out[:0], vals...)
+	return nil
+}
+
+// Guarded false positive: element reads produce values, not the slice
+// header; the hazard is retention, not use.
+func (o *op) readElem(b *vector.Batch) (variant.Value, error) {
+	vals, err := o.fn(b)
+	if err != nil {
+		return variant.Value{}, err
+	}
+	return vals[0], nil
+}
+
+// Guarded false positive: documented intentional aliasing is suppressed by
+// the directive; linttest fails on any diagnostic without a want, so this
+// line doubles as the suppression test.
+func (o *op) suppressed(b *vector.Batch) error {
+	vals, err := o.fn(b)
+	if err != nil {
+		return err
+	}
+	o.out = vals //jsqlint:ignore kernelalias fixture-documented aliasing
+	return nil
+}

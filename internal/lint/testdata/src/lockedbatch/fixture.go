@@ -1,0 +1,57 @@
+// Fixture for the lockedbatch analyzer: NextBatch blocks on the morsel
+// workers' results channel, so calling it with a mutex held can deadlock
+// the pool under backpressure.
+package lockedbatch
+
+import (
+	"sync"
+
+	"jsonpark/internal/vector"
+)
+
+type iter struct{}
+
+func (i *iter) NextBatch() (*vector.Batch, error) { return nil, nil }
+func (i *iter) Close()                            {}
+
+type consumer struct {
+	mu   sync.Mutex
+	rwmu sync.RWMutex
+	in   *iter
+	last *vector.Batch
+}
+
+// True positive: deferred unlock holds c.mu across the blocking call.
+func (c *consumer) deferredHold() (*vector.Batch, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.in.NextBatch() // want `NextBatch called while holding c\.mu`
+}
+
+// True positive: read locks block writers just the same.
+func (c *consumer) readLockHold() error {
+	c.rwmu.RLock()
+	b, err := c.in.NextBatch() // want `NextBatch called while holding c\.rwmu`
+	c.last = b
+	c.rwmu.RUnlock()
+	return err
+}
+
+// Guarded false positive: the lock is released before the blocking call.
+func (c *consumer) release() (*vector.Batch, error) {
+	c.mu.Lock()
+	last := c.last
+	c.mu.Unlock()
+	_ = last
+	return c.in.NextBatch()
+}
+
+// Guarded false positive: the goroutine body is its own unit; the lock held
+// here does not flow into it.
+func (c *consumer) spawn() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go func() {
+		_, _ = c.in.NextBatch()
+	}()
+}

@@ -1,0 +1,37 @@
+// Fixture for the selbounds analyzer: raw Batch.Sel element access is
+// wrong whenever Sel is nil (all physical rows active) and belongs only in
+// internal/vector.
+package selbounds
+
+import "jsonpark/internal/vector"
+
+// True positive: direct indexing skips the nil-Sel case.
+func index(b *vector.Batch) int {
+	return b.Sel[0] // want `raw Batch\.Sel indexing`
+}
+
+// True positive: ranging has the same blind spot.
+func iterate(b *vector.Batch) int {
+	n := 0
+	for _, i := range b.Sel { // want `ranging over Batch\.Sel`
+		n += i
+	}
+	return n
+}
+
+// True positive: a subslice still bypasses the helpers.
+func slice(b *vector.Batch) []int {
+	return b.Sel[1:] // want `raw Batch\.Sel slicing`
+}
+
+// Guarded false positives: nil checks, len, wholesale propagation into a
+// derived batch, and the ForEach helper are the sanctioned forms.
+func sanctioned(b *vector.Batch) int {
+	n := 0
+	b.ForEach(func(i int) { n += i })
+	if b.Sel != nil {
+		n += len(b.Sel)
+	}
+	derived := &vector.Batch{Cols: b.Cols, Sel: b.Sel}
+	return n + derived.NumRows()
+}

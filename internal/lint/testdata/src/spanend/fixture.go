@@ -1,0 +1,52 @@
+// Fixture for the spanend analyzer: every obsv span started must be ended
+// and every trace finished, on all paths. Passing a span to a helper does
+// NOT discharge the obligation — helpers annotate, creators end.
+package spanend
+
+import "jsonpark/internal/obsv"
+
+func annotate(sp *obsv.Span) { sp.SetAttr("k", "v") }
+func work() error            { return nil }
+
+// True positive: the error return abandons the span with its clock open.
+func leakOnError(parent *obsv.Span) error {
+	sp := parent.Child("stage")
+	if err := work(); err != nil {
+		return err // want `sp may not be ended on this return path`
+	}
+	sp.End()
+	return nil
+}
+
+// True positive: started and never ended at all.
+func neverEnded(parent *obsv.Span) {
+	sp := parent.Child("stage") // want `sp is never ended in neverEnded`
+	annotate(sp)
+}
+
+// True positive: an unfinished trace never reaches the tracer's ring
+// buffer, so /debug/queries silently loses the query.
+func traceLeak(tr *obsv.Tracer) error {
+	t := tr.Start("query")
+	if err := work(); err != nil {
+		return err // want `t may not be ended on this return path`
+	}
+	t.Finish()
+	return nil
+}
+
+// Guarded false positive: defer covers every path, including the error
+// return — the preferred shape.
+func deferred(parent *obsv.Span) error {
+	sp := parent.Child("stage")
+	defer sp.End()
+	annotate(sp) // a helper call does not transfer ownership
+	return work()
+}
+
+// Guarded false positive: a closure capturing the trace takes over
+// finishing it (the engine's finish-callback shape).
+func finishClosure(tr *obsv.Tracer) func() {
+	t := tr.Start("query")
+	return func() { t.Finish() }
+}

@@ -77,6 +77,7 @@ type OpenOption func(*openConfig)
 type openConfig struct {
 	batchSize   int
 	parallelism int
+	planCheck   bool
 }
 
 // WithBatchSize sets the rows-per-batch of the vectorized executor (default
@@ -91,13 +92,21 @@ func WithParallelism(n int) OpenOption {
 	return func(c *openConfig) { c.parallelism = n }
 }
 
+// WithPlanCheck enables the engine's planck debug pass: every prepared
+// plan is cross-checked (unordered-exchange eligibility, selection-vector
+// contracts) and every operator validates the batches it emits. Intended
+// for tests and debugging.
+func WithPlanCheck(on bool) OpenOption {
+	return func(c *openConfig) { c.planCheck = on }
+}
+
 // Open creates an empty in-memory warehouse.
 func Open(opts ...OpenOption) *Warehouse {
 	var c openConfig
 	for _, fn := range opts {
 		fn(&c)
 	}
-	eng := engine.New(engine.WithBatchSize(c.batchSize), engine.WithParallelism(c.parallelism))
+	eng := engine.New(engine.WithBatchSize(c.batchSize), engine.WithParallelism(c.parallelism), engine.WithPlanCheck(c.planCheck))
 	return &Warehouse{
 		eng:  eng,
 		sess: snowpark.NewSession(eng),
