@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race check bench clean
+.PHONY: all build test vet lint race stress check bench bench-smoke clean
 
 all: check
 
@@ -26,11 +26,22 @@ lint:
 race:
 	$(GO) test -race ./...
 
+# The early-close stress test hammers the parallel pipeline breakers
+# (aggregate, join build, sort) with LIMIT-truncated and abandoned queries;
+# under the race detector it is the gate for the worker-shutdown paths.
+stress:
+	$(GO) test -race -run 'Stress' -count 2 ./internal/engine/
+
 check: build vet lint test race
 
 bench:
 	$(GO) run ./cmd/adlbench -events 2000 -runs 1 -json BENCH_ADL.json
 	$(GO) run ./cmd/ssbbench -sf 1 -sfs 0.5,1 -runs 1 -json BENCH_SSB.json
+
+# bench-smoke compiles and single-iterates every Go benchmark so CI catches
+# benchmark bit-rot without paying for real measurement runs.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 clean:
 	rm -f BENCH_ADL.json BENCH_SSB.json

@@ -38,11 +38,17 @@ func main() {
 	demo := flag.Bool("demo", false, "load a tiny built-in orders dataset")
 	repl := flag.Bool("repl", false, "interactive mode: queries end with a ';' line")
 	batchSize := flag.Int("batch-size", 0, "rows per vector batch (0 = engine default, 1024)")
-	parallelism := flag.Int("parallelism", 0, "morsel scan workers (0 = NumCPU, 1 = sequential)")
+	parallelism := flag.Int("parallelism", 0, "workers for parallel scans, aggregation, join build and sort (0 = NumCPU, 1 = sequential)")
+	mergePartitions := flag.Int("merge-partitions", 0, "hash partitions of the parallel aggregate merge (0 = follow -parallelism)")
 	planCheck := flag.Bool("plancheck", false, "enable the planck debug pass (plan cross-checks + per-batch validation)")
 	flag.Parse()
 
-	w := jsonpark.Open(jsonpark.WithBatchSize(*batchSize), jsonpark.WithParallelism(*parallelism), jsonpark.WithPlanCheck(*planCheck))
+	w := jsonpark.Open(
+		jsonpark.WithBatchSize(*batchSize),
+		jsonpark.WithParallelism(*parallelism),
+		jsonpark.WithMergePartitions(*mergePartitions),
+		jsonpark.WithPlanCheck(*planCheck),
+	)
 	switch {
 	case *demo:
 		loadDemo(w)

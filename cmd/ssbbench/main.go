@@ -27,7 +27,7 @@ func main() {
 	experiments := flag.String("experiments", "all", "fig11a, fig11b or all")
 	jsonOut := flag.String("json", "", "also write machine-readable run results to this path (e.g. BENCH_SSB.json)")
 	batchSize := flag.Int("batch-size", 0, "rows per vector batch (0 = engine default, 1024)")
-	parallelism := flag.Int("parallelism", 0, "morsel scan workers (0 = NumCPU, 1 = sequential)")
+	parallelism := flag.Int("parallelism", 0, "workers for parallel scans, aggregation, join build and sort (0 = NumCPU, 1 = sequential)")
 	flag.Parse()
 
 	cfg := ssb.DefaultConfig(os.Stdout)

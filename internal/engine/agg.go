@@ -63,13 +63,20 @@ func (a *countAcc) add(v variant.Value, _ []variant.Value) error {
 }
 func (a *countAcc) result([]bool) variant.Value { return variant.Int(a.n) }
 
+// countDistinctAcc dedups on the canonical binary group key (same
+// equivalence classes as HashKey, but encoded into a reusable buffer so the
+// map lookup on a seen value allocates nothing).
 type countDistinctAcc struct {
 	seen map[string]bool
+	kbuf []byte
 }
 
 func (a *countDistinctAcc) add(v variant.Value, _ []variant.Value) error {
 	if !v.IsNull() {
-		a.seen[v.HashKey()] = true
+		a.kbuf = v.AppendGroupKey(a.kbuf[:0])
+		if !a.seen[string(a.kbuf)] {
+			a.seen[string(a.kbuf)] = true
+		}
 	}
 	return nil
 }
@@ -192,6 +199,7 @@ func (a *anyValueAcc) result([]bool) variant.Value {
 type arrayAggAcc struct {
 	distinct bool
 	seen     map[string]bool
+	kbuf     []byte
 	vals     []variant.Value
 	orders   [][]variant.Value
 }
@@ -201,11 +209,11 @@ func (a *arrayAggAcc) add(v variant.Value, orderKeys []variant.Value) error {
 		return nil
 	}
 	if a.distinct {
-		k := v.HashKey()
-		if a.seen[k] {
+		a.kbuf = v.AppendGroupKey(a.kbuf[:0])
+		if a.seen[string(a.kbuf)] {
 			return nil
 		}
-		a.seen[k] = true
+		a.seen[string(a.kbuf)] = true
 	}
 	a.vals = append(a.vals, v)
 	if orderKeys != nil {
@@ -272,4 +280,67 @@ func (a *boolAgg) result([]bool) variant.Value {
 		return variant.Null
 	}
 	return variant.Bool(a.acc)
+}
+
+// mergeAccumulators folds src into dst. The parallel aggregate merges
+// partial states in storage-partition index order, which equals input row
+// order, so every merge below reproduces the sequential fold exactly.
+// Only the aggregates admitted by aggsMergeable ever reach this function;
+// anything else (SUM/AVG float folds, unknown aggregates) is rejected at
+// physicalization and errors here as a guard.
+func mergeAccumulators(dst, src accumulator) error {
+	switch s := src.(type) {
+	case *countAcc:
+		d := dst.(*countAcc)
+		d.n += s.n
+	case *countIfAcc:
+		d := dst.(*countIfAcc)
+		d.n += s.n
+	case *countDistinctAcc:
+		d := dst.(*countDistinctAcc)
+		for k := range s.seen {
+			d.seen[k] = true
+		}
+	case *minMaxAcc:
+		d := dst.(*minMaxAcc)
+		if s.any {
+			if err := d.add(s.best, nil); err != nil {
+				return err
+			}
+		}
+	case *anyValueAcc:
+		d := dst.(*anyValueAcc)
+		if !d.any && s.any {
+			d.v = s.v
+			d.any = true
+		}
+	case *boolAgg:
+		d := dst.(*boolAgg)
+		if s.any {
+			if err := d.add(variant.Bool(s.acc), nil); err != nil {
+				return err
+			}
+		}
+	case *arrayAggAcc:
+		d := dst.(*arrayAggAcc)
+		if !d.distinct {
+			d.vals = append(d.vals, s.vals...)
+			d.orders = append(d.orders, s.orders...)
+			break
+		}
+		// DISTINCT: re-check each later-partition value against the merged
+		// seen set so first-occurrence dedup matches the sequential order.
+		for i, v := range s.vals {
+			var ord []variant.Value
+			if len(s.orders) == len(s.vals) {
+				ord = s.orders[i]
+			}
+			if err := d.add(v, ord); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("engine: aggregate %T is not mergeable", src)
+	}
+	return nil
 }

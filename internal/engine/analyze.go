@@ -22,6 +22,18 @@ type OpStats struct {
 	PartitionsTotal  int           // scan: partitions considered
 	PartitionsPruned int           // scan: partitions skipped via zone maps
 	Batches          int64         // vector batches emitted by this operator
+
+	// Parallel-breaker phase stats (ParallelAgg / ParallelJoin / ParallelSort;
+	// zero elsewhere). Pipelines > 0 marks the operator as having run a
+	// parallel blocking phase.
+	Pipelines     int   // phase-1 workers that ran
+	MergeParts    int   // disjoint hash/merge partitions of phase 2
+	LocalRows     int64 // rows folded into thread-local state (build rows, run rows)
+	LocalGroups   int64 // groups across all thread-local tables (pre-merge)
+	MergedGroups  int64 // distinct groups (or build keys) after the merge
+	MaxWorkerRows int64 // largest per-worker share of LocalRows (skew indicator)
+	LocalWallUS   int64 // wall time of the parallel local phase, microseconds
+	MergeWallUS   int64 // wall time of the parallel merge phase, microseconds
 }
 
 // statIter wraps an operator's iterator, metering emitted batches, rows and
@@ -76,6 +88,14 @@ type PlanStats struct {
 	PartitionsTotal  int          `json:"partitions_total,omitempty"`
 	PartitionsPruned int          `json:"partitions_pruned,omitempty"`
 	Batches          int64        `json:"batches,omitempty"`
+	Pipelines        int          `json:"pipelines,omitempty"`
+	MergeParts       int          `json:"merge_parts,omitempty"`
+	LocalRows        int64        `json:"local_rows,omitempty"`
+	LocalGroups      int64        `json:"local_groups,omitempty"`
+	MergedGroups     int64        `json:"merged_groups,omitempty"`
+	MaxWorkerRows    int64        `json:"max_worker_rows,omitempty"`
+	LocalWallUS      int64        `json:"local_wall_us,omitempty"`
+	MergeWallUS      int64        `json:"merge_wall_us,omitempty"`
 	Children         []*PlanStats `json:"children,omitempty"`
 }
 
@@ -112,6 +132,14 @@ func buildPlanStats(n Node, stats map[Node]*OpStats) *PlanStats {
 		PartitionsTotal:  st.PartitionsTotal,
 		PartitionsPruned: st.PartitionsPruned,
 		Batches:          st.Batches,
+		Pipelines:        st.Pipelines,
+		MergeParts:       st.MergeParts,
+		LocalRows:        st.LocalRows,
+		LocalGroups:      st.LocalGroups,
+		MergedGroups:     st.MergedGroups,
+		MaxWorkerRows:    st.MaxWorkerRows,
+		LocalWallUS:      st.LocalWallUS,
+		MergeWallUS:      st.MergeWallUS,
 	}
 	childTime := time.Duration(0)
 	for _, c := range planChildren(n) {
@@ -147,6 +175,13 @@ func (ps *PlanStats) Render() string {
 		} else {
 			fmt.Fprintf(&b, " batches=%d", n.Batches)
 		}
+		if n.Pipelines > 0 {
+			fmt.Fprintf(&b, " par[pipelines=%d merge_parts=%d local_rows=%d local_groups=%d merged=%d max_worker_rows=%d local=%s merge=%s]",
+				n.Pipelines, n.MergeParts, n.LocalRows, n.LocalGroups, n.MergedGroups,
+				n.MaxWorkerRows,
+				time.Duration(n.LocalWallUS)*time.Microsecond,
+				time.Duration(n.MergeWallUS)*time.Microsecond)
+		}
 		b.WriteString(")\n")
 	})
 	return b.String()
@@ -177,10 +212,17 @@ func describeNode(n Node) (op, detail string) {
 		return "Flatten", fmt.Sprintf("%s%s as %s", outer, sqlast.RenderExpr(x.Expr), x.Alias)
 	case *AggregateNode:
 		return "Aggregate", fmt.Sprintf("groups=%d aggs=%d", len(x.GroupBy), len(x.Aggs))
+	case *ParallelAggNode:
+		return "ParallelAggregate", fmt.Sprintf("groups=%d aggs=%d pipelines=%d merge_parts=%d",
+			len(x.GroupBy), len(x.Aggs), x.Pipelines, x.MergeParts)
 	case *JoinNode:
 		return x.Kind + " Join", fmt.Sprintf("keys=%d", len(x.LeftKeys))
+	case *ParallelJoinNode:
+		return x.Kind + " Join", fmt.Sprintf("keys=%d build_workers=%d", len(x.LeftKeys), x.BuildWorkers)
 	case *SortNode:
 		return "Sort", fmt.Sprintf("keys=%d", len(x.Keys))
+	case *ParallelSortNode:
+		return "Sort", fmt.Sprintf("keys=%d sort_workers=%d", len(x.Keys), x.SortWorkers)
 	case *LimitNode:
 		return "Limit", fmt.Sprint(x.N)
 	case *UnionNode:
@@ -200,9 +242,15 @@ func planChildren(n Node) []Node {
 		return []Node{x.Input}
 	case *AggregateNode:
 		return []Node{x.Input}
+	case *ParallelAggNode:
+		return []Node{x.Input}
 	case *JoinNode:
 		return []Node{x.Left, x.Right}
+	case *ParallelJoinNode:
+		return []Node{x.Left, x.Right}
 	case *SortNode:
+		return []Node{x.Input}
+	case *ParallelSortNode:
 		return []Node{x.Input}
 	case *LimitNode:
 		return []Node{x.Input}

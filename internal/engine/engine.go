@@ -18,6 +18,7 @@ type Engine struct {
 	catalog     *storage.Catalog
 	batchSize   int
 	parallelism int
+	mergeParts  int
 	planCheck   bool
 }
 
@@ -34,12 +35,28 @@ func WithBatchSize(n int) Option {
 	}
 }
 
-// WithParallelism caps the morsel worker pool of each table scan. 1 disables
-// parallel scans; values < 1 fall back to runtime.NumCPU().
+// WithParallelism caps the worker pool of every parallel operator: morsel
+// table scans and the pipeline-breaker phases (partitioned hash aggregation,
+// hash-join build, sort-run sorting). 1 runs everything sequentially; values
+// < 1 fall back to runtime.NumCPU(). Results are byte-identical at every
+// setting — operators whose parallel execution could change output (float
+// SUM/AVG folds, stateful SEQ expressions, unknown aggregates) stay on the
+// sequential path.
 func WithParallelism(n int) Option {
 	return func(e *Engine) {
 		if n > 0 {
 			e.parallelism = n
+		}
+	}
+}
+
+// WithMergePartitions sets the number of disjoint hash partitions the
+// parallel aggregate's thread-local tables split into for the merge phase.
+// Values < 1 (the default) follow the parallelism setting.
+func WithMergePartitions(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.mergeParts = n
 		}
 	}
 }
@@ -85,6 +102,9 @@ type Metrics struct {
 	PartitionsTotal  int
 	PartitionsPruned int
 	RowsReturned     int64
+	// ParallelBreakers is the number of pipeline breakers (aggregates, join
+	// builds, sorts) the physical plan runs with parallel phases.
+	ParallelBreakers int
 }
 
 // Total returns compile + execution time (the paper's "total time").
@@ -139,16 +159,26 @@ func (e *Engine) PrepareOpts(sql string, po PrepareOptions) (*Prepared, error) {
 	osp := po.Span.Child("engine.optimize")
 	plan = optimizeTraced(plan, osp)
 	osp.End()
+	par := e.parallelism
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	mergeParts := e.mergeParts
+	if mergeParts <= 0 {
+		mergeParts = par
+	}
+	physp := po.Span.Child("engine.physicalize")
+	var breakers int
+	plan, breakers = physicalizeTraced(plan, par, mergeParts, physp)
+	physp.End()
 	ctx := &execContext{
-		metrics:     &Metrics{},
+		metrics:     &Metrics{ParallelBreakers: breakers},
 		batchSize:   e.batchSize,
-		parallelism: e.parallelism,
+		parallelism: par,
+		mergeParts:  mergeParts,
 	}
 	if ctx.batchSize <= 0 {
 		ctx.batchSize = vector.DefaultBatchSize
-	}
-	if ctx.parallelism <= 0 {
-		ctx.parallelism = runtime.NumCPU()
 	}
 	if ctx.parallelism > 1 {
 		ctx.unorderedScans = collectUnorderedScans(plan)

@@ -3,7 +3,6 @@ package engine
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 
 	"jsonpark/internal/sqlast"
@@ -22,8 +21,12 @@ type execContext struct {
 	stats map[Node]*OpStats
 	// batchSize is the target row count of one vector.Batch.
 	batchSize int
-	// parallelism caps the morsel worker pool of each scan.
+	// parallelism caps the morsel worker pool of each scan and the worker
+	// pools of the parallel pipeline breakers.
 	parallelism int
+	// mergeParts is the hash-partition count of the parallel aggregate's
+	// merge phase (defaults to parallelism).
+	mergeParts int
 	// unorderedScans marks scans whose consumers are provably insensitive to
 	// row order; their morsel workers emit batches as they complete instead
 	// of merging in partition order.
@@ -128,28 +131,16 @@ func prepareNode(n Node, ctx *execContext) (batchIter, error) {
 		}, nil
 	case *AggregateNode:
 		return prepareAggregate(x, ctx)
+	case *ParallelAggNode:
+		return prepareParallelAgg(x, ctx)
 	case *JoinNode:
-		return prepareJoin(x, ctx)
+		return prepareJoin(x, ctx, 1, x)
+	case *ParallelJoinNode:
+		return prepareJoin(x.JoinNode, ctx, x.BuildWorkers, x)
 	case *SortNode:
-		in, err := prepare(x.Input, ctx)
-		if err != nil {
-			return nil, err
-		}
-		keys := make([]vecFn, len(x.Keys))
-		descs := make([]bool, len(x.Keys))
-		for i, k := range x.Keys {
-			fn, err := compileVec(x.Input.Schema(), k.Expr)
-			if err != nil {
-				in.Close()
-				return nil, err
-			}
-			keys[i] = fn
-			descs[i] = k.Desc
-		}
-		return &sortIter{
-			in: in, keys: keys, descs: descs,
-			width: len(x.Input.Schema().Names), bsize: ctx.batchSize,
-		}, nil
+		return prepareSort(x, ctx, 1, x)
+	case *ParallelSortNode:
+		return prepareSort(x.SortNode, ctx, x.SortWorkers, x)
 	case *LimitNode:
 		in, err := prepare(x.Input, ctx)
 		if err != nil {
@@ -343,36 +334,37 @@ func (r *rowsIter) NextBatch() (*vector.Batch, error) {
 	if hi > len(r.rows) {
 		hi = len(r.rows)
 	}
-	cols := make([][]variant.Value, r.width)
-	for c := range cols {
-		col := make([]variant.Value, hi-r.pos)
-		for k := range col {
-			col[k] = r.rows[r.pos+k][c]
-		}
-		cols[c] = col
-	}
+	b := vector.ColumnizeRows(r.rows, r.width, r.pos, hi)
 	r.pos = hi
-	return &vector.Batch{Cols: cols}, nil
+	return b, nil
 }
 
 func (r *rowsIter) Close() {}
 
-func prepareAggregate(x *AggregateNode, ctx *execContext) (batchIter, error) {
-	in, err := prepare(x.Input, ctx)
-	if err != nil {
-		return nil, err
-	}
+// compiledAgg is one aggregate's compiled evaluation functions.
+type compiledAgg struct {
+	spec     AggSpec
+	arg      vecFn // nil for COUNT(*)
+	orderFns []vecFn
+	descs    []bool
+}
+
+// aggEval holds the compiled grouping and aggregate expressions of one
+// aggregation. Compiled expressions may hold state (reusable output
+// buffers, SEQ counters), so an aggEval must only ever be used by one
+// goroutine — the parallel aggregate compiles one per worker.
+type aggEval struct {
+	groupFns []vecFn
+	aggs     []compiledAgg
+}
+
+// compileAggEval compiles an aggregate's expressions against its input
+// schema.
+func compileAggEval(x *AggregateNode) (*aggEval, error) {
 	inSchema := x.Input.Schema()
 	groupFns, err := compileVecs(inSchema, x.GroupBy)
 	if err != nil {
-		in.Close()
 		return nil, err
-	}
-	type compiledAgg struct {
-		spec     AggSpec
-		arg      vecFn // nil for COUNT(*)
-		orderFns []vecFn
-		descs    []bool
 	}
 	aggs := make([]compiledAgg, len(x.Aggs))
 	for i, spec := range x.Aggs {
@@ -380,7 +372,6 @@ func prepareAggregate(x *AggregateNode, ctx *execContext) (batchIter, error) {
 		if spec.Arg != nil {
 			fn, err := compileVec(inSchema, spec.Arg)
 			if err != nil {
-				in.Close()
 				return nil, err
 			}
 			ca.arg = fn
@@ -388,7 +379,6 @@ func prepareAggregate(x *AggregateNode, ctx *execContext) (batchIter, error) {
 		for _, o := range spec.OrderBy {
 			fn, err := compileVec(inSchema, o.Expr)
 			if err != nil {
-				in.Close()
 				return nil, err
 			}
 			ca.orderFns = append(ca.orderFns, fn)
@@ -396,26 +386,161 @@ func prepareAggregate(x *AggregateNode, ctx *execContext) (batchIter, error) {
 		}
 		aggs[i] = ca
 	}
+	return &aggEval{groupFns: groupFns, aggs: aggs}, nil
+}
+
+// aggGroup is one group's accumulated state.
+type aggGroup struct {
+	key  string // canonical binary group key (retained for the merge map)
+	keys []variant.Value
+	accs []accumulator
+	// seq is the group's insertion rank within its table; bucket its merge
+	// partition. Together with the table's storage-partition index they form
+	// the stamp that reproduces sequential first-seen output order after a
+	// parallel merge.
+	seq    int32
+	bucket int32
+	stamp  int64
+}
+
+// aggTable is one hash-aggregation table keyed by the canonical binary
+// group key. Lookups reuse keyBuf and only allocate the key string on first
+// insertion, so steady-state grouping is allocation-free per row.
+type aggTable struct {
+	aggs     []compiledAgg
+	buckets  int // > 1: thread-local mode, groups also index into byBucket
+	groups   map[string]*aggGroup
+	order    []*aggGroup   // insertion order
+	byBucket [][]*aggGroup // per merge partition, insertion order
+	keyBuf   []byte
+	rows     int64 // input rows folded (parallel-phase accounting)
+}
+
+func newAggTable(aggs []compiledAgg, buckets int) *aggTable {
+	t := &aggTable{aggs: aggs, buckets: buckets, groups: make(map[string]*aggGroup)}
+	if buckets > 1 {
+		t.byBucket = make([][]*aggGroup, buckets)
+	}
+	return t
+}
+
+func (t *aggTable) insert(keyBytes []byte, keys []variant.Value) *aggGroup {
+	g := &aggGroup{key: string(keyBytes), keys: keys, accs: make([]accumulator, len(t.aggs))}
+	for i := range t.aggs {
+		g.accs[i] = newAccumulator(t.aggs[i].spec)
+	}
+	g.seq = int32(len(t.order))
+	t.groups[g.key] = g
+	t.order = append(t.order, g)
+	if t.buckets > 1 {
+		g.bucket = bucketOfKey(keyBytes, t.buckets)
+		t.byBucket[g.bucket] = append(t.byBucket[g.bucket], g)
+	}
+	return g
+}
+
+// absorb folds one batch into the table: group keys, aggregate arguments
+// and order keys evaluate once per batch, then fold row-wise into the
+// accumulators.
+func (e *aggEval) absorb(t *aggTable, b *vector.Batch) error {
+	var err error
+	gvals := make([][]variant.Value, len(e.groupFns))
+	for i, fn := range e.groupFns {
+		gvals[i], err = fn(b)
+		if err != nil {
+			return err
+		}
+	}
+	avals := make([][]variant.Value, len(e.aggs))
+	ovals := make([][][]variant.Value, len(e.aggs))
+	for i, ca := range e.aggs {
+		if ca.arg != nil {
+			avals[i], err = ca.arg(b)
+			if err != nil {
+				return err
+			}
+		}
+		if len(ca.orderFns) > 0 {
+			ovals[i] = make([][]variant.Value, len(ca.orderFns))
+			for j, fn := range ca.orderFns {
+				ovals[i][j], err = fn(b)
+				if err != nil {
+					return err
+				}
+			}
+		}
+	}
+	var rowErr error
+	b.ForEach(func(i int) {
+		if rowErr != nil {
+			return
+		}
+		t.rows++
+		t.keyBuf = t.keyBuf[:0]
+		for k := range e.groupFns {
+			t.keyBuf = gvals[k][i].AppendGroupKey(t.keyBuf)
+		}
+		g, ok := t.groups[string(t.keyBuf)]
+		if !ok {
+			var keys []variant.Value
+			if len(e.groupFns) > 0 {
+				keys = make([]variant.Value, len(e.groupFns))
+				for k := range e.groupFns {
+					keys[k] = gvals[k][i]
+				}
+			}
+			g = t.insert(t.keyBuf, keys)
+		}
+		for a := range e.aggs {
+			var v variant.Value
+			if avals[a] != nil {
+				v = avals[a][i]
+			}
+			var ord []variant.Value
+			if ovals[a] != nil {
+				ord = make([]variant.Value, len(ovals[a]))
+				for j := range ovals[a] {
+					ord[j] = ovals[a][j][i]
+				}
+			}
+			if err := g.accs[a].add(v, ord); err != nil {
+				rowErr = err
+				return
+			}
+		}
+	})
+	return rowErr
+}
+
+// emitGroupRows finalizes a list of groups into output rows.
+func emitGroupRows(groups []*aggGroup, aggs []compiledAgg) [][]variant.Value {
+	out := make([][]variant.Value, 0, len(groups))
+	for _, g := range groups {
+		row := make([]variant.Value, 0, len(g.keys)+len(g.accs))
+		row = append(row, g.keys...)
+		for i, acc := range g.accs {
+			row = append(row, acc.result(aggs[i].descs))
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+func prepareAggregate(x *AggregateNode, ctx *execContext) (batchIter, error) {
+	in, err := prepare(x.Input, ctx)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := compileAggEval(x)
+	if err != nil {
+		in.Close()
+		return nil, err
+	}
 	width := len(x.Schema().Names)
 
 	run := func() ([][]variant.Value, error) {
 		defer in.Close()
-		type group struct {
-			keys []variant.Value
-			accs []accumulator
-		}
-		groups := make(map[string]*group)
-		var order []string
-
-		newGroup := func(keys []variant.Value) *group {
-			g := &group{keys: keys, accs: make([]accumulator, len(aggs))}
-			for i, ca := range aggs {
-				g.accs[i] = newAccumulator(ca.spec)
-			}
-			return g
-		}
-
-		var kb strings.Builder
+		table := newAggTable(eval.aggs, 1)
 		for {
 			b, err := in.NextBatch()
 			if err != nil {
@@ -424,103 +549,24 @@ func prepareAggregate(x *AggregateNode, ctx *execContext) (batchIter, error) {
 			if b == nil {
 				break
 			}
-			// Evaluate the group keys, aggregate arguments and order keys
-			// once per batch, then fold row-wise into the accumulators.
-			gvals := make([][]variant.Value, len(groupFns))
-			for i, fn := range groupFns {
-				gvals[i], err = fn(b)
-				if err != nil {
-					return nil, err
-				}
-			}
-			avals := make([][]variant.Value, len(aggs))
-			ovals := make([][][]variant.Value, len(aggs))
-			for i, ca := range aggs {
-				if ca.arg != nil {
-					avals[i], err = ca.arg(b)
-					if err != nil {
-						return nil, err
-					}
-				}
-				if len(ca.orderFns) > 0 {
-					ovals[i] = make([][]variant.Value, len(ca.orderFns))
-					for j, fn := range ca.orderFns {
-						ovals[i][j], err = fn(b)
-						if err != nil {
-							return nil, err
-						}
-					}
-				}
-			}
-			var rowErr error
-			b.ForEach(func(i int) {
-				if rowErr != nil {
-					return
-				}
-				kb.Reset()
-				var keys []variant.Value
-				if len(groupFns) > 0 {
-					keys = make([]variant.Value, len(groupFns))
-					for k := range groupFns {
-						keys[k] = gvals[k][i]
-						kb.WriteString(keys[k].HashKey())
-						kb.WriteByte('|')
-					}
-				}
-				hk := kb.String()
-				g, ok := groups[hk]
-				if !ok {
-					g = newGroup(keys)
-					groups[hk] = g
-					order = append(order, hk)
-				}
-				for a := range aggs {
-					var v variant.Value
-					if avals[a] != nil {
-						v = avals[a][i]
-					}
-					var ord []variant.Value
-					if ovals[a] != nil {
-						ord = make([]variant.Value, len(ovals[a]))
-						for j := range ovals[a] {
-							ord[j] = ovals[a][j][i]
-						}
-					}
-					if err := g.accs[a].add(v, ord); err != nil {
-						rowErr = err
-						return
-					}
-				}
-			})
-			if rowErr != nil {
-				return nil, rowErr
+			if err := eval.absorb(table, b); err != nil {
+				return nil, err
 			}
 		}
-
 		// Global aggregation over an empty input yields one row.
-		if len(groupFns) == 0 && len(groups) == 0 {
-			g := newGroup(nil)
-			groups[""] = g
-			order = append(order, "")
+		if len(eval.groupFns) == 0 && len(table.order) == 0 {
+			table.insert(nil, nil)
 		}
-
-		out := make([][]variant.Value, 0, len(order))
-		for _, hk := range order {
-			g := groups[hk]
-			row := make([]variant.Value, 0, len(g.keys)+len(g.accs))
-			row = append(row, g.keys...)
-			for i, acc := range g.accs {
-				row = append(row, acc.result(aggs[i].descs))
-			}
-			out = append(out, row)
-		}
-		return out, nil
+		return emitGroupRows(table.order, eval.aggs), nil
 	}
 
 	return &aggIter{run: run, in: in, width: width, bsize: ctx.batchSize}, nil
 }
 
-// aggIter materializes its groups on first NextBatch.
+// aggIter materializes its groups on first NextBatch. run closes the input
+// as soon as materialization finishes (success or error), releasing morsel
+// scan workers promptly; the iterator drops its reference so consumer Close
+// does not touch the input again.
 type aggIter struct {
 	run   func() ([][]variant.Value, error)
 	in    batchIter
@@ -532,6 +578,7 @@ type aggIter struct {
 func (a *aggIter) NextBatch() (*vector.Batch, error) {
 	if a.out == nil {
 		rows, err := a.run()
+		a.in = nil // run closed it
 		if err != nil {
 			return nil, err
 		}
@@ -540,11 +587,19 @@ func (a *aggIter) NextBatch() (*vector.Batch, error) {
 	return a.out.NextBatch()
 }
 
-func (a *aggIter) Close() { a.in.Close() }
+func (a *aggIter) Close() {
+	if a.in != nil {
+		a.in.Close()
+		a.in = nil
+	}
+}
 
 // --- joins -------------------------------------------------------------------
 
-func prepareJoin(x *JoinNode, ctx *execContext) (batchIter, error) {
+// prepareJoin builds a hash join. buildWorkers > 1 (the ParallelJoinNode
+// path) partitions the build side across workers; statNode names the plan
+// node whose stats slot receives the build-phase accounting.
+func prepareJoin(x *JoinNode, ctx *execContext, buildWorkers int, statNode Node) (batchIter, error) {
 	left, err := prepare(x.Left, ctx)
 	if err != nil {
 		return nil, err
@@ -597,64 +652,102 @@ func prepareJoin(x *JoinNode, ctx *execContext) (batchIter, error) {
 	return &joinIter{
 		kind: x.Kind, left: left, right: right,
 		leftKeys: leftKeys, rightKeys: rightKeys,
+		rightKeyExprs: x.RightKeys, rightSchema: x.Right.Schema(),
 		residual: residual, on: onFn,
 		leftWidth: leftWidth, rightWidth: rightWidth,
+		buildWorkers: buildWorkers, st: ctx.statsFor(statNode),
 		bld: vector.NewBuilder(leftWidth+rightWidth, ctx.batchSize),
 	}, nil
 }
 
+// buildList is one join key's build rows in input order. Entries are held
+// by pointer so appending to a hot key never re-allocates its map key.
+type buildList struct {
+	rows [][]variant.Value
+}
+
 type joinIter struct {
-	kind       string
-	left       batchIter
-	right      batchIter
-	leftKeys   []vecFn
-	rightKeys  []evalFn
-	residual   evalFn
-	on         evalFn
-	leftWidth  int
-	rightWidth int
-	bld        *vector.Builder
+	kind          string
+	left          batchIter
+	right         batchIter
+	leftKeys      []vecFn
+	rightKeys     []evalFn
+	rightKeyExprs []sqlast.Expr // recompiled per build worker
+	rightSchema   *Schema
+	residual      evalFn
+	on            evalFn
+	leftWidth     int
+	rightWidth    int
+	buildWorkers  int
+	st            *OpStats
+	bld           *vector.Builder
 
 	built     bool
-	hash      map[string][][]variant.Value
-	rightRows [][]variant.Value // CROSS mode
+	parts     []map[string]*buildList // disjoint hash partitions of the build side
+	rightRows [][]variant.Value       // CROSS mode
+	keyBuf    []byte
 	inDone    bool
 }
 
+// build drains and closes the build side, then constructs the partitioned
+// hash table — in parallel when the join was physicalized with build
+// workers and the build side is large enough to amortize them.
 func (j *joinIter) build() error {
 	rows, err := drainRows(j.right)
 	j.right.Close()
 	if err != nil {
 		return err
 	}
-	if len(j.rightKeys) == 0 {
+	switch {
+	case len(j.rightKeys) == 0:
 		j.rightRows = rows
-	} else {
-		j.hash = make(map[string][][]variant.Value)
-		var kb strings.Builder
-		for _, row := range rows {
-			kb.Reset()
-			skip := false
-			for _, fn := range j.rightKeys {
-				v, err := fn(row)
-				if err != nil {
-					return err
-				}
-				if v.IsNull() {
-					skip = true // NULL keys never match in equi-joins
-					break
-				}
-				kb.WriteString(v.HashKey())
-				kb.WriteByte('|')
-			}
-			if skip {
-				continue
-			}
-			k := kb.String()
-			j.hash[k] = append(j.hash[k], row)
+	case j.buildWorkers > 1 && len(rows) >= minParallelBuildRows:
+		if err := j.buildParallel(rows); err != nil {
+			return err
+		}
+	default:
+		if err := j.buildSequential(rows); err != nil {
+			return err
 		}
 	}
 	j.built = true
+	return nil
+}
+
+func (j *joinIter) buildSequential(rows [][]variant.Value) error {
+	m := make(map[string]*buildList)
+	j.parts = []map[string]*buildList{m}
+	var kb []byte
+	for _, row := range rows {
+		kb = kb[:0]
+		skip := false
+		for _, fn := range j.rightKeys {
+			v, err := fn(row)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				skip = true // NULL keys never match in equi-joins
+				break
+			}
+			kb = v.AppendGroupKey(kb)
+		}
+		if skip {
+			continue
+		}
+		e, ok := m[string(kb)]
+		if !ok {
+			e = &buildList{}
+			m[string(kb)] = e
+		}
+		e.rows = append(e.rows, row)
+	}
+	if j.st != nil {
+		j.st.Pipelines = 1
+		j.st.MergeParts = 1
+		j.st.LocalRows = int64(len(rows))
+		j.st.MergedGroups = int64(len(m))
+	}
 	return nil
 }
 
@@ -686,10 +779,11 @@ func (j *joinIter) NextBatch() (*vector.Batch, error) {
 }
 
 // probeBatch joins every active left row of one batch against the built
-// right side, appending output rows to the builder.
+// right side, appending output rows to the builder. Probing is lock-free:
+// the partitioned tables are read-only after build.
 func (j *joinIter) probeBatch(b *vector.Batch) error {
 	var kcols [][]variant.Value
-	if j.hash != nil {
+	if j.parts != nil {
 		kcols = make([][]variant.Value, len(j.leftKeys))
 		for i, fn := range j.leftKeys {
 			vals, err := fn(b)
@@ -700,15 +794,14 @@ func (j *joinIter) probeBatch(b *vector.Batch) error {
 		}
 	}
 	combined := make([]variant.Value, j.leftWidth+j.rightWidth)
-	var kb strings.Builder
 	var rowErr error
 	b.ForEach(func(i int) {
 		if rowErr != nil {
 			return
 		}
 		candidates := j.rightRows
-		if j.hash != nil {
-			kb.Reset()
+		if j.parts != nil {
+			j.keyBuf = j.keyBuf[:0]
 			nullKey := false
 			for k := range kcols {
 				v := kcols[k][i]
@@ -716,13 +809,14 @@ func (j *joinIter) probeBatch(b *vector.Batch) error {
 					nullKey = true
 					break
 				}
-				kb.WriteString(v.HashKey())
-				kb.WriteByte('|')
+				j.keyBuf = v.AppendGroupKey(j.keyBuf)
 			}
-			if nullKey {
-				candidates = nil
-			} else {
-				candidates = j.hash[kb.String()]
+			candidates = nil
+			if !nullKey {
+				m := j.parts[bucketOfKey(j.keyBuf, len(j.parts))]
+				if e, ok := m[string(j.keyBuf)]; ok {
+					candidates = e.rows
+				}
 			}
 		}
 		for c := range b.Cols {
@@ -774,33 +868,69 @@ func (j *joinIter) Close() {
 
 // --- sort / limit / union -----------------------------------------------------
 
+// prepareSort builds a sort. workers > 1 (the ParallelSortNode path) sorts
+// per-worker runs merged stably; statNode receives the phase accounting.
+func prepareSort(x *SortNode, ctx *execContext, workers int, statNode Node) (batchIter, error) {
+	in, err := prepare(x.Input, ctx)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]vecFn, len(x.Keys))
+	descs := make([]bool, len(x.Keys))
+	for i, k := range x.Keys {
+		fn, err := compileVec(x.Input.Schema(), k.Expr)
+		if err != nil {
+			in.Close()
+			return nil, err
+		}
+		keys[i] = fn
+		descs[i] = k.Desc
+	}
+	return &sortIter{
+		in: in, keys: keys, descs: descs,
+		width: len(x.Input.Schema().Names), bsize: ctx.batchSize,
+		workers: workers, st: ctx.statsFor(statNode),
+	}, nil
+}
+
 type sortIter struct {
-	in    batchIter
-	keys  []vecFn
-	descs []bool
-	width int
-	bsize int
-	out   *rowsIter
+	in      batchIter
+	keys    []vecFn
+	descs   []bool
+	width   int
+	bsize   int
+	workers int
+	st      *OpStats
+	out     *rowsIter
 }
 
 func (s *sortIter) NextBatch() (*vector.Batch, error) {
 	if s.out == nil {
-		if err := s.materialize(); err != nil {
+		err := s.materialize()
+		s.in = nil // materialize closed it
+		if err != nil {
 			return nil, err
 		}
 	}
 	return s.out.NextBatch()
 }
 
-// materialize drains the input, evaluates the sort keys batch-wise, and
-// stably sorts the global row index — ties keep their input order even when
-// the rows arrived from a parallel scan's ordered merge.
+// sortRef addresses one row of the drained input: batch index + physical
+// row index.
+type sortRef struct{ b, i int }
+
+// materialize drains the input (closing it as soon as the drain finishes,
+// so morsel scan workers release promptly), evaluates the sort keys
+// batch-wise, and stably sorts the global row index — ties keep their input
+// order even when the rows arrived from a parallel scan's ordered merge.
+// With workers > 1 the comparison sort fans out into per-worker runs joined
+// by a stability-preserving multiway merge; key evaluation stays sequential
+// in input order either way.
 func (s *sortIter) materialize() error {
 	defer s.in.Close()
 	var batches []*vector.Batch
 	var keyCols [][][]variant.Value // [batch][key] -> physical-aligned values
-	type ref struct{ b, i int }
-	var refs []ref
+	var refs []sortRef
 	for {
 		b, err := s.in.NextBatch()
 		if err != nil {
@@ -824,11 +954,12 @@ func (s *sortIter) materialize() error {
 		batches = append(batches, b)
 		keyCols = append(keyCols, kc)
 		b.ForEach(func(i int) {
-			refs = append(refs, ref{b: bi, i: i})
+			refs = append(refs, sortRef{b: bi, i: i})
 		})
 	}
-	sort.SliceStable(refs, func(a, b int) bool {
-		ra, rb := refs[a], refs[b]
+	// less is pure (reads only the detached key vectors), so parallel run
+	// sorting shares it safely across workers.
+	less := func(ra, rb sortRef) bool {
 		for k := range s.keys {
 			c := variant.Compare(keyCols[ra.b][k][ra.i], keyCols[rb.b][k][rb.i])
 			if s.descs[k] {
@@ -839,7 +970,12 @@ func (s *sortIter) materialize() error {
 			}
 		}
 		return false
-	})
+	}
+	if s.workers > 1 && len(refs) >= minParallelSortRows {
+		refs = parallelSortRefs(refs, less, s.workers, s.st)
+	} else {
+		sort.SliceStable(refs, func(a, b int) bool { return less(refs[a], refs[b]) })
+	}
 	rows := make([][]variant.Value, len(refs))
 	for n, r := range refs {
 		row := make([]variant.Value, s.width)
@@ -852,7 +988,12 @@ func (s *sortIter) materialize() error {
 	return nil
 }
 
-func (s *sortIter) Close() { s.in.Close() }
+func (s *sortIter) Close() {
+	if s.in != nil {
+		s.in.Close()
+		s.in = nil
+	}
+}
 
 type limitIter struct {
 	in        batchIter

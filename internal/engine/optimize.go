@@ -61,6 +61,24 @@ func optimizeTraced(n Node, sp *obsv.Span) Node {
 	return n
 }
 
+// physicalizeTraced runs the physical pass (physical.go) with a trace span
+// recording how many pipeline breakers went parallel; the count is also
+// returned so the metrics layer can report it.
+func physicalizeTraced(n Node, par, mergeParts int, sp *obsv.Span) (Node, int) {
+	n = physicalize(n, par, mergeParts)
+	count := countNodesOf(n, func(x Node) bool {
+		switch x.(type) {
+		case *ParallelAggNode, *ParallelJoinNode, *ParallelSortNode:
+			return true
+		}
+		return false
+	})
+	if sp != nil {
+		sp.SetAttr("parallel-breakers", count)
+	}
+	return n, count
+}
+
 // countNodesOf counts plan nodes matching the predicate.
 func countNodesOf(n Node, match func(Node) bool) int {
 	total := 0

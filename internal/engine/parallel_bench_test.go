@@ -1,0 +1,104 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"jsonpark/internal/bench"
+	"jsonpark/internal/variant"
+)
+
+// benchParallelisms sweeps the worker pool shared by the morsel scan and the
+// pipeline breakers (partitioned aggregation, join build, sort runs).
+var benchParallelisms = []int{1, 2, 4, 8}
+
+// benchParEngine builds an engine whose "bpar" fact table seals a partition
+// every ~16KiB, so the scan pool and the partitioned pipeline breakers have
+// dozens of morsels to distribute, plus a small "bdim" dimension table whose
+// keys cover every "grp" value for join probes.
+func benchParEngine(b *testing.B, parallelism, rows int) *Engine {
+	b.Helper()
+	e := New(WithBatchSize(1024), WithParallelism(parallelism))
+	tab, err := e.Catalog().CreateTable("bpar", []string{"id", "grp", "val", "items"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tab.SetTargetPartitionBytes(16 << 10)
+	for i := 0; i < rows; i++ {
+		doc := fmt.Sprintf(`{"id": %d, "grp": %d, "val": %d, "items": [%d, %d, %d, %d]}`,
+			i, i%401, i%97, i, i+1, i+2, i+3)
+		if err := tab.AppendObject(variant.MustParseJSON(doc)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	dim, err := e.Catalog().CreateTable("bdim", []string{"k", "name"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 401; i++ {
+		doc := fmt.Sprintf(`{"k": %d, "name": "dim-%d"}`, i, i)
+		if err := dim.AppendObject(variant.MustParseJSON(doc)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e
+}
+
+func runParallelBench(b *testing.B, name, sql string, rows int) {
+	for _, par := range benchParallelisms {
+		par := par
+		b.Run(fmt.Sprintf("par=%d", par), func(b *testing.B) {
+			e := benchParEngine(b, par, rows)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Query(sql); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			benchRecorder.Add(bench.Record{
+				Experiment: name,
+				Query:      sql,
+				System:     fmt.Sprintf("par=%d", par),
+				Scale:      float64(rows),
+				MeanMicros: b.Elapsed().Microseconds() / int64(b.N),
+				Runs:       b.N,
+			})
+		})
+	}
+}
+
+// BenchmarkGroupAgg measures grouped aggregation over a multi-partition scan:
+// the shape where the partitioned two-phase aggregate replaces the single
+// pipeline-breaker thread.
+func BenchmarkGroupAgg(b *testing.B) {
+	runParallelBench(b, "group-agg",
+		`SELECT "grp", COUNT(*), MIN("val"), MAX("val") FROM "bpar" GROUP BY "grp"`,
+		40000)
+}
+
+// BenchmarkReaggParallel measures the paper's flatten → re-aggregate nesting
+// pattern (ARRAY_AGG + ANY_VALUE grouped by row ID) with the aggregation
+// running above a parallel flatten pipeline.
+func BenchmarkReaggParallel(b *testing.B) {
+	runParallelBench(b, "reagg-parallel",
+		`SELECT "id", ARRAY_AGG("v"), ANY_VALUE("grp") FROM (SELECT "id", "grp", "f".VALUE AS "v" FROM (SELECT * FROM "bpar"), LATERAL FLATTEN(INPUT => "items") AS "f") GROUP BY "id"`,
+		8000)
+}
+
+// BenchmarkJoinBuild measures hash-join build cost: the probe side is a tiny
+// dimension table, so nearly all the time is building the hash table over the
+// fact rows.
+func BenchmarkJoinBuild(b *testing.B) {
+	runParallelBench(b, "join-build",
+		`SELECT COUNT(*) FROM "bdim" INNER JOIN "bpar" ON "k" = "grp"`,
+		40000)
+}
+
+// BenchmarkParSort measures a full-table sort (per-worker runs + multiway
+// merge when parallel).
+func BenchmarkParSort(b *testing.B) {
+	runParallelBench(b, "par-sort",
+		`SELECT "id", "val" FROM "bpar" ORDER BY "val" DESC, "id"`,
+		40000)
+}

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestParallelAggEarlyCloseStress hammers the parallel aggregate's
+// lifecycle the way scan_stress_test.go hammers the morsel pool: LIMIT
+// cuts consumption short after the blocking phase, prepared queries are
+// abandoned before or mid-drain, and concurrent consumers share one
+// engine. Both phases join their workers before run() returns, so the
+// invariant under -race is simply that no goroutine outlives its query and
+// no abandoned Prepared leaks a worker.
+func TestParallelAggEarlyCloseStress(t *testing.T) {
+	e := multiPartEngine(t, WithBatchSize(4), WithParallelism(8))
+	queries := []string{
+		`SELECT grp, COUNT(*), MIN(val) FROM events GROUP BY grp LIMIT 2`,
+		`SELECT "grp", ARRAY_AGG("id") FROM "events" GROUP BY "grp" LIMIT 1`,
+		`SELECT "id", ARRAY_AGG("f".VALUE) FROM (SELECT * FROM "events"), LATERAL FLATTEN(INPUT => "items") AS "f" GROUP BY "id" LIMIT 3`,
+		`SELECT id, grp, val FROM events ORDER BY val DESC, id LIMIT 5`,
+		`SELECT COUNT(*) FROM (SELECT "grp" AS "g" FROM "events") INNER JOIN (SELECT * FROM "events") ON "g" = "grp" LIMIT 1`,
+	}
+	for i := 0; i < 50; i++ {
+		sql := queries[i%len(queries)]
+		res, err := e.Query(sql)
+		if err != nil {
+			t.Fatalf("iteration %d %s: %v", i, sql, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatalf("iteration %d %s: no rows", i, sql)
+		}
+	}
+
+	// Abandoned prepared queries: closed before the first batch and after a
+	// partial drain (the blocking phase runs inside the first NextBatch).
+	for i := 0; i < 50; i++ {
+		p, err := e.Prepare(queries[i%len(queries)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if _, err := p.iter.NextBatch(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		p.iter.Close()
+		p.iter.Close() // Close must be idempotent
+	}
+
+	// Concurrent consumers sharing the engine.
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 15; i++ {
+				if _, err := e.Query(queries[(g+i)%len(queries)]); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,245 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"jsonpark/internal/variant"
+)
+
+// breakerQueries exercise every parallel pipeline breaker: partitioned hash
+// aggregation (with ARRAY_AGG concatenation, DISTINCT dedup, ANY_VALUE
+// first-wins and WITHIN GROUP ordering — the order-sensitive merges), the
+// parallel hash-join build, and the parallel sort.
+var breakerQueries = []string{
+	// Grouped aggregation, mergeable accumulators only.
+	`SELECT grp, COUNT(*), MIN(val), MAX(val) FROM events GROUP BY grp`,
+	`SELECT grp, COUNT(DISTINCT val), ANY_VALUE(id) FROM events GROUP BY grp`,
+	`SELECT "grp", ARRAY_AGG("id") FROM "events" GROUP BY "grp"`,
+	`SELECT "grp", ARRAY_AGG(DISTINCT "val") FROM "events" GROUP BY "grp"`,
+	`SELECT "grp", ARRAY_AGG("id") WITHIN GROUP (ORDER BY "val" DESC, "id") FROM "events" GROUP BY "grp"`,
+	// Global aggregation.
+	`SELECT COUNT(*), MIN(val), MAX(id) FROM events`,
+	`SELECT COUNT(*) FROM events WHERE val > 1000`, // empty after filter
+	// Aggregation over a flatten chain (the paper's re-aggregation shape).
+	`SELECT "id", ARRAY_AGG("f".VALUE), ANY_VALUE("grp") FROM (SELECT * FROM "events"), LATERAL FLATTEN(INPUT => "items") AS "f" GROUP BY "id"`,
+	// Non-mergeable aggregates: must fall back and still agree byte-for-byte.
+	`SELECT grp, SUM(val), AVG(val) FROM events GROUP BY grp`,
+	// Joins: equi-join (parallel build) and LEFT OUTER.
+	`SELECT COUNT(*) FROM (SELECT "grp" AS "g" FROM "events" WHERE "id" < 100) INNER JOIN (SELECT * FROM "events") ON "g" = "grp"`,
+	`SELECT "id", "oid" FROM (SELECT "id", "grp" FROM "events" WHERE "id" < 25) LEFT OUTER JOIN (SELECT "id" AS "oid", "grp" AS "g2" FROM "events" WHERE "val" > 12) ON "grp" = "g2"`,
+	// Sorts: duplicate keys probe the stable multiway merge.
+	`SELECT id, grp, val FROM events ORDER BY grp, val DESC`,
+	`SELECT id FROM events ORDER BY val DESC LIMIT 31`,
+}
+
+// TestParallelBreakerParity is the core regression of the parallel pipeline
+// breakers: parallelism {1,4} × batch size {1,1024}, planck enabled, every
+// configuration byte-identical.
+func TestParallelBreakerParity(t *testing.T) {
+	configs := []struct {
+		name string
+		opts []Option
+	}{
+		{"par1-bs1", []Option{WithParallelism(1), WithBatchSize(1), WithPlanCheck(true)}},
+		{"par1-bs1024", []Option{WithParallelism(1), WithBatchSize(1024), WithPlanCheck(true)}},
+		{"par4-bs1", []Option{WithParallelism(4), WithBatchSize(1), WithPlanCheck(true)}},
+		{"par4-bs1024", []Option{WithParallelism(4), WithBatchSize(1024), WithPlanCheck(true)}},
+	}
+	engines := make([]*Engine, len(configs))
+	for i, c := range configs {
+		engines[i] = multiPartEngine(t, c.opts...)
+	}
+	for _, sql := range breakerQueries {
+		var want string
+		for i, c := range configs {
+			res, err := engines[i].Query(sql)
+			if err != nil {
+				t.Fatalf("%s [%s]: %v", sql, c.name, err)
+			}
+			got := renderRows(res)
+			if i == 0 {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Errorf("%s: config %s diverges from %s\ngot:\n%s\nwant:\n%s",
+					sql, c.name, configs[0].name, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelAggExplainAnalyze pins the observability contract: an analyzed
+// parallel aggregation reports the ParallelAggregate operator with its
+// per-phase stats, and the stats are internally consistent.
+func TestParallelAggExplainAnalyze(t *testing.T) {
+	e := multiPartEngine(t, WithParallelism(4), WithPlanCheck(true))
+	res, ps, err := e.QueryAnalyze(`SELECT grp, COUNT(*), MIN(val) FROM events GROUP BY grp`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 7 {
+		t.Fatalf("expected 7 groups, got %d", len(res.Rows))
+	}
+	rendered := ps.Render()
+	if !strings.Contains(rendered, "ParallelAggregate") {
+		t.Fatalf("EXPLAIN ANALYZE does not show the parallel aggregate:\n%s", rendered)
+	}
+	if !strings.Contains(rendered, "par[pipelines=") {
+		t.Fatalf("EXPLAIN ANALYZE missing the parallel phase stats:\n%s", rendered)
+	}
+	var agg *PlanStats
+	ps.Walk(func(_ int, n *PlanStats) {
+		if n.Op == "ParallelAggregate" {
+			agg = n
+		}
+	})
+	if agg == nil {
+		t.Fatal("no ParallelAggregate node in PlanStats")
+	}
+	if agg.Pipelines < 1 || agg.MergeParts < 1 {
+		t.Fatalf("phase stats not recorded: %+v", agg)
+	}
+	if agg.MergedGroups != 7 {
+		t.Fatalf("merged groups = %d, want 7", agg.MergedGroups)
+	}
+	if agg.LocalRows != 500 {
+		t.Fatalf("local rows = %d, want 500", agg.LocalRows)
+	}
+	if agg.LocalGroups < agg.MergedGroups {
+		t.Fatalf("local groups %d < merged groups %d", agg.LocalGroups, agg.MergedGroups)
+	}
+	if agg.MaxWorkerRows < 1 || agg.MaxWorkerRows > agg.LocalRows {
+		t.Fatalf("implausible max worker rows %d (local %d)", agg.MaxWorkerRows, agg.LocalRows)
+	}
+	if agg.RowsIn != agg.Children[0].RowsOut {
+		t.Fatalf("rows_in %d does not match child rows_out %d", agg.RowsIn, agg.Children[0].RowsOut)
+	}
+}
+
+// TestOrderSensitiveAggStaysSequential pins the fallback rule: SUM and AVG
+// fold floats in input order (addition is not associative), and stateful
+// SEQ8 arguments observe evaluation order, so those plans keep the
+// sequential Aggregate operator even at high parallelism.
+func TestOrderSensitiveAggStaysSequential(t *testing.T) {
+	e := multiPartEngine(t, WithParallelism(8), WithPlanCheck(true))
+	for _, sql := range []string{
+		`SELECT grp, SUM(val) FROM events GROUP BY grp`,
+		`SELECT grp, AVG(val) FROM events GROUP BY grp`,
+		`SELECT grp, MIN(SEQ8()) FROM events GROUP BY grp`,
+	} {
+		_, ps, err := e.QueryAnalyze(sql)
+		if err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+		found := false
+		ps.Walk(func(_ int, n *PlanStats) {
+			if n.Op == "ParallelAggregate" {
+				found = true
+			}
+		})
+		if found {
+			t.Errorf("%s: order-sensitive aggregate went parallel", sql)
+		}
+	}
+}
+
+// TestParallelJoinAndSortAnalyze checks that the join build and sort report
+// their parallel phase stats.
+func TestParallelJoinAndSortAnalyze(t *testing.T) {
+	e := multiPartEngine(t, WithParallelism(4), WithPlanCheck(true))
+	_, ps, err := e.QueryAnalyze(
+		`SELECT COUNT(*) FROM (SELECT "grp" AS "g" FROM "events") INNER JOIN (SELECT * FROM "events") ON "g" = "grp"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var join *PlanStats
+	ps.Walk(func(_ int, n *PlanStats) {
+		if strings.Contains(n.Op, "Join") {
+			join = n
+		}
+	})
+	if join == nil {
+		t.Fatal("no join in plan")
+	}
+	if join.Pipelines < 1 || join.LocalRows != 500 {
+		t.Fatalf("join build phase stats not recorded: %+v", join)
+	}
+
+	_, ps, err = e.QueryAnalyze(`SELECT id FROM events ORDER BY val DESC, id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srt *PlanStats
+	ps.Walk(func(_ int, n *PlanStats) {
+		if n.Op == "Sort" {
+			srt = n
+		}
+	})
+	if srt == nil {
+		t.Fatal("no sort in plan")
+	}
+	// 500 rows clears minParallelSortRows only when lowered; at the default
+	// threshold the run stays sequential and the stats stay zero — both are
+	// legal, but the operator must report sort_workers in its detail.
+	if !strings.Contains(srt.Detail, "sort_workers=4") {
+		t.Fatalf("sort detail missing worker count: %q", srt.Detail)
+	}
+}
+
+// TestWithMergePartitions pins the merge-partition option: results stay
+// byte-identical and the configured partition count shows up in the stats.
+func TestWithMergePartitions(t *testing.T) {
+	base := multiPartEngine(t, WithParallelism(1))
+	tuned := multiPartEngine(t, WithParallelism(4), WithMergePartitions(2), WithPlanCheck(true))
+	sql := `SELECT "grp", ARRAY_AGG("id"), COUNT(*) FROM "events" GROUP BY "grp"`
+	want, err := base.Query(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ps, err := tuned.QueryAnalyze(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderRows(got) != renderRows(want) {
+		t.Fatal("merge-partition tuning changed the result")
+	}
+	var agg *PlanStats
+	ps.Walk(func(_ int, n *PlanStats) {
+		if n.Op == "ParallelAggregate" {
+			agg = n
+		}
+	})
+	if agg == nil {
+		t.Fatal("no ParallelAggregate node")
+	}
+	if agg.MergeParts != 2 {
+		t.Fatalf("merge parts = %d, want 2", agg.MergeParts)
+	}
+}
+
+// TestParallelAggSinglePartitionFallsBack: a table with one micro-partition
+// has nothing to split; the plan keeps the sequential Aggregate.
+func TestParallelAggSinglePartitionFallsBack(t *testing.T) {
+	e := New(WithParallelism(4), WithPlanCheck(true))
+	tab, err := e.Catalog().CreateTable("one", []string{"k", "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		row := []variant.Value{variant.Int(int64(i % 3)), variant.Int(int64(i))}
+		if err := tab.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, ps, err := e.QueryAnalyze(`SELECT k, COUNT(*) FROM one GROUP BY k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps.Walk(func(_ int, n *PlanStats) {
+		if n.Op == "ParallelAggregate" {
+			t.Error("single-partition table should not aggregate in parallel")
+		}
+	})
+}

@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"jsonpark/internal/sqlast"
+)
+
+// The physical pass. After the logical optimizer runs, physicalize walks
+// the plan and wraps each pipeline breaker that can execute its blocking
+// phase in parallel without changing a single output byte:
+//
+//   - AggregateNode → ParallelAggNode when the input is a straight
+//     stateless Filter/Project/Flatten chain over a multi-partition scan
+//     and every aggregate merges exactly (see aggsMergeable). Workers claim
+//     storage partitions morsel-style, aggregate each into a thread-local
+//     table, and the locals merge in parallel across disjoint hash
+//     partitions — in storage-partition order, which equals input row
+//     order, so first-seen group order, ANY_VALUE, ARRAY_AGG concatenation
+//     and DISTINCT first-occurrence dedup all reproduce the sequential
+//     result exactly.
+//
+//   - JoinNode → ParallelJoinNode when it is an equi-join with stateless
+//     build keys: the build side partitions across workers into disjoint
+//     per-bucket hash tables probed lock-free.
+//
+//   - SortNode → ParallelSortNode always: sort keys evaluate sequentially
+//     during materialization (so even stateful keys see input order); only
+//     the comparison-sorting of precomputed keys fans out into per-worker
+//     runs joined by a stability-preserving multiway merge.
+//
+// Everything order-sensitive stays on the sequential operators: SUM and AVG
+// fold floats in input order (addition is not associative), stateful (SEQ)
+// arguments observe evaluation order, and unknown aggregates must keep
+// their lazy error behavior. planck certifies the contracts of the new
+// nodes in planck.go.
+
+// ParallelAggNode executes its embedded aggregate as a two-phase
+// partitioned hash aggregation over the pipeline below it.
+type ParallelAggNode struct {
+	*AggregateNode
+	// Pipelines caps the phase-1 workers (each runs the scan→…→pre-aggregate
+	// pipeline over whole storage partitions).
+	Pipelines int
+	// MergeParts is the number of disjoint hash partitions the thread-local
+	// tables split into for the parallel merge.
+	MergeParts int
+}
+
+// ParallelJoinNode executes its embedded join with a partitioned parallel
+// build phase.
+type ParallelJoinNode struct {
+	*JoinNode
+	// BuildWorkers caps the key-encoding workers; the build side also
+	// partitions into BuildWorkers disjoint hash tables.
+	BuildWorkers int
+}
+
+// ParallelSortNode executes its embedded sort as per-worker sorted runs
+// joined by a stable multiway merge.
+type ParallelSortNode struct {
+	*SortNode
+	SortWorkers int
+}
+
+// physicalize rewrites the optimized logical plan into its physical form
+// for the given parallelism. With parallelism <= 1 the plan is returned
+// untouched, so sequential engines never see the parallel nodes.
+func physicalize(n Node, par, mergeParts int) Node {
+	if par <= 1 {
+		return n
+	}
+	if mergeParts <= 0 {
+		mergeParts = par
+	}
+	switch x := n.(type) {
+	case *FilterNode:
+		x.Input = physicalize(x.Input, par, mergeParts)
+	case *ProjectNode:
+		x.Input = physicalize(x.Input, par, mergeParts)
+	case *FlattenNode:
+		x.Input = physicalize(x.Input, par, mergeParts)
+	case *LimitNode:
+		x.Input = physicalize(x.Input, par, mergeParts)
+	case *UnionNode:
+		x.Left = physicalize(x.Left, par, mergeParts)
+		x.Right = physicalize(x.Right, par, mergeParts)
+	case *AggregateNode:
+		x.Input = physicalize(x.Input, par, mergeParts)
+		if parallelAggEligible(x) {
+			return &ParallelAggNode{AggregateNode: x, Pipelines: par, MergeParts: mergeParts}
+		}
+	case *JoinNode:
+		x.Left = physicalize(x.Left, par, mergeParts)
+		x.Right = physicalize(x.Right, par, mergeParts)
+		if len(x.RightKeys) > 0 && !anyExprStateful(x.RightKeys) {
+			return &ParallelJoinNode{JoinNode: x, BuildWorkers: par}
+		}
+	case *SortNode:
+		x.Input = physicalize(x.Input, par, mergeParts)
+		return &ParallelSortNode{SortNode: x, SortWorkers: par}
+	}
+	return n
+}
+
+// parallelAggEligible reports whether the aggregate can run as a two-phase
+// partitioned aggregation with byte-identical output: mergeable-exact
+// accumulators, stateless grouping, and a pipelineable input over more than
+// one storage partition.
+func parallelAggEligible(x *AggregateNode) bool {
+	if !aggsMergeable(x.Aggs) {
+		return false
+	}
+	if anyExprStateful(x.GroupBy) {
+		return false
+	}
+	scan, _, ok := pipelineStages(x.Input)
+	return ok && len(scan.Table.Partitions()) > 1
+}
+
+// aggsMergeable reports whether every aggregate's partial states combine
+// exactly when partials are folded in input (partition index) order.
+// SUM and AVG are excluded — float addition is not associative, so merging
+// per-partition partial sums changes low-order bits versus the sequential
+// row-order fold. Unknown aggregates must keep their lazy add-time error.
+func aggsMergeable(specs []AggSpec) bool {
+	for _, s := range specs {
+		switch s.Name {
+		case "COUNT", "COUNT_IF", "MIN", "MAX", "ANY_VALUE",
+			"BOOLAND_AGG", "BOOLOR_AGG", "ARRAY_AGG":
+		default:
+			return false
+		}
+		if exprStateful(s.Arg) {
+			return false
+		}
+		for _, o := range s.OrderBy {
+			if exprStateful(o.Expr) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// pipelineStages decomposes an aggregate input into the operator chain the
+// phase-1 workers replay per storage partition: a straight
+// Filter/Project/Flatten chain (stateless expressions only, so replaying a
+// partition in isolation yields exactly the rows the sequential pipeline
+// would derive from it) over a scan with a stateless pushed-down filter.
+// Returns the scan, the intermediate stages in execution order (scan side
+// first), and whether the subtree qualifies.
+func pipelineStages(n Node) (*ScanNode, []Node, bool) {
+	var stages []Node
+	for {
+		switch x := n.(type) {
+		case *ScanNode:
+			if exprStateful(x.Filter) {
+				return nil, nil, false
+			}
+			// Reverse into execution order: the walk collected root-side first.
+			for i, j := 0, len(stages)-1; i < j; i, j = i+1, j-1 {
+				stages[i], stages[j] = stages[j], stages[i]
+			}
+			return x, stages, true
+		case *FilterNode:
+			if exprStateful(x.Cond) {
+				return nil, nil, false
+			}
+			stages = append(stages, x)
+			n = x.Input
+		case *ProjectNode:
+			if anyExprStateful(x.Exprs) {
+				return nil, nil, false
+			}
+			stages = append(stages, x)
+			n = x.Input
+		case *FlattenNode:
+			if exprStateful(x.Expr) {
+				return nil, nil, false
+			}
+			stages = append(stages, x)
+			n = x.Input
+		default:
+			return nil, nil, false
+		}
+	}
+}
+
+func anyExprStateful(exprs []sqlast.Expr) bool {
+	for _, e := range exprs {
+		if exprStateful(e) {
+			return true
+		}
+	}
+	return false
+}

@@ -18,6 +18,7 @@ type Observer struct {
 	rowsReturned     *Counter
 	partitionsTotal  *Counter
 	partitionsPruned *Counter
+	parallelBreakers *Counter
 }
 
 // QueryObservation is one finished query's measurements, reported by the
@@ -29,6 +30,9 @@ type QueryObservation struct {
 	RowsReturned     int64
 	PartitionsTotal  int64
 	PartitionsPruned int64
+	// ParallelBreakers counts the pipeline breakers (aggregates, join
+	// builds, sorts) the plan executed with parallel phases.
+	ParallelBreakers int64
 }
 
 // NewObserver builds an observer with the standard metric set registered.
@@ -51,6 +55,8 @@ func NewObserver() *Observer {
 			"Cumulative micro-partitions considered by scans."),
 		partitionsPruned: r.Counter("jsonpark_partitions_pruned_total",
 			"Cumulative micro-partitions pruned via zone maps."),
+		parallelBreakers: r.Counter("jsonpark_parallel_breakers_total",
+			"Cumulative pipeline breakers (aggregates, join builds, sorts) executed with parallel phases."),
 	}
 }
 
@@ -69,6 +75,7 @@ func (o *Observer) ObserveQuery(q QueryObservation) {
 	o.rowsReturned.Add(float64(q.RowsReturned))
 	o.partitionsTotal.Add(float64(q.PartitionsTotal))
 	o.partitionsPruned.Add(float64(q.PartitionsPruned))
+	o.parallelBreakers.Add(float64(q.ParallelBreakers))
 	if q.Trace == nil {
 		return
 	}

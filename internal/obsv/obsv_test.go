@@ -185,7 +185,7 @@ func TestExpositionFormat(t *testing.T) {
 	tr := o.Tracer.Start("query")
 	tr.Root.Child("jsoniq.parse").End()
 	td := tr.Finish()
-	o.ObserveQuery(QueryObservation{Trace: td, BytesScanned: 4096, RowsReturned: 7})
+	o.ObserveQuery(QueryObservation{Trace: td, BytesScanned: 4096, RowsReturned: 7, ParallelBreakers: 2})
 	o.ObserveQuery(QueryObservation{Errored: true})
 
 	var sb strings.Builder
@@ -236,6 +236,7 @@ func TestExpositionFormat(t *testing.T) {
 		`jsonpark_queries_total{status="error"} 1`,
 		`jsonpark_bytes_scanned_total 4096`,
 		`jsonpark_rows_returned_total 7`,
+		`jsonpark_parallel_breakers_total 2`,
 		`jsonpark_query_stage_seconds_count{stage="jsoniq.parse"} 1`,
 	} {
 		if !strings.Contains(out, want) {

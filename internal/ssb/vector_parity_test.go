@@ -29,6 +29,8 @@ func TestSSBBatchSizeParity(t *testing.T) {
 	}{
 		{"bs1-seq", 1, 1},
 		{"bs1024-seq", 1024, 1},
+		{"bs1-par4", 1, 4},
+		{"bs1024-par4", 1024, 4},
 		{"bs1024-par", 1024, 0}, // 0 = NumCPU workers
 	}
 	type ref struct{ translated, handwritten string }

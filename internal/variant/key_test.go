@@ -1,0 +1,117 @@
+package variant
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// keyCorpus spans every kind plus the numeric edge cases whose grouping
+// behavior the encoder must preserve from HashKey.
+func keyCorpus() []Value {
+	obj1 := NewObject()
+	obj1.Set("a", Int(1))
+	obj1.Set("b", String("x"))
+	obj2 := NewObject() // same pairs, different insertion order
+	obj2.Set("b", String("x"))
+	obj2.Set("a", Int(1))
+	obj3 := NewObject()
+	obj3.Set("a", Int(2))
+	return []Value{
+		Null,
+		Bool(true),
+		Bool(false),
+		Int(0),
+		Int(1),
+		Int(-1),
+		Int(1 << 53),
+		Int(1<<53 + 1), // collapses onto float64(2^53), matching HashKey
+		Float(0),
+		Float(math.Copysign(0, -1)), // -0 groups apart from 0, like HashKey
+		Float(1),
+		Float(1.5),
+		Float(-1),
+		Float(math.NaN()),
+		Float(math.Float64frombits(0x7ff8000000000001)), // NaN, different payload
+		Float(math.Inf(1)),
+		Float(math.Inf(-1)),
+		String(""),
+		String("a"),
+		String("ab"),
+		String("b"),
+		ArrayOf(nil),
+		ArrayOf([]Value{Int(1)}),
+		ArrayOf([]Value{Int(1), Int(2)}),
+		ArrayOf([]Value{String("a"), String("b")}),
+		ObjectValue(obj1),
+		ObjectValue(obj2),
+		ObjectValue(obj3),
+	}
+}
+
+// TestGroupKeyMatchesHashKeyClasses asserts the binary encoder induces
+// exactly the same equivalence classes as the string HashKey over the
+// corpus: every pair agrees on equal-vs-distinct.
+func TestGroupKeyMatchesHashKeyClasses(t *testing.T) {
+	vals := keyCorpus()
+	for i, a := range vals {
+		for j, b := range vals {
+			hashEq := a.HashKey() == b.HashKey()
+			binEq := bytes.Equal(a.AppendGroupKey(nil), b.AppendGroupKey(nil))
+			if hashEq != binEq {
+				t.Errorf("corpus[%d]=%s vs corpus[%d]=%s: HashKey equal=%v, AppendGroupKey equal=%v",
+					i, a, j, b, hashEq, binEq)
+			}
+		}
+	}
+}
+
+// TestGroupKeyTupleInjective asserts self-delimiting: concatenated tuple
+// encodings collide only when the tuples are component-wise equal. The
+// classic failure shapes are shifted string boundaries and array vs split
+// elements.
+func TestGroupKeyTupleInjective(t *testing.T) {
+	tuples := [][]Value{
+		{String("a"), String("bc")},
+		{String("ab"), String("c")},
+		{String("abc"), String("")},
+		{String(""), String("abc")},
+		{ArrayOf([]Value{Int(1), Int(2)})},
+		{ArrayOf([]Value{Int(1)}), Int(2)},
+		{Int(1), Int(2)},
+		{Int(12)},
+		{Null, Null},
+		{ArrayOf([]Value{Null}), Null},
+	}
+	enc := func(tu []Value) string {
+		var buf []byte
+		for _, v := range tu {
+			buf = v.AppendGroupKey(buf)
+		}
+		return string(buf)
+	}
+	for i, a := range tuples {
+		for j, b := range tuples {
+			if i == j {
+				continue
+			}
+			if enc(a) == enc(b) {
+				t.Errorf("tuples %d and %d encode identically: %v vs %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+// TestGroupKeyBufferReuse asserts append-into-prefix semantics: encoding
+// into a reused buffer leaves earlier content intact.
+func TestGroupKeyBufferReuse(t *testing.T) {
+	buf := Int(7).AppendGroupKey(nil)
+	n := len(buf)
+	buf = String("xyz").AppendGroupKey(buf)
+	if !bytes.Equal(buf[:n], Int(7).AppendGroupKey(nil)) {
+		t.Fatal("prefix clobbered by subsequent append")
+	}
+	if !bytes.Equal(buf[n:], String("xyz").AppendGroupKey(nil)) {
+		t.Fatal("suffix does not match standalone encoding")
+	}
+}

@@ -102,6 +102,21 @@ func (b *Batch) AppendRows(rows [][]variant.Value) [][]variant.Value {
 	return rows
 }
 
+// ColumnizeRows converts rows[lo:hi] from row-major to a dense column-major
+// batch of the given width. Materializing operators (aggregate merge, sort
+// output) emit their result rows through it.
+func ColumnizeRows(rows [][]variant.Value, width, lo, hi int) *Batch {
+	cols := make([][]variant.Value, width)
+	for c := range cols {
+		col := make([]variant.Value, hi-lo)
+		for k := range col {
+			col[k] = rows[lo+k][c]
+		}
+		cols[c] = col
+	}
+	return &Batch{Cols: cols}
+}
+
 // Truncate drops all but the first n active rows.
 func (b *Batch) Truncate(n int) {
 	if n >= b.NumRows() {

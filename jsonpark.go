@@ -77,6 +77,7 @@ type OpenOption func(*openConfig)
 type openConfig struct {
 	batchSize   int
 	parallelism int
+	mergeParts  int
 	planCheck   bool
 }
 
@@ -86,10 +87,20 @@ func WithBatchSize(n int) OpenOption {
 	return func(c *openConfig) { c.batchSize = n }
 }
 
-// WithParallelism caps the per-scan morsel worker pool (default: the number
-// of CPUs). 1 forces sequential scans.
+// WithParallelism caps the worker pools of every parallel operator: morsel
+// table scans and the pipeline-breaker phases (partitioned hash
+// aggregation, hash-join build, sort-run sorting). Default: the number of
+// CPUs; 1 forces fully sequential execution. Results are byte-identical at
+// any setting.
 func WithParallelism(n int) OpenOption {
 	return func(c *openConfig) { c.parallelism = n }
+}
+
+// WithMergePartitions sets the number of disjoint hash partitions the
+// parallel aggregate's thread-local tables split into for the merge phase
+// (default: the parallelism).
+func WithMergePartitions(n int) OpenOption {
+	return func(c *openConfig) { c.mergeParts = n }
 }
 
 // WithPlanCheck enables the engine's planck debug pass: every prepared
@@ -106,7 +117,12 @@ func Open(opts ...OpenOption) *Warehouse {
 	for _, fn := range opts {
 		fn(&c)
 	}
-	eng := engine.New(engine.WithBatchSize(c.batchSize), engine.WithParallelism(c.parallelism), engine.WithPlanCheck(c.planCheck))
+	eng := engine.New(
+		engine.WithBatchSize(c.batchSize),
+		engine.WithParallelism(c.parallelism),
+		engine.WithMergePartitions(c.mergeParts),
+		engine.WithPlanCheck(c.planCheck),
+	)
 	return &Warehouse{
 		eng:  eng,
 		sess: snowpark.NewSession(eng),
@@ -237,6 +253,7 @@ func (w *Warehouse) QueryTraced(jsoniqSrc string, opts ...QueryOption) (*QueryRe
 			ob.RowsReturned = res.Metrics.RowsReturned
 			ob.PartitionsTotal = int64(res.Metrics.PartitionsTotal)
 			ob.PartitionsPruned = int64(res.Metrics.PartitionsPruned)
+			ob.ParallelBreakers = int64(res.Metrics.ParallelBreakers)
 		}
 		w.obs.ObserveQuery(ob)
 		return td
