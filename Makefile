@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race stress check bench bench-smoke clean
+.PHONY: all build test vet lint race stress fuzz-smoke check bench bench-smoke clean
 
 all: check
 
@@ -31,6 +31,12 @@ race:
 # under the race detector it is the gate for the worker-shutdown paths.
 stress:
 	$(GO) test -race -run 'Stress' -count 2 ./internal/engine/
+
+# fuzz-smoke gives each differential fuzzer a short budget so CI explores
+# the plan-generator space beyond the checked-in seed corpus. The seeds
+# themselves already run as unit tests under `make test`.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzPlanDiff' -fuzztime 30s ./internal/engine/
 
 check: build vet lint test race
 

@@ -18,7 +18,9 @@ import (
 	"strings"
 	"time"
 
+	"jsonpark"
 	"jsonpark/internal/adl"
+
 	"jsonpark/internal/bench"
 )
 
@@ -33,7 +35,17 @@ func main() {
 	jsonOut := flag.String("json", "", "also write machine-readable run results to this path (e.g. BENCH_ADL.json)")
 	batchSize := flag.Int("batch-size", 0, "rows per vector batch (0 = engine default, 1024)")
 	parallelism := flag.Int("parallelism", 0, "workers for parallel scans, aggregation, join build and sort (0 = NumCPU, 1 = sequential)")
+	memLimit := flag.String("mem-limit", "", "pipeline-breaker memory budget per query, e.g. 64KiB or 512MiB (empty = unlimited; overflow spills to disk)")
 	flag.Parse()
+
+	var memBytes int64
+	if *memLimit != "" {
+		var err error
+		memBytes, err = jsonpark.ParseByteSize(*memLimit)
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	cfg := adl.DefaultConfig(os.Stdout)
 	if *jsonOut != "" {
@@ -46,6 +58,7 @@ func main() {
 	cfg.Cutoff = *cutoff
 	cfg.BatchSize = *batchSize
 	cfg.Parallelism = *parallelism
+	cfg.MemLimit = memBytes
 	cfg.ScalePowers = nil
 	for _, p := range strings.Split(*powers, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(p))

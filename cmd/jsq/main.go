@@ -15,12 +15,16 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"time"
 
 	"jsonpark"
 )
@@ -40,13 +44,25 @@ func main() {
 	batchSize := flag.Int("batch-size", 0, "rows per vector batch (0 = engine default, 1024)")
 	parallelism := flag.Int("parallelism", 0, "workers for parallel scans, aggregation, join build and sort (0 = NumCPU, 1 = sequential)")
 	mergePartitions := flag.Int("merge-partitions", 0, "hash partitions of the parallel aggregate merge (0 = follow -parallelism)")
+	memLimit := flag.String("mem-limit", "", "pipeline-breaker memory budget per query, e.g. 64KiB or 512MiB (empty = unlimited; overflow spills to disk)")
+	timeout := flag.Duration("timeout", 0, "per-query execution time limit, e.g. 30s (0 = none)")
 	planCheck := flag.Bool("plancheck", false, "enable the planck debug pass (plan cross-checks + per-batch validation)")
 	flag.Parse()
+
+	var memBytes int64
+	if *memLimit != "" {
+		var err error
+		memBytes, err = jsonpark.ParseByteSize(*memLimit)
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	w := jsonpark.Open(
 		jsonpark.WithBatchSize(*batchSize),
 		jsonpark.WithParallelism(*parallelism),
 		jsonpark.WithMergePartitions(*mergePartitions),
+		jsonpark.WithMemLimit(memBytes),
 		jsonpark.WithPlanCheck(*planCheck),
 	)
 	switch {
@@ -72,8 +88,18 @@ func main() {
 	}
 
 	if *repl {
-		runREPL(w, strat)
+		runREPL(w, strat, *timeout)
 		return
+	}
+
+	// One-shot execution: Ctrl-C (and the optional -timeout) cancels the
+	// running query; workers exit promptly and the error says which tripped.
+	ctx, stopSig := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSig()
+	if *timeout > 0 {
+		var cancelTo context.CancelFunc
+		ctx, cancelTo = context.WithTimeout(ctx, *timeout)
+		defer cancelTo()
 	}
 
 	query := strings.Join(flag.Args(), " ")
@@ -119,9 +145,9 @@ func main() {
 		return
 	}
 	if *explainAnalyze {
-		rep, err := w.QueryTraced(query, jsonpark.WithStrategy(strat), jsonpark.WithAnalyze())
+		rep, err := w.QueryTraced(query, jsonpark.WithStrategy(strat), jsonpark.WithAnalyze(), jsonpark.WithContext(ctx))
 		if err != nil {
-			fatal(err)
+			fatal(describeCancel(err, *timeout))
 		}
 		m := rep.Result.Metrics
 		fmt.Printf("-- trace %s strategy=%s rows=%d compile=%s exec=%s\n",
@@ -131,9 +157,9 @@ func main() {
 		fmt.Print(rep.Trace.Root.Render())
 		return
 	}
-	res, err := w.Query(query, jsonpark.WithStrategy(strat))
+	res, err := w.Query(query, jsonpark.WithStrategy(strat), jsonpark.WithContext(ctx))
 	if err != nil {
-		fatal(err)
+		fatal(describeCancel(err, *timeout))
 	}
 	for _, row := range res.Rows {
 		fmt.Println(row[0].JSON())
@@ -146,11 +172,25 @@ func main() {
 	}
 }
 
+// describeCancel rewrites context-cancellation errors into operator-facing
+// messages; other errors pass through.
+func describeCancel(err error, timeout time.Duration) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return fmt.Errorf("query exceeded -timeout %s", timeout)
+	case errors.Is(err, context.Canceled):
+		return fmt.Errorf("query interrupted")
+	}
+	return err
+}
+
 // runREPL reads queries interactively — the REPL client of the paper's
 // §III-A1 interface list. A query is submitted with a line containing only
-// ";"; special commands: ".sql" toggles SQL echo, ".quit" exits.
-func runREPL(w *jsonpark.Warehouse, strat jsonpark.Strategy) {
-	fmt.Println("jsonpark REPL — end queries with a ';' line, .sql toggles SQL echo, .quit exits")
+// ";"; special commands: ".sql" toggles SQL echo, ".quit" exits. Ctrl-C
+// during execution aborts the running query, not the REPL: the signal
+// context lives only for the duration of one w.Query call.
+func runREPL(w *jsonpark.Warehouse, strat jsonpark.Strategy, timeout time.Duration) {
+	fmt.Println("jsonpark REPL — end queries with a ';' line, .sql toggles SQL echo, .quit exits (Ctrl-C aborts a running query)")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
 	var buf strings.Builder
@@ -179,9 +219,9 @@ func runREPL(w *jsonpark.Warehouse, strat jsonpark.Strategy) {
 					fmt.Println("--", sql)
 				}
 			}
-			res, err := w.Query(query, jsonpark.WithStrategy(strat))
+			res, err := replQuery(w, query, strat, timeout)
 			if err != nil {
-				fmt.Println("error:", err)
+				fmt.Println("error:", describeCancel(err, timeout))
 				prompt()
 				continue
 			}
@@ -201,6 +241,19 @@ func runREPL(w *jsonpark.Warehouse, strat jsonpark.Strategy) {
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "jsq: reading input:", err)
 	}
+}
+
+// replQuery executes one REPL query under a per-query signal context, so an
+// interrupt cancels the query and control returns to the prompt.
+func replQuery(w *jsonpark.Warehouse, query string, strat jsonpark.Strategy, timeout time.Duration) (*jsonpark.Result, error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	return w.Query(query, jsonpark.WithStrategy(strat), jsonpark.WithContext(ctx))
 }
 
 // loadJSONL stages a JSON-lines file. Without -columns, a first pass

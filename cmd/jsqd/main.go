@@ -37,16 +37,27 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	data := flag.String("data", "", "optional JSON-lines file to preload")
 	collection := flag.String("collection", "data", "collection name for -data")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-request query execution limit; exceeding it returns a structured 504 (0 = none)")
+	memLimit := flag.String("mem-limit", "", "pipeline-breaker memory budget per query, e.g. 512MiB (empty = unlimited; overflow spills to disk)")
 	flag.Parse()
 
-	w := jsonpark.Open()
+	var memBytes int64
+	if *memLimit != "" {
+		var err error
+		memBytes, err = jsonpark.ParseByteSize(*memLimit)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	w := jsonpark.Open(jsonpark.WithMemLimit(memBytes))
 	if *data != "" {
 		if err := preload(w, *collection, *data); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: server.New(w)}
+	srv := &http.Server{Addr: *addr, Handler: server.New(w, server.WithQueryTimeout(*queryTimeout))}
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("jsqd listening on %s", *addr)

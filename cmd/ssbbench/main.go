@@ -14,6 +14,8 @@ import (
 	"strconv"
 	"strings"
 
+	"jsonpark"
+
 	"jsonpark/internal/bench"
 	"jsonpark/internal/ssb"
 )
@@ -28,7 +30,17 @@ func main() {
 	jsonOut := flag.String("json", "", "also write machine-readable run results to this path (e.g. BENCH_SSB.json)")
 	batchSize := flag.Int("batch-size", 0, "rows per vector batch (0 = engine default, 1024)")
 	parallelism := flag.Int("parallelism", 0, "workers for parallel scans, aggregation, join build and sort (0 = NumCPU, 1 = sequential)")
+	memLimit := flag.String("mem-limit", "", "pipeline-breaker memory budget per query, e.g. 64KiB or 512MiB (empty = unlimited; overflow spills to disk)")
 	flag.Parse()
+
+	var memBytes int64
+	if *memLimit != "" {
+		var err error
+		memBytes, err = jsonpark.ParseByteSize(*memLimit)
+		if err != nil {
+			fatal(err)
+		}
+	}
 
 	cfg := ssb.DefaultConfig(os.Stdout)
 	if *jsonOut != "" {
@@ -40,6 +52,7 @@ func main() {
 	cfg.Warmups = *warmups
 	cfg.BatchSize = *batchSize
 	cfg.Parallelism = *parallelism
+	cfg.MemLimit = memBytes
 	cfg.ScaleFactors = nil
 	for _, s := range strings.Split(*sfs, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)

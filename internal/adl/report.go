@@ -35,6 +35,9 @@ type ReportConfig struct {
 	// values take the engine defaults (1024 rows, NumCPU workers).
 	BatchSize   int
 	Parallelism int
+	// MemLimit caps the pipeline breakers' retained bytes per query;
+	// overflow spills to disk with byte-identical results. 0 = unlimited.
+	MemLimit int64
 }
 
 // DefaultConfig returns laptop-scale defaults.
@@ -59,7 +62,17 @@ func Setup(seed int64, events int) (*snowpark.Session, []variant.Value, error) {
 // SetupOpts is Setup with explicit executor settings; zero values take the
 // engine defaults.
 func SetupOpts(seed int64, events, batchSize, parallelism int) (*snowpark.Session, []variant.Value, error) {
-	eng := engine.New(engine.WithBatchSize(batchSize), engine.WithParallelism(parallelism))
+	return SetupMemOpts(seed, events, batchSize, parallelism, 0)
+}
+
+// SetupMemOpts is SetupOpts with a pipeline-breaker memory budget
+// (0 = unlimited; overflow spills to disk, results stay byte-identical).
+func SetupMemOpts(seed int64, events, batchSize, parallelism int, memLimit int64) (*snowpark.Session, []variant.Value, error) {
+	eng := engine.New(
+		engine.WithBatchSize(batchSize),
+		engine.WithParallelism(parallelism),
+		engine.WithMemLimit(memLimit),
+	)
 	docs, err := hepdata.Load(eng, "adl", seed, events)
 	if err != nil {
 		return nil, nil, err
@@ -96,7 +109,7 @@ func ReportTable2(cfg ReportConfig) error {
 // ReportFig6 regenerates Figure 6: JSONiq→SQL translation time per query
 // (data independent; only the table schema is consulted).
 func ReportFig6(cfg ReportConfig) error {
-	sess, _, err := SetupOpts(cfg.Seed, 16, cfg.BatchSize, cfg.Parallelism)
+	sess, _, err := SetupMemOpts(cfg.Seed, 16, cfg.BatchSize, cfg.Parallelism, cfg.MemLimit)
 	if err != nil {
 		return err
 	}
@@ -125,7 +138,7 @@ func ReportFig6(cfg ReportConfig) error {
 // ReportFig7 regenerates Figure 7: SQL compilation time in the engine,
 // automatically generated vs handwritten.
 func ReportFig7(cfg ReportConfig) error {
-	sess, _, err := SetupOpts(cfg.Seed, 64, cfg.BatchSize, cfg.Parallelism)
+	sess, _, err := SetupMemOpts(cfg.Seed, 64, cfg.BatchSize, cfg.Parallelism, cfg.MemLimit)
 	if err != nil {
 		return err
 	}
@@ -167,7 +180,7 @@ func measureCompile(eng *engine.Engine, sql string, cfg ReportConfig) (time.Dura
 // ReportFig8 regenerates Figure 8: execution time at the configured dataset
 // size, generated vs handwritten (compile excluded).
 func ReportFig8(cfg ReportConfig) error {
-	sess, _, err := SetupOpts(cfg.Seed, cfg.Events, cfg.BatchSize, cfg.Parallelism)
+	sess, _, err := SetupMemOpts(cfg.Seed, cfg.Events, cfg.BatchSize, cfg.Parallelism, cfg.MemLimit)
 	if err != nil {
 		return err
 	}
@@ -243,7 +256,7 @@ var systemOrder = []string{"RumbleDB+Spark", "AsterixDB", "Generated", "Handwrit
 // ReportFig9 regenerates Figure 9: end-to-end time per query across the
 // four systems, with the cutoff applied to the DSQL baselines.
 func ReportFig9(cfg ReportConfig) error {
-	sess, docs, err := SetupOpts(cfg.Seed, cfg.Events, cfg.BatchSize, cfg.Parallelism)
+	sess, docs, err := SetupMemOpts(cfg.Seed, cfg.Events, cfg.BatchSize, cfg.Parallelism, cfg.MemLimit)
 	if err != nil {
 		return err
 	}
@@ -276,7 +289,7 @@ func ReportFig9(cfg ReportConfig) error {
 // ReportScanned regenerates the §V-E measurement: bytes scanned per query,
 // generated vs handwritten.
 func ReportScanned(cfg ReportConfig) error {
-	sess, _, err := SetupOpts(cfg.Seed, cfg.Events, cfg.BatchSize, cfg.Parallelism)
+	sess, _, err := SetupMemOpts(cfg.Seed, cfg.Events, cfg.BatchSize, cfg.Parallelism, cfg.MemLimit)
 	if err != nil {
 		return err
 	}
@@ -320,7 +333,7 @@ func ReportFig10(cfg ReportConfig) error {
 			if events < 8 {
 				events = 8
 			}
-			sess, docs, err := SetupOpts(cfg.Seed, events, cfg.BatchSize, cfg.Parallelism)
+			sess, docs, err := SetupMemOpts(cfg.Seed, events, cfg.BatchSize, cfg.Parallelism, cfg.MemLimit)
 			if err != nil {
 				return err
 			}
@@ -356,7 +369,7 @@ func ReportFig10(cfg ReportConfig) error {
 // ReportAblation regenerates the §IV-C strategy comparison: KEEP-flag vs
 // JOIN-based nested-query handling on the queries with nested queries.
 func ReportAblation(cfg ReportConfig) error {
-	sess, _, err := SetupOpts(cfg.Seed, cfg.Events, cfg.BatchSize, cfg.Parallelism)
+	sess, _, err := SetupMemOpts(cfg.Seed, cfg.Events, cfg.BatchSize, cfg.Parallelism, cfg.MemLimit)
 	if err != nil {
 		return err
 	}

@@ -30,20 +30,26 @@ func TestADLBatchSizeParity(t *testing.T) {
 	configs := []struct {
 		name                   string
 		batchSize, parallelism int
+		memLimit               int64
 	}{
-		{"bs1-seq", 1, 1},
-		{"bs1024-seq", 1024, 1},
-		{"bs1-par4", 1, 4},
-		{"bs1024-par4", 1024, 4},
-		{"bs1024-par", 1024, 0}, // 0 = NumCPU workers
+		{"bs1-seq", 1, 1, 0},
+		{"bs1024-seq", 1024, 1, 0},
+		{"bs1-par4", 1, 4, 0},
+		{"bs1024-par4", 1024, 4, 0},
+		{"bs1024-par", 1024, 0, 0}, // 0 = NumCPU workers
+		// Governed rows: the 64KiB breaker budget forces the benchmark
+		// queries to spill, and spilled results must stay byte-identical.
+		{"bs1024-seq-64k", 1024, 1, 64 * 1024},
+		{"bs1024-par4-64k", 1024, 4, 64 * 1024},
 	}
 	type ref struct{ translated, handwritten string }
 	var want map[string]ref
 	for _, cfg := range configs {
-		sess, _, err := SetupOpts(42, parityEvents, cfg.batchSize, cfg.parallelism)
+		sess, _, err := SetupMemOpts(42, parityEvents, cfg.batchSize, cfg.parallelism, cfg.memLimit)
 		if err != nil {
 			t.Fatal(err)
 		}
+		var spills int64
 		got := make(map[string]ref)
 		for _, q := range Queries() {
 			_, tres, err := RunTranslated(sess, q, nil)
@@ -54,7 +60,14 @@ func TestADLBatchSizeParity(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s [%s]: %v", q.ID, cfg.name, err)
 			}
+			spills += tres.Metrics.Spills + hres.Metrics.Spills
 			got[q.ID] = ref{renderResult(tres), renderResult(hres)}
+		}
+		if cfg.memLimit > 0 && spills == 0 {
+			t.Errorf("[%s] no ADL query spilled under the %d-byte budget", cfg.name, cfg.memLimit)
+		}
+		if cfg.memLimit == 0 && spills != 0 {
+			t.Errorf("[%s] unlimited run reported %d spills", cfg.name, spills)
 		}
 		if want == nil {
 			want = got

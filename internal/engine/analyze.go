@@ -34,6 +34,13 @@ type OpStats struct {
 	MaxWorkerRows int64 // largest per-worker share of LocalRows (skew indicator)
 	LocalWallUS   int64 // wall time of the parallel local phase, microseconds
 	MergeWallUS   int64 // wall time of the parallel merge phase, microseconds
+
+	// Memory governance (WithMemLimit; zero when accounting is disabled or the
+	// operator retains no accounted state).
+	MemPeakBytes  int64 // peak accounted bytes held by this operator
+	MemLimitBytes int64 // the query-wide limit in effect
+	Spills        int64 // spill-to-disk events by this operator
+	SpillBytes    int64 // bytes written to spill runs by this operator
 }
 
 // statIter wraps an operator's iterator, metering emitted batches, rows and
@@ -96,6 +103,10 @@ type PlanStats struct {
 	MaxWorkerRows    int64        `json:"max_worker_rows,omitempty"`
 	LocalWallUS      int64        `json:"local_wall_us,omitempty"`
 	MergeWallUS      int64        `json:"merge_wall_us,omitempty"`
+	MemPeakBytes     int64        `json:"mem_peak_bytes,omitempty"`
+	MemLimitBytes    int64        `json:"mem_limit_bytes,omitempty"`
+	Spills           int64        `json:"spills,omitempty"`
+	SpillBytes       int64        `json:"spill_bytes,omitempty"`
 	Children         []*PlanStats `json:"children,omitempty"`
 }
 
@@ -140,6 +151,10 @@ func buildPlanStats(n Node, stats map[Node]*OpStats) *PlanStats {
 		MaxWorkerRows:    st.MaxWorkerRows,
 		LocalWallUS:      st.LocalWallUS,
 		MergeWallUS:      st.MergeWallUS,
+		MemPeakBytes:     st.MemPeakBytes,
+		MemLimitBytes:    st.MemLimitBytes,
+		Spills:           st.Spills,
+		SpillBytes:       st.SpillBytes,
 	}
 	childTime := time.Duration(0)
 	for _, c := range planChildren(n) {
@@ -181,6 +196,10 @@ func (ps *PlanStats) Render() string {
 				n.MaxWorkerRows,
 				time.Duration(n.LocalWallUS)*time.Microsecond,
 				time.Duration(n.MergeWallUS)*time.Microsecond)
+		}
+		if n.Spills > 0 || n.MemPeakBytes > 0 {
+			fmt.Fprintf(&b, " mem[peak=%d limit=%d spills=%d spill_bytes=%d]",
+				n.MemPeakBytes, n.MemLimitBytes, n.Spills, n.SpillBytes)
 		}
 		b.WriteString(")\n")
 	})

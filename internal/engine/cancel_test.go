@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"jsonpark/internal/testutil"
+	"jsonpark/internal/variant"
+)
+
+// cancelEngine builds a dataset big enough that every query shape below
+// runs long enough to be caught mid-flight by a cancel.
+func cancelEngine(t *testing.T, opts ...Option) *Engine {
+	t.Helper()
+	e := New(opts...)
+	tab, err := e.Catalog().CreateTable("events", []string{"id", "grp", "val", "items"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.SetTargetPartitionBytes(4096)
+	for i := 0; i < 20000; i++ {
+		doc := fmt.Sprintf(`{"id": %d, "grp": %d, "val": %g, "items": [%d, %d]}`,
+			i, i%101, float64(i%997)/7.0, i, i*2)
+		if err := tab.AppendObject(variant.MustParseJSON(doc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+var cancelQueries = []string{
+	`SELECT "grp", COUNT(*), MIN("val"), MAX("val") FROM "events" GROUP BY "grp"`,
+	`SELECT "id", "val" FROM "events" ORDER BY "val" DESC, "id"`,
+	`SELECT COUNT(*) FROM (SELECT "grp" AS "g" FROM "events") INNER JOIN (SELECT * FROM "events") ON "g" = "grp"`,
+	`SELECT "id", "f".VALUE FROM (SELECT * FROM "events"), LATERAL FLATTEN(INPUT => "items") AS "f"`,
+}
+
+// TestCancelAlreadyCancelled: a context cancelled before Run must abort
+// before any work and return a context-classified error.
+func TestCancelAlreadyCancelled(t *testing.T) {
+	e := cancelEngine(t, WithParallelism(4))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, sql := range cancelQueries {
+		_, err := e.QueryCtx(ctx, sql)
+		if err == nil {
+			t.Fatalf("%s: expected cancellation error", sql)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: error %v does not unwrap to context.Canceled", sql, err)
+		}
+	}
+}
+
+// TestCancelDeadlineClassification: a deadline hit mid-query unwraps to
+// context.DeadlineExceeded.
+func TestCancelDeadlineClassification(t *testing.T) {
+	e := cancelEngine(t, WithParallelism(4))
+	ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel()
+	_, err := e.QueryCtx(ctx, cancelQueries[0])
+	if err == nil {
+		t.Skip("query finished inside 1µs; nothing to classify")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v does not unwrap to context.DeadlineExceeded", err)
+	}
+}
+
+// TestCancelMidQueryStress fires cancels at random points of every query
+// shape (scan, group, sort, join, flatten) under parallel execution and
+// requires: RunCtx returns within 100ms of the cancel, the error is
+// context-classified, and no worker goroutine survives (CheckLeaks). Named
+// *Stress so `make stress` runs it with -race -count 2.
+func TestCancelMidQueryStress(t *testing.T) {
+	testutil.CheckLeaks(t)
+	e := cancelEngine(t, WithBatchSize(64), WithParallelism(8))
+	for i := 0; i < 40; i++ {
+		sql := cancelQueries[i%len(cancelQueries)]
+		// Sweep the cancel point across the query's lifetime, from
+		// before-the-first-batch to deep into the drain.
+		delay := time.Duration(i%8) * 200 * time.Microsecond
+		p, err := e.Prepare(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		go func() {
+			time.Sleep(delay)
+			cancel()
+		}()
+		start := time.Now()
+		_, err = p.RunCtx(ctx)
+		elapsed := time.Since(start)
+		cancel()
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("iteration %d %s: error %v is not context.Canceled", i, sql, err)
+			}
+			// The abort must be prompt: within one batch of work anywhere in
+			// the pipeline, far under the 100ms governance bound.
+			if elapsed > delay+100*time.Millisecond {
+				t.Fatalf("iteration %d %s: cancel took %s (delay %s)", i, sql, elapsed, delay)
+			}
+		}
+	}
+}
+
+// TestCancelMemLimitStress is the cancel storm with spilling active: the
+// breakers are mid-spill when the context fires, so spill files must be
+// cleaned up and no goroutine may survive.
+func TestCancelMemLimitStress(t *testing.T) {
+	testutil.CheckLeaks(t)
+	e := cancelEngine(t, WithBatchSize(64), WithParallelism(8), WithMemLimit(32*1024))
+	for i := 0; i < 30; i++ {
+		sql := cancelQueries[i%len(cancelQueries)]
+		delay := time.Duration(i%6) * 300 * time.Microsecond
+		ctx, cancel := context.WithTimeout(context.Background(), delay)
+		_, err := e.QueryCtx(ctx, sql)
+		cancel()
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+			t.Fatalf("iteration %d %s: %v", i, sql, err)
+		}
+	}
+}
+
+// TestCancelErrorMessage: the wrapped error names the engine and keeps the
+// cause visible for operators.
+func TestCancelErrorMessage(t *testing.T) {
+	e := cancelEngine(t, WithParallelism(2))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := e.QueryCtx(ctx, cancelQueries[0])
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := err.Error(); got != "engine: query interrupted: context canceled" {
+		t.Fatalf("unexpected message %q", got)
+	}
+}

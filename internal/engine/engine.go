@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"strings"
 	"time"
@@ -19,6 +20,7 @@ type Engine struct {
 	batchSize   int
 	parallelism int
 	mergeParts  int
+	memLimit    int64
 	planCheck   bool
 }
 
@@ -57,6 +59,20 @@ func WithMergePartitions(n int) Option {
 	return func(e *Engine) {
 		if n > 0 {
 			e.mergeParts = n
+		}
+	}
+}
+
+// WithMemLimit caps the bytes of retained state the pipeline breakers (hash
+// aggregation, join build, sort) may hold per query, measured by a
+// conservative deep-size accountant. Crossing the limit never fails the
+// query: the charging operator spills to temp-file runs and the output stays
+// byte-identical to the unlimited run. Values <= 0 (the default) disable
+// accounting entirely.
+func WithMemLimit(n int64) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.memLimit = n
 		}
 	}
 }
@@ -105,6 +121,12 @@ type Metrics struct {
 	// ParallelBreakers is the number of pipeline breakers (aggregates, join
 	// builds, sorts) the physical plan runs with parallel phases.
 	ParallelBreakers int
+	// Memory governance (WithMemLimit): peak accounted bytes, the configured
+	// limit, and how often / how much the breakers spilled to disk.
+	MemPeakBytes  int64
+	MemLimitBytes int64
+	Spills        int64
+	SpillBytes    int64
 }
 
 // Total returns compile + execution time (the paper's "total time").
@@ -176,6 +198,7 @@ func (e *Engine) PrepareOpts(sql string, po PrepareOptions) (*Prepared, error) {
 		batchSize:   e.batchSize,
 		parallelism: par,
 		mergeParts:  mergeParts,
+		acct:        newMemAccountant(e.memLimit),
 	}
 	if ctx.batchSize <= 0 {
 		ctx.batchSize = vector.DefaultBatchSize
@@ -209,6 +232,21 @@ func (e *Engine) PrepareOpts(sql string, po PrepareOptions) (*Prepared, error) {
 
 // Run executes the prepared query to completion. A Prepared is single-use.
 func (p *Prepared) Run() (*Result, error) {
+	return p.RunCtx(context.Background())
+}
+
+// RunCtx executes the prepared query under ctx: a cancel or deadline aborts
+// the query within one batch of work on any pipeline (every operator and
+// every parallel worker polls it), the error satisfies
+// errors.Is(err, context.Canceled) / context.DeadlineExceeded, and every
+// worker goroutine has exited by the time RunCtx returns.
+func (p *Prepared) RunCtx(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Installed before the first NextBatch; workers inherit visibility through
+	// their spawning goroutine.
+	p.ctx.qctx = ctx
 	start := time.Now()
 	rows, err := drainRows(p.iter)
 	p.iter.Close()
@@ -219,6 +257,10 @@ func (p *Prepared) Run() (*Result, error) {
 	m.CompileTime = p.metrics.CompileTime
 	m.ExecTime = time.Since(start)
 	m.RowsReturned = int64(len(rows))
+	m.MemPeakBytes, m.Spills, m.SpillBytes = p.ctx.acct.snapshot()
+	if p.ctx.acct.enabled() {
+		m.MemLimitBytes = p.ctx.acct.limit
+	}
 	return &Result{Columns: p.columns, Rows: rows, Metrics: m}, nil
 }
 
@@ -248,11 +290,16 @@ func (e *Engine) QueryAnalyze(sql string) (*Result, *PlanStats, error) {
 
 // Query compiles and executes SQL text in one call.
 func (e *Engine) Query(sql string) (*Result, error) {
+	return e.QueryCtx(context.Background(), sql)
+}
+
+// QueryCtx compiles and executes SQL text under a cancellation context.
+func (e *Engine) QueryCtx(ctx context.Context, sql string) (*Result, error) {
 	p, err := e.Prepare(sql)
 	if err != nil {
 		return nil, err
 	}
-	return p.Run()
+	return p.RunCtx(ctx)
 }
 
 // Explain returns a textual rendering of the optimized plan.

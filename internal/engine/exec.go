@@ -1,11 +1,13 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 
 	"jsonpark/internal/sqlast"
+	"jsonpark/internal/storage"
 	"jsonpark/internal/variant"
 	"jsonpark/internal/vector"
 )
@@ -34,6 +36,30 @@ type execContext struct {
 	// planCheck wraps every operator in a checkIter validating the batch
 	// contract at run time (the planck debug pass).
 	planCheck bool
+	// qctx is the query's cancellation context, installed by Prepared.RunCtx
+	// before the first NextBatch. Every operator is wrapped in a cancelIter
+	// checking it, and the parallel workers poll it between morsels.
+	qctx context.Context
+	// acct is the query's shared memory accountant (mem.go); the pipeline
+	// breakers charge retained bytes against it and spill on overflow.
+	acct *memAccountant
+}
+
+// queryCtx returns the query's cancellation context (never nil).
+func (c *execContext) queryCtx() context.Context {
+	if c.qctx == nil {
+		return context.Background()
+	}
+	return c.qctx
+}
+
+// cancelled returns the context error, wrapped so callers can still match
+// context.Canceled / context.DeadlineExceeded with errors.Is.
+func (c *execContext) cancelled() error {
+	if err := c.queryCtx().Err(); err != nil {
+		return fmt.Errorf("engine: query interrupted: %w", err)
+	}
+	return nil
 }
 
 // addScanCounts merges one partition's accounting into the shared metrics
@@ -69,6 +95,9 @@ func prepare(n Node, ctx *execContext) (batchIter, error) {
 	if err != nil {
 		return it, err
 	}
+	// Every operator checks the query context once per batch, so a cancel or
+	// deadline surfaces within one batch of work on any pipeline.
+	it = &cancelIter{in: it, c: ctx}
 	if ctx.planCheck {
 		op, _ := describeNode(n)
 		it = &checkIter{in: it, op: op}
@@ -78,6 +107,23 @@ func prepare(n Node, ctx *execContext) (batchIter, error) {
 	}
 	return &statIter{in: it, st: ctx.statsFor(n)}, nil
 }
+
+// cancelIter propagates query cancellation through the operator tree. The
+// raw context error stays the error chain's root, so callers can match
+// context.Canceled / context.DeadlineExceeded end to end.
+type cancelIter struct {
+	in batchIter
+	c  *execContext
+}
+
+func (ci *cancelIter) NextBatch() (*vector.Batch, error) {
+	if err := ci.c.cancelled(); err != nil {
+		return nil, err
+	}
+	return ci.in.NextBatch()
+}
+
+func (ci *cancelIter) Close() { ci.in.Close() }
 
 // prepareNode builds the operator for one plan node; children are built via
 // prepare so they get metered too.
@@ -443,73 +489,66 @@ func (t *aggTable) insert(keyBytes []byte, keys []variant.Value) *aggGroup {
 // and order keys evaluate once per batch, then fold row-wise into the
 // accumulators.
 func (e *aggEval) absorb(t *aggTable, b *vector.Batch) error {
-	var err error
-	gvals := make([][]variant.Value, len(e.groupFns))
-	for i, fn := range e.groupFns {
-		gvals[i], err = fn(b)
-		if err != nil {
-			return err
-		}
+	gvals, avals, ovals, err := e.evalBatch(b)
+	if err != nil {
+		return err
 	}
-	avals := make([][]variant.Value, len(e.aggs))
-	ovals := make([][][]variant.Value, len(e.aggs))
-	for i, ca := range e.aggs {
-		if ca.arg != nil {
-			avals[i], err = ca.arg(b)
-			if err != nil {
-				return err
-			}
-		}
-		if len(ca.orderFns) > 0 {
-			ovals[i] = make([][]variant.Value, len(ca.orderFns))
-			for j, fn := range ca.orderFns {
-				ovals[i][j], err = fn(b)
-				if err != nil {
-					return err
-				}
-			}
-		}
-	}
+	rowG := make([]variant.Value, len(e.groupFns))
+	rowA := make([]variant.Value, len(e.aggs))
+	rowO := make([][]variant.Value, len(e.aggs))
 	var rowErr error
 	b.ForEach(func(i int) {
 		if rowErr != nil {
 			return
 		}
-		t.rows++
-		t.keyBuf = t.keyBuf[:0]
 		for k := range e.groupFns {
-			t.keyBuf = gvals[k][i].AppendGroupKey(t.keyBuf)
-		}
-		g, ok := t.groups[string(t.keyBuf)]
-		if !ok {
-			var keys []variant.Value
-			if len(e.groupFns) > 0 {
-				keys = make([]variant.Value, len(e.groupFns))
-				for k := range e.groupFns {
-					keys[k] = gvals[k][i]
-				}
-			}
-			g = t.insert(t.keyBuf, keys)
+			rowG[k] = gvals[k][i]
 		}
 		for a := range e.aggs {
 			var v variant.Value
 			if avals[a] != nil {
 				v = avals[a][i]
 			}
-			var ord []variant.Value
+			rowA[a] = v
+			rowO[a] = nil
 			if ovals[a] != nil {
-				ord = make([]variant.Value, len(ovals[a]))
+				// Freshly allocated per row: ARRAY_AGG retains the slice.
+				ord := make([]variant.Value, len(ovals[a]))
 				for j := range ovals[a] {
 					ord[j] = ovals[a][j][i]
 				}
-			}
-			if err := g.accs[a].add(v, ord); err != nil {
-				rowErr = err
-				return
+				rowO[a] = ord
 			}
 		}
+		rowErr = e.foldRow(t, rowG, rowA, rowO)
 	})
 	return rowErr
+}
+
+// foldRow folds one row's evaluated values into the table. It is the shared
+// per-row body of the streaming absorb and the spill-replay path, so both
+// issue the identical insert/add sequence — the replay of deferred tuples
+// reproduces the in-memory fold bit for bit.
+func (e *aggEval) foldRow(t *aggTable, gv, av []variant.Value, ov [][]variant.Value) error {
+	t.rows++
+	t.keyBuf = t.keyBuf[:0]
+	for k := range gv {
+		t.keyBuf = gv[k].AppendGroupKey(t.keyBuf)
+	}
+	g, ok := t.groups[string(t.keyBuf)]
+	if !ok {
+		var keys []variant.Value
+		if len(gv) > 0 {
+			keys = append([]variant.Value(nil), gv...)
+		}
+		g = t.insert(t.keyBuf, keys)
+	}
+	for a := range g.accs {
+		if err := g.accs[a].add(av[a], ov[a]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // emitGroupRows finalizes a list of groups into output rows.
@@ -538,8 +577,13 @@ func prepareAggregate(x *AggregateNode, ctx *execContext) (batchIter, error) {
 	}
 	width := len(x.Schema().Names)
 
+	mergeable := aggsMergeable(x.Aggs)
+
 	run := func() ([][]variant.Value, error) {
 		defer in.Close()
+		mem := ctx.opMemFor(ctx.statsFor(x))
+		ext := &extAgg{mem: mem, mergeable: mergeable, eval: eval}
+		defer ext.discard()
 		table := newAggTable(eval.aggs, 1)
 		for {
 			b, err := in.NextBatch()
@@ -549,15 +593,32 @@ func prepareAggregate(x *AggregateNode, ctx *execContext) (batchIter, error) {
 			if b == nil {
 				break
 			}
+			if ext.deferring() {
+				if err := ext.deferBatch(b); err != nil {
+					return nil, err
+				}
+				continue
+			}
 			if err := eval.absorb(table, b); err != nil {
 				return nil, err
 			}
+			if mem.enabled() && mem.charge(activeRowsBytes(b)) {
+				if table, err = ext.overflow(table); err != nil {
+					return nil, err
+				}
+			}
 		}
-		// Global aggregation over an empty input yields one row.
-		if len(eval.groupFns) == 0 && len(table.order) == 0 {
+		groups, err := ext.finish(table)
+		if err != nil {
+			return nil, err
+		}
+		// Global aggregation over an empty input yields one row. (An empty
+		// input never spills, so the fresh insert covers the external path.)
+		if len(eval.groupFns) == 0 && len(groups) == 0 {
 			table.insert(nil, nil)
+			groups = table.order
 		}
-		return emitGroupRows(table.order, eval.aggs), nil
+		return emitGroupRows(groups, eval.aggs), nil
 	}
 
 	return &aggIter{run: run, in: in, width: width, bsize: ctx.batchSize}, nil
@@ -649,21 +710,25 @@ func prepareJoin(x *JoinNode, ctx *execContext, buildWorkers int, statNode Node)
 	}
 	leftWidth := len(x.Left.Schema().Names)
 	rightWidth := len(x.Right.Schema().Names)
+	st := ctx.statsFor(statNode)
 	return &joinIter{
 		kind: x.Kind, left: left, right: right,
 		leftKeys: leftKeys, rightKeys: rightKeys,
 		rightKeyExprs: x.RightKeys, rightSchema: x.Right.Schema(),
 		residual: residual, on: onFn,
 		leftWidth: leftWidth, rightWidth: rightWidth,
-		buildWorkers: buildWorkers, st: ctx.statsFor(statNode),
+		buildWorkers: buildWorkers, st: st,
+		ectx: ctx, mem: ctx.opMemFor(st),
 		bld: vector.NewBuilder(leftWidth+rightWidth, ctx.batchSize),
 	}, nil
 }
 
 // buildList is one join key's build rows in input order. Entries are held
-// by pointer so appending to a hot key never re-allocates its map key.
+// by pointer so appending to a hot key never re-allocates its map key. When
+// the build side spilled, offs holds the rows' spill-file offsets instead.
 type buildList struct {
 	rows [][]variant.Value
+	offs []int64
 }
 
 type joinIter struct {
@@ -680,27 +745,41 @@ type joinIter struct {
 	rightWidth    int
 	buildWorkers  int
 	st            *OpStats
+	ectx          *execContext
+	mem           *opMem
 	bld           *vector.Builder
 
 	built     bool
 	parts     []map[string]*buildList // disjoint hash partitions of the build side
 	rightRows [][]variant.Value       // CROSS mode
+	spillRun  *storage.SpillRun       // non-nil once the build side spilled
+	buildRows int64
 	keyBuf    []byte
 	inDone    bool
 }
 
 // build drains and closes the build side, then constructs the partitioned
 // hash table — in parallel when the join was physicalized with build
-// workers and the build side is large enough to amortize them.
+// workers and the build side is large enough to amortize them. The build
+// side is closed exactly once here (and nilled so Close stays idempotent).
 func (j *joinIter) build() error {
-	rows, err := drainRows(j.right)
+	rows, err := j.drainBuild()
 	j.right.Close()
+	j.right = nil
 	if err != nil {
 		return err
 	}
 	switch {
 	case len(j.rightKeys) == 0:
 		j.rightRows = rows
+	case j.spillRun != nil:
+		// The offset index was built incrementally during the spilling drain.
+		if j.st != nil {
+			j.st.Pipelines = 1
+			j.st.MergeParts = 1
+			j.st.LocalRows = j.buildRows
+			j.st.MergedGroups = int64(len(j.parts[0]))
+		}
 	case j.buildWorkers > 1 && len(rows) >= minParallelBuildRows:
 		if err := j.buildParallel(rows); err != nil {
 			return err
@@ -712,6 +791,131 @@ func (j *joinIter) build() error {
 	}
 	j.built = true
 	return nil
+}
+
+// drainBuild materializes the build side under the memory budget. Once the
+// budget trips (and the join is keyed), the drain switches to spilling:
+// every surviving build row goes to an offset-indexed run and the hash index
+// maps key bytes to file offsets, appended in input order — exactly the
+// candidate order buildSequential produces in memory. CROSS joins have no
+// key to index by and always stay in memory.
+func (j *joinIter) drainBuild() ([][]variant.Value, error) {
+	var rows [][]variant.Value
+	var w *storage.RunWriter
+	var enc []byte
+	for {
+		b, err := j.right.NextBatch()
+		if err != nil {
+			if w != nil {
+				w.Abort()
+			}
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		if w == nil {
+			rows = b.AppendRows(rows)
+			if len(j.rightKeys) > 0 && j.mem.enabled() && j.mem.charge(activeRowsBytes(b)) {
+				if w, err = j.startBuildSpill(rows); err != nil {
+					return nil, err
+				}
+				rows = nil
+				j.mem.releaseAll()
+			}
+			continue
+		}
+		var rowBuf []variant.Value
+		var rowErr error
+		b.ForEach(func(i int) {
+			if rowErr != nil {
+				return
+			}
+			rowBuf = b.Row(i, rowBuf)
+			rowErr = j.spillBuildRow(w, rowBuf, &enc)
+		})
+		if rowErr != nil {
+			w.Abort()
+			return nil, rowErr
+		}
+	}
+	if w != nil {
+		run, err := w.Finish()
+		if err != nil {
+			return nil, err
+		}
+		j.spillRun = run
+		j.mem.noteSpill(run.Bytes())
+	}
+	return rows, nil
+}
+
+// startBuildSpill opens the build spill run and replays the rows drained so
+// far through the same per-row path the rest of the stream will take, so the
+// file and index hold the full build side in input order.
+func (j *joinIter) startBuildSpill(rows [][]variant.Value) (*storage.RunWriter, error) {
+	w, err := storage.NewRunWriter("join")
+	if err != nil {
+		return nil, err
+	}
+	j.parts = []map[string]*buildList{make(map[string]*buildList)}
+	var enc []byte
+	for _, row := range rows {
+		if err := j.spillBuildRow(w, row, &enc); err != nil {
+			w.Abort()
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// spillBuildRow indexes and writes one build row. NULL-key rows are dropped
+// entirely — they can never match an equi-join probe, exactly as
+// buildSequential skips them.
+func (j *joinIter) spillBuildRow(w *storage.RunWriter, row []variant.Value, enc *[]byte) error {
+	j.buildRows++
+	j.keyBuf = j.keyBuf[:0]
+	for _, fn := range j.rightKeys {
+		v, err := fn(row)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			return nil
+		}
+		j.keyBuf = v.AppendGroupKey(j.keyBuf)
+	}
+	*enc = encodeRowValues((*enc)[:0], row)
+	off, err := w.WriteRecord(*enc)
+	if err != nil {
+		return err
+	}
+	m := j.parts[0]
+	e, ok := m[string(j.keyBuf)]
+	if !ok {
+		e = &buildList{}
+		m[string(j.keyBuf)] = e
+	}
+	e.offs = append(e.offs, off)
+	return nil
+}
+
+// fetchSpilled materializes one candidate list from the build spill file, in
+// the stored (input) order.
+func (j *joinIter) fetchSpilled(offs []int64) ([][]variant.Value, error) {
+	rows := make([][]variant.Value, len(offs))
+	for i, off := range offs {
+		rec, err := j.spillRun.ReadRecordAt(off)
+		if err != nil {
+			return nil, err
+		}
+		row, err := decodeRowValues(rec, j.rightWidth)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = row
+	}
+	return rows, nil
 }
 
 func (j *joinIter) buildSequential(rows [][]variant.Value) error {
@@ -815,7 +1019,14 @@ func (j *joinIter) probeBatch(b *vector.Batch) error {
 			if !nullKey {
 				m := j.parts[bucketOfKey(j.keyBuf, len(j.parts))]
 				if e, ok := m[string(j.keyBuf)]; ok {
-					candidates = e.rows
+					if j.spillRun != nil {
+						candidates, rowErr = j.fetchSpilled(e.offs)
+						if rowErr != nil {
+							return
+						}
+					} else {
+						candidates = e.rows
+					}
 				}
 			}
 		}
@@ -861,9 +1072,22 @@ func (j *joinIter) matches(combined []variant.Value) (bool, error) {
 	return true, nil
 }
 
+// Close is idempotent: build already closed (and nilled) the right side, so
+// closing a drained join must not touch it again — see the execclose lint
+// fixture's earlyCloser pattern and TestJoinCloseIdempotent.
 func (j *joinIter) Close() {
-	j.left.Close()
-	j.right.Close()
+	if j.left != nil {
+		j.left.Close()
+		j.left = nil
+	}
+	if j.right != nil {
+		j.right.Close()
+		j.right = nil
+	}
+	j.spillRun.Close()
+	if j.mem != nil {
+		j.mem.releaseAll()
+	}
 }
 
 // --- sort / limit / union -----------------------------------------------------
@@ -886,10 +1110,11 @@ func prepareSort(x *SortNode, ctx *execContext, workers int, statNode Node) (bat
 		keys[i] = fn
 		descs[i] = k.Desc
 	}
+	st := ctx.statsFor(statNode)
 	return &sortIter{
 		in: in, keys: keys, descs: descs,
 		width: len(x.Input.Schema().Names), bsize: ctx.batchSize,
-		workers: workers, st: ctx.statsFor(statNode),
+		workers: workers, st: st, ectx: ctx, mem: ctx.opMemFor(st),
 	}, nil
 }
 
@@ -901,7 +1126,10 @@ type sortIter struct {
 	bsize   int
 	workers int
 	st      *OpStats
-	out     *rowsIter
+	ectx    *execContext
+	mem     *opMem
+	runs    []*storage.SpillRun // sorted on-disk chunks, in input order
+	out     batchIter
 }
 
 func (s *sortIter) NextBatch() (*vector.Batch, error) {
@@ -926,11 +1154,54 @@ type sortRef struct{ b, i int }
 // With workers > 1 the comparison sort fans out into per-worker runs joined
 // by a stability-preserving multiway merge; key evaluation stays sequential
 // in input order either way.
+//
+// Under a memory limit the buffered chunk spills: it is stably sorted and
+// written (rows plus their already-evaluated keys — stateful key expressions
+// must evaluate exactly once, in input order) as one on-disk run. Runs are
+// consecutive input chunks, so the final earliest-run-tiebreak k-way merge
+// equals the global stable sort byte for byte.
 func (s *sortIter) materialize() error {
 	defer s.in.Close()
 	var batches []*vector.Batch
 	var keyCols [][][]variant.Value // [batch][key] -> physical-aligned values
 	var refs []sortRef
+	// less is pure (reads only the detached key vectors), so parallel run
+	// sorting shares it safely across workers.
+	less := func(ra, rb sortRef) bool {
+		for k := range s.keys {
+			c := variant.Compare(keyCols[ra.b][k][ra.i], keyCols[rb.b][k][rb.i])
+			if s.descs[k] {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	}
+	sortChunk := func() error {
+		if s.workers > 1 && len(refs) >= minParallelSortRows {
+			var err error
+			refs, err = parallelSortRefs(s.ectx, refs, less, s.workers, s.st)
+			return err
+		}
+		sort.SliceStable(refs, func(a, b int) bool { return less(refs[a], refs[b]) })
+		return nil
+	}
+	flushRun := func() error {
+		if err := sortChunk(); err != nil {
+			return err
+		}
+		run, err := writeSortRun(batches, keyCols, refs, s.width)
+		if err != nil {
+			return err
+		}
+		s.runs = append(s.runs, run)
+		s.mem.noteSpill(run.Bytes())
+		s.mem.releaseAll()
+		batches, keyCols, refs = nil, nil, nil
+		return nil
+	}
 	for {
 		b, err := s.in.NextBatch()
 		if err != nil {
@@ -956,35 +1227,33 @@ func (s *sortIter) materialize() error {
 		b.ForEach(func(i int) {
 			refs = append(refs, sortRef{b: bi, i: i})
 		})
-	}
-	// less is pure (reads only the detached key vectors), so parallel run
-	// sorting shares it safely across workers.
-	less := func(ra, rb sortRef) bool {
-		for k := range s.keys {
-			c := variant.Compare(keyCols[ra.b][k][ra.i], keyCols[rb.b][k][rb.i])
-			if s.descs[k] {
-				c = -c
-			}
-			if c != 0 {
-				return c < 0
+		if s.mem.enabled() && s.mem.charge(activeRowsBytes(b)) {
+			if err := flushRun(); err != nil {
+				return err
 			}
 		}
-		return false
 	}
-	if s.workers > 1 && len(refs) >= minParallelSortRows {
-		refs = parallelSortRefs(refs, less, s.workers, s.st)
-	} else {
-		sort.SliceStable(refs, func(a, b int) bool { return less(refs[a], refs[b]) })
-	}
-	rows := make([][]variant.Value, len(refs))
-	for n, r := range refs {
-		row := make([]variant.Value, s.width)
-		for c := 0; c < s.width; c++ {
-			row[c] = batches[r.b].Cols[c][r.i]
+	if len(s.runs) == 0 {
+		if err := sortChunk(); err != nil {
+			return err
 		}
-		rows[n] = row
+		rows := make([][]variant.Value, len(refs))
+		for n, r := range refs {
+			row := make([]variant.Value, s.width)
+			for c := 0; c < s.width; c++ {
+				row[c] = batches[r.b].Cols[c][r.i]
+			}
+			rows[n] = row
+		}
+		s.out = &rowsIter{rows: rows, width: s.width, size: s.bsize}
+		return nil
 	}
-	s.out = &rowsIter{rows: rows, width: s.width, size: s.bsize}
+	if len(refs) > 0 {
+		if err := flushRun(); err != nil {
+			return err
+		}
+	}
+	s.out = newSortRunMerge(s.runs, s.descs, s.width, s.bsize)
 	return nil
 }
 
@@ -992,6 +1261,16 @@ func (s *sortIter) Close() {
 	if s.in != nil {
 		s.in.Close()
 		s.in = nil
+	}
+	if s.out != nil {
+		s.out.Close()
+	}
+	for _, r := range s.runs {
+		r.Close()
+	}
+	s.runs = nil
+	if s.mem != nil {
+		s.mem.releaseAll()
 	}
 }
 

@@ -1,0 +1,234 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"jsonpark/internal/variant"
+)
+
+// FuzzPlanDiff is the differential governance fuzzer: the input bytes seed
+// a deterministic generator that produces (a) a nested dataset and (b) one
+// query per pipeline shape — scan→filter, group, sort, join, and LATERAL
+// FLATTEN, each with randomized predicates, aggregate lists, sort
+// directions, and limits. The oracle is the sequential unlimited engine;
+// every other (batch size, parallelism, mem-limit) cell must render
+// byte-identical rows, and the limited cells must never error. Running the
+// seed corpus as a plain unit test (`go test`) already covers every shape;
+// `go test -fuzz=FuzzPlanDiff` explores the generator space further.
+func FuzzPlanDiff(f *testing.F) {
+	f.Add([]byte{0})
+	f.Add([]byte("governed"))
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef})
+	f.Add([]byte("spill the breakers"))
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7})
+	f.Add([]byte("jsoniq on snowpark"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rng := newDiffRNG(data)
+		docs := genDiffDocs(rng)
+		queries := genDiffQueries(rng)
+
+		// The oracle: one worker, no budget. Its rendering is ground truth.
+		oracle := diffCell{name: "oracle", batch: 1024, par: 1}
+		cells := []diffCell{
+			{name: "bs1-seq-64k", batch: 1, par: 1, limit: 64 * 1024},
+			{name: "bs1024-par4-64k", batch: 1024, par: 4, limit: 64 * 1024},
+			{name: "bs64-par4-4k", batch: 64, par: 4, limit: 4 * 1024},
+			{name: "bs1024-par4-unlimited", batch: 1024, par: 4},
+		}
+
+		want := runDiffCell(t, oracle, docs, queries)
+		for _, c := range cells {
+			got := runDiffCell(t, c, docs, queries)
+			for qi, q := range queries {
+				if got[qi] != want[qi] {
+					t.Errorf("[%s] diverges from oracle on %s\noracle:\n%s\ngot:\n%s",
+						c.name, q, clipDiff(want[qi]), clipDiff(got[qi]))
+				}
+			}
+		}
+	})
+}
+
+type diffCell struct {
+	name       string
+	batch, par int
+	limit      int64
+}
+
+// runDiffCell loads the dataset into a fresh engine configured for the
+// cell and renders every query's rows.
+func runDiffCell(t *testing.T, c diffCell, docs []string, queries []string) []string {
+	t.Helper()
+	opts := []Option{WithBatchSize(c.batch), WithParallelism(c.par)}
+	if c.limit > 0 {
+		opts = append(opts, WithMemLimit(c.limit))
+	}
+	e := New(opts...)
+	tab, err := e.Catalog().CreateTable("t", []string{"grp", "id", "val", "s", "items"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.SetTargetPartitionBytes(2048)
+	for _, doc := range docs {
+		if err := tab.AppendObject(variant.MustParseJSON(doc)); err != nil {
+			t.Fatalf("[%s] bad generated doc %s: %v", c.name, doc, err)
+		}
+	}
+	out := make([]string, len(queries))
+	for qi, q := range queries {
+		res, err := e.Query(q)
+		if err != nil {
+			// The generator emits only valid SQL; an error here is an engine
+			// bug (or a generator regression), never fuzz noise.
+			t.Fatalf("[%s] %s: %v", c.name, q, err)
+		}
+		out[qi] = renderRows(res)
+	}
+	return out
+}
+
+// genDiffDocs builds a deterministic nested dataset: a handful of group
+// keys, unique ids, exact-ratio floats, variable-length pad strings, and
+// arrays sized 0..3 for FLATTEN.
+func genDiffDocs(r *diffRNG) []string {
+	n := 1 + r.n(250)
+	groups := 1 + r.n(13)
+	docs := make([]string, n)
+	for i := 0; i < n; i++ {
+		items := make([]string, r.n(4))
+		for j := range items {
+			items[j] = fmt.Sprint(r.n(50))
+		}
+		docs[i] = fmt.Sprintf(`{"grp": %d, "id": %d, "val": %g, "s": "p%02d%s", "items": [%s]}`,
+			r.n(groups), i, float64(r.n(997))/16.0, r.n(37),
+			strings.Repeat("x", r.n(24)), strings.Join(items, ", "))
+	}
+	return docs
+}
+
+// genDiffQueries emits one randomized query per pipeline shape so a single
+// fuzz input exercises scan, filter, aggregation, sort, join, and flatten.
+// Every query carries an ORDER BY that totally orders its output (unique
+// ids or unique group keys break ties), which is what makes byte-for-byte
+// comparison across parallelism meaningful.
+func genDiffQueries(r *diffRNG) []string {
+	where := func() string {
+		switch r.n(4) {
+		case 0:
+			return fmt.Sprintf(` WHERE "val" < %g`, float64(r.n(997))/16.0)
+		case 1:
+			return fmt.Sprintf(` WHERE "id" >= %d`, r.n(120))
+		case 2:
+			return fmt.Sprintf(` WHERE "grp" <> %d`, r.n(13))
+		default:
+			return ""
+		}
+	}
+	limit := func() string {
+		if r.n(3) == 0 {
+			return fmt.Sprintf(` LIMIT %d`, 1+r.n(40))
+		}
+		return ""
+	}
+	dir := func() string {
+		if r.n(2) == 0 {
+			return " DESC"
+		}
+		return ""
+	}
+
+	// Shape 1: scan → filter → project, totally ordered by the unique id.
+	scan := fmt.Sprintf(`SELECT "id", "grp", "val", "s" FROM "t"%s ORDER BY "id"%s%s`,
+		where(), dir(), limit())
+
+	// Shape 2: hash aggregation over a random aggregate list; group keys are
+	// unique, so ordering by the key is total.
+	aggPool := []string{
+		`COUNT(*) AS c`, `MIN("val") AS mn`, `MAX("val") AS mx`,
+		`SUM("val") AS sv`, `AVG("val") AS av`, `COUNT(DISTINCT "s") AS ds`,
+		`MAX("s") AS ms`, `ARRAY_AGG("id") AS ids`,
+	}
+	naggs := 1 + r.n(4)
+	aggs := make([]string, 0, naggs)
+	start := r.n(len(aggPool))
+	for i := 0; i < naggs; i++ {
+		aggs = append(aggs, aggPool[(start+i*3)%len(aggPool)])
+	}
+	group := fmt.Sprintf(`SELECT "grp", %s FROM "t"%s GROUP BY "grp" ORDER BY "grp"%s%s`,
+		strings.Join(aggs, ", "), where(), dir(), limit())
+
+	// Shape 3: sort with a randomized direction on a non-unique prefix,
+	// tie-broken by id.
+	sort := fmt.Sprintf(`SELECT "s", "val", "id" FROM "t"%s ORDER BY "s"%s, "val", "id"%s`,
+		where(), dir(), limit())
+
+	// Shape 4: subquery join on the group key (the dialect has no qualified
+	// column refs, so the build side renames its columns), totally ordered
+	// by the probe id plus the build columns.
+	joinKind := "INNER"
+	if r.n(2) == 0 {
+		joinKind = "LEFT OUTER"
+	}
+	join := fmt.Sprintf(
+		`SELECT "id", "g2", "s2" FROM (SELECT "id", "grp" FROM "t"%s) %s JOIN `+
+			`(SELECT "grp" AS "g2", "s" AS "s2" FROM "t" WHERE "id" < %d) `+
+			`ON "grp" = "g2" ORDER BY "id", "s2", "g2"%s`,
+		where(), joinKind, 1+r.n(150), limit())
+
+	// Shape 5: LATERAL FLATTEN of the nested array, ordered by the unique
+	// (id, INDEX) pair.
+	flatten := fmt.Sprintf(
+		`SELECT "id", "f".INDEX AS "ix", "f".VALUE AS "item" FROM `+
+			`(SELECT * FROM "t"%s), LATERAL FLATTEN(INPUT => "items") AS "f" `+
+			`ORDER BY "id", "ix"%s`,
+		where(), limit())
+
+	return []string{scan, group, sort, join, flatten}
+}
+
+// clipDiff bounds failure output so a divergence on a large dataset stays
+// readable.
+func clipDiff(s string) string {
+	const max = 2048
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + fmt.Sprintf("... (%d bytes total)", len(s))
+}
+
+// diffRNG is a self-contained xorshift64* PRNG so fuzz inputs map to
+// plans deterministically without math/rand's version-dependent streams.
+type diffRNG struct{ s uint64 }
+
+func newDiffRNG(data []byte) *diffRNG {
+	s := uint64(0x9e3779b97f4a7c15)
+	for _, b := range data {
+		s ^= uint64(b)
+		s *= 0xbf58476d1ce4e5b9
+		s ^= s >> 27
+	}
+	if s == 0 {
+		s = 1
+	}
+	return &diffRNG{s: s}
+}
+
+func (r *diffRNG) next() uint64 {
+	x := r.s
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	r.s = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// n returns a deterministic value in [0, m).
+func (r *diffRNG) n(m int) int {
+	if m <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(m))
+}

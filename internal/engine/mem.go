@@ -1,0 +1,134 @@
+package engine
+
+import "sync"
+
+// Memory governance. One memAccountant per query charges the state every
+// pipeline breaker retains — pre-aggregation tables, the join build side,
+// buffered sort input — against the engine's WithMemLimit budget. Charging
+// is deliberately conservative: operators charge the deep byte size of the
+// rows they retain (an upper bound on what the tables built from those rows
+// hold), so a query never under-reports. Crossing the limit does not fail
+// the query; it flips the charging operator into its spill path (spill.go),
+// which is byte-identical to the in-memory path at any trigger point — the
+// accountant only decides *when* operators spill, never *what* they output.
+type memAccountant struct {
+	limit      int64 // 0 = unlimited
+	mu         sync.Mutex
+	used       int64
+	peak       int64
+	spills     int64
+	spillBytes int64
+}
+
+func newMemAccountant(limit int64) *memAccountant {
+	if limit < 0 {
+		limit = 0
+	}
+	return &memAccountant{limit: limit}
+}
+
+// enabled reports whether a limit is in force. With no limit the operators
+// skip charging entirely — the unlimited path stays zero-overhead.
+func (a *memAccountant) enabled() bool { return a != nil && a.limit > 0 }
+
+// charge adds n retained bytes and reports whether the query is now over
+// budget. Safe for concurrent use (parallel breaker workers share one
+// accountant).
+func (a *memAccountant) charge(n int64) bool {
+	if !a.enabled() || n == 0 {
+		return false
+	}
+	a.mu.Lock()
+	a.used += n
+	if a.used > a.peak {
+		a.peak = a.used
+	}
+	over := a.used > a.limit
+	a.mu.Unlock()
+	return over
+}
+
+// release returns n previously charged bytes to the budget.
+func (a *memAccountant) release(n int64) {
+	if !a.enabled() || n == 0 {
+		return
+	}
+	a.mu.Lock()
+	a.used -= n
+	if a.used < 0 {
+		a.used = 0
+	}
+	a.mu.Unlock()
+}
+
+// noteSpill records one spill of b on-disk bytes.
+func (a *memAccountant) noteSpill(b int64) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.spills++
+	a.spillBytes += b
+	a.mu.Unlock()
+}
+
+// snapshot returns (peak, spills, spillBytes) for the metrics copy-out.
+func (a *memAccountant) snapshot() (int64, int64, int64) {
+	if a == nil {
+		return 0, 0, 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak, a.spills, a.spillBytes
+}
+
+// opMem is one operator's view of the shared accountant: it tracks what this
+// operator charged (for release on spill or Close) and mirrors peak/spill
+// counts into the operator's EXPLAIN ANALYZE stats slot.
+type opMem struct {
+	ctx     *execContext
+	st      *OpStats
+	charged int64
+}
+
+func (c *execContext) opMemFor(st *OpStats) *opMem {
+	return &opMem{ctx: c, st: st}
+}
+
+// enabled reports whether this query runs under a memory limit.
+func (m *opMem) enabled() bool { return m.ctx.acct.enabled() }
+
+// charge records n retained bytes against the query budget and reports
+// whether the operator should spill.
+func (m *opMem) charge(n int64) bool {
+	over := m.ctx.acct.charge(n)
+	m.charged += n
+	if m.st != nil {
+		m.ctx.mu.Lock()
+		if m.st.MemPeakBytes < m.charged {
+			m.st.MemPeakBytes = m.charged
+		}
+		m.st.MemLimitBytes = m.ctx.acct.limit
+		m.ctx.mu.Unlock()
+	}
+	return over
+}
+
+// releaseAll returns everything this operator still holds; called when the
+// retained state moves to disk or the operator closes.
+func (m *opMem) releaseAll() {
+	m.ctx.acct.release(m.charged)
+	m.charged = 0
+}
+
+// noteSpill records one spill of b on-disk bytes against the query and the
+// operator's stats slot.
+func (m *opMem) noteSpill(b int64) {
+	m.ctx.acct.noteSpill(b)
+	if m.st != nil {
+		m.ctx.mu.Lock()
+		m.st.Spills++
+		m.st.SpillBytes += b
+		m.ctx.mu.Unlock()
+	}
+}

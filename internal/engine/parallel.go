@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"jsonpark/internal/sqlast"
+	"jsonpark/internal/storage"
 	"jsonpark/internal/variant"
 	"jsonpark/internal/vector"
 )
@@ -301,7 +302,24 @@ func (p *paggIter) run() ([][]variant.Value, error) {
 	p.ctx.addScanCounts(scanSt, len(parts), 0, 0)
 
 	locals := make([]*aggTable, len(spans))
+	spanRuns := make([][]*storage.SpillRun, len(spans))
+	defer func() {
+		for _, rs := range spanRuns {
+			for _, r := range rs {
+				r.Close()
+			}
+		}
+	}()
 	workerRows := make([]int64, workers)
+	acct := p.ctx.acct
+	// Shared operator-level accounting, updated atomically by the workers and
+	// copied into the stats slot at the end.
+	var opCharged, opPeak, opHeld int64
+	var opSpills, opSpillBytes int64
+	var spilledRows, spilledGroups int64
+	defer func() {
+		acct.release(atomic.LoadInt64(&opHeld))
+	}()
 	var claim int64
 	var stop int32
 	var errOnce sync.Once
@@ -309,6 +327,15 @@ func (p *paggIter) run() ([][]variant.Value, error) {
 	fail := func(err error) {
 		errOnce.Do(func() { firstErr = err })
 		atomic.StoreInt32(&stop, 1)
+	}
+	// checkCancel lets every worker loop abort within one morsel of a
+	// cancelled query context.
+	checkCancel := func() bool {
+		if err := p.ctx.cancelled(); err != nil {
+			fail(err)
+			return true
+		}
+		return false
 	}
 
 	localStart := time.Now()
@@ -344,8 +371,27 @@ func (p *paggIter) run() ([][]variant.Value, error) {
 					c.flush(p.ctx)
 				}
 			}()
+			// spillSpan moves one span table's state to disk mid-stream; the
+			// merge phase folds the runs back in (span, run) order.
+			spillSpan := func(si int, table *aggTable, spanCharged *int64) (*aggTable, error) {
+				run, serr := spillAggTable(table, "pagg")
+				if serr != nil {
+					return nil, serr
+				}
+				spanRuns[si] = append(spanRuns[si], run)
+				acct.noteSpill(run.Bytes())
+				atomic.AddInt64(&opSpills, 1)
+				atomic.AddInt64(&opSpillBytes, run.Bytes())
+				atomic.AddInt64(&spilledRows, table.rows)
+				atomic.AddInt64(&spilledGroups, int64(len(table.order)))
+				workerRows[w] += table.rows
+				acct.release(*spanCharged)
+				atomic.AddInt64(&opHeld, -*spanCharged)
+				*spanCharged = 0
+				return newAggTable(eval.aggs, mergeParts), nil
+			}
 			for {
-				if atomic.LoadInt32(&stop) != 0 {
+				if atomic.LoadInt32(&stop) != 0 || checkCancel() {
 					return
 				}
 				si := int(atomic.AddInt64(&claim, 1) - 1)
@@ -354,7 +400,7 @@ func (p *paggIter) run() ([][]variant.Value, error) {
 				}
 				var spanBatches []*vector.Batch
 				for i := spans[si][0]; i < spans[si][1]; i++ {
-					if atomic.LoadInt32(&stop) != 0 {
+					if atomic.LoadInt32(&stop) != 0 || checkCancel() {
 						return
 					}
 					part := parts[i]
@@ -374,6 +420,7 @@ func (p *paggIter) run() ([][]variant.Value, error) {
 				// ascending partition order, so a single replay preserves
 				// input row order.
 				table := newAggTable(eval.aggs, mergeParts)
+				var spanCharged int64
 				it := p.instantiate(&staticBatches{batches: spanBatches}, cs, counts)
 				for {
 					b, berr := it.NextBatch()
@@ -390,6 +437,27 @@ func (p *paggIter) run() ([][]variant.Value, error) {
 						fail(aerr)
 						return
 					}
+					if acct.enabled() {
+						nb := activeRowsBytes(b)
+						spanCharged += nb
+						atomic.AddInt64(&opHeld, nb)
+						cur := atomic.AddInt64(&opCharged, nb)
+						for {
+							pk := atomic.LoadInt64(&opPeak)
+							if cur <= pk || atomic.CompareAndSwapInt64(&opPeak, pk, cur) {
+								break
+							}
+						}
+						if acct.charge(nb) {
+							var serr error
+							table, serr = spillSpan(si, table, &spanCharged)
+							if serr != nil {
+								it.Close()
+								fail(serr)
+								return
+							}
+						}
+					}
 				}
 				it.Close()
 				locals[si] = table
@@ -403,18 +471,28 @@ func (p *paggIter) run() ([][]variant.Value, error) {
 	}
 	localWall := time.Since(localStart)
 
-	// Compact away fully pruned spans; the compacted index preserves span
-	// order (= storage-partition order), so it serves as the stamp's major
-	// key.
-	var tables []*aggTable
+	// Compact the phase-1 output into merge sources: for each span, its spill
+	// runs in spill (= input) order, then its final live table. Source index
+	// order therefore equals input row order, so it serves as the stamp's
+	// major key exactly as the table index did before spilling existed.
+	type aggSource struct {
+		run   *storage.SpillRun
+		table *aggTable
+	}
+	var sources []aggSource
 	var localRows, localGroups int64
-	for _, t := range locals {
+	for si, t := range locals {
+		for _, r := range spanRuns[si] {
+			sources = append(sources, aggSource{run: r})
+		}
 		if t != nil && t.rows > 0 {
-			tables = append(tables, t)
+			sources = append(sources, aggSource{table: t})
 			localRows += t.rows
 			localGroups += int64(len(t.order))
 		}
 	}
+	localRows += atomic.LoadInt64(&spilledRows)
+	localGroups += atomic.LoadInt64(&spilledGroups)
 
 	mergeStart := time.Now()
 	merged := make([][]*aggGroup, mergeParts)
@@ -432,7 +510,7 @@ func (p *paggIter) run() ([][]variant.Value, error) {
 		go func() {
 			defer mwg.Done()
 			for {
-				if atomic.LoadInt32(&stop) != 0 {
+				if atomic.LoadInt32(&stop) != 0 || checkCancel() {
 					return
 				}
 				b := int(atomic.AddInt64(&bclaim, 1) - 1)
@@ -441,20 +519,54 @@ func (p *paggIter) run() ([][]variant.Value, error) {
 				}
 				seen := make(map[string]*aggGroup)
 				var out []*aggGroup
-				for ti, t := range tables {
-					for _, g := range t.bucketGroups(b) {
-						dst, ok := seen[g.key]
-						if !ok {
-							g.stamp = int64(ti)<<32 | int64(g.seq)
-							seen[g.key] = g
-							out = append(out, g)
-							continue
+				fold := func(srcIdx int, g *aggGroup) error {
+					dst, ok := seen[g.key]
+					if !ok {
+						g.stamp = int64(srcIdx)<<32 | int64(g.seq)
+						seen[g.key] = g
+						out = append(out, g)
+						return nil
+					}
+					for a := range dst.accs {
+						if err := mergeAccumulators(dst.accs[a], g.accs[a]); err != nil {
+							return err
 						}
-						for a := range dst.accs {
-							if err := mergeAccumulators(dst.accs[a], g.accs[a]); err != nil {
+					}
+					return nil
+				}
+				for srcIdx, src := range sources {
+					if src.table != nil {
+						for _, g := range src.table.bucketGroups(b) {
+							if err := fold(srcIdx, g); err != nil {
 								fail(err)
 								return
 							}
+						}
+						continue
+					}
+					// Each merge worker opens its own reader: SpillRun reads
+					// go through ReadAt and are concurrency-safe.
+					rr := src.run.NewReader()
+					for {
+						rec, err := rr.Next()
+						if err != nil {
+							fail(err)
+							return
+						}
+						if rec == nil {
+							break
+						}
+						g, err := decodeSpilledGroup(rec, p.eval.aggs, int32(b), mergeParts)
+						if err != nil {
+							fail(err)
+							return
+						}
+						if g == nil {
+							continue // other merge partition
+						}
+						if err := fold(srcIdx, g); err != nil {
+							fail(err)
+							return
 						}
 					}
 				}
@@ -502,6 +614,12 @@ func (p *paggIter) run() ([][]variant.Value, error) {
 		p.st.MaxWorkerRows = maxRows
 		p.st.LocalWallUS = localWall.Microseconds()
 		p.st.MergeWallUS = mergeWall.Microseconds()
+		if acct.enabled() {
+			p.st.MemPeakBytes = atomic.LoadInt64(&opPeak)
+			p.st.MemLimitBytes = acct.limit
+			p.st.Spills = atomic.LoadInt64(&opSpills)
+			p.st.SpillBytes = atomic.LoadInt64(&opSpillBytes)
+		}
 		p.ctx.mu.Unlock()
 	}
 	return emitGroupRows(all, p.eval.aggs), nil
@@ -606,6 +724,13 @@ func (j *joinIter) buildParallel(rows [][]variant.Value) error {
 		errOnce.Do(func() { firstErr = err })
 		atomic.StoreInt32(&stop, 1)
 	}
+	checkCancel := func() bool {
+		if err := j.ectx.cancelled(); err != nil {
+			fail(err)
+			return true
+		}
+		return false
+	}
 
 	localStart := time.Now()
 	var wg sync.WaitGroup
@@ -626,6 +751,9 @@ func (j *joinIter) buildParallel(rows [][]variant.Value) error {
 			refs := make([]encRef, 0, hi-lo)
 			for r := lo; r < hi; r++ {
 				if atomic.LoadInt32(&stop) != 0 {
+					return
+				}
+				if (r-lo)%256 == 0 && checkCancel() {
 					return
 				}
 				start := len(arena)
@@ -669,6 +797,9 @@ func (j *joinIter) buildParallel(rows [][]variant.Value) error {
 		go func() {
 			defer mwg.Done()
 			for {
+				if atomic.LoadInt32(&stop) != 0 || checkCancel() {
+					return
+				}
 				b := int(atomic.AddInt64(&bclaim, 1) - 1)
 				if b >= parts {
 					return
@@ -693,6 +824,9 @@ func (j *joinIter) buildParallel(rows [][]variant.Value) error {
 		}()
 	}
 	mwg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
 	mergeWall := time.Since(mergeStart)
 
 	if j.st != nil {
@@ -725,7 +859,9 @@ func (j *joinIter) buildParallel(rows [][]variant.Value) error {
 // breaking ties toward the earliest run — which holds the earliest input
 // indices — so the result is exactly the global stable sort. less must be
 // pure (the sort keys are pre-evaluated), which lets every worker share it.
-func parallelSortRefs(refs []sortRef, less func(a, b sortRef) bool, workers int, st *OpStats) []sortRef {
+// The driver-side merge loop polls the query context so a cancelled sort
+// aborts promptly.
+func parallelSortRefs(ctx *execContext, refs []sortRef, less func(a, b sortRef) bool, workers int, st *OpStats) ([]sortRef, error) {
 	n := len(refs)
 	if workers > n {
 		workers = n
@@ -756,6 +892,11 @@ func parallelSortRefs(refs []sortRef, less func(a, b sortRef) bool, workers int,
 	out := make([]sortRef, 0, n)
 	idx := make([]int, len(runs))
 	for len(out) < n {
+		if len(out)%4096 == 0 {
+			if err := ctx.cancelled(); err != nil {
+				return nil, err
+			}
+		}
 		best := -1
 		for r := range runs {
 			if idx[r] >= len(runs[r]) {
@@ -786,5 +927,5 @@ func parallelSortRefs(refs []sortRef, less func(a, b sortRef) bool, workers int,
 		st.LocalWallUS = localWall.Microseconds()
 		st.MergeWallUS = mergeWall.Microseconds()
 	}
-	return out
+	return out, nil
 }

@@ -3,6 +3,8 @@ package engine
 import (
 	"sync"
 	"testing"
+
+	"jsonpark/internal/testutil"
 )
 
 // TestParallelAggEarlyCloseStress hammers the parallel aggregate's
@@ -13,6 +15,7 @@ import (
 // invariant under -race is simply that no goroutine outlives its query and
 // no abandoned Prepared leaks a worker.
 func TestParallelAggEarlyCloseStress(t *testing.T) {
+	testutil.CheckLeaks(t)
 	e := multiPartEngine(t, WithBatchSize(4), WithParallelism(8))
 	queries := []string{
 		`SELECT grp, COUNT(*), MIN(val) FROM events GROUP BY grp LIMIT 2`,

@@ -258,7 +258,10 @@ func (m *morselScan) NextBatch() (*vector.Batch, error) {
 				delete(m.buffered, m.nextPart)
 				msg = buf
 			} else {
-				msg = <-m.results
+				var err error
+				if msg, err = m.recv(); err != nil {
+					return nil, err
+				}
 				if msg.part >= 0 && msg.part != m.nextPart {
 					m.buffered[msg.part] = msg
 					continue
@@ -266,13 +269,29 @@ func (m *morselScan) NextBatch() (*vector.Batch, error) {
 			}
 			m.nextPart++
 		} else {
-			msg = <-m.results
+			var err error
+			if msg, err = m.recv(); err != nil {
+				return nil, err
+			}
 		}
 		m.consumed++
 		if msg.err != nil {
 			return nil, msg.err
 		}
 		m.pending = msg.batches
+	}
+}
+
+// recv blocks on the next worker message unless the query context is
+// cancelled first — the driver's only blocking point, so a cancelled query
+// never hangs here while workers drain into a full channel. (Close still
+// releases the workers through the stop channel.)
+func (m *morselScan) recv() (scanMsg, error) {
+	select {
+	case msg := <-m.results:
+		return msg, nil
+	case <-m.ctx.queryCtx().Done():
+		return scanMsg{}, m.ctx.cancelled()
 	}
 }
 

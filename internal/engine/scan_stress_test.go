@@ -3,6 +3,8 @@ package engine
 import (
 	"sync"
 	"testing"
+
+	"jsonpark/internal/testutil"
 )
 
 // TestParallelScanLimitEarlyCloseStress hammers the morsel pool's shutdown
@@ -12,6 +14,7 @@ import (
 // -race (make race) this is the regression test for the stop-channel
 // handshake in morselScan.
 func TestParallelScanLimitEarlyCloseStress(t *testing.T) {
+	testutil.CheckLeaks(t)
 	e := multiPartEngine(t, WithBatchSize(4), WithParallelism(8))
 	queries := []string{
 		`SELECT id FROM events LIMIT 3`,
@@ -54,6 +57,7 @@ func TestParallelScanLimitEarlyCloseStress(t *testing.T) {
 // TestPreparedCloseWithoutDrain covers the other early-close shape: a
 // prepared query abandoned before (or mid-) drain.
 func TestPreparedCloseWithoutDrain(t *testing.T) {
+	testutil.CheckLeaks(t)
 	e := multiPartEngine(t, WithBatchSize(4), WithParallelism(8))
 	for i := 0; i < 100; i++ {
 		p, err := e.Prepare(`SELECT id, val FROM events WHERE val > 1`)

@@ -1,0 +1,771 @@
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"jsonpark/internal/storage"
+	"jsonpark/internal/variant"
+	"jsonpark/internal/vector"
+)
+
+// Spill-to-disk for the three pipeline breakers. Every format here round-
+// trips through the exact binary variant codec (variant/serial.go), so a
+// value read back from disk is bit-identical to the value that was written —
+// the foundation of the byte-identical-output guarantee at any memory limit.
+//
+// Three spill strategies, one per breaker:
+//
+//   - Hash aggregation, mergeable aggregates: the whole table spills as one
+//     run of exact partial states (group key, insertion rank, key values,
+//     accumulator states). Runs plus the final live table are folded back in
+//     spill order, which is input order, so mergeAccumulators reproduces the
+//     sequential fold exactly (the aggsMergeable proof).
+//   - Hash aggregation, order-exact aggregates (float SUM/AVG, unknown
+//     names): partial states do not merge exactly, so after overflow the
+//     remaining input tuples are deferred to disk — already evaluated, in
+//     input order — and replayed through the very same foldRow at the end.
+//     The pre-overflow table stays in memory (a documented floor on the
+//     effective limit); the fold sequence is identical, hence so is every
+//     accumulator bit.
+//   - Sort: the buffered chunk is stably sorted and written (rows plus their
+//     evaluated keys) as one run; consecutive runs are consecutive input
+//     chunks, so the earliest-run-tiebreak k-way merge equals the global
+//     stable sort.
+//   - Join build: rows go to an offset-indexed run, the in-memory hash index
+//     maps key bytes to offsets in input order, and probes fetch candidates
+//     by offset — same candidates, same order, as the in-memory build.
+
+// activeRowsBytes is the conservative retained-bytes charge for one batch:
+// the deep size of every active row. Operators charge it per absorbed batch;
+// it is an upper bound on what the structures built from those rows retain,
+// so overcharging can only spill earlier, never change output.
+func activeRowsBytes(b *vector.Batch) int64 {
+	var n int64
+	b.ForEach(func(i int) {
+		for c := range b.Cols {
+			n += b.Cols[c][i].DeepSizeBytes()
+		}
+	})
+	return n
+}
+
+// --- generic row codec --------------------------------------------------------
+
+// encodeRowValues appends every column value of one row with the exact codec.
+func encodeRowValues(dst []byte, row []variant.Value) []byte {
+	for _, v := range row {
+		dst = v.AppendBinary(dst)
+	}
+	return dst
+}
+
+// decodeRowValues decodes a width-column row written by encodeRowValues.
+func decodeRowValues(rec []byte, width int) ([]variant.Value, error) {
+	row := make([]variant.Value, width)
+	var err error
+	for c := 0; c < width; c++ {
+		row[c], rec, err = variant.DecodeBinary(rec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(rec) != 0 {
+		return nil, fmt.Errorf("engine: spilled row has %d trailing bytes", len(rec))
+	}
+	return row, nil
+}
+
+// --- accumulator partial-state codec ------------------------------------------
+
+// Tags keep decode strict: a state decoded under the wrong spec fails fast
+// instead of silently mis-folding.
+const (
+	accStateCount         = 'c'
+	accStateCountIf       = 'i'
+	accStateCountDistinct = 'd'
+	accStateMinMax        = 'm'
+	accStateAnyValue      = 'v'
+	accStateBool          = 'b'
+	accStateArrayAgg      = 'a'
+)
+
+// encodeAccState appends acc's exact partial state. Only the aggregates
+// admitted by aggsMergeable are encodable — the aggregation spill path picks
+// the tuple-replay strategy for everything else before ever getting here.
+func encodeAccState(dst []byte, acc accumulator) ([]byte, error) {
+	switch a := acc.(type) {
+	case *countAcc:
+		dst = append(dst, accStateCount)
+		dst = binary.AppendVarint(dst, a.n)
+	case *countIfAcc:
+		dst = append(dst, accStateCountIf)
+		dst = binary.AppendVarint(dst, a.n)
+	case *countDistinctAcc:
+		// Map iteration order is nondeterministic, which only affects file
+		// bytes: the restored set is equal, and COUNT(DISTINCT) reads its size.
+		dst = append(dst, accStateCountDistinct)
+		dst = binary.AppendUvarint(dst, uint64(len(a.seen)))
+		for k := range a.seen {
+			dst = binary.AppendUvarint(dst, uint64(len(k)))
+			dst = append(dst, k...)
+		}
+	case *minMaxAcc:
+		dst = append(dst, accStateMinMax)
+		dst = appendSpillBool(dst, a.any)
+		if a.any {
+			dst = a.best.AppendBinary(dst)
+		}
+	case *anyValueAcc:
+		dst = append(dst, accStateAnyValue)
+		dst = appendSpillBool(dst, a.any)
+		if a.any {
+			dst = a.v.AppendBinary(dst)
+		}
+	case *boolAgg:
+		dst = append(dst, accStateBool)
+		dst = appendSpillBool(dst, a.any)
+		dst = appendSpillBool(dst, a.acc)
+	case *arrayAggAcc:
+		dst = append(dst, accStateArrayAgg)
+		dst = binary.AppendUvarint(dst, uint64(len(a.vals)))
+		for _, v := range a.vals {
+			dst = v.AppendBinary(dst)
+		}
+		// orders is either empty or aligned with vals.
+		dst = binary.AppendUvarint(dst, uint64(len(a.orders)))
+		for _, ord := range a.orders {
+			dst = binary.AppendUvarint(dst, uint64(len(ord)))
+			for _, k := range ord {
+				dst = k.AppendBinary(dst)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("engine: aggregate %T has no spillable partial state", acc)
+	}
+	return dst, nil
+}
+
+// decodeAccState restores one partial state into a fresh accumulator built
+// from spec (which re-supplies the static config: star, dir, isAnd,
+// distinct). Returns the accumulator and the remaining bytes.
+func decodeAccState(spec AggSpec, src []byte) (accumulator, []byte, error) {
+	if len(src) == 0 {
+		return nil, nil, fmt.Errorf("engine: truncated accumulator state")
+	}
+	tag := src[0]
+	src = src[1:]
+	acc := newAccumulator(spec)
+	var err error
+	switch a := acc.(type) {
+	case *countAcc:
+		if tag != accStateCount {
+			return nil, nil, fmt.Errorf("engine: accumulator state tag %q for COUNT", tag)
+		}
+		a.n, src, err = readSpillVarint(src)
+	case *countIfAcc:
+		if tag != accStateCountIf {
+			return nil, nil, fmt.Errorf("engine: accumulator state tag %q for COUNT_IF", tag)
+		}
+		a.n, src, err = readSpillVarint(src)
+	case *countDistinctAcc:
+		if tag != accStateCountDistinct {
+			return nil, nil, fmt.Errorf("engine: accumulator state tag %q for COUNT DISTINCT", tag)
+		}
+		var n uint64
+		n, src, err = readSpillUvarint(src)
+		for i := uint64(0); err == nil && i < n; i++ {
+			var kl uint64
+			kl, src, err = readSpillUvarint(src)
+			if err != nil {
+				break
+			}
+			if uint64(len(src)) < kl {
+				err = fmt.Errorf("engine: truncated distinct key")
+				break
+			}
+			a.seen[string(src[:kl])] = true
+			src = src[kl:]
+		}
+	case *minMaxAcc:
+		if tag != accStateMinMax {
+			return nil, nil, fmt.Errorf("engine: accumulator state tag %q for MIN/MAX", tag)
+		}
+		a.any, src, err = readSpillBool(src)
+		if err == nil && a.any {
+			a.best, src, err = variant.DecodeBinary(src)
+		}
+	case *anyValueAcc:
+		if tag != accStateAnyValue {
+			return nil, nil, fmt.Errorf("engine: accumulator state tag %q for ANY_VALUE", tag)
+		}
+		a.any, src, err = readSpillBool(src)
+		if err == nil && a.any {
+			a.v, src, err = variant.DecodeBinary(src)
+		}
+	case *boolAgg:
+		if tag != accStateBool {
+			return nil, nil, fmt.Errorf("engine: accumulator state tag %q for BOOL agg", tag)
+		}
+		a.any, src, err = readSpillBool(src)
+		if err == nil {
+			a.acc, src, err = readSpillBool(src)
+		}
+	case *arrayAggAcc:
+		if tag != accStateArrayAgg {
+			return nil, nil, fmt.Errorf("engine: accumulator state tag %q for ARRAY_AGG", tag)
+		}
+		var n uint64
+		n, src, err = readSpillUvarint(src)
+		for i := uint64(0); err == nil && i < n; i++ {
+			var v variant.Value
+			v, src, err = variant.DecodeBinary(src)
+			if err != nil {
+				break
+			}
+			a.vals = append(a.vals, v)
+			if a.distinct {
+				// The seen set is exactly the group keys of the kept values.
+				a.kbuf = v.AppendGroupKey(a.kbuf[:0])
+				a.seen[string(a.kbuf)] = true
+			}
+		}
+		if err == nil {
+			var no uint64
+			no, src, err = readSpillUvarint(src)
+			for i := uint64(0); err == nil && i < no; i++ {
+				var nk uint64
+				nk, src, err = readSpillUvarint(src)
+				if err != nil {
+					break
+				}
+				ord := make([]variant.Value, nk)
+				for k := uint64(0); k < nk; k++ {
+					ord[k], src, err = variant.DecodeBinary(src)
+					if err != nil {
+						break
+					}
+				}
+				if err == nil {
+					a.orders = append(a.orders, ord)
+				}
+			}
+		}
+	default:
+		return nil, nil, fmt.Errorf("engine: aggregate %T has no spillable partial state", acc)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return acc, src, nil
+}
+
+func appendSpillBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func readSpillBool(src []byte) (bool, []byte, error) {
+	if len(src) == 0 {
+		return false, nil, fmt.Errorf("engine: truncated spill bool")
+	}
+	return src[0] != 0, src[1:], nil
+}
+
+func readSpillVarint(src []byte) (int64, []byte, error) {
+	v, n := binary.Varint(src)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("engine: truncated spill varint")
+	}
+	return v, src[n:], nil
+}
+
+func readSpillUvarint(src []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("engine: truncated spill uvarint")
+	}
+	return v, src[n:], nil
+}
+
+// --- aggregation table state spill --------------------------------------------
+
+// spillAggTable serializes t's groups, in insertion order, as one run.
+// Record: key bytes, insertion rank, key values, one partial state per
+// aggregate.
+func spillAggTable(t *aggTable, tag string) (*storage.SpillRun, error) {
+	w, err := storage.NewRunWriter(tag)
+	if err != nil {
+		return nil, err
+	}
+	var rec []byte
+	for _, g := range t.order {
+		rec = rec[:0]
+		rec = binary.AppendUvarint(rec, uint64(len(g.key)))
+		rec = append(rec, g.key...)
+		rec = binary.AppendUvarint(rec, uint64(g.seq))
+		rec = binary.AppendUvarint(rec, uint64(len(g.keys)))
+		for _, kv := range g.keys {
+			rec = kv.AppendBinary(rec)
+		}
+		for _, acc := range g.accs {
+			rec, err = encodeAccState(rec, acc)
+			if err != nil {
+				w.Abort()
+				return nil, err
+			}
+		}
+		if _, err := w.WriteRecord(rec); err != nil {
+			w.Abort()
+			return nil, err
+		}
+	}
+	return w.Finish()
+}
+
+// decodeSpilledGroup restores one group record. When wantBucket >= 0 the
+// record is parsed only as far as its key; records hashing to a different
+// merge partition return (nil, nil) so concurrent merge workers can scan one
+// run cheaply.
+func decodeSpilledGroup(rec []byte, aggs []compiledAgg, wantBucket int32, parts int) (*aggGroup, error) {
+	kl, rec, err := readSpillUvarint(rec)
+	if err != nil {
+		return nil, err
+	}
+	if uint64(len(rec)) < kl {
+		return nil, fmt.Errorf("engine: truncated spilled group key")
+	}
+	keyBytes := rec[:kl]
+	rec = rec[kl:]
+	bucket := int32(0)
+	if parts > 1 {
+		bucket = bucketOfKey(keyBytes, parts)
+	}
+	if wantBucket >= 0 && bucket != wantBucket {
+		return nil, nil
+	}
+	seq, rec, err := readSpillUvarint(rec)
+	if err != nil {
+		return nil, err
+	}
+	nk, rec, err := readSpillUvarint(rec)
+	if err != nil {
+		return nil, err
+	}
+	g := &aggGroup{key: string(keyBytes), seq: int32(seq), bucket: bucket}
+	if nk > 0 {
+		g.keys = make([]variant.Value, nk)
+		for i := uint64(0); i < nk; i++ {
+			g.keys[i], rec, err = variant.DecodeBinary(rec)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	g.accs = make([]accumulator, len(aggs))
+	for i := range aggs {
+		g.accs[i], rec, err = decodeAccState(aggs[i].spec, rec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(rec) != 0 {
+		return nil, fmt.Errorf("engine: spilled group has %d trailing bytes", len(rec))
+	}
+	return g, nil
+}
+
+// mergeSpilledAgg folds the spill runs (in spill order) and then the final
+// live table into one group list. Spill order is input order, so merging a
+// group's partials in source order reproduces the sequential fold; a group's
+// first source is where it was globally first seen, so appending on first
+// sight reproduces sequential first-seen output order.
+func mergeSpilledAgg(runs []*storage.SpillRun, final *aggTable, aggs []compiledAgg) ([]*aggGroup, error) {
+	seen := make(map[string]*aggGroup)
+	var out []*aggGroup
+	fold := func(g *aggGroup) error {
+		dst, ok := seen[g.key]
+		if !ok {
+			seen[g.key] = g
+			out = append(out, g)
+			return nil
+		}
+		for a := range dst.accs {
+			if err := mergeAccumulators(dst.accs[a], g.accs[a]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range runs {
+		rr := r.NewReader()
+		for {
+			rec, err := rr.Next()
+			if err != nil {
+				return nil, err
+			}
+			if rec == nil {
+				break
+			}
+			g, err := decodeSpilledGroup(rec, aggs, -1, 1)
+			if err != nil {
+				return nil, err
+			}
+			if err := fold(g); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, g := range final.order {
+		if err := fold(g); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// --- sequential aggregation governance ----------------------------------------
+
+// extAgg is the external (memory-governed) state of one sequential
+// aggregation: either a list of whole-table state runs (mergeable
+// aggregates) or a deferred-tuple run (order-exact aggregates).
+type extAgg struct {
+	mem       *opMem
+	mergeable bool
+	eval      *aggEval
+	runs      []*storage.SpillRun
+	tw        *storage.RunWriter
+}
+
+// deferring reports whether the aggregation switched to deferring raw input
+// tuples to disk.
+func (x *extAgg) deferring() bool { return x.tw != nil }
+
+// overflow moves state out of memory after the budget tripped. Mergeable
+// aggregates serialize the whole table and continue into a fresh one;
+// order-exact aggregates switch to deferring tuples (the current table stays
+// resident — its fold must resume bit-exactly at replay).
+func (x *extAgg) overflow(t *aggTable) (*aggTable, error) {
+	if x.mergeable {
+		run, err := spillAggTable(t, "agg")
+		if err != nil {
+			return nil, err
+		}
+		x.runs = append(x.runs, run)
+		x.mem.noteSpill(run.Bytes())
+		x.mem.releaseAll()
+		return newAggTable(x.eval.aggs, t.buckets), nil
+	}
+	w, err := storage.NewRunWriter("aggdefer")
+	if err != nil {
+		return nil, err
+	}
+	x.tw = w
+	return t, nil
+}
+
+// deferBatch evaluates one batch exactly like absorb and writes each active
+// row's tuple to the deferral run instead of folding it.
+func (x *extAgg) deferBatch(b *vector.Batch) error {
+	return x.eval.spillTuples(x.tw, b)
+}
+
+// finish produces the final group list: replaying deferred tuples into the
+// live table, merging state runs, or just handing back the table.
+func (x *extAgg) finish(t *aggTable) ([]*aggGroup, error) {
+	if x.tw != nil {
+		run, err := x.tw.Finish()
+		x.tw = nil
+		if err != nil {
+			return nil, err
+		}
+		x.runs = append(x.runs, run) // discard() will remove it
+		x.mem.noteSpill(run.Bytes())
+		if err := x.eval.replayTuples(run, t); err != nil {
+			return nil, err
+		}
+		return t.order, nil
+	}
+	if len(x.runs) == 0 {
+		return t.order, nil
+	}
+	return mergeSpilledAgg(x.runs, t, x.eval.aggs)
+}
+
+// discard releases every on-disk and accounted resource; safe after finish.
+func (x *extAgg) discard() {
+	if x.tw != nil {
+		x.tw.Abort()
+		x.tw = nil
+	}
+	for _, r := range x.runs {
+		r.Close()
+	}
+	x.runs = nil
+	x.mem.releaseAll()
+}
+
+// --- deferred tuple spill / replay --------------------------------------------
+
+// evalBatch evaluates the grouping, argument and order expressions over one
+// batch — the shared column phase of absorb and spillTuples.
+func (e *aggEval) evalBatch(b *vector.Batch) (gvals, avals [][]variant.Value, ovals [][][]variant.Value, err error) {
+	gvals = make([][]variant.Value, len(e.groupFns))
+	for i, fn := range e.groupFns {
+		gvals[i], err = fn(b) //jsqlint:ignore kernelalias each fn is a distinct closure with its own buffer; callers consume all vectors before the next batch
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	avals = make([][]variant.Value, len(e.aggs))
+	ovals = make([][][]variant.Value, len(e.aggs))
+	for i, ca := range e.aggs {
+		if ca.arg != nil {
+			avals[i], err = ca.arg(b) //jsqlint:ignore kernelalias each arg is a distinct closure with its own buffer; callers consume all vectors before the next batch
+			if err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		if len(ca.orderFns) > 0 {
+			ovals[i] = make([][]variant.Value, len(ca.orderFns))
+			for j, fn := range ca.orderFns {
+				ovals[i][j], err = fn(b)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+			}
+		}
+	}
+	return gvals, avals, ovals, nil
+}
+
+// spillTuples writes each active row's evaluated tuple (group values,
+// argument values, order values — in that fixed shape) to the deferral run.
+// Evaluating here keeps expression call order identical to the in-memory
+// path, so stateful expressions (SEQ) see the same sequence either way.
+func (e *aggEval) spillTuples(w *storage.RunWriter, b *vector.Batch) error {
+	gvals, avals, ovals, err := e.evalBatch(b)
+	if err != nil {
+		return err
+	}
+	var rec []byte
+	var rowErr error
+	b.ForEach(func(i int) {
+		if rowErr != nil {
+			return
+		}
+		rec = rec[:0]
+		for k := range gvals {
+			rec = gvals[k][i].AppendBinary(rec)
+		}
+		for a := range e.aggs {
+			if avals[a] != nil {
+				rec = avals[a][i].AppendBinary(rec)
+			}
+			for j := range ovals[a] {
+				rec = ovals[a][j][i].AppendBinary(rec)
+			}
+		}
+		_, rowErr = w.WriteRecord(rec)
+	})
+	return rowErr
+}
+
+// replayTuples folds the deferred tuples back through foldRow, in run
+// (input) order — the identical fold sequence the in-memory path would have
+// issued.
+func (e *aggEval) replayTuples(run *storage.SpillRun, t *aggTable) error {
+	rowG := make([]variant.Value, len(e.groupFns))
+	rowA := make([]variant.Value, len(e.aggs))
+	rowO := make([][]variant.Value, len(e.aggs))
+	rr := run.NewReader()
+	for {
+		rec, err := rr.Next()
+		if err != nil {
+			return err
+		}
+		if rec == nil {
+			return nil
+		}
+		for k := range rowG {
+			rowG[k], rec, err = variant.DecodeBinary(rec)
+			if err != nil {
+				return err
+			}
+		}
+		for a, ca := range e.aggs {
+			rowA[a] = variant.Value{}
+			if ca.arg != nil {
+				rowA[a], rec, err = variant.DecodeBinary(rec)
+				if err != nil {
+					return err
+				}
+			}
+			rowO[a] = nil
+			if len(ca.orderFns) > 0 {
+				ord := make([]variant.Value, len(ca.orderFns))
+				for j := range ca.orderFns {
+					ord[j], rec, err = variant.DecodeBinary(rec)
+					if err != nil {
+						return err
+					}
+				}
+				rowO[a] = ord
+			}
+		}
+		if len(rec) != 0 {
+			return fmt.Errorf("engine: deferred tuple has %d trailing bytes", len(rec))
+		}
+		if err := e.foldRow(t, rowG, rowA, rowO); err != nil {
+			return err
+		}
+	}
+}
+
+// --- sort runs ----------------------------------------------------------------
+
+// writeSortRun writes the buffered chunk's rows, in sorted (refs) order,
+// with their evaluated key values. Record: width row values, then one value
+// per sort key.
+func writeSortRun(batches []*vector.Batch, keyCols [][][]variant.Value, refs []sortRef, width int) (*storage.SpillRun, error) {
+	w, err := storage.NewRunWriter("sort")
+	if err != nil {
+		return nil, err
+	}
+	var rec []byte
+	for _, r := range refs {
+		rec = rec[:0]
+		for c := 0; c < width; c++ {
+			rec = batches[r.b].Cols[c][r.i].AppendBinary(rec)
+		}
+		for k := range keyCols[r.b] {
+			rec = keyCols[r.b][k][r.i].AppendBinary(rec)
+		}
+		if _, err := w.WriteRecord(rec); err != nil {
+			w.Abort()
+			return nil, err
+		}
+	}
+	return w.Finish()
+}
+
+// sortRunCursor streams one sorted run during the merge.
+type sortRunCursor struct {
+	rr    *storage.RunReader
+	width int
+	nkeys int
+	row   []variant.Value
+	keys  []variant.Value
+	done  bool
+}
+
+func (c *sortRunCursor) advance() error {
+	rec, err := c.rr.Next()
+	if err != nil {
+		return err
+	}
+	if rec == nil {
+		c.done = true
+		c.row, c.keys = nil, nil
+		return nil
+	}
+	row := make([]variant.Value, c.width)
+	for i := 0; i < c.width; i++ {
+		row[i], rec, err = variant.DecodeBinary(rec)
+		if err != nil {
+			return err
+		}
+	}
+	keys := make([]variant.Value, c.nkeys)
+	for k := 0; k < c.nkeys; k++ {
+		keys[k], rec, err = variant.DecodeBinary(rec)
+		if err != nil {
+			return err
+		}
+	}
+	if len(rec) != 0 {
+		return fmt.Errorf("engine: sort run record has %d trailing bytes", len(rec))
+	}
+	c.row, c.keys = row, keys
+	return nil
+}
+
+// sortRunMerge is the k-way streaming merge of the sorted runs. Runs hold
+// consecutive input chunks in spill order, so breaking key ties toward the
+// earliest run reproduces the global stable sort exactly. The run files
+// themselves are owned (and removed) by the sortIter.
+type sortRunMerge struct {
+	cursors []*sortRunCursor
+	descs   []bool
+	bld     *vector.Builder
+	started bool
+	drained bool
+}
+
+func newSortRunMerge(runs []*storage.SpillRun, descs []bool, width, bsize int) *sortRunMerge {
+	cursors := make([]*sortRunCursor, len(runs))
+	for i, r := range runs {
+		cursors[i] = &sortRunCursor{rr: r.NewReader(), width: width, nkeys: len(descs)}
+	}
+	return &sortRunMerge{
+		cursors: cursors, descs: descs,
+		bld: vector.NewBuilder(width, bsize),
+	}
+}
+
+func (m *sortRunMerge) lessKeys(a, b []variant.Value) bool {
+	for k := range m.descs {
+		c := variant.Compare(a[k], b[k])
+		if m.descs[k] {
+			c = -c
+		}
+		if c != 0 {
+			return c < 0
+		}
+	}
+	return false
+}
+
+func (m *sortRunMerge) NextBatch() (*vector.Batch, error) {
+	if !m.started {
+		m.started = true
+		for _, c := range m.cursors {
+			if err := c.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for {
+		if b := m.bld.Pop(); b != nil {
+			return b, nil
+		}
+		if m.drained {
+			return m.bld.Flush(), nil
+		}
+		// Strict less over ascending cursor index keeps ties on the earliest
+		// run, i.e. the earliest input chunk.
+		best := -1
+		for ci, c := range m.cursors {
+			if c.done {
+				continue
+			}
+			if best < 0 || m.lessKeys(c.keys, m.cursors[best].keys) {
+				best = ci
+			}
+		}
+		if best < 0 {
+			m.drained = true
+			continue
+		}
+		c := m.cursors[best]
+		m.bld.Append(c.row)
+		if err := c.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Close is a no-op: the sortIter owns the run files and removes them.
+func (m *sortRunMerge) Close() {}

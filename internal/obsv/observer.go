@@ -19,6 +19,8 @@ type Observer struct {
 	partitionsTotal  *Counter
 	partitionsPruned *Counter
 	parallelBreakers *Counter
+	spillBytes       *Counter
+	queriesCancelled *Counter
 }
 
 // QueryObservation is one finished query's measurements, reported by the
@@ -33,6 +35,12 @@ type QueryObservation struct {
 	// ParallelBreakers counts the pipeline breakers (aggregates, join
 	// builds, sorts) the plan executed with parallel phases.
 	ParallelBreakers int64
+	// SpillBytes is the bytes the memory-governed breakers wrote to
+	// temp-file runs under WithMemLimit.
+	SpillBytes int64
+	// Cancelled marks a query aborted by context cancellation or deadline;
+	// such queries count under status="cancelled" rather than "error".
+	Cancelled bool
 }
 
 // NewObserver builds an observer with the standard metric set registered.
@@ -57,6 +65,10 @@ func NewObserver() *Observer {
 			"Cumulative micro-partitions pruned via zone maps."),
 		parallelBreakers: r.Counter("jsonpark_parallel_breakers_total",
 			"Cumulative pipeline breakers (aggregates, join builds, sorts) executed with parallel phases."),
+		spillBytes: r.Counter("jsonpark_spill_bytes_total",
+			"Cumulative bytes written to spill runs by memory-governed pipeline breakers."),
+		queriesCancelled: r.Counter("jsonpark_queries_cancelled_total",
+			"Queries aborted by context cancellation or deadline."),
 	}
 }
 
@@ -67,10 +79,15 @@ func (o *Observer) ObserveQuery(q QueryObservation) {
 		return
 	}
 	status := "ok"
-	if q.Errored {
+	switch {
+	case q.Cancelled:
+		status = "cancelled"
+		o.queriesCancelled.Inc()
+	case q.Errored:
 		status = "error"
 	}
 	o.queriesTotal.With(status).Inc()
+	o.spillBytes.Add(float64(q.SpillBytes))
 	o.bytesScanned.Add(float64(q.BytesScanned))
 	o.rowsReturned.Add(float64(q.RowsReturned))
 	o.partitionsTotal.Add(float64(q.PartitionsTotal))

@@ -20,27 +20,49 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
 	"strconv"
+	"time"
 
 	"jsonpark"
 
 	"jsonpark/internal/variant"
 )
 
+// StatusClientClosedRequest is the non-standard 499 status (nginx
+// convention) reported when the client goes away mid-query.
+const StatusClientClosedRequest = 499
+
 // Server wraps a warehouse with HTTP handlers.
 type Server struct {
-	w      *jsonpark.Warehouse
-	mux    *http.ServeMux
-	logger *log.Logger
+	w       *jsonpark.Warehouse
+	mux     *http.ServeMux
+	logger  *log.Logger
+	timeout time.Duration
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithQueryTimeout bounds each /query request's execution; a query
+// exceeding it is cancelled and answered with a structured 504. Values
+// <= 0 (the default) disable the bound. The client disconnecting cancels
+// the query regardless and is logged as a 499.
+func WithQueryTimeout(d time.Duration) Option {
+	return func(s *Server) { s.timeout = d }
 }
 
 // New builds a server over an existing warehouse.
-func New(w *jsonpark.Warehouse) *Server {
+func New(w *jsonpark.Warehouse, opts ...Option) *Server {
 	s := &Server{w: w, mux: http.NewServeMux(), logger: log.Default()}
+	for _, o := range opts {
+		o(s)
+	}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/translate", s.handleTranslate)
 	s.mux.HandleFunc("/load", s.handleLoad)
@@ -150,10 +172,37 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Analyze {
 		opts = append(opts, jsonpark.WithAnalyze())
 	}
+	// The request context covers client disconnects; the optional server
+	// timeout layers a deadline on top of it.
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	opts = append(opts, jsonpark.WithContext(ctx))
 	rep, err := s.w.QueryTraced(req.Query, opts...)
 	if err != nil {
-		s.logger.Printf("query error=%q query=%q", err, req.Query)
-		writeError(w, http.StatusBadRequest, err)
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			s.logger.Printf("query timeout=%s query=%q", s.timeout, req.Query)
+			writeJSON(w, http.StatusGatewayTimeout, map[string]any{
+				"error":      fmt.Sprintf("query exceeded the server time limit of %s", s.timeout),
+				"code":       "query_timeout",
+				"timeout_ms": s.timeout.Milliseconds(),
+			})
+		case errors.Is(err, context.Canceled):
+			s.logger.Printf("query cancelled query=%q", req.Query)
+			// Best-effort: the client that closed the request will not read
+			// this body, but proxies and tests see a definite status.
+			writeJSON(w, StatusClientClosedRequest, map[string]any{
+				"error": "query cancelled: client closed request",
+				"code":  "query_cancelled",
+			})
+		default:
+			s.logger.Printf("query error=%q query=%q", err, req.Query)
+			writeError(w, http.StatusBadRequest, err)
+		}
 		return
 	}
 	res := rep.Result

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"jsonpark"
 )
@@ -338,6 +340,72 @@ func TestQueryAnalyzeOverHTTP(t *testing.T) {
 	text, _ := out["plan_text"].(string)
 	if !strings.Contains(text, "Scan") || !strings.Contains(text, "bytes=") {
 		t.Errorf("plan_text = %q", text)
+	}
+}
+
+// TestQueryTimeoutReturns504: a server-side -query-timeout overrun answers
+// 504 with a structured body and shows up as a cancelled query in /metrics.
+func TestQueryTimeoutReturns504(t *testing.T) {
+	w := jsonpark.Open()
+	s := New(w, WithQueryTimeout(time.Nanosecond))
+	s.SetLogger(log.New(io.Discard, "", 0))
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	loadOrders(t, srv) // only /query is governed by the timeout
+
+	code, out := post(t, srv, "/query", ordersQuery)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("code = %d %v, want 504", code, out)
+	}
+	if out["code"] != "query_timeout" {
+		t.Errorf("body code = %v", out["code"])
+	}
+	if _, ok := out["timeout_ms"]; !ok {
+		t.Errorf("body lacks timeout_ms: %v", out)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		`jsonpark_queries_total{status="cancelled"} 1`,
+		"jsonpark_queries_cancelled_total 1",
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestClientDisconnectReturns499: a request whose context is already gone
+// (client hung up) maps to the nginx-style 499, not a 4xx/5xx that would
+// page on server health dashboards.
+func TestClientDisconnectReturns499(t *testing.T) {
+	w := jsonpark.Open()
+	s := New(w)
+	s.SetLogger(log.New(io.Discard, "", 0))
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	loadOrders(t, srv)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(ordersQuery)).WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != StatusClientClosedRequest {
+		t.Fatalf("code = %d (%s), want 499", rec.Code, rec.Body.String())
+	}
+	var out map[string]any
+	if err := json.NewDecoder(rec.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["code"] != "query_cancelled" {
+		t.Errorf("body code = %v", out["code"])
 	}
 }
 

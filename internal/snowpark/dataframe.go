@@ -1,6 +1,7 @@
 package snowpark
 
 import (
+	"context"
 	"fmt"
 
 	"jsonpark/internal/engine"
@@ -294,12 +295,19 @@ func (df *DataFrame) Collect() (*engine.Result, error) {
 // and analyze enables per-operator metering, returning the annotated plan
 // tree alongside the result (nil when analyze is false).
 func (df *DataFrame) CollectTraced(sp *obsv.Span, analyze bool) (*engine.Result, *engine.PlanStats, error) {
+	return df.CollectTracedCtx(context.Background(), sp, analyze)
+}
+
+// CollectTracedCtx is CollectTraced under a cancellation context: a cancel
+// or deadline aborts execution promptly with an error satisfying
+// errors.Is(err, context.Canceled) / context.DeadlineExceeded.
+func (df *DataFrame) CollectTracedCtx(ctx context.Context, sp *obsv.Span, analyze bool) (*engine.Result, *engine.PlanStats, error) {
 	p, err := df.session.eng.PrepareOpts(df.SQL(), engine.PrepareOptions{Span: sp, Analyze: analyze})
 	if err != nil {
 		return nil, nil, err
 	}
 	esp := sp.Child("engine.execute")
-	res, err := p.Run()
+	res, err := p.RunCtx(ctx)
 	esp.End()
 	if err != nil {
 		return nil, nil, err

@@ -25,6 +25,9 @@ type ReportConfig struct {
 	// values take the engine defaults (1024 rows, NumCPU workers).
 	BatchSize   int
 	Parallelism int
+	// MemLimit caps the pipeline breakers' retained bytes per query;
+	// overflow spills to disk with byte-identical results. 0 = unlimited.
+	MemLimit int64
 }
 
 // DefaultConfig returns laptop-scale defaults (the paper uses SF 1000 for
@@ -48,7 +51,17 @@ func SetupSF(seed int64, sf float64) (*snowpark.Session, error) {
 // SetupSFOpts is SetupSF with explicit executor settings; zero values take
 // the engine defaults.
 func SetupSFOpts(seed int64, sf float64, batchSize, parallelism int) (*snowpark.Session, error) {
-	eng := engine.New(engine.WithBatchSize(batchSize), engine.WithParallelism(parallelism))
+	return SetupSFMemOpts(seed, sf, batchSize, parallelism, 0)
+}
+
+// SetupSFMemOpts is SetupSFOpts with a pipeline-breaker memory budget
+// (0 = unlimited; overflow spills to disk, results stay byte-identical).
+func SetupSFMemOpts(seed int64, sf float64, batchSize, parallelism int, memLimit int64) (*snowpark.Session, error) {
+	eng := engine.New(
+		engine.WithBatchSize(batchSize),
+		engine.WithParallelism(parallelism),
+		engine.WithMemLimit(memLimit),
+	)
 	tabs := Generate(seed, SizesForScaleFactor(sf))
 	if err := tabs.Load(eng); err != nil {
 		return nil, err
@@ -79,7 +92,7 @@ func measureTotal(fn func() (*engine.Result, error), cfg ReportConfig) (time.Dur
 // ReportFig11a regenerates Figure 11a: total (compile + execution) time for
 // all thirteen SSB queries, generated vs handwritten, at one scale factor.
 func ReportFig11a(cfg ReportConfig) error {
-	sess, err := SetupSFOpts(cfg.Seed, cfg.ScaleFactor, cfg.BatchSize, cfg.Parallelism)
+	sess, err := SetupSFMemOpts(cfg.Seed, cfg.ScaleFactor, cfg.BatchSize, cfg.Parallelism, cfg.MemLimit)
 	if err != nil {
 		return err
 	}
@@ -123,7 +136,7 @@ func ReportFig11b(cfg ReportConfig) error {
 		series[id+" hand"] = set.Add(id + " hand")
 	}
 	for _, sf := range cfg.ScaleFactors {
-		sess, err := SetupSFOpts(cfg.Seed, sf, cfg.BatchSize, cfg.Parallelism)
+		sess, err := SetupSFMemOpts(cfg.Seed, sf, cfg.BatchSize, cfg.Parallelism, cfg.MemLimit)
 		if err != nil {
 			return err
 		}

@@ -26,20 +26,26 @@ func TestSSBBatchSizeParity(t *testing.T) {
 	configs := []struct {
 		name                   string
 		batchSize, parallelism int
+		memLimit               int64
 	}{
-		{"bs1-seq", 1, 1},
-		{"bs1024-seq", 1024, 1},
-		{"bs1-par4", 1, 4},
-		{"bs1024-par4", 1024, 4},
-		{"bs1024-par", 1024, 0}, // 0 = NumCPU workers
+		{"bs1-seq", 1, 1, 0},
+		{"bs1024-seq", 1024, 1, 0},
+		{"bs1-par4", 1, 4, 0},
+		{"bs1024-par4", 1024, 4, 0},
+		{"bs1024-par", 1024, 0, 0}, // 0 = NumCPU workers
+		// Governed rows: the 64KiB breaker budget forces the SSB queries to
+		// spill, and spilled results must stay byte-identical.
+		{"bs1024-seq-64k", 1024, 1, 64 * 1024},
+		{"bs1024-par4-64k", 1024, 4, 64 * 1024},
 	}
 	type ref struct{ translated, handwritten string }
 	var want map[string]ref
 	for _, cfg := range configs {
-		sess, err := SetupSFOpts(7, 0.5, cfg.batchSize, cfg.parallelism)
+		sess, err := SetupSFMemOpts(7, 0.5, cfg.batchSize, cfg.parallelism, cfg.memLimit)
 		if err != nil {
 			t.Fatal(err)
 		}
+		var spills int64
 		got := make(map[string]ref)
 		for _, q := range Queries() {
 			_, tres, err := RunTranslated(sess, q)
@@ -50,7 +56,14 @@ func TestSSBBatchSizeParity(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s [%s]: %v", q.ID, cfg.name, err)
 			}
+			spills += tres.Metrics.Spills + hres.Metrics.Spills
 			got[q.ID] = ref{renderResult(tres), renderResult(hres)}
+		}
+		if cfg.memLimit > 0 && spills == 0 {
+			t.Errorf("[%s] no SSB query spilled under the %d-byte budget", cfg.name, cfg.memLimit)
+		}
+		if cfg.memLimit == 0 && spills != 0 {
+			t.Errorf("[%s] unlimited run reported %d spills", cfg.name, spills)
 		}
 		if want == nil {
 			want = got

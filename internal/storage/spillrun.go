@@ -1,0 +1,151 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Spill runs: the temp-file format backing the engine's memory-governed
+// pipeline breakers. A run is an append-only sequence of length-prefixed
+// opaque records (the engine encodes rows, sort keys and aggregate partial
+// states into them with the exact variant codec). Writers are single-
+// goroutine; a finished run supports any number of concurrent readers —
+// sequential cursors and random record fetches both go through ReadAt, so
+// the parallel aggregate's merge workers can scan one run simultaneously.
+
+// maxSpillRecordBytes bounds one record's decoded size, guarding the reader
+// against a corrupt length prefix allocating unbounded memory.
+const maxSpillRecordBytes = 1 << 30
+
+// RunWriter streams records into a new spill file.
+type RunWriter struct {
+	f     *os.File
+	buf   *bufio.Writer
+	off   int64
+	n     int64
+	fixed [binary.MaxVarintLen64]byte
+}
+
+// NewRunWriter creates a spill file in the OS temp directory. The file is
+// unlinked by SpillRun.Close, never reused across processes.
+func NewRunWriter(tag string) (*RunWriter, error) {
+	f, err := os.CreateTemp("", "jsonpark-spill-"+tag+"-*.run")
+	if err != nil {
+		return nil, fmt.Errorf("storage: create spill run: %w", err)
+	}
+	return &RunWriter{f: f, buf: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// WriteRecord appends one record and returns its byte offset in the run,
+// usable later with SpillRun.ReadRecordAt.
+func (w *RunWriter) WriteRecord(rec []byte) (int64, error) {
+	off := w.off
+	n := binary.PutUvarint(w.fixed[:], uint64(len(rec)))
+	if _, err := w.buf.Write(w.fixed[:n]); err != nil {
+		return 0, err
+	}
+	if _, err := w.buf.Write(rec); err != nil {
+		return 0, err
+	}
+	w.off += int64(n) + int64(len(rec))
+	w.n++
+	return off, nil
+}
+
+// Finish flushes buffered data and seals the run for reading. The writer
+// must not be used afterwards.
+func (w *RunWriter) Finish() (*SpillRun, error) {
+	if err := w.buf.Flush(); err != nil {
+		w.Abort()
+		return nil, err
+	}
+	return &SpillRun{f: w.f, size: w.off, records: w.n}, nil
+}
+
+// Abort discards a half-written run, closing and removing the file.
+func (w *RunWriter) Abort() {
+	if w.f == nil {
+		return
+	}
+	name := w.f.Name()
+	_ = w.f.Close() // teardown: the file is removed regardless
+	os.Remove(name)
+	w.f = nil
+}
+
+// SpillRun is a sealed, readable spill file.
+type SpillRun struct {
+	f       *os.File
+	size    int64
+	records int64
+}
+
+// Bytes returns the on-disk size of the run.
+func (r *SpillRun) Bytes() int64 { return r.size }
+
+// Records returns the number of records written.
+func (r *SpillRun) Records() int64 { return r.records }
+
+// Close closes and removes the backing file. Safe to call more than once.
+func (r *SpillRun) Close() {
+	if r == nil || r.f == nil {
+		return
+	}
+	name := r.f.Name()
+	_ = r.f.Close() // teardown: the file is removed regardless
+	os.Remove(name)
+	r.f = nil
+}
+
+// ReadRecordAt fetches the single record starting at off (as returned by
+// WriteRecord). Safe for concurrent use.
+func (r *SpillRun) ReadRecordAt(off int64) ([]byte, error) {
+	sr := io.NewSectionReader(r.f, off, r.size-off)
+	br := bufio.NewReaderSize(sr, 4096)
+	return readRecord(br)
+}
+
+// NewReader returns an independent sequential cursor over the run's records.
+// Multiple readers may scan one run concurrently.
+func (r *SpillRun) NewReader() *RunReader {
+	sr := io.NewSectionReader(r.f, 0, r.size)
+	return &RunReader{br: bufio.NewReaderSize(sr, 1<<16), remaining: r.records}
+}
+
+// RunReader iterates a run's records in write order.
+type RunReader struct {
+	br        *bufio.Reader
+	remaining int64
+}
+
+// Next returns the next record, or (nil, nil) at end of run. The returned
+// slice is freshly allocated and owned by the caller.
+func (rr *RunReader) Next() ([]byte, error) {
+	if rr.remaining <= 0 {
+		return nil, nil
+	}
+	rec, err := readRecord(rr.br)
+	if err != nil {
+		return nil, err
+	}
+	rr.remaining--
+	return rec, nil
+}
+
+func readRecord(br *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("storage: spill record length: %w", err)
+	}
+	if n > maxSpillRecordBytes {
+		return nil, fmt.Errorf("storage: spill record of %d bytes exceeds limit", n)
+	}
+	rec := make([]byte, n)
+	if _, err := io.ReadFull(br, rec); err != nil {
+		return nil, fmt.Errorf("storage: spill record body: %w", err)
+	}
+	return rec, nil
+}

@@ -1,0 +1,118 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+)
+
+func TestSpillRunRoundTrip(t *testing.T) {
+	w, err := NewRunWriter("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs []int64
+	var recs [][]byte
+	for i := 0; i < 100; i++ {
+		rec := []byte(fmt.Sprintf("record-%03d-%s", i, string(make([]byte, i))))
+		off, err := w.WriteRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs = append(offs, off)
+		recs = append(recs, rec)
+	}
+	run, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Close()
+	if run.Records() != 100 {
+		t.Fatalf("records = %d", run.Records())
+	}
+	if run.Bytes() <= 0 {
+		t.Fatalf("bytes = %d", run.Bytes())
+	}
+
+	// Sequential scan.
+	rr := run.NewReader()
+	for i := range recs {
+		got, err := rr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(recs[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if got, err := rr.Next(); err != nil || got != nil {
+		t.Fatalf("expected clean EOF, got %v %v", got, err)
+	}
+
+	// Random access and concurrent independent readers.
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(offs); i += 4 {
+				got, err := run.ReadRecordAt(offs[i])
+				if err != nil {
+					t.Errorf("ReadRecordAt(%d): %v", offs[i], err)
+					return
+				}
+				if string(got) != string(recs[i]) {
+					t.Errorf("record %d mismatch via offset", i)
+					return
+				}
+			}
+			r := run.NewReader()
+			for i := 0; i < 10; i++ {
+				if _, err := r.Next(); err != nil {
+					t.Errorf("concurrent reader: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestSpillRunCloseRemovesFile(t *testing.T) {
+	w, err := NewRunWriter("rm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.WriteRecord([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	name := w.f.Name()
+	run, err := w.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(name); err != nil {
+		t.Fatalf("spill file missing before close: %v", err)
+	}
+	run.Close()
+	run.Close() // idempotent
+	if _, err := os.Stat(name); !os.IsNotExist(err) {
+		t.Fatalf("spill file not removed: %v", err)
+	}
+}
+
+func TestSpillRunAbort(t *testing.T) {
+	w, err := NewRunWriter("abort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := w.f.Name()
+	if _, err := w.WriteRecord([]byte("partial")); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	if _, err := os.Stat(name); !os.IsNotExist(err) {
+		t.Fatalf("aborted spill file not removed: %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package testutil holds small test-only helpers shared across packages.
+package testutil
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// leakGrace bounds how long CheckLeaks waits for goroutines that are
+// legitimately still winding down (worker pools joining after Close).
+const leakGrace = 2 * time.Second
+
+// TB is the subset of testing.TB CheckLeaks needs, so the package has no
+// testing import in its API (usable from TestMain too).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Cleanup(func())
+}
+
+// CheckLeaks snapshots the live goroutines and registers a cleanup that
+// fails the test if goroutines created during the test are still running
+// when it ends. Call it first in the test body:
+//
+//	func TestSomethingStress(t *testing.T) {
+//	    testutil.CheckLeaks(t)
+//	    ...
+//	}
+//
+// Goroutines present before the test (other tests' leftovers, the run
+// harness) are excluded by stack identity; freshly created ones get
+// leakGrace to exit before the failure is reported. The check is built on
+// runtime.Stack only, so it needs no dependencies and runs under -race.
+func CheckLeaks(t TB) {
+	t.Helper()
+	before := goroutineStacks()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(leakGrace)
+		var leaked []string
+		for {
+			leaked = leakedSince(before)
+			if len(leaked) == 0 {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d goroutine(s) survived the test:\n%s",
+			len(leaked), strings.Join(leaked, "\n---\n"))
+	})
+}
+
+// leakedSince returns the interesting goroutine stacks running now that
+// were not in the "before" snapshot.
+func leakedSince(before map[string]int) []string {
+	now := goroutineStacks()
+	var leaked []string
+	for stack, n := range now {
+		if ignoredStack(stack) {
+			continue
+		}
+		if extra := n - before[stack]; extra > 0 {
+			leaked = append(leaked, fmt.Sprintf("%d x %s", extra, stack))
+		}
+	}
+	sort.Strings(leaked)
+	return leaked
+}
+
+// goroutineStacks returns every live goroutine's stack keyed by its text
+// with the goroutine ID and argument addresses normalized out, counting
+// duplicates — N identical workers collapse into one key with count N.
+func goroutineStacks() map[string]int {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	stacks := make(map[string]int)
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if g == "" {
+			continue
+		}
+		stacks[normalizeStack(g)]++
+	}
+	return stacks
+}
+
+// normalizeStack strips the parts of a goroutine dump that vary between
+// otherwise-identical goroutines: the header's goroutine ID, argument
+// hex values, and +0x offsets.
+func normalizeStack(g string) string {
+	lines := strings.Split(g, "\n")
+	for i, ln := range lines {
+		if i == 0 {
+			// "goroutine 42 [chan receive]:" → "goroutine [chan receive]:"
+			if rest, ok := strings.CutPrefix(ln, "goroutine "); ok {
+				if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+					lines[i] = "goroutine " + rest[sp+1:]
+				}
+			}
+			continue
+		}
+		if j := strings.LastIndex(ln, " +0x"); j >= 0 {
+			ln = ln[:j]
+		}
+		if j := strings.IndexByte(ln, '('); j >= 0 && strings.HasSuffix(ln, ")") && strings.Contains(ln[j:], "0x") {
+			ln = ln[:j] + "(...)"
+		}
+		lines[i] = ln
+	}
+	return strings.Join(lines, "\n")
+}
+
+// ignoredStack reports stacks that are expected to appear and disappear
+// outside the test's control: the runtime's own helpers and the testing
+// harness machinery.
+func ignoredStack(stack string) bool {
+	for _, frame := range []string{
+		"testing.(*T).Run",
+		"testing.tRunner",
+		"testing.runTests",
+		"testing.(*M).",
+		"runtime.goexit",
+		"runtime.gc",
+		"runtime.bgsweep",
+		"runtime.bgscavenge",
+		"runtime.forcegchelper",
+		"runtime.ReadTrace",
+		"signal.signal_recv",
+		"runtime/trace",
+		"testutil.goroutineStacks",
+	} {
+		if strings.Contains(stack, frame) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,76 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeTB captures CheckLeaks failures instead of failing the real test.
+type fakeTB struct {
+	cleanups []func()
+	failures []string
+}
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.failures = append(f.failures, format)
+}
+func (f *fakeTB) Cleanup(fn func()) { f.cleanups = append(f.cleanups, fn) }
+
+func (f *fakeTB) runCleanups() {
+	for i := len(f.cleanups) - 1; i >= 0; i-- {
+		f.cleanups[i]()
+	}
+}
+
+func TestCheckLeaksPassesWhenGoroutinesExit(t *testing.T) {
+	ft := &fakeTB{}
+	CheckLeaks(ft)
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	ft.runCleanups()
+	if len(ft.failures) != 0 {
+		t.Fatalf("unexpected failures: %v", ft.failures)
+	}
+}
+
+func TestCheckLeaksFlagsSurvivingGoroutine(t *testing.T) {
+	ft := &fakeTB{}
+	CheckLeaks(ft)
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-stop
+	}()
+	<-started
+	ft.runCleanups() // waits leakGrace, then reports
+	close(stop)
+	if len(ft.failures) == 0 {
+		t.Fatal("expected a leak report for the blocked goroutine")
+	}
+	if !strings.Contains(ft.failures[0], "goroutine leak") {
+		t.Fatalf("unexpected failure text: %q", ft.failures[0])
+	}
+}
+
+func TestCheckLeaksWaitsOutSlowExits(t *testing.T) {
+	ft := &fakeTB{}
+	CheckLeaks(ft)
+	go func() { time.Sleep(150 * time.Millisecond) }()
+	ft.runCleanups()
+	if len(ft.failures) != 0 {
+		t.Fatalf("goroutine exiting within the grace period was flagged: %v", ft.failures)
+	}
+}
+
+func TestNormalizeStackCollapsesIdentity(t *testing.T) {
+	a := "goroutine 7 [chan receive]:\nmain.worker(0xc000010a, 0x2)\n\tmain.go:10 +0x45"
+	b := "goroutine 99 [chan receive]:\nmain.worker(0xc0aa0000, 0x7)\n\tmain.go:10 +0x1b"
+	if normalizeStack(a) != normalizeStack(b) {
+		t.Fatalf("stacks differing only in IDs/args should normalize equal:\n%s\n%s",
+			normalizeStack(a), normalizeStack(b))
+	}
+}

@@ -1,0 +1,116 @@
+package variant
+
+import (
+	"math"
+	"testing"
+)
+
+func roundTrip(t *testing.T, v Value) Value {
+	t.Helper()
+	enc := v.AppendBinary(nil)
+	out, rest, err := DecodeBinary(enc)
+	if err != nil {
+		t.Fatalf("decode %s: %v", v.JSON(), err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("decode %s: %d trailing bytes", v.JSON(), len(rest))
+	}
+	return out
+}
+
+func TestBinaryRoundTripExact(t *testing.T) {
+	obj := NewObject().Set("z", Int(1)).Set("a", String("x")) // insertion order z, a
+	cases := []Value{
+		Null,
+		Bool(true),
+		Bool(false),
+		Int(0),
+		Int(42),
+		Int(-7),
+		Int(math.MaxInt64),
+		Int(math.MinInt64),
+		Float(0),
+		Float(math.Copysign(0, -1)),
+		Float(1.5),
+		Float(math.Inf(1)),
+		Float(math.Inf(-1)),
+		Float(math.NaN()),
+		String(""),
+		String("héllo\x00world"),
+		Array(),
+		Array(Int(1), Float(1), String("1"), Null),
+		ObjectValue(obj),
+		Array(ObjectValue(obj), Array(Bool(false))),
+	}
+	for _, v := range cases {
+		got := roundTrip(t, v)
+		if !BinaryEqual(v, got) {
+			t.Errorf("round trip changed %s (kind %v) into %s (kind %v)",
+				v.JSON(), v.Kind(), got.JSON(), got.Kind())
+		}
+	}
+}
+
+// The codec must distinguish what grouping deliberately conflates.
+func TestBinaryDistinguishesGroupKeyClasses(t *testing.T) {
+	pairs := [][2]Value{
+		{Int(1), Float(1)},
+		{Float(0), Float(math.Copysign(0, -1))},
+	}
+	for _, p := range pairs {
+		a := p[0].AppendBinary(nil)
+		b := p[1].AppendBinary(nil)
+		if string(a) == string(b) {
+			t.Errorf("%s and %s must not share a binary encoding", p[0].JSON(), p[1].JSON())
+		}
+	}
+}
+
+func TestBinaryObjectKeepsInsertionOrder(t *testing.T) {
+	o := NewObject().Set("b", Int(2)).Set("a", Int(1))
+	got := roundTrip(t, ObjectValue(o))
+	keys := got.AsObject().Keys()
+	if len(keys) != 2 || keys[0] != "b" || keys[1] != "a" {
+		t.Fatalf("insertion order lost: %v", keys)
+	}
+}
+
+func TestBinaryConcatenationSelfDelimits(t *testing.T) {
+	vals := []Value{Int(5), String("ab"), Array(Int(1)), Null, Float(2.25)}
+	var enc []byte
+	for _, v := range vals {
+		enc = v.AppendBinary(enc)
+	}
+	rest := enc
+	for i, want := range vals {
+		var got Value
+		var err error
+		got, rest, err = DecodeBinary(rest)
+		if err != nil {
+			t.Fatalf("value %d: %v", i, err)
+		}
+		if !BinaryEqual(want, got) {
+			t.Fatalf("value %d: want %s got %s", i, want.JSON(), got.JSON())
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+}
+
+func TestDecodeBinaryRejectsTruncated(t *testing.T) {
+	// Every strict prefix of the array encoding is missing declared content,
+	// so decoding must error rather than fabricate values.
+	full := Array(Int(1), String("hello"), Float(3.5)).AppendBinary(nil)
+	for cut := 1; cut < len(full); cut++ {
+		if _, _, err := DecodeBinary(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d did not error", cut)
+		}
+	}
+	if _, _, err := DecodeBinary([]byte{0xff}); err == nil {
+		t.Fatal("unknown tag must error")
+	}
+	if _, _, err := DecodeBinary(nil); err == nil {
+		t.Fatal("empty input must error")
+	}
+}

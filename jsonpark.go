@@ -25,7 +25,11 @@
 package jsonpark
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"jsonpark/internal/core"
 	"jsonpark/internal/engine"
@@ -78,6 +82,7 @@ type openConfig struct {
 	batchSize   int
 	parallelism int
 	mergeParts  int
+	memLimit    int64
 	planCheck   bool
 }
 
@@ -103,12 +108,62 @@ func WithMergePartitions(n int) OpenOption {
 	return func(c *openConfig) { c.mergeParts = n }
 }
 
+// WithMemLimit caps the bytes of retained state the pipeline breakers
+// (hash aggregation, join build, sort) may hold per query. Crossing the
+// limit never fails the query: the charging operator spills to temp-file
+// runs and the output stays byte-identical to the unlimited run. Values
+// <= 0 (the default) disable accounting.
+func WithMemLimit(bytes int64) OpenOption {
+	return func(c *openConfig) { c.memLimit = bytes }
+}
+
 // WithPlanCheck enables the engine's planck debug pass: every prepared
 // plan is cross-checked (unordered-exchange eligibility, selection-vector
 // contracts) and every operator validates the batches it emits. Intended
 // for tests and debugging.
 func WithPlanCheck(on bool) OpenOption {
 	return func(c *openConfig) { c.planCheck = on }
+}
+
+// ParseByteSize parses a human byte-size string — "67108864", "64KiB",
+// "512MiB", "1GiB", "2kb", "10m" — into bytes. Suffixes are binary
+// (KiB/K/k = 1024) and case-insensitive; the "iB"/"b" tail is optional.
+func ParseByteSize(s string) (int64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, fmt.Errorf("jsonpark: empty byte size")
+	}
+	i := len(t)
+	for i > 0 {
+		c := t[i-1]
+		if c >= '0' && c <= '9' || c == '.' {
+			break
+		}
+		i--
+	}
+	num, suffix := t[:i], strings.ToLower(strings.TrimSpace(t[i:]))
+	mult := int64(1)
+	switch strings.TrimSuffix(strings.TrimSuffix(suffix, "ib"), "b") {
+	case "":
+		if suffix == "ib" { // bare "ib" is not a unit
+			return 0, fmt.Errorf("jsonpark: bad byte size %q", s)
+		}
+	case "k":
+		mult = 1 << 10
+	case "m":
+		mult = 1 << 20
+	case "g":
+		mult = 1 << 30
+	case "t":
+		mult = 1 << 40
+	default:
+		return 0, fmt.Errorf("jsonpark: bad byte size %q", s)
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("jsonpark: bad byte size %q", s)
+	}
+	return int64(f * float64(mult)), nil
 }
 
 // Open creates an empty in-memory warehouse.
@@ -121,6 +176,7 @@ func Open(opts ...OpenOption) *Warehouse {
 		engine.WithBatchSize(c.batchSize),
 		engine.WithParallelism(c.parallelism),
 		engine.WithMergePartitions(c.mergeParts),
+		engine.WithMemLimit(c.memLimit),
 		engine.WithPlanCheck(c.planCheck),
 	)
 	return &Warehouse{
@@ -167,6 +223,7 @@ type QueryOption func(*queryConfig)
 type queryConfig struct {
 	opts    core.Options
 	analyze bool
+	ctx     context.Context
 }
 
 // WithStrategy selects the nested-query elimination strategy.
@@ -180,6 +237,15 @@ func WithStrategy(s Strategy) QueryOption {
 // off by default.
 func WithAnalyze() QueryOption {
 	return func(c *queryConfig) { c.analyze = true }
+}
+
+// WithContext executes the query under ctx: a cancel or deadline aborts
+// execution promptly — every operator and parallel worker polls it — and
+// the returned error satisfies errors.Is(err, context.Canceled) or
+// context.DeadlineExceeded. Cancelled queries count under the
+// jsonpark_queries_cancelled_total metric rather than as errors.
+func WithContext(ctx context.Context) QueryOption {
+	return func(c *queryConfig) { c.ctx = ctx }
 }
 
 // Translate compiles a JSONiq query to its single native SQL string without
@@ -247,13 +313,19 @@ func (w *Warehouse) QueryTraced(jsoniqSrc string, opts ...QueryOption) (*QueryRe
 	finish := func(res *Result, err error) *obsv.TraceData {
 		tr.SetError(err)
 		td := tr.Finish()
-		ob := obsv.QueryObservation{Trace: td, Errored: err != nil}
+		ob := obsv.QueryObservation{
+			Trace:   td,
+			Errored: err != nil,
+			Cancelled: err != nil &&
+				(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)),
+		}
 		if res != nil {
 			ob.BytesScanned = res.Metrics.BytesScanned
 			ob.RowsReturned = res.Metrics.RowsReturned
 			ob.PartitionsTotal = int64(res.Metrics.PartitionsTotal)
 			ob.PartitionsPruned = int64(res.Metrics.PartitionsPruned)
 			ob.ParallelBreakers = int64(res.Metrics.ParallelBreakers)
+			ob.SpillBytes = res.Metrics.SpillBytes
 		}
 		w.obs.ObserveQuery(ob)
 		return td
@@ -266,7 +338,11 @@ func (w *Warehouse) QueryTraced(jsoniqSrc string, opts ...QueryOption) (*QueryRe
 	}
 	tr.SetAttr("sql", tres.SQL)
 	tr.SetAttr("strategy", tres.Strategy.String())
-	result, plan, err := tres.DataFrame.CollectTraced(tr.Root, c.analyze)
+	qctx := c.ctx
+	if qctx == nil {
+		qctx = context.Background()
+	}
+	result, plan, err := tres.DataFrame.CollectTracedCtx(qctx, tr.Root, c.analyze)
 	if err != nil {
 		finish(nil, err)
 		return nil, err
@@ -303,6 +379,11 @@ func (w *Warehouse) QueryItems(jsoniqSrc string, opts ...QueryOption) ([]Value, 
 
 // SQL executes a raw SQL query against the engine directly.
 func (w *Warehouse) SQL(sql string) (*Result, error) { return w.eng.Query(sql) }
+
+// SQLCtx is SQL under a cancellation context.
+func (w *Warehouse) SQLCtx(ctx context.Context, sql string) (*Result, error) {
+	return w.eng.QueryCtx(ctx, sql)
+}
 
 // ExplainSQL renders the optimized plan of a SQL query.
 func (w *Warehouse) ExplainSQL(sql string) (string, error) { return w.eng.Explain(sql) }
