@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race stress fuzz-smoke check bench bench-smoke clean
+.PHONY: all build test vet lint race stress fuzz-smoke obs-smoke check bench bench-smoke clean
 
 all: check
 
@@ -37,6 +37,13 @@ stress:
 # themselves already run as unit tests under `make test`.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzPlanDiff' -fuzztime 30s ./internal/engine/
+
+# obs-smoke boots a real jsqd with slow-query capture and a qlog sink, runs
+# one query over HTTP, and asserts the observability contract end to end:
+# one parseable query-log JSON record, a populated /debug/slow, and a live
+# /metrics exposition.
+obs-smoke:
+	$(GO) run ./scripts/obssmoke
 
 check: build vet lint test race
 

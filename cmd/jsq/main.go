@@ -27,6 +27,8 @@ import (
 	"time"
 
 	"jsonpark"
+
+	"jsonpark/internal/obsv/qlog"
 )
 
 func main() {
@@ -47,6 +49,9 @@ func main() {
 	memLimit := flag.String("mem-limit", "", "pipeline-breaker memory budget per query, e.g. 64KiB or 512MiB (empty = unlimited; overflow spills to disk)")
 	timeout := flag.Duration("timeout", 0, "per-query execution time limit, e.g. 30s (0 = none)")
 	planCheck := flag.Bool("plancheck", false, "enable the planck debug pass (plan cross-checks + per-batch validation)")
+	qlogPath := flag.String("qlog", "", "append a structured query-log JSON line per query to FILE (- = stderr)")
+	slowMS := flag.Int64("slow-query-ms", -1, "retain span tree + plan snapshot for queries slower than this many ms (0 = every query, negative = off)")
+	traceOut := flag.String("trace-out", "", "append every finished trace as a JSON line to FILE")
 	flag.Parse()
 
 	var memBytes int64
@@ -58,13 +63,35 @@ func main() {
 		}
 	}
 
-	w := jsonpark.Open(
+	openOpts := []jsonpark.OpenOption{
 		jsonpark.WithBatchSize(*batchSize),
 		jsonpark.WithParallelism(*parallelism),
 		jsonpark.WithMergePartitions(*mergePartitions),
 		jsonpark.WithMemLimit(memBytes),
 		jsonpark.WithPlanCheck(*planCheck),
-	)
+		jsonpark.WithSlowQueryMillis(*slowMS),
+	}
+	if *traceOut != "" {
+		f, err := appendFile(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() { _ = f.Close() }()
+		openOpts = append(openOpts, jsonpark.WithTraceExport(f))
+	}
+	var qlogger *qlog.Logger
+	if *qlogPath == "-" {
+		qlogger = qlog.New(os.Stderr)
+	} else if *qlogPath != "" {
+		f, err := appendFile(*qlogPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() { _ = f.Close() }()
+		qlogger = qlog.New(f)
+	}
+
+	w := jsonpark.Open(openOpts...)
 	switch {
 	case *demo:
 		loadDemo(w)
@@ -88,7 +115,7 @@ func main() {
 	}
 
 	if *repl {
-		runREPL(w, strat, *timeout)
+		runREPL(w, qlogger, strat, *timeout)
 		return
 	}
 
@@ -146,6 +173,7 @@ func main() {
 	}
 	if *explainAnalyze {
 		rep, err := w.QueryTraced(query, jsonpark.WithStrategy(strat), jsonpark.WithAnalyze(), jsonpark.WithContext(ctx))
+		qlogger.LogQuery(rep.QueryLogRecord(logStatus(err), err))
 		if err != nil {
 			fatal(describeCancel(err, *timeout))
 		}
@@ -157,10 +185,12 @@ func main() {
 		fmt.Print(rep.Trace.Root.Render())
 		return
 	}
-	res, err := w.Query(query, jsonpark.WithStrategy(strat), jsonpark.WithContext(ctx))
+	rep, err := w.QueryTraced(query, jsonpark.WithStrategy(strat), jsonpark.WithContext(ctx))
+	qlogger.LogQuery(rep.QueryLogRecord(logStatus(err), err))
 	if err != nil {
 		fatal(describeCancel(err, *timeout))
 	}
+	res := rep.Result
 	for _, row := range res.Rows {
 		fmt.Println(row[0].JSON())
 	}
@@ -189,7 +219,7 @@ func describeCancel(err error, timeout time.Duration) error {
 // ";"; special commands: ".sql" toggles SQL echo, ".quit" exits. Ctrl-C
 // during execution aborts the running query, not the REPL: the signal
 // context lives only for the duration of one w.Query call.
-func runREPL(w *jsonpark.Warehouse, strat jsonpark.Strategy, timeout time.Duration) {
+func runREPL(w *jsonpark.Warehouse, qlogger *qlog.Logger, strat jsonpark.Strategy, timeout time.Duration) {
 	fmt.Println("jsonpark REPL — end queries with a ';' line, .sql toggles SQL echo, .quit exits (Ctrl-C aborts a running query)")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<24)
@@ -219,7 +249,7 @@ func runREPL(w *jsonpark.Warehouse, strat jsonpark.Strategy, timeout time.Durati
 					fmt.Println("--", sql)
 				}
 			}
-			res, err := replQuery(w, query, strat, timeout)
+			res, err := replQuery(w, qlogger, query, strat, timeout)
 			if err != nil {
 				fmt.Println("error:", describeCancel(err, timeout))
 				prompt()
@@ -245,7 +275,7 @@ func runREPL(w *jsonpark.Warehouse, strat jsonpark.Strategy, timeout time.Durati
 
 // replQuery executes one REPL query under a per-query signal context, so an
 // interrupt cancels the query and control returns to the prompt.
-func replQuery(w *jsonpark.Warehouse, query string, strat jsonpark.Strategy, timeout time.Duration) (*jsonpark.Result, error) {
+func replQuery(w *jsonpark.Warehouse, qlogger *qlog.Logger, query string, strat jsonpark.Strategy, timeout time.Duration) (*jsonpark.Result, error) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	if timeout > 0 {
@@ -253,7 +283,30 @@ func replQuery(w *jsonpark.Warehouse, query string, strat jsonpark.Strategy, tim
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	return w.Query(query, jsonpark.WithStrategy(strat), jsonpark.WithContext(ctx))
+	rep, err := w.QueryTraced(query, jsonpark.WithStrategy(strat), jsonpark.WithContext(ctx))
+	qlogger.LogQuery(rep.QueryLogRecord(logStatus(err), err))
+	if err != nil {
+		return nil, err
+	}
+	return rep.Result, nil
+}
+
+// logStatus maps an execution error to the query-log status vocabulary.
+func logStatus(err error) string {
+	switch {
+	case err == nil:
+		return qlog.StatusOK
+	case errors.Is(err, context.DeadlineExceeded):
+		return qlog.StatusTimeout
+	case errors.Is(err, context.Canceled):
+		return qlog.StatusCancelled
+	}
+	return qlog.StatusError
+}
+
+// appendFile opens (creating if needed) a log sink for append-only writes.
+func appendFile(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 }
 
 // loadJSONL stages a JSON-lines file. Without -columns, a first pass

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	jsqd [-addr :8080] [-data events.jsonl -collection adl]
+//	     [-qlog query.log] [-slow-query-ms 250] [-trace-out traces.jsonl]
 //
 // Then:
 //
@@ -27,6 +28,7 @@ import (
 
 	"jsonpark"
 
+	"jsonpark/internal/obsv/qlog"
 	"jsonpark/internal/server"
 )
 
@@ -39,6 +41,9 @@ func main() {
 	collection := flag.String("collection", "data", "collection name for -data")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-request query execution limit; exceeding it returns a structured 504 (0 = none)")
 	memLimit := flag.String("mem-limit", "", "pipeline-breaker memory budget per query, e.g. 512MiB (empty = unlimited; overflow spills to disk)")
+	qlogPath := flag.String("qlog", "", "append the structured query log (one JSON line per query) to FILE instead of stderr")
+	slowMS := flag.Int64("slow-query-ms", -1, "capture queries slower than this many ms in /debug/slow, logged at warn (0 = every query, negative = off)")
+	traceOut := flag.String("trace-out", "", "append every finished trace as a JSON line to FILE")
 	flag.Parse()
 
 	var memBytes int64
@@ -50,14 +55,35 @@ func main() {
 		}
 	}
 
-	w := jsonpark.Open(jsonpark.WithMemLimit(memBytes))
+	opts := []jsonpark.OpenOption{
+		jsonpark.WithMemLimit(memBytes),
+		jsonpark.WithSlowQueryMillis(*slowMS),
+	}
+	if *traceOut != "" {
+		f, err := appendFile(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() { _ = f.Close() }()
+		opts = append(opts, jsonpark.WithTraceExport(f))
+	}
+	w := jsonpark.Open(opts...)
 	if *data != "" {
 		if err := preload(w, *collection, *data); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: server.New(w, server.WithQueryTimeout(*queryTimeout))}
+	sopts := []server.Option{server.WithQueryTimeout(*queryTimeout)}
+	if *qlogPath != "" {
+		f, err := appendFile(*qlogPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() { _ = f.Close() }()
+		sopts = append(sopts, server.WithQueryLog(qlog.New(f)))
+	}
+	srv := &http.Server{Addr: *addr, Handler: server.New(w, sopts...)}
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("jsqd listening on %s", *addr)
@@ -79,6 +105,11 @@ func main() {
 		log.Printf("jsqd shutdown: %v", err)
 	}
 	logFinalMetrics(w)
+}
+
+// appendFile opens (creating if needed) a log sink for append-only writes.
+func appendFile(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 }
 
 // logFinalMetrics writes the lifetime metrics snapshot so a scrape gap at

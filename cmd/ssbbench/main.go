@@ -31,6 +31,7 @@ func main() {
 	batchSize := flag.Int("batch-size", 0, "rows per vector batch (0 = engine default, 1024)")
 	parallelism := flag.Int("parallelism", 0, "workers for parallel scans, aggregation, join build and sort (0 = NumCPU, 1 = sequential)")
 	memLimit := flag.String("mem-limit", "", "pipeline-breaker memory budget per query, e.g. 64KiB or 512MiB (empty = unlimited; overflow spills to disk)")
+	qlogPath := flag.String("qlog", "", "stream every data point as a structured JSON line to FILE as it is measured (- = stderr)")
 	flag.Parse()
 
 	var memBytes int64
@@ -43,8 +44,16 @@ func main() {
 	}
 
 	cfg := ssb.DefaultConfig(os.Stdout)
-	if *jsonOut != "" {
+	if *jsonOut != "" || *qlogPath != "" {
 		cfg.Recorder = bench.NewRecorder("ssbbench")
+	}
+	if *qlogPath != "" {
+		l, closer, err := bench.OpenLogSink(*qlogPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer closer()
+		cfg.Recorder.SetSink(l)
 	}
 	cfg.ScaleFactor = *sf
 	cfg.Seed = *seed

@@ -192,37 +192,49 @@ func ReportFig8(cfg ReportConfig) error {
 		if err != nil {
 			return err
 		}
-		gen, err := measureExec(sess.Engine(), res.SQL, cfg)
+		gen, genM, err := measureExec(sess.Engine(), res.SQL, cfg)
 		if err != nil {
 			return err
 		}
-		hand, err := measureExec(sess.Engine(), q.SQL, cfg)
+		hand, handM, err := measureExec(sess.Engine(), q.SQL, cfg)
 		if err != nil {
 			return err
 		}
-		cfg.Recorder.Add(bench.Record{Experiment: "fig8", Query: q.ID, System: "generated", MeanMicros: gen.Microseconds()})
-		cfg.Recorder.Add(bench.Record{Experiment: "fig8", Query: q.ID, System: "handwritten", MeanMicros: hand.Microseconds()})
+		cfg.Recorder.Add(memFields(bench.Record{Experiment: "fig8", Query: q.ID, System: "generated", MeanMicros: gen.Microseconds()}, genM))
+		cfg.Recorder.Add(memFields(bench.Record{Experiment: "fig8", Query: q.ID, System: "handwritten", MeanMicros: hand.Microseconds()}, handM))
 		t.AddRow(q.ID, bench.FormatDuration(gen), bench.FormatDuration(hand))
 	}
 	t.Render(cfg.Out)
 	return nil
 }
 
-func measureExec(eng *engine.Engine, sql string, cfg ReportConfig) (time.Duration, error) {
+func measureExec(eng *engine.Engine, sql string, cfg ReportConfig) (time.Duration, engine.Metrics, error) {
 	var execTotal time.Duration
+	var last engine.Metrics
 	m, err := bench.Measure(cfg.Warmups, cfg.Runs, func() error {
 		res, err := eng.Query(sql)
 		if err != nil {
 			return err
 		}
 		execTotal += res.Metrics.ExecTime
+		last = res.Metrics
 		return nil
 	})
 	if err != nil {
-		return 0, err
+		return 0, last, err
 	}
 	_ = m
-	return execTotal / time.Duration(cfg.Runs+cfg.Warmups), nil
+	return execTotal / time.Duration(cfg.Runs+cfg.Warmups), last, nil
+}
+
+// memFields copies a run's memory-governance metrics into the record so
+// the -json output carries peak/spill data alongside the timings.
+func memFields(rec bench.Record, m engine.Metrics) bench.Record {
+	rec.MemPeakBytes = m.MemPeakBytes
+	rec.MemLimitBytes = m.MemLimitBytes
+	rec.Spills = m.Spills
+	rec.SpillBytes = m.SpillBytes
+	return rec
 }
 
 // systemRunners builds the four evaluated systems for one dataset.
@@ -306,8 +318,8 @@ func ReportScanned(cfg ReportConfig) error {
 			return err
 		}
 		ratio := float64(gen.Metrics.BytesScanned) / float64(hand.Metrics.BytesScanned)
-		cfg.Recorder.Add(bench.Record{Experiment: "scanned", Query: q.ID, System: "generated", BytesScanned: gen.Metrics.BytesScanned})
-		cfg.Recorder.Add(bench.Record{Experiment: "scanned", Query: q.ID, System: "handwritten", BytesScanned: hand.Metrics.BytesScanned})
+		cfg.Recorder.Add(memFields(bench.Record{Experiment: "scanned", Query: q.ID, System: "generated", BytesScanned: gen.Metrics.BytesScanned}, gen.Metrics))
+		cfg.Recorder.Add(memFields(bench.Record{Experiment: "scanned", Query: q.ID, System: "handwritten", BytesScanned: hand.Metrics.BytesScanned}, hand.Metrics))
 		t.AddRow(q.ID, bench.FormatBytes(gen.Metrics.BytesScanned),
 			bench.FormatBytes(hand.Metrics.BytesScanned), fmt.Sprintf("%.2fx", ratio))
 	}
@@ -384,10 +396,12 @@ func ReportAblation(cfg ReportConfig) error {
 			continue // no nested queries
 		}
 		var keepBytes, joinBytes int64
+		var keepM, joinM engine.Metrics
 		mk, err := bench.Measure(cfg.Warmups, cfg.Runs, func() error {
 			_, res, err := RunTranslated(sess, q, &keep)
 			if res != nil {
 				keepBytes = res.Metrics.BytesScanned
+				keepM = res.Metrics
 			}
 			return err
 		})
@@ -398,6 +412,7 @@ func ReportAblation(cfg ReportConfig) error {
 			_, res, err := RunTranslated(sess, q, &join)
 			if res != nil {
 				joinBytes = res.Metrics.BytesScanned
+				joinM = res.Metrics
 			}
 			return err
 		})
@@ -416,8 +431,8 @@ func ReportAblation(cfg ReportConfig) error {
 			return err
 		}
 		pick := core.ChooseStrategy(core.StrategyAuto, jsoniq.Rewrite(expr))
-		cfg.Recorder.Add(bench.Record{Experiment: "ablation", Query: q.ID, System: "keep-flag", MeanMicros: mk.Mean.Microseconds(), Runs: mk.Runs, BytesScanned: keepBytes})
-		cfg.Recorder.Add(bench.Record{Experiment: "ablation", Query: q.ID, System: "join", MeanMicros: mj.Mean.Microseconds(), Runs: mj.Runs, BytesScanned: joinBytes})
+		cfg.Recorder.Add(memFields(bench.Record{Experiment: "ablation", Query: q.ID, System: "keep-flag", MeanMicros: mk.Mean.Microseconds(), Runs: mk.Runs, BytesScanned: keepBytes}, keepM))
+		cfg.Recorder.Add(memFields(bench.Record{Experiment: "ablation", Query: q.ID, System: "join", MeanMicros: mj.Mean.Microseconds(), Runs: mj.Runs, BytesScanned: joinBytes}, joinM))
 		cfg.Recorder.Add(bench.Record{Experiment: "ablation", Query: q.ID, System: "auto:" + pick.String(), MeanMicros: ma.Mean.Microseconds(), Runs: ma.Runs})
 		t.AddRow(q.ID, bench.FormatDuration(mk.Mean), bench.FormatDuration(mj.Mean),
 			bench.FormatDuration(ma.Mean), pick.String(),

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"os"
 	"time"
+
+	"jsonpark/internal/obsv/qlog"
 )
 
 // Record is one measured data point of a benchmark run, machine-readable so
@@ -17,6 +19,12 @@ type Record struct {
 	Runs         int     `json:"runs,omitempty"`
 	TimedOut     bool    `json:"timed_out,omitempty"`
 	BytesScanned int64   `json:"bytes_scanned,omitempty"`
+	// Memory governance of the measured run: peak accounted bytes, the
+	// configured budget, and how often / how much the breakers spilled.
+	MemPeakBytes  int64 `json:"mem_peak_bytes,omitempty"`
+	MemLimitBytes int64 `json:"mem_limit_bytes,omitempty"`
+	Spills        int64 `json:"spills,omitempty"`
+	SpillBytes    int64 `json:"spill_bytes,omitempty"`
 }
 
 // Recorder accumulates Records alongside the text report. A nil *Recorder is
@@ -24,10 +32,21 @@ type Record struct {
 type Recorder struct {
 	Label   string
 	records []Record
+	sink    *qlog.Logger
 }
 
 // NewRecorder creates an empty recorder labeled with the benchmark name.
 func NewRecorder(label string) *Recorder { return &Recorder{Label: label} }
+
+// SetSink attaches a structured logger: every Add is also emitted as one
+// "bench_point" JSON line the moment it is measured, so long runs can be
+// tailed live instead of waiting for WriteFile. Nil detaches.
+func (r *Recorder) SetSink(l *qlog.Logger) {
+	if r == nil {
+		return
+	}
+	r.sink = l
+}
 
 // Add appends one record; no-op on a nil receiver.
 func (r *Recorder) Add(rec Record) {
@@ -35,6 +54,21 @@ func (r *Recorder) Add(rec Record) {
 		return
 	}
 	r.records = append(r.records, rec)
+	r.sink.Log(qlog.LevelInfo, "bench_point",
+		qlog.F("label", r.Label),
+		qlog.F("experiment", rec.Experiment),
+		qlog.F("query", rec.Query),
+		qlog.F("system", rec.System),
+		qlog.F("scale", rec.Scale),
+		qlog.F("mean_us", rec.MeanMicros),
+		qlog.F("runs", rec.Runs),
+		qlog.F("timed_out", rec.TimedOut),
+		qlog.F("bytes_scanned", rec.BytesScanned),
+		qlog.F("mem_peak_bytes", rec.MemPeakBytes),
+		qlog.F("mem_limit_bytes", rec.MemLimitBytes),
+		qlog.F("spills", rec.Spills),
+		qlog.F("spill_bytes", rec.SpillBytes),
+	)
 }
 
 // AddMeasurement records a Measurement under an experiment/query/system key.
@@ -55,6 +89,19 @@ func (r *Recorder) Records() []Record {
 		return nil
 	}
 	return r.records
+}
+
+// OpenLogSink opens path as a structured-log sink ("-" = stderr). The
+// returned closer is a no-op for stderr.
+func OpenLogSink(path string) (*qlog.Logger, func(), error) {
+	if path == "-" {
+		return qlog.New(os.Stderr), func() {}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return qlog.New(f), func() { _ = f.Close() }, nil
 }
 
 // runFile is the serialized shape of one benchmark run.

@@ -22,6 +22,11 @@ type Engine struct {
 	mergeParts  int
 	memLimit    int64
 	planCheck   bool
+	// progress tracks every in-flight query for ProgressSnapshot.
+	progress progressTable
+	// batchHook, when set, runs after every root batch the executor drains.
+	// Tests use it to hold a query mid-flight deterministically.
+	batchHook func()
 }
 
 // Option configures an Engine.
@@ -108,6 +113,12 @@ func (e *Engine) Parallelism() int { return e.parallelism }
 // Catalog exposes the engine's table catalog for loading data.
 func (e *Engine) Catalog() *storage.Catalog { return e.catalog }
 
+// SetExecBatchHook installs a callback invoked after every root-level batch
+// a query drains. Intended for tests that need to observe a query
+// mid-flight (pause in the hook, read ProgressSnapshot, release); install
+// it before issuing queries — the hook is captured at Prepare time.
+func (e *Engine) SetExecBatchHook(fn func()) { e.batchHook = fn }
+
 // Metrics reports per-query costs, mirroring the measurements of §V:
 // compile time (parse + plan + optimize + operator preparation), execution
 // time, bytes scanned (per touched column chunk), and partition pruning.
@@ -141,6 +152,7 @@ type Result struct {
 
 // Prepared is a compiled query ready to execute once.
 type Prepared struct {
+	eng     *Engine
 	plan    Node
 	iter    batchIter
 	ctx     *execContext
@@ -150,11 +162,14 @@ type Prepared struct {
 
 // PrepareOptions customizes compilation: an optional parent span that
 // receives one child per compile stage (sql.parse, plan.build,
-// engine.optimize with one grandchild per rule, engine.prepare), and Analyze
-// to meter every operator (rows, wall time, scan bytes) during execution.
+// engine.optimize with one grandchild per rule, engine.prepare), Analyze
+// to meter every operator (rows, wall time, scan bytes) during execution,
+// and TraceID to label the query's live-progress entry so /debug/queries
+// can correlate in-flight progress with the finished trace.
 type PrepareOptions struct {
 	Span    *obsv.Span
 	Analyze bool
+	TraceID string
 }
 
 // Prepare compiles SQL text into an executable plan, reporting compile time.
@@ -199,6 +214,8 @@ func (e *Engine) PrepareOpts(sql string, po PrepareOptions) (*Prepared, error) {
 		parallelism: par,
 		mergeParts:  mergeParts,
 		acct:        newMemAccountant(e.memLimit),
+		prog:        newQueryProgress(plan, sql, po.TraceID),
+		batchHook:   e.batchHook,
 	}
 	if ctx.batchSize <= 0 {
 		ctx.batchSize = vector.DefaultBatchSize
@@ -225,7 +242,7 @@ func (e *Engine) PrepareOpts(sql string, po PrepareOptions) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Prepared{plan: plan, iter: iter, ctx: ctx, columns: plan.Schema().Names}
+	p := &Prepared{eng: e, plan: plan, iter: iter, ctx: ctx, columns: plan.Schema().Names}
 	p.metrics.CompileTime = time.Since(start)
 	return p, nil
 }
@@ -247,8 +264,12 @@ func (p *Prepared) RunCtx(ctx context.Context) (*Result, error) {
 	// Installed before the first NextBatch; workers inherit visibility through
 	// their spawning goroutine.
 	p.ctx.qctx = ctx
+	if p.eng != nil && p.ctx.prog != nil {
+		p.eng.progress.add(p.ctx.prog)
+		defer p.eng.progress.remove(p.ctx.prog)
+	}
 	start := time.Now()
-	rows, err := drainRows(p.iter)
+	rows, err := drainRowsHooked(p.iter, p.ctx.batchHook)
 	p.iter.Close()
 	if err != nil {
 		return nil, err

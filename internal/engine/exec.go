@@ -43,6 +43,13 @@ type execContext struct {
 	// acct is the query's shared memory accountant (mem.go); the pipeline
 	// breakers charge retained bytes against it and spill on overflow.
 	acct *memAccountant
+	// prog, when non-nil, carries the query's live per-operator counters
+	// (progress.go): prepare wraps each operator in a progIter and the
+	// memory-governed breakers mirror their charges into it.
+	prog *queryProgress
+	// batchHook, when non-nil, runs after every root batch RunCtx drains
+	// (test instrumentation for observing queries mid-flight).
+	batchHook func()
 }
 
 // queryCtx returns the query's cancellation context (never nil).
@@ -102,10 +109,13 @@ func prepare(n Node, ctx *execContext) (batchIter, error) {
 		op, _ := describeNode(n)
 		it = &checkIter{in: it, op: op}
 	}
-	if ctx.stats == nil {
-		return it, nil
+	if ctx.stats != nil {
+		it = &statIter{in: it, st: ctx.statsFor(n)}
 	}
-	return &statIter{in: it, st: ctx.statsFor(n)}, nil
+	if slot := ctx.progFor(n); slot != nil {
+		it = &progIter{in: it, p: slot}
+	}
+	return it, nil
 }
 
 // cancelIter propagates query cancellation through the operator tree. The
@@ -211,6 +221,12 @@ func prepareNode(n Node, ctx *execContext) (batchIter, error) {
 // drainRows pulls every batch from an iterator and materializes the active
 // rows.
 func drainRows(it batchIter) ([][]variant.Value, error) {
+	return drainRowsHooked(it, nil)
+}
+
+// drainRowsHooked is drainRows with an optional per-batch callback, run
+// after each non-nil batch is materialized (test instrumentation).
+func drainRowsHooked(it batchIter, hook func()) ([][]variant.Value, error) {
 	var out [][]variant.Value
 	for {
 		b, err := it.NextBatch()
@@ -221,6 +237,9 @@ func drainRows(it batchIter) ([][]variant.Value, error) {
 			return out, nil
 		}
 		out = b.AppendRows(out)
+		if hook != nil {
+			hook()
+		}
 	}
 }
 
@@ -581,7 +600,7 @@ func prepareAggregate(x *AggregateNode, ctx *execContext) (batchIter, error) {
 
 	run := func() ([][]variant.Value, error) {
 		defer in.Close()
-		mem := ctx.opMemFor(ctx.statsFor(x))
+		mem := ctx.opMemFor(x, ctx.statsFor(x))
 		ext := &extAgg{mem: mem, mergeable: mergeable, eval: eval}
 		defer ext.discard()
 		table := newAggTable(eval.aggs, 1)
@@ -718,7 +737,7 @@ func prepareJoin(x *JoinNode, ctx *execContext, buildWorkers int, statNode Node)
 		residual: residual, on: onFn,
 		leftWidth: leftWidth, rightWidth: rightWidth,
 		buildWorkers: buildWorkers, st: st,
-		ectx: ctx, mem: ctx.opMemFor(st),
+		ectx: ctx, mem: ctx.opMemFor(statNode, st),
 		bld: vector.NewBuilder(leftWidth+rightWidth, ctx.batchSize),
 	}, nil
 }
@@ -1114,7 +1133,7 @@ func prepareSort(x *SortNode, ctx *execContext, workers int, statNode Node) (bat
 	return &sortIter{
 		in: in, keys: keys, descs: descs,
 		width: len(x.Input.Schema().Names), bsize: ctx.batchSize,
-		workers: workers, st: st, ectx: ctx, mem: ctx.opMemFor(st),
+		workers: workers, st: st, ectx: ctx, mem: ctx.opMemFor(statNode, st),
 	}, nil
 }
 

@@ -88,11 +88,12 @@ func (a *memAccountant) snapshot() (int64, int64, int64) {
 type opMem struct {
 	ctx     *execContext
 	st      *OpStats
+	prog    *opProgress
 	charged int64
 }
 
-func (c *execContext) opMemFor(st *OpStats) *opMem {
-	return &opMem{ctx: c, st: st}
+func (c *execContext) opMemFor(n Node, st *OpStats) *opMem {
+	return &opMem{ctx: c, st: st, prog: c.progFor(n)}
 }
 
 // enabled reports whether this query runs under a memory limit.
@@ -103,6 +104,7 @@ func (m *opMem) enabled() bool { return m.ctx.acct.enabled() }
 func (m *opMem) charge(n int64) bool {
 	over := m.ctx.acct.charge(n)
 	m.charged += n
+	m.prog.addMem(n)
 	if m.st != nil {
 		m.ctx.mu.Lock()
 		if m.st.MemPeakBytes < m.charged {
@@ -118,6 +120,7 @@ func (m *opMem) charge(n int64) bool {
 // retained state moves to disk or the operator closes.
 func (m *opMem) releaseAll() {
 	m.ctx.acct.release(m.charged)
+	m.prog.addMem(-m.charged)
 	m.charged = 0
 }
 

@@ -317,8 +317,13 @@ func (p *paggIter) run() ([][]variant.Value, error) {
 	var opCharged, opPeak, opHeld int64
 	var opSpills, opSpillBytes int64
 	var spilledRows, spilledGroups int64
+	// prog mirrors the held-bytes gauge into the live-progress slot so
+	// /debug/queries shows the breaker's current memory while it runs.
+	prog := p.ctx.progFor(p.node)
 	defer func() {
-		acct.release(atomic.LoadInt64(&opHeld))
+		held := atomic.LoadInt64(&opHeld)
+		acct.release(held)
+		prog.addMem(-held)
 	}()
 	var claim int64
 	var stop int32
@@ -387,6 +392,7 @@ func (p *paggIter) run() ([][]variant.Value, error) {
 				workerRows[w] += table.rows
 				acct.release(*spanCharged)
 				atomic.AddInt64(&opHeld, -*spanCharged)
+				prog.addMem(-*spanCharged)
 				*spanCharged = 0
 				return newAggTable(eval.aggs, mergeParts), nil
 			}
@@ -441,6 +447,7 @@ func (p *paggIter) run() ([][]variant.Value, error) {
 						nb := activeRowsBytes(b)
 						spanCharged += nb
 						atomic.AddInt64(&opHeld, nb)
+						prog.addMem(nb)
 						cur := atomic.AddInt64(&opCharged, nb)
 						for {
 							pk := atomic.LoadInt64(&opPeak)

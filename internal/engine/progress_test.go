@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"jsonpark/internal/variant"
+)
+
+// A query paused mid-flight via the exec batch hook must be visible in
+// ProgressSnapshot with non-zero per-operator row counts, and must vanish
+// once it completes.
+func TestProgressSnapshotMidFlight(t *testing.T) {
+	e := New(WithBatchSize(1), WithParallelism(1))
+	seedProgressTable(t, e)
+
+	paused := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	e.SetExecBatchHook(func() {
+		once.Do(func() {
+			close(paused)
+			<-release
+		})
+	})
+
+	type outcome struct {
+		rows int
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := e.Query("SELECT o_id FROM progress_orders WHERE o_id > 0")
+		var n int
+		if res != nil {
+			n = len(res.Rows)
+		}
+		done <- outcome{rows: n, err: err}
+	}()
+
+	<-paused
+	snaps := e.ProgressSnapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("want 1 in-flight query, got %d", len(snaps))
+	}
+	qp := snaps[0]
+	if !strings.Contains(qp.SQL, "progress_orders") {
+		t.Errorf("snapshot SQL = %q, want the running statement", qp.SQL)
+	}
+	if len(qp.Operators) == 0 {
+		t.Fatal("snapshot has no operators")
+	}
+	var sawRows bool
+	for _, op := range qp.Operators {
+		if op.Rows > 0 && op.Batches > 0 {
+			sawRows = true
+		}
+	}
+	if !sawRows {
+		t.Errorf("no operator shows progress mid-flight: %+v", qp.Operators)
+	}
+
+	close(release)
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("query failed: %v", out.err)
+	}
+	if out.rows != 8 {
+		t.Fatalf("rows = %d, want 8", out.rows)
+	}
+	if after := e.ProgressSnapshot(); len(after) != 0 {
+		t.Errorf("finished query still listed: %+v", after)
+	}
+}
+
+// Successive snapshots of a running query must only grow.
+func TestProgressCountersMonotonic(t *testing.T) {
+	e := New(WithBatchSize(1), WithParallelism(1))
+	seedProgressTable(t, e)
+
+	step := make(chan struct{})
+	resume := make(chan struct{})
+	hits := 0
+	e.SetExecBatchHook(func() {
+		hits++
+		if hits <= 2 {
+			step <- struct{}{}
+			<-resume
+		}
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Query("SELECT o_id FROM progress_orders")
+		done <- err
+	}()
+
+	rowsAt := func() int64 {
+		snaps := e.ProgressSnapshot()
+		if len(snaps) != 1 {
+			t.Fatalf("want 1 in-flight query, got %d", len(snaps))
+		}
+		var total int64
+		for _, op := range snaps[0].Operators {
+			total += op.Rows
+		}
+		return total
+	}
+
+	<-step
+	first := rowsAt()
+	resume <- struct{}{}
+	<-step
+	second := rowsAt()
+	resume <- struct{}{}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if first <= 0 || second <= first {
+		t.Errorf("counters not monotonic: first=%d second=%d", first, second)
+	}
+}
+
+func seedProgressTable(t *testing.T, e *Engine) {
+	t.Helper()
+	tab, err := e.Catalog().CreateTable("progress_orders", []string{"o_id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		if err := tab.Append([]variant.Value{variant.Int(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

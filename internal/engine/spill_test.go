@@ -231,7 +231,7 @@ func TestJoinCloseIdempotent(t *testing.T) {
 			leftWidth:  2,
 			rightWidth: 2,
 			ectx:       ctx,
-			mem:        ctx.opMemFor(nil),
+			mem:        ctx.opMemFor(nil, nil),
 			bld:        vector.NewBuilder(4, 4),
 		}
 		return j, left, right

@@ -13,6 +13,7 @@ func TestSpanEnd(t *testing.T)     { linttest.Run(t, lint.SpanEnd, "spanend") }
 func TestSelBounds(t *testing.T)   { linttest.Run(t, lint.SelBounds, "selbounds") }
 func TestLockedBatch(t *testing.T) { linttest.Run(t, lint.LockedBatch, "lockedbatch") }
 func TestErrSink(t *testing.T)     { linttest.Run(t, lint.ErrSink, "errsink") }
+func TestLogKeys(t *testing.T)     { linttest.Run(t, lint.LogKeys, "logkeys") }
 
 func TestByName(t *testing.T) {
 	all, err := lint.ByName("")

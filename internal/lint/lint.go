@@ -73,6 +73,7 @@ func All() []*Analyzer {
 		SelBounds,
 		LockedBatch,
 		ErrSink,
+		LogKeys,
 	}
 }
 

@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LogKeys enforces that the structured query log stays greppable: every
+// field key passed to qlog.F and every event name passed to
+// (*qlog.Logger).Log must be a constant string. A key built with
+// fmt.Sprintf or carried in a variable can encode unbounded cardinality
+// ("user_1234"), which breaks downstream aggregation and makes the log
+// schema undiscoverable by reading the source. Values stay free-form —
+// only the key space is pinned. Constness is judged by the type checker,
+// so const idents and compile-time concatenations pass.
+var LogKeys = &Analyzer{
+	Name: "logkeys",
+	Doc:  "structured-log keys and event names must be constant strings",
+	Run:  runLogKeys,
+}
+
+// qlogFunc resolves a call to a function or method of the qlog package,
+// returning its name ("" when the callee is something else).
+func qlogFunc(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	path := fn.Pkg().Path()
+	if path != "obsv/qlog" && !strings.HasSuffix(path, "/obsv/qlog") {
+		return ""
+	}
+	return fn.Name()
+}
+
+// isConstString reports whether the type checker evaluated e to a
+// compile-time constant.
+func isConstString(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func runLogKeys(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch qlogFunc(pass.Info, call) {
+			case "F":
+				if len(call.Args) >= 1 && !isConstString(pass.Info, call.Args[0]) {
+					pass.Reportf(call.Args[0].Pos(),
+						"query-log key %s must be a constant string (dynamic keys make the log schema unbounded)",
+						exprString(call.Args[0]))
+				}
+			case "Log":
+				if len(call.Args) >= 2 && !isConstString(pass.Info, call.Args[1]) {
+					pass.Reportf(call.Args[1].Pos(),
+						"query-log event %s must be a constant string (dynamic events make the log schema unbounded)",
+						exprString(call.Args[1]))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+// Fixture for the logkeys analyzer: structured-log field keys and event
+// names must be compile-time constant strings. Dynamic keys turn the log
+// schema into an unbounded namespace that no dashboard can aggregate.
+package logkeys
+
+import (
+	"fmt"
+
+	"jsonpark/internal/obsv/qlog"
+)
+
+const rowsKey = "rows"
+
+// True positive: a Sprintf key encodes per-entity cardinality.
+func sprintfKey(l *qlog.Logger, user int) {
+	l.Log(qlog.LevelInfo, "query", qlog.F(fmt.Sprintf("user_%d", user), 1)) // want `query-log key fmt\.Sprintf\(\.\.\.\) must be a constant string`
+}
+
+// True positive: a variable key hides the schema from a source grep.
+func variableKey(l *qlog.Logger, key string) {
+	l.Log(qlog.LevelInfo, "query", qlog.F(key, "v")) // want `query-log key key must be a constant string`
+}
+
+// True positive: event names are the log's primary index and must be
+// enumerable by reading the source.
+func variableEvent(l *qlog.Logger, event string) {
+	l.Log(qlog.LevelWarn, event) // want `query-log event event must be a constant string`
+}
+
+// True positive: concatenating with a runtime value is as dynamic as
+// Sprintf.
+func concatKey(l *qlog.Logger, suffix string) {
+	l.Log(qlog.LevelInfo, "query", qlog.F("phase_"+suffix, 1)) // want `query-log key <expr> must be a constant string`
+}
+
+// Guarded false positive: a string literal is the canonical form.
+func literalKey(l *qlog.Logger) {
+	l.Log(qlog.LevelInfo, "query", qlog.F("rows", 42))
+}
+
+// Guarded false positive: a const ident is still compile-time constant.
+func constKey(l *qlog.Logger) {
+	l.Log(qlog.LevelInfo, "query", qlog.F(rowsKey, 42))
+}
+
+// Guarded false positive: concatenation of constants folds at compile
+// time, so grep still finds the full key.
+func constConcat(l *qlog.Logger) {
+	l.Log(qlog.LevelInfo, "query", qlog.F("mem_"+"peak", 1))
+}
+
+// Guarded false positive: an F function outside the qlog package is not a
+// structured-log constructor.
+func otherF(key string) {
+	F(key, 1)
+}
+
+func F(key string, v any) { _ = key; _ = v }
+
+// Guarded false positive: field values stay free-form; only keys are
+// pinned.
+func dynamicValue(l *qlog.Logger, sql string) {
+	l.Log(qlog.LevelInfo, "query", qlog.F("sql", sql))
+}

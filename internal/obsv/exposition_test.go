@@ -1,0 +1,198 @@
+package obsv
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// A sample landing exactly on a bucket's upper bound must count inside that
+// bucket (Prometheus `le` bounds are inclusive).
+func TestHistogramBoundaryValueIsInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("boundary_seconds", "boundary semantics", []float64{0.1, 0.5, 1})
+	h.Observe(0.5)
+	var b strings.Builder
+	r.Expose(&b)
+	out := b.String()
+	for line, want := range map[string]string{
+		`boundary_seconds_bucket{le="0.1"} 0`: "below-boundary bucket",
+		`boundary_seconds_bucket{le="0.5"} 1`: "inclusive boundary bucket",
+		`boundary_seconds_bucket{le="1"} 1`:   "cumulative next bucket",
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("%s: missing %q in:\n%s", want, line, out)
+		}
+	}
+}
+
+// The implicit +Inf bucket must render with the full cumulative count, and
+// a sample above every bound must land only there.
+func TestHistogramInfBucketRendering(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("inf_seconds", "overflow semantics", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(99)
+	var b strings.Builder
+	r.Expose(&b)
+	out := b.String()
+	if !strings.Contains(out, `inf_seconds_bucket{le="+Inf"} 2`) {
+		t.Errorf("+Inf bucket must carry total count:\n%s", out)
+	}
+	if !strings.Contains(out, `inf_seconds_bucket{le="2"} 1`) {
+		t.Errorf("finite buckets must exclude the overflow sample:\n%s", out)
+	}
+	if !strings.Contains(out, "inf_seconds_count 2") {
+		t.Errorf("missing _count:\n%s", out)
+	}
+}
+
+// Label values carrying quotes, backslashes and newlines must be escaped so
+// the exposition stays one metric per line and parseable.
+func TestLabelValueEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("esc_total", "escaping", "q")
+	v.With(`say "hi"\` + "\nbye").Inc()
+	var b strings.Builder
+	r.Expose(&b)
+	out := b.String()
+	want := `esc_total{q="say \"hi\"\\\nbye"} 1`
+	if !strings.Contains(out, want) {
+		t.Errorf("want escaped sample line %q in:\n%s", want, out)
+	}
+	// No raw newline may survive inside a sample line.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "esc_total{") && !strings.HasSuffix(line, "} 1") {
+			t.Errorf("sample line split by unescaped newline: %q", line)
+		}
+	}
+}
+
+// HistogramVec samples on a shared boundary must stay per-label-value.
+func TestHistogramVecBoundaryPerLabel(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("phase_seconds", "per-phase", []float64{0.25}, "phase")
+	v.With("parse").Observe(0.25)
+	v.With("exec").Observe(0.26)
+	var b strings.Builder
+	r.Expose(&b)
+	out := b.String()
+	if !strings.Contains(out, `phase_seconds_bucket{phase="parse",le="0.25"} 1`) {
+		t.Errorf("boundary sample missing from its labeled bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `phase_seconds_bucket{phase="exec",le="0.25"} 0`) {
+		t.Errorf("above-boundary sample leaked into le bucket:\n%s", out)
+	}
+}
+
+func TestPhasesRollup(t *testing.T) {
+	td := &TraceData{
+		Root: SpanData{
+			Name: "query",
+			Children: []SpanData{
+				{Name: "jsoniq.lex", DurationUS: 10},
+				{Name: "jsoniq.parse", DurationUS: 20},
+				{Name: "iterplan.build", DurationUS: 30},
+				{Name: "engine.optimize", DurationUS: 40, Children: []SpanData{
+					{Name: "rule.pushdown", DurationUS: 39}, // nested: not re-counted
+				}},
+				{Name: "snowpark.render", DurationUS: 5},
+				{Name: "engine.execute", DurationUS: 1000},
+				{Name: "unknown.stage", DurationUS: 7}, // unmapped: ignored
+			},
+		},
+	}
+	ph := Phases(td)
+	if got, want := ph.Parse, 30*time.Microsecond; got != want {
+		t.Errorf("Parse = %v, want %v", got, want)
+	}
+	if got, want := ph.Plan, 70*time.Microsecond; got != want {
+		t.Errorf("Plan = %v, want %v", got, want)
+	}
+	if got, want := ph.SQLGen, 5*time.Microsecond; got != want {
+		t.Errorf("SQLGen = %v, want %v", got, want)
+	}
+	if got, want := ph.Exec, 1000*time.Microsecond; got != want {
+		t.Errorf("Exec = %v, want %v", got, want)
+	}
+	if got := Phases(nil); got != (PhaseDurations{}) {
+		t.Errorf("Phases(nil) = %+v, want zero", got)
+	}
+}
+
+func TestSlowRingEvictionAndOrder(t *testing.T) {
+	r := NewSlowRing(2)
+	mk := func(id string) SlowQuery {
+		return SlowQuery{Trace: &TraceData{ID: id}}
+	}
+	r.Record(mk("a"))
+	r.Record(mk("b"))
+	r.Record(mk("c")) // evicts a
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", r.Len())
+	}
+	got := r.Recent(0)
+	if len(got) != 2 || got[0].Trace.ID != "c" || got[1].Trace.ID != "b" {
+		t.Fatalf("Recent(0) order wrong: %+v", got)
+	}
+	if one := r.Recent(1); len(one) != 1 || one[0].Trace.ID != "c" {
+		t.Fatalf("Recent(1) = %+v, want newest only", one)
+	}
+	r.Record(SlowQuery{}) // no trace: dropped
+	if r.Len() != 2 {
+		t.Fatalf("trace-less capture must be dropped")
+	}
+	var nilRing *SlowRing
+	nilRing.Record(mk("x"))
+	if nilRing.Recent(0) != nil || nilRing.Len() != 0 {
+		t.Fatal("nil ring must be inert")
+	}
+}
+
+func TestThreshold(t *testing.T) {
+	if _, on := Threshold(-1); on {
+		t.Error("negative must disable capture")
+	}
+	if d, on := Threshold(0); !on || d != 0 {
+		t.Errorf("zero must capture everything, got %v %v", d, on)
+	}
+	if d, on := Threshold(250); !on || d != 250*time.Millisecond {
+		t.Errorf("Threshold(250) = %v %v", d, on)
+	}
+}
+
+func TestTracerExporterSeesFinishedTraces(t *testing.T) {
+	tr := NewTracer(4)
+	var got []string
+	tr.SetExporter(func(td *TraceData) { got = append(got, td.ID) })
+	q := tr.Start("query")
+	q.Root.Child("jsoniq.parse").End()
+	td := q.Finish()
+	if len(got) != 1 || got[0] != td.ID {
+		t.Fatalf("exporter saw %v, want [%s]", got, td.ID)
+	}
+	tr.SetExporter(nil)
+	tr.Start("query").Finish()
+	if len(got) != 1 {
+		t.Fatal("cleared exporter must not fire")
+	}
+}
+
+func TestRuntimeSamplerPublishesGauges(t *testing.T) {
+	r := NewRegistry()
+	s := NewRuntimeSampler(r)
+	s.Sample()
+	var b strings.Builder
+	r.Expose(&b)
+	out := b.String()
+	for _, name := range []string{"jsonpark_goroutines", "jsonpark_heap_alloc_bytes", "jsonpark_gc_runs_total"} {
+		if !strings.Contains(out, name+" ") {
+			t.Errorf("missing %s sample:\n%s", name, out)
+		}
+	}
+	if strings.Contains(out, "jsonpark_goroutines 0\n") {
+		t.Error("goroutine gauge still zero after Sample")
+	}
+	var nilSampler *RuntimeSampler
+	nilSampler.Sample()
+}

@@ -10,9 +10,14 @@ import "time"
 type Observer struct {
 	Tracer   *Tracer
 	Registry *Registry
+	// Slow retains full captures (span tree + EXPLAIN ANALYZE) of queries
+	// beyond the configured slow-query threshold, for GET /debug/slow.
+	Slow *SlowRing
 
 	queriesTotal     *CounterVec
 	stageSeconds     *HistogramVec
+	phaseSeconds     *HistogramVec
+	statusSeconds    *HistogramVec
 	querySeconds     *Histogram
 	bytesScanned     *Counter
 	rowsReturned     *Counter
@@ -21,6 +26,7 @@ type Observer struct {
 	parallelBreakers *Counter
 	spillBytes       *Counter
 	queriesCancelled *Counter
+	runtime          *RuntimeSampler
 }
 
 // QueryObservation is one finished query's measurements, reported by the
@@ -49,10 +55,15 @@ func NewObserver() *Observer {
 	return &Observer{
 		Tracer:   NewTracer(0),
 		Registry: r,
+		Slow:     NewSlowRing(0),
 		queriesTotal: r.CounterVec("jsonpark_queries_total",
 			"Queries processed, by final status.", "status"),
 		stageSeconds: r.HistogramVec("jsonpark_query_stage_seconds",
 			"Per-stage latency of the query lifecycle, from span durations.", nil, "stage"),
+		phaseSeconds: r.HistogramVec("jsonpark_query_phase_seconds",
+			"Latency rolled up into the four coarse phases (parse, plan, sqlgen, exec).", nil, "phase"),
+		statusSeconds: r.HistogramVec("jsonpark_query_status_seconds",
+			"End-to-end query latency, by final status.", nil, "status"),
 		querySeconds: r.Histogram("jsonpark_query_seconds",
 			"End-to-end query latency (translate + compile + execute).", nil),
 		bytesScanned: r.Counter("jsonpark_bytes_scanned_total",
@@ -69,7 +80,17 @@ func NewObserver() *Observer {
 			"Cumulative bytes written to spill runs by memory-governed pipeline breakers."),
 		queriesCancelled: r.Counter("jsonpark_queries_cancelled_total",
 			"Queries aborted by context cancellation or deadline."),
+		runtime: NewRuntimeSampler(r),
 	}
+}
+
+// SampleRuntime refreshes the runtime gauge set (goroutines, heap, GC);
+// the /metrics handler calls it immediately before Registry.Expose.
+func (o *Observer) SampleRuntime() {
+	if o == nil {
+		return
+	}
+	o.runtime.Sample()
 }
 
 // ObserveQuery folds one finished query into the registry: status count,
@@ -97,6 +118,7 @@ func (o *Observer) ObserveQuery(q QueryObservation) {
 		return
 	}
 	o.querySeconds.Observe(q.Trace.Duration().Seconds())
+	o.statusSeconds.With(status).Observe(q.Trace.Duration().Seconds())
 	q.Trace.Root.Walk(func(depth int, sd SpanData) {
 		if depth == 0 {
 			return // the root duplicates jsonpark_query_seconds
@@ -104,4 +126,9 @@ func (o *Observer) ObserveQuery(q QueryObservation) {
 		o.stageSeconds.With(sd.Name).Observe(
 			(time.Duration(sd.DurationUS) * time.Microsecond).Seconds())
 	})
+	ph := Phases(q.Trace)
+	o.phaseSeconds.With("parse").Observe(ph.Parse.Seconds())
+	o.phaseSeconds.With("plan").Observe(ph.Plan.Seconds())
+	o.phaseSeconds.With("sqlgen").Observe(ph.SQLGen.Seconds())
+	o.phaseSeconds.With("exec").Observe(ph.Exec.Seconds())
 }

@@ -1,0 +1,61 @@
+package obsv
+
+import "time"
+
+// PhaseDurations rolls a finished trace's span tree up into the four
+// coarse-grained phases the query log reports: parse (JSONiq lexing through
+// rewrite), plan (iterator planning, relational translation, optimization
+// and physical preparation), sqlgen (SQL rendering and re-parsing) and exec
+// (batch execution). Span names outside the mapping (e.g. per-rule optimizer
+// children) contribute nothing, so nested spans are not double counted.
+type PhaseDurations struct {
+	Parse  time.Duration
+	Plan   time.Duration
+	SQLGen time.Duration
+	Exec   time.Duration
+}
+
+// spanPhase maps pipeline span names onto log phases. The names are the ones
+// the lowering layers create (see DESIGN.md §10); each appears at most once
+// per trace, directly under the root.
+var spanPhase = map[string]string{
+	"jsoniq.lex":         "parse",
+	"jsoniq.parse":       "parse",
+	"jsoniq.inline":      "parse",
+	"jsoniq.rewrite":     "parse",
+	"iterplan.build":     "plan",
+	"core.translate":     "plan",
+	"plan.build":         "plan",
+	"engine.optimize":    "plan",
+	"engine.physicalize": "plan",
+	"engine.prepare":     "plan",
+	"snowpark.render":    "sqlgen",
+	"sql.parse":          "sqlgen",
+	"engine.execute":     "exec",
+}
+
+// Phases computes the phase rollup for a finished trace. A nil trace yields
+// the zero value.
+func Phases(td *TraceData) PhaseDurations {
+	var p PhaseDurations
+	if td == nil {
+		return p
+	}
+	td.Root.Walk(func(depth int, sd SpanData) {
+		if depth == 0 {
+			return
+		}
+		d := time.Duration(sd.DurationUS) * time.Microsecond
+		switch spanPhase[sd.Name] {
+		case "parse":
+			p.Parse += d
+		case "plan":
+			p.Plan += d
+		case "sqlgen":
+			p.SQLGen += d
+		case "exec":
+			p.Exec += d
+		}
+	})
+	return p
+}

@@ -1,0 +1,48 @@
+package obsv
+
+import "runtime"
+
+// RuntimeSampler publishes Go runtime health (goroutines, heap, GC pauses)
+// as gauges in a registry. Sample is called on every /metrics scrape so the
+// values are fresh without a background goroutine.
+type RuntimeSampler struct {
+	goroutines  *Gauge
+	heapAlloc   *Gauge
+	heapSys     *Gauge
+	heapObjects *Gauge
+	gcPauseNS   *Gauge
+	gcRuns      *Gauge
+}
+
+// NewRuntimeSampler registers the runtime gauge set in r.
+func NewRuntimeSampler(r *Registry) *RuntimeSampler {
+	return &RuntimeSampler{
+		goroutines: r.Gauge("jsonpark_goroutines",
+			"Current number of goroutines."),
+		heapAlloc: r.Gauge("jsonpark_heap_alloc_bytes",
+			"Bytes of allocated heap objects."),
+		heapSys: r.Gauge("jsonpark_heap_sys_bytes",
+			"Bytes of heap memory obtained from the OS."),
+		heapObjects: r.Gauge("jsonpark_heap_objects",
+			"Number of allocated heap objects."),
+		gcPauseNS: r.Gauge("jsonpark_gc_pause_total_ns",
+			"Cumulative nanoseconds spent in GC stop-the-world pauses."),
+		gcRuns: r.Gauge("jsonpark_gc_runs_total",
+			"Completed GC cycles."),
+	}
+}
+
+// Sample refreshes every gauge from the runtime. Nil-safe.
+func (s *RuntimeSampler) Sample() {
+	if s == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.goroutines.Set(float64(runtime.NumGoroutine()))
+	s.heapAlloc.Set(float64(ms.HeapAlloc))
+	s.heapSys.Set(float64(ms.HeapSys))
+	s.heapObjects.Set(float64(ms.HeapObjects))
+	s.gcPauseNS.Set(float64(ms.PauseTotalNs))
+	s.gcRuns.Set(float64(ms.NumGC))
+}

@@ -1,0 +1,100 @@
+package obsv
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowQuery is one retained slow-query capture: the full span tree plus the
+// EXPLAIN ANALYZE snapshot taken at completion. Plan is typed loosely
+// (obsv sits below the engine) and in practice holds *engine.PlanStats; it
+// is nil for queries that failed before producing a plan.
+type SlowQuery struct {
+	Trace *TraceData `json:"trace"`
+	Plan  any        `json:"plan,omitempty"`
+}
+
+// SlowRing retains the most recent slow-query captures in a bounded ring,
+// served by GET /debug/slow. Safe for concurrent use.
+type SlowRing struct {
+	mu     sync.Mutex
+	ring   []SlowQuery
+	next   int
+	filled bool
+}
+
+// DefaultSlowRingSize bounds the slow-query buffer of NewSlowRing(0).
+const DefaultSlowRingSize = 32
+
+// NewSlowRing returns a ring retaining the last capacity slow queries
+// (DefaultSlowRingSize when capacity <= 0).
+func NewSlowRing(capacity int) *SlowRing {
+	if capacity <= 0 {
+		capacity = DefaultSlowRingSize
+	}
+	return &SlowRing{ring: make([]SlowQuery, capacity)}
+}
+
+// Record retains one slow query, evicting the oldest entry when full.
+// Nil-safe; entries without a trace are dropped.
+func (r *SlowRing) Record(q SlowQuery) {
+	if r == nil || q.Trace == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ring[r.next] = q
+	r.next++
+	if r.next == len(r.ring) {
+		r.next = 0
+		r.filled = true
+	}
+}
+
+// Recent returns up to n retained slow queries, newest first (all when
+// n <= 0). Nil-safe.
+func (r *SlowRing) Recent(n int) []SlowQuery {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []SlowQuery
+	// Walk backwards from the most recent write so the result is already
+	// newest-first without re-sorting by timestamp (ties are common in
+	// tests where traces finish within the same microsecond).
+	for i := 0; i < len(r.ring); i++ {
+		idx := (r.next - 1 - i + len(r.ring)) % len(r.ring)
+		if r.ring[idx].Trace == nil {
+			continue
+		}
+		out = append(out, r.ring[idx])
+		if n > 0 && len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// Len reports how many slow queries are currently retained.
+func (r *SlowRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.filled {
+		return len(r.ring)
+	}
+	return r.next
+}
+
+// Threshold converts a -slow-query-ms style flag value into a capture
+// threshold: negative disables capture, zero captures every query, positive
+// captures queries at or above that many milliseconds.
+func Threshold(ms int64) (time.Duration, bool) {
+	if ms < 0 {
+		return 0, false
+	}
+	return time.Duration(ms) * time.Millisecond, true
+}

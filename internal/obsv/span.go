@@ -203,6 +203,9 @@ type Tracer struct {
 	filled bool
 	seq    atomic.Uint64
 	epoch  int64
+
+	expMu    sync.Mutex
+	exporter func(*TraceData)
 }
 
 // DefaultRingSize bounds the recent-trace buffer of NewTracer(0).
@@ -232,13 +235,31 @@ func (t *Tracer) Start(name string) *Trace {
 
 func (t *Tracer) record(td *TraceData) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.ring[t.next] = td
 	t.next++
 	if t.next == len(t.ring) {
 		t.next = 0
 		t.filled = true
 	}
+	t.mu.Unlock()
+	t.expMu.Lock()
+	exp := t.exporter
+	if exp != nil {
+		// Run under expMu so concurrent Finish calls serialize their writes
+		// to the sink (one JSON line per trace, never interleaved).
+		exp(td)
+	}
+	t.expMu.Unlock()
+}
+
+// SetExporter installs a callback invoked once per finished trace, after it
+// is recorded in the ring. Used by the -trace-out JSONL exporter; nil
+// removes the hook. Calls are serialized, so the callback may write to a
+// shared sink without its own locking.
+func (t *Tracer) SetExporter(fn func(*TraceData)) {
+	t.expMu.Lock()
+	t.exporter = fn
+	t.expMu.Unlock()
 }
 
 // Recent returns up to n finished traces, newest first (all retained traces

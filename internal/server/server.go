@@ -10,13 +10,17 @@
 //	POST /load       {"collection": "c", "documents": [{...}, ...]}
 //	POST /collections {"name": "c", "columns": ["a","b"]}
 //	GET  /collections → {"collections": ["c", ...]}
-//	GET  /metrics    Prometheus text exposition (query counts, stage
-//	                 latency histograms, cumulative scan accounting)
-//	GET  /debug/queries[?n=20] recent queries: trace ID, SQL, span tree,
-//	                 metrics, newest first
+//	GET  /metrics    Prometheus text exposition (query counts, phase/stage
+//	                 latency histograms, runtime gauges, scan accounting)
+//	GET  /debug/queries[?limit=20] in-flight queries with per-operator
+//	                 progress, plus recent finished traces, newest first
+//	GET  /debug/slow[?limit=10] slow-query captures: span tree + EXPLAIN
+//	                 ANALYZE snapshot of queries over -slow-query-ms
+//	GET  /debug/pprof/ Go runtime profiles (CPU, heap, goroutines, ...)
 //
-// Every /query request is logged with its trace ID, so a log line, the
-// /debug/queries entry and the metrics it contributed to are joinable.
+// Every /query request emits one structured JSON query-log record (qlog)
+// with its trace ID, so a log line, the /debug/queries entry and the
+// metrics it contributed to are joinable.
 package server
 
 import (
@@ -24,13 +28,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"strconv"
 	"time"
 
 	"jsonpark"
 
+	"jsonpark/internal/obsv/qlog"
 	"jsonpark/internal/variant"
 )
 
@@ -42,7 +48,7 @@ const StatusClientClosedRequest = 499
 type Server struct {
 	w       *jsonpark.Warehouse
 	mux     *http.ServeMux
-	logger  *log.Logger
+	qlog    *qlog.Logger
 	timeout time.Duration
 }
 
@@ -57,9 +63,15 @@ func WithQueryTimeout(d time.Duration) Option {
 	return func(s *Server) { s.timeout = d }
 }
 
+// WithQueryLog routes the structured query log to l (default: a logger on
+// os.Stderr). nil discards all query-log output.
+func WithQueryLog(l *qlog.Logger) Option {
+	return func(s *Server) { s.qlog = l }
+}
+
 // New builds a server over an existing warehouse.
 func New(w *jsonpark.Warehouse, opts ...Option) *Server {
-	s := &Server{w: w, mux: http.NewServeMux(), logger: log.Default()}
+	s := &Server{w: w, mux: http.NewServeMux(), qlog: qlog.New(os.Stderr)}
 	for _, o := range opts {
 		o(s)
 	}
@@ -69,11 +81,19 @@ func New(w *jsonpark.Warehouse, opts ...Option) *Server {
 	s.mux.HandleFunc("/collections", s.handleCollections)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/queries", s.handleDebugQueries)
+	s.mux.HandleFunc("/debug/slow", s.handleDebugSlow)
+	// Go runtime profiling, mounted explicitly (the server owns its mux, so
+	// the net/http/pprof init-time DefaultServeMux registrations don't apply).
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return s
 }
 
-// SetLogger replaces the request logger (default log.Default()).
-func (s *Server) SetLogger(l *log.Logger) { s.logger = l }
+// SetQueryLog replaces the structured query logger (nil discards).
+func (s *Server) SetQueryLog(l *qlog.Logger) { s.qlog = l }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -144,6 +164,12 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, into any) bool {
 	return true
 }
 
+// queryRecord assembles the structured query-log completion record from a
+// (possibly partial, on error) query report.
+func queryRecord(rep *jsonpark.QueryReport, status string, err error) qlog.QueryRecord {
+	return rep.QueryLogRecord(status, err)
+}
+
 func strategyOptions(name string) ([]jsonpark.QueryOption, error) {
 	switch name {
 	case "", "keep-flag":
@@ -183,16 +209,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	opts = append(opts, jsonpark.WithContext(ctx))
 	rep, err := s.w.QueryTraced(req.Query, opts...)
 	if err != nil {
+		status := qlog.StatusError
 		switch {
 		case errors.Is(err, context.DeadlineExceeded):
-			s.logger.Printf("query timeout=%s query=%q", s.timeout, req.Query)
+			status = qlog.StatusTimeout
+		case errors.Is(err, context.Canceled):
+			status = qlog.StatusCancelled
+		}
+		s.qlog.LogQuery(queryRecord(rep, status, err))
+		switch status {
+		case qlog.StatusTimeout:
 			writeJSON(w, http.StatusGatewayTimeout, map[string]any{
 				"error":      fmt.Sprintf("query exceeded the server time limit of %s", s.timeout),
 				"code":       "query_timeout",
 				"timeout_ms": s.timeout.Milliseconds(),
 			})
-		case errors.Is(err, context.Canceled):
-			s.logger.Printf("query cancelled query=%q", req.Query)
+		case qlog.StatusCancelled:
 			// Best-effort: the client that closed the request will not read
 			// this body, but proxies and tests see a definite status.
 			writeJSON(w, StatusClientClosedRequest, map[string]any{
@@ -200,16 +232,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				"code":  "query_cancelled",
 			})
 		default:
-			s.logger.Printf("query error=%q query=%q", err, req.Query)
 			writeError(w, http.StatusBadRequest, err)
 		}
 		return
 	}
 	res := rep.Result
-	s.logger.Printf("query trace=%s rows=%d compile=%s exec=%s scanned=%dB pruned=%d/%d strategy=%s",
-		rep.TraceID, res.Metrics.RowsReturned, res.Metrics.CompileTime, res.Metrics.ExecTime,
-		res.Metrics.BytesScanned, res.Metrics.PartitionsPruned, res.Metrics.PartitionsTotal,
-		rep.Strategy)
+	s.qlog.LogQuery(queryRecord(rep, qlog.StatusOK, nil))
 	items := make([]json.RawMessage, len(res.Rows))
 	for i, row := range res.Rows {
 		items[i] = json.RawMessage(row[0].JSON())
@@ -303,30 +331,74 @@ func (s *Server) handleCollections(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetrics serves the Prometheus text exposition of the warehouse's
-// metrics registry.
+// metrics registry, refreshing the runtime gauges (goroutines, heap, GC)
+// at scrape time.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
+	s.w.Observer().SampleRuntime()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.w.Observer().Registry.Expose(w)
 }
 
-// handleDebugQueries serves the recent-query ring: per query the trace ID,
-// attributes (JSONiq text, SQL, strategy, rows) and the full span tree.
+// parseLimit reads the ?limit= bound of a debug endpoint (0 = unbounded;
+// "n" is accepted as a legacy alias on /debug/queries). Returns -1 after
+// writing a 400 for malformed values.
+func parseLimit(w http.ResponseWriter, r *http.Request) int {
+	q := r.URL.Query().Get("limit")
+	if q == "" {
+		q = r.URL.Query().Get("n")
+	}
+	if q == "" {
+		return 0
+	}
+	v, err := strconv.Atoi(q)
+	if err != nil || v < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", q))
+		return -1
+	}
+	return v
+}
+
+// noStore marks debug payloads uncacheable: they are point-in-time
+// snapshots of live state.
+func noStore(w http.ResponseWriter) {
+	w.Header().Set("Cache-Control", "no-store")
+}
+
+// handleDebugQueries serves live and recent queries: "active" lists every
+// in-flight query with per-operator progress (rows, batches, memory),
+// "queries" the finished-trace ring (trace ID, attributes, span tree),
+// newest first.
 func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	n := 0
-	if q := r.URL.Query().Get("n"); q != "" {
-		v, err := strconv.Atoi(q)
-		if err != nil || v < 0 {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad n %q", q))
-			return
-		}
-		n = v
+	n := parseLimit(w, r)
+	if n < 0 {
+		return
+	}
+	active := s.w.Engine().ProgressSnapshot()
+	if n > 0 && len(active) > n {
+		active = active[:n]
 	}
 	traces := s.w.Observer().Tracer.Recent(n)
-	writeJSON(w, http.StatusOK, map[string]any{"queries": traces})
+	noStore(w)
+	writeJSON(w, http.StatusOK, map[string]any{"active": active, "queries": traces})
+}
+
+// handleDebugSlow serves the slow-query ring: for each captured query the
+// full span tree plus the EXPLAIN ANALYZE plan snapshot, newest first.
+func (s *Server) handleDebugSlow(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	n := parseLimit(w, r)
+	if n < 0 {
+		return
+	}
+	slow := s.w.Observer().Slow.Recent(n)
+	noStore(w)
+	writeJSON(w, http.StatusOK, map[string]any{"slow": slow})
 }

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"log"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -21,7 +20,7 @@ func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	w := jsonpark.Open()
 	s := New(w)
-	s.SetLogger(log.New(io.Discard, "", 0))
+	s.SetQueryLog(nil)
 	srv := httptest.NewServer(s)
 	t.Cleanup(srv.Close)
 	return srv
@@ -348,7 +347,7 @@ func TestQueryAnalyzeOverHTTP(t *testing.T) {
 func TestQueryTimeoutReturns504(t *testing.T) {
 	w := jsonpark.Open()
 	s := New(w, WithQueryTimeout(time.Nanosecond))
-	s.SetLogger(log.New(io.Discard, "", 0))
+	s.SetQueryLog(nil)
 	srv := httptest.NewServer(s)
 	defer srv.Close()
 	loadOrders(t, srv) // only /query is governed by the timeout
@@ -386,7 +385,7 @@ func TestQueryTimeoutReturns504(t *testing.T) {
 func TestClientDisconnectReturns499(t *testing.T) {
 	w := jsonpark.Open()
 	s := New(w)
-	s.SetLogger(log.New(io.Discard, "", 0))
+	s.SetQueryLog(nil)
 	srv := httptest.NewServer(s)
 	defer srv.Close()
 	loadOrders(t, srv)

@@ -302,11 +302,30 @@ func (df *DataFrame) CollectTraced(sp *obsv.Span, analyze bool) (*engine.Result,
 // or deadline aborts execution promptly with an error satisfying
 // errors.Is(err, context.Canceled) / context.DeadlineExceeded.
 func (df *DataFrame) CollectTracedCtx(ctx context.Context, sp *obsv.Span, analyze bool) (*engine.Result, *engine.PlanStats, error) {
-	p, err := df.session.eng.PrepareOpts(df.SQL(), engine.PrepareOptions{Span: sp, Analyze: analyze})
+	return df.CollectOpts(ctx, CollectOptions{Span: sp, Analyze: analyze})
+}
+
+// CollectOptions parameterizes CollectOpts: an optional compile-stage span,
+// per-operator metering, and the trace ID labelling the query's live
+// progress entry in the engine's ProgressSnapshot.
+type CollectOptions struct {
+	Span    *obsv.Span
+	Analyze bool
+	TraceID string
+}
+
+// CollectOpts is the fully-parameterized Collect all other variants reduce
+// to.
+func (df *DataFrame) CollectOpts(ctx context.Context, opts CollectOptions) (*engine.Result, *engine.PlanStats, error) {
+	p, err := df.session.eng.PrepareOpts(df.SQL(), engine.PrepareOptions{
+		Span:    opts.Span,
+		Analyze: opts.Analyze,
+		TraceID: opts.TraceID,
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	esp := sp.Child("engine.execute")
+	esp := opts.Span.Child("engine.execute")
 	res, err := p.RunCtx(ctx)
 	esp.End()
 	if err != nil {

@@ -69,24 +69,34 @@ func SetupSFMemOpts(seed int64, sf float64, batchSize, parallelism int, memLimit
 	return snowpark.NewSession(eng), nil
 }
 
-func measureTotal(fn func() (*engine.Result, error), cfg ReportConfig) (time.Duration, int64, error) {
+func measureTotal(fn func() (*engine.Result, error), cfg ReportConfig) (time.Duration, engine.Metrics, error) {
 	var total time.Duration
 	var n int
-	var scanned int64
+	var last engine.Metrics
 	_, err := bench.Measure(cfg.Warmups, cfg.Runs, func() error {
 		res, err := fn()
 		if err != nil {
 			return err
 		}
 		total += res.Metrics.Total()
-		scanned = res.Metrics.BytesScanned
+		last = res.Metrics
 		n++
 		return nil
 	})
 	if err != nil {
-		return 0, 0, err
+		return 0, last, err
 	}
-	return total / time.Duration(n), scanned, nil
+	return total / time.Duration(n), last, nil
+}
+
+// memFields copies a run's memory-governance metrics into the record so
+// the -json output carries peak/spill data alongside the timings.
+func memFields(rec bench.Record, m engine.Metrics) bench.Record {
+	rec.MemPeakBytes = m.MemPeakBytes
+	rec.MemLimitBytes = m.MemLimitBytes
+	rec.Spills = m.Spills
+	rec.SpillBytes = m.SpillBytes
+	return rec
 }
 
 // ReportFig11a regenerates Figure 11a: total (compile + execution) time for
@@ -101,22 +111,22 @@ func ReportFig11a(cfg ReportConfig) error {
 		"Query", "Generated", "Handwritten")
 	for _, q := range Queries() {
 		q := q
-		gen, genBytes, err := measureTotal(func() (*engine.Result, error) {
+		gen, genM, err := measureTotal(func() (*engine.Result, error) {
 			_, res, err := RunTranslated(sess, q)
 			return res, err
 		}, cfg)
 		if err != nil {
 			return err
 		}
-		hand, handBytes, err := measureTotal(func() (*engine.Result, error) {
+		hand, handM, err := measureTotal(func() (*engine.Result, error) {
 			_, res, err := RunHandwritten(sess.Engine(), q)
 			return res, err
 		}, cfg)
 		if err != nil {
 			return err
 		}
-		cfg.Recorder.Add(bench.Record{Experiment: "fig11a", Query: q.ID, System: "generated", Scale: cfg.ScaleFactor, MeanMicros: gen.Microseconds(), Runs: cfg.Runs, BytesScanned: genBytes})
-		cfg.Recorder.Add(bench.Record{Experiment: "fig11a", Query: q.ID, System: "handwritten", Scale: cfg.ScaleFactor, MeanMicros: hand.Microseconds(), Runs: cfg.Runs, BytesScanned: handBytes})
+		cfg.Recorder.Add(memFields(bench.Record{Experiment: "fig11a", Query: q.ID, System: "generated", Scale: cfg.ScaleFactor, MeanMicros: gen.Microseconds(), Runs: cfg.Runs, BytesScanned: genM.BytesScanned}, genM))
+		cfg.Recorder.Add(memFields(bench.Record{Experiment: "fig11a", Query: q.ID, System: "handwritten", Scale: cfg.ScaleFactor, MeanMicros: hand.Microseconds(), Runs: cfg.Runs, BytesScanned: handM.BytesScanned}, handM))
 		t.AddRow(q.ID, bench.FormatDuration(gen), bench.FormatDuration(hand))
 	}
 	t.Render(cfg.Out)
@@ -145,22 +155,22 @@ func ReportFig11b(cfg ReportConfig) error {
 			if !ok {
 				return fmt.Errorf("ssb: unknown query %s", id)
 			}
-			gen, genBytes, err := measureTotal(func() (*engine.Result, error) {
+			gen, genM, err := measureTotal(func() (*engine.Result, error) {
 				_, res, err := RunTranslated(sess, q)
 				return res, err
 			}, cfg)
 			if err != nil {
 				return err
 			}
-			hand, handBytes, err := measureTotal(func() (*engine.Result, error) {
+			hand, handM, err := measureTotal(func() (*engine.Result, error) {
 				_, res, err := RunHandwritten(sess.Engine(), q)
 				return res, err
 			}, cfg)
 			if err != nil {
 				return err
 			}
-			cfg.Recorder.Add(bench.Record{Experiment: "fig11b", Query: id, System: "generated", Scale: sf, MeanMicros: gen.Microseconds(), Runs: cfg.Runs, BytesScanned: genBytes})
-			cfg.Recorder.Add(bench.Record{Experiment: "fig11b", Query: id, System: "handwritten", Scale: sf, MeanMicros: hand.Microseconds(), Runs: cfg.Runs, BytesScanned: handBytes})
+			cfg.Recorder.Add(memFields(bench.Record{Experiment: "fig11b", Query: id, System: "generated", Scale: sf, MeanMicros: gen.Microseconds(), Runs: cfg.Runs, BytesScanned: genM.BytesScanned}, genM))
+			cfg.Recorder.Add(memFields(bench.Record{Experiment: "fig11b", Query: id, System: "handwritten", Scale: sf, MeanMicros: hand.Microseconds(), Runs: cfg.Runs, BytesScanned: handM.BytesScanned}, handM))
 			series[id+" gen"].Points[sf] = bench.FormatDuration(gen)
 			series[id+" hand"].Points[sf] = bench.FormatDuration(hand)
 		}

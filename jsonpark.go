@@ -26,16 +26,20 @@ package jsonpark
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"strconv"
 	"strings"
+	"time"
 
 	"jsonpark/internal/core"
 	"jsonpark/internal/engine"
 	"jsonpark/internal/iterplan"
 	"jsonpark/internal/jsoniq"
 	"jsonpark/internal/obsv"
+	"jsonpark/internal/obsv/qlog"
 	"jsonpark/internal/runtime"
 	"jsonpark/internal/snowpark"
 	"jsonpark/internal/variant"
@@ -73,6 +77,11 @@ type Warehouse struct {
 	sess *snowpark.Session
 	obs  *obsv.Observer
 	docs map[string][]Value
+	// slowThresh/slowOn arm slow-query capture (WithSlowQueryMillis):
+	// queries at or above the threshold retain their full span tree and
+	// EXPLAIN ANALYZE snapshot in the observer's slow ring.
+	slowThresh time.Duration
+	slowOn     bool
 }
 
 // OpenOption configures a Warehouse.
@@ -84,6 +93,8 @@ type openConfig struct {
 	mergeParts  int
 	memLimit    int64
 	planCheck   bool
+	slowMS      int64
+	traceOut    io.Writer
 }
 
 // WithBatchSize sets the rows-per-batch of the vectorized executor (default
@@ -123,6 +134,24 @@ func WithMemLimit(bytes int64) OpenOption {
 // for tests and debugging.
 func WithPlanCheck(on bool) OpenOption {
 	return func(c *openConfig) { c.planCheck = on }
+}
+
+// WithSlowQueryMillis arms slow-query capture (the -slow-query-ms flag):
+// queries whose end-to-end wall time reaches ms milliseconds retain their
+// full span tree plus an EXPLAIN ANALYZE snapshot in the observer's slow
+// ring (Observer().Slow, served at GET /debug/slow). ms == 0 captures every
+// query; negative (the default) disables capture. Arming capture forces
+// per-operator metering on for every traced query, so it carries the same
+// overhead as WithAnalyze.
+func WithSlowQueryMillis(ms int64) OpenOption {
+	return func(c *openConfig) { c.slowMS = ms }
+}
+
+// WithTraceExport streams every finished query trace to w as one JSON line
+// (the -trace-out flag), so span trees survive process exit for offline
+// analysis. Writes are serialized; w is not closed by the warehouse.
+func WithTraceExport(w io.Writer) OpenOption {
+	return func(c *openConfig) { c.traceOut = w }
 }
 
 // ParseByteSize parses a human byte-size string — "67108864", "64KiB",
@@ -168,7 +197,7 @@ func ParseByteSize(s string) (int64, error) {
 
 // Open creates an empty in-memory warehouse.
 func Open(opts ...OpenOption) *Warehouse {
-	var c openConfig
+	c := openConfig{slowMS: -1}
 	for _, fn := range opts {
 		fn(&c)
 	}
@@ -179,12 +208,23 @@ func Open(opts ...OpenOption) *Warehouse {
 		engine.WithMemLimit(c.memLimit),
 		engine.WithPlanCheck(c.planCheck),
 	)
-	return &Warehouse{
+	w := &Warehouse{
 		eng:  eng,
 		sess: snowpark.NewSession(eng),
 		obs:  obsv.NewObserver(),
 		docs: make(map[string][]Value),
 	}
+	w.slowThresh, w.slowOn = obsv.Threshold(c.slowMS)
+	if c.traceOut != nil {
+		sink := c.traceOut
+		enc := json.NewEncoder(sink)
+		w.obs.Tracer.SetExporter(func(td *obsv.TraceData) {
+			// Encode errors are swallowed: the exporter must never take a
+			// query down with it (sink may be a closing file at shutdown).
+			_ = enc.Encode(td)
+		})
+	}
+	return w
 }
 
 // CreateCollection registers a collection staged with one column per listed
@@ -272,10 +312,14 @@ type QueryReport struct {
 	Strategy string
 	Census   iterplan.CensusResult
 	Result   *Result
-	// Plan is the per-operator stats tree; nil unless WithAnalyze was given.
+	// Plan is the per-operator stats tree; nil unless WithAnalyze was given
+	// or slow-query capture is armed on the warehouse.
 	Plan *engine.PlanStats
 	// Trace is the finished span tree covering every lowering stage.
 	Trace *obsv.TraceData
+	// Slow marks a query that met the warehouse's slow-query threshold and
+	// was captured in the observer's slow ring; callers log it at warn.
+	Slow bool
 }
 
 // RenderAnalyze formats the annotated plan tree (EXPLAIN ANALYZE output);
@@ -285,6 +329,45 @@ func (r *QueryReport) RenderAnalyze() string {
 		return ""
 	}
 	return r.Plan.Render()
+}
+
+// QueryLogRecord flattens the report into a structured query-log record:
+// trace ID, fingerprint, per-phase timings and execution metrics. Nil-safe —
+// a nil receiver (query failed before a report existed) yields a record
+// carrying only status and error.
+func (r *QueryReport) QueryLogRecord(status string, err error) qlog.QueryRecord {
+	rec := qlog.QueryRecord{Status: status}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	if r == nil {
+		return rec
+	}
+	rec.TraceID = r.TraceID
+	rec.Query = r.Query
+	rec.Strategy = r.Strategy
+	rec.Slow = r.Slow
+	if r.SQL != "" {
+		rec.Fingerprint = qlog.Fingerprint(r.SQL, r.Strategy)
+	}
+	if r.Trace != nil {
+		ph := obsv.Phases(r.Trace)
+		rec.ParseUS = ph.Parse.Microseconds()
+		rec.PlanUS = ph.Plan.Microseconds()
+		rec.SQLGenUS = ph.SQLGen.Microseconds()
+		rec.ExecUS = ph.Exec.Microseconds()
+		rec.TotalUS = r.Trace.DurUS
+	}
+	if r.Result != nil {
+		m := r.Result.Metrics
+		rec.Rows = m.RowsReturned
+		rec.BytesScanned = m.BytesScanned
+		rec.MemPeakBytes = m.MemPeakBytes
+		rec.SpillBytes = m.SpillBytes
+		rec.Spills = m.Spills
+		rec.ParallelBreakers = int64(m.ParallelBreakers)
+	}
+	return rec
 }
 
 // Query translates and executes a JSONiq query. The result has one column,
@@ -306,13 +389,27 @@ func (w *Warehouse) QueryTraced(jsoniqSrc string, opts ...QueryOption) (*QueryRe
 	for _, fn := range opts {
 		fn(&c)
 	}
+	// Slow-query capture needs the EXPLAIN ANALYZE snapshot, so arming it
+	// forces per-operator metering on for every traced query.
+	if w.slowOn {
+		c.analyze = true
+	}
 	tr := w.obs.Tracer.Start("query")
 	tr.SetAttr("query", jsoniqSrc)
 	c.opts.Span = tr.Root
 
-	finish := func(res *Result, err error) *obsv.TraceData {
+	slow := false
+	finish := func(res *Result, plan *engine.PlanStats, err error) *obsv.TraceData {
 		tr.SetError(err)
 		td := tr.Finish()
+		if w.slowOn && td.Duration() >= w.slowThresh {
+			slow = true
+			sq := obsv.SlowQuery{Trace: td}
+			if plan != nil {
+				sq.Plan = plan
+			}
+			w.obs.Slow.Record(sq)
+		}
 		ob := obsv.QueryObservation{
 			Trace:   td,
 			Errored: err != nil,
@@ -333,8 +430,10 @@ func (w *Warehouse) QueryTraced(jsoniqSrc string, opts ...QueryOption) (*QueryRe
 
 	tres, err := core.Translate(w.sess, jsoniqSrc, c.opts)
 	if err != nil {
-		finish(nil, err)
-		return nil, err
+		td := finish(nil, nil, err)
+		// Failed queries still return a partial report (trace identity and
+		// span tree) alongside the error, so callers can log them fully.
+		return &QueryReport{TraceID: tr.ID, Query: jsoniqSrc, Trace: td, Slow: slow}, err
 	}
 	tr.SetAttr("sql", tres.SQL)
 	tr.SetAttr("strategy", tres.Strategy.String())
@@ -342,13 +441,25 @@ func (w *Warehouse) QueryTraced(jsoniqSrc string, opts ...QueryOption) (*QueryRe
 	if qctx == nil {
 		qctx = context.Background()
 	}
-	result, plan, err := tres.DataFrame.CollectTracedCtx(qctx, tr.Root, c.analyze)
+	result, plan, err := tres.DataFrame.CollectOpts(qctx, snowpark.CollectOptions{
+		Span:    tr.Root,
+		Analyze: c.analyze,
+		TraceID: tr.ID,
+	})
 	if err != nil {
-		finish(nil, err)
-		return nil, err
+		td := finish(nil, nil, err)
+		return &QueryReport{
+			TraceID:  tr.ID,
+			Query:    jsoniqSrc,
+			SQL:      tres.SQL,
+			Strategy: tres.Strategy.String(),
+			Census:   tres.Census,
+			Trace:    td,
+			Slow:     slow,
+		}, err
 	}
 	tr.SetAttr("rows", fmt.Sprint(result.Metrics.RowsReturned))
-	td := finish(result, nil)
+	td := finish(result, plan, nil)
 	return &QueryReport{
 		TraceID:  tr.ID,
 		Query:    jsoniqSrc,
@@ -358,6 +469,7 @@ func (w *Warehouse) QueryTraced(jsoniqSrc string, opts ...QueryOption) (*QueryRe
 		Result:   result,
 		Plan:     plan,
 		Trace:    td,
+		Slow:     slow,
 	}, nil
 }
 

@@ -1,0 +1,199 @@
+// Command obssmoke is the observability smoke test behind `make obs-smoke`:
+// it boots a real jsqd with slow-query capture armed and a query-log sink,
+// runs one query over HTTP, and asserts the observability contract end to
+// end — exactly one parseable qlog JSON record carrying the required keys,
+// a populated /debug/slow, and a live /metrics exposition. It exercises the
+// same binary and flags an operator would use, not the test harness.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+// startupWait bounds how long the freshly built jsqd may take to listen.
+const startupWait = 30 * time.Second
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "obssmoke:", err)
+		os.Exit(1)
+	}
+	fmt.Println("obssmoke: ok")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "obssmoke")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+
+	data := filepath.Join(dir, "data.jsonl")
+	docs := `{"id": 1, "items": [{"qty": 2}]}` + "\n" + `{"id": 2, "items": [{"qty": 5}]}` + "\n"
+	if err := os.WriteFile(data, []byte(docs), 0o644); err != nil {
+		return err
+	}
+
+	// go run would put the server behind an intermediary process that
+	// orphans it on kill; build a real binary and manage it directly.
+	bin := filepath.Join(dir, "jsqd")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/jsqd")
+	build.Stdout, build.Stderr = os.Stderr, os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building jsqd: %w", err)
+	}
+
+	addr, err := freeAddr()
+	if err != nil {
+		return err
+	}
+	qlogPath := filepath.Join(dir, "query.log")
+	srv := exec.Command(bin,
+		"-addr", addr,
+		"-data", data,
+		"-collection", "smoke",
+		"-slow-query-ms", "0",
+		"-qlog", qlogPath,
+	)
+	srv.Stdout, srv.Stderr = os.Stderr, os.Stderr
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		_ = srv.Process.Signal(syscall.SIGTERM)
+		_, _ = srv.Process.Wait()
+	}()
+
+	base := "http://" + addr
+	if err := waitReady(base + "/metrics"); err != nil {
+		return err
+	}
+
+	status, _, err := postJSON(base+"/query",
+		`{"query": "for $o in collection(\"smoke\") order by $o.id return $o.id"}`)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("POST /query: status %d", status)
+	}
+
+	if err := checkQlog(qlogPath); err != nil {
+		return err
+	}
+	if err := checkGet(base+"/debug/slow", `"trace_id"`); err != nil {
+		return err
+	}
+	return checkGet(base+"/metrics", "jsonpark_query_phase_seconds")
+}
+
+// checkQlog asserts the query log holds exactly one parseable "query"
+// record with the schema jsqd promises.
+func checkQlog(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("query log: %w", err)
+	}
+	var records []map[string]any
+	for _, line := range strings.Split(strings.TrimSpace(string(raw)), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return fmt.Errorf("query log line is not JSON: %v\n%s", err, line)
+		}
+		if rec["event"] == "query" {
+			records = append(records, rec)
+		}
+	}
+	if len(records) != 1 {
+		return fmt.Errorf("query log holds %d query records, want 1:\n%s", len(records), raw)
+	}
+	rec := records[0]
+	for _, key := range []string{"trace_id", "fingerprint", "status",
+		"parse_us", "plan_us", "sqlgen_us", "exec_us", "total_us",
+		"rows", "mem_peak_bytes", "spill_bytes"} {
+		if _, ok := rec[key]; !ok {
+			return fmt.Errorf("query record missing %q: %v", key, rec)
+		}
+	}
+	if rec["status"] != "ok" {
+		return fmt.Errorf("query record status = %v, want ok", rec["status"])
+	}
+	return nil
+}
+
+// checkGet asserts the URL answers 200 with a body containing want.
+func checkGet(url, want string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if !strings.Contains(string(body), want) {
+		return fmt.Errorf("GET %s: body lacks %q", url, want)
+	}
+	return nil
+}
+
+func postJSON(url, body string) (int, string, error) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	out, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		return 0, "", err
+	}
+	return resp.StatusCode, string(out), nil
+}
+
+// waitReady polls until the server answers, or the startup budget runs out.
+func waitReady(url string) error {
+	deadline := time.Now().Add(startupWait)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			_ = resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return fmt.Errorf("jsqd did not become ready within %s", startupWait)
+}
+
+// freeAddr reserves an ephemeral localhost port and releases it for the
+// server to bind. The tiny claim/reuse window is acceptable for a smoke
+// test.
+func freeAddr() (string, error) {
+	l, err := net.Listen("tcp4", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	if err := l.Close(); err != nil {
+		return "", err
+	}
+	return addr, nil
+}
