@@ -1,10 +1,12 @@
 // Command datagen emits the synthetic benchmark datasets as JSON lines, for
-// inspection or for loading through jsq.
+// inspection or for loading through jsq — or writes them straight into a
+// persistent warehouse directory with -data-dir.
 //
 // Usage:
 //
 //	datagen -kind adl -n 1000 -seed 42 > events.jsonl
 //	datagen -kind ssb -table lineorder -sf 0.1 > lineorder.jsonl
+//	datagen -kind adl -n 100000 -data-dir ./wh   # micro-partitions on disk
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 	"fmt"
 	"os"
 
+	"jsonpark"
 	"jsonpark/internal/hepdata"
 	"jsonpark/internal/ssb"
 	"jsonpark/internal/variant"
@@ -24,14 +27,19 @@ func main() {
 	sf := flag.Float64("sf", 0.1, "SSB scale factor")
 	table := flag.String("table", "lineorder", "SSB table: lineorder|customer|supplier|part|date")
 	seed := flag.Int64("seed", 42, "generator seed")
+	dataDir := flag.String("data-dir", "", "write micro-partitions into a warehouse directory instead of JSON lines on stdout")
+	collection := flag.String("collection", "", "collection name for -data-dir (default: \"events\" for adl, the -table name for ssb)")
+	typedColumns := flag.Bool("typed-columns", true, "shred uniform scalar columns into typed arrays (only with -data-dir)")
 	flag.Parse()
 
-	out := bufio.NewWriter(os.Stdout)
-
 	var docs []variant.Value
+	name := *collection
 	switch *kind {
 	case "adl":
 		docs = hepdata.Events(*seed, *n)
+		if name == "" {
+			name = "events"
+		}
 	case "ssb":
 		tabs := ssb.Generate(*seed, ssb.SizesForScaleFactor(*sf))
 		switch *table {
@@ -48,9 +56,22 @@ func main() {
 		default:
 			fatal(fmt.Errorf("unknown -table %q", *table))
 		}
+		if name == "" {
+			name = *table
+		}
 	default:
 		fatal(fmt.Errorf("unknown -kind %q", *kind))
 	}
+
+	if *dataDir != "" {
+		if err := writeWarehouse(*dataDir, name, docs, *typedColumns); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "datagen: wrote %d rows to %s/%s\n", len(docs), *dataDir, name)
+		return
+	}
+
+	out := bufio.NewWriter(os.Stdout)
 	for _, d := range docs {
 		fmt.Fprintln(out, d.JSON())
 	}
@@ -59,6 +80,32 @@ func main() {
 	if err := out.Flush(); err != nil {
 		fatal(err)
 	}
+}
+
+// writeWarehouse loads the documents into a persistent warehouse at dir,
+// staging one column per top-level field (union across documents, in
+// first-seen order), and flushes so every row reaches disk.
+func writeWarehouse(dir, name string, docs []variant.Value, typed bool) error {
+	w := jsonpark.Open(jsonpark.WithDataDir(dir), jsonpark.WithTypedColumns(typed))
+	var cols []string
+	seen := map[string]bool{}
+	for _, d := range docs {
+		for _, k := range d.AsObject().Keys() {
+			if !seen[k] {
+				seen[k] = true
+				cols = append(cols, k)
+			}
+		}
+	}
+	if err := w.CreateCollection(name, cols); err != nil {
+		return err
+	}
+	for _, d := range docs {
+		if err := w.LoadObject(name, d); err != nil {
+			return err
+		}
+	}
+	return w.Flush()
 }
 
 func fatal(err error) {

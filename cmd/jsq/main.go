@@ -52,6 +52,8 @@ func main() {
 	qlogPath := flag.String("qlog", "", "append a structured query-log JSON line per query to FILE (- = stderr)")
 	slowMS := flag.Int64("slow-query-ms", -1, "retain span tree + plan snapshot for queries slower than this many ms (0 = every query, negative = off)")
 	traceOut := flag.String("trace-out", "", "append every finished trace as a JSON line to FILE")
+	dataDir := flag.String("data-dir", "", "persist micro-partitions under DIR and reopen collections found there (empty = in-memory)")
+	typedColumns := flag.Bool("typed-columns", true, "shred uniform scalar columns into typed arrays at partition seal (typed expression kernels)")
 	flag.Parse()
 
 	var memBytes int64
@@ -70,6 +72,8 @@ func main() {
 		jsonpark.WithMemLimit(memBytes),
 		jsonpark.WithPlanCheck(*planCheck),
 		jsonpark.WithSlowQueryMillis(*slowMS),
+		jsonpark.WithDataDir(*dataDir),
+		jsonpark.WithTypedColumns(*typedColumns),
 	}
 	if *traceOut != "" {
 		f, err := appendFile(*traceOut)
@@ -99,8 +103,16 @@ func main() {
 		if err := loadJSONL(w, *collection, *data, *columns); err != nil {
 			fatal(err)
 		}
+	case *dataDir != "":
+		// Persistent warehouse with no fresh input: query what's on disk.
 	default:
-		fatal(fmt.Errorf("provide -data FILE or -demo"))
+		fatal(fmt.Errorf("provide -data FILE, -demo, or -data-dir DIR"))
+	}
+	if *dataDir != "" {
+		// Seal freshly loaded rows so they reach disk before any querying.
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
 	}
 
 	strat := jsonpark.StrategyKeepFlag

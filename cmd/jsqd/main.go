@@ -44,6 +44,8 @@ func main() {
 	qlogPath := flag.String("qlog", "", "append the structured query log (one JSON line per query) to FILE instead of stderr")
 	slowMS := flag.Int64("slow-query-ms", -1, "capture queries slower than this many ms in /debug/slow, logged at warn (0 = every query, negative = off)")
 	traceOut := flag.String("trace-out", "", "append every finished trace as a JSON line to FILE")
+	dataDir := flag.String("data-dir", "", "persist micro-partitions under DIR and reopen collections found there (empty = in-memory)")
+	typedColumns := flag.Bool("typed-columns", true, "shred uniform scalar columns into typed arrays at partition seal (typed expression kernels)")
 	flag.Parse()
 
 	var memBytes int64
@@ -58,6 +60,8 @@ func main() {
 	opts := []jsonpark.OpenOption{
 		jsonpark.WithMemLimit(memBytes),
 		jsonpark.WithSlowQueryMillis(*slowMS),
+		jsonpark.WithDataDir(*dataDir),
+		jsonpark.WithTypedColumns(*typedColumns),
 	}
 	if *traceOut != "" {
 		f, err := appendFile(*traceOut)
@@ -70,6 +74,12 @@ func main() {
 	w := jsonpark.Open(opts...)
 	if *data != "" {
 		if err := preload(w, *collection, *data); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *dataDir != "" {
+		// Seal preloaded rows to disk before serving.
+		if err := w.Flush(); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -103,6 +113,12 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("jsqd shutdown: %v", err)
+	}
+	if *dataDir != "" {
+		// Seal rows loaded over HTTP so they survive the restart.
+		if err := w.Flush(); err != nil {
+			log.Printf("jsqd flush: %v", err)
+		}
 	}
 	logFinalMetrics(w)
 }

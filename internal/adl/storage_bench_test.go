@@ -1,0 +1,49 @@
+package adl
+
+import (
+	"fmt"
+	"testing"
+
+	"jsonpark/internal/engine"
+	"jsonpark/internal/hepdata"
+	"jsonpark/internal/snowpark"
+)
+
+// BenchmarkADLTypedVsVariant runs the scan-heavy ADL queries (q1–q4: flat
+// MET scans and jet flatten/filter histograms) single-threaded against typed
+// shredded chunks and the variant-only v1 layout. The nested event columns
+// (Jet, Muon, …) stay variant in both modes — they are arrays — so the
+// delta measures the typed kernels on the scalar columns (MET.pt after
+// shredding, event counters) plus the typed zone-map seal path; q5 rides
+// along as a fallback-heavy control that should not regress.
+func BenchmarkADLTypedVsVariant(b *testing.B) {
+	const events = 2000
+	ids := []string{"q1", "q2", "q3", "q4", "q5"}
+	for _, mode := range []struct {
+		name  string
+		typed bool
+	}{{"typed", true}, {"variant", false}} {
+		opts := []engine.Option{engine.WithParallelism(1)}
+		if !mode.typed {
+			opts = append(opts, engine.WithTypedColumns(false))
+		}
+		eng := engine.New(opts...)
+		if _, err := hepdata.Load(eng, "adl", 42, events); err != nil {
+			b.Fatal(err)
+		}
+		sess := snowpark.NewSession(eng)
+		for _, id := range ids {
+			q, ok := ByID(id)
+			if !ok {
+				b.Fatalf("unknown query %s", id)
+			}
+			b.Run(fmt.Sprintf("%s/mode=%s", id, mode.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := RunTranslated(sess, q, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -85,29 +85,35 @@ func (c *execContext) statsFor(n Node) *OpStats {
 // sum of the children's RowsOut; SelfTime subtracts the children's inclusive
 // times from this operator's.
 type PlanStats struct {
-	Op               string       `json:"op"`
-	Detail           string       `json:"detail,omitempty"`
-	RowsIn           int64        `json:"rows_in"`
-	RowsOut          int64        `json:"rows_out"`
-	TimeUS           int64        `json:"time_us"`
-	SelfTimeUS       int64        `json:"self_time_us"`
-	BytesScanned     int64        `json:"bytes_scanned,omitempty"`
-	PartitionsTotal  int          `json:"partitions_total,omitempty"`
-	PartitionsPruned int          `json:"partitions_pruned,omitempty"`
-	Batches          int64        `json:"batches,omitempty"`
-	Pipelines        int          `json:"pipelines,omitempty"`
-	MergeParts       int          `json:"merge_parts,omitempty"`
-	LocalRows        int64        `json:"local_rows,omitempty"`
-	LocalGroups      int64        `json:"local_groups,omitempty"`
-	MergedGroups     int64        `json:"merged_groups,omitempty"`
-	MaxWorkerRows    int64        `json:"max_worker_rows,omitempty"`
-	LocalWallUS      int64        `json:"local_wall_us,omitempty"`
-	MergeWallUS      int64        `json:"merge_wall_us,omitempty"`
-	MemPeakBytes     int64        `json:"mem_peak_bytes,omitempty"`
-	MemLimitBytes    int64        `json:"mem_limit_bytes,omitempty"`
-	Spills           int64        `json:"spills,omitempty"`
-	SpillBytes       int64        `json:"spill_bytes,omitempty"`
-	Children         []*PlanStats `json:"children,omitempty"`
+	Op               string `json:"op"`
+	Detail           string `json:"detail,omitempty"`
+	RowsIn           int64  `json:"rows_in"`
+	RowsOut          int64  `json:"rows_out"`
+	TimeUS           int64  `json:"time_us"`
+	SelfTimeUS       int64  `json:"self_time_us"`
+	BytesScanned     int64  `json:"bytes_scanned,omitempty"`
+	PartitionsTotal  int    `json:"partitions_total,omitempty"`
+	PartitionsPruned int    `json:"partitions_pruned,omitempty"`
+	Batches          int64  `json:"batches,omitempty"`
+	Pipelines        int    `json:"pipelines,omitempty"`
+	MergeParts       int    `json:"merge_parts,omitempty"`
+	LocalRows        int64  `json:"local_rows,omitempty"`
+	LocalGroups      int64  `json:"local_groups,omitempty"`
+	MergedGroups     int64  `json:"merged_groups,omitempty"`
+	MaxWorkerRows    int64  `json:"max_worker_rows,omitempty"`
+	LocalWallUS      int64  `json:"local_wall_us,omitempty"`
+	MergeWallUS      int64  `json:"merge_wall_us,omitempty"`
+	MemPeakBytes     int64  `json:"mem_peak_bytes,omitempty"`
+	MemLimitBytes    int64  `json:"mem_limit_bytes,omitempty"`
+	Spills           int64  `json:"spills,omitempty"`
+	SpillBytes       int64  `json:"spill_bytes,omitempty"`
+	// Storage v2 counters, query-global (kernels are compiled per worker and
+	// batches flow across operators, so the split is not attributable to a
+	// single node): set on the root only.
+	TypedCols    int64        `json:"typed_cols,omitempty"`
+	FallbackCols int64        `json:"fallback_cols,omitempty"`
+	DiskReads    int64        `json:"disk_reads,omitempty"`
+	Children     []*PlanStats `json:"children,omitempty"`
 }
 
 // Time returns the operator's inclusive wall time.
@@ -200,6 +206,10 @@ func (ps *PlanStats) Render() string {
 		if n.Spills > 0 || n.MemPeakBytes > 0 {
 			fmt.Fprintf(&b, " mem[peak=%d limit=%d spills=%d spill_bytes=%d]",
 				n.MemPeakBytes, n.MemLimitBytes, n.Spills, n.SpillBytes)
+		}
+		if depth == 0 && (n.TypedCols > 0 || n.FallbackCols > 0 || n.DiskReads > 0) {
+			fmt.Fprintf(&b, " storage[typed=%d fallback=%d disk_reads=%d]",
+				n.TypedCols, n.FallbackCols, n.DiskReads)
 		}
 		b.WriteString(")\n")
 	})

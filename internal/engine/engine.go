@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"jsonpark/internal/obsv"
@@ -22,6 +23,8 @@ type Engine struct {
 	mergeParts  int
 	memLimit    int64
 	planCheck   bool
+	dataDir     string
+	typedOff    bool
 	// progress tracks every in-flight query for ProgressSnapshot.
 	progress progressTable
 	// batchHook, when set, runs after every root batch the executor drains.
@@ -82,6 +85,25 @@ func WithMemLimit(n int64) Option {
 	}
 }
 
+// WithDataDir makes the catalog persistent: sealed partitions are written
+// as micro-partition files under dir (one subdirectory per table), and
+// tables already on disk are rediscovered lazily on first catalog access.
+// Loading is two-phase — headers (schema + zone maps) at open, data
+// sections on first scan — so pruning never touches cold data.
+func WithDataDir(dir string) Option {
+	return func(e *Engine) { e.dataDir = dir }
+}
+
+// WithTypedColumns toggles typed shredding at partition seal (on by
+// default): uniform scalar leaf columns are stored as typed arrays
+// (int64/float64/string/bool + null bitmap, dictionary-encoded strings)
+// that the expression kernels read without variant materialization.
+// Results are byte-identical either way; false keeps every column as
+// variant values (the v1 layout).
+func WithTypedColumns(on bool) Option {
+	return func(e *Engine) { e.typedOff = !on }
+}
+
 // WithPlanCheck enables the planck debug pass: every prepared plan is
 // cross-checked for unordered-exchange eligibility and declared
 // selection-vector contracts, and every operator is wrapped to validate the
@@ -100,6 +122,12 @@ func New(opts ...Option) *Engine {
 	}
 	for _, o := range opts {
 		o(e)
+	}
+	if e.typedOff {
+		e.catalog.SetTypedShredding(false)
+	}
+	if e.dataDir != "" {
+		e.catalog.SetDataDir(e.dataDir)
 	}
 	return e
 }
@@ -138,6 +166,12 @@ type Metrics struct {
 	MemLimitBytes int64
 	Spills        int64
 	SpillBytes    int64
+	// Storage v2: column reads served by typed kernels, typed columns that
+	// fell back to variant materialization, and partition data sections
+	// cold-loaded from disk during this query.
+	TypedCols    int64
+	FallbackCols int64
+	DiskReads    int64
 }
 
 // Total returns compile + execution time (the paper's "total time").
@@ -275,6 +309,9 @@ func (p *Prepared) RunCtx(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 	m := *p.ctx.metrics
+	m.TypedCols = atomic.LoadInt64(&p.ctx.typedCols)
+	m.FallbackCols = atomic.LoadInt64(&p.ctx.fallbackCols)
+	m.DiskReads = atomic.LoadInt64(&p.ctx.diskReads)
 	m.CompileTime = p.metrics.CompileTime
 	m.ExecTime = time.Since(start)
 	m.RowsReturned = int64(len(rows))
@@ -292,7 +329,11 @@ func (p *Prepared) PlanStats() *PlanStats {
 	if p.ctx.stats == nil {
 		return nil
 	}
-	return buildPlanStats(p.plan, p.ctx.stats)
+	ps := buildPlanStats(p.plan, p.ctx.stats)
+	ps.TypedCols = atomic.LoadInt64(&p.ctx.typedCols)
+	ps.FallbackCols = atomic.LoadInt64(&p.ctx.fallbackCols)
+	ps.DiskReads = atomic.LoadInt64(&p.ctx.diskReads)
+	return ps
 }
 
 // QueryAnalyze compiles with per-operator metering, executes, and returns

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"jsonpark/internal/sqlast"
 	"jsonpark/internal/storage"
@@ -50,6 +51,10 @@ type execContext struct {
 	// batchHook, when non-nil, runs after every root batch RunCtx drains
 	// (test instrumentation for observing queries mid-flight).
 	batchHook func()
+	// Storage-path counters (atomic; see countTypedCols and friends below).
+	typedCols    int64
+	fallbackCols int64
+	diskReads    int64
 }
 
 // queryCtx returns the query's cancellation context (never nil).
@@ -81,6 +86,32 @@ func (c *execContext) addScanCounts(st *OpStats, totalParts, pruned int, bytes i
 		st.PartitionsTotal += totalParts
 		st.PartitionsPruned += pruned
 		st.BytesScanned += bytes
+	}
+}
+
+// Storage-path counters, updated atomically: expression kernels run on
+// morsel workers and the parallel breakers' goroutines. All three methods
+// are nil-safe so compiled expressions also work without an execContext
+// (benchmarks, tests).
+
+// countTypedCols records n column reads served by typed kernels.
+func (c *execContext) countTypedCols(n int) {
+	if c != nil {
+		atomic.AddInt64(&c.typedCols, int64(n))
+	}
+}
+
+// countFallbackCols records n typed columns materialized to variants.
+func (c *execContext) countFallbackCols(n int) {
+	if c != nil {
+		atomic.AddInt64(&c.fallbackCols, int64(n))
+	}
+}
+
+// countDiskRead records one partition data section loaded from disk.
+func (c *execContext) countDiskRead() {
+	if c != nil {
+		atomic.AddInt64(&c.diskReads, 1)
 	}
 }
 
@@ -146,7 +177,7 @@ func prepareNode(n Node, ctx *execContext) (batchIter, error) {
 		if err != nil {
 			return nil, err
 		}
-		cond, err := compileVec(x.Input.Schema(), x.Cond)
+		cond, err := compileVec(ctx, x.Input.Schema(), x.Cond)
 		if err != nil {
 			in.Close()
 			return nil, err
@@ -157,25 +188,18 @@ func prepareNode(n Node, ctx *execContext) (batchIter, error) {
 		if err != nil {
 			return nil, err
 		}
-		fns, err := compileVecs(x.Input.Schema(), x.Exprs)
+		fns, err := compileVecs(ctx, x.Input.Schema(), x.Exprs)
 		if err != nil {
 			in.Close()
 			return nil, err
 		}
-		// Plain column references alias the (stable) input column; computed
-		// expressions return closure-owned buffers and must be copied into the
-		// output batch, which downstream operators may retain.
-		alias := make([]bool, len(x.Exprs))
-		for i, e := range x.Exprs {
-			_, alias[i] = e.(*sqlast.ColRef)
-		}
-		return &projectIter{in: in, fns: fns, alias: alias}, nil
+		return &projectIter{in: in, fns: fns, alias: colRefIndexes(x.Input.Schema(), x.Exprs)}, nil
 	case *FlattenNode:
 		in, err := prepare(x.Input, ctx)
 		if err != nil {
 			return nil, err
 		}
-		input, err := compileVec(x.Input.Schema(), x.Expr)
+		input, err := compileVec(ctx, x.Input.Schema(), x.Expr)
 		if err != nil {
 			in.Close()
 			return nil, err
@@ -282,10 +306,32 @@ func (f *filterIter) NextBatch() (*vector.Batch, error) {
 
 func (f *filterIter) Close() { f.in.Close() }
 
+// colRefIndexes maps each projection expression to its input-schema column
+// index when it is a plain column reference (resolvable via Lookup exactly
+// as compileVec resolves it), or -1 for computed expressions. Pass-through
+// columns skip evaluation entirely: the input representation — variant
+// vector or typed view — carries over into the output batch unchanged.
+func colRefIndexes(sc *Schema, exprs []sqlast.Expr) []int {
+	idx := make([]int, len(exprs))
+	for i, e := range exprs {
+		idx[i] = -1
+		if cr, ok := e.(*sqlast.ColRef); ok {
+			name := cr.Name
+			if cr.Table != "" {
+				name = cr.Table + "." + cr.Name
+			}
+			if j, ok := sc.Lookup(name); ok {
+				idx[i] = j
+			}
+		}
+	}
+	return idx
+}
+
 type projectIter struct {
 	in    batchIter
 	fns   []vecFn
-	alias []bool
+	alias []int // input column index for pass-through, -1 for computed
 }
 
 func (p *projectIter) NextBatch() (*vector.Batch, error) {
@@ -294,25 +340,38 @@ func (p *projectIter) NextBatch() (*vector.Batch, error) {
 		return nil, err
 	}
 	cols := make([][]variant.Value, len(p.fns))
+	var typed []*vector.TypedCol
 	for i, fn := range p.fns {
+		if src := p.alias[i]; src >= 0 {
+			// Pass-through: alias the input column's representation. The
+			// variant vector is stable (chunk storage or the batch's cached
+			// materialization); a typed view stays typed, so downstream
+			// kernels keep the fast path without a variant conversion.
+			cols[i] = b.Cols[src]
+			if cols[i] == nil {
+				if tc := b.TypedCol(src); tc != nil {
+					if typed == nil {
+						typed = make([]*vector.TypedCol, len(p.fns))
+					}
+					typed[i] = tc
+				}
+			}
+			continue
+		}
 		vals, err := fn(b)
 		if err != nil {
 			return nil, err
 		}
-		if p.alias[i] {
-			cols[i] = vals
-		} else {
-			// Copy out of the expression's reusable buffer: the emitted batch
-			// must stay valid until Close (sort and join retain batches).
-			c := make([]variant.Value, len(vals))
-			copy(c, vals)
-			cols[i] = c
-		}
+		// Copy out of the expression's reusable buffer: the emitted batch
+		// must stay valid until Close (sort and join retain batches).
+		c := make([]variant.Value, len(vals))
+		copy(c, vals)
+		cols[i] = c
 	}
 	// The projected vectors are aligned with the input's physical rows, so
 	// the selection carries over unchanged.
-	//jsqlint:ignore kernelalias alias[i] columns are stable input vectors, not reused kernel buffers; the rest are copied above
-	return &vector.Batch{Cols: cols, Sel: b.Sel}, nil
+	//jsqlint:ignore kernelalias pass-through columns alias stable input vectors or typed views, never reused kernel buffers; computed columns are copied above
+	return &vector.Batch{Cols: cols, Sel: b.Sel, Typed: typed}, nil
 }
 
 func (p *projectIter) Close() { p.in.Close() }
@@ -357,7 +416,7 @@ func (f *flattenIter) NextBatch() (*vector.Batch, error) {
 					// OUTER flatten keeps the row with NULL VALUE/INDEX.
 					row := make([]variant.Value, f.width+2)
 					for c := range b.Cols {
-						row[c] = b.Cols[c][i]
+						row[c] = b.Value(c, i)
 					}
 					row[f.width] = variant.Null
 					row[f.width+1] = variant.Null
@@ -368,7 +427,7 @@ func (f *flattenIter) NextBatch() (*vector.Batch, error) {
 			for k, e := range elems {
 				row := make([]variant.Value, f.width+2)
 				for c := range b.Cols {
-					row[c] = b.Cols[c][i]
+					row[c] = b.Value(c, i)
 				}
 				row[f.width] = e
 				row[f.width+1] = variant.Int(int64(k))
@@ -425,9 +484,9 @@ type aggEval struct {
 
 // compileAggEval compiles an aggregate's expressions against its input
 // schema.
-func compileAggEval(x *AggregateNode) (*aggEval, error) {
+func compileAggEval(ctx *execContext, x *AggregateNode) (*aggEval, error) {
 	inSchema := x.Input.Schema()
-	groupFns, err := compileVecs(inSchema, x.GroupBy)
+	groupFns, err := compileVecs(ctx, inSchema, x.GroupBy)
 	if err != nil {
 		return nil, err
 	}
@@ -435,14 +494,14 @@ func compileAggEval(x *AggregateNode) (*aggEval, error) {
 	for i, spec := range x.Aggs {
 		ca := compiledAgg{spec: spec}
 		if spec.Arg != nil {
-			fn, err := compileVec(inSchema, spec.Arg)
+			fn, err := compileVec(ctx, inSchema, spec.Arg)
 			if err != nil {
 				return nil, err
 			}
 			ca.arg = fn
 		}
 		for _, o := range spec.OrderBy {
-			fn, err := compileVec(inSchema, o.Expr)
+			fn, err := compileVec(ctx, inSchema, o.Expr)
 			if err != nil {
 				return nil, err
 			}
@@ -589,7 +648,7 @@ func prepareAggregate(x *AggregateNode, ctx *execContext) (batchIter, error) {
 	if err != nil {
 		return nil, err
 	}
-	eval, err := compileAggEval(x)
+	eval, err := compileAggEval(ctx, x)
 	if err != nil {
 		in.Close()
 		return nil, err
@@ -715,7 +774,7 @@ func prepareJoin(x *JoinNode, ctx *execContext, buildWorkers int, statNode Node)
 	// keys evaluate row-wise over the materialized right side.
 	leftKeys := make([]vecFn, len(x.LeftKeys))
 	for i, k := range x.LeftKeys {
-		leftKeys[i], err = compileVec(x.Left.Schema(), k)
+		leftKeys[i], err = compileVec(ctx, x.Left.Schema(), k)
 		if err != nil {
 			return fail(err)
 		}
@@ -1050,7 +1109,7 @@ func (j *joinIter) probeBatch(b *vector.Batch) error {
 			}
 		}
 		for c := range b.Cols {
-			combined[c] = b.Cols[c][i]
+			combined[c] = b.Value(c, i)
 		}
 		emitted := false
 		for _, rightRow := range candidates {
@@ -1121,7 +1180,7 @@ func prepareSort(x *SortNode, ctx *execContext, workers int, statNode Node) (bat
 	keys := make([]vecFn, len(x.Keys))
 	descs := make([]bool, len(x.Keys))
 	for i, k := range x.Keys {
-		fn, err := compileVec(x.Input.Schema(), k.Expr)
+		fn, err := compileVec(ctx, x.Input.Schema(), k.Expr)
 		if err != nil {
 			in.Close()
 			return nil, err
@@ -1260,7 +1319,7 @@ func (s *sortIter) materialize() error {
 		for n, r := range refs {
 			row := make([]variant.Value, s.width)
 			for c := 0; c < s.width; c++ {
-				row[c] = batches[r.b].Cols[c][r.i]
+				row[c] = batches[r.b].Value(c, r.i)
 			}
 			rows[n] = row
 		}

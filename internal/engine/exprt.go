@@ -1,0 +1,587 @@
+package engine
+
+import (
+	"math"
+	"strings"
+
+	"jsonpark/internal/sqlast"
+	"jsonpark/internal/variant"
+	"jsonpark/internal/vector"
+)
+
+// Typed expression kernels. When a batch column carries a typed view
+// (vector.TypedCol aliasing a chunk's typed array), comparisons, arithmetic
+// and IS NULL over that column run as tight monomorphic loops — no per-value
+// variant dispatch, no materialization. Each compiled kernel keeps the
+// generic variant closure as its fallback and re-checks the batch at run
+// time, so a mixed-type partition (or an operator that produced plain
+// variant columns) silently takes the generic path; results are identical
+// either way, bit for bit.
+//
+// The kernels replicate the exact scalar semantics of scalarBinOp and
+// variant/arith.go: NULL propagation, int64 wraparound for + - *, `/` always
+// producing a double with int/int division-by-zero errors, `%` keeping ints,
+// float comparisons where NaN never orders, and cross-kind comparisons via
+// the kind-rank total order.
+
+// colRefIndex resolves e as a bare column reference against sc.
+func colRefIndex(sc *Schema, e sqlast.Expr) (int, bool) {
+	x, ok := e.(*sqlast.ColRef)
+	if !ok {
+		return 0, false
+	}
+	name := x.Name
+	if x.Table != "" {
+		name = x.Table + "." + x.Name
+	}
+	return sc.Lookup(name)
+}
+
+// litValue resolves e as a literal.
+func litValue(e sqlast.Expr) (variant.Value, bool) {
+	x, ok := e.(*sqlast.Lit)
+	if !ok {
+		return variant.Null, false
+	}
+	return x.Value, true
+}
+
+// typedRank mirrors variant's kind-rank order for the kinds a typed column
+// can hold (numbers share one rank).
+func typedRank(k vector.TypedKind) int {
+	switch k {
+	case TypedColBool:
+		return 1
+	case TypedColInt, TypedColFloat:
+		return 2
+	}
+	return 3 // string
+}
+
+// Local aliases keep the kernel switch lines readable.
+const (
+	TypedColInt    = vector.TypedInt64
+	TypedColFloat  = vector.TypedFloat64
+	TypedColString = vector.TypedString
+	TypedColBool   = vector.TypedBool
+)
+
+func litRank(v variant.Value) int {
+	switch v.Kind() {
+	case variant.KindBool:
+		return 1
+	case variant.KindInt, variant.KindFloat:
+		return 2
+	case variant.KindString:
+		return 3
+	case variant.KindArray:
+		return 4
+	case variant.KindObject:
+		return 5
+	}
+	return 0 // null
+}
+
+// cmpBool turns a three-way comparison into the operator's boolean result.
+func cmpBool(op string, c int) variant.Value {
+	switch op {
+	case "=":
+		return variant.Bool(c == 0)
+	case "<>":
+		return variant.Bool(c != 0)
+	case "<":
+		return variant.Bool(c < 0)
+	case "<=":
+		return variant.Bool(c <= 0)
+	case ">":
+		return variant.Bool(c > 0)
+	}
+	return variant.Bool(c >= 0) // ">="
+}
+
+func isCmpOp(op string) bool {
+	switch op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func isArithOp(op string) bool {
+	switch op {
+	case "+", "-", "*", "/", "%":
+		return true
+	}
+	return false
+}
+
+// compileTypedBinary returns a typed-kernel evaluator for col⊗lit, lit⊗col
+// and col⊗col shapes of the comparison and arithmetic operators, or nil when
+// the expression shape cannot benefit. The returned closure owns its output
+// buffer (overwritten on the next call, per the vecFn contract) and calls
+// generic whenever the batch lacks the typed views it needs.
+func compileTypedBinary(ctx *execContext, sc *Schema, x *sqlast.Binary, generic vecFn) vecFn {
+	if !isCmpOp(x.Op) && !isArithOp(x.Op) {
+		return nil
+	}
+	if li, ok := colRefIndex(sc, x.Left); ok {
+		if lit, ok := litValue(x.Right); ok {
+			return typedColLitFn(ctx, li, x.Op, lit, false, generic)
+		}
+		if ri, ok := colRefIndex(sc, x.Right); ok {
+			return typedColColFn(ctx, li, ri, x.Op, generic)
+		}
+		return nil
+	}
+	if lit, ok := litValue(x.Left); ok {
+		if ri, ok := colRefIndex(sc, x.Right); ok {
+			return typedColLitFn(ctx, ri, x.Op, lit, true, generic)
+		}
+	}
+	return nil
+}
+
+// typedColLitFn evaluates `col op lit` (or `lit op col` when litLeft) against
+// the column's typed view.
+func typedColLitFn(ctx *execContext, ci int, op string, lit variant.Value, litLeft bool, generic vecFn) vecFn {
+	var out []variant.Value
+	return func(b *vector.Batch) ([]variant.Value, error) {
+		tc := b.TypedCol(ci)
+		if tc == nil {
+			return generic(b) //jsqlint:ignore kernelalias kernel-to-kernel delegation: the wrapper shares the fallback's buffer contract
+		}
+		out = growBuf(out, b.Len())
+		ok, err := typedColLitKernel(b, tc, op, lit, litLeft, out)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return generic(b) //jsqlint:ignore kernelalias kernel-to-kernel delegation: the wrapper shares the fallback's buffer contract
+		}
+		ctx.countTypedCols(1)
+		return out, nil
+	}
+}
+
+// typedColLitKernel fills out for the batch's active rows; the bool result
+// reports whether the (column kind, literal kind, op) combination has a
+// typed kernel at all.
+func typedColLitKernel(b *vector.Batch, tc *vector.TypedCol, op string, lit variant.Value, litLeft bool, out []variant.Value) (bool, error) {
+	// NULL literal: every comparison and arithmetic op yields NULL without
+	// reading a single column value.
+	if lit.IsNull() {
+		b.ForEach(func(i int) { out[i] = variant.Null })
+		return true, nil
+	}
+	if isCmpOp(op) {
+		if litLeft {
+			op = flipCmp(op)
+		}
+		cr, lr := typedRank(tc.Kind()), litRank(lit)
+		if cr != lr {
+			// Cross-rank comparison: the three-way result is a constant for
+			// every non-null row (numbers sort below strings, etc.).
+			c := cr - lr
+			res := cmpBool(op, c)
+			b.ForEach(func(i int) {
+				if tc.Null(i) {
+					out[i] = variant.Null
+				} else {
+					out[i] = res
+				}
+			})
+			return true, nil
+		}
+		return typedCmpColLit(b, tc, op, lit, out), nil
+	}
+	return typedArithColLit(b, tc, op, lit, litLeft, out)
+}
+
+// flipCmp mirrors a comparison so `lit op col` becomes `col op' lit`.
+func flipCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op // = and <> are symmetric
+}
+
+// typedCmpColLit handles same-rank comparisons: numeric column vs numeric
+// literal, string vs string, bool vs bool.
+func typedCmpColLit(b *vector.Batch, tc *vector.TypedCol, op string, lit variant.Value, out []variant.Value) bool {
+	switch tc.Kind() {
+	case TypedColInt:
+		xs := tc.Ints()
+		if lit.Kind() == variant.KindInt {
+			y := lit.AsInt()
+			b.ForEach(func(i int) {
+				if tc.Null(i) {
+					out[i] = variant.Null
+					return
+				}
+				out[i] = cmpBool(op, cmp3Int(xs[i], y))
+			})
+			return true
+		}
+		y := lit.AsFloat()
+		b.ForEach(func(i int) {
+			if tc.Null(i) {
+				out[i] = variant.Null
+				return
+			}
+			out[i] = cmpBool(op, cmp3Float(float64(xs[i]), y))
+		})
+		return true
+	case TypedColFloat:
+		xs := tc.Floats()
+		y := lit.AsFloat()
+		b.ForEach(func(i int) {
+			if tc.Null(i) {
+				out[i] = variant.Null
+				return
+			}
+			out[i] = cmpBool(op, cmp3Float(xs[i], y))
+		})
+		return true
+	case TypedColString:
+		y := lit.AsString()
+		if codes := tc.Codes(); codes != nil {
+			// Dictionary fast path: compare each distinct string once.
+			dict := tc.Dict()
+			res := make([]variant.Value, len(dict))
+			for c, s := range dict {
+				res[c] = cmpBool(op, strings.Compare(s, y))
+			}
+			b.ForEach(func(i int) {
+				if tc.Null(i) {
+					out[i] = variant.Null
+					return
+				}
+				out[i] = res[codes[i]]
+			})
+			return true
+		}
+		xs := tc.Strs()
+		b.ForEach(func(i int) {
+			if tc.Null(i) {
+				out[i] = variant.Null
+				return
+			}
+			out[i] = cmpBool(op, strings.Compare(xs[i], y))
+		})
+		return true
+	case TypedColBool:
+		xs := tc.Bools()
+		y := lit.AsBool()
+		b.ForEach(func(i int) {
+			if tc.Null(i) {
+				out[i] = variant.Null
+				return
+			}
+			out[i] = cmpBool(op, cmp3Bool(xs[i], y))
+		})
+		return true
+	}
+	return false
+}
+
+func cmp3Int(x, y int64) int {
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	}
+	return 0
+}
+
+// cmp3Float matches variant.Compare on doubles: NaN compares equal to
+// everything (neither < nor > fires).
+func cmp3Float(x, y float64) int {
+	switch {
+	case x < y:
+		return -1
+	case x > y:
+		return 1
+	}
+	return 0
+}
+
+func cmp3Bool(x, y bool) int {
+	switch {
+	case x == y:
+		return 0
+	case !x:
+		return -1
+	}
+	return 1
+}
+
+// typedArithColLit handles + - * / % between a numeric typed column and a
+// numeric literal, replicating variant/arith.go exactly: int⊗int keeps int64
+// (two's-complement wraparound) except `/` which always yields a double,
+// int/int division or mod by zero errors, and any float operand promotes to
+// float64 arithmetic.
+func typedArithColLit(b *vector.Batch, tc *vector.TypedCol, op string, lit variant.Value, litLeft bool, out []variant.Value) (bool, error) {
+	if !lit.IsNumber() {
+		return false, nil
+	}
+	intInt := tc.Kind() == TypedColInt && lit.Kind() == variant.KindInt
+	switch {
+	case intInt && op != "/":
+		xs := tc.Ints()
+		litI := lit.AsInt()
+		var err error
+		b.ForEach(func(i int) {
+			if err != nil {
+				return
+			}
+			if tc.Null(i) {
+				out[i] = variant.Null
+				return
+			}
+			x, y := xs[i], litI
+			if litLeft {
+				x, y = litI, xs[i]
+			}
+			switch op {
+			case "+":
+				out[i] = variant.Int(x + y)
+			case "-":
+				out[i] = variant.Int(x - y)
+			case "*":
+				out[i] = variant.Int(x * y)
+			case "%":
+				if y == 0 {
+					_, err = variant.Mod(variant.Int(x), variant.Int(y))
+					return
+				}
+				out[i] = variant.Int(x % y)
+			}
+		})
+		return true, err
+	case tc.Kind() == TypedColInt || tc.Kind() == TypedColFloat:
+		colF := typedFloatAt(tc)
+		litF := lit.AsFloat()
+		var err error
+		b.ForEach(func(i int) {
+			if err != nil {
+				return
+			}
+			if tc.Null(i) {
+				out[i] = variant.Null
+				return
+			}
+			x, y := colF(i), litF
+			if litLeft {
+				x, y = litF, colF(i)
+			}
+			switch op {
+			case "+":
+				out[i] = variant.Float(x + y)
+			case "-":
+				out[i] = variant.Float(x - y)
+			case "*":
+				out[i] = variant.Float(x * y)
+			case "/":
+				if intInt && y == 0 {
+					// int/int by zero is an error; float division yields ±Inf.
+					_, err = variant.Div(variant.Int(int64(x)), variant.Int(0))
+					return
+				}
+				out[i] = variant.Float(x / y)
+			case "%":
+				out[i] = variant.Float(math.Mod(x, y))
+			}
+		})
+		return true, err
+	}
+	return false, nil
+}
+
+// typedColColFn evaluates `colA op colB` when both columns expose typed
+// views of compatible kinds.
+func typedColColFn(ctx *execContext, li, ri int, op string, generic vecFn) vecFn {
+	var out []variant.Value
+	return func(b *vector.Batch) ([]variant.Value, error) {
+		lt, rt := b.TypedCol(li), b.TypedCol(ri)
+		if lt == nil || rt == nil {
+			return generic(b) //jsqlint:ignore kernelalias kernel-to-kernel delegation: the wrapper shares the fallback's buffer contract
+		}
+		out = growBuf(out, b.Len())
+		ok, err := typedColColKernel(b, lt, rt, op, out)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return generic(b) //jsqlint:ignore kernelalias kernel-to-kernel delegation: the wrapper shares the fallback's buffer contract
+		}
+		ctx.countTypedCols(2)
+		return out, nil
+	}
+}
+
+func typedColColKernel(b *vector.Batch, lt, rt *vector.TypedCol, op string, out []variant.Value) (bool, error) {
+	lk, rk := lt.Kind(), rt.Kind()
+	numL := lk == TypedColInt || lk == TypedColFloat
+	numR := rk == TypedColInt || rk == TypedColFloat
+	if isCmpOp(op) {
+		switch {
+		case lk == TypedColInt && rk == TypedColInt:
+			xs, ys := lt.Ints(), rt.Ints()
+			b.ForEach(func(i int) {
+				if lt.Null(i) || rt.Null(i) {
+					out[i] = variant.Null
+					return
+				}
+				out[i] = cmpBool(op, cmp3Int(xs[i], ys[i]))
+			})
+			return true, nil
+		case numL && numR:
+			lf, rf := typedFloatAt(lt), typedFloatAt(rt)
+			b.ForEach(func(i int) {
+				if lt.Null(i) || rt.Null(i) {
+					out[i] = variant.Null
+					return
+				}
+				out[i] = cmpBool(op, cmp3Float(lf(i), rf(i)))
+			})
+			return true, nil
+		case lk == TypedColString && rk == TypedColString:
+			b.ForEach(func(i int) {
+				if lt.Null(i) || rt.Null(i) {
+					out[i] = variant.Null
+					return
+				}
+				out[i] = cmpBool(op, strings.Compare(lt.StringAt(i), rt.StringAt(i)))
+			})
+			return true, nil
+		case lk == TypedColBool && rk == TypedColBool:
+			xs, ys := lt.Bools(), rt.Bools()
+			b.ForEach(func(i int) {
+				if lt.Null(i) || rt.Null(i) {
+					out[i] = variant.Null
+					return
+				}
+				out[i] = cmpBool(op, cmp3Bool(xs[i], ys[i]))
+			})
+			return true, nil
+		case typedRank(lk) != typedRank(rk):
+			// Constant three-way result for all non-null row pairs.
+			c := typedRank(lk) - typedRank(rk)
+			res := cmpBool(op, c)
+			b.ForEach(func(i int) {
+				if lt.Null(i) || rt.Null(i) {
+					out[i] = variant.Null
+					return
+				}
+				out[i] = res
+			})
+			return true, nil
+		}
+		return false, nil
+	}
+	if !numL || !numR {
+		return false, nil
+	}
+	if lk == TypedColInt && rk == TypedColInt && op != "/" {
+		xs, ys := lt.Ints(), rt.Ints()
+		var err error
+		b.ForEach(func(i int) {
+			if err != nil {
+				return
+			}
+			if lt.Null(i) || rt.Null(i) {
+				out[i] = variant.Null
+				return
+			}
+			switch op {
+			case "+":
+				out[i] = variant.Int(xs[i] + ys[i])
+			case "-":
+				out[i] = variant.Int(xs[i] - ys[i])
+			case "*":
+				out[i] = variant.Int(xs[i] * ys[i])
+			case "%":
+				if ys[i] == 0 {
+					_, err = variant.Mod(variant.Int(xs[i]), variant.Int(0))
+					return
+				}
+				out[i] = variant.Int(xs[i] % ys[i])
+			}
+		})
+		return true, err
+	}
+	intInt := lk == TypedColInt && rk == TypedColInt
+	lf, rf := typedFloatAt(lt), typedFloatAt(rt)
+	var err error
+	b.ForEach(func(i int) {
+		if err != nil {
+			return
+		}
+		if lt.Null(i) || rt.Null(i) {
+			out[i] = variant.Null
+			return
+		}
+		x, y := lf(i), rf(i)
+		switch op {
+		case "+":
+			out[i] = variant.Float(x + y)
+		case "-":
+			out[i] = variant.Float(x - y)
+		case "*":
+			out[i] = variant.Float(x * y)
+		case "/":
+			if intInt && y == 0 {
+				_, err = variant.Div(variant.Int(int64(x)), variant.Int(0))
+				return
+			}
+			out[i] = variant.Float(x / y)
+		case "%":
+			out[i] = variant.Float(math.Mod(x, y))
+		}
+	})
+	return true, err
+}
+
+// typedFloatAt returns a float64 accessor over a numeric typed column.
+func typedFloatAt(tc *vector.TypedCol) func(int) float64 {
+	if tc.Kind() == TypedColInt {
+		xs := tc.Ints()
+		return func(i int) float64 { return float64(xs[i]) }
+	}
+	xs := tc.Floats()
+	return func(i int) float64 { return xs[i] }
+}
+
+// compileTypedIsNull evaluates IS [NOT] NULL straight off the null bitmap
+// when the operand is a column with a typed view.
+func compileTypedIsNull(ctx *execContext, sc *Schema, x *sqlast.IsNull, generic vecFn) vecFn {
+	ci, ok := colRefIndex(sc, x.Operand)
+	if !ok {
+		return nil
+	}
+	negate := x.Negate
+	var out []variant.Value
+	return func(b *vector.Batch) ([]variant.Value, error) {
+		tc := b.TypedCol(ci)
+		if tc == nil {
+			return generic(b) //jsqlint:ignore kernelalias kernel-to-kernel delegation: the wrapper shares the fallback's buffer contract
+		}
+		out = growBuf(out, b.Len())
+		if !tc.HasNulls() {
+			res := variant.Bool(negate)
+			b.ForEach(func(i int) { out[i] = res })
+		} else {
+			b.ForEach(func(i int) { out[i] = variant.Bool(tc.Null(i) != negate) })
+		}
+		ctx.countTypedCols(1)
+		return out, nil
+	}
+}

@@ -32,8 +32,11 @@ func growBuf(buf []variant.Value, n int) []variant.Value {
 // constructs (AND/OR/CASE) restrict the selection before evaluating their
 // conditional operands, preserving the row-at-a-time short-circuit
 // semantics (a division that the row engine never reached is not evaluated
-// here either).
-func compileVec(sc *Schema, e sqlast.Expr) (vecFn, error) {
+// here either). ctx (nil-safe) receives the typed-kernel vs variant-fallback
+// column-read counters; comparison, arithmetic and IS NULL shapes over
+// column references get typed kernels (exprt.go) with the generic closure as
+// their run-time fallback.
+func compileVec(ctx *execContext, sc *Schema, e sqlast.Expr) (vecFn, error) {
 	switch x := e.(type) {
 	case *sqlast.Lit:
 		v := x.Value
@@ -52,17 +55,30 @@ func compileVec(sc *Schema, e sqlast.Expr) (vecFn, error) {
 		if !ok {
 			return nil, fmt.Errorf("engine: unknown column %q (have %v)", name, sc.Names)
 		}
+		var out []variant.Value
 		return func(b *vector.Batch) ([]variant.Value, error) {
-			return b.Cols[i], nil
+			if b.Cols[i] == nil {
+				if tc := b.TypedCol(i); tc != nil {
+					// A typed column is leaving the typed fast path. Materialize
+					// into the closure buffer — the vecFn contract lets the
+					// output alias storage reused on the next call — rather
+					// than through Column's per-batch cache, which would
+					// allocate a fresh variant slice for every batch.
+					ctx.countFallbackCols(1)
+					out = tc.Materialize(out[:0])
+					return out, nil
+				}
+			}
+			return b.Column(i), nil
 		}, nil
 	case *sqlast.Star:
 		return nil, fmt.Errorf("engine: '*' is only valid in COUNT(*) or a select list")
 	case *sqlast.FuncCall:
-		return compileVecFuncCall(sc, x)
+		return compileVecFuncCall(ctx, sc, x)
 	case *sqlast.Binary:
-		return compileVecBinary(sc, x)
+		return compileVecBinary(ctx, sc, x)
 	case *sqlast.Unary:
-		operand, err := compileVec(sc, x.Operand)
+		operand, err := compileVec(ctx, sc, x.Operand)
 		if err != nil {
 			return nil, err
 		}
@@ -79,18 +95,22 @@ func compileVec(sc *Schema, e sqlast.Expr) (vecFn, error) {
 		}
 		return nil, fmt.Errorf("engine: unknown unary operator %q", x.Op)
 	case *sqlast.IsNull:
-		operand, err := compileVec(sc, x.Operand)
+		operand, err := compileVec(ctx, sc, x.Operand)
 		if err != nil {
 			return nil, err
 		}
 		negate := x.Negate
-		return mapVec(operand, func(v variant.Value) (variant.Value, error) {
+		generic := mapVec(operand, func(v variant.Value) (variant.Value, error) {
 			return variant.Bool(v.IsNull() != negate), nil
-		}), nil
+		})
+		if typed := compileTypedIsNull(ctx, sc, x, generic); typed != nil {
+			return typed, nil
+		}
+		return generic, nil
 	case *sqlast.CaseWhen:
-		return compileVecCase(sc, x)
+		return compileVecCase(ctx, sc, x)
 	case *sqlast.Cast:
-		operand, err := compileVec(sc, x.Operand)
+		operand, err := compileVec(ctx, sc, x.Operand)
 		if err != nil {
 			return nil, err
 		}
@@ -128,7 +148,7 @@ func mapVec(in vecFn, fn func(variant.Value) (variant.Value, error)) vecFn {
 	}
 }
 
-func compileVecFuncCall(sc *Schema, x *sqlast.FuncCall) (vecFn, error) {
+func compileVecFuncCall(ctx *execContext, sc *Schema, x *sqlast.FuncCall) (vecFn, error) {
 	name := strings.ToUpper(x.Name)
 	if isAggregateName(name) {
 		return nil, fmt.Errorf("engine: aggregate %s outside GROUP BY context", name)
@@ -154,7 +174,7 @@ func compileVecFuncCall(sc *Schema, x *sqlast.FuncCall) (vecFn, error) {
 	}
 	args := make([]vecFn, len(x.Args))
 	for i, a := range x.Args {
-		c, err := compileVec(sc, a)
+		c, err := compileVec(ctx, sc, a)
 		if err != nil {
 			return nil, err
 		}
@@ -191,12 +211,12 @@ func compileVecFuncCall(sc *Schema, x *sqlast.FuncCall) (vecFn, error) {
 	}, nil
 }
 
-func compileVecBinary(sc *Schema, x *sqlast.Binary) (vecFn, error) {
-	left, err := compileVec(sc, x.Left)
+func compileVecBinary(ctx *execContext, sc *Schema, x *sqlast.Binary) (vecFn, error) {
+	left, err := compileVec(ctx, sc, x.Left)
 	if err != nil {
 		return nil, err
 	}
-	right, err := compileVec(sc, x.Right)
+	right, err := compileVec(ctx, sc, x.Right)
 	if err != nil {
 		return nil, err
 	}
@@ -281,7 +301,7 @@ func compileVecBinary(sc *Schema, x *sqlast.Binary) (vecFn, error) {
 		return nil, err
 	}
 	var out []variant.Value
-	return func(b *vector.Batch) ([]variant.Value, error) {
+	generic := func(b *vector.Batch) ([]variant.Value, error) {
 		l, err := left(b)
 		if err != nil {
 			return nil, err
@@ -302,18 +322,22 @@ func compileVecBinary(sc *Schema, x *sqlast.Binary) (vecFn, error) {
 			return nil, ferr
 		}
 		return out, nil
-	}, nil
+	}
+	if typed := compileTypedBinary(ctx, sc, x, generic); typed != nil {
+		return typed, nil
+	}
+	return generic, nil
 }
 
-func compileVecCase(sc *Schema, x *sqlast.CaseWhen) (vecFn, error) {
+func compileVecCase(ctx *execContext, sc *Schema, x *sqlast.CaseWhen) (vecFn, error) {
 	type arm struct{ cond, result vecFn }
 	arms := make([]arm, len(x.Whens))
 	for i, w := range x.Whens {
-		c, err := compileVec(sc, w.Cond)
+		c, err := compileVec(ctx, sc, w.Cond)
 		if err != nil {
 			return nil, err
 		}
-		r, err := compileVec(sc, w.Result)
+		r, err := compileVec(ctx, sc, w.Result)
 		if err != nil {
 			return nil, err
 		}
@@ -322,7 +346,7 @@ func compileVecCase(sc *Schema, x *sqlast.CaseWhen) (vecFn, error) {
 	var els vecFn
 	if x.Else != nil {
 		var err error
-		els, err = compileVec(sc, x.Else)
+		els, err = compileVec(ctx, sc, x.Else)
 		if err != nil {
 			return nil, err
 		}
@@ -381,10 +405,10 @@ func compileVecCase(sc *Schema, x *sqlast.CaseWhen) (vecFn, error) {
 }
 
 // compileVecs compiles a list of expressions against one schema.
-func compileVecs(sc *Schema, exprs []sqlast.Expr) ([]vecFn, error) {
+func compileVecs(ctx *execContext, sc *Schema, exprs []sqlast.Expr) ([]vecFn, error) {
 	fns := make([]vecFn, len(exprs))
 	for i, e := range exprs {
-		fn, err := compileVec(sc, e)
+		fn, err := compileVec(ctx, sc, e)
 		if err != nil {
 			return nil, err
 		}

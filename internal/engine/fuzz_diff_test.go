@@ -30,13 +30,18 @@ func FuzzPlanDiff(f *testing.F) {
 		docs := genDiffDocs(rng)
 		queries := genDiffQueries(rng)
 
-		// The oracle: one worker, no budget. Its rendering is ground truth.
-		oracle := diffCell{name: "oracle", batch: 1024, par: 1}
+		// The oracle: one worker, no budget, no typed shredding — the pure
+		// variant path. Its rendering is ground truth.
+		oracle := diffCell{name: "oracle", batch: 1024, par: 1, typedOff: true}
 		cells := []diffCell{
 			{name: "bs1-seq-64k", batch: 1, par: 1, limit: 64 * 1024},
 			{name: "bs1024-par4-64k", batch: 1024, par: 4, limit: 64 * 1024},
 			{name: "bs64-par4-4k", batch: 64, par: 4, limit: 4 * 1024},
 			{name: "bs1024-par4-unlimited", batch: 1024, par: 4},
+			// Storage dimension: typed kernels sequential, and typed partitions
+			// persisted to disk and reloaded into a fresh engine before querying.
+			{name: "bs1024-seq-typed", batch: 1024, par: 1},
+			{name: "bs1024-par4-persist-reload", batch: 1024, par: 4, persist: true},
 		}
 
 		want := runDiffCell(t, oracle, docs, queries)
@@ -56,6 +61,11 @@ type diffCell struct {
 	name       string
 	batch, par int
 	limit      int64
+	// typedOff keeps every column in the variant encoding (the v1 layout);
+	// persist writes partitions under a temp data dir and re-opens a fresh
+	// engine over it, so queries exercise header pruning + cold loads.
+	typedOff bool
+	persist  bool
 }
 
 // runDiffCell loads the dataset into a fresh engine configured for the
@@ -65,6 +75,12 @@ func runDiffCell(t *testing.T, c diffCell, docs []string, queries []string) []st
 	opts := []Option{WithBatchSize(c.batch), WithParallelism(c.par)}
 	if c.limit > 0 {
 		opts = append(opts, WithMemLimit(c.limit))
+	}
+	if c.typedOff {
+		opts = append(opts, WithTypedColumns(false))
+	}
+	if c.persist {
+		opts = append(opts, WithDataDir(t.TempDir()))
 	}
 	e := New(opts...)
 	tab, err := e.Catalog().CreateTable("t", []string{"grp", "id", "val", "s", "items"})
@@ -76,6 +92,14 @@ func runDiffCell(t *testing.T, c diffCell, docs []string, queries []string) []st
 		if err := tab.AppendObject(variant.MustParseJSON(doc)); err != nil {
 			t.Fatalf("[%s] bad generated doc %s: %v", c.name, doc, err)
 		}
+	}
+	if c.persist {
+		// Seal everything to disk, then restart: a fresh engine over the same
+		// directory must reconstruct the table bit-exactly from headers + data.
+		if err := e.Catalog().Flush(); err != nil {
+			t.Fatal(err)
+		}
+		e = New(opts...)
 	}
 	out := make([]string, len(queries))
 	for qi, q := range queries {

@@ -7,7 +7,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"jsonpark/internal/sqlast"
 	"jsonpark/internal/storage"
 	"jsonpark/internal/variant"
 	"jsonpark/internal/vector"
@@ -137,36 +136,33 @@ type compiledStage struct {
 	flatten *FlattenNode
 	cond    vecFn
 	fns     []vecFn
-	alias   []bool
+	alias   []int
 	input   vecFn
 	width   int
 }
 
 // compileStages compiles the Filter/Project/Flatten chain (execution order)
 // for one worker.
-func compileStages(stages []Node) ([]compiledStage, error) {
+func compileStages(ctx *execContext, stages []Node) ([]compiledStage, error) {
 	out := make([]compiledStage, 0, len(stages))
 	for _, n := range stages {
 		op, _ := describeNode(n)
 		switch x := n.(type) {
 		case *FilterNode:
-			cond, err := compileVec(x.Input.Schema(), x.Cond)
+			cond, err := compileVec(ctx, x.Input.Schema(), x.Cond)
 			if err != nil {
 				return nil, err
 			}
 			out = append(out, compiledStage{op: op, filter: x, cond: cond})
 		case *ProjectNode:
-			fns, err := compileVecs(x.Input.Schema(), x.Exprs)
+			fns, err := compileVecs(ctx, x.Input.Schema(), x.Exprs)
 			if err != nil {
 				return nil, err
 			}
-			alias := make([]bool, len(x.Exprs))
-			for i, e := range x.Exprs {
-				_, alias[i] = e.(*sqlast.ColRef)
-			}
-			out = append(out, compiledStage{op: op, project: x, fns: fns, alias: alias})
+			out = append(out, compiledStage{op: op, project: x, fns: fns,
+				alias: colRefIndexes(x.Input.Schema(), x.Exprs)})
 		case *FlattenNode:
-			input, err := compileVec(x.Input.Schema(), x.Expr)
+			input, err := compileVec(ctx, x.Input.Schema(), x.Expr)
 			if err != nil {
 				return nil, err
 			}
@@ -199,14 +195,14 @@ func prepareParallelAgg(x *ParallelAggNode, ctx *execContext) (batchIter, error)
 		colIdx[i] = idx
 	}
 	if scan.Filter != nil {
-		if _, err := compileVec(scan.Schema(), scan.Filter); err != nil {
+		if _, err := compileVec(ctx, scan.Schema(), scan.Filter); err != nil {
 			return nil, err
 		}
 	}
-	if _, err := compileStages(stages); err != nil {
+	if _, err := compileStages(ctx, stages); err != nil {
 		return nil, err
 	}
-	eval, err := compileAggEval(x.AggregateNode)
+	eval, err := compileAggEval(ctx, x.AggregateNode)
 	if err != nil {
 		return nil, err
 	}
@@ -352,20 +348,20 @@ func (p *paggIter) run() ([][]variant.Value, error) {
 			// Per-worker compilation: compiled expressions hold state
 			// (reusable buffers), so nothing compiled is shared across
 			// goroutines.
-			eval, err := compileAggEval(p.node.AggregateNode)
+			eval, err := compileAggEval(p.ctx, p.node.AggregateNode)
 			if err != nil {
 				fail(err)
 				return
 			}
 			var filter vecFn
 			if p.scan.Filter != nil {
-				filter, err = compileVec(p.scan.Schema(), p.scan.Filter)
+				filter, err = compileVec(p.ctx, p.scan.Schema(), p.scan.Filter)
 				if err != nil {
 					fail(err)
 					return
 				}
 			}
-			cs, err := compileStages(p.stages)
+			cs, err := compileStages(p.ctx, p.stages)
 			if err != nil {
 				fail(err)
 				return
@@ -414,7 +410,7 @@ func (p *paggIter) run() ([][]variant.Value, error) {
 						p.ctx.addScanCounts(scanSt, 0, 1, 0)
 						continue
 					}
-					batches, bytes, err := scanPartition(part, p.colIdx, filter, p.ctx.batchSize)
+					batches, bytes, err := scanPartition(p.ctx, part, p.colIdx, filter, p.ctx.batchSize)
 					p.ctx.addScanCounts(scanSt, 0, 0, bytes)
 					if err != nil {
 						fail(err)

@@ -188,13 +188,28 @@ func (c *checkIter) NextBatch() (*vector.Batch, error) {
 func (c *checkIter) Close() { c.in.Close() }
 
 func validateBatch(b *vector.Batch) error {
-	rows := 0
+	rows := -1
 	for i, col := range b.Cols {
-		if i == 0 {
-			rows = len(col)
-		} else if len(col) != rows {
-			return fmt.Errorf("ragged columns: column %d has %d rows, column 0 has %d", i, len(col), rows)
+		// A typed-only column (nil variant vector, typed view set) is a valid
+		// scan-batch representation; a column with neither is a contract bug.
+		n := len(col)
+		tc := b.TypedCol(i)
+		if col == nil {
+			if tc == nil {
+				return fmt.Errorf("column %d has neither a variant vector nor a typed view", i)
+			}
+			n = tc.Len()
+		} else if tc != nil && tc.Len() != n {
+			return fmt.Errorf("column %d typed view has %d rows, variant vector has %d", i, tc.Len(), n)
 		}
+		if rows == -1 {
+			rows = n
+		} else if n != rows {
+			return fmt.Errorf("ragged columns: column %d has %d rows, column 0 has %d", i, n, rows)
+		}
+	}
+	if rows == -1 {
+		rows = 0
 	}
 	prev := -1
 	//jsqlint:ignore selbounds planck validates the raw selection vector itself; helpers would mask the defects it checks for

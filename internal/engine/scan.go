@@ -28,7 +28,7 @@ func prepareScan(x *ScanNode, ctx *execContext) (batchIter, error) {
 	}
 	var filter vecFn
 	if x.Filter != nil {
-		fn, err := compileVec(x.Schema(), x.Filter)
+		fn, err := compileVec(ctx, x.Schema(), x.Filter)
 		if err != nil {
 			return nil, err
 		}
@@ -63,18 +63,36 @@ func partitionPruned(x *ScanNode, p *storage.Partition) bool {
 	return false
 }
 
-// scanPartition materializes one partition's projected column chunks and
-// cuts them into batches of at most batchSize rows. The batch columns alias
-// the chunk storage (zero-copy); the pushed-down filter shrinks each batch's
-// selection, and fully filtered batches are dropped. Returns the surviving
-// batches and the chunk bytes read.
-func scanPartition(p *storage.Partition, colIdx []int, filter vecFn, batchSize int) ([]*vector.Batch, int64, error) {
+// scanPartition cuts one partition's projected column chunks into batches of
+// at most batchSize rows. Typed chunks hand out typed views (Slice) with a
+// nil variant column — the typed fast path — and variant chunks alias the
+// chunk storage as before; either way the batch is zero-copy against the
+// partition. A persisted partition is cold-loaded here on first touch
+// (EnsureLoaded), after pruning already had its say from the header zone
+// maps. The pushed-down filter shrinks each batch's selection, and fully
+// filtered batches are dropped. Returns the surviving batches and the chunk
+// bytes read.
+func scanPartition(ctx *execContext, p *storage.Partition, colIdx []int, filter vecFn, batchSize int) ([]*vector.Batch, int64, error) {
+	read, err := p.EnsureLoaded()
+	if err != nil {
+		return nil, 0, err
+	}
+	if read {
+		ctx.countDiskRead()
+	}
 	rows := p.NumRows()
 	cols := make([][]variant.Value, len(colIdx))
+	typed := make([]*vector.TypedCol, len(colIdx))
+	anyTyped := false
 	var bytes int64
 	for i, idx := range colIdx {
 		chunk := p.Column(idx)
-		cols[i] = chunk.Values()
+		if tc := chunk.Typed(); tc != nil {
+			typed[i] = tc
+			anyTyped = true
+		} else {
+			cols[i] = chunk.Values()
+		}
 		bytes += chunk.Bytes()
 	}
 	var out []*vector.Batch
@@ -84,10 +102,18 @@ func scanPartition(p *storage.Partition, colIdx []int, filter vecFn, batchSize i
 			hi = rows
 		}
 		bcols := make([][]variant.Value, len(cols))
-		for c := range cols {
-			bcols[c] = cols[c][lo:hi:hi]
+		var btyped []*vector.TypedCol
+		if anyTyped {
+			btyped = make([]*vector.TypedCol, len(cols))
 		}
-		b := &vector.Batch{Cols: bcols}
+		for c := range cols {
+			if typed[c] != nil {
+				btyped[c] = typed[c].Slice(lo, hi)
+			} else {
+				bcols[c] = cols[c][lo:hi:hi]
+			}
+		}
+		b := &vector.Batch{Cols: bcols, Typed: btyped}
 		if filter != nil {
 			keep, err := filter(b)
 			if err != nil {
@@ -138,7 +164,7 @@ func (s *scanIter) NextBatch() (*vector.Batch, error) {
 			s.ctx.addScanCounts(s.st, 0, 1, 0)
 			continue
 		}
-		batches, bytes, err := scanPartition(p, s.colIdx, s.filter, s.ctx.batchSize)
+		batches, bytes, err := scanPartition(s.ctx, p, s.colIdx, s.filter, s.ctx.batchSize)
 		s.ctx.addScanCounts(s.st, 0, 0, bytes)
 		if err != nil {
 			return nil, err
@@ -204,7 +230,7 @@ func (m *morselScan) start() {
 			// hold state, so they must not be shared across goroutines.
 			var filter vecFn
 			if m.node.Filter != nil {
-				fn, err := compileVec(m.node.Schema(), m.node.Filter)
+				fn, err := compileVec(m.ctx, m.node.Schema(), m.node.Filter)
 				if err != nil {
 					select {
 					case m.results <- scanMsg{part: -1, err: err}:
@@ -224,7 +250,7 @@ func (m *morselScan) start() {
 				if partitionPruned(m.node, p) {
 					m.ctx.addScanCounts(m.st, 0, 1, 0)
 				} else {
-					batches, bytes, err := scanPartition(p, m.colIdx, filter, m.ctx.batchSize)
+					batches, bytes, err := scanPartition(m.ctx, p, m.colIdx, filter, m.ctx.batchSize)
 					m.ctx.addScanCounts(m.st, 0, 0, bytes)
 					msg.batches, msg.err = batches, err
 				}

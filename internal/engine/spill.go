@@ -44,7 +44,7 @@ func activeRowsBytes(b *vector.Batch) int64 {
 	var n int64
 	b.ForEach(func(i int) {
 		for c := range b.Cols {
-			n += b.Cols[c][i].DeepSizeBytes()
+			n += b.Value(c, i).DeepSizeBytes()
 		}
 	})
 	return n
@@ -638,7 +638,7 @@ func writeSortRun(batches []*vector.Batch, keyCols [][][]variant.Value, refs []s
 	for _, r := range refs {
 		rec = rec[:0]
 		for c := 0; c < width; c++ {
-			rec = batches[r.b].Cols[c][r.i].AppendBinary(rec)
+			rec = batches[r.b].Value(c, r.i).AppendBinary(rec)
 		}
 		for k := range keyCols[r.b] {
 			rec = keyCols[r.b][k][r.i].AppendBinary(rec)

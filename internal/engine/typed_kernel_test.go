@@ -1,0 +1,231 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"jsonpark/internal/variant"
+)
+
+// typedKernelEngine loads a table whose columns hit every typed encoding:
+// i int64 (with NULLs), f float64, s low-cardinality string (dictionary),
+// u unique string (plain), b bool, and m a nested object (variant). Small
+// partitions force multiple chunks so kernels see partition boundaries.
+func typedKernelEngine(t *testing.T, opts ...Option) *Engine {
+	t.Helper()
+	e := New(opts...)
+	tab, err := e.Catalog().CreateTable("tk", []string{"i", "f", "s", "u", "b", "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.SetTargetPartitionBytes(512)
+	for k := 0; k < 120; k++ {
+		row := []variant.Value{
+			variant.Int(int64(k - 10)),
+			variant.Float(float64(k) / 4.0),
+			variant.String(fmt.Sprintf("tag%d", k%3)),
+			variant.String(fmt.Sprintf("u%03d", k)),
+			variant.Bool(k%2 == 0),
+			variant.ObjectFromPairs("x", variant.Int(int64(k))),
+		}
+		if k%11 == 0 {
+			row[0] = variant.Null
+		}
+		if k%13 == 0 {
+			row[4] = variant.Null
+		}
+		if err := tab.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+// typedKernelQueries exercise every kernel shape: comparisons col⊗lit in
+// both orders, col⊗col (same and mixed numeric ranks, dict and plain
+// strings), cross-rank constants, arithmetic with a left-hand literal (the
+// operand-order regression), division's always-float contract, IS [NOT]
+// NULL off the bitmap, and kernels under AND-restricted selections.
+var typedKernelQueries = []string{
+	`SELECT "i" FROM "tk" WHERE "i" > 50`,
+	`SELECT "i" FROM "tk" WHERE "i" >= 50`,
+	`SELECT "i" FROM "tk" WHERE "i" < 0`,
+	`SELECT "i" FROM "tk" WHERE "i" <= 0`,
+	`SELECT "i" FROM "tk" WHERE "i" = 42`,
+	`SELECT "i" FROM "tk" WHERE "i" <> 42`,
+	`SELECT "i" FROM "tk" WHERE 50 > "i"`,
+	`SELECT "i" FROM "tk" WHERE "i" > 2.5`,
+	`SELECT "f" FROM "tk" WHERE "f" > 14.25`,
+	`SELECT "f" FROM "tk" WHERE 14.25 >= "f"`,
+	`SELECT "u" FROM "tk" WHERE "s" = 'tag1'`,
+	`SELECT "u" FROM "tk" WHERE "s" <> 'tag2'`,
+	`SELECT "u" FROM "tk" WHERE "u" < 'u010'`,
+	`SELECT "u" FROM "tk" WHERE 'u100' <= "u"`,
+	`SELECT "i" FROM "tk" WHERE "b" = TRUE`,
+	`SELECT "i" FROM "tk" WHERE "b" <> FALSE`,
+	`SELECT "i" FROM "tk" WHERE "i" < "f"`,
+	`SELECT "i" FROM "tk" WHERE "i" = "i"`,
+	`SELECT "i" FROM "tk" WHERE "s" = "u"`,
+	`SELECT "i" FROM "tk" WHERE "i" < "s"`,
+	`SELECT "i" FROM "tk" WHERE "s" < 5`,
+	`SELECT "i" FROM "tk" WHERE "i" IS NULL`,
+	`SELECT "i" FROM "tk" WHERE "i" IS NOT NULL`,
+	`SELECT "b" FROM "tk" WHERE "b" IS NULL`,
+	`SELECT "u" FROM "tk" WHERE "m" IS NOT NULL`,
+	`SELECT "i" + 1 FROM "tk"`,
+	`SELECT "i" - 2 FROM "tk"`,
+	`SELECT "i" * 3 FROM "tk"`,
+	`SELECT "i" / 2 FROM "tk"`,
+	`SELECT "i" % 7 FROM "tk"`,
+	`SELECT 10 - "i" FROM "tk"`,
+	`SELECT 100 / "f" FROM "tk" WHERE "f" > 0`,
+	`SELECT "i" + "f" FROM "tk"`,
+	`SELECT "i" * "i" FROM "tk"`,
+	`SELECT "f" - "i" FROM "tk"`,
+	`SELECT "i" FROM "tk" WHERE "i" > 2 AND "f" < 20`,
+	`SELECT "i" FROM "tk" WHERE "i" > 100 OR "s" = 'tag0'`,
+	`SELECT SUM("i"), MIN("f"), MAX("u") FROM "tk"`,
+	`SELECT "s", COUNT(*) FROM "tk" GROUP BY "s" ORDER BY "s"`,
+}
+
+// TestTypedKernelParity is the typed-vs-variant oracle: every query must
+// render byte-identically with typed shredding on (kernels live), off
+// (pure variant path), and on with parallel morsel scans.
+func TestTypedKernelParity(t *testing.T) {
+	oracle := typedKernelEngine(t, WithTypedColumns(false), WithParallelism(1))
+	cells := map[string]*Engine{
+		"typed-seq":  typedKernelEngine(t, WithParallelism(1)),
+		"typed-par4": typedKernelEngine(t, WithParallelism(4)),
+		"typed-bs7":  typedKernelEngine(t, WithParallelism(1), WithBatchSize(7)),
+	}
+	for _, q := range typedKernelQueries {
+		want := renderRows(mustQuery(t, oracle, q))
+		for name, e := range cells {
+			got := renderRows(mustQuery(t, e, q))
+			if got != want {
+				t.Errorf("[%s] %s\nvariant oracle:\n%s\ntyped:\n%s", name, q, want, got)
+			}
+		}
+	}
+}
+
+// TestTypedKernelErrorParity: runtime errors (integer division/mod by
+// zero) must carry the exact variant-path message through the typed path.
+func TestTypedKernelErrorParity(t *testing.T) {
+	variantEng := typedKernelEngine(t, WithTypedColumns(false))
+	typedEng := typedKernelEngine(t)
+	for _, q := range []string{
+		`SELECT "i" / 0 FROM "tk"`,
+		`SELECT "i" % 0 FROM "tk"`,
+		`SELECT 5 % ("i" - "i") FROM "tk"`,
+	} {
+		_, verr := variantEng.Query(q)
+		_, terr := typedEng.Query(q)
+		if verr == nil || terr == nil {
+			t.Fatalf("%s: variant err=%v typed err=%v (want both non-nil)", q, verr, terr)
+		}
+		if verr.Error() != terr.Error() {
+			t.Errorf("%s: error mismatch\nvariant: %v\ntyped:   %v", q, verr, terr)
+		}
+	}
+	// Float division by zero is NOT an error on either path.
+	for _, e := range []*Engine{variantEng, typedEng} {
+		if _, err := e.Query(`SELECT "f" / 0 FROM "tk" LIMIT 1`); err != nil {
+			t.Errorf("float div by zero should not error: %v", err)
+		}
+	}
+}
+
+// TestTypedKernelMetrics checks the typed/fallback accounting: a pushed-down
+// comparison runs typed (TypedCols > 0, no fallback), while grouping by a
+// typed column materializes it through the ColRef expression
+// (FallbackCols > 0) — plain projection does NOT, since projectIter passes
+// typed views through untouched. In-memory tables never read from disk.
+func TestTypedKernelMetrics(t *testing.T) {
+	e := typedKernelEngine(t, WithParallelism(1))
+	r := mustQuery(t, e, `SELECT COUNT(*) FROM "tk" WHERE "i" > 50`)
+	if r.Metrics.TypedCols == 0 {
+		t.Errorf("comparison over a typed column reported TypedCols = 0")
+	}
+	if r.Metrics.DiskReads != 0 {
+		t.Errorf("in-memory scan reported DiskReads = %d", r.Metrics.DiskReads)
+	}
+
+	r = mustQuery(t, e, `SELECT "u" FROM "tk" WHERE "i" > 100`)
+	if r.Metrics.FallbackCols != 0 {
+		t.Errorf("pass-through projection reported FallbackCols = %d, want 0", r.Metrics.FallbackCols)
+	}
+
+	r = mustQuery(t, e, `SELECT "u", COUNT(*) FROM "tk" GROUP BY "u"`)
+	if r.Metrics.FallbackCols == 0 {
+		t.Errorf("grouping by a typed column reported FallbackCols = 0")
+	}
+
+	off := typedKernelEngine(t, WithTypedColumns(false))
+	r = mustQuery(t, off, `SELECT COUNT(*) FROM "tk" WHERE "i" > 50`)
+	if r.Metrics.TypedCols != 0 || r.Metrics.FallbackCols != 0 {
+		t.Errorf("typed-off engine reported typed=%d fallback=%d",
+			r.Metrics.TypedCols, r.Metrics.FallbackCols)
+	}
+}
+
+// TestTypedStorageAnalyzeClause: EXPLAIN ANALYZE's root carries the
+// query-global storage[...] clause when the typed path was exercised.
+func TestTypedStorageAnalyzeClause(t *testing.T) {
+	e := typedKernelEngine(t)
+	p, err := e.PrepareOpts(`SELECT COUNT(*) FROM "tk" WHERE "i" > 50`, PrepareOptions{Analyze: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	ps := p.PlanStats()
+	if ps == nil || ps.TypedCols == 0 {
+		t.Fatalf("PlanStats root missing typed counters: %+v", ps)
+	}
+	if !strings.Contains(ps.Render(), "storage[typed=") {
+		t.Errorf("Render lacks storage clause:\n%s", ps.Render())
+	}
+}
+
+// TestEngineDataDirRestart: a WithDataDir engine's tables survive a
+// restart; the first query cold-loads partitions (DiskReads > 0), repeat
+// queries serve from memory, and rows come back byte-identical.
+func TestEngineDataDirRestart(t *testing.T) {
+	dir := t.TempDir()
+	e1 := typedKernelEngine(t, WithDataDir(dir))
+	want := renderRows(mustQuery(t, e1, `SELECT * FROM "tk" ORDER BY "u"`))
+	if err := e1.Catalog().Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := New(WithDataDir(dir))
+	r, err := e2.Query(`SELECT * FROM "tk" ORDER BY "u"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderRows(r); got != want {
+		t.Errorf("restarted rows differ\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	if r.Metrics.DiskReads == 0 {
+		t.Errorf("restarted scan reported DiskReads = 0")
+	}
+	r2 := mustQuery(t, e2, `SELECT * FROM "tk" ORDER BY "u"`)
+	if r2.Metrics.DiskReads != 0 {
+		t.Errorf("second scan re-read %d partitions from disk", r2.Metrics.DiskReads)
+	}
+	// Header zone maps prune cold partitions without loading them.
+	r3 := New(WithDataDir(dir))
+	res3, err := r3.Query(`SELECT COUNT(*) FROM "tk" WHERE "i" > 1000000`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Metrics.PartitionsPruned == 0 {
+		t.Errorf("header zone maps pruned nothing")
+	}
+	if res3.Metrics.DiskReads != 0 {
+		t.Errorf("pruned-out query still read %d partitions", res3.Metrics.DiskReads)
+	}
+}

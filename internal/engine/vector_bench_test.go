@@ -30,9 +30,10 @@ func TestMain(m *testing.M) {
 // where vectors outgrow cache.
 var benchBatchSizes = []int{1, 64, 1024, 4096}
 
-func benchEngine(b *testing.B, batchSize, parallelism, rows int) *Engine {
+func benchEngine(b *testing.B, batchSize, parallelism, rows int, extra ...Option) *Engine {
 	b.Helper()
-	e := New(WithBatchSize(batchSize), WithParallelism(parallelism))
+	opts := append([]Option{WithBatchSize(batchSize), WithParallelism(parallelism)}, extra...)
+	e := New(opts...)
 	tab, err := e.Catalog().CreateTable("bench", []string{"id", "grp", "val", "items"})
 	if err != nil {
 		b.Fatal(err)

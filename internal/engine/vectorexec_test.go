@@ -175,9 +175,9 @@ func TestUnorderedScanAnalysis(t *testing.T) {
 		unordered bool
 	}{
 		{`SELECT COUNT(*), MIN(val), MAX(val) FROM events`, true},
-		{`SELECT SUM(val) FROM events`, false},          // float addition order matters
+		{`SELECT SUM(val) FROM events`, false},                   // float addition order matters
 		{`SELECT grp, COUNT(*) FROM events GROUP BY grp`, false}, // first-seen group order
-		{`SELECT id FROM events`, false},                // root order observed
+		{`SELECT id FROM events`, false},                         // root order observed
 		{`SELECT COUNT(*) FROM events WHERE val > 1`, true},
 	}
 	for _, c := range cases {

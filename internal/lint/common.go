@@ -69,15 +69,21 @@ func isBatchIterType(t types.Type) bool {
 	return haveNext && haveClose
 }
 
-// isKernelSig reports whether t is the expression-kernel signature
-// func(*vector.Batch) ([]T, error) — the engine's vecFn shape. The result
-// element type is left open so fixtures don't need the real variant package.
+// isKernelSig reports whether t is an expression-kernel signature: a
+// leading *vector.Batch parameter and ([]T, error) results. The exact shape
+// func(*vector.Batch) ([]T, error) is the engine's vecFn; typed kernels
+// (exprt.go) add trailing parameters — typed column views, operator
+// spellings, scratch buffers — but keep the contract that the returned
+// slice may be a closure-owned buffer reused on the next call, so any
+// batch-leading signature with a slice first result is treated as a
+// kernel. The result element type is left open so fixtures don't need the
+// real variant package.
 func isKernelSig(t types.Type) bool {
 	sig, ok := t.Underlying().(*types.Signature)
 	if !ok {
 		return false
 	}
-	if sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+	if sig.Params().Len() < 1 || sig.Results().Len() != 2 {
 		return false
 	}
 	if !isBatchType(sig.Params().At(0).Type()) {

@@ -89,3 +89,69 @@ func (o *op) suppressed(b *vector.Batch) error {
 	o.out = vals //jsqlint:ignore kernelalias fixture-documented aliasing
 	return nil
 }
+
+// typedKernel mirrors the typed-kernel helpers of the engine's exprt.go:
+// extra parameters after the leading batch (typed views, scratch buffers),
+// same reused-output-buffer contract on the slice result.
+type typedKernel = func(b *vector.Batch, scratch []variant.Value) ([]variant.Value, error)
+
+type typedOp struct {
+	fn  typedKernel
+	out []variant.Value
+}
+
+// True positive: a typed kernel's result escapes into a struct field just
+// like a plain vecFn's.
+func (o *typedOp) storeField(b *vector.Batch) error {
+	vals, err := o.fn(b, nil)
+	if err != nil {
+		return err
+	}
+	o.out = vals // want `kernel output vector stored in field o\.out`
+	return nil
+}
+
+// True positive: returning the typed kernel's buffer without a copy.
+func (o *typedOp) returnDirect(b *vector.Batch) ([]variant.Value, error) {
+	return o.fn(b, nil) // want `kernel output vector returned without a copy`
+}
+
+// True positive: closure capture of a typed kernel's buffer.
+func captureTyped(fn typedKernel) func(*vector.Batch) error {
+	var last []variant.Value
+	return func(b *vector.Batch) error {
+		vals, err := fn(b, nil)
+		if err != nil {
+			return err
+		}
+		last = vals // want `kernel output vector stored in captured variable last`
+		_ = last
+		return nil
+	}
+}
+
+// Guarded false positive: the ellipsis-append copy detaches from a typed
+// kernel's buffer exactly as it does for a plain kernel's.
+func (o *typedOp) copyOut(b *vector.Batch) error {
+	vals, err := o.fn(b, o.out[:0])
+	if err != nil {
+		return err
+	}
+	o.out = append(o.out[:0], vals...)
+	return nil
+}
+
+// Guarded false positive: a batch-leading helper whose first result is not
+// a slice (count, error) is not a kernel; retaining its inputs is fine.
+func countRows(b *vector.Batch, limit int) (int, error) {
+	return b.NumRows(), nil
+}
+
+func useCount(b *vector.Batch) error {
+	n, err := countRows(b, 10)
+	if err != nil {
+		return err
+	}
+	_ = n
+	return nil
+}

@@ -25,6 +25,9 @@ type Observer struct {
 	partitionsPruned *Counter
 	parallelBreakers *Counter
 	spillBytes       *Counter
+	typedCols        *Counter
+	fallbackCols     *Counter
+	diskReads        *Counter
 	queriesCancelled *Counter
 	runtime          *RuntimeSampler
 }
@@ -44,6 +47,13 @@ type QueryObservation struct {
 	// SpillBytes is the bytes the memory-governed breakers wrote to
 	// temp-file runs under WithMemLimit.
 	SpillBytes int64
+	// TypedCols counts column reads served by typed kernels over shredded
+	// chunk views; FallbackCols counts typed columns the plan materialized
+	// back to variants; DiskReads counts micro-partitions cold-loaded from
+	// a persistent warehouse directory.
+	TypedCols    int64
+	FallbackCols int64
+	DiskReads    int64
 	// Cancelled marks a query aborted by context cancellation or deadline;
 	// such queries count under status="cancelled" rather than "error".
 	Cancelled bool
@@ -78,6 +88,12 @@ func NewObserver() *Observer {
 			"Cumulative pipeline breakers (aggregates, join builds, sorts) executed with parallel phases."),
 		spillBytes: r.Counter("jsonpark_spill_bytes_total",
 			"Cumulative bytes written to spill runs by memory-governed pipeline breakers."),
+		typedCols: r.Counter("jsonpark_typed_columns_total",
+			"Cumulative column reads served by typed kernels over shredded chunks."),
+		fallbackCols: r.Counter("jsonpark_fallback_columns_total",
+			"Cumulative typed columns materialized back to variants by expressions."),
+		diskReads: r.Counter("jsonpark_disk_partition_reads_total",
+			"Cumulative micro-partitions cold-loaded from a persistent data directory."),
 		queriesCancelled: r.Counter("jsonpark_queries_cancelled_total",
 			"Queries aborted by context cancellation or deadline."),
 		runtime: NewRuntimeSampler(r),
@@ -114,6 +130,9 @@ func (o *Observer) ObserveQuery(q QueryObservation) {
 	o.partitionsTotal.Add(float64(q.PartitionsTotal))
 	o.partitionsPruned.Add(float64(q.PartitionsPruned))
 	o.parallelBreakers.Add(float64(q.ParallelBreakers))
+	o.typedCols.Add(float64(q.TypedCols))
+	o.fallbackCols.Add(float64(q.FallbackCols))
+	o.diskReads.Add(float64(q.DiskReads))
 	if q.Trace == nil {
 		return
 	}

@@ -146,7 +146,13 @@ type QueryRecord struct {
 	SpillBytes       int64
 	Spills           int64
 	ParallelBreakers int64
-	Slow             bool
+	// Storage v2 counters: column reads served by typed kernels, typed
+	// columns that fell back to variant materialization, and partition data
+	// sections cold-loaded from disk.
+	TypedCols    int64
+	FallbackCols int64
+	DiskReads    int64
+	Slow         bool
 }
 
 // LogQuery emits r as one "query" record. Slow queries and non-ok statuses
@@ -179,6 +185,9 @@ func (l *Logger) LogQuery(r QueryRecord) {
 		F("spill_bytes", r.SpillBytes),
 		F("spills", r.Spills),
 		F("parallel_breakers", r.ParallelBreakers),
+		F("typed_cols", r.TypedCols),
+		F("fallback_cols", r.FallbackCols),
+		F("disk_reads", r.DiskReads),
 	}
 	if r.Slow {
 		fields = append(fields, F("slow", true))

@@ -1,0 +1,49 @@
+package ssb
+
+import (
+	"fmt"
+	"testing"
+
+	"jsonpark/internal/engine"
+	"jsonpark/internal/snowpark"
+)
+
+// BenchmarkSSBTypedVsVariant runs the scan-heavy SSB flight-1 queries (one
+// fact-table filter + SUM each) single-threaded against typed shredded
+// chunks and the variant-only v1 layout. SSB is where storage v2 engages
+// fully: every lineorder column is a uniform scalar, so the date/discount/
+// quantity predicates and the revenue arithmetic all run typed, and the
+// zone maps on the typed arrays prune whole partitions of the year filters.
+func BenchmarkSSBTypedVsVariant(b *testing.B) {
+	const seed, sf = 7, 0.2
+	ids := []string{"q1.1", "q1.2", "q1.3"}
+	for _, mode := range []struct {
+		name  string
+		typed bool
+	}{{"typed", true}, {"variant", false}} {
+		opts := []engine.Option{engine.WithParallelism(1)}
+		if !mode.typed {
+			opts = append(opts, engine.WithTypedColumns(false))
+		}
+		eng := engine.New(opts...)
+		if err := Generate(seed, SizesForScaleFactor(sf)).Load(eng); err != nil {
+			b.Fatal(err)
+		}
+		sess := snowpark.NewSession(eng)
+		for _, id := range ids {
+			var q Query
+			for _, cand := range Queries() {
+				if cand.ID == id {
+					q = cand
+				}
+			}
+			b.Run(fmt.Sprintf("%s/mode=%s", id, mode.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := RunTranslated(sess, q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

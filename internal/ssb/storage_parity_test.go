@@ -1,0 +1,75 @@
+package ssb
+
+import (
+	"testing"
+
+	"jsonpark/internal/engine"
+	"jsonpark/internal/snowpark"
+)
+
+// TestSSBStorageParity runs all thirteen SSB queries across the storage
+// dimension: variant-only chunks (the v1 layout, the oracle), typed
+// shredded chunks, and typed chunks persisted to disk and reloaded into a
+// fresh engine. All cells must render byte-identical rows for both the
+// translated and handwritten pipelines. SSB is the relational stress for
+// typed encodings — the flat scalar columns shred typed almost everywhere.
+func TestSSBStorageParity(t *testing.T) {
+	const seed, sf = 7, 0.2
+	mkSession := func(opts ...engine.Option) *snowpark.Session {
+		eng := engine.New(opts...)
+		if err := Generate(seed, SizesForScaleFactor(sf)).Load(eng); err != nil {
+			t.Fatal(err)
+		}
+		return snowpark.NewSession(eng)
+	}
+	reload := func() *snowpark.Session {
+		dir := t.TempDir()
+		eng := engine.New(engine.WithDataDir(dir), engine.WithParallelism(1))
+		if err := Generate(seed, SizesForScaleFactor(sf)).Load(eng); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Catalog().Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return snowpark.NewSession(engine.New(engine.WithDataDir(dir), engine.WithParallelism(1)))
+	}
+
+	cells := []struct {
+		name string
+		sess *snowpark.Session
+	}{
+		{"variant-only", mkSession(engine.WithTypedColumns(false), engine.WithParallelism(1))},
+		{"typed", mkSession(engine.WithParallelism(1))},
+		{"typed-par4", mkSession(engine.WithParallelism(4))},
+		{"typed-persist-reload", reload()},
+	}
+
+	type ref struct{ translated, handwritten string }
+	var want map[string]ref
+	for _, cell := range cells {
+		got := make(map[string]ref)
+		for _, q := range Queries() {
+			_, tres, err := RunTranslated(cell.sess, q)
+			if err != nil {
+				t.Fatalf("%s [%s]: %v", q.ID, cell.name, err)
+			}
+			_, hres, err := RunHandwritten(cell.sess.Engine(), q)
+			if err != nil {
+				t.Fatalf("%s [%s]: %v", q.ID, cell.name, err)
+			}
+			got[q.ID] = ref{renderResult(tres), renderResult(hres)}
+		}
+		if want == nil {
+			want = got // variant-only is the oracle
+			continue
+		}
+		for _, q := range Queries() {
+			if got[q.ID].translated != want[q.ID].translated {
+				t.Errorf("%s translated: %s diverges from variant-only", q.ID, cell.name)
+			}
+			if got[q.ID].handwritten != want[q.ID].handwritten {
+				t.Errorf("%s handwritten: %s diverges from variant-only", q.ID, cell.name)
+			}
+		}
+	}
+}

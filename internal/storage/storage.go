@@ -9,10 +9,12 @@ package storage
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 
 	"jsonpark/internal/variant"
+	"jsonpark/internal/vector"
 )
 
 // DefaultPartitionBytes is the target uncompressed size of one
@@ -23,8 +25,12 @@ const DefaultPartitionBytes = 4 << 20
 
 // Catalog is the collection of tables known to one engine instance.
 type Catalog struct {
-	mu     sync.RWMutex
-	tables map[string]*Table
+	mu       sync.RWMutex
+	tables   map[string]*Table
+	typedOff bool
+	dataDir  string
+	scanned  bool
+	scanErr  error
 }
 
 // NewCatalog returns an empty catalog.
@@ -32,30 +38,58 @@ func NewCatalog() *Catalog {
 	return &Catalog{tables: make(map[string]*Table)}
 }
 
+// SetTypedShredding toggles typed chunk encoding for tables created after the
+// call (on by default). Off, every chunk keeps the variant representation —
+// the reference storage mode for parity testing.
+func (c *Catalog) SetTypedShredding(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.typedOff = !on
+}
+
 // CreateTable registers a new table with the given top-level column names.
 // Column order is the staging order; every row holds one value per column.
 func (c *Catalog) CreateTable(name string, columns []string) (*Table, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.ensureScannedLocked(); err != nil {
+		return nil, err
+	}
 	if _, exists := c.tables[name]; exists {
 		return nil, fmt.Errorf("storage: table %q already exists", name)
 	}
 	t := NewTable(name, columns)
+	t.typedOff = c.typedOff
+	if err := c.attachTableDirLocked(t); err != nil {
+		return nil, err
+	}
 	c.tables[name] = t
 	return t, nil
 }
 
-// DropTable removes a table if present.
+// DropTable removes a table if present, including its on-disk directory when
+// the catalog is persistent.
 func (c *Catalog) DropTable(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.ensureScannedLocked()
+	t, ok := c.tables[name]
+	if !ok {
+		return
+	}
 	delete(c.tables, name)
+	if t.dir != "" {
+		os.RemoveAll(t.dir)
+	}
 }
 
 // Table returns the named table.
 func (c *Catalog) Table(name string) (*Table, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ensureScannedLocked(); err != nil {
+		return nil, err
+	}
 	t, ok := c.tables[name]
 	if !ok {
 		return nil, fmt.Errorf("storage: table %q does not exist", name)
@@ -65,14 +99,30 @@ func (c *Catalog) Table(name string) (*Table, error) {
 
 // TableNames lists the catalog's tables in sorted order.
 func (c *Catalog) TableNames() []string {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureScannedLocked()
 	names := make([]string, 0, len(c.tables))
 	for n := range c.tables {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Flush seals and persists every table's open partition. In-memory catalogs
+// treat it as Seal on all tables.
+func (c *Catalog) Flush() error {
+	for _, name := range c.TableNames() {
+		t, err := c.Table(name)
+		if err != nil {
+			return err
+		}
+		if err := t.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Table is a stored table: an ordered list of sealed micro-partitions plus
@@ -86,6 +136,14 @@ type Table struct {
 	open        *Partition
 	targetBytes int64
 	colIndex    map[string]int
+	typedOff    bool
+
+	// Persistence state: dir is the table's on-disk directory ("" for an
+	// in-memory table), nextPart numbers the next partition file, and
+	// persistErr latches the first write failure so appends surface it.
+	dir        string
+	nextPart   int
+	persistErr error
 }
 
 // NewTable constructs a standalone table (outside any catalog); used by
@@ -102,6 +160,14 @@ func NewTable(name string, columns []string) *Table {
 	}
 	t.open = newPartition(t.Columns)
 	return t
+}
+
+// SetTypedShredding toggles typed chunk encoding for partitions sealed after
+// the call (on by default).
+func (t *Table) SetTypedShredding(on bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.typedOff = !on
 }
 
 // SetTargetPartitionBytes overrides the micro-partition size target. It only
@@ -134,7 +200,7 @@ func (t *Table) Append(row []variant.Value) error {
 	if t.open.bytes >= t.targetBytes {
 		t.sealLocked()
 	}
-	return nil
+	return t.persistErr
 }
 
 // AppendObject adds one row from an object value: each table column is taken
@@ -152,7 +218,10 @@ func (t *Table) sealLocked() {
 	if t.open.rows == 0 {
 		return
 	}
-	t.open.finalize()
+	t.open.finalize(!t.typedOff)
+	if t.dir != "" && t.persistErr == nil {
+		t.persistErr = t.writePartitionLocked(t.open)
+	}
 	t.partitions = append(t.partitions, t.open)
 	t.open = newPartition(t.Columns)
 }
@@ -163,6 +232,16 @@ func (t *Table) Seal() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.sealLocked()
+}
+
+// Flush seals the open partition and reports any persistence failure. A
+// persistent table's tail rows are only on disk after Flush (or after an
+// append crossed the partition size target).
+func (t *Table) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sealLocked()
+	return t.persistErr
 }
 
 // Partitions returns the sealed micro-partitions, sealing the open partition
@@ -202,6 +281,29 @@ type Partition struct {
 	chunks  []*ColumnChunk
 	rows    int
 	bytes   int64
+
+	// Lazy disk loading: a partition reconstructed from a file header keeps
+	// loadFn armed until the first scan pulls the data section in. In-memory
+	// partitions have a nil loadFn.
+	loadFn   func() error
+	loadOnce sync.Once
+	loadErr  error
+}
+
+// EnsureLoaded makes the partition's chunk data resident, reading the data
+// section from disk on first call. It returns whether THIS call performed the
+// disk read (for scan accounting) and any load error; in-memory partitions
+// return (false, nil).
+func (p *Partition) EnsureLoaded() (bool, error) {
+	if p.loadFn == nil {
+		return false, nil
+	}
+	read := false
+	p.loadOnce.Do(func() {
+		p.loadErr = p.loadFn()
+		read = p.loadErr == nil
+	})
+	return read, p.loadErr
 }
 
 func newPartition(columns []string) *Partition {
@@ -220,7 +322,17 @@ func (p *Partition) append(row []variant.Value) {
 	p.rows++
 }
 
-func (p *Partition) finalize() {}
+// finalize runs once at seal time: it trims each chunk's over-allocated
+// value slice to its final length, attempts the typed encoding (when enabled
+// for the table), and computes the per-path statistics in one pass — typed
+// chunks derive their root zone map straight from the typed array, variant
+// chunks shred every value. Appends never pay for stats upkeep; sealed
+// partitions are immutable so the work happens exactly once.
+func (p *Partition) finalize(typed bool) {
+	for _, cc := range p.chunks {
+		cc.finalize(typed)
+	}
+}
 
 // NumRows returns the partition's row count.
 func (p *Partition) NumRows() int { return p.rows }
@@ -236,6 +348,7 @@ func (p *Partition) Column(i int) *ColumnChunk { return p.chunks[i] }
 // relational columns for pruning and scan accounting.
 type ColumnChunk struct {
 	values []variant.Value
+	typed  *vector.TypedCol
 	bytes  int64
 	stats  map[string]*PathStats
 }
@@ -253,7 +366,31 @@ type PathStats struct {
 func (cc *ColumnChunk) append(v variant.Value) {
 	cc.values = append(cc.values, v)
 	cc.bytes += v.DeepSizeBytes()
-	cc.shred("", v)
+}
+
+// finalize trims the value slice to its final length (append growth can leave
+// the capacity nearly double the length), builds the typed encoding when
+// requested, and computes the chunk's path statistics.
+func (cc *ColumnChunk) finalize(typed bool) {
+	if typed {
+		cc.typed = buildTyped(cc.values)
+	}
+	if cc.typed != nil {
+		// The typed array supersedes the variant one: drop it so a typed
+		// chunk costs one representation, and derive the zone map from the
+		// typed values directly.
+		cc.values = nil
+		cc.rootStatsFromTyped(cc.typed)
+		return
+	}
+	if cap(cc.values) > len(cc.values) {
+		trimmed := make([]variant.Value, len(cc.values))
+		copy(trimmed, cc.values)
+		cc.values = trimmed
+	}
+	for _, v := range cc.values {
+		cc.shred("", v)
+	}
 }
 
 // shred records statistics for every leaf path of v. Array elements share
@@ -308,8 +445,21 @@ func (cc *ColumnChunk) stat(path string) *PathStats {
 	return st
 }
 
-// Values returns the chunk's row-major values. Callers must not mutate.
-func (cc *ColumnChunk) Values() []variant.Value { return cc.values }
+// Values returns the chunk's row-major values. For a typed chunk the variant
+// representation no longer exists, so each call materializes a fresh vector
+// (no caching — sealed chunks are read concurrently); scans should use Typed
+// first and fall back here. Callers must not mutate the result.
+func (cc *ColumnChunk) Values() []variant.Value {
+	if cc.values == nil && cc.typed != nil {
+		return cc.typed.Materialize(make([]variant.Value, 0, cc.typed.Len()))
+	}
+	return cc.values
+}
+
+// Typed returns the chunk's typed encoding, or nil when the column stayed on
+// the variant representation (mixed kinds, nested roots, or typed shredding
+// disabled). Callers must not mutate the underlying arrays.
+func (cc *ColumnChunk) Typed() *vector.TypedCol { return cc.typed }
 
 // Bytes returns the chunk's uncompressed size.
 func (cc *ColumnChunk) Bytes() int64 { return cc.bytes }

@@ -1,0 +1,231 @@
+package vector
+
+import "jsonpark/internal/variant"
+
+// TypedKind enumerates the monomorphic physical encodings a shredded column
+// can take. A typed column holds exactly one scalar kind plus NULLs; any
+// other mix stays on the variant representation.
+type TypedKind uint8
+
+// The typed encodings.
+const (
+	TypedInt64 TypedKind = iota
+	TypedFloat64
+	TypedString
+	TypedBool
+)
+
+// String names the kind for diagnostics and the partition file format docs.
+func (k TypedKind) String() string {
+	switch k {
+	case TypedInt64:
+		return "int64"
+	case TypedFloat64:
+		return "float64"
+	case TypedString:
+		return "string"
+	case TypedBool:
+		return "bool"
+	}
+	return "typed?"
+}
+
+// TypedCol is a read-only typed view of one column: a flat Go slice of one
+// scalar type plus a null bitmap, as produced by micro-partition sealing.
+// Expression kernels run tight monomorphic loops over the value slice
+// (Ints/Floats/Strs/Bools) instead of dispatching on variant.Value per row;
+// Materialize is the escape hatch back to variants for operators that need
+// them. Views are cheap: Slice re-slices the value storage in place and the
+// null bitmap is shared with a bit offset, so a scan batch aliases its
+// chunk's arrays with zero copying (same contract as Batch.Cols).
+//
+// A value slice position i is only meaningful when Null(i) is false; null
+// positions hold the zero value of the element type.
+type TypedCol struct {
+	kind TypedKind
+	n    int
+
+	// nulls is the full-chunk null bitmap (bit set = NULL), shared across
+	// views; nullOff is this view's starting bit. nil means no nulls.
+	nulls   []uint64
+	nullOff int
+
+	ints   []int64
+	floats []float64
+	// strs holds per-row strings for the plain encoding; under dictionary
+	// encoding it is nil and codes indexes into dict.
+	strs  []string
+	dict  []string
+	codes []uint32
+	bools []bool
+}
+
+// NewInt64Col wraps an int64 slice (and optional null bitmap over [0,
+// len(vals))) as a typed column.
+func NewInt64Col(vals []int64, nulls []uint64) *TypedCol {
+	return &TypedCol{kind: TypedInt64, n: len(vals), ints: vals, nulls: nulls}
+}
+
+// NewFloat64Col wraps a float64 slice as a typed column.
+func NewFloat64Col(vals []float64, nulls []uint64) *TypedCol {
+	return &TypedCol{kind: TypedFloat64, n: len(vals), floats: vals, nulls: nulls}
+}
+
+// NewStringCol wraps a per-row string slice as a typed column.
+func NewStringCol(vals []string, nulls []uint64) *TypedCol {
+	return &TypedCol{kind: TypedString, n: len(vals), strs: vals, nulls: nulls}
+}
+
+// NewDictCol wraps a dictionary-encoded string column: codes[i] indexes into
+// dict for every non-null row.
+func NewDictCol(dict []string, codes []uint32, nulls []uint64) *TypedCol {
+	return &TypedCol{kind: TypedString, n: len(codes), dict: dict, codes: codes, nulls: nulls}
+}
+
+// NewBoolCol wraps a bool slice as a typed column.
+func NewBoolCol(vals []bool, nulls []uint64) *TypedCol {
+	return &TypedCol{kind: TypedBool, n: len(vals), bools: vals, nulls: nulls}
+}
+
+// Kind reports the column's scalar encoding.
+func (t *TypedCol) Kind() TypedKind { return t.kind }
+
+// Len returns the view's row count.
+func (t *TypedCol) Len() int { return t.n }
+
+// HasNulls reports whether the column carries a null bitmap at all. A false
+// return lets kernels skip the per-row null test entirely.
+func (t *TypedCol) HasNulls() bool { return t.nulls != nil }
+
+// Null reports whether row i of the view is NULL.
+func (t *TypedCol) Null(i int) bool {
+	if t.nulls == nil {
+		return false
+	}
+	bit := t.nullOff + i
+	return t.nulls[bit>>6]&(1<<(bit&63)) != 0
+}
+
+// Ints returns the view's int64 values; valid only for TypedInt64.
+func (t *TypedCol) Ints() []int64 { return t.ints }
+
+// Floats returns the view's float64 values; valid only for TypedFloat64.
+func (t *TypedCol) Floats() []float64 { return t.floats }
+
+// Bools returns the view's bool values; valid only for TypedBool.
+func (t *TypedCol) Bools() []bool { return t.bools }
+
+// Strs returns the per-row strings of a plain string column, or nil when the
+// column is dictionary-encoded (use Dict/Codes or StringAt).
+func (t *TypedCol) Strs() []string { return t.strs }
+
+// Dict returns the dictionary of a dictionary-encoded string column (nil for
+// plain string columns).
+func (t *TypedCol) Dict() []string { return t.dict }
+
+// Codes returns the per-row dictionary codes (nil for plain string columns).
+func (t *TypedCol) Codes() []uint32 { return t.codes }
+
+// StringAt returns row i's string through either string representation; the
+// row must be non-null.
+func (t *TypedCol) StringAt(i int) string {
+	if t.codes != nil {
+		return t.dict[t.codes[i]]
+	}
+	return t.strs[i]
+}
+
+// Slice returns the [lo,hi) view of the column. Value storage is re-sliced
+// in place and the null bitmap is shared with an adjusted bit offset, so a
+// slice never copies.
+func (t *TypedCol) Slice(lo, hi int) *TypedCol {
+	out := &TypedCol{kind: t.kind, n: hi - lo, nulls: t.nulls, nullOff: t.nullOff + lo, dict: t.dict}
+	switch t.kind {
+	case TypedInt64:
+		out.ints = t.ints[lo:hi:hi]
+	case TypedFloat64:
+		out.floats = t.floats[lo:hi:hi]
+	case TypedString:
+		if t.codes != nil {
+			out.codes = t.codes[lo:hi:hi]
+		} else {
+			out.strs = t.strs[lo:hi:hi]
+		}
+	case TypedBool:
+		out.bools = t.bools[lo:hi:hi]
+	}
+	return out
+}
+
+// Materialize appends the view's rows as variants to dst (allocated when
+// nil) and returns it — the escape hatch for consumers that need the variant
+// representation. The result is freshly built, so callers own it.
+func (t *TypedCol) Materialize(dst []variant.Value) []variant.Value {
+	if dst == nil {
+		dst = make([]variant.Value, 0, t.n)
+	}
+	// Kind-specialized loops keep the hot path branch-light; the null test
+	// is a bitmap probe either way.
+	switch t.kind {
+	case TypedInt64:
+		for i, v := range t.ints {
+			if t.Null(i) {
+				dst = append(dst, variant.Null)
+			} else {
+				dst = append(dst, variant.Int(v))
+			}
+		}
+	case TypedFloat64:
+		for i, v := range t.floats {
+			if t.Null(i) {
+				dst = append(dst, variant.Null)
+			} else {
+				dst = append(dst, variant.Float(v))
+			}
+		}
+	case TypedString:
+		for i := 0; i < t.n; i++ {
+			if t.Null(i) {
+				dst = append(dst, variant.Null)
+			} else {
+				dst = append(dst, variant.String(t.StringAt(i)))
+			}
+		}
+	case TypedBool:
+		for i, v := range t.bools {
+			if t.Null(i) {
+				dst = append(dst, variant.Null)
+			} else {
+				dst = append(dst, variant.Bool(v))
+			}
+		}
+	}
+	return dst
+}
+
+// ValueAt converts row i of the view to a variant. Single-row reads never
+// allocate, so row-at-a-time consumers that touch each row once are better
+// served here than by materializing the whole column.
+func (t *TypedCol) ValueAt(i int) variant.Value {
+	if t.Null(i) {
+		return variant.Null
+	}
+	switch t.kind {
+	case TypedInt64:
+		return variant.Int(t.ints[i])
+	case TypedFloat64:
+		return variant.Float(t.floats[i])
+	case TypedString:
+		return variant.String(t.StringAt(i))
+	case TypedBool:
+		return variant.Bool(t.bools[i])
+	}
+	return variant.Null
+}
+
+// SetNullBit marks bit i of a null bitmap sized for n rows; a helper for
+// bitmap builders (storage sealing, the partition file reader).
+func SetNullBit(bitmap []uint64, i int) { bitmap[i>>6] |= 1 << (i & 63) }
+
+// NullBitmapWords returns the []uint64 word count needed for n bits.
+func NullBitmapWords(n int) int { return (n + 63) / 64 }

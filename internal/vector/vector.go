@@ -18,12 +18,20 @@ const DefaultBatchSize = 1024
 // physical indices of the active (surviving) rows in increasing order;
 // a nil Sel means every physical row is active.
 //
+// Typed, when non-nil, carries per-column typed views (parallel to Cols):
+// Typed[c] non-nil means column c has a monomorphic encoding that typed
+// expression kernels can run over directly, and Cols[c] may be nil until a
+// consumer asks for the variant representation through Column — the
+// materialize-to-variant escape hatch that keeps every row-oriented
+// consumer working unchanged.
+//
 // Column vectors may alias storage owned by others (scan batches alias the
 // micro-partition chunks; projections alias their inputs), so consumers must
 // never mutate Cols in place — operators produce new vectors instead.
 type Batch struct {
-	Cols [][]variant.Value
-	Sel  []int
+	Cols  [][]variant.Value
+	Sel   []int
+	Typed []*TypedCol
 }
 
 // Width returns the number of columns.
@@ -31,10 +39,51 @@ func (b *Batch) Width() int { return len(b.Cols) }
 
 // Len returns the physical row count (including filtered-out rows).
 func (b *Batch) Len() int {
-	if len(b.Cols) == 0 {
-		return 0
+	for c, col := range b.Cols {
+		if col != nil {
+			return len(col)
+		}
+		if c < len(b.Typed) && b.Typed[c] != nil {
+			return b.Typed[c].Len()
+		}
 	}
-	return len(b.Cols[0])
+	return 0
+}
+
+// TypedCol returns column c's typed view, or nil when the column only has a
+// variant representation.
+func (b *Batch) TypedCol(c int) *TypedCol {
+	if c < len(b.Typed) {
+		return b.Typed[c]
+	}
+	return nil
+}
+
+// Column returns column c as variants, materializing a typed-only column on
+// first access. The materialized vector is cached in Cols, so repeated reads
+// (and views created by WithSel, which share the Cols backing array) pay the
+// conversion once. The result must be treated as read-only like any column.
+func (b *Batch) Column(c int) []variant.Value {
+	if b.Cols[c] == nil {
+		if tc := b.TypedCol(c); tc != nil {
+			b.Cols[c] = tc.Materialize(make([]variant.Value, 0, tc.Len()))
+		}
+	}
+	return b.Cols[c]
+}
+
+// Value returns the variant at (column c, physical row i). A typed-only
+// column converts the single row in place instead of materializing the whole
+// vector — the right trade for row-wise consumers (join probe, sort and
+// spill row assembly, flatten) that read each row at most once.
+func (b *Batch) Value(c, i int) variant.Value {
+	if b.Cols[c] != nil {
+		return b.Cols[c][i]
+	}
+	if tc := b.TypedCol(c); tc != nil {
+		return tc.ValueAt(i)
+	}
+	return variant.Null
 }
 
 // NumRows returns the active row count.
@@ -46,8 +95,10 @@ func (b *Batch) NumRows() int {
 }
 
 // WithSel returns a view of the batch restricted to the given physical
-// indices. The column vectors are shared, so the view is free to construct.
-func (b *Batch) WithSel(sel []int) *Batch { return &Batch{Cols: b.Cols, Sel: sel} }
+// indices. The column vectors (and typed views) are shared, so the view is
+// free to construct; a materialization through either view is visible to
+// both, since they share the Cols backing array.
+func (b *Batch) WithSel(sel []int) *Batch { return &Batch{Cols: b.Cols, Sel: sel, Typed: b.Typed} }
 
 // ForEach calls fn with the physical index of every active row, in order.
 func (b *Batch) ForEach(fn func(phys int)) {
@@ -85,13 +136,16 @@ func (b *Batch) Row(i int, buf []variant.Value) []variant.Value {
 	}
 	buf = buf[:len(b.Cols)]
 	for c := range b.Cols {
-		buf[c] = b.Cols[c][i]
+		buf[c] = b.Column(c)[i]
 	}
 	return buf
 }
 
 // AppendRows materializes every active row and appends them to rows.
 func (b *Batch) AppendRows(rows [][]variant.Value) [][]variant.Value {
+	for c := range b.Cols {
+		b.Column(c)
+	}
 	b.ForEach(func(i int) {
 		row := make([]variant.Value, len(b.Cols))
 		for c := range b.Cols {

@@ -95,6 +95,8 @@ type openConfig struct {
 	planCheck   bool
 	slowMS      int64
 	traceOut    io.Writer
+	dataDir     string
+	typedOff    bool
 }
 
 // WithBatchSize sets the rows-per-batch of the vectorized executor (default
@@ -154,6 +156,30 @@ func WithTraceExport(w io.Writer) OpenOption {
 	return func(c *openConfig) { c.traceOut = w }
 }
 
+// WithDataDir makes the warehouse persistent (the -data-dir flag): sealed
+// micro-partitions are written under dir (one subdirectory per collection,
+// one file per partition: typed column arrays, zone maps, and a versioned
+// header), and collections already on disk are rediscovered on first
+// access. Reopening is lazy and two-phase — partition headers (schema +
+// zone maps) load at open, so pruning works before any data is read; data
+// sections stream in on first scan. Rows still buffered in a collection's
+// open partition are not on disk until Flush (or the partition seals on
+// its own). Empty dir (the default) keeps everything in memory.
+func WithDataDir(dir string) OpenOption {
+	return func(c *openConfig) { c.dataDir = dir }
+}
+
+// WithTypedColumns toggles typed shredding at partition seal (on by
+// default): leaf columns whose non-null values are uniformly one scalar
+// kind are stored as typed arrays (int64/float64/string/bool plus a null
+// bitmap, dictionary-encoded low-cardinality strings) that the expression
+// kernels scan without per-row variant dispatch. Query results are
+// byte-identical either way; false keeps every column in the variant
+// encoding.
+func WithTypedColumns(on bool) OpenOption {
+	return func(c *openConfig) { c.typedOff = !on }
+}
+
 // ParseByteSize parses a human byte-size string — "67108864", "64KiB",
 // "512MiB", "1GiB", "2kb", "10m" — into bytes. Suffixes are binary
 // (KiB/K/k = 1024) and case-insensitive; the "iB"/"b" tail is optional.
@@ -207,6 +233,8 @@ func Open(opts ...OpenOption) *Warehouse {
 		engine.WithMergePartitions(c.mergeParts),
 		engine.WithMemLimit(c.memLimit),
 		engine.WithPlanCheck(c.planCheck),
+		engine.WithTypedColumns(!c.typedOff),
+		engine.WithDataDir(c.dataDir),
 	)
 	w := &Warehouse{
 		eng:  eng,
@@ -366,6 +394,9 @@ func (r *QueryReport) QueryLogRecord(status string, err error) qlog.QueryRecord 
 		rec.SpillBytes = m.SpillBytes
 		rec.Spills = m.Spills
 		rec.ParallelBreakers = int64(m.ParallelBreakers)
+		rec.TypedCols = m.TypedCols
+		rec.FallbackCols = m.FallbackCols
+		rec.DiskReads = m.DiskReads
 	}
 	return rec
 }
@@ -423,6 +454,9 @@ func (w *Warehouse) QueryTraced(jsoniqSrc string, opts ...QueryOption) (*QueryRe
 			ob.PartitionsPruned = int64(res.Metrics.PartitionsPruned)
 			ob.ParallelBreakers = int64(res.Metrics.ParallelBreakers)
 			ob.SpillBytes = res.Metrics.SpillBytes
+			ob.TypedCols = res.Metrics.TypedCols
+			ob.FallbackCols = res.Metrics.FallbackCols
+			ob.DiskReads = res.Metrics.DiskReads
 		}
 		w.obs.ObserveQuery(ob)
 		return td
@@ -488,6 +522,12 @@ func (w *Warehouse) QueryItems(jsoniqSrc string, opts ...QueryOption) ([]Value, 
 	}
 	return items, nil
 }
+
+// Flush seals every collection's buffered rows into micro-partitions and —
+// when the warehouse has a data directory — waits for them to reach disk.
+// Call it before a planned shutdown so a reopened warehouse sees every
+// loaded row; a warehouse without WithDataDir just seals in memory.
+func (w *Warehouse) Flush() error { return w.eng.Catalog().Flush() }
 
 // SQL executes a raw SQL query against the engine directly.
 func (w *Warehouse) SQL(sql string) (*Result, error) { return w.eng.Query(sql) }

@@ -123,7 +123,8 @@ func checkQlog(path string) error {
 	rec := records[0]
 	for _, key := range []string{"trace_id", "fingerprint", "status",
 		"parse_us", "plan_us", "sqlgen_us", "exec_us", "total_us",
-		"rows", "mem_peak_bytes", "spill_bytes"} {
+		"rows", "mem_peak_bytes", "spill_bytes",
+		"typed_cols", "fallback_cols", "disk_reads"} {
 		if _, ok := rec[key]; !ok {
 			return fmt.Errorf("query record missing %q: %v", key, rec)
 		}
