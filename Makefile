@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet lint race stress fuzz-smoke obs-smoke check bench bench-smoke clean
+.PHONY: all build test vet lint lint-fixtures race stress fuzz-smoke obs-smoke check bench bench-smoke clean
 
 all: check
 
@@ -16,10 +16,17 @@ vet:
 # jsqlint (cmd/jsqlint, internal/lint) machine-checks the executor's
 # invariants that vet and the type system cannot: kernel-output aliasing,
 # operator Close lifecycle, span lifecycle, selection-vector access
-# discipline, locks held across NextBatch, and discarded load-bearing
-# errors. `jsqlint -list` names the analyzers; see DESIGN.md "Invariants".
+# discipline, locks held across NextBatch, discarded load-bearing errors,
+# cancellation polling in absorbing loops, memory-governance charging,
+# TypedCol view escapes, spill-run lifecycles, and raw null-bitmap access.
+# `jsqlint -list` names the analyzers; see DESIGN.md "Invariants".
 lint:
-	$(GO) run ./cmd/jsqlint ./...
+	$(GO) run ./cmd/jsqlint -stats ./...
+
+# lint-fixtures runs only the analyzers' golden-fixture harness — the fast
+# inner loop when developing an analyzer.
+lint-fixtures:
+	$(GO) test -run TestFixtures ./internal/lint/
 
 # The observability substrate (internal/obsv) is shared by concurrent server
 # queries; the race detector run is the gate that keeps it race-clean.

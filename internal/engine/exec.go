@@ -260,6 +260,7 @@ func drainRowsHooked(it batchIter, hook func()) ([][]variant.Value, error) {
 		if b == nil {
 			return out, nil
 		}
+		//jsqlint:ignore memcharge result rows are the query's output handed to the caller, not operator-retained state; the governance budget covers breaker state, not the client result set
 		out = b.AppendRows(out)
 		if hook != nil {
 			hook()
@@ -894,7 +895,11 @@ func (j *joinIter) drainBuild() ([][]variant.Value, error) {
 		}
 		if w == nil {
 			rows = b.AppendRows(rows)
-			if len(j.rightKeys) > 0 && j.mem.enabled() && j.mem.charge(activeRowsBytes(b)) {
+			// Charge unconditionally so CROSS builds count against the budget
+			// and show up in MemPeakBytes; only keyed joins can act on the
+			// overflow by spilling (a CROSS join has no key to index runs by).
+			over := j.mem.enabled() && j.mem.charge(activeRowsBytes(b))
+			if over && len(j.rightKeys) > 0 {
 				if w, err = j.startBuildSpill(rows); err != nil {
 					return nil, err
 				}

@@ -554,9 +554,11 @@ func typedColColKernel(b *vector.Batch, lt, rt *vector.TypedCol, op string, out 
 func typedFloatAt(tc *vector.TypedCol) func(int) float64 {
 	if tc.Kind() == TypedColInt {
 		xs := tc.Ints()
+		//jsqlint:ignore typedalias accessor is consumed inside the same batch's kernel invocation and never outlives the scan
 		return func(i int) float64 { return float64(xs[i]) }
 	}
 	xs := tc.Floats()
+	//jsqlint:ignore typedalias accessor is consumed inside the same batch's kernel invocation and never outlives the scan
 	return func(i int) float64 { return xs[i] }
 }
 

@@ -551,6 +551,9 @@ func (p *paggIter) run() ([][]variant.Value, error) {
 					// go through ReadAt and are concurrency-safe.
 					rr := src.run.NewReader()
 					for {
+						if atomic.LoadInt32(&stop) != 0 || checkCancel() {
+							return
+						}
 						rec, err := rr.Next()
 						if err != nil {
 							fail(err)

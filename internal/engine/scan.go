@@ -158,6 +158,11 @@ func (s *scanIter) NextBatch() (*vector.Batch, error) {
 		if s.pi >= len(s.parts) {
 			return nil, nil
 		}
+		// One NextBatch call can chew through many pruned partitions before
+		// producing a batch; the cancelIter wrap only polls between calls.
+		if err := s.ctx.cancelled(); err != nil {
+			return nil, err
+		}
 		p := s.parts[s.pi]
 		s.pi++
 		if partitionPruned(s.node, p) {

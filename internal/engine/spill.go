@@ -382,7 +382,7 @@ func decodeSpilledGroup(rec []byte, aggs []compiledAgg, wantBucket int32, parts 
 // group's partials in source order reproduces the sequential fold; a group's
 // first source is where it was globally first seen, so appending on first
 // sight reproduces sequential first-seen output order.
-func mergeSpilledAgg(runs []*storage.SpillRun, final *aggTable, aggs []compiledAgg) ([]*aggGroup, error) {
+func mergeSpilledAgg(ectx *execContext, runs []*storage.SpillRun, final *aggTable, aggs []compiledAgg) ([]*aggGroup, error) {
 	seen := make(map[string]*aggGroup)
 	var out []*aggGroup
 	fold := func(g *aggGroup) error {
@@ -402,6 +402,11 @@ func mergeSpilledAgg(runs []*storage.SpillRun, final *aggTable, aggs []compiledA
 	for _, r := range runs {
 		rr := r.NewReader()
 		for {
+			// The runs can hold far more groups than any one batch; a
+			// cancelled query must not replay them all before noticing.
+			if err := ectx.cancelled(); err != nil {
+				return nil, err
+			}
 			rec, err := rr.Next()
 			if err != nil {
 				return nil, err
@@ -483,7 +488,7 @@ func (x *extAgg) finish(t *aggTable) ([]*aggGroup, error) {
 		}
 		x.runs = append(x.runs, run) // discard() will remove it
 		x.mem.noteSpill(run.Bytes())
-		if err := x.eval.replayTuples(run, t); err != nil {
+		if err := x.eval.replayTuples(x.mem.ctx, run, t); err != nil {
 			return nil, err
 		}
 		return t.order, nil
@@ -491,7 +496,7 @@ func (x *extAgg) finish(t *aggTable) ([]*aggGroup, error) {
 	if len(x.runs) == 0 {
 		return t.order, nil
 	}
-	return mergeSpilledAgg(x.runs, t, x.eval.aggs)
+	return mergeSpilledAgg(x.mem.ctx, x.runs, t, x.eval.aggs)
 }
 
 // discard releases every on-disk and accounted resource; safe after finish.
@@ -576,12 +581,17 @@ func (e *aggEval) spillTuples(w *storage.RunWriter, b *vector.Batch) error {
 // replayTuples folds the deferred tuples back through foldRow, in run
 // (input) order — the identical fold sequence the in-memory path would have
 // issued.
-func (e *aggEval) replayTuples(run *storage.SpillRun, t *aggTable) error {
+func (e *aggEval) replayTuples(ectx *execContext, run *storage.SpillRun, t *aggTable) error {
 	rowG := make([]variant.Value, len(e.groupFns))
 	rowA := make([]variant.Value, len(e.aggs))
 	rowO := make([][]variant.Value, len(e.aggs))
 	rr := run.NewReader()
 	for {
+		// Deferred runs replay the whole input; poll per tuple so a cancel
+		// lands within one record, not after the full replay.
+		if err := ectx.cancelled(); err != nil {
+			return err
+		}
 		rec, err := rr.Next()
 		if err != nil {
 			return err

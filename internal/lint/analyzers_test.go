@@ -7,13 +7,17 @@ import (
 	"jsonpark/internal/lint/linttest"
 )
 
-func TestKernelAlias(t *testing.T) { linttest.Run(t, lint.KernelAlias, "kernelalias") }
-func TestExecClose(t *testing.T)   { linttest.Run(t, lint.ExecClose, "execclose") }
-func TestSpanEnd(t *testing.T)     { linttest.Run(t, lint.SpanEnd, "spanend") }
-func TestSelBounds(t *testing.T)   { linttest.Run(t, lint.SelBounds, "selbounds") }
-func TestLockedBatch(t *testing.T) { linttest.Run(t, lint.LockedBatch, "lockedbatch") }
-func TestErrSink(t *testing.T)     { linttest.Run(t, lint.ErrSink, "errsink") }
-func TestLogKeys(t *testing.T)     { linttest.Run(t, lint.LogKeys, "logkeys") }
+// TestFixtures runs every analyzer against its golden fixture. The single
+// parent test is what `make lint-fixtures` selects with -run.
+func TestFixtures(t *testing.T) {
+	for _, a := range lint.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			t.Parallel()
+			linttest.Run(t, a, a.Name)
+		})
+	}
+}
 
 func TestByName(t *testing.T) {
 	all, err := lint.ByName("")

@@ -1,0 +1,490 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SSA-lite intraprocedural dataflow. The PR 4 analyzers are syntactic: they
+// can see one statement at a time but not a value flowing through
+// assignments. The analyzers for the governance and typed-storage
+// invariants (ctxpoll, memcharge, typedalias, spillclose, nullbits) need
+// def-use chains: "this local holds a TypedCol view", "this loop's batch
+// reaches a retained field". This file is the shared core: a
+// branch-insensitive taint flow with a loop fixpoint (a value assigned late
+// in a loop body reaches uses earlier in the body on the next iteration)
+// and escape detection — a tracked value leaving its function through a
+// struct field, a captured variable, a return, or a closure that itself
+// escapes. Function literals are separate analysis units, exactly like the
+// rest of the suite; a literal referencing a value tainted in its enclosing
+// unit is treated as tainted itself, so returning or storing the closure is
+// the escape, while passing it to a call (b.ForEach(fn)) is not.
+
+// escapeKind classifies how a tracked value left its function.
+type escapeKind int
+
+const (
+	escapeField    escapeKind = iota // stored into a struct field
+	escapeCaptured                   // stored into a captured or package-level variable
+	escapeReturn                     // returned (directly or inside a closure)
+)
+
+func (k escapeKind) String() string {
+	switch k {
+	case escapeField:
+		return "stored in field"
+	case escapeCaptured:
+		return "stored in captured variable"
+	case escapeReturn:
+		return "returned"
+	}
+	return "escaped"
+}
+
+// taintSpec configures one run of the dataflow engine.
+type taintSpec struct {
+	// tracked reports whether t is the guarded view type (or a container of
+	// it): parameters and receivers of tracked type enter their function
+	// tainted, and an index read whose result is tracked propagates taint
+	// from its base.
+	tracked func(t types.Type) bool
+	// source classifies an expression (typically a call) as freshly
+	// producing a tracked value.
+	source func(p *Pass, e ast.Expr) bool
+	// viewCall reports whether a method call on a tainted receiver returns
+	// another view of the same storage (Slice, raw accessors). Calls that
+	// are neither sources nor view calls sanitize: Materialize, ValueAt and
+	// scalar reads return owned values.
+	viewCall func(p *Pass, call *ast.CallExpr) bool
+	// allowComposite exempts sanctioned carrier literals (vector.Batch):
+	// a tracked value placed in one does not taint the literal.
+	allowComposite func(p *Pass, lit *ast.CompositeLit) bool
+	// allowFieldStore exempts specific field-store targets.
+	allowFieldStore func(p *Pass, sel *ast.SelectorExpr) bool
+}
+
+// flowUnit is one dataflow scope: a function body plus its parameter and
+// receiver objects.
+type flowUnit struct {
+	name   string
+	body   *ast.BlockStmt
+	params []types.Object
+}
+
+// flowUnits collects every function body in the file with its parameters,
+// outermost first. Nested literals are separate units.
+func flowUnits(info *types.Info, f *ast.File) []flowUnit {
+	fieldObjs := func(fl *ast.FieldList, out []types.Object) []types.Object {
+		if fl == nil {
+			return out
+		}
+		for _, fld := range fl.List {
+			for _, name := range fld.Names {
+				if obj := info.Defs[name]; obj != nil {
+					out = append(out, obj)
+				}
+			}
+		}
+		return out
+	}
+	var units []flowUnit
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncDecl:
+			if x.Body != nil {
+				var params []types.Object
+				params = fieldObjs(x.Recv, params)
+				params = fieldObjs(x.Type.Params, params)
+				units = append(units, flowUnit{name: x.Name.Name, body: x.Body, params: params})
+			}
+		case *ast.FuncLit:
+			units = append(units, flowUnit{
+				name:   "func literal",
+				body:   x.Body,
+				params: fieldObjs(x.Type.Params, nil),
+			})
+		}
+		return true
+	})
+	return units
+}
+
+// runTaintFlow applies the spec to every function body in the pass,
+// reporting each escape of a tracked value.
+func runTaintFlow(pass *Pass, spec *taintSpec, report func(pos token.Pos, kind escapeKind, what string)) {
+	for _, f := range pass.Files {
+		for _, unit := range flowUnits(pass.Info, f) {
+			w := &flowWalker{pass: pass, spec: spec, unit: unit, taint: map[types.Object]bool{}}
+			for _, obj := range unit.params {
+				if spec.tracked != nil && obj.Type() != nil && spec.tracked(obj.Type()) {
+					w.taint[obj] = true
+				}
+			}
+			// Fixpoint: each pass may taint locals whose assignments appear
+			// after their uses (loop-carried flow). Iterate until the taint
+			// set is stable, then one reporting pass. The set only grows, so
+			// this terminates; the bound is a safety net.
+			for i := 0; i < 16; i++ {
+				before := len(w.taint)
+				w.walkStmts(unit.body.List)
+				if len(w.taint) == before {
+					break
+				}
+			}
+			w.report = report
+			w.walkStmts(unit.body.List)
+		}
+	}
+}
+
+type flowWalker struct {
+	pass   *Pass
+	spec   *taintSpec
+	unit   flowUnit
+	taint  map[types.Object]bool
+	report func(pos token.Pos, kind escapeKind, what string) // nil during fixpoint passes
+}
+
+func (w *flowWalker) reportf(pos token.Pos, kind escapeKind, what string) {
+	if w.report != nil {
+		w.report(pos, kind, what)
+	}
+}
+
+// tainted reports whether evaluating e can yield (or contain) a tracked
+// view.
+func (w *flowWalker) tainted(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := w.pass.Info.ObjectOf(x)
+		return obj != nil && w.taint[obj]
+	case *ast.CallExpr:
+		if tv, ok := w.pass.Info.Types[x.Fun]; ok && tv.IsType() {
+			return w.tainted(x.Args[0]) // conversion passes the value through
+		}
+		if w.spec.source != nil && w.spec.source(w.pass, x) {
+			return true
+		}
+		// append(dst, views...) retains the views as elements of dst.
+		if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "append" {
+			if obj := w.pass.Info.ObjectOf(id); obj == nil || obj.Parent() == types.Universe {
+				for _, a := range x.Args {
+					if w.tainted(a) {
+						return true
+					}
+				}
+			}
+		}
+		if sel, ok := x.Fun.(*ast.SelectorExpr); ok && w.tainted(sel.X) {
+			if w.spec.viewCall != nil && w.spec.viewCall(w.pass, x) {
+				return true
+			}
+		}
+		return false
+	case *ast.ParenExpr:
+		return w.tainted(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return w.tainted(x.X)
+		}
+		return false
+	case *ast.SliceExpr:
+		return w.tainted(x.X) // reslicing shares the backing array
+	case *ast.IndexExpr:
+		// An element read propagates only when the element itself is a
+		// tracked view (b.Typed[i]); scalar element reads are values.
+		if tv, ok := w.pass.Info.Types[x]; ok && w.spec.tracked != nil && w.spec.tracked(tv.Type) {
+			return w.tainted(x.X)
+		}
+		return false
+	case *ast.CompositeLit:
+		if w.spec.allowComposite != nil && w.spec.allowComposite(w.pass, x) {
+			return false
+		}
+		for _, el := range x.Elts {
+			v := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if w.tainted(v) {
+				return true
+			}
+		}
+		return false
+	case *ast.FuncLit:
+		// A literal referencing a tainted enclosing local carries the view:
+		// wherever the closure goes, the view goes.
+		found := false
+		ast.Inspect(x.Body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := w.pass.Info.ObjectOf(id); obj != nil && w.taint[obj] {
+					found = true
+				}
+			}
+			return true
+		})
+		return found
+	case *ast.SelectorExpr:
+		return w.spec.source != nil && w.spec.source(w.pass, x)
+	}
+	return false
+}
+
+// captured reports whether the identifier's object is declared outside the
+// current function body.
+func (w *flowWalker) captured(id *ast.Ident) bool {
+	obj := w.pass.Info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return false
+	}
+	if w.isParam(obj) {
+		return false // parameters belong to this unit
+	}
+	return !declaredWithin(obj, w.unit.body)
+}
+
+func (w *flowWalker) isParam(obj types.Object) bool {
+	for _, p := range w.unit.params {
+		if p == obj {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *flowWalker) setTaint(id *ast.Ident, t bool) {
+	obj := w.pass.Info.ObjectOf(id)
+	if obj == nil {
+		return
+	}
+	if t {
+		w.taint[obj] = true
+	}
+	// Taint is never cleared: branch-insensitive reaching values must keep
+	// a loop-carried taint alive even when a later pass sees a clean
+	// reassignment first.
+}
+
+func (w *flowWalker) assign(lhs, rhs []ast.Expr) {
+	if len(rhs) == 1 && len(lhs) > 1 {
+		// Tuple call: find which results are tracked by type.
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok {
+			t := w.tainted(call)
+			if tv, ok := w.pass.Info.Types[call]; ok {
+				if tup, ok := tv.Type.(*types.Tuple); ok && t {
+					for i := 0; i < tup.Len() && i < len(lhs); i++ {
+						w.storeTaint(lhs[i], w.spec.tracked != nil && w.spec.tracked(tup.At(i).Type()))
+					}
+					return
+				}
+			}
+			for _, l := range lhs {
+				w.storeTaint(l, false)
+			}
+			return
+		}
+	}
+	if len(lhs) != len(rhs) {
+		return
+	}
+	for i := range lhs {
+		w.storeTaint(lhs[i], w.tainted(rhs[i]))
+	}
+}
+
+// storeTaint applies one lhs <- value store, reporting escapes.
+func (w *flowWalker) storeTaint(l ast.Expr, t bool) {
+	switch x := l.(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return
+		}
+		if t && w.captured(x) {
+			w.reportf(x.Pos(), escapeCaptured, x.Name)
+			return
+		}
+		w.setTaint(x, t)
+	case *ast.SelectorExpr:
+		if t {
+			if w.spec.allowFieldStore != nil && w.spec.allowFieldStore(w.pass, x) {
+				return
+			}
+			w.reportf(x.Pos(), escapeField, exprString(x))
+		}
+	case *ast.IndexExpr:
+		if !t {
+			return
+		}
+		switch base := ast.Unparen(x.X).(type) {
+		case *ast.Ident:
+			if w.captured(base) {
+				w.reportf(x.Pos(), escapeCaptured, base.Name)
+				return
+			}
+			w.setTaint(base, true)
+		case *ast.SelectorExpr:
+			if w.spec.allowFieldStore != nil && w.spec.allowFieldStore(w.pass, base) {
+				return
+			}
+			w.reportf(x.Pos(), escapeField, exprString(base))
+		}
+	case *ast.StarExpr:
+		if t {
+			w.reportf(x.Pos(), escapeCaptured, exprString(x))
+		}
+	}
+}
+
+func (w *flowWalker) walkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		w.walkStmt(s)
+	}
+}
+
+func (w *flowWalker) walkStmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.AssignStmt:
+		w.assign(x.Lhs, x.Rhs)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) == 0 {
+					continue
+				}
+				lhs := make([]ast.Expr, len(vs.Names))
+				for i, n := range vs.Names {
+					lhs[i] = n
+				}
+				w.assign(lhs, vs.Values)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			if w.tainted(r) {
+				w.reportf(x.Pos(), escapeReturn, exprString(r))
+			}
+		}
+	case *ast.RangeStmt:
+		// for i, v := range tracked-slice: the element variable is a view.
+		if x.Value != nil && w.tainted(x.X) {
+			if tv, ok := w.pass.Info.Types[x.Value]; ok && w.spec.tracked != nil && w.spec.tracked(tv.Type) {
+				w.storeTaint(x.Value, true)
+			}
+		}
+		w.walkStmts(x.Body.List)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init)
+		}
+		w.walkStmts(x.Body.List)
+		if x.Else != nil {
+			w.walkStmt(x.Else)
+		}
+	case *ast.BlockStmt:
+		w.walkStmts(x.List)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init)
+		}
+		w.walkStmts(x.Body.List)
+		if x.Post != nil {
+			w.walkStmt(x.Post)
+		}
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init)
+		}
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init)
+		}
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					w.walkStmt(cc.Comm)
+				}
+				w.walkStmts(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(x.Stmt)
+	}
+}
+
+// --- shared def-use helpers ----------------------------------------------------
+
+// funcLitBindings maps every local object bound to a function literal
+// (checkCancel := func() bool {...}) anywhere in the file. ctxpoll uses it
+// to resolve a loop's poll through a named closure.
+func funcLitBindings(info *types.Info, f *ast.File) map[types.Object]*ast.FuncLit {
+	out := make(map[types.Object]*ast.FuncLit)
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		lit, ok := ast.Unparen(rhs).(*ast.FuncLit)
+		if !ok {
+			return
+		}
+		if id, ok := lhs.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil {
+				out[obj] = lit
+			}
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) == len(x.Rhs) {
+				for i := range x.Lhs {
+					bind(x.Lhs[i], x.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(x.Names) == len(x.Values) {
+				for i := range x.Names {
+					bind(x.Names[i], x.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// inScope reports whether the analyzer applies to this package: its import
+// path ends with one of the suffixes, or — the fixture convention — the
+// path equals the analyzer's own name (linttest loads each fixture package
+// under the fixture directory's name).
+func inScope(pass *Pass, suffixes ...string) bool {
+	path := pass.Pkg.Path()
+	if path == pass.Analyzer.Name {
+		return true
+	}
+	for _, s := range suffixes {
+		if path == s || hasPathSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasPathSuffix(path, suffix string) bool {
+	return len(path) > len(suffix) && path[len(path)-len(suffix)-1] == '/' && path[len(path)-len(suffix):] == suffix
+}

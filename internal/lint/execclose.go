@@ -18,11 +18,11 @@ var ExecClose = &Analyzer{
 	Run: func(pass *Pass) error {
 		runLifecycle(pass, &resourceSpec{
 			analyzer: "execclose",
-			resourceRelease: func(t types.Type) string {
+			resourceRelease: func(t types.Type) []string {
 				if isBatchIterType(t) {
-					return "Close"
+					return []string{"Close"}
 				}
-				return ""
+				return nil
 			},
 			argTransfer: true,
 			verb:        "closed",

@@ -1,0 +1,283 @@
+package lint
+
+// White-box tests of the lint framework itself: the suppression
+// directives, deterministic output ordering, the per-analyzer stats, and
+// the dataflow core's escape detection — exercised on in-memory sources so
+// the cases stay minimal and self-describing.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"testing"
+)
+
+// checkSources type-checks an import-free package given as filename->source.
+func checkSources(t *testing.T, filenames []string, src map[string]string) *Package {
+	t.Helper()
+	bodies := make(map[string][]byte, len(src))
+	for fn, s := range src {
+		bodies[fn] = []byte(s)
+	}
+	pkg, err := typeCheck(token.NewFileSet(), "p", filenames, bodies, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+// reportCalls returns an analyzer that flags every call to a function
+// literally named sink — a minimal stand-in with fully predictable
+// positions.
+func reportCalls(name string) *Analyzer {
+	return &Analyzer{
+		Name: name,
+		Doc:  "test analyzer",
+		Run: func(pass *Pass) error {
+			for _, f := range pass.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "sink" {
+							pass.Reportf(call.Pos(), "call to sink")
+						}
+					}
+					return true
+				})
+			}
+			return nil
+		},
+	}
+}
+
+func TestSuppressionEdgeCases(t *testing.T) {
+	src := `package p
+
+func sink() {}
+
+func sameLine() {
+	sink() //jsqlint:ignore fake on the reported line
+}
+
+func lineAbove() {
+	//jsqlint:ignore fake on the line above
+	sink()
+}
+
+func multiLineStmt() {
+	//jsqlint:ignore fake above a statement split across lines
+	sink(
+	)
+}
+
+func wrongName() {
+	//jsqlint:ignore otheranalyzer the name does not match
+	sink()
+}
+
+func nameless() {
+	//jsqlint:ignore
+	sink()
+}
+`
+	pkg := checkSources(t, []string{"p.go"}, map[string]string{"p.go": src})
+	diags, err := Run([]*Package{pkg}, []*Analyzer{reportCalls("fake")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the mismatched-name and nameless directives leave their findings
+	// alive; same-line, line-above and multi-line statements are suppressed.
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (wrongName, nameless): %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 22 || diags[1].Pos.Line != 27 {
+		t.Errorf("surviving findings at lines %d and %d, want 22 (wrongName) and 27 (nameless)",
+			diags[0].Pos.Line, diags[1].Pos.Line)
+	}
+}
+
+func TestIgnoreFileDirective(t *testing.T) {
+	muted := `//jsqlint:ignore-file fake this whole file is a sanctioned exception
+package p
+
+func sink() {}
+
+func one() { sink() }
+
+func two() { sink() }
+`
+	loud := `package p
+
+func other() { sink() }
+`
+	pkg := checkSources(t, []string{"muted.go", "loud.go"},
+		map[string]string{"muted.go": muted, "loud.go": loud})
+	diags, err := Run([]*Package{pkg}, []*Analyzer{reportCalls("fake")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Pos.Filename != "loud.go" {
+		t.Fatalf("got %v, want exactly one finding in loud.go", diags)
+	}
+}
+
+func TestDeterministicOrdering(t *testing.T) {
+	// Two files fed out of name order, two analyzers firing on the same
+	// lines: the output must sort by file, line, column, analyzer — and be
+	// byte-identical across runs.
+	srcB := `package p
+
+func sink() {}
+
+func fromB() { sink(); sink() }
+`
+	srcA := `package p
+
+func fromA() { sink() }
+`
+	pkg := checkSources(t, []string{"b.go", "a.go"},
+		map[string]string{"b.go": srcB, "a.go": srcA})
+	analyzers := []*Analyzer{reportCalls("zfake"), reportCalls("afake")}
+	first, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 6 {
+		t.Fatalf("got %d diagnostics, want 6", len(first))
+	}
+	if first[0].Pos.Filename != "a.go" || first[len(first)-1].Pos.Filename != "b.go" {
+		t.Errorf("findings not sorted by file: first %s, last %s",
+			first[0].Pos.Filename, first[len(first)-1].Pos.Filename)
+	}
+	if first[0].Analyzer != "afake" || first[1].Analyzer != "zfake" {
+		t.Errorf("same-position findings not sorted by analyzer: %s before %s",
+			first[0].Analyzer, first[1].Analyzer)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := Run([]*Package{pkg}, analyzers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d produced a different ordering:\n%v\nvs\n%v", i, first, again)
+		}
+	}
+}
+
+func TestRunWithStats(t *testing.T) {
+	src := `package p
+
+func sink() {}
+
+func f() {
+	sink()
+	//jsqlint:ignore fake suppressed findings must not count
+	sink()
+}
+`
+	pkg := checkSources(t, []string{"p.go"}, map[string]string{"p.go": src})
+	diags, stats, err := RunWithStats([]*Package{pkg}, []*Analyzer{reportCalls("fake")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1", len(diags))
+	}
+	if len(stats) != 1 || stats[0].Name != "fake" || stats[0].Findings != 1 {
+		t.Fatalf("stats = %+v, want one entry for fake with 1 finding", stats)
+	}
+	if stats[0].Wall < 0 {
+		t.Fatalf("negative wall time: %v", stats[0].Wall)
+	}
+}
+
+// TestTaintFlowEscapes drives the dataflow core directly: a local view
+// type, a source function, and the three escape kinds — plus the
+// loop-carried case only the fixpoint catches and the closure-argument
+// case that must stay clean.
+func TestTaintFlowEscapes(t *testing.T) {
+	src := `package p
+
+type view struct{ xs []int }
+
+func newView() *view { return &view{} }
+
+type holder struct{ v *view }
+
+func storesField(h *holder) {
+	v := newView()
+	h.v = v
+}
+
+func returns() *view {
+	v := newView()
+	return v
+}
+
+func returnsClosure() func() *view {
+	v := newView()
+	return func() *view { return v }
+}
+
+func loopCarried(h *holder) {
+	var v *view
+	for i := 0; i < 2; i++ {
+		h.v = v
+		v = newView()
+	}
+}
+
+func each(f func()) { f() }
+
+func closureArg() int {
+	v := newView()
+	n := 0
+	each(func() { n = len(v.xs) })
+	return n
+}
+
+func clean() int {
+	v := newView()
+	return len(v.xs)
+}
+`
+	pkg := checkSources(t, []string{"p.go"}, map[string]string{"p.go": src})
+	spec := &taintSpec{
+		tracked: func(tt types.Type) bool { return namedIn(tt, "p", "view") },
+		source: func(p *Pass, e ast.Expr) bool {
+			call, ok := e.(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			return ok && id.Name == "newView"
+		},
+	}
+	type escape struct {
+		line int
+		kind escapeKind
+		what string
+	}
+	var got []escape
+	pass := &Pass{
+		Analyzer: &Analyzer{Name: "taint"},
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		report:   func(d Diagnostic) {},
+	}
+	runTaintFlow(pass, spec, func(pos token.Pos, kind escapeKind, what string) {
+		p := pkg.Fset.Position(pos)
+		got = append(got, escape{line: p.Line, kind: kind, what: what})
+	})
+	want := []escape{
+		{line: 11, kind: escapeField, what: "h.v"},     // storesField
+		{line: 16, kind: escapeReturn, what: "v"},      // returns
+		{line: 21, kind: escapeReturn, what: "<expr>"}, // returnsClosure
+		{line: 27, kind: escapeField, what: "h.v"},     // loopCarried, via fixpoint
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("escapes:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -14,9 +14,11 @@ import (
 // slice, or capturing it in a closure — the new owner is then responsible).
 type resourceSpec struct {
 	analyzer string
-	// resourceRelease returns the release method ("Close", "End", ...) when
-	// t is a tracked resource type, or "" otherwise.
-	resourceRelease func(t types.Type) string
+	// resourceRelease returns the set of release methods — any one of which
+	// discharges the obligation ("Close"; "Finish" or "Abort") — when t is a
+	// tracked resource type, or nil otherwise. The first name is the
+	// preferred spelling used in messages.
+	resourceRelease func(t types.Type) []string
 	// argTransfer: passing the resource as a plain call argument hands
 	// ownership to the callee (true for operators — wrapping constructors
 	// take over their children; false for spans — helpers annotate a span
@@ -28,12 +30,22 @@ type resourceSpec struct {
 
 // trackedVar is one live resource variable inside a function body.
 type trackedVar struct {
-	obj     types.Object
-	name    string
-	release string
-	pos     token.Pos
-	errObj  types.Object // error result of the acquiring call, while paired
-	done    bool         // released, transferred, or already reported
+	obj      types.Object
+	name     string
+	releases []string
+	pos      token.Pos
+	errObj   types.Object // error result of the acquiring call, while paired
+	done     bool         // released, transferred, or already reported
+}
+
+// releasedBy reports whether calling method name discharges the resource.
+func (v *trackedVar) releasedBy(name string) bool {
+	for _, r := range v.releases {
+		if r == name {
+			return true
+		}
+	}
+	return false
 }
 
 type lifecycleWalker struct {
@@ -52,7 +64,7 @@ func runLifecycle(pass *Pass, spec *resourceSpec) {
 			for _, v := range w.vars {
 				if !v.done {
 					pass.Reportf(v.pos, "%s is never %s in %s (add defer %s.%s())",
-						v.name, spec.verb, unit.name, v.name, v.release)
+						v.name, spec.verb, unit.name, v.name, v.releases[0])
 				}
 			}
 		}
@@ -61,9 +73,9 @@ func runLifecycle(pass *Pass, spec *resourceSpec) {
 
 // acquisition describes one call result that produces a resource.
 type acquisition struct {
-	resIdx  int // index of the resource in the call's result tuple
-	errIdx  int // index of an error result, or -1
-	release string
+	resIdx   int // index of the resource in the call's result tuple
+	errIdx   int // index of an error result, or -1
+	releases []string
 }
 
 // acquires inspects a call's result types.
@@ -77,21 +89,21 @@ func (w *lifecycleWalker) acquires(call *ast.CallExpr) (acquisition, bool) {
 	case *types.Tuple:
 		for i := 0; i < t.Len(); i++ {
 			it := t.At(i).Type()
-			if rel := w.spec.resourceRelease(it); rel != "" && acq.resIdx < 0 {
-				acq.resIdx, acq.release = i, rel
+			if rel := w.spec.resourceRelease(it); len(rel) > 0 && acq.resIdx < 0 {
+				acq.resIdx, acq.releases = i, rel
 			} else if isErrorType(it) {
 				acq.errIdx = i
 			}
 		}
 	default:
-		if rel := w.spec.resourceRelease(tv.Type); rel != "" {
-			acq.resIdx, acq.release = 0, rel
+		if rel := w.spec.resourceRelease(tv.Type); len(rel) > 0 {
+			acq.resIdx, acq.releases = 0, rel
 		}
 	}
 	return acq, acq.resIdx >= 0
 }
 
-func (w *lifecycleWalker) register(id *ast.Ident, release string, errObj types.Object) {
+func (w *lifecycleWalker) register(id *ast.Ident, releases []string, errObj types.Object) {
 	if id == nil || id.Name == "_" {
 		return
 	}
@@ -99,7 +111,7 @@ func (w *lifecycleWalker) register(id *ast.Ident, release string, errObj types.O
 	if obj == nil {
 		return
 	}
-	w.vars[obj] = &trackedVar{obj: obj, name: id.Name, release: release, pos: id.Pos(), errObj: errObj}
+	w.vars[obj] = &trackedVar{obj: obj, name: id.Name, releases: releases, pos: id.Pos(), errObj: errObj}
 }
 
 func (w *lifecycleWalker) tracked(e ast.Expr) *trackedVar {
@@ -149,7 +161,7 @@ func (w *lifecycleWalker) scanValue(e ast.Expr) {
 	switch x := e.(type) {
 	case *ast.CallExpr:
 		if obj, name := receiverObj(w.pass.Info, x); obj != nil {
-			if v := w.vars[obj]; v != nil && !v.done && name == v.release {
+			if v := w.vars[obj]; v != nil && !v.done && v.releasedBy(name) {
 				v.done = true
 			}
 		}
@@ -263,7 +275,7 @@ func (w *lifecycleWalker) assign(lhs, rhs []ast.Expr) {
 						w.pass.Reportf(call.Pos(), "result of %s must be %s but is discarded",
 							exprString(call.Fun), w.spec.verb)
 					} else {
-						w.register(id, acq.release, errObj)
+						w.register(id, acq.releases, errObj)
 					}
 				}
 				return
@@ -277,7 +289,7 @@ func (w *lifecycleWalker) assign(lhs, rhs []ast.Expr) {
 				w.scanValue(call)
 				if acq, ok := w.acquires(call); ok && acq.resIdx == 0 {
 					if id, ok := lhs[i].(*ast.Ident); ok && id.Name != "_" {
-						w.register(id, acq.release, nil)
+						w.register(id, acq.releases, nil)
 						continue
 					}
 					if id, ok := lhs[i].(*ast.Ident); ok && id.Name == "_" {
@@ -349,7 +361,7 @@ func (w *lifecycleWalker) walkStmt(s ast.Stmt, exempt map[types.Object]bool) {
 				continue // the acquisition's own failure path
 			}
 			w.pass.Reportf(x.Pos(), "%s may not be %s on this return path (%s.%s() missing; prefer defer)",
-				v.name, w.spec.verb, v.name, v.release)
+				v.name, w.spec.verb, v.name, v.releases[0])
 			v.done = true
 		}
 	case *ast.IfStmt:

@@ -24,6 +24,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding of an analyzer.
@@ -64,7 +65,9 @@ type Analyzer struct {
 	Run  func(*Pass) error
 }
 
-// All returns the full jsqlint suite in reporting order.
+// All returns the full jsqlint suite in reporting order: the seven
+// syntactic analyzers from PRs 4 and 7, then the five dataflow-aware
+// analyzers guarding the governance and typed-storage invariants.
 func All() []*Analyzer {
 	return []*Analyzer{
 		KernelAlias,
@@ -74,6 +77,11 @@ func All() []*Analyzer {
 		LockedBatch,
 		ErrSink,
 		LogKeys,
+		CtxPoll,
+		MemCharge,
+		TypedAlias,
+		SpillClose,
+		NullBits,
 	}
 }
 
@@ -99,19 +107,43 @@ func ByName(names string) ([]*Analyzer, error) {
 }
 
 // ignoreDirective is the suppression marker: it must be followed by the
-// analyzer name and should carry a reason.
-const ignoreDirective = "//jsqlint:ignore"
+// analyzer name and should carry a reason. ignoreFileDirective suppresses
+// one analyzer for the whole file (for files that are wall-to-wall
+// sanctioned exceptions, e.g. a codec that legitimately owns its bitmap
+// words); it too requires the analyzer name and a reason.
+const (
+	ignoreDirective     = "//jsqlint:ignore"
+	ignoreFileDirective = "//jsqlint:ignore-file"
+)
 
-// suppressions maps filename -> line -> analyzer names suppressed there. A
-// directive suppresses findings on its own line and on the line below it
-// (so it can sit above a long statement).
-func suppressions(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
-	sup := make(map[string]map[int]map[string]bool)
-	add := func(pos token.Position, name string) {
-		byLine := sup[pos.Filename]
+// suppressionSet records the per-line and per-file ignore directives of
+// one package's files.
+type suppressionSet struct {
+	byLine map[string]map[int]map[string]bool // filename -> line -> analyzers
+	byFile map[string]map[string]bool         // filename -> analyzers
+}
+
+func (s *suppressionSet) suppressed(d Diagnostic) bool {
+	if s.byFile[d.Pos.Filename][d.Analyzer] {
+		return true
+	}
+	return s.byLine[d.Pos.Filename][d.Pos.Line][d.Analyzer]
+}
+
+// suppressions collects the directives: a line directive suppresses
+// findings on its own line and on the line below it (so it can sit above a
+// long statement); a file directive suppresses the named analyzer
+// everywhere in its file.
+func suppressions(fset *token.FileSet, files []*ast.File) *suppressionSet {
+	sup := &suppressionSet{
+		byLine: make(map[string]map[int]map[string]bool),
+		byFile: make(map[string]map[string]bool),
+	}
+	addLine := func(pos token.Position, name string) {
+		byLine := sup.byLine[pos.Filename]
 		if byLine == nil {
 			byLine = make(map[int]map[string]bool)
-			sup[pos.Filename] = byLine
+			sup.byLine[pos.Filename] = byLine
 		}
 		for _, line := range []int{pos.Line, pos.Line + 1} {
 			if byLine[line] == nil {
@@ -123,28 +155,59 @@ func suppressions(fset *token.FileSet, files []*ast.File) map[string]map[int]map
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
+				// ignore-file first: ignoreDirective is its prefix.
+				if strings.HasPrefix(c.Text, ignoreFileDirective) {
+					fields := strings.Fields(strings.TrimPrefix(c.Text, ignoreFileDirective))
+					if len(fields) == 0 {
+						continue
+					}
+					fn := fset.Position(c.Pos()).Filename
+					if sup.byFile[fn] == nil {
+						sup.byFile[fn] = make(map[string]bool)
+					}
+					sup.byFile[fn][fields[0]] = true
+					continue
+				}
 				if !strings.HasPrefix(c.Text, ignoreDirective) {
 					continue
 				}
-				rest := strings.TrimPrefix(c.Text, ignoreDirective)
-				fields := strings.Fields(rest)
+				fields := strings.Fields(strings.TrimPrefix(c.Text, ignoreDirective))
 				if len(fields) == 0 {
 					continue
 				}
-				add(fset.Position(c.Pos()), fields[0])
+				addLine(fset.Position(c.Pos()), fields[0])
 			}
 		}
 	}
 	return sup
 }
 
+// AnalyzerStat is one analyzer's aggregate cost and yield over a run.
+type AnalyzerStat struct {
+	Name     string
+	Findings int
+	Wall     time.Duration
+}
+
 // Run applies the analyzers to every loaded package and returns the
 // surviving (non-suppressed) diagnostics sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunWithStats(pkgs, analyzers)
+	return diags, err
+}
+
+// RunWithStats is Run plus per-analyzer wall time and finding counts, in
+// the analyzers' given order.
+func RunWithStats(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []AnalyzerStat, error) {
 	var diags []Diagnostic
+	stats := make([]AnalyzerStat, len(analyzers))
+	for i, a := range analyzers {
+		stats[i].Name = a.Name
+	}
 	for _, pkg := range pkgs {
 		sup := suppressions(pkg.Fset, pkg.Files)
-		for _, a := range analyzers {
+		for i, a := range analyzers {
+			count := 0
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -152,14 +215,19 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				report: func(d Diagnostic) {
-					if names := sup[d.Pos.Filename][d.Pos.Line]; names[d.Analyzer] {
+					if sup.suppressed(d) {
 						return
 					}
+					count++
 					diags = append(diags, d)
 				},
 			}
-			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			start := time.Now()
+			err := a.Run(pass)
+			stats[i].Wall += time.Since(start)
+			stats[i].Findings += count
+			if err != nil {
+				return nil, nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
 		}
 	}
@@ -176,5 +244,5 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
+	return diags, stats, nil
 }

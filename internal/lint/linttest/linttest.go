@@ -17,10 +17,19 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
-	"testing"
 
 	"jsonpark/internal/lint"
 )
+
+// T is the subset of *testing.T the harness reports through; the harness's
+// own tests substitute a recorder to assert on failure modes (like a
+// fixture with no want comments).
+type T interface {
+	Helper()
+	Fatal(args ...any)
+	Fatalf(format string, args ...any)
+	Errorf(format string, args ...any)
+}
 
 // wantRe extracts the backquoted patterns after a "want " marker.
 var wantRe = regexp.MustCompile("`([^`]*)`")
@@ -33,7 +42,7 @@ type expectation struct {
 // Run loads testdata/src/<fixture> (relative to the test's working
 // directory), applies the analyzer, and diffs the diagnostics against the
 // fixture's want comments.
-func Run(t *testing.T, a *lint.Analyzer, fixture string) {
+func Run(t T, a *lint.Analyzer, fixture string) {
 	t.Helper()
 	dir := filepath.Join("testdata", "src", fixture)
 	pkg, err := lint.LoadDir(dir, fixture)
@@ -66,6 +75,10 @@ func Run(t *testing.T, a *lint.Analyzer, fixture string) {
 				}
 			}
 		}
+	}
+
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments; a golden fixture must assert at least one finding (add `// want ...` markers)", fixture)
 	}
 
 	for _, d := range diags {

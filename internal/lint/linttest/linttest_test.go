@@ -1,0 +1,39 @@
+package linttest
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"jsonpark/internal/lint"
+)
+
+// recorder captures the harness's failure reports instead of failing the
+// surrounding test.
+type recorder struct {
+	fatals []string
+	errors []string
+}
+
+func (r *recorder) Helper()           {}
+func (r *recorder) Fatal(args ...any) { r.fatals = append(r.fatals, fmt.Sprint(args...)) }
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.fatals = append(r.fatals, fmt.Sprintf(format, args...))
+}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+
+// TestZeroWantFixtureRejected: a fixture with no want comments must fail
+// loudly — otherwise an analyzer that silently stopped firing would keep a
+// green golden test forever.
+func TestZeroWantFixtureRejected(t *testing.T) {
+	rec := &recorder{}
+	Run(rec, lint.NullBits, "zerowant")
+	if len(rec.fatals) == 0 {
+		t.Fatal("harness accepted a fixture with zero want comments")
+	}
+	if !strings.Contains(rec.fatals[0], "no want comments") {
+		t.Fatalf("unexpected failure message: %q", rec.fatals[0])
+	}
+}

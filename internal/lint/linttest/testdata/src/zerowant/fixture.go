@@ -1,0 +1,5 @@
+// A deliberately wantless fixture: the harness must refuse it rather than
+// silently pass an analyzer that asserts nothing.
+package zerowant
+
+func harmless() int { return 1 }

@@ -14,6 +14,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 )
 
 // Package is one type-checked package ready for analysis.
@@ -123,13 +124,40 @@ func typeCheck(fset *token.FileSet, pkgPath string, filenames []string, src map[
 	return &Package{PkgPath: pkgPath, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
+// moduleListCache memoizes the `go list -deps -export` run LoadDir needs:
+// every fixture resolves the same in-module import graph, and the subprocess
+// (plus cache-filling -export) dominates the harness's runtime when each of
+// a dozen fixtures pays it separately. Keyed by pattern; all fixture dirs
+// live inside the one module, so the resolution is dir-independent.
+var moduleListCache struct {
+	mu    sync.Mutex
+	byPat map[string][]*listedPackage
+}
+
+func goListCached(dir, pattern string) ([]*listedPackage, error) {
+	moduleListCache.mu.Lock()
+	defer moduleListCache.mu.Unlock()
+	if listed, ok := moduleListCache.byPat[pattern]; ok {
+		return listed, nil
+	}
+	listed, err := goList(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	if moduleListCache.byPat == nil {
+		moduleListCache.byPat = make(map[string][]*listedPackage)
+	}
+	moduleListCache.byPat[pattern] = listed
+	return listed, nil
+}
+
 // LoadDir parses and type-checks the single fixture package made of the .go
 // files directly inside dir, resolving its imports (the real jsonpark
 // packages and the stdlib) through the module's compiled export data. It
 // exists for the analyzer tests: testdata packages are invisible to go
 // list, so they are checked from source against the module they sit in.
 func LoadDir(dir, pkgPath string) (*Package, error) {
-	listed, err := goList(dir, "jsonpark/...")
+	listed, err := goListCached(dir, "jsonpark/...")
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,324 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MemCharge enforces the PR 6 memory-governance contract in
+// internal/engine: operators that retain batch data beyond the absorbing
+// loop's iteration must account for it. Three complementary rules:
+//
+//  1. A loop that pulls batches (NextBatch) and stores batch-derived
+//     values into state declared outside the loop — a buffered slice, a
+//     struct field — must call charge within the loop. (Retention through
+//     helper calls like eval.absorb is out of intraprocedural reach; the
+//     assignment form is the shape every buffering operator here uses.)
+//  2. A type whose method charges a receiver field (j.mem.charge) must
+//     have some method that calls releaseAll on the same field, or the
+//     accounting leaks on Close.
+//  3. An accounting handle acquired from a call (ctx.opMemFor) must reach
+//     releaseAll or be ownership-transferred, on all paths — the
+//     execclose lifecycle discipline applied to opMem.
+var MemCharge = &Analyzer{
+	Name: "memcharge",
+	Doc:  "operators retaining batch data must charge opMem and pair every charge with releaseAll",
+	Run:  runMemCharge,
+}
+
+// isMemLike reports whether t is an operator accounting handle: its method
+// set has charge(int64) bool and releaseAll(). Structural matching lets
+// fixtures define stand-ins and keeps the query-wide memAccountant (which
+// pairs charge with release(n), owned by the engine, not per-operator)
+// out of scope.
+func isMemLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ms := types.NewMethodSet(t)
+	var haveCharge, haveRelease bool
+	for i := 0; i < ms.Len(); i++ {
+		m := ms.At(i).Obj()
+		sig, ok := m.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		switch m.Name() {
+		case "charge":
+			if sig.Params().Len() == 1 && sig.Results().Len() == 1 {
+				if b, ok := sig.Results().At(0).Type().(*types.Basic); ok && b.Kind() == types.Bool {
+					haveCharge = true
+				}
+			}
+		case "releaseAll":
+			if sig.Params().Len() == 0 && sig.Results().Len() == 0 {
+				haveRelease = true
+			}
+		}
+	}
+	return haveCharge && haveRelease
+}
+
+func runMemCharge(pass *Pass) error {
+	if !inScope(pass, "internal/engine") {
+		return nil
+	}
+	checkAbsorbLoops(pass)
+	checkChargeReleasePairs(pass)
+	runLifecycle(pass, &resourceSpec{
+		analyzer: "memcharge",
+		resourceRelease: func(t types.Type) []string {
+			if isMemLike(t) {
+				return []string{"releaseAll"}
+			}
+			return nil
+		},
+		argTransfer: true,
+		verb:        "released",
+	})
+	return nil
+}
+
+// --- rule 1: absorbing loops must charge ---------------------------------------
+
+func checkAbsorbLoops(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch x := n.(type) {
+			case *ast.ForStmt:
+				body = x.Body
+			case *ast.RangeStmt:
+				body = x.Body
+			default:
+				return true
+			}
+			checkOneAbsorbLoop(pass, body)
+			return true
+		})
+	}
+}
+
+// checkOneAbsorbLoop reports the first batch-derived value stored into
+// loop-external state when the loop never charges.
+func checkOneAbsorbLoop(pass *Pass, body *ast.BlockStmt) {
+	derived := batchDerivedObjs(pass, body)
+	if len(derived) == 0 {
+		return
+	}
+	if hasChargeCall(pass, body) {
+		return
+	}
+	mentions := func(e ast.Expr) bool {
+		hit := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if hit {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.Info.ObjectOf(id); obj != nil && derived[obj] {
+					hit = true
+				}
+			}
+			return true
+		})
+		return hit
+	}
+	var outer func(e ast.Expr) (string, bool)
+	outer = func(e ast.Expr) (string, bool) {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			return exprString(x), true // struct field: outlives the loop by definition
+		case *ast.Ident:
+			obj := pass.Info.ObjectOf(x)
+			if obj == nil || x.Name == "_" {
+				return "", false
+			}
+			if _, isVar := obj.(*types.Var); !isVar {
+				return "", false
+			}
+			if obj.Pos() >= body.Pos() && obj.Pos() <= body.End() {
+				return "", false // loop-local
+			}
+			return x.Name, true
+		case *ast.IndexExpr:
+			return outer(ast.Unparen(x.X))
+		}
+		return "", false
+	}
+	reported := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			if !mentions(as.Rhs[i]) {
+				continue
+			}
+			if name, isOuter := outer(as.Lhs[i]); isOuter {
+				pass.Reportf(as.Pos(), "batch data retained in %s by an absorbing loop that never charges; charge activeRowsBytes per batch (and releaseAll on spill/close)", name)
+				reported = true
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// batchDerivedObjs computes the loop body's batch-derived locals: values
+// assigned from a NextBatch call, closed transitively over local
+// assignments.
+func batchDerivedObjs(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	derived := make(map[types.Object]bool)
+	isNextBatch := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "NextBatch" {
+			return false
+		}
+		tv, ok := pass.Info.Types[call.Fun]
+		if !ok {
+			return false
+		}
+		sig, ok := tv.Type.(*types.Signature)
+		return ok && sig.Results().Len() == 2 && isBatchType(sig.Results().At(0).Type())
+	}
+	mentions := func(e ast.Expr) bool {
+		hit := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if hit {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.Info.ObjectOf(id); obj != nil && derived[obj] {
+					hit = true
+				}
+			}
+			return true
+		})
+		return hit
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			add := func(l ast.Expr) {
+				id, ok := l.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					return
+				}
+				if obj := pass.Info.ObjectOf(id); obj != nil && !derived[obj] {
+					// Only loop-local derivations chain; an outer target is the
+					// retention rule 1 looks for, not a derivation step.
+					if obj.Pos() >= body.Pos() && obj.Pos() <= body.End() {
+						derived[obj] = true
+						changed = true
+					}
+				}
+			}
+			if len(as.Rhs) == 1 && len(as.Lhs) >= 1 && isNextBatch(as.Rhs[0]) {
+				add(as.Lhs[0])
+				return true
+			}
+			if len(as.Lhs) == len(as.Rhs) {
+				for i := range as.Rhs {
+					if isNextBatch(as.Rhs[i]) || mentions(as.Rhs[i]) {
+						add(as.Lhs[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return derived
+}
+
+// hasChargeCall reports whether the loop body calls a charge method.
+func hasChargeCall(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "charge" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// --- rule 2: every charged field has a releasing method ------------------------
+
+func checkChargeReleasePairs(pass *Pass) {
+	type fieldKey struct {
+		recv  types.Object // the receiver's named-type object
+		field string
+	}
+	charges := make(map[fieldKey]token.Pos)
+	releases := make(map[fieldKey]bool)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+				continue
+			}
+			recvObj := pass.Info.Defs[fd.Recv.List[0].Names[0]]
+			if recvObj == nil {
+				continue
+			}
+			named, ok := deref(recvObj.Type()).(*types.Named)
+			if !ok {
+				continue
+			}
+			typeObj := types.Object(named.Obj())
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				field, ok := sel.X.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := field.X.(*ast.Ident); !ok || pass.Info.ObjectOf(id) != recvObj {
+					return true
+				}
+				key := fieldKey{recv: typeObj, field: field.Sel.Name}
+				switch sel.Sel.Name {
+				case "charge":
+					if _, seen := charges[key]; !seen {
+						charges[key] = call.Pos()
+					}
+				case "releaseAll":
+					releases[key] = true
+				}
+				return true
+			})
+		}
+	}
+	for key, pos := range charges {
+		if !releases[key] {
+			pass.Reportf(pos, "%s.%s is charged but no %s method calls %s.releaseAll(); the accounting leaks on Close",
+				key.recv.Name(), key.field, key.recv.Name(), key.field)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NullBits keeps null-bitmap bit manipulation inside internal/vector: a
+// TypedCol's null words pack validity with a per-view bit offset, and a
+// consumer reimplementing the bit math (word>>6, 1<<(bit&63)) silently
+// reads the wrong rows the moment a view's offset is non-zero — exactly
+// the class of bug the Slice sharing contract invites. Outside the vector
+// package, bitmap words are written with vector.SetNullBit, sized with
+// vector.NullBitmapWords, and read through TypedCol.Null. Word-granular
+// access without shifts (serializing whole []uint64 words to disk) is
+// fine and stays unflagged.
+var NullBits = &Analyzer{
+	Name: "nullbits",
+	Doc:  "null-bitmap bits are accessed via the vector helpers, never raw indexing and shifting",
+	Run:  runNullBits,
+}
+
+func isUint64Slice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint64
+}
+
+func runNullBits(pass *Pass) error {
+	if hasPathSuffix(pass.Pkg.Path(), "internal/vector") || pass.Pkg.Path() == "internal/vector" {
+		return nil // the vector package implements the helpers
+	}
+	containsShift := func(e ast.Expr, op token.Token) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if b, ok := n.(*ast.BinaryExpr); ok && b.Op == op {
+				found = true
+				return false
+			}
+			return true
+		})
+		return found
+	}
+	isWordIndex := func(e ast.Expr) (*ast.IndexExpr, bool) {
+		ix, ok := ast.Unparen(e).(*ast.IndexExpr)
+		if !ok {
+			return nil, false
+		}
+		tv, ok := pass.Info.Types[ix.X]
+		return ix, ok && isUint64Slice(tv.Type)
+	}
+	reported := make(map[token.Pos]bool)
+	report := func(pos token.Pos) {
+		if !reported[pos] {
+			reported[pos] = true
+			pass.Reportf(pos, "raw null-bitmap bit access; use TypedCol.Null, vector.SetNullBit and vector.NullBitmapWords instead of hand-rolled shifts")
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.IndexExpr:
+				// words[bit>>6]: the word-select shift is the bitmap shape.
+				if _, ok := isWordIndex(x); ok && containsShift(x.Index, token.SHR) {
+					report(x.Pos())
+				}
+			case *ast.AssignStmt:
+				// words[i] |= 1 << (bit & 63) and friends.
+				switch x.Tok {
+				case token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN, token.AND_NOT_ASSIGN:
+					if len(x.Lhs) == 1 && len(x.Rhs) == 1 {
+						if ix, ok := isWordIndex(x.Lhs[0]); ok && containsShift(x.Rhs[0], token.SHL) {
+							report(ix.Pos())
+						}
+					}
+				}
+			case *ast.BinaryExpr:
+				// words[w] & (1 << b): masked read with a precomputed word index.
+				switch x.Op {
+				case token.AND, token.OR, token.XOR, token.AND_NOT:
+					for _, pair := range [][2]ast.Expr{{x.X, x.Y}, {x.Y, x.X}} {
+						if ix, ok := isWordIndex(pair[0]); ok && containsShift(pair[1], token.SHL) {
+							report(ix.Pos())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

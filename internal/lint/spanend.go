@@ -15,14 +15,14 @@ var SpanEnd = &Analyzer{
 	Run: func(pass *Pass) error {
 		runLifecycle(pass, &resourceSpec{
 			analyzer: "spanend",
-			resourceRelease: func(t types.Type) string {
+			resourceRelease: func(t types.Type) []string {
 				switch {
 				case namedIn(t, "internal/obsv", "Span"):
-					return "End"
+					return []string{"End"}
 				case namedIn(t, "internal/obsv", "Trace"):
-					return "Finish"
+					return []string{"Finish"}
 				}
-				return ""
+				return nil
 			},
 			argTransfer: false,
 			verb:        "ended",

@@ -1,0 +1,36 @@
+package lint
+
+import "go/types"
+
+// SpillClose enforces the spill-run lifecycle from PR 6: a
+// storage.RunWriter acquired from NewRunWriter must reach Finish (which
+// hands the temp file to a SpillRun) or Abort (which closes and removes
+// it) on every path, and every SpillRun must reach Close — which unlinks
+// the temp file — unless ownership is transferred (stored into an
+// operator's run list, returned, captured by a cleanup closure). A leaked
+// run handle is a leaked file descriptor AND a leaked temp file; under the
+// multi-tenant server every spilling query would grow /tmp until the disk
+// fills. This is execclose's discipline applied to the spill files, run on
+// the same lifecycle walker with a release *set*: either Finish or Abort
+// discharges a writer.
+var SpillClose = &Analyzer{
+	Name: "spillclose",
+	Doc:  "spill run writers must reach Finish or Abort, and spill runs Close, on all paths",
+	Run: func(pass *Pass) error {
+		runLifecycle(pass, &resourceSpec{
+			analyzer: "spillclose",
+			resourceRelease: func(t types.Type) []string {
+				switch {
+				case namedIn(t, "internal/storage", "RunWriter"):
+					return []string{"Finish", "Abort"}
+				case namedIn(t, "internal/storage", "SpillRun"):
+					return []string{"Close"}
+				}
+				return nil
+			},
+			argTransfer: true,
+			verb:        "closed",
+		})
+		return nil
+	},
+}

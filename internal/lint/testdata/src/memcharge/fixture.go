@@ -1,0 +1,85 @@
+// Fixture for the memcharge analyzer: operators that retain batch data
+// must charge their accounting handle, every charged field needs a
+// releasing method, and an acquired handle must reach releaseAll on all
+// paths. The mem type is a structural stand-in for the engine's opMem —
+// the analyzer matches the charge/releaseAll method-set shape, not a named
+// type.
+package memcharge
+
+import "jsonpark/internal/vector"
+
+type mem struct{ used int64 }
+
+func (m *mem) charge(n int64) bool { m.used += n; return false }
+func (m *mem) releaseAll()         { m.used = 0 }
+
+type src struct{}
+
+func (s *src) NextBatch() (*vector.Batch, error) { return nil, nil }
+
+type sorter struct {
+	mem     *mem
+	batches []*vector.Batch
+}
+
+// True positive: every pulled batch is retained across iterations and the
+// loop never charges.
+func (o *sorter) absorbUncharged(s *src) error {
+	for {
+		b, err := s.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		o.batches = append(o.batches, b) // want `batch data retained in o.batches by an absorbing loop that never charges`
+	}
+}
+
+// Compliant: the same loop, charging per batch.
+func (o *sorter) absorbCharged(s *src) error {
+	for {
+		b, err := s.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		o.batches = append(o.batches, b)
+		o.mem.charge(16)
+	}
+}
+
+// Compliant: sorter pairs its charges with a releasing method.
+func (o *sorter) Close() {
+	o.batches = nil
+	o.mem.releaseAll()
+}
+
+type leaky struct{ mem *mem }
+
+// True positive: leaky charges its field but no leaky method ever releases
+// it.
+func (l *leaky) absorb(n int64) {
+	l.mem.charge(n) // want `leaky.mem is charged but no leaky method calls`
+}
+
+type ctx struct{}
+
+func (c *ctx) opMemFor() *mem { return &mem{} }
+
+// True positive: the handle is acquired and the accounting is never
+// returned to the query budget.
+func leakHandle(c *ctx) {
+	m := c.opMemFor() // want `m is never released in leakHandle`
+	m.charge(1)
+}
+
+// Compliant: released via defer.
+func usesHandle(c *ctx) {
+	m := c.opMemFor()
+	defer m.releaseAll()
+	m.charge(4)
+}

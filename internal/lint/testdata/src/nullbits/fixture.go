@@ -1,0 +1,55 @@
+// Fixture for the nullbits analyzer: null-bitmap words are only touched
+// through the vector helpers. Hand-rolled word/bit math silently reads the
+// wrong rows once a view's bit offset is non-zero; word-granular copies
+// (serialization) carry no shifts and stay unflagged.
+package nullbits
+
+import "jsonpark/internal/vector"
+
+// True positive: hand-rolled bit set.
+func setBit(words []uint64, i int) {
+	words[i>>6] |= 1 << (i & 63) // want `raw null-bitmap bit access`
+}
+
+// True positive: hand-rolled bit clear.
+func clearBit(words []uint64, i int) {
+	words[i>>6] &^= 1 << (i & 63) // want `raw null-bitmap bit access`
+}
+
+// True positive: masked read straight off the words.
+func getBit(words []uint64, i int) bool {
+	return words[i>>6]&(1<<uint(i&63)) != 0 // want `raw null-bitmap bit access`
+}
+
+// Compliant: word-granular copy, the serialization shape.
+func copyWords(dst, src []uint64) {
+	for i := range src {
+		dst[i] = src[i]
+	}
+}
+
+// Compliant: the sanctioned helpers.
+func build(n int, nullRows []int) []uint64 {
+	words := make([]uint64, vector.NullBitmapWords(n))
+	for _, i := range nullRows {
+		vector.SetNullBit(words, i)
+	}
+	return words
+}
+
+// Compliant: reads go through TypedCol.Null.
+func countNulls(tc *vector.TypedCol) int {
+	n := 0
+	for i := 0; i < tc.Len(); i++ {
+		if tc.Null(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Compliant: shifts over a non-bitmap slice type are someone else's
+// business.
+func pick(xs []uint32, i int) uint32 {
+	return xs[i>>2]
+}

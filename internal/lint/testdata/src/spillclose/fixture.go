@@ -1,0 +1,85 @@
+// Fixture for the spillclose analyzer: a storage.RunWriter must reach
+// Finish or Abort on every path and a SpillRun must reach Close, unless
+// ownership is transferred. A leaked handle is a leaked descriptor and a
+// leaked temp file.
+package spillclose
+
+import "jsonpark/internal/storage"
+
+// True positive: the writer leaks when a mid-write failure returns early.
+func leakOnError(recs [][]byte) (*storage.SpillRun, error) {
+	w, err := storage.NewRunWriter("fixture")
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		if _, werr := w.WriteRecord(rec); werr != nil {
+			return nil, werr // want `w may not be closed on this return path`
+		}
+	}
+	return w.Finish()
+}
+
+// True positive: acquired and dropped on the floor.
+func discarded() {
+	storage.NewRunWriter("fixture") // want `result of storage.NewRunWriter must be closed but is discarded`
+}
+
+// True positive: the finished run (and its temp file) is never closed.
+func runLeaked(w *storage.RunWriter) (int64, error) {
+	run, err := w.Finish()
+	if err != nil {
+		return 0, err
+	}
+	n := run.Bytes()
+	return n, nil // want `run may not be closed on this return path`
+}
+
+// Compliant: Abort on the failure path, Finish on success.
+func writeAll(recs [][]byte) (*storage.SpillRun, error) {
+	w, err := storage.NewRunWriter("fixture")
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		if _, werr := w.WriteRecord(rec); werr != nil {
+			w.Abort()
+			return nil, werr
+		}
+	}
+	return w.Finish()
+}
+
+type agg struct{ runs []*storage.SpillRun }
+
+// Compliant: ownership transferred into the operator's run list, whose
+// discard path closes every run.
+func (a *agg) keepRun(w *storage.RunWriter) error {
+	run, err := w.Finish()
+	if err != nil {
+		return err
+	}
+	a.runs = append(a.runs, run)
+	return nil
+}
+
+// Compliant: deferred Close covers every path out of the read-back.
+func readBack(w *storage.RunWriter) (int, error) {
+	run, err := w.Finish()
+	if err != nil {
+		return 0, err
+	}
+	defer run.Close()
+	n := 0
+	rr := run.NewReader()
+	for {
+		rec, rerr := rr.Next()
+		if rerr != nil {
+			return n, rerr
+		}
+		if rec == nil {
+			return n, nil
+		}
+		n++
+	}
+}

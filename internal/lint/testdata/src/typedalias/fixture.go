@@ -1,0 +1,97 @@
+// Fixture for the typedalias analyzer: TypedCol views and the backing
+// slices handed out by the raw accessors must not outlive the scan that
+// produced them. Storing a view in a struct field, returning it, or
+// returning a closure that captures it is an escape; Materialize and
+// ValueAt build owned values and are the sanctioned way out.
+package typedalias
+
+import (
+	"jsonpark/internal/variant"
+	"jsonpark/internal/vector"
+)
+
+type op struct {
+	col  *vector.TypedCol
+	ints []int64
+}
+
+// True positive: the view is stored in a struct field.
+func (o *op) keepView(b *vector.Batch) {
+	tc := b.TypedCol(0)
+	o.col = tc // want `stored in field o.col`
+}
+
+// True positive: a backing slice from a raw accessor is just as aliased as
+// the view itself.
+func (o *op) keepBacking(b *vector.Batch) {
+	tc := b.TypedCol(0)
+	o.ints = tc.Ints() // want `stored in field o.ints`
+}
+
+// True positive: a sub-view flows through a local and is returned.
+func window(tc *vector.TypedCol, lo, hi int) *vector.TypedCol {
+	v := tc.Slice(lo, hi)
+	return v // want `returned`
+}
+
+// True positive: the closure captures the backing slice, and returning the
+// closure is returning the view.
+func accessor(tc *vector.TypedCol) func(int) int64 {
+	xs := tc.Ints()
+	return func(i int) int64 { return xs[i] } // want `returned`
+}
+
+// True positive, loop-carried: the view is assigned late in the loop body
+// and reaches the field store on the next iteration — only the fixpoint
+// sees it.
+func (o *op) loopCarried(b *vector.Batch) {
+	var v *vector.TypedCol
+	for i := 0; i < 2; i++ {
+		o.col = v // want `stored in field o.col`
+		v = b.TypedCol(i)
+	}
+}
+
+// Compliant: Materialize produces owned values; retaining those is the
+// documented escape hatch.
+type sink struct{ vals []variant.Value }
+
+func (s *sink) keepOwned(tc *vector.TypedCol) {
+	s.vals = tc.Materialize(s.vals[:0])
+}
+
+// Compliant: consuming the backing slice within the call is scan-lifetime
+// use.
+func sum(tc *vector.TypedCol) int64 {
+	var n int64
+	for _, x := range tc.Ints() {
+		n += x
+	}
+	return n
+}
+
+// Compliant: batches are the sanctioned carrier for views.
+func rebatch(tc *vector.TypedCol) *vector.Batch {
+	return &vector.Batch{Typed: []*vector.TypedCol{tc.Slice(0, 1)}}
+}
+
+func each(n int, f func(int)) {
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+}
+
+// Compliant: a view-capturing closure passed to a call (the ForEach shape)
+// stays inside the scan; only returning or storing the closure escapes.
+func consume(tc *vector.TypedCol) int64 {
+	var total int64
+	xs := tc.Ints()
+	each(tc.Len(), func(i int) { total += xs[i] })
+	return total
+}
+
+// Compliant because suppressed: a documented intentional escape.
+func suppressed(tc *vector.TypedCol) []int64 {
+	//jsqlint:ignore typedalias fixture for the suppression path
+	return tc.Ints()
+}
