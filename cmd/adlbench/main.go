@@ -37,6 +37,7 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "workers for parallel scans, aggregation, join build and sort (0 = NumCPU, 1 = sequential)")
 	memLimit := flag.String("mem-limit", "", "pipeline-breaker memory budget per query, e.g. 64KiB or 512MiB (empty = unlimited; overflow spills to disk)")
 	qlogPath := flag.String("qlog", "", "stream every data point as a structured JSON line to FILE as it is measured (- = stderr)")
+	repeat := flag.Int("repeat", 0, "hot-query mode: run each query N times against a plan-cached engine vs an uncached one (runs only this experiment)")
 	flag.Parse()
 
 	var memBytes int64
@@ -77,6 +78,8 @@ func main() {
 		cfg.ScalePowers = append(cfg.ScalePowers, v)
 	}
 
+	cfg.Repeat = *repeat
+
 	all := map[string]func(adl.ReportConfig) error{
 		"table2":   adl.ReportTable2,
 		"fig6":     adl.ReportFig6,
@@ -86,14 +89,24 @@ func main() {
 		"fig10":    adl.ReportFig10,
 		"scanned":  adl.ReportScanned,
 		"ablation": adl.ReportAblation,
+		"repeat":   adl.ReportRepeat,
 	}
 	order := []string{"table2", "fig6", "fig7", "fig8", "fig9", "scanned", "ablation", "fig10"}
+	// -repeat N runs only the hot-query experiment; "repeat" in -experiments
+	// adds it to a normal sweep with the default iteration count.
+	if *repeat > 0 {
+		*experiments = "repeat"
+	}
+	order = append(order, "repeat")
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*experiments, ",") {
 		want[strings.TrimSpace(e)] = true
 	}
 	for _, name := range order {
+		if name == "repeat" && !want["repeat"] {
+			continue // opt-in only; "all" keeps its historical experiment set
+		}
 		if !want["all"] && !want[name] {
 			continue
 		}

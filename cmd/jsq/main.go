@@ -54,6 +54,7 @@ func main() {
 	traceOut := flag.String("trace-out", "", "append every finished trace as a JSON line to FILE")
 	dataDir := flag.String("data-dir", "", "persist micro-partitions under DIR and reopen collections found there (empty = in-memory)")
 	typedColumns := flag.Bool("typed-columns", true, "shred uniform scalar columns into typed arrays at partition seal (typed expression kernels)")
+	planCacheSize := flag.Int("plan-cache-size", 0, "prepared-plan cache entries; repeated queries (e.g. in -repl) skip compilation (0 = engine default, negative = off)")
 	flag.Parse()
 
 	var memBytes int64
@@ -74,6 +75,7 @@ func main() {
 		jsonpark.WithSlowQueryMillis(*slowMS),
 		jsonpark.WithDataDir(*dataDir),
 		jsonpark.WithTypedColumns(*typedColumns),
+		jsonpark.WithPlanCacheSize(*planCacheSize),
 	}
 	if *traceOut != "" {
 		f, err := appendFile(*traceOut)

@@ -46,6 +46,10 @@ func main() {
 	traceOut := flag.String("trace-out", "", "append every finished trace as a JSON line to FILE")
 	dataDir := flag.String("data-dir", "", "persist micro-partitions under DIR and reopen collections found there (empty = in-memory)")
 	typedColumns := flag.Bool("typed-columns", true, "shred uniform scalar columns into typed arrays at partition seal (typed expression kernels)")
+	planCacheSize := flag.Int("plan-cache-size", 256, "prepared-plan cache entries; repeated queries skip compilation (0 = engine default, negative = off)")
+	globalMemLimit := flag.String("global-mem-limit", "", "shared memory pool across all concurrent queries, e.g. 1GiB (empty = no pool; overflow spills to disk)")
+	tenantSlots := flag.Int("tenant-slots", 0, "max concurrently admitted queries per tenant (X-Tenant header; 0 = unlimited)")
+	admissionTimeout := flag.Duration("admission-timeout", time.Second, "how long a request may queue for admission before being shed with 429")
 	flag.Parse()
 
 	var memBytes int64
@@ -56,12 +60,28 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	var globalMemBytes int64
+	if *globalMemLimit != "" {
+		var err error
+		globalMemBytes, err = jsonpark.ParseByteSize(*globalMemLimit)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	opts := []jsonpark.OpenOption{
 		jsonpark.WithMemLimit(memBytes),
 		jsonpark.WithSlowQueryMillis(*slowMS),
 		jsonpark.WithDataDir(*dataDir),
 		jsonpark.WithTypedColumns(*typedColumns),
+		jsonpark.WithPlanCacheSize(*planCacheSize),
+	}
+	if globalMemBytes > 0 || *tenantSlots > 0 {
+		opts = append(opts, jsonpark.WithGovernor(jsonpark.NewGovernor(jsonpark.GovernorConfig{
+			MemLimit:     globalMemBytes,
+			TenantSlots:  *tenantSlots,
+			QueueTimeout: *admissionTimeout,
+		})))
 	}
 	if *traceOut != "" {
 		f, err := appendFile(*traceOut)

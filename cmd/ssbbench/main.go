@@ -32,6 +32,7 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "workers for parallel scans, aggregation, join build and sort (0 = NumCPU, 1 = sequential)")
 	memLimit := flag.String("mem-limit", "", "pipeline-breaker memory budget per query, e.g. 64KiB or 512MiB (empty = unlimited; overflow spills to disk)")
 	qlogPath := flag.String("qlog", "", "stream every data point as a structured JSON line to FILE as it is measured (- = stderr)")
+	repeat := flag.Int("repeat", 0, "hot-query mode: run each Fig 11b query N times against a plan-cached engine vs an uncached one (runs only this experiment)")
 	flag.Parse()
 
 	var memBytes int64
@@ -71,9 +72,20 @@ func main() {
 		cfg.ScaleFactors = append(cfg.ScaleFactors, v)
 	}
 
+	cfg.Repeat = *repeat
+	// -repeat N runs only the hot-query experiment.
+	if *repeat > 0 {
+		*experiments = "repeat"
+	}
+
 	want := map[string]bool{}
 	for _, e := range strings.Split(*experiments, ",") {
 		want[strings.TrimSpace(e)] = true
+	}
+	if want["repeat"] {
+		if err := ssb.ReportRepeat(cfg); err != nil {
+			fatal(err)
+		}
 	}
 	if want["all"] || want["fig11a"] {
 		if err := ssb.ReportFig11a(cfg); err != nil {

@@ -38,6 +38,10 @@ type ReportConfig struct {
 	// MemLimit caps the pipeline breakers' retained bytes per query;
 	// overflow spills to disk with byte-identical results. 0 = unlimited.
 	MemLimit int64
+	// Repeat, when > 0, selects the hot-query repeat experiment (adlbench
+	// -repeat N): each query is issued N times against a plan-cached engine
+	// and an uncached one, measuring how the cache amortizes compile time.
+	Repeat int
 }
 
 // DefaultConfig returns laptop-scale defaults.
@@ -67,17 +71,104 @@ func SetupOpts(seed int64, events, batchSize, parallelism int) (*snowpark.Sessio
 
 // SetupMemOpts is SetupOpts with a pipeline-breaker memory budget
 // (0 = unlimited; overflow spills to disk, results stay byte-identical).
+// The prepared-plan cache is pinned off so the compile-time figures keep
+// measuring real compilation on every run; ReportRepeat compares cached vs
+// uncached engines explicitly.
 func SetupMemOpts(seed int64, events, batchSize, parallelism int, memLimit int64) (*snowpark.Session, []variant.Value, error) {
 	eng := engine.New(
 		engine.WithBatchSize(batchSize),
 		engine.WithParallelism(parallelism),
 		engine.WithMemLimit(memLimit),
+		engine.WithPlanCacheSize(-1),
 	)
 	docs, err := hepdata.Load(eng, "adl", seed, events)
 	if err != nil {
 		return nil, nil, err
 	}
 	return snowpark.NewSession(eng), docs, nil
+}
+
+// ReportRepeat measures the serving fast path (adlbench -repeat N): every
+// query runs N times end-to-end (Prepare + Run) on a plan-cached engine and
+// on an uncached engine over the same data, reporting per-iteration time,
+// the amortized speedup, and the cold first iteration that paid the
+// compile. Results are checked identical between the two engines before
+// timing.
+func ReportRepeat(cfg ReportConfig) error {
+	repeat := cfg.Repeat
+	if repeat <= 0 {
+		repeat = 50
+	}
+	mk := func(cacheSize int) (*engine.Engine, error) {
+		eng := engine.New(
+			engine.WithBatchSize(cfg.BatchSize),
+			engine.WithParallelism(cfg.Parallelism),
+			engine.WithMemLimit(cfg.MemLimit),
+			engine.WithPlanCacheSize(cacheSize),
+		)
+		if _, err := hepdata.Load(eng, "adl", cfg.Seed, cfg.Events); err != nil {
+			return nil, err
+		}
+		return eng, nil
+	}
+	cached, err := mk(0)
+	if err != nil {
+		return err
+	}
+	uncached, err := mk(-1)
+	if err != nil {
+		return err
+	}
+	sess := snowpark.NewSession(cached)
+	t := bench.NewTable(
+		fmt.Sprintf("Hot-query repeat (%d events × %d runs): plan cache on vs off", cfg.Events, repeat),
+		"Query", "Uncached/iter", "Cached/iter", "Cold first", "Speedup")
+	for _, q := range Queries() {
+		res, err := core.Translate(sess, q.JSONiq, core.Options{Strategy: q.Strategy})
+		if err != nil {
+			return err
+		}
+		warmC, err := cached.Query(res.SQL)
+		if err != nil {
+			return err
+		}
+		warmU, err := uncached.Query(res.SQL)
+		if err != nil {
+			return err
+		}
+		if fmt.Sprint(warmC.Rows) != fmt.Sprint(warmU.Rows) {
+			return fmt.Errorf("%s: cached results diverge from uncached", q.ID)
+		}
+		cold := warmC.Metrics.Total()
+		runTotal := func(eng *engine.Engine) (time.Duration, error) {
+			start := time.Now()
+			for i := 0; i < repeat; i++ {
+				if _, err := eng.Query(res.SQL); err != nil {
+					return 0, err
+				}
+			}
+			return time.Since(start), nil
+		}
+		uTotal, err := runTotal(uncached)
+		if err != nil {
+			return err
+		}
+		cTotal, err := runTotal(cached)
+		if err != nil {
+			return err
+		}
+		uIter := uTotal / time.Duration(repeat)
+		cIter := cTotal / time.Duration(repeat)
+		speedup := float64(uTotal) / float64(cTotal)
+		cfg.Recorder.Add(bench.Record{Experiment: "repeat", Query: q.ID, System: "uncached", MeanMicros: uIter.Microseconds(), Runs: repeat})
+		cfg.Recorder.Add(bench.Record{Experiment: "repeat", Query: q.ID, System: "cached", MeanMicros: cIter.Microseconds(), Runs: repeat, Scale: speedup})
+		t.AddRow(q.ID, bench.FormatDuration(uIter), bench.FormatDuration(cIter),
+			bench.FormatDuration(cold), fmt.Sprintf("%.2fx", speedup))
+	}
+	hits, misses, _, _ := cached.PlanCacheStats()
+	t.Render(cfg.Out)
+	fmt.Fprintf(cfg.Out, "plan cache: %d hits, %d misses\n\n", hits, misses)
+	return nil
 }
 
 // ReportTable2 regenerates Table II: the per-query iterator census.

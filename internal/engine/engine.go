@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -25,6 +26,13 @@ type Engine struct {
 	planCheck   bool
 	dataDir     string
 	typedOff    bool
+	// planCacheSize is the requested cache bound (0 = default, < 0 = off);
+	// planCache is the live cache, nil when disabled.
+	planCacheSize int
+	planCache     *planCache
+	// governor, when set, is the server-wide admission gate and shared
+	// memory pool every query's accountant draws from.
+	governor *Governor
 	// progress tracks every in-flight query for ProgressSnapshot.
 	progress progressTable
 	// batchHook, when set, runs after every root batch the executor drains.
@@ -113,6 +121,22 @@ func WithPlanCheck(on bool) Option {
 	return func(e *Engine) { e.planCheck = on }
 }
 
+// WithPlanCacheSize bounds the prepared-plan cache: n > 0 sets the entry
+// cap, n == 0 (the default) keeps the default size, and n < 0 disables
+// caching entirely — every Prepare recompiles from scratch.
+func WithPlanCacheSize(n int) Option {
+	return func(e *Engine) { e.planCacheSize = n }
+}
+
+// WithGovernor attaches a server-wide resource governor: every query's
+// memory accountant draws from the governor's shared pool (pool pressure
+// triggers spills exactly like WithMemLimit), and callers holding the
+// governor can gate admission with Admit. One governor may be shared by
+// several engines.
+func WithGovernor(g *Governor) Option {
+	return func(e *Engine) { e.governor = g }
+}
+
 // New returns an empty engine.
 func New(opts ...Option) *Engine {
 	e := &Engine{
@@ -129,6 +153,13 @@ func New(opts ...Option) *Engine {
 	if e.dataDir != "" {
 		e.catalog.SetDataDir(e.dataDir)
 	}
+	size := e.planCacheSize
+	if size == 0 {
+		size = defaultPlanCacheSize
+	}
+	if size > 0 {
+		e.planCache = newPlanCache(size)
+	}
 	return e
 }
 
@@ -140,6 +171,9 @@ func (e *Engine) Parallelism() int { return e.parallelism }
 
 // Catalog exposes the engine's table catalog for loading data.
 func (e *Engine) Catalog() *storage.Catalog { return e.catalog }
+
+// Governor returns the attached resource governor, nil when ungoverned.
+func (e *Engine) Governor() *Governor { return e.governor }
 
 // SetExecBatchHook installs a callback invoked after every root-level batch
 // a query drains. Intended for tests that need to observe a query
@@ -172,6 +206,10 @@ type Metrics struct {
 	TypedCols    int64
 	FallbackCols int64
 	DiskReads    int64
+	// PlanCacheHit reports that compilation was served from the prepared-plan
+	// cache — the query skipped parse/plan/optimize/physicalize and paid only
+	// the per-run bind cost.
+	PlanCacheHit bool
 }
 
 // Total returns compile + execution time (the paper's "total time").
@@ -184,6 +222,12 @@ type Result struct {
 	Metrics Metrics
 }
 
+// ErrPreparedConsumed reports a second Run/RunCtx on the same Prepared:
+// per-run iterator state is single-use, so reuse would replay half-drained
+// iterators. Re-Prepare instead — with the plan cache on, that costs only
+// the bind phase.
+var ErrPreparedConsumed = errors.New("prepared: already consumed")
+
 // Prepared is a compiled query ready to execute once.
 type Prepared struct {
 	eng     *Engine
@@ -192,6 +236,8 @@ type Prepared struct {
 	ctx     *execContext
 	columns []string
 	metrics Metrics
+	// used enforces the single-use contract (see ErrPreparedConsumed).
+	used atomic.Bool
 }
 
 // PrepareOptions customizes compilation: an optional parent span that
@@ -211,9 +257,30 @@ func (e *Engine) Prepare(sql string) (*Prepared, error) {
 	return e.PrepareOpts(sql, PrepareOptions{})
 }
 
-// PrepareOpts is Prepare with tracing and per-operator analysis.
+// PrepareOpts is Prepare with tracing and per-operator analysis. It splits
+// into two phases: compile (parse → plan → optimize → physicalize —
+// everything derivable from SQL text plus engine knobs, served from the
+// prepared-plan cache on repeats) and bind (fresh per-run iterator state
+// over the shared template).
 func (e *Engine) PrepareOpts(sql string, po PrepareOptions) (*Prepared, error) {
 	start := time.Now()
+	cp, hit, err := e.compiledFor(sql, po)
+	if err != nil {
+		return nil, err
+	}
+	p, err := e.bind(cp, po)
+	if err != nil {
+		return nil, err
+	}
+	p.metrics.PlanCacheHit = hit
+	p.metrics.CompileTime = time.Since(start)
+	return p, nil
+}
+
+// compile runs every per-query-text stage and returns the immutable plan
+// template. Nothing in the result may depend on per-run state: schemas are
+// pre-materialized so concurrent binds never race on the lazy memos.
+func (e *Engine) compile(sql string, po PrepareOptions) (*compiledPlan, error) {
 	psp := po.Span.Child("sql.parse")
 	q, err := sqlparse.Parse(sql)
 	psp.End()
@@ -242,43 +309,77 @@ func (e *Engine) PrepareOpts(sql string, po PrepareOptions) (*Prepared, error) {
 	var breakers int
 	plan, breakers = physicalizeTraced(plan, par, mergeParts, physp)
 	physp.End()
+	var unordered map[Node]bool
+	if par > 1 {
+		unordered = collectUnorderedScans(plan)
+	}
+	if e.planCheck {
+		u := unordered
+		if u == nil {
+			u = collectUnorderedScans(plan)
+		}
+		if err := checkPlan(plan, u); err != nil {
+			return nil, err
+		}
+	}
+	materializeSchemas(plan)
+	return &compiledPlan{
+		sql:            sql,
+		plan:           plan,
+		columns:        plan.Schema().Names,
+		breakers:       breakers,
+		par:            par,
+		mergeParts:     mergeParts,
+		unorderedScans: unordered,
+	}, nil
+}
+
+// materializeSchemas forces every node's lazy schema memo while the plan is
+// still private to one goroutine; cached templates are then read-only under
+// concurrent binds.
+func materializeSchemas(n Node) {
+	n.Schema()
+	for _, c := range planChildren(n) {
+		materializeSchemas(c)
+	}
+}
+
+// bind builds the cheap per-run state over a compiled template: execution
+// context, memory accountant (wired to the governor pool when one is
+// attached), progress entry, and the operator iterator tree. The template
+// itself is only read — scans re-read their table's partition list here, so
+// data appended after compile is visible on every run.
+func (e *Engine) bind(cp *compiledPlan, po PrepareOptions) (*Prepared, error) {
+	acct := newMemAccountant(e.memLimit)
+	if e.governor.memLimited() {
+		acct.pool = e.governor
+	}
 	ctx := &execContext{
-		metrics:     &Metrics{ParallelBreakers: breakers},
-		batchSize:   e.batchSize,
-		parallelism: par,
-		mergeParts:  mergeParts,
-		acct:        newMemAccountant(e.memLimit),
-		prog:        newQueryProgress(plan, sql, po.TraceID),
-		batchHook:   e.batchHook,
+		metrics:        &Metrics{ParallelBreakers: cp.breakers},
+		batchSize:      e.batchSize,
+		parallelism:    cp.par,
+		mergeParts:     cp.mergeParts,
+		acct:           acct,
+		prog:           newQueryProgress(cp.plan, cp.sql, po.TraceID),
+		batchHook:      e.batchHook,
+		unorderedScans: cp.unorderedScans,
 	}
 	if ctx.batchSize <= 0 {
 		ctx.batchSize = vector.DefaultBatchSize
 	}
-	if ctx.parallelism > 1 {
-		ctx.unorderedScans = collectUnorderedScans(plan)
-	}
 	if e.planCheck {
 		ctx.planCheck = true
-		unordered := ctx.unorderedScans
-		if unordered == nil {
-			unordered = collectUnorderedScans(plan)
-		}
-		if err := checkPlan(plan, unordered); err != nil {
-			return nil, err
-		}
 	}
 	if po.Analyze {
 		ctx.stats = make(map[Node]*OpStats)
 	}
 	prsp := po.Span.Child("engine.prepare")
-	iter, err := prepare(plan, ctx)
+	iter, err := prepare(cp.plan, ctx)
 	prsp.End()
 	if err != nil {
 		return nil, err
 	}
-	p := &Prepared{eng: e, plan: plan, iter: iter, ctx: ctx, columns: plan.Schema().Names}
-	p.metrics.CompileTime = time.Since(start)
-	return p, nil
+	return &Prepared{eng: e, plan: cp.plan, iter: iter, ctx: ctx, columns: cp.columns}, nil
 }
 
 // Run executes the prepared query to completion. A Prepared is single-use.
@@ -292,12 +393,18 @@ func (p *Prepared) Run() (*Result, error) {
 // errors.Is(err, context.Canceled) / context.DeadlineExceeded, and every
 // worker goroutine has exited by the time RunCtx returns.
 func (p *Prepared) RunCtx(ctx context.Context) (*Result, error) {
+	if p.used.Swap(true) {
+		return nil, ErrPreparedConsumed
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	// Installed before the first NextBatch; workers inherit visibility through
 	// their spawning goroutine.
 	p.ctx.qctx = ctx
+	// Backstop: whatever the operators still hold charged goes back to the
+	// governor pool even on error paths.
+	defer p.ctx.acct.drain()
 	if p.eng != nil && p.ctx.prog != nil {
 		p.eng.progress.add(p.ctx.prog)
 		defer p.eng.progress.remove(p.ctx.prog)
@@ -313,6 +420,7 @@ func (p *Prepared) RunCtx(ctx context.Context) (*Result, error) {
 	m.FallbackCols = atomic.LoadInt64(&p.ctx.fallbackCols)
 	m.DiskReads = atomic.LoadInt64(&p.ctx.diskReads)
 	m.CompileTime = p.metrics.CompileTime
+	m.PlanCacheHit = p.metrics.PlanCacheHit
 	m.ExecTime = time.Since(start)
 	m.RowsReturned = int64(len(rows))
 	m.MemPeakBytes, m.Spills, m.SpillBytes = p.ctx.acct.snapshot()

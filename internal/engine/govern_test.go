@@ -1,0 +1,227 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGovernedSpillParity pins the pool accounting end to end: queries run
+// under a saturated global pool must spill instead of failing, produce rows
+// byte-identical to an ungoverned engine, and return every reserved byte to
+// the pool when they finish.
+func TestGovernedSpillParity(t *testing.T) {
+	ref := spillEngine(t)
+	gov := NewGovernor(GovernorConfig{MemLimit: 64 * 1024})
+	governed := spillEngine(t, WithGovernor(gov))
+
+	var spills int64
+	for _, q := range spillParityQueries {
+		want, err := ref.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := governed.Query(q)
+		if err != nil {
+			t.Fatalf("governed %s: %v", q, err)
+		}
+		if renderRows(got) != renderRows(want) {
+			t.Errorf("%s: governed rows diverge from ungoverned reference", q)
+		}
+		spills += got.Metrics.Spills
+	}
+	if spills == 0 {
+		t.Error("no query spilled under a 64KiB global pool")
+	}
+	snap := gov.Snapshot()
+	if snap.MemUsedBytes != 0 {
+		t.Errorf("pool holds %d bytes after all queries finished, want 0", snap.MemUsedBytes)
+	}
+	if snap.MemPeakBytes == 0 {
+		t.Error("pool peak is 0; queries never drew from the pool")
+	}
+}
+
+// TestGovernedConcurrentPool runs governed queries concurrently: the pool is
+// shared, results stay correct, and usage drains to zero afterwards.
+func TestGovernedConcurrentPool(t *testing.T) {
+	gov := NewGovernor(GovernorConfig{MemLimit: 96 * 1024})
+	e := spillEngine(t, WithGovernor(gov), WithParallelism(2))
+	ref := spillEngine(t, WithParallelism(2))
+	want := make(map[string]string)
+	for _, q := range spillParityQueries {
+		res, err := ref.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q] = renderRows(res)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				q := spillParityQueries[(w+i)%len(spillParityQueries)]
+				res, err := e.Query(q)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if renderRows(res) != want[q] {
+					errc <- errors.New(q + ": rows diverge under shared pool")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if used := gov.Snapshot().MemUsedBytes; used != 0 {
+		t.Errorf("pool holds %d bytes after concurrent queries, want 0", used)
+	}
+}
+
+func TestAdmitSlotExhaustionSheds(t *testing.T) {
+	g := NewGovernor(GovernorConfig{TenantSlots: 1, QueueTimeout: 20 * time.Millisecond})
+	release, err := g.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same tenant, slot held: sheds after the queue timeout.
+	start := time.Now()
+	_, err = g.Admit(context.Background(), "a")
+	var aerr *AdmissionError
+	if !errors.As(err, &aerr) {
+		t.Fatalf("second Admit error = %v, want *AdmissionError", err)
+	}
+	if aerr.Tenant != "a" || aerr.RetryAfter <= 0 {
+		t.Fatalf("AdmissionError = %+v, want tenant a with positive RetryAfter", aerr)
+	}
+	if waited := time.Since(start); waited < 20*time.Millisecond {
+		t.Fatalf("shed after %s, before the queue timeout", waited)
+	}
+	// Other tenants are unaffected by tenant a's saturation.
+	r2, err := g.Admit(context.Background(), "b")
+	if err != nil {
+		t.Fatalf("tenant b blocked by tenant a: %v", err)
+	}
+	r2()
+	// Releasing the slot lets the tenant back in; release is idempotent.
+	release()
+	release()
+	r3, err := g.Admit(context.Background(), "a")
+	if err != nil {
+		t.Fatalf("Admit after release: %v", err)
+	}
+	r3()
+	snap := g.Snapshot()
+	if snap.ShedTotal != 1 || snap.AdmittedTotal != 3 || snap.Active != 0 {
+		t.Fatalf("snapshot = %+v, want 1 shed, 3 admitted, 0 active", snap)
+	}
+}
+
+func TestAdmitQueueDepthShedsImmediately(t *testing.T) {
+	g := NewGovernor(GovernorConfig{TenantSlots: 1, QueueTimeout: time.Second, QueueDepth: 1})
+	release, err := g.Admit(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	// Fill the single queue slot with a blocked waiter.
+	waiting := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		close(waiting)
+		_, err := g.Admit(context.Background(), "")
+		done <- err
+	}()
+	<-waiting
+	for g.Snapshot().Waiting == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// The next request must shed instantly — no QueueTimeout wait.
+	start := time.Now()
+	_, err = g.Admit(context.Background(), "")
+	var aerr *AdmissionError
+	if !errors.As(err, &aerr) {
+		t.Fatalf("over-depth Admit error = %v, want *AdmissionError", err)
+	}
+	if aerr.Reason != "admission queue full" {
+		t.Fatalf("reason = %q, want admission queue full", aerr.Reason)
+	}
+	if time.Since(start) > 500*time.Millisecond {
+		t.Fatal("queue-full shed waited instead of failing fast")
+	}
+	// Unblock the queued waiter and let it through.
+	release()
+	if err := <-done; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+}
+
+func TestAdmitContextCancelWhileQueued(t *testing.T) {
+	g := NewGovernor(GovernorConfig{TenantSlots: 1, QueueTimeout: 5 * time.Second})
+	release, err := g.Admit(context.Background(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.Admit(ctx, "")
+		done <- err
+	}()
+	for g.Snapshot().Waiting == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("queued Admit error = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter never woke")
+	}
+	if w := g.Snapshot().Waiting; w != 0 {
+		t.Fatalf("%d waiters left after cancel, want 0", w)
+	}
+}
+
+// TestAdmitPoolPressureRecovers pins pool-based admission: a saturated pool
+// blocks new admissions, and returning bytes wakes the queued waiter.
+func TestAdmitPoolPressureRecovers(t *testing.T) {
+	g := NewGovernor(GovernorConfig{MemLimit: 1024, QueueTimeout: 5 * time.Second})
+	if ok := g.reserve(2048); ok {
+		t.Fatal("reserve over the limit reported in-budget")
+	}
+	done := make(chan error, 1)
+	go func() {
+		release, err := g.Admit(context.Background(), "")
+		if err == nil {
+			release()
+		}
+		done <- err
+	}()
+	for g.Snapshot().Waiting == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	g.releaseMem(2048)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Admit after pool drain: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pool drain never woke the admission waiter")
+	}
+}

@@ -12,7 +12,11 @@ import "sync"
 // which is byte-identical to the in-memory path at any trigger point — the
 // accountant only decides *when* operators spill, never *what* they output.
 type memAccountant struct {
-	limit      int64 // 0 = unlimited
+	limit int64 // 0 = unlimited per-query budget
+	// pool, when set, is the server-wide Governor memory pool this query
+	// also draws from: every charge is mirrored into the pool, and pool
+	// pressure triggers spills exactly like the per-query limit.
+	pool       *Governor
 	mu         sync.Mutex
 	used       int64
 	peak       int64
@@ -27,13 +31,14 @@ func newMemAccountant(limit int64) *memAccountant {
 	return &memAccountant{limit: limit}
 }
 
-// enabled reports whether a limit is in force. With no limit the operators
-// skip charging entirely — the unlimited path stays zero-overhead.
-func (a *memAccountant) enabled() bool { return a != nil && a.limit > 0 }
+// enabled reports whether any limit — per-query or pool — is in force. With
+// neither, operators skip charging entirely and the unlimited path stays
+// zero-overhead.
+func (a *memAccountant) enabled() bool { return a != nil && (a.limit > 0 || a.pool != nil) }
 
 // charge adds n retained bytes and reports whether the query is now over
-// budget. Safe for concurrent use (parallel breaker workers share one
-// accountant).
+// budget — its own limit or the shared pool's, whichever trips first. Safe
+// for concurrent use (parallel breaker workers share one accountant).
 func (a *memAccountant) charge(n int64) bool {
 	if !a.enabled() || n == 0 {
 		return false
@@ -43,12 +48,15 @@ func (a *memAccountant) charge(n int64) bool {
 	if a.used > a.peak {
 		a.peak = a.used
 	}
-	over := a.used > a.limit
+	over := a.limit > 0 && a.used > a.limit
 	a.mu.Unlock()
+	if !a.pool.reserve(n) {
+		over = true
+	}
 	return over
 }
 
-// release returns n previously charged bytes to the budget.
+// release returns n previously charged bytes to the budget (and the pool).
 func (a *memAccountant) release(n int64) {
 	if !a.enabled() || n == 0 {
 		return
@@ -59,6 +67,23 @@ func (a *memAccountant) release(n int64) {
 		a.used = 0
 	}
 	a.mu.Unlock()
+	a.pool.releaseMem(n)
+}
+
+// drain returns any residual charged bytes to the shared pool after the
+// query's iterators have closed — a backstop so an operator that died
+// without releasing can never leak pool capacity across queries.
+func (a *memAccountant) drain() {
+	if a == nil || a.pool == nil {
+		return
+	}
+	a.mu.Lock()
+	n := a.used
+	a.used = 0
+	a.mu.Unlock()
+	if n > 0 {
+		a.pool.releaseMem(n)
+	}
 }
 
 // noteSpill records one spill of b on-disk bytes.

@@ -1,0 +1,311 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"jsonpark/internal/variant"
+)
+
+// cacheEngine builds a small two-partition table so cached plans exercise
+// scans, filters, aggregation and sort.
+func cacheEngine(t *testing.T, opts ...Option) *Engine {
+	t.Helper()
+	e := New(opts...)
+	tab, err := e.Catalog().CreateTable("c", []string{"k", "v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := tab.Append([]variant.Value{
+			variant.Int(int64(i % 7)),
+			variant.Int(int64(i)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if i == 99 {
+			tab.Seal()
+		}
+	}
+	tab.Seal()
+	return e
+}
+
+func TestPlanCacheHitMissAndStats(t *testing.T) {
+	e := cacheEngine(t)
+	const q = `SELECT "k", COUNT(*) AS n FROM "c" GROUP BY "k" ORDER BY "k"`
+
+	r1, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Metrics.PlanCacheHit {
+		t.Fatal("first run reported a plan-cache hit")
+	}
+	r2, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Metrics.PlanCacheHit {
+		t.Fatal("second run did not report a plan-cache hit")
+	}
+	if renderRows(r1) != renderRows(r2) {
+		t.Fatal("cached run diverges from the compile run")
+	}
+	hits, misses, evictions, entries := e.PlanCacheStats()
+	if hits != 1 || misses != 1 || evictions != 0 || entries != 1 {
+		t.Fatalf("stats = %d hits, %d misses, %d evictions, %d entries; want 1/1/0/1",
+			hits, misses, evictions, entries)
+	}
+
+	// Prepare alone (no run) also hits: the cache serves compilation, not
+	// execution.
+	if _, err := e.PrepareOpts(q, PrepareOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	hits, _, _, _ = e.PlanCacheStats()
+	if hits != 2 {
+		t.Fatalf("hits = %d after third prepare, want 2", hits)
+	}
+}
+
+func TestPlanCacheDisabled(t *testing.T) {
+	e := cacheEngine(t, WithPlanCacheSize(-1))
+	const q = `SELECT COUNT(*) AS n FROM "c"`
+	for i := 0; i < 3; i++ {
+		res, err := e.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Metrics.PlanCacheHit {
+			t.Fatalf("run %d hit a cache that should be disabled", i+1)
+		}
+	}
+	if hits, misses, _, entries := e.PlanCacheStats(); hits != 0 || misses != 0 || entries != 0 {
+		t.Fatalf("disabled cache reported activity: %d hits, %d misses, %d entries", hits, misses, entries)
+	}
+}
+
+// TestPlanCacheCatalogInvalidation pins the version fence: DDL and the
+// 1 → 2 partition transition (which flips parallel-aggregation
+// eligibility) must drop cached plans, while plain scans and further
+// partition growth must not.
+func TestPlanCacheCatalogInvalidation(t *testing.T) {
+	e := cacheEngine(t)
+	const q = `SELECT COUNT(*) AS n FROM "c"`
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _, _, _ := e.PlanCacheStats(); hits != 1 {
+		t.Fatalf("hits = %d before DDL, want 1", hits)
+	}
+
+	// DDL bumps the catalog version and clears the cache.
+	if _, err := e.Catalog().CreateTable("other", []string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.PlanCacheHit {
+		t.Fatal("plan survived a CreateTable")
+	}
+	e.Catalog().DropTable("other")
+	res, err = e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.PlanCacheHit {
+		t.Fatal("plan survived a DropTable")
+	}
+
+	// Appended rows must be visible through a cached plan without any
+	// invalidation: scans re-read Partitions() at bind time.
+	tab, err := e.Catalog().Table("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Append([]variant.Value{variant.Int(1), variant.Int(999)}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.Metrics.PlanCacheHit {
+		t.Fatal("append invalidated the cached plan")
+	}
+	if renderRows(before) == renderRows(after) {
+		t.Fatal("cached plan did not observe the appended row")
+	}
+}
+
+// TestPlanCacheSealTransition pins the single invalidating seal: a table
+// crossing from one sealed partition to two changes plan shape, so exactly
+// that seal must evict cached plans.
+func TestPlanCacheSealTransition(t *testing.T) {
+	e := New()
+	tab, err := e.Catalog().CreateTable("s", []string{"v"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Append([]variant.Value{variant.Int(1)}); err != nil {
+		t.Fatal(err)
+	}
+	const q = `SELECT COUNT(*) AS n FROM "s"`
+	// First query seals partition #1 while executing; the cached plan must
+	// survive that seal or a fresh server would never hit on its second
+	// query.
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Metrics.PlanCacheHit {
+		t.Fatal("first-scan seal of a single-partition table evicted the plan")
+	}
+	// Sealing partition #2 flips parallel-agg eligibility: must invalidate.
+	if err := tab.Append([]variant.Value{variant.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	tab.Seal()
+	res, err = e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.PlanCacheHit {
+		t.Fatal("plan survived the 1 → 2 partition transition")
+	}
+	// Partition #3 does not change eligibility: must keep the plan.
+	if err := tab.Append([]variant.Value{variant.Int(3)}); err != nil {
+		t.Fatal(err)
+	}
+	tab.Seal()
+	res, err = e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Metrics.PlanCacheHit {
+		t.Fatal("plan did not survive the 2 → 3 partition transition")
+	}
+}
+
+func TestPlanCacheBoundedWithEvictions(t *testing.T) {
+	e := cacheEngine(t, WithPlanCacheSize(4))
+	for i := 0; i < 20; i++ {
+		q := fmt.Sprintf(`SELECT COUNT(*) AS n FROM "c" WHERE "v" > %d`, i)
+		if _, err := e.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses, evictions, entries := e.PlanCacheStats()
+	if entries > 4 {
+		t.Fatalf("cache holds %d entries, cap is 4", entries)
+	}
+	if evictions != misses-entries {
+		t.Fatalf("evictions = %d, want misses-entries = %d", evictions, misses-entries)
+	}
+	if hits != 0 {
+		t.Fatalf("hits = %d for 20 distinct queries, want 0", hits)
+	}
+	// LRU: the most recent distinct query must still be resident.
+	res, err := e.Query(`SELECT COUNT(*) AS n FROM "c" WHERE "v" > 19`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Metrics.PlanCacheHit {
+		t.Fatal("most recently inserted plan was evicted")
+	}
+}
+
+func TestPreparedSingleUse(t *testing.T) {
+	e := cacheEngine(t)
+	p, err := e.Prepare(`SELECT COUNT(*) AS n FROM "c"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Run(); !errors.Is(err, ErrPreparedConsumed) {
+		t.Fatalf("second Run error = %v, want ErrPreparedConsumed", err)
+	}
+}
+
+// TestPlanCacheStress runs a hot/cold query mix from many goroutines under
+// -race (make stress): every result must match the uncached reference
+// byte-for-byte, and the cache must stay within its bound throughout.
+func TestPlanCacheStress(t *testing.T) {
+	cached := cacheEngine(t, WithPlanCacheSize(8), WithParallelism(2))
+	uncached := cacheEngine(t, WithPlanCacheSize(-1), WithParallelism(2))
+	queries := []string{
+		`SELECT "k", COUNT(*) AS n, MIN("v") AS mn FROM "c" GROUP BY "k" ORDER BY "k"`,
+		`SELECT "v" FROM "c" WHERE "k" = 3 ORDER BY "v" DESC`,
+		`SELECT COUNT(*) AS n FROM "c" WHERE "v" > 50`,
+		`SELECT "k", MAX("v") AS mx FROM "c" WHERE "v" < 150 GROUP BY "k" ORDER BY "k"`,
+	}
+	want := make([]string, len(queries))
+	for i, q := range queries {
+		res, err := uncached.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = renderRows(res)
+	}
+	const workers = 8
+	const iters = 30
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				// Hot mix plus per-worker cold queries that churn the LRU
+				// past its bound while hot entries keep hitting.
+				var q string
+				var ref string
+				if i%3 == 0 {
+					q = fmt.Sprintf(`SELECT COUNT(*) AS n FROM "c" WHERE "v" >= %d`, w*100+i)
+					ref = ""
+				} else {
+					q = queries[(w+i)%len(queries)]
+					ref = want[(w+i)%len(queries)]
+				}
+				res, err := cached.Query(q)
+				if err != nil {
+					errc <- fmt.Errorf("worker %d: %s: %w", w, q, err)
+					return
+				}
+				if ref != "" && renderRows(res) != ref {
+					errc <- fmt.Errorf("worker %d: %s: rows diverge from uncached reference", w, q)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if _, _, _, entries := cached.PlanCacheStats(); entries > 8 {
+		t.Fatalf("cache grew to %d entries under stress, cap is 8", entries)
+	}
+	if hits, _, _, _ := cached.PlanCacheStats(); hits == 0 {
+		t.Fatal("stress mix never hit the cache")
+	}
+}

@@ -178,6 +178,33 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return &n.g
 }
 
+// --- callback metrics -------------------------------------------------------
+
+// funcMetric samples a callback at exposition time — for values another
+// subsystem already tracks (cache counters, pool occupancy) where mirroring
+// every change into the registry would duplicate state.
+type funcMetric struct {
+	name, help, typ string
+	fn              func() float64
+}
+
+func (n *funcMetric) expose(w io.Writer) {
+	writeHeader(w, n.name, n.help, n.typ)
+	fmt.Fprintf(w, "%s %s\n", n.name, formatValue(n.fn()))
+}
+
+// CounterFunc registers a counter whose value is read from fn at each
+// exposition. fn must be monotonic and safe for concurrent use.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.register(name, &funcMetric{name: name, help: help, typ: "counter", fn: fn})
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at each
+// exposition. fn must be safe for concurrent use.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, &funcMetric{name: name, help: help, typ: "gauge", fn: fn})
+}
+
 // --- histogram --------------------------------------------------------------
 
 // Histogram observes float64 samples into cumulative buckets.

@@ -100,6 +100,89 @@ func NewObserver() *Observer {
 	}
 }
 
+// RegisterPlanCacheStats exposes the engine's prepared-plan cache counters
+// as jsonpark_plan_cache_{hits,misses,evictions}_total and the current
+// entry count as jsonpark_plan_cache_entries. stats must be safe for
+// concurrent use; call at most once per observer.
+func (o *Observer) RegisterPlanCacheStats(stats func() (hits, misses, evictions, entries int64)) {
+	if o == nil {
+		return
+	}
+	o.Registry.CounterFunc("jsonpark_plan_cache_hits_total",
+		"Prepared-plan cache hits (compile phase skipped).", func() float64 {
+			h, _, _, _ := stats()
+			return float64(h)
+		})
+	o.Registry.CounterFunc("jsonpark_plan_cache_misses_total",
+		"Prepared-plan cache misses (full compile).", func() float64 {
+			_, m, _, _ := stats()
+			return float64(m)
+		})
+	o.Registry.CounterFunc("jsonpark_plan_cache_evictions_total",
+		"Prepared-plan cache entries evicted by the LRU bound.", func() float64 {
+			_, _, e, _ := stats()
+			return float64(e)
+		})
+	o.Registry.GaugeFunc("jsonpark_plan_cache_entries",
+		"Prepared-plan cache resident entries.", func() float64 {
+			_, _, _, n := stats()
+			return float64(n)
+		})
+}
+
+// GovernorStats is the subset of a governor snapshot the metric set samples.
+type GovernorStats struct {
+	MemUsedBytes  int64
+	MemLimitBytes int64
+	Active        int64
+	Waiting       int64
+	AdmittedTotal int64
+	ShedTotal     int64
+}
+
+// RegisterGovernorStats exposes the resource governor's admission and
+// shared-pool state. snap must be safe for concurrent use; call at most
+// once per observer.
+func (o *Observer) RegisterGovernorStats(snap func() GovernorStats) {
+	if o == nil {
+		return
+	}
+	o.Registry.CounterFunc("jsonpark_admission_admitted_total",
+		"Queries admitted by the resource governor.", func() float64 {
+			return float64(snap().AdmittedTotal)
+		})
+	o.Registry.CounterFunc("jsonpark_admission_shed_total",
+		"Queries shed at admission (HTTP 429).", func() float64 {
+			return float64(snap().ShedTotal)
+		})
+	o.Registry.GaugeFunc("jsonpark_admission_active",
+		"Queries currently admitted and running.", func() float64 {
+			return float64(snap().Active)
+		})
+	o.Registry.GaugeFunc("jsonpark_admission_waiting",
+		"Queries currently queued at admission.", func() float64 {
+			return float64(snap().Waiting)
+		})
+	o.Registry.GaugeFunc("jsonpark_global_mem_used_bytes",
+		"Bytes currently drawn from the governor's shared memory pool.", func() float64 {
+			return float64(snap().MemUsedBytes)
+		})
+	o.Registry.GaugeFunc("jsonpark_global_mem_limit_bytes",
+		"Configured size of the governor's shared memory pool.", func() float64 {
+			return float64(snap().MemLimitBytes)
+		})
+}
+
+// CountShed folds one admission-shed request into the status counters.
+// Shed requests never reach ObserveQuery (they have no trace or result), so
+// the server reports them here.
+func (o *Observer) CountShed() {
+	if o == nil {
+		return
+	}
+	o.queriesTotal.With("shed").Inc()
+}
+
 // SampleRuntime refreshes the runtime gauge set (goroutines, heap, GC);
 // the /metrics handler calls it immediately before Registry.Expose.
 func (o *Observer) SampleRuntime() {

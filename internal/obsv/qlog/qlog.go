@@ -122,6 +122,10 @@ const (
 	StatusError     = "error"
 	StatusCancelled = "cancelled"
 	StatusTimeout   = "timeout"
+	// StatusShed marks a request refused at admission (HTTP 429): the
+	// governor's tenant slots or memory pool stayed exhausted past the
+	// queue timeout, so the query never compiled or executed.
+	StatusShed = "shed"
 )
 
 // QueryRecord is the fixed schema of one query completion record (see
@@ -131,8 +135,12 @@ type QueryRecord struct {
 	Query       string
 	Strategy    string
 	Fingerprint string
-	Status      string // ok | error | cancelled | timeout
+	Status      string // ok | error | cancelled | timeout | shed
 	Error       string // empty unless Status != ok
+	// CacheHit reports the engine served compilation from the prepared-plan
+	// cache: the run skipped parse/plan/optimize/physicalize and paid only
+	// the bind cost.
+	CacheHit bool
 
 	ParseUS  int64
 	PlanUS   int64
@@ -162,7 +170,7 @@ func (l *Logger) LogQuery(r QueryRecord) {
 	switch r.Status {
 	case StatusError:
 		level = LevelError
-	case StatusCancelled, StatusTimeout:
+	case StatusCancelled, StatusTimeout, StatusShed:
 		level = LevelWarn
 	}
 	if r.Slow && level == LevelInfo {
@@ -174,6 +182,7 @@ func (l *Logger) LogQuery(r QueryRecord) {
 		F("strategy", r.Strategy),
 		F("fingerprint", r.Fingerprint),
 		F("status", r.Status),
+		F("cache_hit", r.CacheHit),
 		F("parse_us", r.ParseUS),
 		F("plan_us", r.PlanUS),
 		F("sqlgen_us", r.SQLGenUS),

@@ -1,0 +1,178 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"jsonpark"
+
+	"jsonpark/internal/obsv/qlog"
+)
+
+// governedServer boots a server whose warehouse admits one query per tenant
+// with a short shed timeout, capturing qlog output.
+func governedServer(t *testing.T, buf *syncBuffer) (*jsonpark.Warehouse, *httptest.Server) {
+	t.Helper()
+	gov := jsonpark.NewGovernor(jsonpark.GovernorConfig{
+		TenantSlots:  1,
+		QueueTimeout: 50 * time.Millisecond,
+	})
+	w := jsonpark.Open(jsonpark.WithGovernor(gov))
+	s := New(w, WithQueryLog(qlog.New(buf)))
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	loadOrders(t, srv)
+	return w, srv
+}
+
+// TestAdmissionShedsWith429 saturates the single tenant slot with a query
+// held mid-execution, then asserts the next request for the same tenant is
+// shed: HTTP 429, a Retry-After header, a machine-readable body, one "shed"
+// qlog record — and that the tenant recovers once the slot frees.
+func TestAdmissionShedsWith429(t *testing.T) {
+	var buf syncBuffer
+	w, srv := governedServer(t, &buf)
+
+	paused := make(chan struct{})
+	unpause := make(chan struct{})
+	// CAS, not sync.Once: Once.Do would block every later query on the
+	// hook while the first one is parked inside it.
+	var first atomic.Bool
+	first.Store(true)
+	w.Engine().SetExecBatchHook(func() {
+		if first.CompareAndSwap(true, false) {
+			close(paused)
+			<-unpause
+		}
+	})
+
+	done := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/query", "application/json", strings.NewReader(ordersQuery))
+		if err != nil {
+			done <- 0
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	<-paused
+
+	// Slot held: the same tenant's next request must shed with 429.
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/query", strings.NewReader(ordersQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed status = %d, want 429: %s", resp.StatusCode, body)
+	}
+	retry, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || retry < 1 {
+		t.Fatalf("Retry-After = %q, want integer >= 1", resp.Header.Get("Retry-After"))
+	}
+	var out map[string]any
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("shed body is not JSON: %v\n%s", err, body)
+	}
+	if out["code"] != "admission_shed" || out["tenant"] != "default" {
+		t.Fatalf("shed body = %v", out)
+	}
+
+	// A different tenant is not blocked by the default tenant's slot.
+	req2, err := http.NewRequest(http.MethodPost, srv.URL+"/query", strings.NewReader(ordersQuery))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2.Header.Set("Content-Type", "application/json")
+	req2.Header.Set(TenantHeader, "other")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant status = %d, want 200", resp2.StatusCode)
+	}
+
+	// Free the slot: the held query finishes and the tenant recovers.
+	close(unpause)
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("held query status = %d, want 200", code)
+	}
+	w.Engine().SetExecBatchHook(nil)
+	code, _ := post(t, srv, "/query", ordersQuery)
+	if code != http.StatusOK {
+		t.Fatalf("post-recovery status = %d, want 200", code)
+	}
+
+	// Exactly one shed record, alongside the three ok records.
+	var shed, ok int
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("qlog line is not JSON: %v\n%s", err, line)
+		}
+		switch rec["status"] {
+		case "shed":
+			shed++
+			if rec["level"] != "warn" {
+				t.Errorf("shed record level = %v, want warn", rec["level"])
+			}
+		case "ok":
+			ok++
+		}
+	}
+	if shed != 1 || ok != 3 {
+		t.Fatalf("qlog holds %d shed / %d ok records, want 1/3:\n%s", shed, ok, buf.String())
+	}
+
+	// The governor snapshot endpoint reflects the episode.
+	dresp, err := http.Get(srv.URL + "/debug/governor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Active        int   `json:"active"`
+		AdmittedTotal int64 `json:"admitted_total"`
+		ShedTotal     int64 `json:"shed_total"`
+	}
+	err = json.NewDecoder(dresp.Body).Decode(&snap)
+	dresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.ShedTotal != 1 || snap.AdmittedTotal != 3 || snap.Active != 0 {
+		t.Fatalf("snapshot = %+v, want 1 shed, 3 admitted, 0 active", snap)
+	}
+}
+
+// TestDebugGovernorAbsent pins the ungoverned default: /debug/governor
+// answers 404 when no governor is attached.
+func TestDebugGovernorAbsent(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/debug/governor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ungoverned /debug/governor = %d, want 404", resp.StatusCode)
+	}
+}

@@ -44,6 +44,10 @@ import (
 // convention) reported when the client goes away mid-query.
 const StatusClientClosedRequest = 499
 
+// TenantHeader names the request header carrying the tenant identity for
+// admission control; absent or empty means the default tenant.
+const TenantHeader = "X-Tenant"
+
 // Server wraps a warehouse with HTTP handlers.
 type Server struct {
 	w       *jsonpark.Warehouse
@@ -82,6 +86,7 @@ func New(w *jsonpark.Warehouse, opts ...Option) *Server {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 	s.mux.HandleFunc("/debug/slow", s.handleDebugSlow)
+	s.mux.HandleFunc("/debug/governor", s.handleDebugGovernor)
 	// Go runtime profiling, mounted explicitly (the server owns its mux, so
 	// the net/http/pprof init-time DefaultServeMux registrations don't apply).
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -207,6 +212,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	opts = append(opts, jsonpark.WithContext(ctx))
+	// Admission: when a governor is attached, the request must win a tenant
+	// slot (and the shared memory pool must have headroom) before any
+	// translation or execution work starts. Shed requests cost one queue
+	// wait, never a compile.
+	if gov := s.w.Governor(); gov != nil {
+		tenant := r.Header.Get(TenantHeader)
+		release, aerr := gov.Admit(ctx, tenant)
+		if aerr != nil {
+			s.answerAdmission(w, req.Query, aerr)
+			return
+		}
+		defer release()
+	}
 	rep, err := s.w.QueryTraced(req.Query, opts...)
 	if err != nil {
 		status := qlog.StatusError
@@ -254,6 +272,45 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		out["plan_text"] = rep.RenderAnalyze()
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// answerAdmission maps an admission failure onto the wire: shed requests
+// become 429 with a Retry-After header and a "shed" qlog record; a client
+// disconnect or server timeout while queued reuses the existing 499/504
+// machinery.
+func (s *Server) answerAdmission(w http.ResponseWriter, query string, err error) {
+	var adm *jsonpark.AdmissionError
+	if errors.As(err, &adm) {
+		s.qlog.LogQuery(qlog.QueryRecord{Query: query, Status: qlog.StatusShed, Error: err.Error()})
+		s.w.Observer().CountShed()
+		retry := int64(adm.RetryAfter.Round(time.Second) / time.Second)
+		if retry < 1 {
+			retry = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(retry, 10))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":         err.Error(),
+			"code":          "admission_shed",
+			"tenant":        adm.Tenant,
+			"retry_after_s": retry,
+		})
+		return
+	}
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.qlog.LogQuery(qlog.QueryRecord{Query: query, Status: qlog.StatusTimeout, Error: err.Error()})
+		writeJSON(w, http.StatusGatewayTimeout, map[string]any{
+			"error":      fmt.Sprintf("query exceeded the server time limit of %s while queued for admission", s.timeout),
+			"code":       "query_timeout",
+			"timeout_ms": s.timeout.Milliseconds(),
+		})
+	default:
+		s.qlog.LogQuery(qlog.QueryRecord{Query: query, Status: qlog.StatusCancelled, Error: err.Error()})
+		writeJSON(w, StatusClientClosedRequest, map[string]any{
+			"error": "query cancelled: client closed request",
+			"code":  "query_cancelled",
+		})
+	}
 }
 
 func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
@@ -386,6 +443,22 @@ func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
 	traces := s.w.Observer().Tracer.Recent(n)
 	noStore(w)
 	writeJSON(w, http.StatusOK, map[string]any{"active": active, "queries": traces})
+}
+
+// handleDebugGovernor serves a point-in-time snapshot of the resource
+// governor: pool usage, per-tenant occupancy and the admitted/shed totals.
+// 404 when the warehouse runs ungoverned.
+func (s *Server) handleDebugGovernor(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	gov := s.w.Governor()
+	if gov == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no governor attached"))
+		return
+	}
+	noStore(w)
+	writeJSON(w, http.StatusOK, gov.Snapshot())
 }
 
 // handleDebugSlow serves the slow-query ring: for each captured query the

@@ -28,6 +28,10 @@ type ReportConfig struct {
 	// MemLimit caps the pipeline breakers' retained bytes per query;
 	// overflow spills to disk with byte-identical results. 0 = unlimited.
 	MemLimit int64
+	// Repeat, when > 0, selects the hot-query repeat experiment (ssbbench
+	// -repeat N): each Fig 11b query runs N times against a plan-cached
+	// engine and an uncached one.
+	Repeat int
 }
 
 // DefaultConfig returns laptop-scale defaults (the paper uses SF 1000 for
@@ -56,11 +60,15 @@ func SetupSFOpts(seed int64, sf float64, batchSize, parallelism int) (*snowpark.
 
 // SetupSFMemOpts is SetupSFOpts with a pipeline-breaker memory budget
 // (0 = unlimited; overflow spills to disk, results stay byte-identical).
+// The prepared-plan cache is pinned off so repeated measurement runs keep
+// paying real compilation; ReportRepeat compares cached vs uncached
+// explicitly.
 func SetupSFMemOpts(seed int64, sf float64, batchSize, parallelism int, memLimit int64) (*snowpark.Session, error) {
 	eng := engine.New(
 		engine.WithBatchSize(batchSize),
 		engine.WithParallelism(parallelism),
 		engine.WithMemLimit(memLimit),
+		engine.WithPlanCacheSize(-1),
 	)
 	tabs := Generate(seed, SizesForScaleFactor(sf))
 	if err := tabs.Load(eng); err != nil {
@@ -97,6 +105,86 @@ func memFields(rec bench.Record, m engine.Metrics) bench.Record {
 	rec.Spills = m.Spills
 	rec.SpillBytes = m.SpillBytes
 	return rec
+}
+
+// ReportRepeat measures the serving fast path on SSB (ssbbench -repeat N):
+// the Fig 11b representative queries run N times end-to-end on a
+// plan-cached engine vs an uncached one at the configured scale factor,
+// reporting per-iteration time and the amortized speedup. Results are
+// checked identical between the two engines before timing.
+func ReportRepeat(cfg ReportConfig) error {
+	repeat := cfg.Repeat
+	if repeat <= 0 {
+		repeat = 50
+	}
+	mk := func(cacheSize int) (*engine.Engine, error) {
+		eng := engine.New(
+			engine.WithBatchSize(cfg.BatchSize),
+			engine.WithParallelism(cfg.Parallelism),
+			engine.WithMemLimit(cfg.MemLimit),
+			engine.WithPlanCacheSize(cacheSize),
+		)
+		tabs := Generate(cfg.Seed, SizesForScaleFactor(cfg.ScaleFactor))
+		if err := tabs.Load(eng); err != nil {
+			return nil, err
+		}
+		return eng, nil
+	}
+	cached, err := mk(0)
+	if err != nil {
+		return err
+	}
+	uncached, err := mk(-1)
+	if err != nil {
+		return err
+	}
+	t := bench.NewTable(
+		fmt.Sprintf("Hot-query repeat (SF %g × %d runs): plan cache on vs off", cfg.ScaleFactor, repeat),
+		"Query", "Uncached/iter", "Cached/iter", "Speedup")
+	for _, id := range Fig11bQueries {
+		q, ok := ByID(id)
+		if !ok {
+			return fmt.Errorf("ssb: unknown query %s", id)
+		}
+		warmC, err := cached.Query(q.SQL)
+		if err != nil {
+			return err
+		}
+		warmU, err := uncached.Query(q.SQL)
+		if err != nil {
+			return err
+		}
+		if fmt.Sprint(warmC.Rows) != fmt.Sprint(warmU.Rows) {
+			return fmt.Errorf("%s: cached results diverge from uncached", id)
+		}
+		runTotal := func(eng *engine.Engine) (time.Duration, error) {
+			start := time.Now()
+			for i := 0; i < repeat; i++ {
+				if _, err := eng.Query(q.SQL); err != nil {
+					return 0, err
+				}
+			}
+			return time.Since(start), nil
+		}
+		uTotal, err := runTotal(uncached)
+		if err != nil {
+			return err
+		}
+		cTotal, err := runTotal(cached)
+		if err != nil {
+			return err
+		}
+		uIter := uTotal / time.Duration(repeat)
+		cIter := cTotal / time.Duration(repeat)
+		speedup := float64(uTotal) / float64(cTotal)
+		cfg.Recorder.Add(bench.Record{Experiment: "repeat", Query: id, System: "uncached", Scale: cfg.ScaleFactor, MeanMicros: uIter.Microseconds(), Runs: repeat})
+		cfg.Recorder.Add(bench.Record{Experiment: "repeat", Query: id, System: "cached", Scale: cfg.ScaleFactor, MeanMicros: cIter.Microseconds(), Runs: repeat})
+		t.AddRow(id, bench.FormatDuration(uIter), bench.FormatDuration(cIter), fmt.Sprintf("%.2fx", speedup))
+	}
+	hits, misses, _, _ := cached.PlanCacheStats()
+	t.Render(cfg.Out)
+	fmt.Fprintf(cfg.Out, "plan cache: %d hits, %d misses\n\n", hits, misses)
+	return nil
 }
 
 // ReportFig11a regenerates Figure 11a: total (compile + execution) time for

@@ -80,6 +80,7 @@ func (c *Catalog) SetDataDir(dir string) {
 	c.dataDir = dir
 	c.scanned = false
 	c.scanErr = nil
+	c.version.Add(1)
 }
 
 // DataDir returns the catalog's data directory ("" when in-memory only).
@@ -124,7 +125,9 @@ func (c *Catalog) ensureScannedLocked() error {
 			return c.scanErr
 		}
 		t.typedOff = c.typedOff
+		t.onSeal = func() { c.version.Add(1) }
 		c.tables[name] = t
+		c.version.Add(1)
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"jsonpark/internal/variant"
 	"jsonpark/internal/vector"
@@ -31,12 +32,24 @@ type Catalog struct {
 	dataDir  string
 	scanned  bool
 	scanErr  error
+	// version counts every change that could affect a compiled plan: table
+	// create/drop, data-dir reattachment, and each partition seal (appends
+	// only become plan-relevant once they seal — the scan re-reads the
+	// partition list per run regardless). The engine's plan cache keys on it,
+	// so Flush/reload invalidates cached plan templates.
+	version atomic.Int64
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
 	return &Catalog{tables: make(map[string]*Table)}
 }
+
+// Version returns the catalog's monotonically increasing schema/data
+// version. It changes whenever a compiled plan could go stale: table
+// create/drop, data-directory reattachment, or a partition seal on any
+// attached table.
+func (c *Catalog) Version() int64 { return c.version.Load() }
 
 // SetTypedShredding toggles typed chunk encoding for tables created after the
 // call (on by default). Off, every chunk keeps the variant representation —
@@ -60,10 +73,12 @@ func (c *Catalog) CreateTable(name string, columns []string) (*Table, error) {
 	}
 	t := NewTable(name, columns)
 	t.typedOff = c.typedOff
+	t.onSeal = func() { c.version.Add(1) }
 	if err := c.attachTableDirLocked(t); err != nil {
 		return nil, err
 	}
 	c.tables[name] = t
+	c.version.Add(1)
 	return t, nil
 }
 
@@ -78,6 +93,7 @@ func (c *Catalog) DropTable(name string) {
 		return
 	}
 	delete(c.tables, name)
+	c.version.Add(1)
 	if t.dir != "" {
 		os.RemoveAll(t.dir)
 	}
@@ -137,6 +153,12 @@ type Table struct {
 	targetBytes int64
 	colIndex    map[string]int
 	typedOff    bool
+	// onSeal, set when the table is attached to a catalog, bumps the
+	// catalog version when a seal changes plan shape. Sealing only affects
+	// compiled plans through the partition count crossing 1 → 2
+	// (parallel-aggregation eligibility); scans re-read Partitions() every
+	// run, so data visibility never needs an invalidation.
+	onSeal func()
 
 	// Persistence state: dir is the table's on-disk directory ("" for an
 	// in-memory table), nextPart numbers the next partition file, and
@@ -224,6 +246,14 @@ func (t *Table) sealLocked() {
 	}
 	t.partitions = append(t.partitions, t.open)
 	t.open = newPartition(t.Columns)
+	// Only the 1 → 2 partition transition can change a compiled plan's
+	// shape (parallel-aggregation eligibility requires > 1 partition), so
+	// only that seal invalidates cached plans. Single-partition tables
+	// seal on their first scan; bumping there would evict every plan the
+	// moment it first ran.
+	if t.onSeal != nil && len(t.partitions) == 2 {
+		t.onSeal()
+	}
 }
 
 // Seal closes the open partition so that all data is visible to scans with

@@ -88,15 +88,17 @@ type Warehouse struct {
 type OpenOption func(*openConfig)
 
 type openConfig struct {
-	batchSize   int
-	parallelism int
-	mergeParts  int
-	memLimit    int64
-	planCheck   bool
-	slowMS      int64
-	traceOut    io.Writer
-	dataDir     string
-	typedOff    bool
+	batchSize     int
+	parallelism   int
+	mergeParts    int
+	memLimit      int64
+	planCheck     bool
+	slowMS        int64
+	traceOut      io.Writer
+	dataDir       string
+	typedOff      bool
+	planCacheSize int
+	governor      *engine.Governor
 }
 
 // WithBatchSize sets the rows-per-batch of the vectorized executor (default
@@ -180,6 +182,41 @@ func WithTypedColumns(on bool) OpenOption {
 	return func(c *openConfig) { c.typedOff = !on }
 }
 
+// WithPlanCacheSize bounds the engine's prepared-plan cache (the
+// -plan-cache-size flag): repeated queries skip the compile pipeline
+// (parse/plan/optimize/physicalize) and pay only the per-run bind cost.
+// n > 0 caps resident entries, 0 (the default) keeps the engine default,
+// n < 0 disables caching. The cache invalidates itself whenever the catalog
+// changes — collection create/drop, Flush, partition seal.
+func WithPlanCacheSize(n int) OpenOption {
+	return func(c *openConfig) { c.planCacheSize = n }
+}
+
+// Governor is the server-wide resource governor: one shared memory pool all
+// queries draw from plus a per-tenant admission gate. Create with
+// NewGovernor and attach via WithGovernor; one governor may serve several
+// warehouses.
+type Governor = engine.Governor
+
+// GovernorConfig sizes a Governor (see engine.GovernorConfig).
+type GovernorConfig = engine.GovernorConfig
+
+// AdmissionError reports a request the governor shed; the server maps it to
+// HTTP 429 with a Retry-After header.
+type AdmissionError = engine.AdmissionError
+
+// NewGovernor builds a resource governor with the given pool size and
+// admission limits.
+func NewGovernor(cfg GovernorConfig) *Governor { return engine.NewGovernor(cfg) }
+
+// WithGovernor attaches a resource governor (the -global-mem-limit /
+// -tenant-slots flags): every query's memory accountant draws from the
+// governor's shared pool — pool pressure triggers spills exactly like
+// WithMemLimit — and servers gate request admission through it.
+func WithGovernor(g *Governor) OpenOption {
+	return func(c *openConfig) { c.governor = g }
+}
+
 // ParseByteSize parses a human byte-size string — "67108864", "64KiB",
 // "512MiB", "1GiB", "2kb", "10m" — into bytes. Suffixes are binary
 // (KiB/K/k = 1024) and case-insensitive; the "iB"/"b" tail is optional.
@@ -235,12 +272,28 @@ func Open(opts ...OpenOption) *Warehouse {
 		engine.WithPlanCheck(c.planCheck),
 		engine.WithTypedColumns(!c.typedOff),
 		engine.WithDataDir(c.dataDir),
+		engine.WithPlanCacheSize(c.planCacheSize),
+		engine.WithGovernor(c.governor),
 	)
 	w := &Warehouse{
 		eng:  eng,
 		sess: snowpark.NewSession(eng),
 		obs:  obsv.NewObserver(),
 		docs: make(map[string][]Value),
+	}
+	w.obs.RegisterPlanCacheStats(eng.PlanCacheStats)
+	if g := eng.Governor(); g != nil {
+		w.obs.RegisterGovernorStats(func() obsv.GovernorStats {
+			s := g.Snapshot()
+			return obsv.GovernorStats{
+				MemUsedBytes:  s.MemUsedBytes,
+				MemLimitBytes: s.MemLimitBytes,
+				Active:        int64(s.Active),
+				Waiting:       int64(s.Waiting),
+				AdmittedTotal: s.AdmittedTotal,
+				ShedTotal:     s.ShedTotal,
+			}
+		})
 	}
 	w.slowThresh, w.slowOn = obsv.Threshold(c.slowMS)
 	if c.traceOut != nil {
@@ -388,6 +441,7 @@ func (r *QueryReport) QueryLogRecord(status string, err error) qlog.QueryRecord 
 	}
 	if r.Result != nil {
 		m := r.Result.Metrics
+		rec.CacheHit = m.PlanCacheHit
 		rec.Rows = m.RowsReturned
 		rec.BytesScanned = m.BytesScanned
 		rec.MemPeakBytes = m.MemPeakBytes
@@ -557,6 +611,10 @@ func (w *Warehouse) QueryInterpreted(jsoniqSrc string) ([]Value, error) {
 // Engine exposes the underlying SQL engine (advanced use: catalog access,
 // custom staging, metrics inspection).
 func (w *Warehouse) Engine() *engine.Engine { return w.eng }
+
+// Governor returns the attached resource governor, nil when the warehouse
+// runs ungoverned.
+func (w *Warehouse) Governor() *Governor { return w.eng.Governor() }
 
 // Observer exposes the warehouse's observability substrate: the metrics
 // registry (Prometheus exposition) and the recent-query trace ring.

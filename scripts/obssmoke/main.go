@@ -1,9 +1,11 @@
 // Command obssmoke is the observability smoke test behind `make obs-smoke`:
 // it boots a real jsqd with slow-query capture armed and a query-log sink,
-// runs one query over HTTP, and asserts the observability contract end to
-// end — exactly one parseable qlog JSON record carrying the required keys,
-// a populated /debug/slow, and a live /metrics exposition. It exercises the
-// same binary and flags an operator would use, not the test harness.
+// runs the same query twice over HTTP, and asserts the observability
+// contract end to end — two parseable qlog JSON records carrying the
+// required keys with the second marked as a plan-cache hit, a populated
+// /debug/slow, and a live /metrics exposition including the plan-cache
+// counters. It exercises the same binary and flags an operator would use,
+// not the test harness.
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -79,13 +82,17 @@ func run() error {
 		return err
 	}
 
-	status, _, err := postJSON(base+"/query",
-		`{"query": "for $o in collection(\"smoke\") order by $o.id return $o.id"}`)
-	if err != nil {
-		return err
-	}
-	if status != http.StatusOK {
-		return fmt.Errorf("POST /query: status %d", status)
+	// The same query twice: the second run must be served from the
+	// prepared-plan cache and say so in its qlog record.
+	const query = `{"query": "for $o in collection(\"smoke\") order by $o.id return $o.id"}`
+	for i := 0; i < 2; i++ {
+		status, _, err := postJSON(base+"/query", query)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("POST /query #%d: status %d", i+1, status)
+		}
 	}
 
 	if err := checkQlog(qlogPath); err != nil {
@@ -94,11 +101,15 @@ func run() error {
 	if err := checkGet(base+"/debug/slow", `"trace_id"`); err != nil {
 		return err
 	}
-	return checkGet(base+"/metrics", "jsonpark_query_phase_seconds")
+	if err := checkGet(base+"/metrics", "jsonpark_query_phase_seconds"); err != nil {
+		return err
+	}
+	return checkPlanCacheMetric(base + "/metrics")
 }
 
-// checkQlog asserts the query log holds exactly one parseable "query"
-// record with the schema jsqd promises.
+// checkQlog asserts the query log holds exactly two parseable "query"
+// records with the schema jsqd promises, the second marked as a plan-cache
+// hit.
 func checkQlog(path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -117,22 +128,64 @@ func checkQlog(path string) error {
 			records = append(records, rec)
 		}
 	}
-	if len(records) != 1 {
-		return fmt.Errorf("query log holds %d query records, want 1:\n%s", len(records), raw)
+	if len(records) != 2 {
+		return fmt.Errorf("query log holds %d query records, want 2:\n%s", len(records), raw)
 	}
-	rec := records[0]
-	for _, key := range []string{"trace_id", "fingerprint", "status",
-		"parse_us", "plan_us", "sqlgen_us", "exec_us", "total_us",
-		"rows", "mem_peak_bytes", "spill_bytes",
-		"typed_cols", "fallback_cols", "disk_reads"} {
-		if _, ok := rec[key]; !ok {
-			return fmt.Errorf("query record missing %q: %v", key, rec)
+	for i, rec := range records {
+		for _, key := range []string{"trace_id", "fingerprint", "status",
+			"cache_hit", "parse_us", "plan_us", "sqlgen_us", "exec_us",
+			"total_us", "rows", "mem_peak_bytes", "spill_bytes",
+			"typed_cols", "fallback_cols", "disk_reads"} {
+			if _, ok := rec[key]; !ok {
+				return fmt.Errorf("query record #%d missing %q: %v", i+1, key, rec)
+			}
+		}
+		if rec["status"] != "ok" {
+			return fmt.Errorf("query record #%d status = %v, want ok", i+1, rec["status"])
 		}
 	}
-	if rec["status"] != "ok" {
-		return fmt.Errorf("query record status = %v, want ok", rec["status"])
+	if hit, _ := records[0]["cache_hit"].(bool); hit {
+		return fmt.Errorf("first query record claims cache_hit=true: %v", records[0])
+	}
+	if hit, _ := records[1]["cache_hit"].(bool); !hit {
+		return fmt.Errorf("second query record lacks cache_hit=true: %v", records[1])
 	}
 	return nil
+}
+
+// checkPlanCacheMetric asserts /metrics exposes the plan-cache hit counter
+// with at least one hit recorded.
+func checkPlanCacheMetric(url string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, "jsonpark_plan_cache_hits_total") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return fmt.Errorf("malformed metric line: %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return fmt.Errorf("malformed metric value: %q", line)
+		}
+		if v < 1 {
+			return fmt.Errorf("jsonpark_plan_cache_hits_total = %v, want >= 1", v)
+		}
+		return nil
+	}
+	return fmt.Errorf("GET %s: body lacks jsonpark_plan_cache_hits_total", url)
 }
 
 // checkGet asserts the URL answers 200 with a body containing want.
