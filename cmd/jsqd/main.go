@@ -47,6 +47,16 @@ func main() {
 	dataDir := flag.String("data-dir", "", "persist micro-partitions under DIR and reopen collections found there (empty = in-memory)")
 	typedColumns := flag.Bool("typed-columns", true, "shred uniform scalar columns into typed arrays at partition seal (typed expression kernels)")
 	planCacheSize := flag.Int("plan-cache-size", 256, "prepared-plan cache entries; repeated queries skip compilation (0 = engine default, negative = off)")
+	resultCacheSize := flag.Int("result-cache-size", 256, "partition-versioned result cache entries; repeated queries over unchanged collections skip execution (0 or negative = off)")
+	resultCacheBytes := flag.String("result-cache-bytes", "64MiB", "result cache resident-row byte budget, e.g. 64MiB")
+	var views []string
+	flag.Func("view", "register a materialized view as NAME=JSONIQ_QUERY at startup (repeatable; refreshed incrementally on /views/query)", func(s string) error {
+		if !strings.Contains(s, "=") {
+			return fmt.Errorf("want NAME=QUERY, got %q", s)
+		}
+		views = append(views, s)
+		return nil
+	})
 	globalMemLimit := flag.String("global-mem-limit", "", "shared memory pool across all concurrent queries, e.g. 1GiB (empty = no pool; overflow spills to disk)")
 	tenantSlots := flag.Int("tenant-slots", 0, "max concurrently admitted queries per tenant (X-Tenant header; 0 = unlimited)")
 	admissionTimeout := flag.Duration("admission-timeout", time.Second, "how long a request may queue for admission before being shed with 429")
@@ -68,6 +78,14 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	var resultCacheByteBudget int64
+	if *resultCacheBytes != "" {
+		var err error
+		resultCacheByteBudget, err = jsonpark.ParseByteSize(*resultCacheBytes)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	opts := []jsonpark.OpenOption{
 		jsonpark.WithMemLimit(memBytes),
@@ -75,6 +93,8 @@ func main() {
 		jsonpark.WithDataDir(*dataDir),
 		jsonpark.WithTypedColumns(*typedColumns),
 		jsonpark.WithPlanCacheSize(*planCacheSize),
+		jsonpark.WithResultCacheSize(*resultCacheSize),
+		jsonpark.WithResultCacheBytes(resultCacheByteBudget),
 	}
 	if globalMemBytes > 0 || *tenantSlots > 0 {
 		opts = append(opts, jsonpark.WithGovernor(jsonpark.NewGovernor(jsonpark.GovernorConfig{
@@ -102,6 +122,13 @@ func main() {
 		if err := w.Flush(); err != nil {
 			log.Fatal(err)
 		}
+	}
+	for _, v := range views {
+		name, query, _ := strings.Cut(v, "=")
+		if err := w.CreateView(name, query); err != nil {
+			log.Fatalf("-view %s: %v", name, err)
+		}
+		log.Printf("registered materialized view %q", name)
 	}
 
 	sopts := []server.Option{server.WithQueryTimeout(*queryTimeout)}

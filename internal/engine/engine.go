@@ -30,6 +30,14 @@ type Engine struct {
 	// planCache is the live cache, nil when disabled.
 	planCacheSize int
 	planCache     *planCache
+	// resultCacheSize/resultCacheBytes bound the partition-versioned result
+	// cache (off unless WithResultCacheSize enables it); resultCache is the
+	// live cache, nil when disabled.
+	resultCacheSize  int
+	resultCacheBytes int64
+	resultCache      *resultCache
+	// views is the registry of incrementally maintained materialized views.
+	views viewRegistry
 	// governor, when set, is the server-wide admission gate and shared
 	// memory pool every query's accountant draws from.
 	governor *Governor
@@ -128,6 +136,27 @@ func WithPlanCacheSize(n int) Option {
 	return func(e *Engine) { e.planCacheSize = n }
 }
 
+// WithResultCacheSize enables the partition-versioned result cache with an
+// entry cap: repeated queries over unchanged pinned partition sets return
+// their rows without executing. n <= 0 (the default) keeps the cache off —
+// results are served straight from storage every run. Invalidation is exact:
+// any seal, DDL, or data-dir change on a table a cached result read evicts
+// that result (and only that result).
+func WithResultCacheSize(n int) Option {
+	return func(e *Engine) { e.resultCacheSize = n }
+}
+
+// WithResultCacheBytes bounds the result cache's resident row bytes
+// (default 64 MiB when the cache is enabled). Results larger than the budget
+// are never cached; smaller ones evict LRU entries until they fit.
+func WithResultCacheBytes(n int64) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.resultCacheBytes = n
+		}
+	}
+}
+
 // WithGovernor attaches a server-wide resource governor: every query's
 // memory accountant draws from the governor's shared pool (pool pressure
 // triggers spills exactly like WithMemLimit), and callers holding the
@@ -159,6 +188,16 @@ func New(opts ...Option) *Engine {
 	}
 	if size > 0 {
 		e.planCache = newPlanCache(size)
+	}
+	if e.resultCacheSize > 0 {
+		bytes := e.resultCacheBytes
+		if bytes <= 0 {
+			bytes = defaultResultCacheBytes
+		}
+		e.resultCache = newResultCache(e.resultCacheSize, bytes)
+		// Precise eviction: every seal/DDL/data-dir change drops exactly the
+		// entries that read the mutated table.
+		e.catalog.SetMutationHook(e.resultCache.invalidate)
 	}
 	return e
 }
@@ -210,6 +249,11 @@ type Metrics struct {
 	// cache — the query skipped parse/plan/optimize/physicalize and paid only
 	// the per-run bind cost.
 	PlanCacheHit bool
+	// ResultCacheHit reports that the rows were served from the
+	// partition-versioned result cache — the query skipped execution
+	// entirely because an identical plan ran before over the same pinned
+	// partition sets.
+	ResultCacheHit bool
 }
 
 // Total returns compile + execution time (the paper's "total time").
@@ -236,6 +280,10 @@ type Prepared struct {
 	ctx     *execContext
 	columns []string
 	metrics Metrics
+	// sql is the original query text; with the result cache on, RunCtx keys
+	// on (plan key, pinned partition versions) and the text guards against
+	// fingerprint collisions.
+	sql string
 	// used enforces the single-use contract (see ErrPreparedConsumed).
 	used atomic.Bool
 }
@@ -272,6 +320,7 @@ func (e *Engine) PrepareOpts(sql string, po PrepareOptions) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
+	p.sql = sql
 	p.metrics.PlanCacheHit = hit
 	p.metrics.CompileTime = time.Since(start)
 	return p, nil
@@ -405,6 +454,28 @@ func (p *Prepared) RunCtx(ctx context.Context) (*Result, error) {
 	// Backstop: whatever the operators still hold charged goes back to the
 	// governor pool even on error paths.
 	defer p.ctx.acct.drain()
+	// Result-cache fast path: the bind phase pinned every scanned table's
+	// partition-set version, so an exact (plan key, version vector) match
+	// means the cached rows are byte-identical to what execution would
+	// produce. The batch-hook instrumentation path always executes.
+	var rc *resultCache
+	var rcKey planKey
+	var rcDeps []resultDep
+	if p.eng != nil && p.eng.resultCache != nil && p.ctx.batchHook == nil {
+		rc = p.eng.resultCache
+		rcKey = p.eng.planKeyFor(p.sql)
+		rcDeps = p.ctx.snapshotDeps()
+		if cols, rows, ok := rc.lookup(rcKey, p.sql, rcDeps); ok {
+			p.iter.Close()
+			m := Metrics{
+				CompileTime:    p.metrics.CompileTime,
+				PlanCacheHit:   p.metrics.PlanCacheHit,
+				ResultCacheHit: true,
+				RowsReturned:   int64(len(rows)),
+			}
+			return &Result{Columns: cols, Rows: rows, Metrics: m}, nil
+		}
+	}
 	if p.eng != nil && p.ctx.prog != nil {
 		p.eng.progress.add(p.ctx.prog)
 		defer p.eng.progress.remove(p.ctx.prog)
@@ -426,6 +497,9 @@ func (p *Prepared) RunCtx(ctx context.Context) (*Result, error) {
 	m.MemPeakBytes, m.Spills, m.SpillBytes = p.ctx.acct.snapshot()
 	if p.ctx.acct.enabled() {
 		m.MemLimitBytes = p.ctx.acct.limit
+	}
+	if rc != nil {
+		rc.insert(rcKey, p.sql, rcDeps, p.columns, rows)
 	}
 	return &Result{Columns: p.columns, Rows: rows, Metrics: m}, nil
 }

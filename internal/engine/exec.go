@@ -51,10 +51,32 @@ type execContext struct {
 	// batchHook, when non-nil, runs after every root batch RunCtx drains
 	// (test instrumentation for observing queries mid-flight).
 	batchHook func()
+	// snapshots pins each scanned table's partition set for the whole query:
+	// the first pin (at bind) seals buffered rows and fixes the MVCC read
+	// view, and every later scan of the same table — including the parallel
+	// aggregate's partition claims — reuses the pinned set, so one query can
+	// never observe a torn snapshot across concurrent appends. Pins happen
+	// on the driver goroutine only (prepare and the breaker drivers), so the
+	// map needs no lock. The pinned versions also key the result cache.
+	snapshots map[*storage.Table]storage.TableSnapshot
 	// Storage-path counters (atomic; see countTypedCols and friends below).
 	typedCols    int64
 	fallbackCols int64
 	diskReads    int64
+}
+
+// pinSnapshot returns the query's pinned snapshot of t, taking it on first
+// use. Driver-goroutine only (see the snapshots field).
+func (c *execContext) pinSnapshot(t *storage.Table) storage.TableSnapshot {
+	if s, ok := c.snapshots[t]; ok {
+		return s
+	}
+	if c.snapshots == nil {
+		c.snapshots = make(map[*storage.Table]storage.TableSnapshot)
+	}
+	s := t.Snapshot()
+	c.snapshots[t] = s
+	return s
 }
 
 // queryCtx returns the query's cancellation context (never nil).
@@ -227,6 +249,10 @@ func prepareNode(n Node, ctx *execContext) (batchIter, error) {
 			return nil, err
 		}
 		return &limitIter{in: in, remaining: x.N}, nil
+	case *viewRowsNode:
+		// Materialized-view suffix replay: the aggregate's finalized rows feed
+		// the stateless operators above it (views.go).
+		return &rowsIter{rows: x.rows, width: len(x.schema.Names), size: ctx.batchSize}, nil
 	case *UnionNode:
 		left, err := prepare(x.Left, ctx)
 		if err != nil {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -14,8 +15,13 @@ import (
 // FLATTEN, each with randomized predicates, aggregate lists, sort
 // directions, and limits. The oracle is the sequential unlimited engine;
 // every other (batch size, parallelism, mem-limit) cell must render
-// byte-identical rows, and the limited cells must never error. Running the
-// seed corpus as a plain unit test (`go test`) already covers every shape;
+// byte-identical rows, and the limited cells must never error. The ingest
+// cells add a streaming dimension: they load a prefix of the dataset, warm
+// the result cache (and a materialized view when the group query is
+// mergeable), append the remaining documents mid-run, and must still match
+// the oracle's cold recompute over the full dataset — cached and
+// incrementally refreshed results included. Running the seed corpus as a
+// plain unit test (`go test`) already covers every shape;
 // `go test -fuzz=FuzzPlanDiff` explores the generator space further.
 func FuzzPlanDiff(f *testing.F) {
 	f.Add([]byte{0})
@@ -42,6 +48,11 @@ func FuzzPlanDiff(f *testing.F) {
 			// persisted to disk and reloaded into a fresh engine before querying.
 			{name: "bs1024-seq-typed", batch: 1024, par: 1},
 			{name: "bs1024-par4-persist-reload", batch: 1024, par: 4, persist: true},
+			// Ingestion dimension: warm caches over a prefix, append the rest
+			// mid-run, and require the post-append (and re-cached) results to
+			// match the oracle's full-dataset recompute.
+			{name: "bs1-seq-ingest", batch: 1, par: 1, ingest: true},
+			{name: "bs1024-par4-ingest", batch: 1024, par: 4, ingest: true},
 		}
 
 		want := runDiffCell(t, oracle, docs, queries)
@@ -63,9 +74,12 @@ type diffCell struct {
 	limit      int64
 	// typedOff keeps every column in the variant encoding (the v1 layout);
 	// persist writes partitions under a temp data dir and re-opens a fresh
-	// engine over it, so queries exercise header pruning + cold loads.
+	// engine over it, so queries exercise header pruning + cold loads;
+	// ingest splits the load around a warm-up pass with the result cache on
+	// (mutually exclusive with persist).
 	typedOff bool
 	persist  bool
+	ingest   bool
 }
 
 // runDiffCell loads the dataset into a fresh engine configured for the
@@ -82,13 +96,18 @@ func runDiffCell(t *testing.T, c diffCell, docs []string, queries []string) []st
 	if c.persist {
 		opts = append(opts, WithDataDir(t.TempDir()))
 	}
+	split := len(docs)
+	if c.ingest {
+		split = len(docs) * 3 / 5
+		opts = append(opts, WithResultCacheSize(64))
+	}
 	e := New(opts...)
 	tab, err := e.Catalog().CreateTable("t", []string{"grp", "id", "val", "s", "items"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	tab.SetTargetPartitionBytes(2048)
-	for _, doc := range docs {
+	for _, doc := range docs[:split] {
 		if err := tab.AppendObject(variant.MustParseJSON(doc)); err != nil {
 			t.Fatalf("[%s] bad generated doc %s: %v", c.name, doc, err)
 		}
@@ -101,6 +120,23 @@ func runDiffCell(t *testing.T, c diffCell, docs []string, queries []string) []st
 		}
 		e = New(opts...)
 	}
+	viewable := false
+	if c.ingest {
+		// Warm the result cache over the prefix, register a view on the group
+		// query when its aggregate list is mergeable (the pool includes
+		// SUM/AVG, which are rightly rejected), then stream in the rest.
+		for _, q := range queries {
+			if _, err := e.Query(q); err != nil {
+				t.Fatalf("[%s] warm %s: %v", c.name, q, err)
+			}
+		}
+		viewable = e.CreateView("mv", queries[1]) == nil
+		for _, doc := range docs[split:] {
+			if err := tab.AppendObject(variant.MustParseJSON(doc)); err != nil {
+				t.Fatalf("[%s] bad generated doc %s: %v", c.name, doc, err)
+			}
+		}
+	}
 	out := make([]string, len(queries))
 	for qi, q := range queries {
 		res, err := e.Query(q)
@@ -110,6 +146,28 @@ func runDiffCell(t *testing.T, c diffCell, docs []string, queries []string) []st
 			t.Fatalf("[%s] %s: %v", c.name, q, err)
 		}
 		out[qi] = renderRows(res)
+		if c.ingest {
+			// Second run serves from the re-populated result cache; it must be
+			// byte-identical to the executed run.
+			res2, err := e.Query(q)
+			if err != nil {
+				t.Fatalf("[%s] reread %s: %v", c.name, q, err)
+			}
+			if got := renderRows(res2); got != out[qi] {
+				t.Fatalf("[%s] cached reread diverges on %s:\n got %s\nwant %s",
+					c.name, q, clipDiff(got), clipDiff(out[qi]))
+			}
+		}
+	}
+	if viewable {
+		res, err := e.QueryView(context.Background(), "mv")
+		if err != nil {
+			t.Fatalf("[%s] view refresh after append: %v", c.name, err)
+		}
+		if got := renderRows(res); got != out[1] {
+			t.Fatalf("[%s] incremental view diverges from %s:\n got %s\nwant %s",
+				c.name, queries[1], clipDiff(got), clipDiff(out[1]))
+		}
 	}
 	return out
 }

@@ -1,0 +1,173 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"jsonpark/internal/testutil"
+	"jsonpark/internal/variant"
+)
+
+// TestMVCCAppendReadStress races concurrent appenders against concurrent
+// readers under -race (named *Stress* so `make stress` picks it up). Each
+// appender writes rows (appender-id, 0), (appender-id, 1), ... in order and
+// seals periodically; each reader runs a grouped aggregate with both caches
+// enabled. Because every reader pins a partition snapshot at bind time and a
+// row only becomes visible once its partition seals, a reader must observe a
+// *prefix* of each appender's sequence: for every group,
+// COUNT(*) == MAX(seq)+1. A torn snapshot (rows visible out of order, or a
+// partition list mutating mid-scan) breaks the invariant.
+func TestMVCCAppendReadStress(t *testing.T) {
+	testutil.CheckLeaks(t)
+	const (
+		appenders    = 4
+		readers      = 4
+		rowsPerApp   = 400
+		sealEvery    = 23
+		readsPerSpin = 30
+	)
+	e := New(WithParallelism(2), WithResultCacheSize(32))
+	tab, err := e.Catalog().CreateTable("t", []string{"a", "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, appenders+readers)
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for s := 0; s < rowsPerApp; s++ {
+				row := []variant.Value{variant.Int(int64(id)), variant.Int(int64(s))}
+				if err := tab.Append(row); err != nil {
+					errc <- err
+					return
+				}
+				if (s+1)%sealEvery == 0 {
+					tab.Seal()
+				}
+			}
+			tab.Seal()
+		}(a)
+	}
+	const q = `SELECT "a", COUNT(*) AS n, MAX("s") AS mx FROM "t" GROUP BY "a" ORDER BY "a"`
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < readsPerSpin; i++ {
+				res, err := e.Query(q)
+				if err != nil {
+					errc <- err
+					return
+				}
+				for _, row := range res.Rows {
+					a, n, mx := row[0].AsInt(), row[1].AsInt(), row[2].AsInt()
+					if n != mx+1 {
+						errc <- fmt.Errorf("appender %d: count %d != max-seq+1 %d (torn snapshot)", a, n, mx+1)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Quiesced final state: every appender's full sequence is visible.
+	res, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != appenders {
+		t.Fatalf("final groups = %d, want %d", len(res.Rows), appenders)
+	}
+	for _, row := range res.Rows {
+		if n := row[1].AsInt(); n != rowsPerApp {
+			t.Fatalf("appender %d final count = %d, want %d", row[0].AsInt(), n, rowsPerApp)
+		}
+	}
+}
+
+// TestMVCCSnapshotStressWithViews mixes incremental view refreshes into the
+// same append race: a view refresh pins its own snapshot and must absorb
+// whole sealed partitions exactly once, so its count/max invariant matches
+// the readers'.
+func TestMVCCSnapshotStressWithViews(t *testing.T) {
+	testutil.CheckLeaks(t)
+	const (
+		appenders  = 3
+		rowsPerApp = 300
+		refreshes  = 25
+	)
+	e := New(WithResultCacheSize(16))
+	tab, err := e.Catalog().CreateTable("t", []string{"a", "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = `SELECT "a", COUNT(*) AS n, MAX("s") AS mx FROM "t" GROUP BY "a" ORDER BY "a"`
+	if err := e.CreateView("byapp", q); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, appenders+1)
+	for a := 0; a < appenders; a++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for s := 0; s < rowsPerApp; s++ {
+				row := []variant.Value{variant.Int(int64(id)), variant.Int(int64(s))}
+				if err := tab.Append(row); err != nil {
+					errc <- err
+					return
+				}
+				if (s+1)%17 == 0 {
+					tab.Seal()
+				}
+			}
+			tab.Seal()
+		}(a)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < refreshes; i++ {
+			res, err := e.QueryView(t.Context(), "byapp")
+			if err != nil {
+				errc <- err
+				return
+			}
+			for _, row := range res.Rows {
+				a, n, mx := row[0].AsInt(), row[1].AsInt(), row[2].AsInt()
+				if n != mx+1 {
+					errc <- fmt.Errorf("view: appender %d count %d != max-seq+1 %d", a, n, mx+1)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	got, err := e.QueryView(t.Context(), "byapp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderRows(got) != renderRows(want) {
+		t.Fatalf("quiesced view diverges from cold query:\n got %s\nwant %s",
+			renderRows(got), renderRows(want))
+	}
+}

@@ -210,6 +210,7 @@ func prepareParallelAgg(x *ParallelAggNode, ctx *execContext) (batchIter, error)
 		node: x, scan: scan, stages: stages, ctx: ctx,
 		st: ctx.statsFor(x), eval: eval, colIdx: colIdx,
 		width: len(x.Schema().Names),
+		parts: ctx.pinSnapshot(scan.Table).Parts,
 	}, nil
 }
 
@@ -242,7 +243,11 @@ type paggIter struct {
 	eval   *aggEval // driver-side copy (empty-input fallback only)
 	colIdx []int
 	width  int
-	out    *rowsIter
+	// parts is the table's partition set pinned at bind time (the query's
+	// MVCC snapshot); the workers claim spans of it, never re-reading the
+	// live table.
+	parts []*storage.Partition
+	out   *rowsIter
 }
 
 func (p *paggIter) NextBatch() (*vector.Batch, error) {
@@ -259,7 +264,7 @@ func (p *paggIter) NextBatch() (*vector.Batch, error) {
 func (p *paggIter) Close() {}
 
 func (p *paggIter) run() ([][]variant.Value, error) {
-	parts := p.scan.Table.Partitions()
+	parts := p.parts
 	spanCount := p.node.Pipelines * aggSpanFanout
 	if spanCount > len(parts) {
 		spanCount = len(parts)

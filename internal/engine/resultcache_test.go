@@ -1,0 +1,399 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"jsonpark/internal/variant"
+)
+
+// rcEngine is cacheEngine with the result cache enabled.
+func rcEngine(t *testing.T, opts ...Option) *Engine {
+	t.Helper()
+	return cacheEngine(t, append([]Option{WithResultCacheSize(16)}, opts...)...)
+}
+
+func TestResultCacheHitMissAndStats(t *testing.T) {
+	e := rcEngine(t)
+	const q = `SELECT "k", COUNT(*) AS n FROM "c" GROUP BY "k" ORDER BY "k"`
+
+	r1, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Metrics.ResultCacheHit {
+		t.Fatal("first run reported a result-cache hit")
+	}
+	r2, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Metrics.ResultCacheHit {
+		t.Fatal("second run did not report a result-cache hit")
+	}
+	if renderRows(r1) != renderRows(r2) {
+		t.Fatal("cached rows diverge from the executed run")
+	}
+	if r2.Metrics.ExecTime != 0 {
+		t.Fatalf("cache hit reports exec time %v, want 0 (execution skipped)", r2.Metrics.ExecTime)
+	}
+	hits, misses, evictions, invalidations, entries, bytes := e.ResultCacheStats()
+	if hits != 1 || misses != 1 || evictions != 0 || invalidations != 0 || entries != 1 {
+		t.Fatalf("stats = %d/%d/%d/%d/%d, want hits=1 misses=1 evictions=0 invalidations=0 entries=1",
+			hits, misses, evictions, invalidations, entries)
+	}
+	if bytes <= 0 {
+		t.Fatalf("resident bytes = %d, want > 0", bytes)
+	}
+}
+
+func TestResultCacheDisabledByDefault(t *testing.T) {
+	e := cacheEngine(t)
+	const q = `SELECT COUNT(*) AS n FROM "c"`
+	for i := 0; i < 3; i++ {
+		res, err := e.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Metrics.ResultCacheHit {
+			t.Fatalf("run %d hit a result cache that should be off", i+1)
+		}
+	}
+	if h, m, _, _, n, _ := e.ResultCacheStats(); h != 0 || m != 0 || n != 0 {
+		t.Fatalf("disabled cache reported activity: %d hits, %d misses, %d entries", h, m, n)
+	}
+}
+
+// TestResultCacheMutatedRows pins the defensive copy: callers mutating the
+// rows of a hit (or of the executed run that populated the cache) must not
+// corrupt later hits.
+func TestResultCacheMutatedRows(t *testing.T) {
+	e := rcEngine(t)
+	const q = `SELECT "k", COUNT(*) AS n FROM "c" GROUP BY "k" ORDER BY "k"`
+	r1, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderRows(r1)
+	r1.Rows[0][0] = variant.Int(999) // caller scribbles on its result
+	r2, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderRows(r2) != want {
+		t.Fatal("mutating a returned row corrupted the cached entry")
+	}
+	r2.Rows[1][1] = variant.Int(-1)
+	r3, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderRows(r3) != want {
+		t.Fatal("mutating a cache hit's rows corrupted the cached entry")
+	}
+}
+
+// TestResultCacheByteBudget pins the two capacity bounds: an oversized
+// result is never cached, and inserts beyond the byte budget evict LRU
+// entries.
+func TestResultCacheByteBudget(t *testing.T) {
+	// A budget far below any result's footprint: nothing is ever admitted.
+	e := rcEngine(t, WithResultCacheBytes(8))
+	const q = `SELECT COUNT(*) AS n FROM "c"`
+	for i := 0; i < 2; i++ {
+		res, err := e.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Metrics.ResultCacheHit {
+			t.Fatal("a result larger than the whole budget was cached")
+		}
+	}
+	if _, _, _, _, entries, _ := e.ResultCacheStats(); entries != 0 {
+		t.Fatalf("entries = %d, want 0 (oversized results rejected)", entries)
+	}
+
+	// A budget that fits roughly one small result: inserting a second evicts
+	// the first (LRU), observable via the evictions counter.
+	const budget = 150
+	e2 := rcEngine(t, WithResultCacheBytes(budget))
+	queries := []string{
+		`SELECT COUNT(*) AS n FROM "c"`,
+		`SELECT MAX("v") AS mx FROM "c"`,
+		`SELECT MIN("v") AS mn FROM "c"`,
+	}
+	for _, q := range queries {
+		if _, err := e2.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, evictions, _, entries, bytes := e2.ResultCacheStats()
+	if evictions == 0 {
+		t.Fatalf("no evictions under a %d-byte budget after %d inserts", budget, len(queries))
+	}
+	if bytes > budget {
+		t.Fatalf("resident bytes %d exceed the budget", bytes)
+	}
+	if entries < 1 {
+		t.Fatal("byte-budget eviction emptied the cache entirely")
+	}
+}
+
+// TestResultCacheInvalidationMatrix drives every mutation class through the
+// cache and checks each evicts exactly the affected entries — and, for the
+// cases the prepared-plan cache fences differently, that the two caches stay
+// independently correct: every seal invalidates results for that table,
+// while the plan cache only cares about DDL and the 1→2 partition
+// transition.
+func TestResultCacheInvalidationMatrix(t *testing.T) {
+	const q1 = `SELECT COUNT(*) AS n FROM "t1"`
+	const q2 = `SELECT COUNT(*) AS n FROM "t2"`
+
+	type step struct {
+		name string
+		// mutate applies the catalog mutation under test.
+		mutate func(t *testing.T, e *Engine)
+		// wantQ1Hit/wantQ2Hit: does re-running each query hit the result
+		// cache after the mutation?
+		wantQ1Hit, wantQ2Hit bool
+		// wantPlanHitQ1: does q1 still hit the prepared-plan cache (the
+		// catalog-version fence is coarser than result invalidation)?
+		wantPlanHitQ1 bool
+		// skipQ2 when the mutation removed t2.
+		skipQ2 bool
+	}
+	steps := []step{
+		{
+			name: "append-and-seal",
+			mutate: func(t *testing.T, e *Engine) {
+				tab, err := e.Catalog().Table("t1")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tab.Append([]variant.Value{variant.Int(7)}); err != nil {
+					t.Fatal(err)
+				}
+				tab.Seal()
+			},
+			// The seal (2→3 partitions) advances t1's partition-set version:
+			// its result is evicted, t2's survives, and the plan cache keeps
+			// the template (the fence only bumps on the 1→2 transition).
+			wantQ1Hit: false, wantQ2Hit: true, wantPlanHitQ1: true,
+		},
+		{
+			name: "create-table",
+			mutate: func(t *testing.T, e *Engine) {
+				if _, err := e.Catalog().CreateTable("t3", []string{"x"}); err != nil {
+					t.Fatal(err)
+				}
+			},
+			// DDL clears the whole plan cache but no cached result read "t3",
+			// so both results survive.
+			wantQ1Hit: true, wantQ2Hit: true, wantPlanHitQ1: false,
+		},
+		{
+			name: "drop-table",
+			mutate: func(t *testing.T, e *Engine) {
+				e.Catalog().DropTable("t2")
+			},
+			wantQ1Hit: true, wantPlanHitQ1: false, skipQ2: true,
+		},
+		{
+			name: "set-data-dir",
+			mutate: func(t *testing.T, e *Engine) {
+				e.Catalog().SetDataDir(t.TempDir())
+			},
+			// A storage-root change invalidates everything in both caches.
+			wantQ1Hit: false, wantQ2Hit: false, wantPlanHitQ1: false,
+		},
+	}
+
+	for _, st := range steps {
+		t.Run(st.name, func(t *testing.T) {
+			e := New(WithResultCacheSize(16))
+			for _, name := range []string{"t1", "t2"} {
+				tab, err := e.Catalog().CreateTable(name, []string{"v"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < 40; i++ {
+					if err := tab.Append([]variant.Value{variant.Int(int64(i))}); err != nil {
+						t.Fatal(err)
+					}
+					if i == 19 {
+						tab.Seal()
+					}
+				}
+				tab.Seal()
+			}
+			// Warm both caches: run each query twice.
+			for _, q := range []string{q1, q1, q2, q2} {
+				if _, err := e.Query(q); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, _, _, _, entries, _ := e.ResultCacheStats(); entries != 2 {
+				t.Fatalf("entries = %d after warmup, want 2", entries)
+			}
+
+			st.mutate(t, e)
+
+			r1, err := e.Query(q1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1.Metrics.ResultCacheHit != st.wantQ1Hit {
+				t.Errorf("q1 result-cache hit = %v, want %v", r1.Metrics.ResultCacheHit, st.wantQ1Hit)
+			}
+			if r1.Metrics.PlanCacheHit != st.wantPlanHitQ1 {
+				t.Errorf("q1 plan-cache hit = %v, want %v", r1.Metrics.PlanCacheHit, st.wantPlanHitQ1)
+			}
+			if !st.skipQ2 {
+				r2, err := e.Query(q2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r2.Metrics.ResultCacheHit != st.wantQ2Hit {
+					t.Errorf("q2 result-cache hit = %v, want %v", r2.Metrics.ResultCacheHit, st.wantQ2Hit)
+				}
+			}
+			// A miss after a mutation must serve fresh data, not stale rows:
+			// re-count t1 after the append step.
+			if st.name == "append-and-seal" {
+				if got := r1.Rows[0][0].AsInt(); got != 41 {
+					t.Fatalf("post-append count = %d, want 41 (stale cached rows?)", got)
+				}
+			}
+		})
+	}
+}
+
+// TestResultCacheParityGrid is the acceptance grid: with the result cache on
+// and appends interleaved between runs, every (parallelism × batch × typed)
+// cell must render byte-identically to a cold engine that loaded all data up
+// front — before the append (partial data), and after it (full data, cache
+// invalidated).
+func TestResultCacheParityGrid(t *testing.T) {
+	queries := []string{
+		`SELECT "k", COUNT(*) AS n, MAX("v") AS mx, ARRAY_AGG("v") AS vs FROM "g" GROUP BY "k" ORDER BY "k"`,
+		`SELECT "v" FROM "g" WHERE "k" <> 2 ORDER BY "v" DESC LIMIT 50`,
+		`SELECT COUNT(*) AS n, MIN("v") AS mn FROM "g"`,
+	}
+	row := func(i int) []variant.Value {
+		return []variant.Value{variant.Int(int64(i % 5)), variant.Int(int64(i))}
+	}
+	load := func(t *testing.T, e *Engine, lo, hi int) {
+		tab, err := e.Catalog().Table("g")
+		if err != nil {
+			tab, err = e.Catalog().CreateTable("g", []string{"k", "v"})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := lo; i < hi; i++ {
+			if err := tab.Append(row(i)); err != nil {
+				t.Fatal(err)
+			}
+			if (i+1)%37 == 0 {
+				tab.Seal()
+			}
+		}
+	}
+	// Cold oracles: fresh engines over exactly the partial and full data.
+	oracle := func(t *testing.T, n int) []string {
+		e := New()
+		load(t, e, 0, n)
+		out := make([]string, len(queries))
+		for i, q := range queries {
+			res, err := e.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = renderRows(res)
+		}
+		return out
+	}
+	const partial, full = 120, 200
+	wantPartial := oracle(t, partial)
+	wantFull := oracle(t, full)
+
+	for _, par := range []int{1, 4} {
+		for _, batch := range []int{1, 1024} {
+			for _, typed := range []bool{true, false} {
+				name := fmt.Sprintf("par%d-bs%d-typed%v", par, batch, typed)
+				t.Run(name, func(t *testing.T) {
+					e := New(WithParallelism(par), WithBatchSize(batch),
+						WithTypedColumns(typed), WithResultCacheSize(16))
+					load(t, e, 0, partial)
+					// Run twice over the partial data: second run must hit and
+					// both must match the cold oracle.
+					for pass := 0; pass < 2; pass++ {
+						for qi, q := range queries {
+							res, err := e.Query(q)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if got := renderRows(res); got != wantPartial[qi] {
+								t.Fatalf("pass %d query %d diverges from partial oracle:\n got %s\nwant %s",
+									pass, qi, clipDiff(got), clipDiff(wantPartial[qi]))
+							}
+							if pass == 1 && !res.Metrics.ResultCacheHit {
+								t.Fatalf("query %d second run missed the result cache", qi)
+							}
+						}
+					}
+					// Interleaved append: the next runs must see the new rows
+					// (exact invalidation) and then hit again.
+					load(t, e, partial, full)
+					for pass := 0; pass < 2; pass++ {
+						for qi, q := range queries {
+							res, err := e.Query(q)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if got := renderRows(res); got != wantFull[qi] {
+								t.Fatalf("post-append pass %d query %d diverges from full oracle:\n got %s\nwant %s",
+									pass, qi, clipDiff(got), clipDiff(wantFull[qi]))
+							}
+							if pass == 0 && res.Metrics.ResultCacheHit {
+								t.Fatalf("query %d served stale cached rows across an append", qi)
+							}
+							if pass == 1 && !res.Metrics.ResultCacheHit {
+								t.Fatalf("query %d did not re-cache after the append", qi)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestResultCacheAnalyzeHit pins that a cache hit under Analyze still
+// returns a non-nil (zeroed) plan-stats tree — the slow-query capture path
+// relies on it.
+func TestResultCacheAnalyzeHit(t *testing.T) {
+	e := rcEngine(t)
+	const q = `SELECT "k", COUNT(*) AS n FROM "c" GROUP BY "k" ORDER BY "k"`
+	if _, err := e.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.PrepareOpts(q, PrepareOptions{Analyze: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Metrics.ResultCacheHit {
+		t.Fatal("analyzed run missed the warmed result cache")
+	}
+	if p.PlanStats() == nil {
+		t.Fatal("PlanStats() = nil on an analyzed cache hit")
+	}
+	if !strings.Contains(p.PlanStats().Render(), "Aggregate") {
+		t.Fatal("analyzed cache hit lost the plan tree shape")
+	}
+}

@@ -34,7 +34,7 @@ func prepareScan(x *ScanNode, ctx *execContext) (batchIter, error) {
 		}
 		filter = fn
 	}
-	parts := x.Table.Partitions()
+	parts := ctx.pinSnapshot(x.Table).Parts
 	// A stateful pushed-down filter (SEQ8) must see rows in order; fall back
 	// to the sequential scan rather than give each worker its own counter.
 	if ctx.parallelism > 1 && len(parts) > 1 && !exprStateful(x.Filter) {

@@ -130,6 +130,46 @@ func (o *Observer) RegisterPlanCacheStats(stats func() (hits, misses, evictions,
 		})
 }
 
+// RegisterResultCacheStats exposes the engine's partition-versioned result
+// cache counters as jsonpark_result_cache_{hits,misses,evictions,
+// invalidations}_total plus resident entries/bytes gauges. stats must be
+// safe for concurrent use; call at most once per observer.
+func (o *Observer) RegisterResultCacheStats(stats func() (hits, misses, evictions, invalidations, entries, bytes int64)) {
+	if o == nil {
+		return
+	}
+	o.Registry.CounterFunc("jsonpark_result_cache_hits_total",
+		"Result cache hits (execution skipped).", func() float64 {
+			h, _, _, _, _, _ := stats()
+			return float64(h)
+		})
+	o.Registry.CounterFunc("jsonpark_result_cache_misses_total",
+		"Result cache misses (query executed).", func() float64 {
+			_, m, _, _, _, _ := stats()
+			return float64(m)
+		})
+	o.Registry.CounterFunc("jsonpark_result_cache_evictions_total",
+		"Result cache entries evicted by the LRU entry or byte bound.", func() float64 {
+			_, _, e, _, _, _ := stats()
+			return float64(e)
+		})
+	o.Registry.CounterFunc("jsonpark_result_cache_invalidations_total",
+		"Result cache entries dropped by partition-set version advance (appends, DDL).", func() float64 {
+			_, _, _, i, _, _ := stats()
+			return float64(i)
+		})
+	o.Registry.GaugeFunc("jsonpark_result_cache_entries",
+		"Result cache resident entries.", func() float64 {
+			_, _, _, _, n, _ := stats()
+			return float64(n)
+		})
+	o.Registry.GaugeFunc("jsonpark_result_cache_bytes",
+		"Result cache resident row bytes.", func() float64 {
+			_, _, _, _, _, b := stats()
+			return float64(b)
+		})
+}
+
 // GovernorStats is the subset of a governor snapshot the metric set samples.
 type GovernorStats struct {
 	MemUsedBytes  int64

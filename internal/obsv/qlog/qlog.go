@@ -141,6 +141,9 @@ type QueryRecord struct {
 	// cache: the run skipped parse/plan/optimize/physicalize and paid only
 	// the bind cost.
 	CacheHit bool
+	// ResultCacheHit reports the engine served the rows from the
+	// partition-versioned result cache: the run skipped execution entirely.
+	ResultCacheHit bool
 
 	ParseUS  int64
 	PlanUS   int64
@@ -183,6 +186,7 @@ func (l *Logger) LogQuery(r QueryRecord) {
 		F("fingerprint", r.Fingerprint),
 		F("status", r.Status),
 		F("cache_hit", r.CacheHit),
+		F("result_cache_hit", r.ResultCacheHit),
 		F("parse_us", r.ParseUS),
 		F("plan_us", r.PlanUS),
 		F("sqlgen_us", r.SQLGenUS),

@@ -10,6 +10,13 @@
 //	POST /load       {"collection": "c", "documents": [{...}, ...]}
 //	POST /collections {"name": "c", "columns": ["a","b"]}
 //	GET  /collections → {"collections": ["c", ...]}
+//	POST /views      {"name": "v", "query": "...", "sql": "..."} registers an
+//	                 incrementally maintained materialized view (JSONiq via
+//	                 "query", or raw SQL via "sql")
+//	GET  /views      → {"views": [{...}, ...]} registered views with refresh
+//	                 accounting
+//	POST /views/query {"name": "v"} → {"items": [...], "metrics": {...}}
+//	                 incremental refresh + result of one view
 //	GET  /metrics    Prometheus text exposition (query counts, phase/stage
 //	                 latency histograms, runtime gauges, scan accounting)
 //	GET  /debug/queries[?limit=20] in-flight queries with per-operator
@@ -83,6 +90,8 @@ func New(w *jsonpark.Warehouse, opts ...Option) *Server {
 	s.mux.HandleFunc("/translate", s.handleTranslate)
 	s.mux.HandleFunc("/load", s.handleLoad)
 	s.mux.HandleFunc("/collections", s.handleCollections)
+	s.mux.HandleFunc("/views", s.handleViews)
+	s.mux.HandleFunc("/views/query", s.handleViewQuery)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 	s.mux.HandleFunc("/debug/slow", s.handleDebugSlow)
@@ -385,6 +394,79 @@ func (s *Server) handleCollections(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"created": req.Name})
+}
+
+type viewRequest struct {
+	Name  string `json:"name"`
+	Query string `json:"query"`
+	SQL   string `json:"sql"`
+}
+
+// handleViews registers a materialized view (POST, from a JSONiq query or
+// raw SQL) or lists the registered views (GET).
+func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet, http.MethodPost) {
+		return
+	}
+	if r.Method == http.MethodGet {
+		writeJSON(w, http.StatusOK, map[string]any{"views": s.w.ListViews()})
+		return
+	}
+	var req viewRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	var err error
+	switch {
+	case req.Query != "" && req.SQL != "":
+		err = fmt.Errorf("give either query or sql, not both")
+	case req.Query != "":
+		err = s.w.CreateView(req.Name, req.Query)
+	case req.SQL != "":
+		err = s.w.CreateSQLView(req.Name, req.SQL)
+	default:
+		err = fmt.Errorf("view needs a query or sql field")
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"created": req.Name})
+}
+
+// handleViewQuery incrementally refreshes one view and returns its rows.
+func (s *Server) handleViewQuery(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req viewRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	ctx := r.Context()
+	if s.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.timeout)
+		defer cancel()
+	}
+	res, err := s.w.ViewResult(ctx, req.Name)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	items := make([][]json.RawMessage, len(res.Rows))
+	for i, row := range res.Rows {
+		cells := make([]json.RawMessage, len(row))
+		for j, v := range row {
+			cells[j] = json.RawMessage(v.JSON())
+		}
+		items[i] = cells
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"columns": res.Columns,
+		"items":   items,
+		"metrics": metricsOf(res),
+	})
 }
 
 // handleMetrics serves the Prometheus text exposition of the warehouse's

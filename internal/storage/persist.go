@@ -76,11 +76,14 @@ func corruptf(path, format string, args ...any) error {
 // partition under the directory.
 func (c *Catalog) SetDataDir(dir string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.dataDir = dir
 	c.scanned = false
 	c.scanErr = nil
 	c.version.Add(1)
+	c.mu.Unlock()
+	// Reattachment can swap in an arbitrary on-disk view; any cached result
+	// for any table may now be stale.
+	c.notifyMutate("")
 }
 
 // DataDir returns the catalog's data directory ("" when in-memory only).
@@ -126,8 +129,56 @@ func (c *Catalog) ensureScannedLocked() error {
 		}
 		t.typedOff = c.typedOff
 		t.onSeal = func() { c.version.Add(1) }
+		t.onChange = func() { c.notifyMutate(name) }
 		c.tables[name] = t
 		c.version.Add(1)
+	}
+	if err := c.adoptTablesLocked(); err != nil {
+		c.scanErr = err
+	}
+	return c.scanErr
+}
+
+// adoptTablesLocked attaches the data directory to tables that predate it:
+// a table created while the catalog was in-memory (or before a later
+// SetDataDir) has no directory, so partitions sealed by its appends — and
+// anything Flush seals later — would silently never reach disk. Adoption
+// writes the MANIFEST, persists every already-sealed partition, and leaves
+// the table on the normal seal-to-disk path. A same-named on-disk directory
+// is replaced: the in-memory table shadows it in every query, so it is the
+// authoritative state.
+func (c *Catalog) adoptTablesLocked() error {
+	if c.dataDir == "" {
+		return nil
+	}
+	for _, t := range c.tables {
+		t.mu.Lock()
+		err := c.adoptTableLocked(t)
+		t.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// adoptTableLocked does the per-table work of adoptTablesLocked; the caller
+// holds both the catalog lock and t.mu.
+func (c *Catalog) adoptTableLocked(t *Table) error {
+	if t.dir != "" {
+		return nil
+	}
+	dir := filepath.Join(c.dataDir, t.Name)
+	if err := os.RemoveAll(dir); err != nil {
+		return fmt.Errorf("storage: replacing table dir: %w", err)
+	}
+	if err := c.attachTableDirLocked(t); err != nil {
+		return err
+	}
+	for _, p := range t.partitions {
+		if err := t.writePartitionLocked(p); err != nil {
+			return err
+		}
 	}
 	return nil
 }

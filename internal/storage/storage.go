@@ -38,7 +38,38 @@ type Catalog struct {
 	// partition list per run regardless). The engine's plan cache keys on it,
 	// so Flush/reload invalidates cached plan templates.
 	version atomic.Int64
+	// onMutate, when set, is called after any data-affecting catalog change:
+	// CreateTable / DropTable / SetDataDir (table name, or "" for a change
+	// affecting every table) and every partition seal on an attached table.
+	// The engine's result cache uses it to evict exactly the affected
+	// entries. Stored atomically so seals (which fire under a table lock,
+	// not the catalog lock) read it race-free.
+	onMutate atomic.Pointer[func(table string)]
 }
+
+// SetMutationHook installs the catalog's change listener (see onMutate).
+// Call it before concurrent use; the hook must not call back into the
+// catalog or its tables.
+func (c *Catalog) SetMutationHook(fn func(table string)) {
+	if fn == nil {
+		c.onMutate.Store(nil)
+		return
+	}
+	c.onMutate.Store(&fn)
+}
+
+// notifyMutate fires the mutation hook, if any. table == "" means "every
+// table may have changed" (data-dir reattachment).
+func (c *Catalog) notifyMutate(table string) {
+	if fn := c.onMutate.Load(); fn != nil {
+		(*fn)(table)
+	}
+}
+
+// tableVersionClock issues partition-set versions. It is process-global so a
+// (table name, version) pair can never repeat across drop/recreate cycles or
+// across catalogs sharing one result cache.
+var tableVersionClock atomic.Int64
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
@@ -74,11 +105,13 @@ func (c *Catalog) CreateTable(name string, columns []string) (*Table, error) {
 	t := NewTable(name, columns)
 	t.typedOff = c.typedOff
 	t.onSeal = func() { c.version.Add(1) }
+	t.onChange = func() { c.notifyMutate(name) }
 	if err := c.attachTableDirLocked(t); err != nil {
 		return nil, err
 	}
 	c.tables[name] = t
 	c.version.Add(1)
+	c.notifyMutate(name)
 	return t, nil
 }
 
@@ -94,6 +127,7 @@ func (c *Catalog) DropTable(name string) {
 	}
 	delete(c.tables, name)
 	c.version.Add(1)
+	c.notifyMutate(name)
 	if t.dir != "" {
 		os.RemoveAll(t.dir)
 	}
@@ -159,6 +193,16 @@ type Table struct {
 	// (parallel-aggregation eligibility); scans re-read Partitions() every
 	// run, so data visibility never needs an invalidation.
 	onSeal func()
+	// onChange, set when the table is attached to a catalog, fires on every
+	// seal (after the version bump) so data-sensitive caches can evict
+	// precisely. It runs under t.mu and must not call back into the table.
+	onChange func()
+	// version is the table's partition-set version: a fresh value from the
+	// process-global clock at creation and after every seal. Readers pin a
+	// (partitions, version) pair via Snapshot; a version match guarantees an
+	// identical partition set, because sealed partitions are immutable and
+	// the partition list is append-only.
+	version int64
 
 	// Persistence state: dir is the table's on-disk directory ("" for an
 	// in-memory table), nextPart numbers the next partition file, and
@@ -181,6 +225,7 @@ func NewTable(name string, columns []string) *Table {
 		t.colIndex[c] = i
 	}
 	t.open = newPartition(t.Columns)
+	t.version = tableVersionClock.Add(1)
 	return t
 }
 
@@ -246,6 +291,10 @@ func (t *Table) sealLocked() {
 	}
 	t.partitions = append(t.partitions, t.open)
 	t.open = newPartition(t.Columns)
+	// Every seal advances the partition-set version: the sealed rows are now
+	// part of the pinned set any new Snapshot returns, so results computed
+	// against the previous version are stale.
+	t.version = tableVersionClock.Add(1)
 	// Only the 1 → 2 partition transition can change a compiled plan's
 	// shape (parallel-aggregation eligibility requires > 1 partition), so
 	// only that seal invalidates cached plans. Single-partition tables
@@ -253,6 +302,9 @@ func (t *Table) sealLocked() {
 	// moment it first ran.
 	if t.onSeal != nil && len(t.partitions) == 2 {
 		t.onSeal()
+	}
+	if t.onChange != nil {
+		t.onChange()
 	}
 }
 
@@ -274,16 +326,55 @@ func (t *Table) Flush() error {
 	return t.persistErr
 }
 
-// Partitions returns the sealed micro-partitions, sealing the open partition
-// first so scans always observe every appended row. Callers must not mutate
-// the result.
-func (t *Table) Partitions() []*Partition {
+// TableSnapshot is an MVCC read view of one table: an immutable partition
+// list pinned at a point in time plus the partition-set version it
+// corresponds to. Writers only ever add partitions, so a snapshot stays
+// valid (and byte-stable) for as long as a reader holds it; the version
+// identifies the set exactly — equal versions imply identical sets.
+type TableSnapshot struct {
+	Parts   []*Partition
+	Version int64
+}
+
+// Snapshot seals any buffered rows and pins the current partition set.
+// Readers bind their scans to the returned snapshot instead of re-reading
+// the table, so one query observes a single consistent set even while
+// concurrent appenders keep sealing new partitions. The fast path — no
+// buffered rows — takes only the read lock, so concurrent readers do not
+// serialize against each other.
+func (t *Table) Snapshot() TableSnapshot {
+	t.mu.RLock()
+	if t.open.rows == 0 {
+		parts := t.partitions[:len(t.partitions):len(t.partitions)]
+		v := t.version
+		t.mu.RUnlock()
+		return TableSnapshot{Parts: parts, Version: v}
+	}
+	t.mu.RUnlock()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.open.rows > 0 {
 		t.sealLocked()
 	}
-	return t.partitions
+	return TableSnapshot{
+		Parts:   t.partitions[:len(t.partitions):len(t.partitions)],
+		Version: t.version,
+	}
+}
+
+// Version returns the table's current partition-set version without sealing
+// buffered rows (buffered rows advance the version at the next Snapshot).
+func (t *Table) Version() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
+}
+
+// Partitions returns the sealed micro-partitions, sealing the open partition
+// first so scans always observe every appended row. Callers must not mutate
+// the result.
+func (t *Table) Partitions() []*Partition {
+	return t.Snapshot().Parts
 }
 
 // NumRows returns the total row count.

@@ -95,10 +95,12 @@ type openConfig struct {
 	planCheck     bool
 	slowMS        int64
 	traceOut      io.Writer
-	dataDir       string
-	typedOff      bool
-	planCacheSize int
-	governor      *engine.Governor
+	dataDir          string
+	typedOff         bool
+	planCacheSize    int
+	resultCacheSize  int
+	resultCacheBytes int64
+	governor         *engine.Governor
 }
 
 // WithBatchSize sets the rows-per-batch of the vectorized executor (default
@@ -192,6 +194,25 @@ func WithPlanCacheSize(n int) OpenOption {
 	return func(c *openConfig) { c.planCacheSize = n }
 }
 
+// WithResultCacheSize enables the partition-versioned result cache (the
+// -result-cache-size flag): a repeated query whose pinned partition sets are
+// unchanged returns its rows without executing, byte-identical to a cold
+// run. Invalidation is exact — appending to a collection (the seal bumps the
+// partition-set version), DDL, or a data-dir change evicts precisely the
+// cached results that read the mutated collection. n <= 0 (the default)
+// keeps the cache off.
+func WithResultCacheSize(n int) OpenOption {
+	return func(c *openConfig) { c.resultCacheSize = n }
+}
+
+// WithResultCacheBytes bounds the result cache's resident row bytes (the
+// -result-cache-bytes flag; default 64 MiB when the cache is enabled).
+// Results larger than the budget are never cached; smaller ones evict LRU
+// entries until they fit.
+func WithResultCacheBytes(n int64) OpenOption {
+	return func(c *openConfig) { c.resultCacheBytes = n }
+}
+
 // Governor is the server-wide resource governor: one shared memory pool all
 // queries draw from plus a per-tenant admission gate. Create with
 // NewGovernor and attach via WithGovernor; one governor may serve several
@@ -273,6 +294,8 @@ func Open(opts ...OpenOption) *Warehouse {
 		engine.WithTypedColumns(!c.typedOff),
 		engine.WithDataDir(c.dataDir),
 		engine.WithPlanCacheSize(c.planCacheSize),
+		engine.WithResultCacheSize(c.resultCacheSize),
+		engine.WithResultCacheBytes(c.resultCacheBytes),
 		engine.WithGovernor(c.governor),
 	)
 	w := &Warehouse{
@@ -282,6 +305,7 @@ func Open(opts ...OpenOption) *Warehouse {
 		docs: make(map[string][]Value),
 	}
 	w.obs.RegisterPlanCacheStats(eng.PlanCacheStats)
+	w.obs.RegisterResultCacheStats(eng.ResultCacheStats)
 	if g := eng.Governor(); g != nil {
 		w.obs.RegisterGovernorStats(func() obsv.GovernorStats {
 			s := g.Snapshot()
@@ -442,6 +466,7 @@ func (r *QueryReport) QueryLogRecord(status string, err error) qlog.QueryRecord 
 	if r.Result != nil {
 		m := r.Result.Metrics
 		rec.CacheHit = m.PlanCacheHit
+		rec.ResultCacheHit = m.ResultCacheHit
 		rec.Rows = m.RowsReturned
 		rec.BytesScanned = m.BytesScanned
 		rec.MemPeakBytes = m.MemPeakBytes
@@ -576,6 +601,42 @@ func (w *Warehouse) QueryItems(jsoniqSrc string, opts ...QueryOption) ([]Value, 
 	}
 	return items, nil
 }
+
+// CreateView registers an incrementally maintained materialized view over a
+// JSONiq query: the query is translated to SQL once, and each ViewResult
+// call refreshes the view by scanning only the micro-partitions sealed since
+// the previous refresh, delta-merging accumulator state so the rows stay
+// byte-identical to re-running the full query. Only queries whose plan is a
+// mergeable aggregation (COUNT/MIN/MAX/ARRAY_AGG-family over a stateless
+// single-collection pipeline, optionally under stateless
+// project/sort/limit/filter operators) are accepted; anything else errors at
+// registration.
+func (w *Warehouse) CreateView(name, jsoniqSrc string, opts ...QueryOption) error {
+	sql, err := w.Translate(jsoniqSrc, opts...)
+	if err != nil {
+		return err
+	}
+	return w.eng.CreateView(name, sql)
+}
+
+// CreateSQLView is CreateView over raw SQL text, skipping JSONiq translation.
+func (w *Warehouse) CreateSQLView(name, sql string) error {
+	return w.eng.CreateView(name, sql)
+}
+
+// ViewResult incrementally refreshes the named view and returns its rows.
+func (w *Warehouse) ViewResult(ctx context.Context, name string) (*Result, error) {
+	return w.eng.QueryView(ctx, name)
+}
+
+// DropView removes a materialized view, reporting whether it existed.
+func (w *Warehouse) DropView(name string) bool { return w.eng.DropView(name) }
+
+// ViewInfo describes one registered materialized view.
+type ViewInfo = engine.ViewInfo
+
+// ListViews describes every registered materialized view in name order.
+func (w *Warehouse) ListViews() []ViewInfo { return w.eng.ViewInfos() }
 
 // Flush seals every collection's buffered rows into micro-partitions and —
 // when the warehouse has a data directory — waits for them to reach disk.

@@ -1,11 +1,14 @@
 // Command obssmoke is the observability smoke test behind `make obs-smoke`:
 // it boots a real jsqd with slow-query capture armed and a query-log sink,
-// runs the same query twice over HTTP, and asserts the observability
-// contract end to end — two parseable qlog JSON records carrying the
-// required keys with the second marked as a plan-cache hit, a populated
-// /debug/slow, and a live /metrics exposition including the plan-cache
-// counters. It exercises the same binary and flags an operator would use,
-// not the test harness.
+// runs the same query four times over HTTP with a streaming append (POST
+// /load) between the second and third, and asserts the observability
+// contract end to end — four parseable qlog JSON records carrying the
+// required keys, plan-cache and result-cache hits flipping
+// false→true→false→true across the append (the new partition invalidates
+// both caches, then they re-warm), a populated /debug/slow, and a live
+// /metrics exposition including the plan-cache and result-cache counters.
+// It exercises the same binary and flags an operator would use, not the
+// test harness.
 package main
 
 import (
@@ -82,16 +85,37 @@ func run() error {
 		return err
 	}
 
-	// The same query twice: the second run must be served from the
-	// prepared-plan cache and say so in its qlog record.
+	// The same query four times with a streaming append in the middle: runs
+	// 1-2 warm both caches, the append seals a new partition (invalidating
+	// the result cache precisely and the plan cache via the catalog fence),
+	// and runs 3-4 must re-execute then re-hit.
 	const query = `{"query": "for $o in collection(\"smoke\") order by $o.id return $o.id"}`
-	for i := 0; i < 2; i++ {
+	runQuery := func(i int) error {
 		status, _, err := postJSON(base+"/query", query)
 		if err != nil {
 			return err
 		}
 		if status != http.StatusOK {
-			return fmt.Errorf("POST /query #%d: status %d", i+1, status)
+			return fmt.Errorf("POST /query #%d: status %d", i, status)
+		}
+		return nil
+	}
+	for i := 1; i <= 2; i++ {
+		if err := runQuery(i); err != nil {
+			return err
+		}
+	}
+	status, body, err := postJSON(base+"/load",
+		`{"collection": "smoke", "documents": [{"id": 3, "items": [{"qty": 9}]}]}`)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("POST /load: status %d: %s", status, body)
+	}
+	for i := 3; i <= 4; i++ {
+		if err := runQuery(i); err != nil {
+			return err
 		}
 	}
 
@@ -104,12 +128,15 @@ func run() error {
 	if err := checkGet(base+"/metrics", "jsonpark_query_phase_seconds"); err != nil {
 		return err
 	}
-	return checkPlanCacheMetric(base + "/metrics")
+	if err := checkCounterAtLeast(base+"/metrics", "jsonpark_plan_cache_hits_total", 1); err != nil {
+		return err
+	}
+	return checkCounterAtLeast(base+"/metrics", "jsonpark_result_cache_hits_total", 2)
 }
 
-// checkQlog asserts the query log holds exactly two parseable "query"
-// records with the schema jsqd promises, the second marked as a plan-cache
-// hit.
+// checkQlog asserts the query log holds exactly four parseable "query"
+// records with the schema jsqd promises, and that both cache-hit flags
+// follow the miss/hit/miss/hit pattern around the mid-run append.
 func checkQlog(path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -128,14 +155,14 @@ func checkQlog(path string) error {
 			records = append(records, rec)
 		}
 	}
-	if len(records) != 2 {
-		return fmt.Errorf("query log holds %d query records, want 2:\n%s", len(records), raw)
+	if len(records) != 4 {
+		return fmt.Errorf("query log holds %d query records, want 4:\n%s", len(records), raw)
 	}
 	for i, rec := range records {
 		for _, key := range []string{"trace_id", "fingerprint", "status",
-			"cache_hit", "parse_us", "plan_us", "sqlgen_us", "exec_us",
-			"total_us", "rows", "mem_peak_bytes", "spill_bytes",
-			"typed_cols", "fallback_cols", "disk_reads"} {
+			"cache_hit", "result_cache_hit", "parse_us", "plan_us",
+			"sqlgen_us", "exec_us", "total_us", "rows", "mem_peak_bytes",
+			"spill_bytes", "typed_cols", "fallback_cols", "disk_reads"} {
 			if _, ok := rec[key]; !ok {
 				return fmt.Errorf("query record #%d missing %q: %v", i+1, key, rec)
 			}
@@ -144,18 +171,33 @@ func checkQlog(path string) error {
 			return fmt.Errorf("query record #%d status = %v, want ok", i+1, rec["status"])
 		}
 	}
-	if hit, _ := records[0]["cache_hit"].(bool); hit {
-		return fmt.Errorf("first query record claims cache_hit=true: %v", records[0])
+	// Result cache: runs 1 and 3 execute (fresh server, then the appended
+	// partition invalidates the entry); runs 2 and 4 hit. Plan cache: run 3
+	// still reuses the compiled template (the plan is data-independent and
+	// the buffered rows only seal at bind time, after plan lookup); the seal
+	// then bumps the catalog fence, so run 4 recompiles.
+	want := map[string][]bool{
+		"result_cache_hit": {false, true, false, true},
+		"cache_hit":        {false, true, true, false},
 	}
-	if hit, _ := records[1]["cache_hit"].(bool); !hit {
-		return fmt.Errorf("second query record lacks cache_hit=true: %v", records[1])
+	for key, pattern := range want {
+		for i, w := range pattern {
+			if hit, _ := records[i][key].(bool); hit != w {
+				return fmt.Errorf("query record #%d %s = %v, want %v: %v",
+					i+1, key, hit, w, records[i])
+			}
+		}
+	}
+	// The third run must see the appended document: rows grows from 2 to 3.
+	if rows, _ := records[2]["rows"].(float64); rows != 3 {
+		return fmt.Errorf("post-append query returned %v rows, want 3: %v", records[2]["rows"], records[2])
 	}
 	return nil
 }
 
-// checkPlanCacheMetric asserts /metrics exposes the plan-cache hit counter
-// with at least one hit recorded.
-func checkPlanCacheMetric(url string) error {
+// checkCounterAtLeast asserts /metrics exposes the named counter with at
+// least min recorded.
+func checkCounterAtLeast(url, name string, min float64) error {
 	resp, err := http.Get(url)
 	if err != nil {
 		return err
@@ -169,7 +211,7 @@ func checkPlanCacheMetric(url string) error {
 		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
 	}
 	for _, line := range strings.Split(string(body), "\n") {
-		if !strings.HasPrefix(line, "jsonpark_plan_cache_hits_total") {
+		if !strings.HasPrefix(line, name+" ") {
 			continue
 		}
 		fields := strings.Fields(line)
@@ -180,12 +222,12 @@ func checkPlanCacheMetric(url string) error {
 		if err != nil {
 			return fmt.Errorf("malformed metric value: %q", line)
 		}
-		if v < 1 {
-			return fmt.Errorf("jsonpark_plan_cache_hits_total = %v, want >= 1", v)
+		if v < min {
+			return fmt.Errorf("%s = %v, want >= %v", name, v, min)
 		}
 		return nil
 	}
-	return fmt.Errorf("GET %s: body lacks jsonpark_plan_cache_hits_total", url)
+	return fmt.Errorf("GET %s: body lacks %s", url, name)
 }
 
 // checkGet asserts the URL answers 200 with a body containing want.
